@@ -1,0 +1,67 @@
+// Unicast dimension-order ablation.  The paper routes unicasts along
+// shortest paths without specifying traversal order; this bench compares
+// the three orders the library implements -- deterministic e-cube
+// (ascending), per-hop random, and minimal-adaptive join-shortest-queue
+// -- on unicast-only traffic, plus the 50/50 heterogeneous mix under
+// priority STAR.  On a symmetric torus the orders barely differ (load is
+// already balanced); adaptivity pays off mostly in queueing variance at
+// high rho.
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+
+int main() {
+  using namespace pstar;
+
+  const topo::Shape shape{8, 8};
+  std::cout << "== ablation-adaptive: unicast traversal order on "
+            << shape.to_string() << " ==\n\n";
+
+  const struct {
+    const char* label;
+    routing::DimOrder order;
+  } orders[] = {
+      {"e-cube", routing::DimOrder::kAscending},
+      {"random", routing::DimOrder::kRandom},
+      {"adaptive", routing::DimOrder::kAdaptive},
+  };
+
+  harness::Table table({"traffic", "rho", "order", "unicast-delay",
+                        "unicast-p95", "util-max"});
+  for (double fraction : {0.0, 0.5}) {
+    for (double rho : {0.5, 0.8, 0.95}) {
+      for (const auto& o : orders) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.scheme = core::Scheme::priority_star();
+        spec.scheme.unicast_order = o.order;
+        spec.rho = rho;
+        spec.broadcast_fraction = fraction;
+        spec.warmup = 1000.0;
+        spec.measure = 4000.0;
+        spec.seed = 31415;
+        spec.record_histograms = true;
+        const auto r = harness::run_experiment(spec);
+        const char* traffic = fraction == 0.0 ? "unicast-only" : "50/50 mix";
+        if (r.unstable || r.saturated) {
+          table.add_row({traffic, harness::fmt(rho, 2), o.label, "unstable",
+                         "-", "-"});
+          continue;
+        }
+        table.add_row({traffic, harness::fmt(rho, 2), o.label,
+                       harness::fmt(r.unicast_delay_mean, 2),
+                       harness::fmt(r.unicast_p95, 1),
+                       harness::fmt(r.utilization_max, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,ablation_adaptive");
+  std::cout << "\nshape-check: all three orders are transmission-minimal, so "
+               "utilization matches;\nadaptive trims delay (especially p95) "
+               "at high rho by dodging instantaneous\nqueue buildups.\n";
+  return 0;
+}

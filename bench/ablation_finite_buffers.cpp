@@ -1,0 +1,94 @@
+// Finite-buffer extension.  The paper's stability discussion notes that
+// with finite queues, overload makes queues "grow with time until they
+// overflow".  This bench provisions small per-link buffers at high load
+// and measures what is lost, comparing three configurations on the same
+// balanced STAR trees:
+//
+//   FCFS + tail-drop      : drops hit arriving copies uniformly -- the
+//                           unlucky ones carry large undelivered subtrees
+//   priority + tail-drop  : same admission, but priorities reorder service
+//   priority + push-out   : arriving tree (HIGH) copies evict queued
+//                           ending-dimension (LOW) copies, so losses
+//                           concentrate on single-leaf subtrees
+//
+// The interesting output is lost receptions PER DROP: priority push-out
+// should lose close to 1 reception per dropped copy, while FCFS tail-drop
+// loses several (a dropped early-phase copy orphans a whole sub-block).
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+
+int main() {
+  using namespace pstar;
+
+  const topo::Shape shape{8, 8};
+  std::cout << "== ablation-buffers: finite per-link queues, "
+            << shape.to_string() << " torus, broadcast-only ==\n\n";
+
+  struct Config {
+    const char* label;
+    core::Scheme scheme;
+    net::DropPolicy drop;
+  };
+  const Config configs[] = {
+      {"FCFS+taildrop", core::Scheme::star_fcfs(), net::DropPolicy::kTailDrop},
+      {"prio+taildrop", core::Scheme::priority_star(),
+       net::DropPolicy::kTailDrop},
+      {"prio+pushout", core::Scheme::priority_star(),
+       net::DropPolicy::kPushOutLow},
+  };
+
+  harness::Table table({"capacity", "rho", "config", "drop-rate",
+                        "lost/drop", "delivered", "failed-bcast%",
+                        "reception-delay"});
+
+  for (std::uint32_t capacity : {4u, 8u, 16u}) {
+    for (double rho : {0.85, 0.95}) {
+      for (const Config& cfg : configs) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.scheme = cfg.scheme;
+        spec.rho = rho;
+        spec.broadcast_fraction = 1.0;
+        spec.warmup = 500.0;
+        spec.measure = 3000.0;
+        spec.seed = 90210;
+        spec.queue_capacity = capacity;
+        spec.drop_policy = cfg.drop;
+        const auto r = harness::run_experiment(spec);
+        const double attempts =
+            static_cast<double>(r.transmissions + r.drops);
+        const double total_tasks = static_cast<double>(
+            r.failed_broadcasts + r.measured_broadcasts);  // approx base
+        table.add_row(
+            {std::to_string(capacity), harness::fmt(rho, 2), cfg.label,
+             harness::fmt(attempts > 0.0
+                              ? static_cast<double>(r.drops) / attempts
+                              : 0.0,
+                          5),
+             r.drops > 0 ? harness::fmt(static_cast<double>(r.lost_receptions) /
+                                            static_cast<double>(r.drops),
+                                        2)
+                         : "-",
+             harness::fmt(r.delivered_fraction, 4),
+             total_tasks > 0.0
+                 ? harness::fmt(100.0 * static_cast<double>(r.failed_broadcasts) /
+                                    total_tasks,
+                                2)
+                 : "0",
+             harness::fmt(r.reception_delay_mean, 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,ablation_buffers");
+  std::cout << "\nshape-check: lost-receptions-per-drop should fall from "
+               "FCFS+taildrop to\nprio+pushout (losses migrate to leaf "
+               "copies), and delivered fraction rise,\nat every capacity.  "
+               "Note finite buffers also bound delay, so reception\ndelays "
+               "here sit below the infinite-queue figures.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Tail-latency ablation: the paper argues in means, but the mechanism --
+// only the leaf-heavy ending-dimension transmissions ever see long queues
+// -- also compresses the upper reception-delay quantiles.  This bench
+// reports p50/p95/p99 reception delay for priority STAR vs FCFS-direct
+// across the load sweep on an 8x8 torus.
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+
+int main() {
+  using namespace pstar;
+
+  const topo::Shape shape{8, 8};
+  std::cout << "== ablation-tails: reception-delay quantiles, "
+            << shape.to_string() << " torus, broadcast-only ==\n\n";
+
+  harness::Table table({"rho", "scheme", "mean", "p50", "p95", "p99"});
+  for (double rho : {0.5, 0.7, 0.85, 0.95}) {
+    for (const core::Scheme& scheme :
+         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+      harness::ExperimentSpec spec;
+      spec.shape = shape;
+      spec.scheme = scheme;
+      spec.rho = rho;
+      spec.broadcast_fraction = 1.0;
+      spec.warmup = 1000.0;
+      spec.measure = 4000.0;
+      spec.seed = 55;
+      spec.record_histograms = true;
+      const auto r = harness::run_experiment(spec);
+      if (r.unstable || r.saturated) {
+        table.add_row({harness::fmt(rho, 2), scheme.name, "unstable", "-",
+                       "-", "-"});
+        continue;
+      }
+      table.add_row({harness::fmt(rho, 2), scheme.name,
+                     harness::fmt(r.reception_delay_mean, 2),
+                     harness::fmt(r.reception_p50, 1),
+                     harness::fmt(r.reception_p95, 1),
+                     harness::fmt(r.reception_p99, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,ablation_tails");
+  std::cout << "\nshape-check: through p95, priority-STAR dominates at high "
+               "load (the tree\ntransmissions never queue behind the bulk).  "
+               "At extreme load (rho ~ 0.95) the\nLOW class's tail grows "
+               "heavy, so FCFS can win at p99 -- the price of strict\n"
+               "priority, invisible in the paper's mean-delay figures.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Section 3.1 claims priority STAR broadcasts variable-length packets
+// efficiently, "which is not the case for several previous routing
+// schemes for random broadcasting".  This ablation runs unit, geometric,
+// and bimodal length mixes at the same throughput factor and compares
+// priority STAR against FCFS-direct: the priority advantage must survive
+// length variability (delays scale with mean length but the ordering and
+// the growth shape hold).
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+
+int main() {
+  using namespace pstar;
+
+  const topo::Shape shape{8, 8};
+  std::cout << "== ablation-length: packet-length distributions on "
+            << shape.to_string() << ", broadcast-only ==\n\n";
+
+  const struct {
+    const char* label;
+    traffic::LengthDist dist;
+  } lengths[] = {
+      {"unit", traffic::LengthDist::unit()},
+      {"geometric(4)", traffic::LengthDist::geometric(4.0)},
+      {"bimodal(1,16;10%)", traffic::LengthDist::bimodal(1, 16, 0.10)},
+  };
+
+  harness::Table table({"length-dist", "rho", "scheme", "reception-delay",
+                        "broadcast-delay", "util-mean"});
+
+  for (const auto& len : lengths) {
+    for (double rho : {0.5, 0.85}) {
+      for (const core::Scheme& scheme :
+           {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.scheme = scheme;
+        spec.rho = rho;
+        spec.broadcast_fraction = 1.0;
+        spec.length = len.dist;
+        spec.warmup = 1500.0;
+        spec.measure = 5000.0;
+        spec.seed = 112358;
+        const auto r = harness::run_experiment(spec);
+        if (r.unstable || r.saturated) {
+          table.add_row({len.label, harness::fmt(rho, 2), scheme.name,
+                         "unstable", "-", "-"});
+          continue;
+        }
+        table.add_row({len.label, harness::fmt(rho, 2), scheme.name,
+                       harness::fmt(r.reception_delay_mean, 2),
+                       harness::fmt(r.broadcast_delay_mean, 2),
+                       harness::fmt(r.utilization_mean, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,ablation_length");
+  std::cout << "\nshape-check: within each length row at rho=0.85, "
+               "priority-STAR < FCFS-direct;\nutilization stays at the "
+               "target rho for every distribution.\n";
+  return 0;
+}

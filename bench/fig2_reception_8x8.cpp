@@ -1,0 +1,12 @@
+// Figure 2: average reception delay of priority STAR vs the FCFS
+// generalization of the direct scheme in [12], random broadcasting in an
+// 8x8 torus, as a function of the throughput factor.
+
+#include "fig_common.hpp"
+
+int main() {
+  return pstar::bench::run_delay_figure(
+      "fig2", "avg reception delay, random broadcasting, 8x8 torus",
+      pstar::topo::Shape{8, 8}, pstar::harness::FigureMetric::kReceptionDelay,
+      3000.0);
+}

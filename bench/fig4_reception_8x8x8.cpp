@@ -1,0 +1,12 @@
+// Figure 4: average reception delay, priority STAR vs FCFS-direct,
+// random broadcasting in an 8x8x8 torus.  The paper highlights that the
+// gap between the schemes widens as the dimension grows.
+
+#include "fig_common.hpp"
+
+int main() {
+  return pstar::bench::run_delay_figure(
+      "fig4", "avg reception delay, random broadcasting, 8x8x8 torus",
+      pstar::topo::Shape{8, 8, 8},
+      pstar::harness::FigureMetric::kReceptionDelay, 1500.0);
+}

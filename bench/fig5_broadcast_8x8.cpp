@@ -1,0 +1,11 @@
+// Figure 5: average broadcast delay (generation to last reception),
+// priority STAR vs FCFS-direct, random broadcasting in an 8x8 torus.
+
+#include "fig_common.hpp"
+
+int main() {
+  return pstar::bench::run_delay_figure(
+      "fig5", "avg broadcast delay, random broadcasting, 8x8 torus",
+      pstar::topo::Shape{8, 8}, pstar::harness::FigureMetric::kBroadcastDelay,
+      3000.0);
+}

@@ -1,0 +1,11 @@
+// Figure 6: average broadcast delay, priority STAR vs FCFS-direct,
+// random broadcasting in a 16x16 torus.
+
+#include "fig_common.hpp"
+
+int main() {
+  return pstar::bench::run_delay_figure(
+      "fig6", "avg broadcast delay, random broadcasting, 16x16 torus",
+      pstar::topo::Shape{16, 16},
+      pstar::harness::FigureMetric::kBroadcastDelay, 2000.0);
+}

@@ -1,0 +1,11 @@
+// Figure 7: average broadcast delay, priority STAR vs FCFS-direct,
+// random broadcasting in an 8x8x8 torus.
+
+#include "fig_common.hpp"
+
+int main() {
+  return pstar::bench::run_delay_figure(
+      "fig7", "avg broadcast delay, random broadcasting, 8x8x8 torus",
+      pstar::topo::Shape{8, 8, 8},
+      pstar::harness::FigureMetric::kBroadcastDelay, 1500.0);
+}

@@ -1,0 +1,49 @@
+#pragma once
+
+/// Shared setup for the Figs. 2-7 reproduction benches: each figure plots
+/// one delay metric against the throughput factor for priority STAR and
+/// the FCFS generalization of the direct scheme of [12] on one torus.
+
+#include <iostream>
+
+#include "pstar/harness/figure.hpp"
+#include "pstar/harness/table.hpp"
+
+namespace pstar::bench {
+
+inline int run_delay_figure(const std::string& id, const std::string& title,
+                            topo::Shape shape,
+                            harness::FigureMetric metric,
+                            double measure_window) {
+  harness::FigureSpec spec;
+  spec.id = id;
+  spec.title = title;
+  spec.shape = std::move(shape);
+  spec.schemes = {core::Scheme::priority_star(), core::Scheme::fcfs_direct()};
+  spec.rhos = harness::default_rho_sweep();
+  spec.metric = metric;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = measure_window / 3.0;
+  spec.measure = measure_window;
+  const auto results = harness::run_figure(spec, std::cout);
+
+  // Shape check printed for EXPERIMENTS.md: at the highest stable rho the
+  // priority scheme must win.
+  const std::size_t last = results.size();
+  if (last >= 2) {
+    const auto& star = results[last - 2];
+    const auto& fcfs = results[last - 1];
+    if (!star.unstable && !fcfs.unstable) {
+      const double a = harness::metric_value(spec.metric, star);
+      const double b = harness::metric_value(spec.metric, fcfs);
+      std::cout << "shape-check: priority-STAR "
+                << (a < b ? "BEATS" : "DOES NOT BEAT")
+                << " FCFS-direct at rho=" << spec.rhos.back() << "  ("
+                << harness::fmt(a) << " vs " << harness::fmt(b) << ", ratio "
+                << harness::fmt(b / a, 2) << "x)\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace pstar::bench

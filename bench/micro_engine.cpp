@@ -1,0 +1,164 @@
+// google-benchmark microbenchmarks of the substrates: event-queue
+// throughput, RNG variates, the Eq. (2)/(4) solver, SDC tree
+// construction, and end-to-end simulator event rate.  These guard the
+// simulator's performance envelope (the figure benches run tens of
+// millions of events).
+
+#include <benchmark/benchmark.h>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/multicast.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/event_queue.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace {
+
+using namespace pstar;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  sim::EventQueue q;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.push(rng.uniform() * 1e6, [](sim::Simulator&) {});
+  }
+  double t = 1e6;
+  for (auto _ : state) {
+    auto [when, fn] = q.pop();
+    benchmark::DoNotOptimize(when);
+    q.push(t, [](sim::Simulator&) {});
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_DiscreteSampler(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<double> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : w) v = rng.uniform() + 0.01;
+  sim::DiscreteSampler sampler(w);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(rng));
+}
+BENCHMARK(BM_DiscreteSampler)->Arg(3)->Arg(12);
+
+void BM_StarProbabilities(benchmark::State& state) {
+  const auto d = static_cast<std::int32_t>(state.range(0));
+  std::vector<std::int32_t> sizes;
+  for (std::int32_t i = 0; i < d; ++i) sizes.push_back(4 + (i % 3) * 2);
+  const topo::Torus torus{topo::Shape(sizes)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::heterogeneous_probabilities(
+        torus, 0.01, 0.1));
+  }
+}
+BENCHMARK(BM_StarProbabilities)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BuildSdcTree(benchmark::State& state) {
+  const topo::Torus torus{topo::Shape{8, 8, 8}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::build_sdc_tree(torus, 0, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (torus.node_count() - 1));
+}
+BENCHMARK(BM_BuildSdcTree);
+
+void BM_PrunedMulticastTree(benchmark::State& state) {
+  const topo::Torus torus{topo::Shape{8, 8, 8}};
+  routing::MulticastConfig cfg;
+  cfg.ending_probabilities = routing::uniform_probabilities(3).x;
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  const routing::MulticastPolicy policy(torus, cfg);
+  sim::Rng rng(5);
+  std::vector<topo::NodeId> dests;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    dests.push_back(static_cast<topo::NodeId>(
+        rng.below(static_cast<std::uint64_t>(torus.node_count() - 1)) + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.build_pruned_tree(0, 1, dests));
+  }
+}
+BENCHMARK(BM_PrunedMulticastTree)->Arg(4)->Arg(32);
+
+void BM_PriorityQueueDiscipline(benchmark::State& state) {
+  // Cost of the per-completion queue scan with all three classes busy,
+  // relative to a single-class FCFS load: drive one link hard.
+  const bool priority = state.range(0) != 0;
+  std::int64_t transmissions = 0;
+  for (auto _ : state) {
+    const topo::Torus torus{topo::Shape{2}};
+    sim::Rng rng(6);
+    auto policy = core::make_policy(
+        torus,
+        priority ? core::Scheme::priority_star() : core::Scheme::star_fcfs(),
+        1.0, 0.0);
+    sim::Simulator sim;
+    net::Engine engine(sim, torus, *policy, rng);
+    traffic::WorkloadConfig cfg;
+    cfg.lambda_broadcast = 0.9;
+    cfg.stop_time = 3000.0;
+    traffic::Workload workload(sim, engine, rng, cfg);
+    workload.start();
+    sim.run();
+    transmissions += static_cast<std::int64_t>(engine.metrics().transmissions);
+  }
+  state.SetItemsProcessed(transmissions);
+  state.SetLabel(priority ? "priority" : "fcfs");
+}
+BENCHMARK(BM_PriorityQueueDiscipline)->Arg(0)->Arg(1);
+
+void BM_RunExperimentEndToEnd(benchmark::State& state) {
+  // Full harness cost for one small figure point.
+  for (auto _ : state) {
+    harness::ExperimentSpec spec;
+    spec.shape = topo::Shape{6, 6};
+    spec.rho = 0.7;
+    spec.warmup = 100.0;
+    spec.measure = 400.0;
+    spec.seed = 7;
+    benchmark::DoNotOptimize(harness::run_experiment(spec));
+  }
+}
+BENCHMARK(BM_RunExperimentEndToEnd);
+
+void BM_SimulatedTransmissions(benchmark::State& state) {
+  // End-to-end: events per second of a loaded broadcast simulation.
+  const double rho = static_cast<double>(state.range(0)) / 100.0;
+  std::int64_t transmissions = 0;
+  for (auto _ : state) {
+    const topo::Torus torus{topo::Shape{8, 8}};
+    sim::Rng rng(4);
+    auto policy =
+        core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+    sim::Simulator sim;
+    net::Engine engine(sim, torus, *policy, rng);
+    traffic::WorkloadConfig cfg;
+    cfg.lambda_broadcast = rho * torus.degree() /
+                           static_cast<double>(torus.node_count() - 1);
+    cfg.stop_time = 200.0;
+    traffic::Workload workload(sim, engine, rng, cfg);
+    workload.start();
+    sim.run();
+    transmissions += static_cast<std::int64_t>(engine.metrics().transmissions);
+  }
+  state.SetItemsProcessed(transmissions);
+  state.SetLabel("items = packet transmissions");
+}
+BENCHMARK(BM_SimulatedTransmissions)->Arg(50)->Arg(90);
+
+}  // namespace
+
+BENCHMARK_MAIN();

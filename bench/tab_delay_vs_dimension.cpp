@@ -1,0 +1,78 @@
+// The paper's asymptotic separation: previous schemes are "suboptimal by
+// a factor of Theta(d)" at high load -- FCFS reception delay grows like
+// d/(1-rho) while priority STAR's grows like d + 1/(1-rho).  This bench
+// holds rho fixed and sweeps the dimension across 4-ary d-cubes and
+// hypercubes, reporting both schemes and their ratio: the ratio must
+// GROW with d (toward Theta(d)) rather than stay constant.
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/queueing/throughput.hpp"
+
+namespace {
+
+using namespace pstar;
+
+void sweep(const char* family, const std::vector<topo::Shape>& shapes,
+           double rho, harness::Table& table) {
+  for (const topo::Shape& shape : shapes) {
+    double star = 0.0, fcfs = 0.0;
+    bool ok = true;
+    for (const core::Scheme& scheme :
+         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+      harness::ExperimentSpec spec;
+      spec.shape = shape;
+      spec.scheme = scheme;
+      spec.rho = rho;
+      spec.broadcast_fraction = 1.0;
+      spec.warmup = 500.0;
+      spec.measure = 1500.0;
+      spec.seed = 1003;
+      const auto r = harness::run_experiment(spec);
+      if (r.unstable || r.saturated) {
+        ok = false;
+        break;
+      }
+      (scheme.balancing == core::Balancing::kBalanced ? star : fcfs) =
+          r.reception_delay_mean;
+    }
+    const topo::Torus torus(shape);
+    if (!ok) {
+      table.add_row({family, std::to_string(torus.dims()), shape.to_string(),
+                     "unstable", "-", "-"});
+      continue;
+    }
+    table.add_row({family, std::to_string(torus.dims()), shape.to_string(),
+                   harness::fmt(star, 2), harness::fmt(fcfs, 2),
+                   harness::fmt(fcfs / star, 2)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double rho = 0.9;
+  std::cout << "== tab-dimension: reception delay vs dimension at rho = "
+            << rho << ", broadcast-only ==\n\n";
+
+  harness::Table table({"family", "d", "shape", "priority-STAR",
+                        "FCFS-direct", "FCFS/STAR"});
+  sweep("4-ary",
+        {topo::Shape::kary(4, 2), topo::Shape::kary(4, 3),
+         topo::Shape::kary(4, 4)},
+        rho, table);
+  sweep("hypercube",
+        {topo::Shape::hypercube(4), topo::Shape::hypercube(6),
+         topo::Shape::hypercube(8), topo::Shape::hypercube(10)},
+        rho, table);
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,tab_dimension");
+  std::cout << "\nshape-check: within each family the FCFS/STAR ratio grows "
+               "monotonically with d\n(the paper's Theta(d) suboptimality of "
+               "prior schemes); absolute STAR delay grows\nonly ~linearly "
+               "in d (the d + 1/(1-rho) form).\n";
+  return 0;
+}

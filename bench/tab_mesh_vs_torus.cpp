@@ -1,0 +1,74 @@
+// Section 2's topology comparison: "When all network nodes have to
+// receive all the broadcast packets, the maximum throughput factor rho
+// achievable by any routing scheme in meshes is only 0.5, since some
+// nodes only have two incident links" -- whereas the wraparound torus
+// reaches ~1 under STAR.
+//
+// The exact finite-n corner bound for an n x n mesh: a corner node has
+// two incoming links and must receive lambda_b N packets per unit time,
+// so lambda_b <= 2/N and rho <= 2 (N-1) / (N (4 - 4/n)) -> 0.5 as n
+// grows.  We print the analytic corner bound next to the measured
+// last-stable rho for meshes and tori of the same shape.
+
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/queueing/throughput.hpp"
+
+namespace {
+
+using namespace pstar;
+
+/// rho at which a corner node's two incoming links saturate.
+double mesh_corner_bound(const topo::Torus& mesh) {
+  // The corner has `dims` incoming links (one per dimension); each
+  // broadcast delivers exactly one copy to the corner, so the corner's
+  // aggregate incoming rate lambda_b * N must stay below its in-degree.
+  const double n = static_cast<double>(mesh.node_count());
+  const double corner_links = static_cast<double>(mesh.dims());
+  const double lambda_max = corner_links / n;
+  return queueing::torus_rho(mesh, lambda_max, 0.0);
+}
+
+double measured_max_rho(const topo::Shape& shape, bool mesh) {
+  double last_stable = 0.0;
+  for (double rho = 0.20; rho <= 1.01; rho += 0.05) {
+    harness::ExperimentSpec spec;
+    spec.shape = shape;
+    spec.mesh = mesh;
+    spec.rho = rho;
+    spec.broadcast_fraction = 1.0;
+    spec.warmup = 400.0;
+    spec.measure = 1600.0;
+    spec.seed = 4242;
+    spec.max_events = 20'000'000;
+    const auto r = harness::run_experiment(spec);
+    if (!r.unstable && !r.saturated) last_stable = rho;
+  }
+  return last_stable;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== tab-mesh: broadcast max throughput, mesh vs torus ==\n\n";
+
+  harness::Table table({"shape", "topology", "corner bound", "measured max rho"});
+  for (const topo::Shape& shape : {topo::Shape{8, 8}, topo::Shape{16, 16},
+                                   topo::Shape{6, 6, 6}}) {
+    const topo::Torus mesh = topo::Torus::mesh(shape);
+    table.add_row({shape.to_string(), "mesh",
+                   harness::fmt(mesh_corner_bound(mesh), 3),
+                   harness::fmt(measured_max_rho(shape, true), 2)});
+    table.add_row({shape.to_string(), "torus", "1.000",
+                   harness::fmt(measured_max_rho(shape, false), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,tab_mesh");
+  std::cout << "\nshape-check: mesh rows should cap near the corner bound "
+               "(-> 0.5 for large n x n,\nper the paper's Section 2), torus "
+               "rows near 1.0.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 1 of the paper, as ASCII: the SDC broadcast tree of a 5x5 torus
+// (a 5-ary 2-cube) for a chosen ending dimension, marking which hops run
+// at high priority (tree phases) and which at low (ending dimension).
+//
+//   $ ./broadcast_tree_viz [n1 n2 [ending_dim [source]]]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pstar;
+
+  const std::int32_t n1 = argc > 2 ? std::atoi(argv[1]) : 5;
+  const std::int32_t n2 = argc > 2 ? std::atoi(argv[2]) : 5;
+  const topo::Shape shape{n1, n2};
+  const topo::Torus torus(shape);
+  const std::int32_t ending = argc > 3 ? std::atoi(argv[3]) : 1;
+  const topo::NodeId source =
+      argc > 4 ? std::atoi(argv[4])
+               : shape.index_of({n1 / 2, n2 / 2});  // center, like Fig. 1
+
+  std::cout << "Priority STAR broadcast tree on a " << shape.to_string()
+            << " torus\n";
+  std::cout << "source node " << source << " (coords "
+            << shape.coord_of(source, 0) << "," << shape.coord_of(source, 1)
+            << "), ending dimension " << ending << "\n\n";
+
+  const auto edges = routing::build_sdc_tree(torus, source, ending);
+
+  // Arrival hop-depth of each node (phases overlap in the nonidling
+  // all-port execution, so depth = number of store-and-forward hops).
+  std::map<topo::NodeId, int> depth;
+  std::map<topo::NodeId, bool> via_ending;
+  depth[source] = 0;
+  via_ending[source] = false;
+  for (const auto& e : edges) {
+    depth[e.to] = depth[e.from] + 1;
+    via_ending[e.to] = e.ending;
+  }
+
+  std::cout << "Each cell: <arrival hop (idle network)><H|L|S>\n";
+  std::cout << "  S = source, H = received on a HIGH-priority (tree) link,\n";
+  std::cout << "  L = received on a LOW-priority (ending dimension) link\n\n";
+
+  for (std::int32_t y = n2 - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < n1; ++x) {
+      const topo::NodeId node = shape.index_of({x, y});
+      const char tag =
+          node == source ? 'S' : (via_ending[node] ? 'L' : 'H');
+      std::cout << depth[node] << tag << (x + 1 < n1 ? "  " : "");
+    }
+    std::cout << "\n";
+  }
+
+  int high = 0, low = 0;
+  for (const auto& e : edges) (e.ending ? low : high) += 1;
+  std::cout << "\ntransmissions: " << edges.size() << " total = " << high
+            << " high-priority + " << low << " low-priority (of N-1 = "
+            << torus.node_count() - 1 << ")\n";
+  std::cout << "low-priority (ending dim) share: "
+            << static_cast<double>(low) / static_cast<double>(edges.size())
+            << "  -- the paper's (1 - 1/n) fraction\n\n";
+
+  const auto probs = routing::star_probabilities(torus);
+  std::cout << "STAR ending-dimension probabilities for this torus:";
+  for (double x : probs.x) std::cout << " " << x;
+  std::cout << "\n";
+  return 0;
+}

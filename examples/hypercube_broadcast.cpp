@@ -1,0 +1,65 @@
+// Hypercubes as 2-ary d-cubes (Section 3.2: "Since hypercubes are a
+// special case of tori, the algorithms proposed in this section can also
+// be applied to hypercubes").  Runs priority STAR random broadcasting on
+// d-dimensional hypercubes and compares the measured average reception
+// delay against the Omega(d + 1/(1-rho)) oblivious lower bound of [12]
+// and against FCFS-direct, showing the constant-factor optimality and
+// the growth of the advantage with d.
+//
+//   $ ./hypercube_broadcast [rho]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/queueing/throughput.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pstar;
+
+  const double rho = argc > 1 ? std::atof(argv[1]) : 0.85;
+  std::cout << "Random broadcasting in hypercubes (2-ary d-cubes) at rho = "
+            << rho << "\n\n";
+
+  harness::Table table({"d", "nodes", "priority-STAR", "FCFS-direct",
+                        "lower bound", "STAR/bound"});
+
+  for (std::int32_t d : {4, 6, 8, 10}) {
+    const topo::Shape shape = topo::Shape::hypercube(d);
+    double star = 0.0, fcfs = 0.0;
+    bool ok = true;
+    for (const core::Scheme& scheme :
+         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+      harness::ExperimentSpec spec;
+      spec.shape = shape;
+      spec.scheme = scheme;
+      spec.rho = rho;
+      spec.broadcast_fraction = 1.0;
+      spec.warmup = 500.0;
+      spec.measure = 1500.0;
+      spec.seed = 8128;
+      const auto r = harness::run_experiment(spec);
+      if (r.unstable || r.saturated) {
+        ok = false;
+        break;
+      }
+      (scheme.balancing == core::Balancing::kBalanced ? star : fcfs) =
+          r.reception_delay_mean;
+    }
+    if (!ok) {
+      table.add_row({std::to_string(d), std::to_string(1 << d), "unstable",
+                     "-", "-", "-"});
+      continue;
+    }
+    const double bound = queueing::oblivious_lower_bound(d, rho);
+    table.add_row({std::to_string(d), std::to_string(1 << d),
+                   harness::fmt(star, 2), harness::fmt(fcfs, 2),
+                   harness::fmt(bound, 2), harness::fmt(star / bound, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe STAR/bound ratio stays a small constant as d grows "
+               "(the paper's\nasymptotic optimality), while FCFS-direct "
+               "drifts away by a Theta(d) factor\nat high rho.\n";
+  return 0;
+}

@@ -1,0 +1,227 @@
+// General-purpose sweep tool over the full experiment space: any torus
+// shape, any registered scheme, any rho sweep, traffic mix, and packet
+// length law, with optional multi-seed replication.  Prints an aligned
+// table plus CSV rows.
+//
+//   usage: sweep_cli [options]
+//     --shape 8x8               torus geometry (default 8x8)
+//     --schemes a,b,...         comma-separated scheme names
+//                               (default priority-STAR,FCFS-direct)
+//     --rho 0.1:0.9:0.2         sweep lo:hi:step or comma list (default)
+//     --bcast-frac F            broadcast fraction of load (default 1.0)
+//     --length SPEC             unit | fixed:L | geom:M | bimodal:S:L:P
+//     --warmup T --measure T    time windows (default 1000 / 3000)
+//     --seed N                  base seed (default 1)
+//     --reps N                  seeds per point, cross-seed stats (default 1)
+//     --tails                   also report reception p95/p99
+//     --mesh                    drop all wraparound links (mesh topology)
+//     --batch K                 K tasks per arrival epoch (bursty traffic)
+//     --hotspot FRAC:NODE       skew FRAC of sources onto NODE
+//     --capacity N              finite per-link queues of N copies
+//     --drop tail|pushout       full-queue policy (with --capacity)
+//
+//   examples:
+//     sweep_cli --shape 4x4x8 --bcast-frac 0.5 --rho 0.5:0.95:0.05
+//     sweep_cli --schemes priority-STAR,STAR-FCFS --length geom:4 --tails
+//     sweep_cli --mesh --rho 0.3,0.5 --shape 16x16
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pstar/harness/cli.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+
+namespace {
+
+using namespace pstar;
+
+struct Options {
+  topo::Shape shape{8, 8};
+  std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                    core::Scheme::fcfs_direct()};
+  std::vector<double> rhos{0.1, 0.3, 0.5, 0.7, 0.9};
+  double broadcast_fraction = 1.0;
+  traffic::LengthDist length = traffic::LengthDist::unit();
+  double warmup = 1000.0;
+  double measure = 3000.0;
+  std::uint64_t seed = 1;
+  std::size_t reps = 1;
+  bool tails = false;
+  bool mesh = false;
+  std::uint32_t batch = 1;
+  double hotspot_fraction = 0.0;
+  topo::NodeId hotspot_node = 0;
+  std::uint32_t capacity = 0;
+  net::DropPolicy drop = net::DropPolicy::kTailDrop;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value after " + flag);
+      }
+      return args[++i];
+    };
+    if (flag == "--shape") {
+      opt.shape = harness::parse_shape(value());
+    } else if (flag == "--schemes") {
+      opt.schemes.clear();
+      std::string rest = value();
+      std::size_t start = 0;
+      while (start <= rest.size()) {
+        const std::size_t pos = rest.find(',', start);
+        const std::string name = rest.substr(
+            start, pos == std::string::npos ? std::string::npos : pos - start);
+        opt.schemes.push_back(harness::parse_scheme(name));
+        if (pos == std::string::npos) break;
+        start = pos + 1;
+      }
+    } else if (flag == "--rho") {
+      opt.rhos = harness::parse_sweep(value());
+    } else if (flag == "--bcast-frac") {
+      opt.broadcast_fraction = std::stod(value());
+    } else if (flag == "--length") {
+      opt.length = harness::parse_length(value());
+    } else if (flag == "--warmup") {
+      opt.warmup = std::stod(value());
+    } else if (flag == "--measure") {
+      opt.measure = std::stod(value());
+    } else if (flag == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (flag == "--reps") {
+      opt.reps = std::stoull(value());
+    } else if (flag == "--tails") {
+      opt.tails = true;
+    } else if (flag == "--mesh") {
+      opt.mesh = true;
+    } else if (flag == "--batch") {
+      opt.batch = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--hotspot") {
+      const std::string spec = value();
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--hotspot needs FRAC:NODE");
+      }
+      opt.hotspot_fraction = std::stod(spec.substr(0, colon));
+      opt.hotspot_node =
+          static_cast<topo::NodeId>(std::stol(spec.substr(colon + 1)));
+    } else if (flag == "--capacity") {
+      opt.capacity = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--drop") {
+      const std::string which = value();
+      if (which == "tail") {
+        opt.drop = net::DropPolicy::kTailDrop;
+      } else if (which == "pushout") {
+        opt.drop = net::DropPolicy::kPushOutLow;
+      } else {
+        throw std::invalid_argument("--drop must be tail or pushout");
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      throw std::invalid_argument("help");
+    } else {
+      throw std::invalid_argument("unknown flag " + flag);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_options(argc, argv);
+  } catch (const std::exception& e) {
+    if (std::string(e.what()) != "help") {
+      std::cerr << "error: " << e.what() << "\n\n";
+    }
+    std::cerr << "usage: sweep_cli [--shape 8x8] [--schemes a,b] "
+                 "[--rho lo:hi:step] [--bcast-frac F]\n"
+                 "                 [--length SPEC] [--warmup T] [--measure T] "
+                 "[--seed N] [--reps N] [--tails]\n";
+    return 2;
+  }
+
+  std::cout << "sweep: " << opt.shape.to_string() << ", bcast-frac "
+            << opt.broadcast_fraction << ", seed " << opt.seed << ", reps "
+            << opt.reps << "\n\n";
+
+  std::vector<std::string> header{"rho", "scheme", "reception", "broadcast",
+                                  "unicast", "util-max"};
+  if (opt.reps > 1) header.push_back("recep-sd");
+  if (opt.tails) {
+    header.push_back("recep-p95");
+    header.push_back("recep-p99");
+  }
+  harness::Table table(header);
+
+  for (double rho : opt.rhos) {
+    for (const core::Scheme& scheme : opt.schemes) {
+      harness::ExperimentSpec spec;
+      spec.shape = opt.shape;
+      spec.scheme = scheme;
+      spec.rho = rho;
+      spec.broadcast_fraction = opt.broadcast_fraction;
+      spec.length = opt.length;
+      spec.warmup = opt.warmup;
+      spec.measure = opt.measure;
+      spec.seed = opt.seed;
+      spec.record_histograms = opt.tails;
+      spec.mesh = opt.mesh;
+      spec.batch_size = opt.batch;
+      spec.hotspot_fraction = opt.hotspot_fraction;
+      spec.hotspot_node = opt.hotspot_node;
+      spec.queue_capacity = opt.capacity;
+      spec.drop_policy = opt.drop;
+
+      std::vector<std::string> row{harness::fmt(rho, 2), scheme.name};
+      if (opt.reps > 1) {
+        const auto agg = harness::run_replicated(spec, opt.reps);
+        if (agg.stable_runs == 0) {
+          row.insert(row.end(), {"unstable", "-", "-", "-", "-"});
+          if (opt.tails) row.insert(row.end(), {"-", "-"});
+          table.add_row(std::move(row));
+          continue;
+        }
+        const auto& first = agg.runs.front();
+        row.push_back(harness::fmt(agg.reception_delay_mean, 2));
+        row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
+        row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
+        row.push_back(harness::fmt(first.utilization_max, 3));
+        row.push_back(harness::fmt(agg.reception_delay_sd, 3));
+        if (opt.tails) {
+          row.push_back(harness::fmt(first.reception_p95, 1));
+          row.push_back(harness::fmt(first.reception_p99, 1));
+        }
+      } else {
+        const auto r = harness::run_experiment(spec);
+        if (r.unstable || r.saturated) {
+          row.insert(row.end(), {"unstable", "-", "-", "-"});
+          if (opt.tails) row.insert(row.end(), {"-", "-"});
+          table.add_row(std::move(row));
+          continue;
+        }
+        row.push_back(harness::fmt(r.reception_delay_mean, 2));
+        row.push_back(harness::fmt(r.broadcast_delay_mean, 2));
+        row.push_back(harness::fmt(r.unicast_delay_mean, 2));
+        row.push_back(harness::fmt(r.utilization_max, 3));
+        if (opt.tails) {
+          row.push_back(harness::fmt(r.reception_p95, 1));
+          row.push_back(harness::fmt(r.reception_p99, 1));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,sweep");
+  return 0;
+}

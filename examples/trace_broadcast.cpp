@@ -1,0 +1,126 @@
+// Observer API demo: traces every transmission of one tagged broadcast
+// while background traffic loads the network, printing a timeline that
+// makes the priority mechanism visible -- tree (HIGH) hops clear the
+// network almost immediately; ending-dimension (LOW) hops queue behind
+// the bulk.
+//
+//   $ ./trace_broadcast [rho]
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/net/observer.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace {
+
+using namespace pstar;
+
+/// Records the transmissions of one task of interest.
+class TaskTracer : public net::Observer {
+ public:
+  void watch(net::TaskId task) { watched_ = task; }
+
+  void on_transmission(net::TaskId task, const net::Copy& copy,
+                       topo::NodeId from, topo::NodeId to, std::int32_t dim,
+                       topo::Dir dir, double start, double end) override {
+    if (task != watched_) return;
+    rows_.push_back({copy.prio, from, to, dim, dir, start, end});
+  }
+
+  void on_task_completed(net::TaskId task, const net::Task&,
+                         double time) override {
+    if (task != watched_) return;
+    completed_at_ = time;
+    // Task ids are recycled slot indices: disarm so a later task reusing
+    // this slot is not traced.
+    watched_ = static_cast<net::TaskId>(-1);
+  }
+
+  struct Row {
+    net::Priority prio;
+    topo::NodeId from, to;
+    std::int32_t dim;
+    topo::Dir dir;
+    double start, end;
+  };
+  const std::vector<Row>& rows() const { return rows_; }
+  double completed_at() const { return completed_at_; }
+
+ private:
+  net::TaskId watched_ = static_cast<net::TaskId>(-1);
+  std::vector<Row> rows_;
+  double completed_at_ = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double rho = argc > 1 ? std::atof(argv[1]) : 0.9;
+  const topo::Shape shape{8, 8};
+  const topo::Torus torus(shape);
+
+  sim::Rng rng(7777);
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  TaskTracer tracer;
+  engine.set_observer(&tracer);
+
+  // Background broadcast load at the requested rho.
+  const auto rates = queueing::rates_for_rho(torus, rho, 1.0);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = rates.lambda_b;
+  cfg.stop_time = 600.0;
+  traffic::Workload workload(sim, engine, rng, cfg);
+  workload.start();
+
+  // Let queues reach steady state, then inject the tagged broadcast.
+  double created_at = 0.0;
+  sim.at(500.0, [&](sim::Simulator&) {
+    created_at = sim.now();
+    const net::TaskId id =
+        engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+    tracer.watch(id);
+  });
+  sim.run();
+
+  std::cout << "One broadcast traced on an " << shape.to_string()
+            << " torus under rho = " << rho << " background load\n";
+  std::cout << "created t=" << created_at << ", completed t="
+            << tracer.completed_at() << "  (broadcast delay "
+            << harness::fmt(tracer.completed_at() - created_at, 2) << ")\n\n";
+
+  harness::Table table({"t-depart", "t-arrive", "class", "hop"});
+  int high_n = 0, low_n = 0;
+  double last_high = 0.0, last_low = 0.0;
+  for (const auto& r : tracer.rows()) {
+    const bool low = r.prio == net::Priority::kLow;
+    (low ? low_n : high_n) += 1;
+    (low ? last_low : last_high) =
+        std::max(low ? last_low : last_high, r.end - created_at);
+    table.add_row({harness::fmt(r.start - created_at, 2),
+                   harness::fmt(r.end - created_at, 2),
+                   low ? "LOW" : "HIGH",
+                   std::to_string(r.from) + "->" + std::to_string(r.to) +
+                       " d" + std::to_string(r.dim) +
+                       (r.dir == topo::Dir::kPlus ? "+" : "-")});
+  }
+  table.print(std::cout);
+  std::cout << "\nlast HIGH hop arrived at t+" << harness::fmt(last_high, 2)
+            << "; last LOW hop at t+" << harness::fmt(last_low, 2) << "\n";
+  std::cout << "\n" << high_n << " HIGH hops, " << low_n
+            << " LOW hops (the paper's 1/n vs 1-1/n split: expect ~"
+            << harness::fmt(100.0 / 8.0, 0) << "% HIGH on an 8-ring)\n";
+  std::cout << "Note how HIGH hops depart almost back-to-back while LOW "
+               "(ending-dimension)\nhops spread out: they queue behind "
+               "other broadcasts' bulk traffic.\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file policy_factory.hpp
+/// Builds the engine RoutingPolicy realizing a Scheme on a torus.
+
+#include <memory>
+
+#include "pstar/core/scheme.hpp"
+#include "pstar/routing/combined.hpp"
+
+namespace pstar::core {
+
+/// Instantiates the combined broadcast+unicast policy for `scheme`,
+/// balancing against traffic rates (lambda_b, lambda_r).  The torus must
+/// outlive the returned policy.  Pass lambda rates in packets per node per
+/// unit time; only their ratio matters for balancing.
+std::unique_ptr<routing::CombinedPolicy> make_policy(const topo::Torus& torus,
+                                                     const Scheme& scheme,
+                                                     double lambda_b,
+                                                     double lambda_r);
+
+}  // namespace pstar::core

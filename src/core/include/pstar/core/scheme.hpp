@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file scheme.hpp
+/// Named routing schemes: the paper's priority STAR and the baselines it
+/// is evaluated against.  A Scheme bundles the three independent choices
+/// that define a routing configuration:
+///   - how the ending-dimension probability vector x is obtained
+///     (balanced via Eq. (2)/(4), uniform, or a fixed dimension order);
+///   - the priority discipline (FCFS, two-class, three-class);
+///   - the unicast dimension traversal order.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pstar/routing/priorities.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/routing/unicast.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::core {
+
+/// How the ending-dimension distribution is chosen.
+enum class Balancing {
+  kBalanced,    ///< solve Eq. (2) (broadcast only) / Eq. (4) (heterogeneous)
+  kSeparate,    ///< Eq. (2) always: broadcast balanced for itself, ignoring
+                ///< unicast load ("previous methods" of Section 1, which
+                ///< treat the two traffic types separately)
+  kUniform,     ///< x_i = 1/d regardless of shape (the FCFS-direct baseline)
+  kFixedOrder,  ///< always the same ending dimension (dimension ordering)
+};
+
+/// Fully resolved routing configuration.
+struct Scheme {
+  std::string name;
+  Balancing balancing = Balancing::kBalanced;
+  routing::Discipline discipline = routing::Discipline::kTwoClass;
+  routing::DimOrder unicast_order = routing::DimOrder::kAscending;
+  /// Ending dimension for Balancing::kFixedOrder (0-based; d-1 yields the
+  /// classical order 0, 1, ..., d-1).
+  std::int32_t fixed_ending_dim = -1;
+
+  /// The paper's contribution: balanced probabilities + priority classes.
+  static Scheme priority_star();
+
+  /// Priority STAR with the three-class refinement of Section 4's last
+  /// paragraph (unicast at medium priority).
+  static Scheme priority_star_three_class();
+
+  /// Balanced STAR probabilities but FCFS queues: isolates the effect of
+  /// the priority discipline (ablation).
+  static Scheme star_fcfs();
+
+  /// The "previous methods" baseline of Section 1: broadcast balanced for
+  /// broadcast traffic alone (Eq. (2)), unicast routed independently.  On
+  /// the n1 = ... = n_{d-1} = n_d/2 family with a 50/50 load split its
+  /// maximum throughput is 2(d+1)/(3d+1), approaching the paper's 0.67.
+  static Scheme separate_star();
+
+  /// FCFS generalization of the direct scheme of Stamoulis & Tsitsiklis
+  /// [12]: uniform tree choice, single service class.  This is the
+  /// comparison curve in the paper's Figs. 2-7.
+  static Scheme fcfs_direct();
+
+  /// Uniform tree choice with priority classes (ablation: priority
+  /// without balancing).
+  static Scheme priority_direct();
+
+  /// Static dimension-ordered broadcasting run dynamically: the scheme
+  /// whose maximum throughput collapses to 2/d in hypercubes (Section 2).
+  static Scheme fixed_order(std::int32_t ending_dim = -1);
+
+  /// Resolves the ending-dimension probability vector for a concrete
+  /// torus and traffic mix (rates are per node per unit time, already in
+  /// transmission-time units).
+  routing::StarProbabilities probabilities(const topo::Torus& torus,
+                                           double lambda_b,
+                                           double lambda_r) const;
+
+  /// Every registered preset, in a stable order.
+  static std::vector<Scheme> all();
+
+  /// Looks a preset up by its name (e.g. "priority-STAR", "FCFS-direct");
+  /// returns std::nullopt for unknown names.
+  static std::optional<Scheme> by_name(const std::string& name);
+};
+
+}  // namespace pstar::core

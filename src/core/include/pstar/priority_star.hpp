@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file priority_star.hpp
+/// Umbrella header for the priority STAR library: a reproduction of
+/// Yeh, Varvarigos & Eshoul, "A Priority-based Balanced Routing Scheme
+/// for Random Broadcasting and Routing in Tori" (ICPP 2003).
+///
+/// Typical use (see examples/quickstart.cpp):
+///
+///   pstar::topo::Torus torus(pstar::topo::Shape{8, 8});
+///   auto scheme = pstar::core::Scheme::priority_star();
+///   auto result = pstar::harness::run_experiment(...);
+///
+/// Layering (each header is also usable on its own):
+///   sim       - discrete-event loop, RNG
+///   linalg    - dense solves for the balance equations
+///   topology  - torus shapes, rings, links
+///   queueing  - Section 2 throughput/delay formulas
+///   stats     - streaming statistics
+///   net       - store-and-forward engine with priority queues
+///   traffic   - Poisson broadcast/unicast workloads
+///   routing   - SDC/STAR broadcast, shortest-path unicast, Eq. (2)/(4)
+///   core      - named schemes and the policy factory
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/core/scheme.hpp"
+#include "pstar/linalg/matrix.hpp"
+#include "pstar/linalg/solve.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/net/packet.hpp"
+#include "pstar/net/policy.hpp"
+#include "pstar/queueing/gd1.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/routing/priorities.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/routing/unicast.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/stats/histogram.hpp"
+#include "pstar/stats/running.hpp"
+#include "pstar/stats/time_weighted.hpp"
+#include "pstar/topology/ring.hpp"
+#include "pstar/topology/shape.hpp"
+#include "pstar/topology/torus.hpp"
+#include "pstar/traffic/length.hpp"
+#include "pstar/traffic/workload.hpp"

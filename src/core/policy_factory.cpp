@@ -1,0 +1,33 @@
+#include "pstar/core/policy_factory.hpp"
+
+namespace pstar::core {
+
+std::unique_ptr<routing::CombinedPolicy> make_policy(const topo::Torus& torus,
+                                                     const Scheme& scheme,
+                                                     double lambda_b,
+                                                     double lambda_r) {
+  const routing::PriorityMap prios = routing::priority_map(scheme.discipline);
+  const routing::StarProbabilities probs =
+      scheme.probabilities(torus, lambda_b, lambda_r);
+
+  routing::SdcBroadcastConfig bcast_cfg;
+  bcast_cfg.ending_probabilities = probs.x;
+  bcast_cfg.priorities = prios;
+  auto broadcast =
+      std::make_unique<routing::SdcBroadcastPolicy>(torus, bcast_cfg);
+
+  routing::UnicastConfig uni_cfg;
+  uni_cfg.priority = prios.unicast;
+  uni_cfg.order = scheme.unicast_order;
+  auto unicast = std::make_unique<routing::UnicastPolicy>(torus, uni_cfg);
+
+  routing::MulticastConfig mcast_cfg;
+  mcast_cfg.ending_probabilities = probs.x;
+  mcast_cfg.priorities = prios;
+  auto multicast = std::make_unique<routing::MulticastPolicy>(torus, mcast_cfg);
+
+  return std::make_unique<routing::CombinedPolicy>(
+      std::move(broadcast), std::move(unicast), std::move(multicast));
+}
+
+}  // namespace pstar::core

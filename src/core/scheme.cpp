@@ -1,0 +1,94 @@
+#include "pstar/core/scheme.hpp"
+
+namespace pstar::core {
+
+Scheme Scheme::priority_star() {
+  Scheme s;
+  s.name = "priority-STAR";
+  s.balancing = Balancing::kBalanced;
+  s.discipline = routing::Discipline::kTwoClass;
+  return s;
+}
+
+Scheme Scheme::priority_star_three_class() {
+  Scheme s;
+  s.name = "priority-STAR-3c";
+  s.balancing = Balancing::kBalanced;
+  s.discipline = routing::Discipline::kThreeClass;
+  return s;
+}
+
+Scheme Scheme::star_fcfs() {
+  Scheme s;
+  s.name = "STAR-FCFS";
+  s.balancing = Balancing::kBalanced;
+  s.discipline = routing::Discipline::kFcfs;
+  return s;
+}
+
+Scheme Scheme::separate_star() {
+  Scheme s;
+  s.name = "separate-STAR";
+  s.balancing = Balancing::kSeparate;
+  s.discipline = routing::Discipline::kTwoClass;
+  return s;
+}
+
+Scheme Scheme::fcfs_direct() {
+  Scheme s;
+  s.name = "FCFS-direct";
+  s.balancing = Balancing::kUniform;
+  s.discipline = routing::Discipline::kFcfs;
+  return s;
+}
+
+Scheme Scheme::priority_direct() {
+  Scheme s;
+  s.name = "priority-direct";
+  s.balancing = Balancing::kUniform;
+  s.discipline = routing::Discipline::kTwoClass;
+  return s;
+}
+
+Scheme Scheme::fixed_order(std::int32_t ending_dim) {
+  Scheme s;
+  s.name = "dim-order";
+  s.balancing = Balancing::kFixedOrder;
+  s.discipline = routing::Discipline::kFcfs;
+  s.fixed_ending_dim = ending_dim;
+  return s;
+}
+
+std::vector<Scheme> Scheme::all() {
+  return {priority_star(),  priority_star_three_class(), star_fcfs(),
+          separate_star(),  priority_direct(),           fcfs_direct(),
+          fixed_order()};
+}
+
+std::optional<Scheme> Scheme::by_name(const std::string& name) {
+  for (Scheme& s : all()) {
+    if (s.name == name) return std::move(s);
+  }
+  return std::nullopt;
+}
+
+routing::StarProbabilities Scheme::probabilities(const topo::Torus& torus,
+                                                 double lambda_b,
+                                                 double lambda_r) const {
+  switch (balancing) {
+    case Balancing::kBalanced:
+      return routing::heterogeneous_probabilities(torus, lambda_b, lambda_r);
+    case Balancing::kSeparate:
+      return routing::star_probabilities(torus);
+    case Balancing::kUniform:
+      return routing::uniform_probabilities(torus.dims());
+    case Balancing::kFixedOrder: {
+      const std::int32_t dim =
+          fixed_ending_dim >= 0 ? fixed_ending_dim : torus.dims() - 1;
+      return routing::fixed_probabilities(torus.dims(), dim);
+    }
+  }
+  return routing::uniform_probabilities(torus.dims());
+}
+
+}  // namespace pstar::core

@@ -1,0 +1,121 @@
+#include "pstar/harness/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pstar::harness {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_double(const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not a number: '" + text + "'");
+  }
+  if (used != text.size()) {
+    throw std::invalid_argument("trailing junk in number: '" + text + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_int(const std::string& text) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not an integer: '" + text + "'");
+  }
+  if (used != text.size()) {
+    throw std::invalid_argument("trailing junk in integer: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+topo::Shape parse_shape(const std::string& text) {
+  std::vector<std::int32_t> sizes;
+  for (const std::string& part : split(text, 'x')) {
+    if (part.empty()) throw std::invalid_argument("bad shape: '" + text + "'");
+    const std::int64_t v = parse_int(part);
+    if (v < 1 || v > 1'000'000) {
+      throw std::invalid_argument("bad dimension size in shape: '" + text + "'");
+    }
+    sizes.push_back(static_cast<std::int32_t>(v));
+  }
+  return topo::Shape(std::move(sizes));
+}
+
+std::vector<double> parse_sweep(const std::string& text) {
+  if (text.find(':') != std::string::npos) {
+    const auto parts = split(text, ':');
+    if (parts.size() != 3) {
+      throw std::invalid_argument("sweep must be lo:hi:step, got '" + text + "'");
+    }
+    const double lo = parse_double(parts[0]);
+    const double hi = parse_double(parts[1]);
+    const double step = parse_double(parts[2]);
+    if (step <= 0.0 || hi < lo) {
+      throw std::invalid_argument("bad sweep bounds: '" + text + "'");
+    }
+    std::vector<double> out;
+    for (double v = lo; v <= hi + step * 1e-9; v += step) out.push_back(v);
+    return out;
+  }
+  std::vector<double> out;
+  for (const std::string& part : split(text, ',')) {
+    out.push_back(parse_double(part));
+  }
+  return out;
+}
+
+traffic::LengthDist parse_length(const std::string& text) {
+  const auto parts = split(text, ':');
+  const std::string& kind = parts[0];
+  if (kind == "unit" && parts.size() == 1) return traffic::LengthDist::unit();
+  if (kind == "fixed" && parts.size() == 2) {
+    return traffic::LengthDist::fixed_of(
+        static_cast<std::uint32_t>(parse_int(parts[1])));
+  }
+  if (kind == "geom" && parts.size() == 2) {
+    return traffic::LengthDist::geometric(parse_double(parts[1]));
+  }
+  if (kind == "bimodal" && parts.size() == 4) {
+    return traffic::LengthDist::bimodal(
+        static_cast<std::uint32_t>(parse_int(parts[1])),
+        static_cast<std::uint32_t>(parse_int(parts[2])),
+        parse_double(parts[3]));
+  }
+  throw std::invalid_argument(
+      "length must be unit | fixed:L | geom:MEAN | bimodal:S:L:P, got '" +
+      text + "'");
+}
+
+core::Scheme parse_scheme(const std::string& text) {
+  if (auto scheme = core::Scheme::by_name(text)) return *scheme;
+  std::string known;
+  for (const core::Scheme& s : core::Scheme::all()) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw std::invalid_argument("unknown scheme '" + text + "'; known: " + known);
+}
+
+}  // namespace pstar::harness

@@ -1,0 +1,202 @@
+#include "pstar/harness/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::harness {
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  if (spec.warmup < 0.0 || spec.measure <= 0.0) {
+    throw std::invalid_argument("run_experiment: bad time windows");
+  }
+  const topo::Torus torus =
+      spec.mesh ? topo::Torus::mesh(spec.shape)
+                : topo::Torus(spec.shape, spec.wraparound);
+  sim::Rng rng(spec.seed);
+
+  if (spec.broadcast_fraction + spec.multicast_fraction > 1.0 + 1e-12) {
+    throw std::invalid_argument("run_experiment: traffic fractions exceed 1");
+  }
+  // Convert the target throughput factor into per-node packet rates.  A
+  // task of mean length E[L] occupies links E[L] times longer, so rates
+  // shrink by that factor to keep the load at rho.  Multicast load is
+  // carved out of the unicast share below once the expected pruned-tree
+  // size is known.
+  const double unicast_fraction = std::max(
+      0.0, 1.0 - spec.broadcast_fraction - spec.multicast_fraction);
+  const double bu = spec.broadcast_fraction + unicast_fraction;
+  queueing::Rates rates = queueing::rates_for_rho(
+      torus, spec.rho * bu,
+      bu > 0.0 ? std::min(1.0, spec.broadcast_fraction / bu) : 0.0);
+  const double mean_len = spec.length.mean();
+  rates.lambda_b /= mean_len;
+  rates.lambda_r /= mean_len;
+
+  auto policy =
+      core::make_policy(torus, spec.scheme, rates.lambda_b, rates.lambda_r);
+
+  // Multicast rate: lambda_m * E[T(group)] * N / L == multicast share of
+  // rho, with E[T] estimated from the policy's own pruned trees.
+  double lambda_m = 0.0;
+  if (spec.multicast_fraction > 0.0) {
+    sim::Rng estimate_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+    const double expected_tx = policy->multicast()->expected_transmissions(
+        spec.multicast_group, 400, estimate_rng);
+    if (expected_tx > 0.0) {
+      lambda_m = spec.multicast_fraction * spec.rho * torus.average_degree() /
+                 expected_tx / mean_len;
+    }
+  }
+  const routing::StarProbabilities probs =
+      spec.scheme.probabilities(torus, rates.lambda_b, rates.lambda_r);
+
+  sim::Simulator sim;
+  net::EngineConfig engine_cfg;
+  engine_cfg.max_inflight_copies = spec.max_inflight;
+  engine_cfg.record_histograms = spec.record_histograms;
+  engine_cfg.queue_capacity = spec.queue_capacity;
+  engine_cfg.drop_policy = spec.drop_policy;
+  net::Engine engine(sim, torus, *policy, rng, engine_cfg);
+
+  traffic::WorkloadConfig traffic_cfg;
+  traffic_cfg.lambda_broadcast = rates.lambda_b;
+  traffic_cfg.lambda_unicast = rates.lambda_r;
+  traffic_cfg.lambda_multicast = lambda_m;
+  traffic_cfg.multicast_group = spec.multicast_group;
+  traffic_cfg.length = spec.length;
+  traffic_cfg.stop_time = spec.warmup + spec.measure;
+  traffic_cfg.hotspot_fraction = spec.hotspot_fraction;
+  traffic_cfg.hotspot_node = spec.hotspot_node;
+  traffic_cfg.batch_size = spec.batch_size;
+  traffic::Workload workload(sim, engine, rng, traffic_cfg);
+
+  sim.at(spec.warmup, [&engine](sim::Simulator&) { engine.begin_measurement(); });
+  sim.at(traffic_cfg.stop_time,
+         [&engine](sim::Simulator&) { engine.end_measurement(); });
+  workload.start();
+
+  const sim::StopReason reason = sim.run(
+      std::numeric_limits<double>::infinity(), spec.max_events);
+
+  const net::Metrics& m = engine.metrics();
+  ExperimentResult r;
+  r.unstable = engine.unstable() || reason == sim::StopReason::kEventLimit ||
+               reason == sim::StopReason::kStopped;
+  r.balanced_feasible = probs.feasible;
+  r.ending_probabilities = probs.x;
+
+  r.reception_delay_mean = m.reception_delay.mean();
+  r.reception_delay_ci95 = m.reception_delay.ci95_half_width();
+  r.broadcast_delay_mean = m.broadcast_delay.mean();
+  r.broadcast_delay_ci95 = m.broadcast_delay.ci95_half_width();
+  r.unicast_delay_mean = m.unicast_delay.mean();
+  r.unicast_delay_ci95 = m.unicast_delay.ci95_half_width();
+  r.unicast_hops_mean = m.unicast_hops.mean();
+  r.multicast_reception_delay_mean = m.multicast_reception_delay.mean();
+  r.multicast_delay_mean = m.multicast_delay.mean();
+  r.multicast_delay_ci95 = m.multicast_delay.ci95_half_width();
+  r.measured_multicasts = m.multicast_delay.count();
+  if (m.reception_delay_hist) {
+    r.reception_p50 = m.reception_delay_hist->quantile(0.50);
+    r.reception_p95 = m.reception_delay_hist->quantile(0.95);
+    r.reception_p99 = m.reception_delay_hist->quantile(0.99);
+  }
+  if (m.broadcast_delay_hist) {
+    r.broadcast_p95 = m.broadcast_delay_hist->quantile(0.95);
+  }
+  if (m.unicast_delay_hist) {
+    r.unicast_p95 = m.unicast_delay_hist->quantile(0.95);
+    r.unicast_p99 = m.unicast_delay_hist->quantile(0.99);
+  }
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    r.wait_mean[c] = m.wait_by_class[c].mean();
+    r.wait_count[c] = m.wait_by_class[c].count();
+  }
+  r.utilization_mean = m.mean_utilization();
+  r.utilization_max = m.max_utilization();
+  r.utilization_cv = m.utilization_cv();
+  // Per-dimension mean utilization (balance diagnostics).
+  const double window = m.measure_end - m.measure_start;
+  r.utilization_by_dim.assign(static_cast<std::size_t>(torus.dims()), 0.0);
+  if (window > 0.0) {
+    std::vector<std::int64_t> links_in_dim(
+        static_cast<std::size_t>(torus.dims()), 0);
+    for (topo::LinkId id = 0; id < torus.link_count(); ++id) {
+      const auto dim = static_cast<std::size_t>(torus.info(id).dim);
+      r.utilization_by_dim[dim] +=
+          m.link_busy_time[static_cast<std::size_t>(id)] / window;
+      ++links_in_dim[dim];
+    }
+    for (std::size_t dim = 0; dim < r.utilization_by_dim.size(); ++dim) {
+      if (links_in_dim[dim] > 0) {
+        r.utilization_by_dim[dim] /= static_cast<double>(links_in_dim[dim]);
+      }
+    }
+  }
+  r.inflight_at_end = m.inflight_copies_at_end;
+  // Saturation: some link had (essentially) zero idle time across the
+  // whole measurement window.  A stable queue at rho <= 0.95 idles ~5% of
+  // the time, so the probability of zero idle over a >= 1000-unit window
+  // is negligible; a link whose offered load exceeds capacity never
+  // idles once its backlog forms.
+  r.saturated = r.unstable || m.max_utilization() > 0.999;
+  r.concurrent_broadcasts = m.inflight_broadcast_tasks.mean();
+  r.concurrent_unicasts = m.inflight_unicast_tasks.mean();
+  r.queue_occupancy_mean = m.inflight_copies.mean();
+  r.queue_occupancy_max = m.inflight_copies.max();
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    r.drops_by_class[c] = m.drops_by_class[c];
+    r.drops += m.drops_by_class[c];
+  }
+  r.lost_receptions = m.lost_receptions;
+  r.failed_broadcasts = m.failed_broadcasts;
+  r.failed_unicasts = m.failed_unicasts;
+  if (m.lost_receptions > 0) {
+    const double delivered = static_cast<double>(m.broadcast_receptions);
+    r.delivered_fraction =
+        delivered / (delivered + static_cast<double>(m.lost_receptions));
+  }
+  r.measured_broadcasts = m.broadcast_delay.count();
+  r.measured_unicasts = m.unicast_delay.count();
+  r.transmissions = m.transmissions;
+  r.sim_end_time = sim.now();
+  return r;
+}
+
+ReplicatedResult run_replicated(ExperimentSpec spec,
+                                std::size_t replications) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_replicated: need at least one run");
+  }
+  ReplicatedResult agg;
+  agg.runs.reserve(replications);
+  stats::RunningStat reception, broadcast, unicast;
+  for (std::size_t i = 0; i < replications; ++i) {
+    agg.runs.push_back(run_experiment(spec));
+    const ExperimentResult& r = agg.runs.back();
+    if (r.unstable || r.saturated) {
+      agg.any_unstable = true;
+    } else {
+      ++agg.stable_runs;
+      reception.add(r.reception_delay_mean);
+      broadcast.add(r.broadcast_delay_mean);
+      unicast.add(r.unicast_delay_mean);
+    }
+    ++spec.seed;
+  }
+  agg.reception_delay_mean = reception.mean();
+  agg.reception_delay_sd = reception.stddev();
+  agg.broadcast_delay_mean = broadcast.mean();
+  agg.broadcast_delay_sd = broadcast.stddev();
+  agg.unicast_delay_mean = unicast.mean();
+  agg.unicast_delay_sd = unicast.stddev();
+  return agg;
+}
+
+}  // namespace pstar::harness

@@ -1,0 +1,133 @@
+#include "pstar/harness/figure.hpp"
+
+#include <ostream>
+
+#include "pstar/harness/table.hpp"
+#include "pstar/queueing/delay_model.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::harness {
+
+std::vector<double> default_rho_sweep() {
+  return {0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95};
+}
+
+double metric_value(FigureMetric metric, const ExperimentResult& result) {
+  switch (metric) {
+    case FigureMetric::kReceptionDelay:
+      return result.reception_delay_mean;
+    case FigureMetric::kBroadcastDelay:
+      return result.broadcast_delay_mean;
+    case FigureMetric::kUnicastDelay:
+      return result.unicast_delay_mean;
+  }
+  return 0.0;
+}
+
+namespace {
+
+double metric_ci(FigureMetric metric, const ExperimentResult& result) {
+  switch (metric) {
+    case FigureMetric::kReceptionDelay:
+      return result.reception_delay_ci95;
+    case FigureMetric::kBroadcastDelay:
+      return result.broadcast_delay_ci95;
+    case FigureMetric::kUnicastDelay:
+      return result.unicast_delay_ci95;
+  }
+  return 0.0;
+}
+
+const char* metric_name(FigureMetric metric) {
+  switch (metric) {
+    case FigureMetric::kReceptionDelay:
+      return "avg reception delay";
+    case FigureMetric::kBroadcastDelay:
+      return "avg broadcast delay";
+    case FigureMetric::kUnicastDelay:
+      return "avg unicast delay";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
+                                         std::ostream& os) {
+  const topo::Torus torus(spec.shape);
+
+  os << "== " << spec.id << ": " << spec.title << " ==\n";
+  os << "torus " << spec.shape.to_string() << "  (" << torus.node_count()
+     << " nodes, " << torus.link_count() << " directed links)  metric: "
+     << metric_name(spec.metric) << "  seed " << spec.seed << "\n";
+  if (spec.broadcast_fraction < 1.0) {
+    os << "broadcast fraction of load: " << fmt(spec.broadcast_fraction, 2)
+       << "\n";
+  }
+  os << "\n";
+
+  const bool with_model = spec.show_model &&
+                          spec.metric == FigureMetric::kReceptionDelay &&
+                          spec.broadcast_fraction >= 1.0;
+  const std::vector<double> star_x =
+      with_model ? routing::star_probabilities(torus).x : std::vector<double>{};
+
+  std::vector<std::string> header{"rho"};
+  for (const auto& scheme : spec.schemes) {
+    header.push_back(scheme.name);
+    header.push_back("+-95%");
+  }
+  if (spec.show_lower_bound) header.push_back("bound d+1/(1-rho)");
+  if (with_model) {
+    header.push_back("model-prio");
+    header.push_back("model-fcfs");
+  }
+  Table table(header);
+
+  std::vector<ExperimentResult> all;
+  all.reserve(spec.rhos.size() * spec.schemes.size());
+
+  for (double rho : spec.rhos) {
+    std::vector<std::string> row{fmt(rho, 2)};
+    for (const auto& scheme : spec.schemes) {
+      ExperimentSpec point;
+      point.shape = spec.shape;
+      point.scheme = scheme;
+      point.rho = rho;
+      point.broadcast_fraction = spec.broadcast_fraction;
+      point.length = spec.length;
+      point.warmup = spec.warmup;
+      point.measure = spec.measure;
+      point.seed = spec.seed;
+      ExperimentResult result = run_experiment(point);
+      all.push_back(result);
+      if (result.unstable || result.saturated) {
+        row.push_back("unstable");
+        row.push_back("-");
+      } else {
+        row.push_back(fmt(metric_value(spec.metric, result), 2));
+        row.push_back(fmt(metric_ci(spec.metric, result), 2));
+      }
+    }
+    if (spec.show_lower_bound) {
+      row.push_back(
+          fmt(queueing::oblivious_lower_bound(torus.dims(), rho), 2));
+    }
+    if (with_model) {
+      row.push_back(fmt(
+          queueing::predict_priority_reception_delay(torus, star_x, rho), 2));
+      row.push_back(fmt(queueing::predict_fcfs_reception_delay(torus, rho), 2));
+    }
+    table.add_row(std::move(row));
+  }
+
+  table.print(os);
+  os << "\n";
+  table.print_csv(os, "CSV," + spec.id);
+  os << "\n";
+  return all;
+}
+
+}  // namespace pstar::harness

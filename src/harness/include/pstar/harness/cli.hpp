@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file cli.hpp
+/// Small argument-parsing helpers for the example/bench executables:
+/// torus shapes ("4x4x8"), rho sweeps ("0.1:0.9:0.1" or "0.5,0.7,0.9"),
+/// packet-length specs ("unit", "fixed:3", "geom:4.0",
+/// "bimodal:1:16:0.1"), and scheme names.  All parsers throw
+/// std::invalid_argument with a message naming the offending input.
+
+#include <string>
+#include <vector>
+
+#include "pstar/core/scheme.hpp"
+#include "pstar/topology/shape.hpp"
+#include "pstar/traffic/length.hpp"
+
+namespace pstar::harness {
+
+/// "8x8x8" -> Shape{8, 8, 8}.  Also accepts a single number ("16").
+topo::Shape parse_shape(const std::string& text);
+
+/// "0.1:0.9:0.2" -> {0.1, 0.3, 0.5, 0.7, 0.9} (inclusive endpoints,
+/// tolerant of floating-point accumulation); "0.5,0.8" -> {0.5, 0.8};
+/// a single number -> one-element vector.
+std::vector<double> parse_sweep(const std::string& text);
+
+/// "unit" | "fixed:L" | "geom:MEAN" | "bimodal:SHORT:LONG:PROB".
+traffic::LengthDist parse_length(const std::string& text);
+
+/// Scheme preset by name; throws listing the registry on failure.
+core::Scheme parse_scheme(const std::string& text);
+
+}  // namespace pstar::harness

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file experiment.hpp
+/// End-to-end experiment runner: topology + scheme + load -> metrics.
+///
+/// One call of run_experiment simulates a warmup window followed by a
+/// measurement window; generation then stops and in-flight traffic drains
+/// so that every measured task's delay is observed (no completion
+/// censoring at high load).  Runs are deterministic given the seed.
+
+#include <cstdint>
+#include <string>
+
+#include "pstar/core/scheme.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/topology/shape.hpp"
+#include "pstar/traffic/length.hpp"
+
+namespace pstar::harness {
+
+/// Everything needed to reproduce one simulation point.
+struct ExperimentSpec {
+  topo::Shape shape{8, 8};
+
+  /// Per-dimension wraparound (empty = all wrap = torus); `mesh = true`
+  /// overrides it to no wraparound anywhere (Section 2's mesh model).
+  std::vector<bool> wraparound;
+  bool mesh = false;
+
+  core::Scheme scheme = core::Scheme::priority_star();
+
+  /// Target throughput factor (Section 2 definition, computed with exact
+  /// ring means).  Values >= the scheme's maximum throughput leave the
+  /// run flagged unstable.
+  double rho = 0.5;
+
+  /// Fraction of the offered LOAD contributed by broadcast traffic
+  /// (1.0 = broadcast only, 0.0 = unicast only).
+  double broadcast_fraction = 1.0;
+
+  /// Fraction of the offered LOAD contributed by multicast traffic; the
+  /// remainder (1 - broadcast_fraction - multicast_fraction) is unicast.
+  /// Multicast arrival rates are calibrated with a Monte-Carlo estimate
+  /// of the pruned-tree transmission count for the given group size.
+  double multicast_fraction = 0.0;
+  std::int32_t multicast_group = 4;
+
+  traffic::LengthDist length = traffic::LengthDist::unit();
+
+  double warmup = 1000.0;   ///< time units discarded before measuring
+  double measure = 3000.0;  ///< measured generation window
+
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 200'000'000;      ///< simulator event budget
+  std::uint64_t max_inflight = 2'000'000;      ///< instability guard
+
+  /// When true, delay quantiles (p50/p95/p99) are recorded in addition to
+  /// means, at a small memory cost.
+  bool record_histograms = false;
+
+  /// Finite per-link queue capacity (0 = unbounded, the paper's model)
+  /// and the policy applied when a queue is full.
+  std::uint32_t queue_capacity = 0;
+  net::DropPolicy drop_policy = net::DropPolicy::kTailDrop;
+
+  /// Source skew: fraction of tasks originating at hotspot_node instead
+  /// of a uniform node (0 = the paper's uniform model).
+  double hotspot_fraction = 0.0;
+  topo::NodeId hotspot_node = 0;
+
+  /// Tasks per arrival epoch (compound Poisson; 1 = the paper's model).
+  std::uint32_t batch_size = 1;
+};
+
+/// Summary of one run.
+struct ExperimentResult {
+  // Broadcast metrics (time units).
+  double reception_delay_mean = 0.0;
+  double reception_delay_ci95 = 0.0;
+  double broadcast_delay_mean = 0.0;
+  double broadcast_delay_ci95 = 0.0;
+
+  // Unicast metrics.
+  double unicast_delay_mean = 0.0;
+  double unicast_delay_ci95 = 0.0;
+  double unicast_hops_mean = 0.0;
+
+  // Multicast metrics (populated when multicast_fraction > 0).
+  double multicast_reception_delay_mean = 0.0;
+  double multicast_delay_mean = 0.0;
+  double multicast_delay_ci95 = 0.0;
+
+  // Delay quantiles (only populated when spec.record_histograms).
+  double reception_p50 = 0.0;
+  double reception_p95 = 0.0;
+  double reception_p99 = 0.0;
+  double broadcast_p95 = 0.0;
+  double unicast_p95 = 0.0;
+  double unicast_p99 = 0.0;
+
+  // Queueing behaviour.
+  double wait_mean[net::kPriorityClasses] = {0.0, 0.0, 0.0};
+  std::uint64_t wait_count[net::kPriorityClasses] = {0, 0, 0};
+
+  // Link-load balance over the measurement window.
+  double utilization_mean = 0.0;
+  double utilization_max = 0.0;
+  double utilization_cv = 0.0;
+  /// Mean utilization of the links of each dimension (size = dims).
+  std::vector<double> utilization_by_dim;
+
+  // Concurrency (Fig. 8).
+  double concurrent_broadcasts = 0.0;
+  double concurrent_unicasts = 0.0;
+  /// Time-weighted mean copies in flight (queued + in service) over the
+  /// measurement window -- total buffered work in the network.
+  double queue_occupancy_mean = 0.0;
+  double queue_occupancy_max = 0.0;
+
+  // Finite-buffer losses (zero with unbounded queues).
+  std::uint64_t drops = 0;              ///< copies dropped, all classes
+  std::uint64_t drops_by_class[net::kPriorityClasses] = {0, 0, 0};
+  std::uint64_t lost_receptions = 0;    ///< broadcast receptions orphaned
+  std::uint64_t failed_broadcasts = 0;
+  std::uint64_t failed_unicasts = 0;
+  /// Fraction of broadcast receptions actually delivered:
+  /// delivered / (delivered + lost); 1.0 when nothing was dropped.
+  double delivered_fraction = 1.0;
+
+  // Bookkeeping.
+  std::uint64_t measured_broadcasts = 0;
+  std::uint64_t measured_unicasts = 0;
+  std::uint64_t measured_multicasts = 0;
+  std::uint64_t transmissions = 0;
+  double sim_end_time = 0.0;
+  bool unstable = false;
+  /// The offered load exceeded the scheme's maximum throughput: either
+  /// the in-flight guard tripped, or the hottest link ran at ~100%
+  /// utilization with a large backlog left when generation stopped.
+  bool saturated = false;
+  std::uint64_t inflight_at_end = 0;
+  bool balanced_feasible = true;  ///< Eq. (4) solution was inside [0,1]^d
+
+  /// The probability vector the scheme actually used.
+  std::vector<double> ending_probabilities;
+};
+
+/// Runs one experiment point.
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Cross-seed aggregate of a replicated experiment.
+struct ReplicatedResult {
+  std::vector<ExperimentResult> runs;  ///< one per seed, in seed order
+  /// Cross-seed mean and sample standard deviation of the headline
+  /// metrics (computed over the stable runs only).
+  double reception_delay_mean = 0.0, reception_delay_sd = 0.0;
+  double broadcast_delay_mean = 0.0, broadcast_delay_sd = 0.0;
+  double unicast_delay_mean = 0.0, unicast_delay_sd = 0.0;
+  std::size_t stable_runs = 0;
+  bool any_unstable = false;
+};
+
+/// Runs the same experiment under `replications` consecutive seeds
+/// (spec.seed, spec.seed + 1, ...) and aggregates across seeds.  This is
+/// the honest way to attach error bars to a single-run harness: within-run
+/// confidence intervals understate variability because samples inside one
+/// run are correlated.
+ReplicatedResult run_replicated(ExperimentSpec spec, std::size_t replications);
+
+}  // namespace pstar::harness

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file figure.hpp
+/// Shared driver for the paper's figure reproductions: sweep the
+/// throughput factor, run every scheme at every point, print one table
+/// (plus CSV) of the requested delay metric.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+
+namespace pstar::harness {
+
+/// Which delay metric the figure reports.
+enum class FigureMetric {
+  kReceptionDelay,  ///< Figs. 2-4
+  kBroadcastDelay,  ///< Figs. 5-7
+  kUnicastDelay,    ///< heterogeneous experiments
+};
+
+/// Declarative description of one figure.
+struct FigureSpec {
+  std::string id;          ///< e.g. "fig2"
+  std::string title;       ///< printed banner
+  topo::Shape shape{8, 8};
+  std::vector<core::Scheme> schemes;
+  std::vector<double> rhos;
+  FigureMetric metric = FigureMetric::kReceptionDelay;
+  double broadcast_fraction = 1.0;
+  traffic::LengthDist length = traffic::LengthDist::unit();
+  double warmup = 1000.0;
+  double measure = 3000.0;
+  std::uint64_t seed = 20030701;  ///< ICPP 2003 vintage
+  bool show_lower_bound = true;   ///< append the Omega(d + 1/(1-rho)) column
+  /// Append the Section 3.2 closed-form model predictions (only honored
+  /// for broadcast-only reception-delay figures, where the model applies).
+  bool show_model = true;
+};
+
+/// The default rho sweep used throughout (0.1 .. 0.95).
+std::vector<double> default_rho_sweep();
+
+/// Extracts the figure's metric from a result.
+double metric_value(FigureMetric metric, const ExperimentResult& result);
+
+/// Runs the whole sweep and prints the table followed by CSV lines
+/// prefixed "CSV,<id>".  Returns the per-(rho, scheme) results in
+/// row-major order (rho outer, scheme inner) for callers that post-check.
+std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
+                                         std::ostream& os);
+
+}  // namespace pstar::harness

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal aligned-text table and CSV emission for bench output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pstar::harness {
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+/// Accumulates rows and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Writes the same data as CSV lines, each prefixed with `prefix,`
+  /// (so figures can be re-plotted by grepping a bench's stdout).
+  void print_csv(std::ostream& os, const std::string& prefix) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pstar::harness

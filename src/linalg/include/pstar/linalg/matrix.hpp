@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Small dense row-major matrix used for the STAR balance equations.
+///
+/// The systems solved in this library are d x d where d is the torus
+/// dimension (single digits), so a simple dense representation with
+/// partial-pivoting elimination is both adequate and easy to verify.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace pstar::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Matrix-vector product.  Requires x.size() == cols().
+  std::vector<double> apply(const std::vector<double>& x) const;
+
+  /// Matrix-matrix product.  Requires cols() == other.rows().
+  Matrix multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Max-abs element (infinity norm of the flattened data).
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pstar::linalg

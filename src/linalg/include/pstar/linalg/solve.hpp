@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file solve.hpp
+/// Linear solves for the STAR balance systems (Eq. (2) and Eq. (4) of the
+/// paper): Gaussian elimination with partial pivoting, plus residual and
+/// conditioning diagnostics so callers can detect (near-)singular systems.
+
+#include <optional>
+#include <vector>
+
+#include "pstar/linalg/matrix.hpp"
+
+namespace pstar::linalg {
+
+/// Result of a linear solve.
+struct SolveResult {
+  std::vector<double> x;        ///< solution vector
+  double residual_inf = 0.0;    ///< ||A x - b||_inf, recomputed after solve
+  double pivot_min_abs = 0.0;   ///< smallest |pivot| encountered
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns std::nullopt when a pivot is (numerically) zero, i.e. the
+/// system is singular to working precision.  Requires A square and
+/// b.size() == A.rows().
+std::optional<SolveResult> solve(const Matrix& a, const std::vector<double>& b);
+
+/// Solves A X = B column-by-column to produce A^{-1} B; returns
+/// std::nullopt when A is singular.
+std::optional<Matrix> solve_multi(const Matrix& a, const Matrix& b);
+
+/// Inverse via solve_multi with the identity.  For diagnostics/tests.
+std::optional<Matrix> inverse(const Matrix& a);
+
+/// Infinity-norm condition number estimate ||A||_inf * ||A^{-1}||_inf,
+/// or +infinity when A is singular.
+double condition_inf(const Matrix& a);
+
+}  // namespace pstar::linalg

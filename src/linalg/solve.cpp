@@ -1,0 +1,114 @@
+#include "pstar/linalg/solve.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pstar::linalg {
+namespace {
+
+/// Row-echelon elimination of the augmented matrix [A | B] in place.
+/// Returns the minimum absolute pivot, or 0 if singular.
+double eliminate(Matrix& a, Matrix& b) {
+  const std::size_t n = a.rows();
+  double min_pivot = std::numeric_limits<double>::infinity();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the largest |entry| at or below the diagonal.
+    std::size_t pivot_row = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+    }
+    if (best == 0.0) return 0.0;
+    min_pivot = std::min(min_pivot, best);
+    if (pivot_row != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot_row, c));
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        std::swap(b(col, c), b(pivot_row, c));
+      }
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) -= factor * b(col, c);
+    }
+  }
+  return min_pivot;
+}
+
+/// Back substitution assuming `a` is upper-triangular with nonzero diagonal.
+void back_substitute(const Matrix& a, Matrix& b) {
+  const std::size_t n = a.rows();
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t ri = n; ri-- > 0;) {
+      double acc = b(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) acc -= a(ri, k) * b(k, c);
+      b(ri, c) = acc / a(ri, ri);
+    }
+  }
+}
+
+double inf_norm(const Matrix& a) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) row += std::abs(a(r, c));
+    best = std::max(best, row);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<SolveResult> solve(const Matrix& a, const std::vector<double>& b) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("solve: A not square");
+  if (b.size() != a.rows()) throw std::invalid_argument("solve: size mismatch");
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  Matrix rhs(n, 1);
+  for (std::size_t i = 0; i < n; ++i) rhs(i, 0) = b[i];
+
+  const double min_pivot = eliminate(work, rhs);
+  if (min_pivot == 0.0) return std::nullopt;
+  back_substitute(work, rhs);
+
+  SolveResult result;
+  result.x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.x[i] = rhs(i, 0);
+  result.pivot_min_abs = min_pivot;
+
+  const std::vector<double> ax = a.apply(result.x);
+  double res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) res = std::max(res, std::abs(ax[i] - b[i]));
+  result.residual_inf = res;
+  return result;
+}
+
+std::optional<Matrix> solve_multi(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("solve_multi: A not square");
+  if (b.rows() != a.rows()) throw std::invalid_argument("solve_multi: size mismatch");
+  Matrix work = a;
+  Matrix rhs = b;
+  if (eliminate(work, rhs) == 0.0) return std::nullopt;
+  back_substitute(work, rhs);
+  return rhs;
+}
+
+std::optional<Matrix> inverse(const Matrix& a) {
+  return solve_multi(a, Matrix::identity(a.rows()));
+}
+
+double condition_inf(const Matrix& a) {
+  const auto inv = inverse(a);
+  if (!inv) return std::numeric_limits<double>::infinity();
+  return inf_norm(a) * inf_norm(*inv);
+}
+
+}  // namespace pstar::linalg

@@ -1,0 +1,428 @@
+#include "pstar/net/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pstar::net {
+
+double Metrics::mean_utilization() const {
+  const double span = measure_end - measure_start;
+  if (span <= 0.0 || link_busy_time.empty()) return 0.0;
+  double total = 0.0;
+  for (double b : link_busy_time) total += b;
+  return total / (span * static_cast<double>(link_busy_time.size()));
+}
+
+double Metrics::max_utilization() const {
+  const double span = measure_end - measure_start;
+  if (span <= 0.0 || link_busy_time.empty()) return 0.0;
+  return *std::max_element(link_busy_time.begin(), link_busy_time.end()) / span;
+}
+
+double Metrics::utilization_cv() const {
+  const double span = measure_end - measure_start;
+  if (span <= 0.0 || link_busy_time.empty()) return 0.0;
+  double mean = 0.0;
+  for (double b : link_busy_time) mean += b;
+  mean /= static_cast<double>(link_busy_time.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double b : link_busy_time) var += (b - mean) * (b - mean);
+  var /= static_cast<double>(link_busy_time.size());
+  return std::sqrt(var) / mean;
+}
+
+Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
+               RoutingPolicy& policy, sim::Rng& rng, EngineConfig config)
+    : sim_(sim), torus_(torus), policy_(policy), rng_(rng), config_(config) {
+  links_.resize(static_cast<std::size_t>(torus_.link_count()));
+  metrics_.link_busy_time.assign(links_.size(), 0.0);
+  metrics_.link_transmissions.assign(links_.size(), 0);
+  metrics_.measure_start = 0.0;
+  metrics_.measure_end = std::numeric_limits<double>::infinity();
+  if (config_.record_histograms) {
+    metrics_.reception_delay_hist = std::make_unique<stats::Histogram>(
+        config_.histogram_width, config_.histogram_buckets);
+    metrics_.broadcast_delay_hist = std::make_unique<stats::Histogram>(
+        config_.histogram_width, config_.histogram_buckets);
+    metrics_.unicast_delay_hist = std::make_unique<stats::Histogram>(
+        config_.histogram_width, config_.histogram_buckets);
+  }
+}
+
+stats::TimeWeighted& Engine::inflight_recorder(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kBroadcast:
+      return metrics_.inflight_broadcast_tasks;
+    case TaskKind::kUnicast:
+      return metrics_.inflight_unicast_tasks;
+    case TaskKind::kMulticast:
+      break;
+  }
+  return metrics_.inflight_multicast_tasks;
+}
+
+namespace {
+
+/// Allocates a slot from the free list or grows the table.
+TaskId allocate_slot(std::vector<Task>& tasks, std::vector<TaskId>& free_list) {
+  if (!free_list.empty()) {
+    const TaskId id = free_list.back();
+    free_list.pop_back();
+    return id;
+  }
+  const auto id = static_cast<TaskId>(tasks.size());
+  tasks.emplace_back();
+  return id;
+}
+
+}  // namespace
+
+TaskId Engine::create_task(TaskKind kind, topo::NodeId source,
+                           topo::NodeId dest, std::uint32_t length) {
+  if (length == 0) throw std::invalid_argument("create_task: zero length");
+  if (kind == TaskKind::kMulticast) {
+    throw std::invalid_argument("create_task: use create_multicast");
+  }
+  const TaskId id = allocate_slot(tasks_, free_tasks_);
+  Task& t = tasks_[id];
+  t = Task{};
+  t.kind = kind;
+  t.measured = measuring_;
+  t.source = source;
+  t.dest = dest;
+  t.created = sim_.now();
+  t.length = length;
+  t.expected = kind == TaskKind::kBroadcast
+                   ? static_cast<std::uint32_t>(torus_.node_count() - 1)
+                   : 1;
+
+  const auto k = static_cast<std::size_t>(kind);
+  ++metrics_.tasks_generated[k];
+  ++inflight_tasks_[k];
+  if (measuring_) {
+    inflight_recorder(kind).set(sim_.now(),
+                                static_cast<double>(inflight_tasks_[k]));
+  }
+
+  if (observer_) observer_->on_task_created(id, t);
+
+  if (kind == TaskKind::kBroadcast && t.expected == 0) {
+    // Degenerate 1-node network: the broadcast completes instantly.
+    if (t.measured) {
+      metrics_.broadcast_delay.add(0.0);
+      if (metrics_.broadcast_delay_hist) metrics_.broadcast_delay_hist->add(0.0);
+    }
+    finish_task(id);
+    return id;
+  }
+
+  policy_.on_task(*this, id, source);
+  return id;
+}
+
+TaskId Engine::create_multicast(topo::NodeId source,
+                                std::span<const topo::NodeId> destinations,
+                                std::uint32_t length) {
+  if (length == 0) throw std::invalid_argument("create_multicast: zero length");
+  const TaskId id = allocate_slot(tasks_, free_tasks_);
+  Task& t = tasks_[id];
+  t = Task{};
+  t.kind = TaskKind::kMulticast;
+  t.measured = measuring_;
+  t.source = source;
+  t.dest = source;
+  t.created = sim_.now();
+  t.length = length;
+  t.expected = 0;  // set from the policy's plan below
+
+  const auto k = static_cast<std::size_t>(TaskKind::kMulticast);
+  ++metrics_.tasks_generated[k];
+  ++inflight_tasks_[k];
+  if (measuring_) {
+    inflight_recorder(t.kind).set(sim_.now(),
+                                  static_cast<double>(inflight_tasks_[k]));
+  }
+  if (observer_) observer_->on_task_created(id, t);
+
+  // The policy plans the pruned tree and emits the initial copies.  With
+  // finite buffers a send can drop synchronously and charge losses, so
+  // the expected count is held at a sentinel during planning and the
+  // completion check re-runs once the real count is known.
+  tasks_[id].expected = std::numeric_limits<std::uint32_t>::max();
+  const std::uint32_t expected =
+      policy_.on_multicast(*this, id, source, destinations);
+  tasks_[id].expected = expected;
+  metrics_.multicast_expected_total += expected;
+  if (expected == 0) {
+    if (tasks_[id].measured) metrics_.multicast_delay.add(0.0);
+    finish_task(id);
+  } else {
+    maybe_finish_broadcast(id);  // everything may have dropped already
+  }
+  return id;
+}
+
+void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
+                  const Copy& copy) {
+  const topo::LinkId link = torus_.link(from, dim, dir);
+  if (link == topo::kInvalidLink) {
+    throw std::invalid_argument("Engine::send: no link in that dimension");
+  }
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+
+  // Finite-buffer admission (queued copies only; service slot is free).
+  if (ls.busy && config_.queue_capacity > 0) {
+    std::size_t queued = 0;
+    for (const auto& q : ls.queue) queued += q.size();
+    if (queued >= config_.queue_capacity) {
+      if (config_.drop_policy == DropPolicy::kPushOutLow) {
+        // Evict the newest queued copy of a strictly lower class, if any.
+        for (std::size_t c = kPriorityClasses;
+             c-- > static_cast<std::size_t>(copy.prio) + 1;) {
+          if (!ls.queue[c].empty()) {
+            const Copy victim = ls.queue[c].back().copy;
+            ls.queue[c].pop_back();
+            drop_copy(victim, /*was_queued=*/true);
+            ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
+                Queued{copy, sim_.now()});
+            ++inflight_copies_;
+            return;
+          }
+        }
+      }
+      drop_copy(copy, /*was_queued=*/false);
+      return;
+    }
+  }
+
+  ++inflight_copies_;
+  if (measuring_) {
+    metrics_.inflight_copies.set(sim_.now(), static_cast<double>(inflight_copies_));
+  }
+  if (inflight_copies_ > config_.max_inflight_copies && !metrics_.unstable) {
+    metrics_.unstable = true;
+    sim_.stop();
+  }
+
+  if (!ls.busy) {
+    begin_service(link, copy, sim_.now());
+  } else {
+    ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
+        Queued{copy, sim_.now()});
+  }
+}
+
+void Engine::drop_copy(const Copy& copy, bool was_queued) {
+  ++metrics_.drops_by_class[static_cast<std::size_t>(copy.prio)];
+  if (was_queued) {
+    --inflight_copies_;
+    if (measuring_) {
+      metrics_.inflight_copies.set(sim_.now(),
+                                   static_cast<double>(inflight_copies_));
+    }
+  }
+  const TaskKind kind = tasks_[copy.task].kind;
+  if (kind == TaskKind::kUnicast) {
+    if (!tasks_[copy.task].finished) {
+      ++metrics_.failed_unicasts;
+      finish_task(copy.task);
+    }
+  } else {
+    const std::uint64_t orphaned =
+        policy_.dropped_subtree_receptions(*this, copy);
+    if (kind == TaskKind::kBroadcast) {
+      metrics_.lost_receptions += orphaned;
+    } else {
+      metrics_.lost_multicast_receptions += orphaned;
+    }
+    // Re-fetch by id: the policy callback may have touched the table.
+    tasks_[copy.task].lost += static_cast<std::uint32_t>(orphaned);
+    maybe_finish_broadcast(copy.task);
+  }
+}
+
+void Engine::begin_service(topo::LinkId link, const Copy& copy,
+                           double queued_since) {
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  assert(!ls.busy);
+  ls.busy = true;
+  ls.serving = copy;
+  ls.service_start = sim_.now();
+  if (measuring_) {
+    metrics_.wait_by_class[static_cast<std::size_t>(copy.prio)].add(
+        sim_.now() - queued_since);
+  }
+  const double service_time = static_cast<double>(tasks_[copy.task].length);
+  sim_.after(service_time,
+             [this, link](sim::Simulator&) { complete_service(link); });
+}
+
+void Engine::complete_service(topo::LinkId link) {
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  assert(ls.busy);
+  const Copy copy = ls.serving;
+  const double now = sim_.now();
+  Task& t = tasks_[copy.task];
+
+  ++metrics_.transmissions;
+  ++metrics_.transmissions_by_vc[copy.vc & 1];
+  ++metrics_.transmissions_by_class[static_cast<std::size_t>(copy.prio)];
+  record_window_busy(link, ls.service_start, now, t.length);
+
+  --inflight_copies_;
+  if (measuring_) {
+    metrics_.inflight_copies.set(now, static_cast<double>(inflight_copies_));
+  }
+
+  const topo::NodeId node = torus_.dest(link);
+  if (observer_) {
+    const topo::LinkInfo& li = torus_.info(link);
+    observer_->on_transmission(copy.task, copy, li.from, li.to, li.dim, li.dir,
+                               ls.service_start, now);
+  }
+  if (t.kind == TaskKind::kUnicast) {
+    ++t.receptions;  // hop counter for unicasts
+    policy_.on_receive(*this, node, copy);
+  } else {
+    // Broadcast and multicast: every hop delivers to a new covered node.
+    if (t.kind == TaskKind::kBroadcast) {
+      ++metrics_.broadcast_receptions;
+      if (t.measured) {
+        metrics_.reception_delay.add(now - t.created);
+        if (metrics_.reception_delay_hist) {
+          metrics_.reception_delay_hist->add(now - t.created);
+        }
+      }
+    } else {
+      ++metrics_.multicast_receptions;
+      if (t.measured) {
+        metrics_.multicast_reception_delay.add(now - t.created);
+      }
+    }
+    ++t.receptions;
+    policy_.on_receive(*this, node, copy);
+    maybe_finish_broadcast(copy.task);
+  }
+
+  // Pull the next queued copy: strict priority, FIFO within class.
+  for (auto& q : ls.queue) {
+    if (!q.empty()) {
+      Queued next = q.front();
+      q.pop_front();
+      ls.busy = false;
+      begin_service(link, next.copy, next.enqueued_at);
+      return;
+    }
+  }
+  ls.busy = false;
+}
+
+void Engine::maybe_finish_broadcast(TaskId id) {
+  // Re-fetch by id: callers may hold references across policy callbacks.
+  Task& t = tasks_[id];
+  if (t.finished) return;
+  if (static_cast<std::uint64_t>(t.receptions) + t.lost < t.expected) return;
+  if (t.lost == 0) {
+    if (t.measured) {
+      const double delay = sim_.now() - t.created;
+      if (t.kind == TaskKind::kBroadcast) {
+        metrics_.broadcast_delay.add(delay);
+        if (metrics_.broadcast_delay_hist) {
+          metrics_.broadcast_delay_hist->add(delay);
+        }
+      } else {
+        metrics_.multicast_delay.add(delay);
+      }
+    }
+  } else if (t.kind == TaskKind::kBroadcast) {
+    // Some nodes never receive the packet: the task failed; its
+    // completion time is not a broadcast/multicast delay.
+    ++metrics_.failed_broadcasts;
+  } else {
+    ++metrics_.failed_multicasts;
+  }
+  finish_task(id);
+}
+
+void Engine::unicast_delivered(const Copy& copy) {
+  Task& t = tasks_[copy.task];
+  assert(t.kind == TaskKind::kUnicast);
+  if (t.finished) return;  // guard against a policy double-delivering
+  if (t.measured) {
+    metrics_.unicast_delay.add(sim_.now() - t.created);
+    metrics_.unicast_hops.add(static_cast<double>(t.receptions));
+    if (metrics_.unicast_delay_hist) {
+      metrics_.unicast_delay_hist->add(sim_.now() - t.created);
+    }
+  }
+  finish_task(copy.task);
+}
+
+void Engine::finish_task(TaskId id) {
+  assert(!tasks_[id].finished);
+  tasks_[id].finished = true;
+  if (observer_) observer_->on_task_completed(id, tasks_[id], sim_.now());
+  const auto k = static_cast<std::size_t>(tasks_[id].kind);
+  ++metrics_.tasks_completed[k];
+  assert(inflight_tasks_[k] > 0);
+  --inflight_tasks_[k];
+  if (measuring_) {
+    inflight_recorder(tasks_[id].kind)
+        .set(sim_.now(), static_cast<double>(inflight_tasks_[k]));
+  }
+  free_tasks_.push_back(id);
+}
+
+std::size_t Engine::link_backlog(topo::LinkId link) const {
+  const LinkState& ls = links_[static_cast<std::size_t>(link)];
+  std::size_t total = ls.busy ? 1 : 0;
+  for (const auto& q : ls.queue) total += q.size();
+  return total;
+}
+
+void Engine::begin_measurement() {
+  measuring_ = true;
+  const double now = sim_.now();
+  metrics_.measure_start = now;
+  metrics_.measure_end = std::numeric_limits<double>::infinity();
+  // Discard any busy time recorded before the window opened (warmup).
+  std::fill(metrics_.link_busy_time.begin(), metrics_.link_busy_time.end(), 0.0);
+  std::fill(metrics_.link_transmissions.begin(),
+            metrics_.link_transmissions.end(), 0);
+  metrics_.inflight_broadcast_tasks.start(
+      now, static_cast<double>(inflight_tasks_[0]));
+  metrics_.inflight_unicast_tasks.start(
+      now, static_cast<double>(inflight_tasks_[1]));
+  metrics_.inflight_multicast_tasks.start(
+      now, static_cast<double>(inflight_tasks_[2]));
+  metrics_.inflight_copies.start(now, static_cast<double>(inflight_copies_));
+}
+
+void Engine::end_measurement() {
+  const double now = sim_.now();
+  metrics_.measure_end = now;
+  metrics_.inflight_copies_at_end = inflight_copies_;
+  metrics_.inflight_broadcast_tasks.flush(now);
+  metrics_.inflight_unicast_tasks.flush(now);
+  metrics_.inflight_multicast_tasks.flush(now);
+  metrics_.inflight_copies.flush(now);
+  measuring_ = false;
+}
+
+void Engine::record_window_busy(topo::LinkId link, double start, double end,
+                                std::uint32_t /*length*/) {
+  const double lo = std::max(start, metrics_.measure_start);
+  const double hi = std::min(end, metrics_.measure_end);
+  if (hi > lo) {
+    metrics_.link_busy_time[static_cast<std::size_t>(link)] += hi - lo;
+    if (end <= metrics_.measure_end && start >= metrics_.measure_start) {
+      ++metrics_.link_transmissions[static_cast<std::size_t>(link)];
+    }
+  }
+}
+
+}  // namespace pstar::net

@@ -1,0 +1,239 @@
+#pragma once
+
+/// \file engine.hpp
+/// Store-and-forward network engine for a torus under the all-port model.
+///
+/// Every directed link is a single server with one infinite FIFO queue per
+/// priority class; service is non-preemptive strict priority (the paper's
+/// discipline).  Time is continuous; serving a copy of a length-L task
+/// occupies the link for L time units (unit = one unit-length packet
+/// transmission, the paper's time unit).
+///
+/// The engine owns tasks, copies, queues, and all measurement; path and
+/// priority decisions are delegated to a RoutingPolicy.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include <memory>
+
+#include "pstar/net/observer.hpp"
+#include "pstar/net/packet.hpp"
+#include "pstar/net/policy.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/stats/histogram.hpp"
+#include "pstar/stats/running.hpp"
+#include "pstar/stats/time_weighted.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::net {
+
+/// What happens when a copy arrives at a full finite queue.
+enum class DropPolicy : std::uint8_t {
+  kTailDrop,    ///< the arriving copy is dropped, regardless of class
+  kPushOutLow,  ///< the arriving copy evicts the newest queued copy of a
+                ///< strictly lower class if one exists, else is dropped
+};
+
+/// Engine tuning knobs.
+struct EngineConfig {
+  /// Instability guard: the run is flagged unstable and stopped when this
+  /// many copies are simultaneously in flight (queued or in service).
+  /// The paper notes queues grow without bound past the scheme's maximum
+  /// throughput; this bound detects that regime in finite time.
+  std::uint64_t max_inflight_copies = 2'000'000;
+
+  /// Maximum queued copies per link across all classes (the copy in
+  /// service does not count); 0 = unbounded (the paper's analysis model).
+  /// With finite queues the paper notes packets overflow; dropped copies
+  /// orphan their whole downstream subtree, which the engine charges via
+  /// RoutingPolicy::dropped_subtree_receptions.
+  std::uint32_t queue_capacity = 0;
+  DropPolicy drop_policy = DropPolicy::kTailDrop;
+
+  /// When true, per-delay histograms are recorded for measured tasks so
+  /// that tail quantiles (p95/p99) can be reported alongside means.
+  bool record_histograms = false;
+  /// Histogram geometry: [0, histogram_width * histogram_buckets) with an
+  /// overflow bucket beyond.
+  double histogram_width = 1.0;
+  std::size_t histogram_buckets = 4096;
+};
+
+/// Aggregated measurements of one run.  Delay statistics cover tasks
+/// created inside the measurement window only (see begin/end_measurement);
+/// utilization covers link busy time inside the window.
+struct Metrics {
+  stats::RunningStat reception_delay;   ///< broadcast: per-copy, creation -> receive
+  stats::RunningStat broadcast_delay;   ///< broadcast: creation -> last receive
+  stats::RunningStat unicast_delay;     ///< unicast: creation -> destination
+  stats::RunningStat unicast_hops;      ///< hops of measured unicast tasks
+  stats::RunningStat multicast_reception_delay;  ///< per covered node
+  stats::RunningStat multicast_delay;   ///< creation -> last covered node
+  stats::RunningStat wait_by_class[kPriorityClasses];  ///< per-hop queueing delay
+
+  stats::TimeWeighted inflight_broadcast_tasks;  ///< Fig. 8 concurrency
+  stats::TimeWeighted inflight_unicast_tasks;
+  stats::TimeWeighted inflight_multicast_tasks;
+  stats::TimeWeighted inflight_copies;
+
+  std::uint64_t tasks_generated[kTaskKinds] = {0, 0, 0};  ///< by TaskKind
+  std::uint64_t tasks_completed[kTaskKinds] = {0, 0, 0};
+  std::uint64_t transmissions = 0;               ///< completed, whole run
+  std::uint64_t transmissions_by_vc[2] = {0, 0};
+  std::uint64_t transmissions_by_class[kPriorityClasses] = {0, 0, 0};
+
+  /// Broadcast receptions delivered over the whole run (not just the
+  /// measurement window); pairs with lost_receptions for loss fractions.
+  std::uint64_t broadcast_receptions = 0;
+  /// Multicast node coverages delivered over the whole run, and the sum
+  /// of planned coverages: receptions + lost always equals the plan.
+  std::uint64_t multicast_receptions = 0;
+  std::uint64_t multicast_expected_total = 0;
+
+  // Finite-buffer loss accounting (all zero with unbounded queues).
+  std::uint64_t drops_by_class[kPriorityClasses] = {0, 0, 0};
+  std::uint64_t lost_receptions = 0;    ///< BROADCAST receptions orphaned
+  std::uint64_t lost_multicast_receptions = 0;  ///< multicast coverages lost
+  std::uint64_t failed_broadcasts = 0;  ///< broadcasts missing >= 1 node
+  std::uint64_t failed_unicasts = 0;    ///< unicasts whose copy was dropped
+  std::uint64_t failed_multicasts = 0;  ///< multicasts missing >= 1 node
+
+  std::vector<double> link_busy_time;      ///< within measurement window
+  std::vector<std::uint64_t> link_transmissions;  ///< within window
+
+  /// Delay histograms; present only when EngineConfig::record_histograms.
+  std::unique_ptr<stats::Histogram> reception_delay_hist;
+  std::unique_ptr<stats::Histogram> broadcast_delay_hist;
+  std::unique_ptr<stats::Histogram> unicast_delay_hist;
+
+  double measure_start = 0.0;
+  double measure_end = 0.0;
+  bool unstable = false;
+  /// Copies still queued or in service when the window closed; a large
+  /// backlog relative to the steady state marks a saturated (rho beyond
+  /// the scheme's maximum throughput) run even when the guard never
+  /// tripped, because a finite-horizon run always drains eventually.
+  std::uint64_t inflight_copies_at_end = 0;
+
+  /// Mean utilization over links inside the measurement window.
+  double mean_utilization() const;
+  /// Maximum per-link utilization inside the window.
+  double max_utilization() const;
+  /// Coefficient of variation of per-link utilization (balance metric).
+  double utilization_cv() const;
+};
+
+/// The network simulator core.
+class Engine {
+ public:
+  /// The torus and policy must outlive the engine.
+  Engine(sim::Simulator& sim, const topo::Torus& torus, RoutingPolicy& policy,
+         sim::Rng& rng, EngineConfig config = {});
+
+  const topo::Torus& torus() const { return torus_; }
+  sim::Simulator& simulator() { return sim_; }
+  sim::Rng& rng() { return rng_; }
+  const Task& task(TaskId id) const { return tasks_[id]; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Creates a task at the current simulation time and hands it to the
+  /// routing policy.  For broadcasts `dest` is ignored.  `length` is the
+  /// per-hop service time in time units (>= 1).  Multicasts must go
+  /// through create_multicast instead (they carry a destination set).
+  TaskId create_task(TaskKind kind, topo::NodeId source, topo::NodeId dest,
+                     std::uint32_t length);
+
+  /// Creates a multicast task: the policy's on_multicast builds the
+  /// delivery plan, emits the initial copies, and returns how many
+  /// receptions (covered nodes) complete the task.
+  TaskId create_multicast(topo::NodeId source,
+                          std::span<const topo::NodeId> destinations,
+                          std::uint32_t length);
+
+  /// Enqueues `copy` on the outgoing link of `from` along (dim, dir).
+  /// Called by routing policies.
+  void send(topo::NodeId from, std::int32_t dim, topo::Dir dir, const Copy& copy);
+
+  /// Signals that a unicast copy has reached its destination.  Called by
+  /// the unicast routing policy from on_receive.
+  void unicast_delivered(const Copy& copy);
+
+  /// Starts the measurement window at the current simulation time: delay
+  /// statistics begin covering newly created tasks and link busy time
+  /// starts accumulating.
+  void begin_measurement();
+
+  /// Ends the measurement window at the current simulation time: tasks
+  /// created later are not measured (they still route normally).
+  void end_measurement();
+
+  /// Copies currently queued or in service.
+  std::uint64_t inflight_copies() const { return inflight_copies_; }
+
+  /// Backlog of one link: queued copies plus the one in service.  This is
+  /// the congestion signal adaptive routing policies consult.
+  std::size_t link_backlog(topo::LinkId link) const;
+
+  /// Tasks currently being executed (generated but not completed).
+  std::uint64_t inflight_tasks(TaskKind kind) const {
+    return inflight_tasks_[static_cast<std::size_t>(kind)];
+  }
+
+  /// True once the instability guard has tripped.
+  bool unstable() const { return metrics_.unstable; }
+
+  /// Attaches an instrumentation observer (nullptr detaches).  The
+  /// observer must outlive the engine.  At most one observer is active.
+  void set_observer(Observer* observer) { observer_ = observer; }
+
+ private:
+  struct Queued {
+    Copy copy;
+    double enqueued_at;
+  };
+
+  struct LinkState {
+    bool busy = false;
+    Copy serving{};
+    double service_start = 0.0;
+    std::deque<Queued> queue[kPriorityClasses];
+  };
+
+  void begin_service(topo::LinkId link, const Copy& copy, double queued_since);
+  void complete_service(topo::LinkId link);
+  /// Charges a dropped copy: loss metrics, orphaned receptions, and task
+  /// failure bookkeeping.  `was_queued` says whether the copy was already
+  /// counted in flight (push-out victim) or arriving (tail drop).
+  void drop_copy(const Copy& copy, bool was_queued);
+  /// Finishes a broadcast once receptions + lost cover every node;
+  /// idempotent (both the delivery and the drop path may trigger it).
+  void maybe_finish_broadcast(TaskId id);
+  void finish_task(TaskId id);
+  void record_window_busy(topo::LinkId link, double start, double end,
+                          std::uint32_t length);
+
+  sim::Simulator& sim_;
+  const topo::Torus& torus_;
+  RoutingPolicy& policy_;
+  sim::Rng& rng_;
+  EngineConfig config_;
+
+  std::vector<Task> tasks_;
+  std::vector<TaskId> free_tasks_;
+  std::vector<LinkState> links_;
+
+  /// The time-weighted concurrency recorder for one task kind.
+  stats::TimeWeighted& inflight_recorder(TaskKind kind);
+
+  Metrics metrics_;
+  Observer* observer_ = nullptr;
+  bool measuring_ = false;
+  std::uint64_t inflight_copies_ = 0;
+  std::uint64_t inflight_tasks_[kTaskKinds] = {0, 0, 0};
+};
+
+}  // namespace pstar::net

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file observer.hpp
+/// Optional engine instrumentation hook.
+///
+/// An Observer sees every transmission and task lifecycle event with full
+/// routing context.  It exists for validation and tracing: integration
+/// tests attach observers that check, packet by packet, that broadcasts
+/// follow legal SDC tree edges and unicasts never leave a shortest path.
+/// Production runs attach none and pay nothing.
+
+#include "pstar/net/packet.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::net {
+
+/// Engine event callbacks.  All methods have empty defaults; override
+/// what you need.  Calls happen synchronously inside the simulation loop,
+/// so observers must not mutate the engine.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// A task entered the system.
+  virtual void on_task_created(TaskId /*task*/, const Task& /*info*/) {}
+
+  /// A copy finished crossing a link: it departed `from` at time `start`
+  /// and was delivered to `to` at time `end`.
+  virtual void on_transmission(TaskId /*task*/, const Copy& /*copy*/,
+                               topo::NodeId /*from*/, topo::NodeId /*to*/,
+                               std::int32_t /*dim*/, topo::Dir /*dir*/,
+                               double /*start*/, double /*end*/) {}
+
+  /// A task finished (broadcast: all receptions done; unicast: delivered).
+  virtual void on_task_completed(TaskId /*task*/, const Task& /*info*/,
+                                 double /*time*/) {}
+};
+
+}  // namespace pstar::net

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file packet.hpp
+/// Packet/task/copy data model for the store-and-forward network.
+///
+/// A *task* is one communication request (a broadcast or a unicast) with
+/// its metadata (source, creation time, length).  A *copy* is one in-flight
+/// replica of the task's packet together with its routing state; broadcasts
+/// fan out into many copies, a unicast is a single copy hopping toward its
+/// destination.  Copies are small value types so queues stay cache-friendly.
+
+#include <array>
+#include <cstdint>
+
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::net {
+
+/// Communication request type.
+enum class TaskKind : std::uint8_t {
+  kBroadcast = 0,
+  kUnicast = 1,
+  kMulticast = 2,  ///< one source, an arbitrary destination subset
+};
+inline constexpr std::size_t kTaskKinds = 3;
+
+/// Priority class of a transmission.  Lower numeric value is served first;
+/// service is non-preemptive and FIFO within a class (paper, Section 3.2).
+enum class Priority : std::uint8_t { kHigh = 0, kMedium = 1, kLow = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+
+/// Maximum torus dimensionality supported by the fixed-size routing state.
+inline constexpr std::int32_t kMaxDims = 12;
+
+/// Handle of a task in the engine's task table.  Slots are recycled after
+/// the task completes (all receptions delivered), so a TaskId is only
+/// meaningful while its copies are in flight.
+using TaskId = std::uint32_t;
+
+/// Routing state of an in-flight SDC broadcast copy.
+struct BroadcastState {
+  std::int8_t ending_dim = 0;  ///< the STAR ending dimension l (0-based)
+  std::int8_t phase = 0;       ///< current phase q in 0..d-1 (dim = (l+1+q) mod d)
+  std::int8_t dir = 0;         ///< ring direction of the current traversal (+1/-1)
+  std::int8_t hops_left = 0;   ///< further same-dimension forwards after this hop
+};
+
+/// Routing state of an in-flight unicast copy: remaining signed offsets
+/// along each dimension.  The copy is delivered when all are zero.
+struct UnicastState {
+  std::array<std::int8_t, kMaxDims> offsets{};
+};
+
+/// Routing state of an in-flight multicast copy: the index of the pruned
+/// tree edge it is crossing (the multicast policy owns the per-task edge
+/// plan; the index lets it resume forwarding and size dropped subtrees).
+struct MulticastState {
+  std::int32_t edge = -1;
+};
+
+/// One in-flight replica of a packet.
+struct Copy {
+  TaskId task = 0;
+  Priority prio = Priority::kHigh;
+  std::uint8_t vc = 0;  ///< virtual channel (0 or 1); bookkeeping only
+  union {
+    BroadcastState bcast;
+    UnicastState uni;
+    MulticastState mcast;
+  };
+
+  Copy() : bcast{} {}
+};
+
+/// Metadata of one communication task.
+struct Task {
+  TaskKind kind = TaskKind::kBroadcast;
+  bool measured = false;      ///< created inside the measurement window
+  bool finished = false;      ///< completion already processed (guards the
+                              ///< delivery and drop paths racing on it)
+  topo::NodeId source = 0;
+  topo::NodeId dest = 0;      ///< unicast only
+  double created = 0.0;
+  std::uint32_t length = 1;   ///< service time of each transmission
+  std::uint32_t receptions = 0;
+  std::uint32_t expected = 0;  ///< broadcast: N-1 receptions complete the task
+  /// Receptions that will never happen because a copy was dropped at a
+  /// full finite queue (0 with unbounded queues).  A task finishes when
+  /// receptions + lost == expected.
+  std::uint32_t lost = 0;
+};
+
+}  // namespace pstar::net

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file policy.hpp
+/// Routing-policy interface: the engine owns time, links, and queues; a
+/// RoutingPolicy owns path selection, priority assignment, and virtual
+/// channel selection.  Priority STAR, its FCFS baseline, and the unicast
+/// router are all implementations of this interface (src/routing).
+
+#include <span>
+#include <stdexcept>
+
+#include "pstar/net/packet.hpp"
+
+namespace pstar::net {
+
+class Engine;
+
+/// Path/priority decision maker, driven by the Engine.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// A new task was generated at `source`.  The policy emits the initial
+  /// transmissions through Engine::send (possibly none for a 1-node net).
+  virtual void on_task(Engine& engine, TaskId task, topo::NodeId source) = 0;
+
+  /// `copy` just arrived at `node` (one hop completed).  The policy emits
+  /// any forwardings through Engine::send.  Broadcast receptions are
+  /// recorded by the engine itself (every hop delivers the packet to a new
+  /// node in an SDC tree); a unicast policy must call
+  /// Engine::unicast_delivered when the copy has reached its destination.
+  virtual void on_receive(Engine& engine, topo::NodeId node, const Copy& copy) = 0;
+
+  /// How many receptions are orphaned when `copy` is dropped at a full
+  /// finite queue: the copy's own delivery plus everything the receiving
+  /// nodes would have forwarded.  Called exactly once per dropped
+  /// broadcast/multicast copy, so policies that keep per-task state also
+  /// release the dropped subtree here.  Only called when EngineConfig
+  /// enables finite queues.  The default (1) is correct for unicasts.
+  virtual std::uint64_t dropped_subtree_receptions(const Engine& /*engine*/,
+                                                   const Copy& /*copy*/) {
+    return 1;
+  }
+
+  /// A multicast task was created.  The policy plans the delivery tree,
+  /// emits the initial copies through Engine::send, and returns the
+  /// number of receptions (covered nodes) that complete the task.  The
+  /// default rejects multicast traffic.
+  virtual std::uint32_t on_multicast(Engine& /*engine*/, TaskId /*task*/,
+                                     topo::NodeId /*source*/,
+                                     std::span<const topo::NodeId> /*dests*/) {
+    throw std::logic_error("this routing policy does not support multicast");
+  }
+};
+
+}  // namespace pstar::net

@@ -1,0 +1,65 @@
+#include "pstar/queueing/delay_model.hpp"
+
+#include <stdexcept>
+
+#include "pstar/queueing/gd1.hpp"
+
+namespace pstar::queueing {
+namespace {
+
+void check_inputs(const topo::Torus& torus, const std::vector<double>& x,
+                  double rho) {
+  if (static_cast<std::int32_t>(x.size()) != torus.dims()) {
+    throw std::invalid_argument("delay_model: probability arity mismatch");
+  }
+  if (rho < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("delay_model: rho must be in [0, 1)");
+  }
+}
+
+}  // namespace
+
+BroadcastClassLoads broadcast_class_loads(const topo::Torus& torus,
+                                          const std::vector<double>& x,
+                                          double rho) {
+  check_inputs(torus, x, rho);
+  const double n_nodes = static_cast<double>(torus.node_count());
+  if (n_nodes <= 1.0) return BroadcastClassLoads{};
+  // Expected fraction of a tree's N-1 transmissions on the ending dim.
+  double low_fraction = 0.0;
+  for (std::int32_t l = 0; l < torus.dims(); ++l) {
+    const double n_l = static_cast<double>(torus.shape().size(l));
+    low_fraction += x[static_cast<std::size_t>(l)] *
+                    (n_nodes - n_nodes / n_l) / (n_nodes - 1.0);
+  }
+  BroadcastClassLoads loads;
+  loads.rho_low = rho * low_fraction;
+  loads.rho_high = rho - loads.rho_low;
+  loads.high_fraction = rho > 0.0 ? loads.rho_high / rho : 0.0;
+  return loads;
+}
+
+double predict_fcfs_reception_delay(const topo::Torus& torus, double rho) {
+  if (rho < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("delay_model: rho must be in [0, 1)");
+  }
+  return torus.average_distance() * (1.0 + md1_wait(rho));
+}
+
+double predict_priority_reception_delay(const topo::Torus& torus,
+                                        const std::vector<double>& x,
+                                        double rho) {
+  check_inputs(torus, x, rho);
+  const BroadcastClassLoads loads = broadcast_class_loads(torus, x, rho);
+  const TwoClassWait waits = md1_priority_wait(loads.rho_high, loads.rho_low);
+  const double d_ave = torus.average_distance();
+  double total = 0.0;
+  for (std::int32_t l = 0; l < torus.dims(); ++l) {
+    const double m_l = torus.mean_hops(l);  // ending-dimension hops
+    total += x[static_cast<std::size_t>(l)] *
+             ((d_ave - m_l) * (1.0 + waits.high) + m_l * (1.0 + waits.low));
+  }
+  return total;
+}
+
+}  // namespace pstar::queueing

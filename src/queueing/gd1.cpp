@@ -1,0 +1,53 @@
+#include "pstar/queueing/gd1.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pstar::queueing {
+
+double gd1_wait(double v, double rho) {
+  if (rho <= 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("gd1_wait: rho must be in (0, 1)");
+  }
+  return v / (2.0 * rho * (1.0 - rho)) - 0.5;
+}
+
+double md1_wait(double rho) {
+  if (rho < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("md1_wait: rho must be in [0, 1)");
+  }
+  return rho / (2.0 * (1.0 - rho));
+}
+
+double md1_system_time(double rho) { return md1_wait(rho) + 1.0; }
+
+double conservation_mix(std::span<const double> rho_by_class,
+                        std::span<const double> wait_by_class) {
+  if (rho_by_class.size() != wait_by_class.size()) {
+    throw std::invalid_argument("conservation_mix: size mismatch");
+  }
+  double total_rho = 0.0;
+  for (double r : rho_by_class) total_rho += r;
+  if (total_rho <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rho_by_class.size(); ++i) {
+    acc += rho_by_class[i] * wait_by_class[i];
+  }
+  return acc / total_rho;
+}
+
+TwoClassWait md1_priority_wait(double rho_high, double rho_low) {
+  const double rho = rho_high + rho_low;
+  if (rho_high < 0.0 || rho_low < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("md1_priority_wait: need rho_h, rho_l >= 0, sum < 1");
+  }
+  // Mean residual service time of a deterministic unit service under
+  // Poisson arrivals: rho * E[S^2] / (2 E[S]) = rho / 2.
+  const double residual = rho / 2.0;
+  TwoClassWait w;
+  w.high = residual / (1.0 - rho_high);
+  w.low = residual / ((1.0 - rho_high) * (1.0 - rho));
+  return w;
+}
+
+}  // namespace pstar::queueing

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file delay_model.hpp
+/// Closed-form delay predictions formalizing the paper's Section 3.2
+/// analysis, for broadcast-only traffic on a torus.
+///
+/// Model: every reception path in an SDC tree is a shortest path, so the
+/// mean reception hop count equals the torus's average distance.  Under
+/// FCFS each hop pays the M/D/1 wait at load rho.  Under priority STAR a
+/// path to a node splits into tree hops (HIGH class) and ending-dimension
+/// hops (LOW class); the class loads follow from the tree's transmission
+/// split -- the ending dimension carries a (N - N/n_l)/(N-1) fraction --
+/// and the per-class waits are the Cobham two-class formulas.
+///
+/// Accuracy: the model treats per-link arrivals as independent Poisson
+/// streams, which overstates queueing for tree traffic (copies of one
+/// broadcast arrive staggered, smoothing the process).  Empirically the
+/// predictions are upper-bound-flavored: right shape and right ordering,
+/// 0-40% above simulation at high load (validated in
+/// tests/test_delay_model.cpp).  They exist to overlay analytic curves on
+/// the figure benches and to sanity-check simulations, not to replace
+/// them.
+
+#include <vector>
+
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::queueing {
+
+/// Per-class structure of broadcast traffic under priority STAR with
+/// ending-dimension probabilities x (broadcast-only load rho).
+struct BroadcastClassLoads {
+  double rho_high = 0.0;  ///< load from tree (non-ending) transmissions
+  double rho_low = 0.0;   ///< load from ending-dimension transmissions
+  double high_fraction = 0.0;  ///< rho_high / (rho_high + rho_low)
+};
+
+/// Splits a broadcast-only load rho into the priority classes induced by
+/// the ending-dimension distribution x (one entry per dimension, summing
+/// to 1).  With ending dimension l a tree makes N - N/n_l low-priority
+/// transmissions out of N - 1.
+BroadcastClassLoads broadcast_class_loads(const topo::Torus& torus,
+                                          const std::vector<double>& x,
+                                          double rho);
+
+/// Predicted average reception delay of the FCFS generalization of the
+/// direct scheme at broadcast-only load rho:
+///   D_ave * (1 + W_MD1(rho)).
+/// Requires 0 <= rho < 1.
+double predict_fcfs_reception_delay(const topo::Torus& torus, double rho);
+
+/// Predicted average reception delay of priority STAR at broadcast-only
+/// load rho with ending probabilities x:
+///   sum_l x_l [ (D_ave - m_l)(1 + W_H) + m_l (1 + W_L) ],
+/// where m_l is the mean ending-dimension hop count and (W_H, W_L) are
+/// the Cobham waits at the class split above.
+double predict_priority_reception_delay(const topo::Torus& torus,
+                                        const std::vector<double>& x,
+                                        double rho);
+
+}  // namespace pstar::queueing

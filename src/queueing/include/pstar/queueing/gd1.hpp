@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file gd1.hpp
+/// Queueing-theory formulas used by the paper's delay analysis (Section 3.2):
+/// G/D/1 and M/D/1 waiting times and Kleinrock's conservation law.
+
+#include <cstddef>
+#include <span>
+
+namespace pstar::queueing {
+
+/// Average waiting time of a slotted G/D/1 queue with unit service time,
+/// arrival rate `rho` (packets per slot) and per-slot arrival-count
+/// variance `v`:  W = V / (2 rho (1 - rho)) - 1/2   (paper, Section 3.2).
+/// Requires 0 < rho < 1.
+double gd1_wait(double v, double rho);
+
+/// Average waiting time (in queue, excluding service) of an M/D/1 queue
+/// with unit service time and utilization rho:  W = rho / (2 (1 - rho)).
+/// Requires 0 <= rho < 1.
+double md1_wait(double rho);
+
+/// Average system time (wait + unit service) of an M/D/1 queue.
+double md1_system_time(double rho);
+
+/// Kleinrock's conservation law for non-preemptive work-conserving
+/// disciplines with service-time-independent class assignment: the
+/// rho-weighted average of per-class waits equals the FCFS wait.
+/// Returns sum_i (rho_i / rho_total) * w_i.
+/// `rho_by_class` and `wait_by_class` must be equal length.
+double conservation_mix(std::span<const double> rho_by_class,
+                        std::span<const double> wait_by_class);
+
+/// Mean waits of a two-class non-preemptive M/D/1 priority queue with
+/// unit service (class 0 = high).  Classical Cobham formulas:
+///   W_H = R / (1 - rho_H),  W_L = R / ((1 - rho_H)(1 - rho)),
+/// where R = rho/2 is the mean residual service and rho = rho_H + rho_L.
+struct TwoClassWait {
+  double high = 0.0;
+  double low = 0.0;
+};
+TwoClassWait md1_priority_wait(double rho_high, double rho_low);
+
+}  // namespace pstar::queueing

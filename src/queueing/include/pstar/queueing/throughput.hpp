@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file throughput.hpp
+/// Throughput-factor (load-factor) formulas of Section 2 of the paper,
+/// plus conversions between a target throughput factor and per-node
+/// arrival rates used by the experiment harness.
+
+#include <cstdint>
+
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::queueing {
+
+/// Generic throughput factor: rho = sum_i lambda_i * T_i * N / L, where
+/// lambda_i is the per-node arrival rate of task type i, T_i its minimum
+/// transmission count, N the node count and L the directed-link count.
+double throughput_factor(double lambda, double min_transmissions,
+                         std::int64_t nodes, std::int64_t links);
+
+/// Throughput factor of a torus carrying random broadcasting (rate
+/// lambda_b per node) and random 1-1 routing (rate lambda_r per node):
+///   rho = lambda_b (N-1)/deg + lambda_r D_ave/deg,
+/// with deg the per-node out-degree (2d when all n_i >= 3) and D_ave the
+/// exact mean shortest-path distance.  This is the paper's formula with
+/// the exact ring means instead of floor(n_i/4).
+double torus_rho(const topo::Torus& torus, double lambda_b, double lambda_r);
+
+/// The same with the paper's floor(n_i/4) ring averages, for reproducing
+/// the paper's numbers verbatim:
+///   rho = lambda_b (N-1)/(2d) + lambda_r sum_i floor(n_i/4) / (2d).
+double torus_rho_paper(const topo::Torus& torus, double lambda_b, double lambda_r);
+
+/// Hypercube throughput factor (paper, Section 2):
+///   rho = lambda_b (2^d - 1)/d + lambda_r (1/2 + 1/(2(2^d - 1))).
+double hypercube_rho(std::int32_t d, double lambda_b, double lambda_r);
+
+/// Broadcast-only throughput factor of an n x n mesh WITHOUT wraparound
+/// (paper, Section 2):  rho = lambda_b (n^2 - 1) / (4 - 4/n).
+double mesh_broadcast_rho(std::int32_t n, double lambda_b);
+
+/// Maximum throughput factor of dimension-ordered broadcast in a
+/// d-dimensional hypercube: 2/d (Stamoulis & Tsitsiklis; quoted in
+/// Sections 1-2 as the motivating failure of static schedules).
+double dimension_ordered_max_rho(std::int32_t d);
+
+/// Maximum throughput factor of the "separate" baseline (broadcast
+/// balanced for itself, unicast uncompensated) on the paper's
+/// n1 = ... = n_{d-1} = n_d/2 torus family with a 50/50 load split:
+///   rho_max = 2(d+1)/(3d+1),
+/// which approaches the 0.67 quoted in Section 1 as d grows.  Derivation:
+/// per-dimension unicast link load is proportional to the exact ring
+/// means n_i/4, so the long dimension carries 2d/(d+1) times the average;
+/// broadcast (balanced alone) adds a uniform 0.5 rho on every link.
+double separate_family_max_rho(std::int32_t d);
+
+/// Oblivious lower-bound curve Omega(d + 1/(1-rho)) for the average
+/// reception/broadcast delay; c_d and c_q are the two constants.
+double oblivious_lower_bound(std::int32_t d, double rho, double c_d = 1.0,
+                             double c_q = 1.0);
+
+/// Per-node arrival rates hitting a target throughput factor with a given
+/// fraction of the LOAD contributed by broadcast traffic.
+struct Rates {
+  double lambda_b = 0.0;  ///< broadcast source packets per node per unit time
+  double lambda_r = 0.0;  ///< unicast packets per node per unit time
+};
+
+/// Solves torus_rho(torus, lambda_b, lambda_r) == rho with
+/// lambda_b (N-1)/deg == broadcast_fraction * rho.
+/// broadcast_fraction in [0, 1]; rho >= 0.
+Rates rates_for_rho(const topo::Torus& torus, double rho,
+                    double broadcast_fraction);
+
+}  // namespace pstar::queueing

@@ -1,0 +1,83 @@
+#include "pstar/queueing/throughput.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pstar/topology/ring.hpp"
+
+namespace pstar::queueing {
+
+double throughput_factor(double lambda, double min_transmissions,
+                         std::int64_t nodes, std::int64_t links) {
+  if (links <= 0) throw std::invalid_argument("throughput_factor: no links");
+  return lambda * min_transmissions * static_cast<double>(nodes) /
+         static_cast<double>(links);
+}
+
+double torus_rho(const topo::Torus& torus, double lambda_b, double lambda_r) {
+  const double n = static_cast<double>(torus.node_count());
+  const double deg = torus.average_degree();
+  if (deg <= 0.0) return 0.0;
+  return lambda_b * (n - 1.0) / deg + lambda_r * torus.average_distance() / deg;
+}
+
+double torus_rho_paper(const topo::Torus& torus, double lambda_b,
+                       double lambda_r) {
+  const double n = static_cast<double>(torus.node_count());
+  const double two_d = 2.0 * static_cast<double>(torus.dims());
+  double dist = 0.0;
+  for (std::int32_t i = 0; i < torus.dims(); ++i) {
+    dist += topo::ring_mean_distance_paper(torus.shape().size(i));
+  }
+  return lambda_b * (n - 1.0) / two_d + lambda_r * dist / two_d;
+}
+
+double hypercube_rho(std::int32_t d, double lambda_b, double lambda_r) {
+  if (d < 1) throw std::invalid_argument("hypercube_rho: d must be >= 1");
+  const double n = std::ldexp(1.0, d);  // 2^d
+  return lambda_b * (n - 1.0) / d + lambda_r * (0.5 + 0.5 / (n - 1.0));
+}
+
+double mesh_broadcast_rho(std::int32_t n, double lambda_b) {
+  if (n < 2) throw std::invalid_argument("mesh_broadcast_rho: n must be >= 2");
+  const double nodes = static_cast<double>(n) * n;
+  return lambda_b * (nodes - 1.0) / (4.0 - 4.0 / n);
+}
+
+double dimension_ordered_max_rho(std::int32_t d) {
+  if (d < 1) throw std::invalid_argument("dimension_ordered_max_rho: d >= 1");
+  return 2.0 / static_cast<double>(d);
+}
+
+double separate_family_max_rho(std::int32_t d) {
+  if (d < 1) throw std::invalid_argument("separate_family_max_rho: d >= 1");
+  return 2.0 * (d + 1.0) / (3.0 * d + 1.0);
+}
+
+double oblivious_lower_bound(std::int32_t d, double rho, double c_d, double c_q) {
+  if (rho < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("oblivious_lower_bound: rho in [0, 1)");
+  }
+  return c_d * static_cast<double>(d) + c_q / (1.0 - rho);
+}
+
+Rates rates_for_rho(const topo::Torus& torus, double rho,
+                    double broadcast_fraction) {
+  if (rho < 0.0) throw std::invalid_argument("rates_for_rho: rho must be >= 0");
+  if (broadcast_fraction < 0.0 || broadcast_fraction > 1.0) {
+    throw std::invalid_argument("rates_for_rho: fraction in [0, 1]");
+  }
+  const double n = static_cast<double>(torus.node_count());
+  const double deg = torus.average_degree();
+  Rates rates;
+  if (n > 1.0 && broadcast_fraction > 0.0) {
+    rates.lambda_b = broadcast_fraction * rho * deg / (n - 1.0);
+  }
+  const double d_ave = torus.average_distance();
+  if (d_ave > 0.0 && broadcast_fraction < 1.0) {
+    rates.lambda_r = (1.0 - broadcast_fraction) * rho * deg / d_ave;
+  }
+  return rates;
+}
+
+}  // namespace pstar::queueing

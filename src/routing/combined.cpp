@@ -1,0 +1,63 @@
+#include "pstar/routing/combined.hpp"
+
+#include <stdexcept>
+
+namespace pstar::routing {
+
+CombinedPolicy::CombinedPolicy(std::unique_ptr<SdcBroadcastPolicy> broadcast,
+                               std::unique_ptr<UnicastPolicy> unicast,
+                               std::unique_ptr<MulticastPolicy> multicast)
+    : broadcast_(std::move(broadcast)),
+      unicast_(std::move(unicast)),
+      multicast_(std::move(multicast)) {}
+
+net::RoutingPolicy& CombinedPolicy::pick(const net::Engine& engine,
+                                         net::TaskId task) {
+  switch (engine.task(task).kind) {
+    case net::TaskKind::kBroadcast:
+      if (!broadcast_) throw std::logic_error("CombinedPolicy: no broadcast policy");
+      return *broadcast_;
+    case net::TaskKind::kUnicast:
+      if (!unicast_) throw std::logic_error("CombinedPolicy: no unicast policy");
+      return *unicast_;
+    case net::TaskKind::kMulticast:
+      break;
+  }
+  if (!multicast_) throw std::logic_error("CombinedPolicy: no multicast policy");
+  return *multicast_;
+}
+
+void CombinedPolicy::on_task(net::Engine& engine, net::TaskId task,
+                             topo::NodeId source) {
+  pick(engine, task).on_task(engine, task, source);
+}
+
+void CombinedPolicy::on_receive(net::Engine& engine, topo::NodeId node,
+                                const net::Copy& copy) {
+  pick(engine, copy.task).on_receive(engine, node, copy);
+}
+
+std::uint32_t CombinedPolicy::on_multicast(net::Engine& engine,
+                                           net::TaskId task,
+                                           topo::NodeId source,
+                                           std::span<const topo::NodeId> dests) {
+  if (!multicast_) throw std::logic_error("CombinedPolicy: no multicast policy");
+  return multicast_->on_multicast(engine, task, source, dests);
+}
+
+std::uint64_t CombinedPolicy::dropped_subtree_receptions(
+    const net::Engine& engine, const net::Copy& copy) {
+  switch (engine.task(copy.task).kind) {
+    case net::TaskKind::kBroadcast:
+      if (broadcast_) return broadcast_->dropped_subtree_receptions(engine, copy);
+      break;
+    case net::TaskKind::kMulticast:
+      if (multicast_) return multicast_->dropped_subtree_receptions(engine, copy);
+      break;
+    case net::TaskKind::kUnicast:
+      break;
+  }
+  return 1;
+}
+
+}  // namespace pstar::routing

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file combined.hpp
+/// Dispatching policy for heterogeneous traffic: broadcasts go to an
+/// SdcBroadcastPolicy, unicasts to a UnicastPolicy (Section 4 of the
+/// paper runs both simultaneously).
+
+#include <memory>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/net/policy.hpp"
+#include "pstar/routing/multicast.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/unicast.hpp"
+
+namespace pstar::routing {
+
+/// Routes each task with the sub-policy matching its kind.  Any
+/// sub-policy may be null when that traffic type is absent; routing a
+/// task with a missing sub-policy throws.
+class CombinedPolicy : public net::RoutingPolicy {
+ public:
+  CombinedPolicy(std::unique_ptr<SdcBroadcastPolicy> broadcast,
+                 std::unique_ptr<UnicastPolicy> unicast,
+                 std::unique_ptr<MulticastPolicy> multicast = nullptr);
+
+  void on_task(net::Engine& engine, net::TaskId task,
+               topo::NodeId source) override;
+  void on_receive(net::Engine& engine, topo::NodeId node,
+                  const net::Copy& copy) override;
+  std::uint32_t on_multicast(net::Engine& engine, net::TaskId task,
+                             topo::NodeId source,
+                             std::span<const topo::NodeId> dests) override;
+  std::uint64_t dropped_subtree_receptions(const net::Engine& engine,
+                                           const net::Copy& copy) override;
+
+  SdcBroadcastPolicy* broadcast() { return broadcast_.get(); }
+  UnicastPolicy* unicast() { return unicast_.get(); }
+  MulticastPolicy* multicast() { return multicast_.get(); }
+
+ private:
+  net::RoutingPolicy& pick(const net::Engine& engine, net::TaskId task);
+
+  std::unique_ptr<SdcBroadcastPolicy> broadcast_;
+  std::unique_ptr<UnicastPolicy> unicast_;
+  std::unique_ptr<MulticastPolicy> multicast_;
+};
+
+}  // namespace pstar::routing

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file multicast.hpp
+/// STAR multicast: random multicasting over pruned SDC broadcast trees.
+///
+/// Section 4 of the paper lists multicast among the request types present
+/// in a dynamic environment alongside unicast and broadcast.  The natural
+/// STAR treatment: pick an ending dimension from the same probability
+/// vector, build the SDC broadcast tree, and prune every edge that does
+/// not lead to a destination.  The pruned tree delivers the packet to
+/// each destination along its unique (shortest) tree path; relay nodes on
+/// those paths receive the packet too, as in any tree-based multicast.
+/// Priorities follow the broadcast rule: ending-dimension edges LOW,
+/// everything else HIGH.
+///
+/// Unlike broadcast/unicast copies, a pruned tree has no compact per-copy
+/// routing state, so the policy keeps a per-task plan (edge list +
+/// adjacency) and copies carry only their edge index.  Plans are created
+/// at task start and freed when the last planned edge has been delivered
+/// or charged to a drop.
+
+#include <unordered_map>
+#include <vector>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/net/policy.hpp"
+#include "pstar/routing/priorities.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::routing {
+
+/// Configuration of the multicast policy.
+struct MulticastConfig {
+  /// Ending-dimension probabilities (one per torus dimension).
+  std::vector<double> ending_probabilities;
+  /// Class assignment; tree/ending map exactly as for broadcast.
+  PriorityMap priorities;
+};
+
+/// RoutingPolicy for pruned-SDC-tree multicasts.  Handles kMulticast
+/// tasks only; combine with the broadcast/unicast policies through
+/// CombinedPolicy for heterogeneous traffic.
+class MulticastPolicy : public net::RoutingPolicy {
+ public:
+  MulticastPolicy(const topo::Torus& torus, MulticastConfig config);
+
+  void on_task(net::Engine& engine, net::TaskId task,
+               topo::NodeId source) override;
+  void on_receive(net::Engine& engine, topo::NodeId node,
+                  const net::Copy& copy) override;
+  std::uint32_t on_multicast(net::Engine& engine, net::TaskId task,
+                             topo::NodeId source,
+                             std::span<const topo::NodeId> dests) override;
+  std::uint64_t dropped_subtree_receptions(const net::Engine& engine,
+                                           const net::Copy& copy) override;
+
+  /// Builds the pruned tree for a destination set: the subset of the SDC
+  /// tree's edges lying on a path from the source to some destination.
+  /// With an rng, long-arc directions are randomized per ring walk (as
+  /// live traffic does); without, deterministic for tests.
+  std::vector<TreeEdge> build_pruned_tree(
+      topo::NodeId source, std::int32_t ending_dim,
+      std::span<const topo::NodeId> dests, sim::Rng* rng = nullptr) const;
+
+  /// Monte-Carlo estimate of the expected transmissions of a random
+  /// m-destination multicast under this policy's ending distribution
+  /// (used to convert arrival rates into throughput factors).
+  double expected_transmissions(std::int32_t group_size, std::size_t samples,
+                                sim::Rng& rng) const;
+
+  /// Number of live plans (for leak checks in tests).
+  std::size_t live_plans() const { return plans_.size(); }
+
+ private:
+  struct Plan {
+    std::vector<TreeEdge> edges;
+    /// children[e] = indices of planned edges leaving edges[e].to.
+    std::vector<std::vector<std::int32_t>> children;
+    /// root_edges = planned edges leaving the source.
+    std::vector<std::int32_t> root_edges;
+    /// Planned edges not yet delivered or charged to a drop.
+    std::uint32_t outstanding = 0;
+  };
+
+  void send_edge(net::Engine& engine, net::TaskId task, const Plan& plan,
+                 std::int32_t edge_index);
+  /// Removes `count` outstanding edges; frees the plan at zero.
+  void retire(net::TaskId task, std::uint32_t count);
+
+  const topo::Torus& torus_;
+  MulticastConfig config_;
+  sim::DiscreteSampler sampler_;
+  std::unordered_map<net::TaskId, Plan> plans_;
+};
+
+}  // namespace pstar::routing

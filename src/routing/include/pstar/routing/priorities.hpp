@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file priorities.hpp
+/// Priority disciplines of the paper, mapped onto the engine's classes.
+///
+/// Section 3.2: broadcast transmissions on the ending dimension get LOW
+/// priority, the rest HIGH.  Section 4 adds unicast traffic either at HIGH
+/// (two-class) or at MEDIUM between the broadcast classes (three-class,
+/// "to further reduce the average reception delay for random
+/// broadcasting").
+
+#include "pstar/net/packet.hpp"
+
+namespace pstar::routing {
+
+/// Which priority discipline a scheme runs under.
+enum class Discipline {
+  kFcfs,        ///< single class; first-come first-served (baseline of [12])
+  kTwoClass,    ///< unicast + broadcast tree HIGH, broadcast ending dim LOW
+  kThreeClass,  ///< broadcast tree HIGH, unicast MEDIUM, ending dim LOW
+};
+
+/// Concrete class assignment for each traffic component.
+struct PriorityMap {
+  net::Priority broadcast_tree = net::Priority::kHigh;
+  net::Priority broadcast_ending = net::Priority::kHigh;
+  net::Priority unicast = net::Priority::kHigh;
+};
+
+/// Builds the class assignment for a discipline.
+PriorityMap priority_map(Discipline d);
+
+}  // namespace pstar::routing

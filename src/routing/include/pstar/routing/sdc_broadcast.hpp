@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file sdc_broadcast.hpp
+/// The nonidling SDC broadcast of Section 3.1, as an engine RoutingPolicy,
+/// plus a pure tree builder for tests and visualization.
+///
+/// For ending dimension l, phase q in 0..d-1 floods dimension
+/// (l+1+q) mod d: every node holding the packet broadcasts around that
+/// ring through both directions (the "long" arc covers ceil((n-1)/2)
+/// nodes, the "short" arc the rest).  Phase d-1 flods the ending dimension
+/// itself; its transmissions carry the LOW priority class under priority
+/// STAR.  Virtual channel 1 is used on dimensions > l and channel 2 on
+/// dimensions <= l, exactly as in the paper's deadlock-freedom argument.
+
+#include <vector>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/net/policy.hpp"
+#include "pstar/routing/priorities.hpp"
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::routing {
+
+/// Configuration of the SDC broadcast policy.
+struct SdcBroadcastConfig {
+  /// Ending-dimension probabilities (STAR, uniform, fixed...).  Must have
+  /// one entry per torus dimension.
+  std::vector<double> ending_probabilities;
+  /// Class assignment for tree vs ending-dimension transmissions.
+  PriorityMap priorities;
+  /// When true (default) the direction carrying the longer arc of each
+  /// ring flood is chosen uniformly at random, so + and - links of a
+  /// dimension carry equal load in expectation on even rings.  Tests and
+  /// visualizations set false for determinism (+ always long).
+  bool randomize_long_arc = true;
+};
+
+/// RoutingPolicy implementing (priority) STAR broadcast.
+class SdcBroadcastPolicy : public net::RoutingPolicy {
+ public:
+  SdcBroadcastPolicy(const topo::Torus& torus, SdcBroadcastConfig config);
+
+  void on_task(net::Engine& engine, net::TaskId task,
+               topo::NodeId source) override;
+  void on_receive(net::Engine& engine, topo::NodeId node,
+                  const net::Copy& copy) override;
+
+  /// Receptions orphaned when this copy is dropped: the (hops_left + 1)
+  /// nodes remaining on its ring arc, each of which would have seeded
+  /// every later phase -- i.e. (hops_left + 1) * prod of later-phase
+  /// dimension sizes.  Subtrees of distinct copies are disjoint, so drops
+  /// account exactly.
+  std::uint64_t dropped_subtree_receptions(const net::Engine& engine,
+                                           const net::Copy& copy) override;
+
+  /// The sampler's normalized ending-dimension distribution.
+  double ending_probability(std::int32_t dim) const {
+    return sampler_.probability(static_cast<std::size_t>(dim));
+  }
+
+ private:
+  /// Starts the ring flood of phase q at `node` for the task of `proto`
+  /// (a copy carrying task id and ending dimension).
+  void initiate_ring(net::Engine& engine, net::TaskId task,
+                     topo::NodeId node, std::int32_t ending_dim,
+                     std::int32_t phase);
+
+  const topo::Torus& torus_;
+  SdcBroadcastConfig config_;
+  sim::DiscreteSampler sampler_;
+};
+
+/// One edge of a static SDC broadcast tree.
+struct TreeEdge {
+  topo::NodeId from = 0;
+  topo::NodeId to = 0;
+  std::int32_t dim = 0;
+  topo::Dir dir = topo::Dir::kPlus;
+  std::int32_t phase = 0;  ///< 0..d-1; phase d-1 is the ending dimension
+  bool ending = false;     ///< true on ending-dimension (low priority) edges
+  std::uint8_t vc = 0;     ///< virtual channel the edge would use
+};
+
+/// Enumerates the SDC broadcast tree rooted at `source` with the given
+/// ending dimension.  The result has exactly N-1 edges, each delivering
+/// the packet to a distinct node, listed in BFS phase order (parents
+/// before children).  Without an rng the long arc of every ring walk
+/// goes in the + direction (deterministic, for tests and viz); with an
+/// rng the long-arc direction of each walk is a fair coin flip, which
+/// balances + and - links of even rings in expectation.
+std::vector<TreeEdge> build_sdc_tree(const topo::Torus& torus,
+                                     topo::NodeId source,
+                                     std::int32_t ending_dim,
+                                     sim::Rng* rng = nullptr);
+
+}  // namespace pstar::routing

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file unicast.hpp
+/// Shortest-path random 1-1 routing in a torus (Section 4): each packet
+/// travels the minimal ring arc in every dimension; exact ties on even
+/// rings are broken uniformly at random per packet, keeping both
+/// directions of each dimension equally loaded.
+
+#include "pstar/net/engine.hpp"
+#include "pstar/net/policy.hpp"
+#include "pstar/routing/priorities.hpp"
+
+namespace pstar::routing {
+
+/// Order in which a unicast consumes its per-dimension offsets.
+enum class DimOrder {
+  kAscending,  ///< classic e-cube: dimension 0 first
+  kRandom,     ///< uniformly random nonzero dimension at each hop
+  kAdaptive,   ///< minimal-adaptive: the productive dimension whose next
+               ///< link has the smallest backlog (join-shortest-queue
+               ///< restricted to shortest paths)
+};
+
+/// Configuration for the unicast router.
+struct UnicastConfig {
+  net::Priority priority = net::Priority::kHigh;
+  DimOrder order = DimOrder::kAscending;
+};
+
+/// RoutingPolicy for shortest-path unicasts.
+class UnicastPolicy : public net::RoutingPolicy {
+ public:
+  UnicastPolicy(const topo::Torus& torus, UnicastConfig config);
+
+  void on_task(net::Engine& engine, net::TaskId task,
+               topo::NodeId source) override;
+  void on_receive(net::Engine& engine, topo::NodeId node,
+                  const net::Copy& copy) override;
+
+ private:
+  /// Forwards the copy one hop toward its destination, or reports
+  /// delivery when all offsets are exhausted.
+  void forward(net::Engine& engine, topo::NodeId node, net::Copy copy);
+
+  const topo::Torus& torus_;
+  UnicastConfig config_;
+};
+
+}  // namespace pstar::routing

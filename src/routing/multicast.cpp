@@ -1,0 +1,171 @@
+#include "pstar/routing/multicast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pstar::routing {
+
+MulticastPolicy::MulticastPolicy(const topo::Torus& torus,
+                                 MulticastConfig config)
+    : torus_(torus),
+      config_(std::move(config)),
+      sampler_(config_.ending_probabilities) {
+  if (static_cast<std::int32_t>(config_.ending_probabilities.size()) !=
+      torus_.dims()) {
+    throw std::invalid_argument(
+        "MulticastPolicy: probability vector arity mismatch");
+  }
+}
+
+void MulticastPolicy::on_task(net::Engine&, net::TaskId, topo::NodeId) {
+  throw std::logic_error(
+      "MulticastPolicy: multicasts are created via Engine::create_multicast");
+}
+
+std::vector<TreeEdge> MulticastPolicy::build_pruned_tree(
+    topo::NodeId source, std::int32_t ending_dim,
+    std::span<const topo::NodeId> dests, sim::Rng* rng) const {
+  const std::vector<TreeEdge> full =
+      build_sdc_tree(torus_, source, ending_dim, rng);
+  std::unordered_set<topo::NodeId> keep(dests.begin(), dests.end());
+  keep.erase(source);  // the source already has the packet
+  // Edges are listed parents-first; a reverse sweep keeps exactly the
+  // edges on some source -> destination path.
+  std::vector<bool> kept(full.size(), false);
+  for (std::size_t i = full.size(); i-- > 0;) {
+    if (keep.count(full[i].to)) {
+      kept[i] = true;
+      keep.insert(full[i].from);
+    }
+  }
+  std::vector<TreeEdge> pruned;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (kept[i]) pruned.push_back(full[i]);
+  }
+  return pruned;
+}
+
+std::uint32_t MulticastPolicy::on_multicast(
+    net::Engine& engine, net::TaskId task, topo::NodeId source,
+    std::span<const topo::NodeId> dests) {
+  const auto ending_dim =
+      static_cast<std::int32_t>(sampler_.sample(engine.rng()));
+  Plan plan;
+  plan.edges = build_pruned_tree(source, ending_dim, dests, &engine.rng());
+  const auto edge_count = static_cast<std::uint32_t>(plan.edges.size());
+  if (edge_count == 0) return 0;
+
+  // Adjacency by origin node (tree property: one incoming edge per node,
+  // so grouping outgoing edges by origin is unambiguous).
+  std::unordered_map<topo::NodeId, std::vector<std::int32_t>> from_node;
+  for (std::size_t i = 0; i < plan.edges.size(); ++i) {
+    from_node[plan.edges[i].from].push_back(static_cast<std::int32_t>(i));
+  }
+  plan.children.resize(plan.edges.size());
+  for (std::size_t i = 0; i < plan.edges.size(); ++i) {
+    auto it = from_node.find(plan.edges[i].to);
+    if (it != from_node.end()) plan.children[i] = it->second;
+  }
+  auto roots = from_node.find(source);
+  if (roots != from_node.end()) plan.root_edges = roots->second;
+  plan.outstanding = edge_count;
+
+  const auto [slot, inserted] = plans_.emplace(task, std::move(plan));
+  if (!inserted) {
+    throw std::logic_error("MulticastPolicy: duplicate live task id");
+  }
+  for (std::int32_t e : slot->second.root_edges) {
+    send_edge(engine, task, slot->second, e);
+  }
+  return edge_count;
+}
+
+void MulticastPolicy::on_receive(net::Engine& engine, topo::NodeId /*node*/,
+                                 const net::Copy& copy) {
+  auto it = plans_.find(copy.task);
+  if (it == plans_.end()) {
+    throw std::logic_error("MulticastPolicy: reception for unknown plan");
+  }
+  const std::int32_t edge = copy.mcast.edge;
+  for (std::int32_t child : it->second.children[static_cast<std::size_t>(edge)]) {
+    send_edge(engine, copy.task, it->second, child);
+  }
+  retire(copy.task, 1);
+}
+
+std::uint64_t MulticastPolicy::dropped_subtree_receptions(
+    const net::Engine& /*engine*/, const net::Copy& copy) {
+  auto it = plans_.find(copy.task);
+  if (it == plans_.end()) {
+    throw std::logic_error("MulticastPolicy: drop for unknown plan");
+  }
+  // Count edges reachable from (and including) the dropped one.
+  std::uint64_t count = 0;
+  std::vector<std::int32_t> stack{copy.mcast.edge};
+  while (!stack.empty()) {
+    const std::int32_t e = stack.back();
+    stack.pop_back();
+    ++count;
+    for (std::int32_t child : it->second.children[static_cast<std::size_t>(e)]) {
+      stack.push_back(child);
+    }
+  }
+  retire(copy.task, static_cast<std::uint32_t>(count));
+  return count;
+}
+
+void MulticastPolicy::send_edge(net::Engine& engine, net::TaskId task,
+                                const Plan& plan, std::int32_t edge_index) {
+  const TreeEdge& e = plan.edges[static_cast<std::size_t>(edge_index)];
+  net::Copy copy;
+  copy.task = task;
+  copy.prio = e.ending ? config_.priorities.broadcast_ending
+                       : config_.priorities.broadcast_tree;
+  copy.vc = e.vc;
+  copy.mcast = net::MulticastState{edge_index};
+  engine.send(e.from, e.dim, e.dir, copy);
+}
+
+void MulticastPolicy::retire(net::TaskId task, std::uint32_t count) {
+  auto it = plans_.find(task);
+  if (it == plans_.end()) return;
+  if (count > it->second.outstanding) {
+    throw std::logic_error("MulticastPolicy: retired more edges than planned");
+  }
+  it->second.outstanding -= count;
+  if (it->second.outstanding == 0) plans_.erase(it);
+}
+
+double MulticastPolicy::expected_transmissions(std::int32_t group_size,
+                                               std::size_t samples,
+                                               sim::Rng& rng) const {
+  const auto n = static_cast<std::int64_t>(torus_.node_count());
+  if (group_size < 1 || group_size > n - 1) {
+    throw std::invalid_argument("expected_transmissions: bad group size");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("expected_transmissions: need samples");
+  }
+  double total = 0.0;
+  std::vector<topo::NodeId> dests;
+  std::unordered_set<topo::NodeId> seen;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto source =
+        static_cast<topo::NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    dests.clear();
+    seen.clear();
+    while (static_cast<std::int32_t>(dests.size()) < group_size) {
+      const auto d =
+          static_cast<topo::NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+      if (d == source || !seen.insert(d).second) continue;
+      dests.push_back(d);
+    }
+    const auto l = static_cast<std::int32_t>(sampler_.sample(rng));
+    total +=
+        static_cast<double>(build_pruned_tree(source, l, dests, &rng).size());
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace pstar::routing

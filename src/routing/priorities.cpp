@@ -1,0 +1,28 @@
+#include "pstar/routing/priorities.hpp"
+
+namespace pstar::routing {
+
+PriorityMap priority_map(Discipline d) {
+  using net::Priority;
+  PriorityMap map;
+  switch (d) {
+    case Discipline::kFcfs:
+      map.broadcast_tree = Priority::kHigh;
+      map.broadcast_ending = Priority::kHigh;
+      map.unicast = Priority::kHigh;
+      break;
+    case Discipline::kTwoClass:
+      map.broadcast_tree = Priority::kHigh;
+      map.broadcast_ending = Priority::kLow;
+      map.unicast = Priority::kHigh;
+      break;
+    case Discipline::kThreeClass:
+      map.broadcast_tree = Priority::kHigh;
+      map.broadcast_ending = Priority::kLow;
+      map.unicast = Priority::kMedium;
+      break;
+  }
+  return map;
+}
+
+}  // namespace pstar::routing

@@ -1,0 +1,175 @@
+#include "pstar/routing/sdc_broadcast.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "pstar/topology/ring.hpp"
+
+namespace pstar::routing {
+namespace {
+
+/// Dimension flooded during phase q for ending dimension l (0-based).
+std::int32_t phase_dimension(std::int32_t ending_dim, std::int32_t phase,
+                             std::int32_t dims) {
+  return (ending_dim + 1 + phase) % dims;
+}
+
+std::uint8_t vc_for_dim(std::int32_t dim, std::int32_t ending_dim) {
+  // Paper: virtual channel 1 on dimensions beyond l, channel 2 otherwise.
+  return dim > ending_dim ? 0 : 1;
+}
+
+}  // namespace
+
+SdcBroadcastPolicy::SdcBroadcastPolicy(const topo::Torus& torus,
+                                       SdcBroadcastConfig config)
+    : torus_(torus),
+      config_(std::move(config)),
+      sampler_(config_.ending_probabilities) {
+  if (static_cast<std::int32_t>(config_.ending_probabilities.size()) !=
+      torus_.dims()) {
+    throw std::invalid_argument(
+        "SdcBroadcastPolicy: probability vector arity mismatch");
+  }
+  if (torus_.dims() > net::kMaxDims) {
+    throw std::invalid_argument("SdcBroadcastPolicy: too many dimensions");
+  }
+}
+
+void SdcBroadcastPolicy::on_task(net::Engine& engine, net::TaskId task,
+                                 topo::NodeId source) {
+  const auto ending_dim =
+      static_cast<std::int32_t>(sampler_.sample(engine.rng()));
+  // The source participates in every phase's ring flood.
+  for (std::int32_t q = 0; q < torus_.dims(); ++q) {
+    initiate_ring(engine, task, source, ending_dim, q);
+  }
+}
+
+void SdcBroadcastPolicy::on_receive(net::Engine& engine, topo::NodeId node,
+                                    const net::Copy& copy) {
+  const net::BroadcastState& st = copy.bcast;
+  // Continue the current ring flood.
+  if (st.hops_left > 0) {
+    net::Copy fwd = copy;
+    fwd.bcast.hops_left = static_cast<std::int8_t>(st.hops_left - 1);
+    engine.send(node, phase_dimension(st.ending_dim, st.phase, torus_.dims()),
+                st.dir > 0 ? topo::Dir::kPlus : topo::Dir::kMinus, fwd);
+  }
+  // Start all later phases from this node.
+  for (std::int32_t q = st.phase + 1; q < torus_.dims(); ++q) {
+    initiate_ring(engine, copy.task, node, st.ending_dim, q);
+  }
+}
+
+std::uint64_t SdcBroadcastPolicy::dropped_subtree_receptions(
+    const net::Engine& /*engine*/, const net::Copy& copy) {
+  const std::int32_t d = torus_.dims();
+  const net::BroadcastState& st = copy.bcast;
+  std::uint64_t subtree = static_cast<std::uint64_t>(st.hops_left) + 1;
+  for (std::int32_t q = st.phase + 1; q < d; ++q) {
+    subtree *= static_cast<std::uint64_t>(
+        torus_.shape().size(phase_dimension(st.ending_dim, q, d)));
+  }
+  return subtree;
+}
+
+void SdcBroadcastPolicy::initiate_ring(net::Engine& engine, net::TaskId task,
+                                       topo::NodeId node,
+                                       std::int32_t ending_dim,
+                                       std::int32_t phase) {
+  const std::int32_t d = torus_.dims();
+  const std::int32_t dim = phase_dimension(ending_dim, phase, d);
+  const std::int32_t n = torus_.shape().size(dim);
+  if (n < 2) return;  // size-1 dimensions carry no traffic
+
+  const bool is_ending = phase == d - 1;
+  net::Copy proto;
+  proto.task = task;
+  proto.prio = is_ending ? config_.priorities.broadcast_ending
+                         : config_.priorities.broadcast_tree;
+  proto.vc = vc_for_dim(dim, ending_dim);
+  proto.bcast.ending_dim = static_cast<std::int8_t>(ending_dim);
+  proto.bcast.phase = static_cast<std::int8_t>(phase);
+
+  auto send_arc = [&](topo::Dir arc_dir, std::int32_t arc_len) {
+    if (arc_len < 1) return;
+    net::Copy copy = proto;
+    copy.bcast.dir = static_cast<std::int8_t>(topo::step_of(arc_dir));
+    copy.bcast.hops_left = static_cast<std::int8_t>(arc_len - 1);
+    engine.send(node, dim, arc_dir, copy);
+  };
+
+  if (!torus_.wraps(dim)) {
+    // Mesh line: the packet runs to each boundary from this position.
+    const std::int32_t c = torus_.shape().coord_of(node, dim);
+    send_arc(topo::Dir::kPlus, n - 1 - c);
+    send_arc(topo::Dir::kMinus, c);
+    return;
+  }
+
+  if (n == 2) {
+    send_arc(topo::Dir::kPlus, 1);
+    return;
+  }
+
+  // Ring: split into the long arc ceil((n-1)/2) and the short arc
+  // floor((n-1)/2); randomize which direction carries the long arc so
+  // both directions of even rings are equally loaded in expectation.
+  const bool long_plus =
+      config_.randomize_long_arc ? engine.rng().flip() : true;
+  const topo::Dir long_dir = long_plus ? topo::Dir::kPlus : topo::Dir::kMinus;
+  send_arc(long_dir, topo::ring_long_arc(n));
+  send_arc(topo::opposite(long_dir), topo::ring_short_arc(n));
+}
+
+std::vector<TreeEdge> build_sdc_tree(const topo::Torus& torus,
+                                     topo::NodeId source,
+                                     std::int32_t ending_dim,
+                                     sim::Rng* rng) {
+  const std::int32_t d = torus.dims();
+  if (ending_dim < 0 || ending_dim >= d) {
+    throw std::invalid_argument("build_sdc_tree: ending_dim out of range");
+  }
+  std::vector<TreeEdge> edges;
+  edges.reserve(static_cast<std::size_t>(torus.node_count() - 1));
+
+  // holders[q] = nodes that have the packet before phase q starts.
+  std::vector<topo::NodeId> holders{source};
+  for (std::int32_t q = 0; q < d; ++q) {
+    const std::int32_t dim = phase_dimension(ending_dim, q, d);
+    const std::int32_t n = torus.shape().size(dim);
+    const std::size_t holders_before = holders.size();
+    if (n < 2) continue;
+    for (std::size_t h = 0; h < holders_before; ++h) {
+      const topo::NodeId start = holders[h];
+      auto walk = [&](topo::Dir dir, std::int32_t arc) {
+        topo::NodeId at = start;
+        for (std::int32_t s = 0; s < arc; ++s) {
+          const topo::NodeId next =
+              torus.shape().neighbor(at, dim, topo::step_of(dir));
+          edges.push_back(TreeEdge{at, next, dim, dir, q, q == d - 1,
+                                   vc_for_dim(dim, ending_dim)});
+          holders.push_back(next);
+          at = next;
+        }
+      };
+      if (!torus.wraps(dim)) {
+        const std::int32_t c = torus.shape().coord_of(start, dim);
+        walk(topo::Dir::kPlus, n - 1 - c);
+        walk(topo::Dir::kMinus, c);
+      } else if (n == 2) {
+        walk(topo::Dir::kPlus, 1);
+      } else {
+        const topo::Dir long_dir =
+            (rng != nullptr && rng->flip()) ? topo::Dir::kMinus
+                                            : topo::Dir::kPlus;
+        walk(long_dir, topo::ring_long_arc(n));
+        walk(topo::opposite(long_dir), topo::ring_short_arc(n));
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace pstar::routing

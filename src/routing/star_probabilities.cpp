@@ -1,0 +1,195 @@
+#include "pstar/routing/star_probabilities.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pstar/linalg/solve.hpp"
+#include "pstar/topology/ring.hpp"
+
+namespace pstar::routing {
+namespace {
+
+/// Position of `dim` in the rotated dimension order for ending dimension
+/// l: phases traverse dims (l+1, l+2, ..., d-1, 0, ..., l), 0-based.
+std::int32_t rotated_position(std::int32_t dim, std::int32_t ending_dim,
+                              std::int32_t dims) {
+  return (dim - ending_dim - 1 + dims) % dims;
+}
+
+/// Clamps a raw solution onto the probability simplex: negatives to 0,
+/// then renormalize.  Falls back to uniform when everything clamps away.
+std::vector<double> clamp_to_simplex(const std::vector<double>& raw) {
+  std::vector<double> x(raw.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    x[i] = raw[i] > 0.0 ? raw[i] : 0.0;
+    total += x[i];
+  }
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(raw.size());
+    for (double& v : x) v = u;
+    return x;
+  }
+  for (double& v : x) v /= total;
+  return x;
+}
+
+bool in_simplex(const std::vector<double>& x) {
+  for (double v : x) {
+    if (v < -1e-12 || v > 1.0 + 1e-12) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double sdc_transmissions(const topo::Shape& shape, std::int32_t dim,
+                         std::int32_t ending_dim) {
+  const std::int32_t d = shape.dims();
+  if (dim < 0 || dim >= d || ending_dim < 0 || ending_dim >= d) {
+    throw std::invalid_argument("sdc_transmissions: dimension out of range");
+  }
+  const std::int32_t pos = rotated_position(dim, ending_dim, d);
+  double acc = static_cast<double>(shape.size(dim) - 1);
+  for (std::int32_t j = 0; j < d; ++j) {
+    if (rotated_position(j, ending_dim, d) < pos) {
+      acc *= static_cast<double>(shape.size(j));
+    }
+  }
+  return acc;
+}
+
+linalg::Matrix sdc_coefficient_matrix(const topo::Shape& shape) {
+  const std::int32_t d = shape.dims();
+  linalg::Matrix a(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (std::int32_t i = 0; i < d; ++i) {
+    for (std::int32_t l = 0; l < d; ++l) {
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) =
+          sdc_transmissions(shape, i, l);
+    }
+  }
+  return a;
+}
+
+StarProbabilities star_probabilities(const topo::Torus& torus) {
+  // Eq. (2), with lambda_r = 0; any positive lambda_b cancels out.
+  return heterogeneous_probabilities(torus, 1.0, 0.0);
+}
+
+StarProbabilities heterogeneous_probabilities(const topo::Torus& torus,
+                                              double lambda_b,
+                                              double lambda_r) {
+  if (lambda_b < 0.0 || lambda_r < 0.0) {
+    throw std::invalid_argument("heterogeneous_probabilities: negative rate");
+  }
+  const std::int32_t d = torus.dims();
+  if (lambda_b == 0.0 || d == 1) {
+    StarProbabilities p = uniform_probabilities(d);
+    if (d == 1) p.raw = p.x;
+    return p;
+  }
+
+  const topo::Shape& shape = torus.shape();
+  const double n = static_cast<double>(torus.node_count());
+  const double deg = torus.average_degree();
+
+  // Target per-link load (the common value both traffic types must sum
+  // to on every link):  C = [lambda_b (N-1) + lambda_r sum_i m_i] / deg.
+  double unicast_hops_total = 0.0;
+  for (std::int32_t i = 0; i < d; ++i) unicast_hops_total += torus.mean_hops(i);
+  const double c = (lambda_b * (n - 1.0) + lambda_r * unicast_hops_total) / deg;
+
+  // Row i:  lambda_b sum_l A(i,l) x_l / d_i = C - lambda_r m_i / d_i.
+  linalg::Matrix a = sdc_coefficient_matrix(shape);
+  std::vector<double> rhs(static_cast<std::size_t>(d));
+  for (std::int32_t i = 0; i < d; ++i) {
+    // Average links per node in this dimension (exact for tori; the
+    // per-dimension mean for meshes, whose boundary nodes have fewer).
+    const double di = torus.avg_links_per_node(i);
+    if (di == 0.0) {
+      // Size-1 dimension: no links, no equation; pin x_i = 0 by turning
+      // the row into x_i = 0 (the dimension generates no transmissions).
+      for (std::int32_t l = 0; l < d; ++l) {
+        a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) =
+            (l == i) ? 1.0 : 0.0;
+      }
+      rhs[static_cast<std::size_t>(i)] = 0.0;
+      continue;
+    }
+    for (std::int32_t l = 0; l < d; ++l) {
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *=
+          lambda_b / di;
+    }
+    rhs[static_cast<std::size_t>(i)] = c - lambda_r * torus.mean_hops(i) / di;
+  }
+
+  const auto solved = linalg::solve(a, rhs);
+  StarProbabilities result;
+  if (!solved) {
+    // Singular balance system (does not occur for well-formed tori, but a
+    // caller-supplied degenerate shape could trigger it): fall back to
+    // uniform, marked infeasible.
+    result = uniform_probabilities(d);
+    result.feasible = false;
+    return result;
+  }
+  result.raw = solved->x;
+  result.feasible = in_simplex(result.raw);
+  result.x = result.feasible ? result.raw : clamp_to_simplex(result.raw);
+  // Normalize tiny numerical drift so downstream samplers see an exact
+  // distribution.
+  double total = 0.0;
+  for (double v : result.x) total += v;
+  if (total > 0.0) {
+    for (double& v : result.x) v /= total;
+  }
+  for (double& v : result.x) {
+    if (v < 0.0) v = 0.0;
+  }
+  return result;
+}
+
+StarProbabilities uniform_probabilities(std::int32_t dims) {
+  if (dims < 1) throw std::invalid_argument("uniform_probabilities: dims >= 1");
+  StarProbabilities p;
+  p.x.assign(static_cast<std::size_t>(dims), 1.0 / static_cast<double>(dims));
+  p.raw = p.x;
+  p.feasible = true;
+  return p;
+}
+
+StarProbabilities fixed_probabilities(std::int32_t dims, std::int32_t ending_dim) {
+  if (ending_dim < 0 || ending_dim >= dims) {
+    throw std::invalid_argument("fixed_probabilities: ending_dim out of range");
+  }
+  StarProbabilities p;
+  p.x.assign(static_cast<std::size_t>(dims), 0.0);
+  p.x[static_cast<std::size_t>(ending_dim)] = 1.0;
+  p.raw = p.x;
+  p.feasible = true;
+  return p;
+}
+
+std::vector<double> predicted_dimension_load(const topo::Torus& torus,
+                                             const std::vector<double>& x,
+                                             double lambda_b, double lambda_r) {
+  const std::int32_t d = torus.dims();
+  if (static_cast<std::int32_t>(x.size()) != d) {
+    throw std::invalid_argument("predicted_dimension_load: wrong arity");
+  }
+  std::vector<double> load(static_cast<std::size_t>(d), 0.0);
+  for (std::int32_t i = 0; i < d; ++i) {
+    const double di = torus.avg_links_per_node(i);
+    if (di == 0.0) continue;
+    double bcast = 0.0;
+    for (std::int32_t l = 0; l < d; ++l) {
+      bcast += sdc_transmissions(torus.shape(), i, l) *
+               x[static_cast<std::size_t>(l)];
+    }
+    load[static_cast<std::size_t>(i)] =
+        (lambda_b * bcast + lambda_r * torus.mean_hops(i)) / di;
+  }
+  return load;
+}
+
+}  // namespace pstar::routing

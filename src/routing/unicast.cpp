@@ -1,0 +1,96 @@
+#include "pstar/routing/unicast.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "pstar/topology/ring.hpp"
+
+namespace pstar::routing {
+
+UnicastPolicy::UnicastPolicy(const topo::Torus& torus, UnicastConfig config)
+    : torus_(torus), config_(config) {
+  if (torus_.dims() > net::kMaxDims) {
+    throw std::invalid_argument("UnicastPolicy: too many dimensions");
+  }
+}
+
+void UnicastPolicy::on_task(net::Engine& engine, net::TaskId task,
+                            topo::NodeId source) {
+  const net::Task& t = engine.task(task);
+  net::Copy copy;
+  copy.task = task;
+  copy.prio = config_.priority;
+  copy.vc = 0;
+  copy.uni = net::UnicastState{};
+  for (std::int32_t i = 0; i < torus_.dims(); ++i) {
+    const std::int32_t n = torus_.shape().size(i);
+    const std::int32_t a = torus_.shape().coord_of(source, i);
+    const std::int32_t b = torus_.shape().coord_of(t.dest, i);
+    std::int32_t off;
+    if (torus_.wraps(i)) {
+      off = topo::ring_offset(a, b, n);
+      // Both arcs are shortest when |off| == n/2 on an even ring; choose
+      // a direction uniformly so neither is systematically favored.
+      if (topo::ring_tie(a, b, n) && engine.rng().flip()) off = -off;
+    } else {
+      off = b - a;  // a line has a unique shortest direction
+    }
+    copy.uni.offsets[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(off);
+  }
+  forward(engine, source, copy);
+}
+
+void UnicastPolicy::on_receive(net::Engine& engine, topo::NodeId node,
+                               const net::Copy& copy) {
+  forward(engine, node, copy);
+}
+
+void UnicastPolicy::forward(net::Engine& engine, topo::NodeId node,
+                            net::Copy copy) {
+  // Collect dimensions that still need hops.
+  std::array<std::int32_t, net::kMaxDims> pending{};
+  std::int32_t count = 0;
+  for (std::int32_t i = 0; i < torus_.dims(); ++i) {
+    if (copy.uni.offsets[static_cast<std::size_t>(i)] != 0) {
+      pending[static_cast<std::size_t>(count++)] = i;
+    }
+  }
+  if (count == 0) {
+    engine.unicast_delivered(copy);
+    return;
+  }
+  std::int32_t pick = pending[0];
+  switch (config_.order) {
+    case DimOrder::kAscending:
+      break;
+    case DimOrder::kRandom:
+      pick = pending[static_cast<std::size_t>(
+          engine.rng().below(static_cast<std::uint64_t>(count)))];
+      break;
+    case DimOrder::kAdaptive: {
+      // Join-shortest-queue over the productive outgoing links.
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (std::int32_t i = 0; i < count; ++i) {
+        const std::int32_t dim = pending[static_cast<std::size_t>(i)];
+        const auto off = copy.uni.offsets[static_cast<std::size_t>(dim)];
+        const topo::LinkId link = torus_.link(
+            node, dim, off > 0 ? topo::Dir::kPlus : topo::Dir::kMinus);
+        const std::size_t backlog = engine.link_backlog(link);
+        if (backlog < best) {
+          best = backlog;
+          pick = dim;
+        }
+      }
+      break;
+    }
+  }
+  auto& off = copy.uni.offsets[static_cast<std::size_t>(pick)];
+  const topo::Dir dir = off > 0 ? topo::Dir::kPlus : topo::Dir::kMinus;
+  off = static_cast<std::int8_t>(off > 0 ? off - 1 : off + 1);
+  engine.send(node, pick, dir, copy);
+}
+
+}  // namespace pstar::routing

@@ -1,0 +1,48 @@
+#include "pstar/sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace pstar::sim {
+
+std::uint64_t EventQueue::push(Time t, EventFn fn) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{t, seq, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  return seq;
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  assert(!heap_.empty());
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return {top.time, std::move(top.fn)};
+}
+
+void EventQueue::clear() { heap_.clear(); }
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace pstar::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Pending-event set for the discrete-event simulator.
+///
+/// A binary min-heap keyed by (time, sequence number).  The sequence number
+/// makes event ordering total and deterministic: two events scheduled for
+/// the same instant fire in the order they were scheduled, independent of
+/// heap internals or platform.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace pstar::sim {
+
+/// Simulation time.  The unit throughout the library is the transmission
+/// time of a unit-length packet over one link (the paper's convention).
+using Time = double;
+
+class Simulator;
+
+/// Event callback.  Receives the simulator so it can schedule follow-ups.
+using EventFn = std::function<void(Simulator&)>;
+
+/// Deterministic binary min-heap of timed events.
+///
+/// Not thread-safe; a simulation run is single-threaded by design (the
+/// model's parallelism is simulated, not host-level).
+class EventQueue {
+ public:
+  /// Inserts an event at absolute time t.  Returns the event's sequence
+  /// number (monotonically increasing; useful in tests).
+  std::uint64_t push(Time t, EventFn fn);
+
+  /// True when no events are pending.
+  bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event.  Requires !empty().
+  Time next_time() const { return heap_.front().time; }
+
+  /// Removes and returns the earliest event's callback together with its
+  /// timestamp.  Requires !empty().
+  std::pair<Time, EventFn> pop();
+
+  /// Discards all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pstar::sim

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for simulations.
+///
+/// All stochastic behaviour in the library flows through a single seeded
+/// pstar::sim::Rng per simulation run, so that every experiment is exactly
+/// reproducible from its printed seed.  The generator is xoshiro256++
+/// (Blackman & Vigna), seeded through SplitMix64 so that nearby integer
+/// seeds yield statistically unrelated streams.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pstar::sim {
+
+/// xoshiro256++ pseudo-random generator with convenience variate methods.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can be
+/// plugged into standard <random> distributions as well, although the
+/// built-in variate methods below are preferred for reproducibility across
+/// standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-seeds in place; the stream restarts from the new seed.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.  Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Fair coin flip.
+  bool flip() { return (next() >> 63) != 0; }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed variate with the given rate (mean 1/rate).
+  /// Requires rate > 0.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean.  Uses inversion for
+  /// small means and a normal approximation guarded rejection for large
+  /// ones; exact enough for workload generation.
+  std::uint64_t poisson(double mean);
+
+  /// Geometric number of trials (support {1, 2, ...}) with success
+  /// probability p in (0, 1]; mean 1/p.
+  std::uint64_t geometric(double p);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i].  Weights must be non-negative with a positive sum.
+  /// Linear scan; intended for small weight vectors (e.g. one per torus
+  /// dimension).  For repeated sampling from the same distribution prefer
+  /// DiscreteSampler.
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an unrelated child seed; useful for giving independent
+  /// streams to sub-components while keeping one master seed.
+  std::uint64_t fork_seed();
+
+ private:
+  std::uint64_t next();
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Walker alias table for O(1) sampling from a fixed discrete
+/// distribution.  Built once from a weight vector; sample() then costs one
+/// uniform draw and one comparison.  Used for ending-dimension selection
+/// where the STAR probability vector is fixed for a whole run.
+class DiscreteSampler {
+ public:
+  DiscreteSampler() = default;
+
+  /// Builds the table.  Weights must be non-negative and sum to a positive
+  /// value; they are normalized internally.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Number of categories (0 if default-constructed).
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draws a category index in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+  /// The normalized probability of category i (for introspection/tests).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;    // scaled acceptance probabilities
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> norm_;    // normalized input probabilities
+};
+
+}  // namespace pstar::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event simulation loop with run-control limits.
+
+#include <cstdint>
+#include <limits>
+
+#include "pstar/sim/event_queue.hpp"
+
+namespace pstar::sim {
+
+/// Why Simulator::run returned.
+enum class StopReason {
+  kDrained,       ///< event queue became empty
+  kTimeLimit,     ///< next event would exceed the configured end time
+  kEventLimit,    ///< the configured event-count budget was exhausted
+  kStopped,       ///< a callback requested stop()
+};
+
+/// Minimal discrete-event simulator: a clock plus an event queue.
+///
+/// Components schedule closures at absolute times; run() executes them in
+/// deterministic (time, insertion) order.  The network engine, traffic
+/// sources, and statistics probes all hang off this loop.
+class Simulator {
+ public:
+  /// Current simulation time.  Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedules fn at absolute time t.  Requires t >= now().
+  void at(Time t, EventFn fn);
+
+  /// Schedules fn after a delay of dt >= 0 from now.
+  void after(Time dt, EventFn fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Requests that run() return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  /// Total events executed so far (across all run() calls).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Executes events until the queue drains, time would pass end_time, the
+  /// event budget is used up, or stop() is called.  The clock is left at
+  /// the last executed event's time (it does not jump to end_time).
+  StopReason run(Time end_time = std::numeric_limits<Time>::infinity(),
+                 std::uint64_t max_events =
+                     std::numeric_limits<std::uint64_t>::max());
+
+  /// Direct access to the queue for tests.
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace pstar::sim

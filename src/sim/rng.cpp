@@ -1,0 +1,187 @@
+#include "pstar/sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pstar::sim {
+namespace {
+
+/// SplitMix64 step; used only for seeding.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // xoshiro must not start in the all-zero state; splitmix64 of any seed
+  // cannot produce four zero words, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Take the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log1p(-uniform()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Inversion by sequential search.
+    const double l = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // For large means, split recursively: Poisson(m) = Poisson(m/2) +
+  // Poisson(m/2).  Depth is logarithmic; accuracy is exact.
+  const std::uint64_t a = poisson(mean / 2.0);
+  const std::uint64_t b = poisson(mean / 2.0);
+  return a + b;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  const double u = 1.0 - uniform();  // in (0, 1]
+  const double trials = std::ceil(std::log(u) / std::log1p(-p));
+  return trials < 1.0 ? 1 : static_cast<std::uint64_t>(trials);
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::weighted: zero total weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t Rng::fork_seed() {
+  std::uint64_t s = next();
+  return splitmix64(s);
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("DiscreteSampler: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("DiscreteSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("DiscreteSampler: zero total weight");
+
+  norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) norm_[i] = weights[i] / total;
+
+  // Walker/Vose alias construction.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = norm_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  assert(!prob_.empty());
+  const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+double DiscreteSampler::probability(std::size_t i) const { return norm_.at(i); }
+
+}  // namespace pstar::sim

@@ -1,0 +1,30 @@
+#include "pstar/sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pstar::sim {
+
+void Simulator::at(Time t, EventFn fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  queue_.push(t, std::move(fn));
+}
+
+StopReason Simulator::run(Time end_time, std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t executed_this_run = 0;
+  while (!queue_.empty()) {
+    if (queue_.next_time() > end_time) return StopReason::kTimeLimit;
+    if (executed_this_run >= max_events) return StopReason::kEventLimit;
+    auto [t, fn] = queue_.pop();
+    assert(t >= now_);
+    now_ = t;
+    fn(*this);
+    ++events_executed_;
+    ++executed_this_run;
+    if (stop_requested_) return StopReason::kStopped;
+  }
+  return StopReason::kDrained;
+}
+
+}  // namespace pstar::sim

@@ -1,0 +1,23 @@
+#include "pstar/stats/batch_means.hpp"
+
+#include <stdexcept>
+
+namespace pstar::stats {
+
+BatchMeans::BatchMeans(std::uint64_t batch_length)
+    : batch_length_(batch_length) {
+  if (batch_length == 0) {
+    throw std::invalid_argument("BatchMeans: batch_length must be >= 1");
+  }
+}
+
+void BatchMeans::add(double x) {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_length_) {
+    batches_.add(batch_sum_ / static_cast<double>(batch_length_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+}  // namespace pstar::stats

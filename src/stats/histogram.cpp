@@ -1,0 +1,39 @@
+#include "pstar/stats/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pstar::stats {
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), counts_(bucket_count + 1, 0) {
+  if (bucket_width <= 0.0 || bucket_count == 0) {
+    throw std::invalid_argument("Histogram: invalid geometry");
+  }
+}
+
+void Histogram::add(double x) {
+  assert(x >= 0.0);
+  auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= bucket_count()) idx = counts_.size() - 1;  // overflow
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q in [0,1]");
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      const std::size_t edge = std::min(i + 1, bucket_count());
+      return width_ * static_cast<double>(edge);
+    }
+  }
+  return width_ * static_cast<double>(bucket_count());
+}
+
+}  // namespace pstar::stats

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file batch_means.hpp
+/// Batch-means confidence intervals for correlated sample streams.
+///
+/// Simulation outputs (per-packet delays) are autocorrelated, so the
+/// i.i.d. standard error of RunningStat understates the uncertainty of
+/// the mean.  The classical fix: split the stream into contiguous
+/// batches; batch averages are nearly independent once batches are much
+/// longer than the correlation time, so a CI built over batch means is
+/// honest.  Used by tests that compare simulations against closed forms.
+
+#include <cstdint>
+
+#include "pstar/stats/running.hpp"
+
+namespace pstar::stats {
+
+/// Streaming batch-means accumulator with a fixed batch length.
+class BatchMeans {
+ public:
+  /// batch_length: observations per batch (>= 1).
+  explicit BatchMeans(std::uint64_t batch_length);
+
+  void add(double x);
+
+  /// Overall mean of all COMPLETE batches.
+  double mean() const { return batches_.mean(); }
+
+  /// Number of complete batches.
+  std::uint64_t batch_count() const { return batches_.count(); }
+
+  /// Half-width of the ~95% CI over batch means (1.96 standard errors of
+  /// the batch-mean sample; accurate for >= ~30 batches).
+  double ci95_half_width() const { return batches_.ci95_half_width(); }
+
+  /// Standard deviation of the batch means (diagnostic: compare against
+  /// the i.i.d. prediction sigma/sqrt(batch_length) to estimate the
+  /// stream's autocorrelation inflation).
+  double batch_stddev() const { return batches_.stddev(); }
+
+ private:
+  std::uint64_t batch_length_;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  RunningStat batches_;
+};
+
+}  // namespace pstar::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width histogram with overflow bucket, for delay distributions.
+
+#include <cstdint>
+#include <vector>
+
+namespace pstar::stats {
+
+/// Histogram over [0, bucket_width * bucket_count) with one extra
+/// overflow bucket; supports quantile queries from the recorded counts.
+class Histogram {
+ public:
+  /// bucket_width > 0, bucket_count >= 1.
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  /// Records a non-negative observation (values beyond the range land in
+  /// the overflow bucket).
+  void add(double x);
+
+  std::uint64_t total() const { return total_; }
+
+  /// Count in regular bucket i (i < bucket_count()).
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t bucket_count() const { return counts_.size() - 1; }
+  std::uint64_t overflow() const { return counts_.back(); }
+  double bucket_width() const { return width_; }
+
+  /// Smallest bucket upper edge at or above the q-quantile (q in [0, 1]).
+  /// Observations in the overflow bucket report the range's upper bound.
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;  // last entry = overflow
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pstar::stats

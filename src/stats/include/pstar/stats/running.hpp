@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file running.hpp
+/// Streaming sample statistics (Welford) used by all delay recorders.
+
+#include <cstdint>
+
+namespace pstar::stats {
+
+/// Numerically stable streaming mean / variance / extrema accumulator.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-combine form of
+  /// Welford's update).
+  void merge(const RunningStat& other);
+
+  /// Removes all observations.
+  void reset() { *this = RunningStat{}; }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// sqrt(variance()).
+  double stddev() const;
+
+  /// Standard error of the mean: stddev / sqrt(count); 0 when empty.
+  double std_error() const;
+
+  /// Half-width of an approximate 95% confidence interval (1.96 standard
+  /// errors; accurate for the large sample counts simulations produce).
+  double ci95_half_width() const { return 1.96 * std_error(); }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pstar::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file time_weighted.hpp
+/// Time-weighted averaging of a piecewise-constant signal, e.g. the number
+/// of broadcast tasks simultaneously in flight (Fig. 8 of the paper) or a
+/// queue length.
+
+namespace pstar::stats {
+
+/// Integrates a piecewise-constant signal over simulation time and reports
+/// its time-weighted mean and maximum.  Call set(t, v) whenever the signal
+/// changes; the signal is assumed to hold its previous value on [prev_t, t).
+class TimeWeighted {
+ public:
+  /// Starts (or restarts) observation at time t with current value v.
+  void start(double t, double v);
+
+  /// Records that the signal changes to v at time t (t >= last update).
+  void set(double t, double v);
+
+  /// Convenience: adds delta to the current value at time t.
+  void add(double t, double delta);
+
+  /// Finalizes integration up to time t without changing the value.
+  void flush(double t) { set(t, value_); }
+
+  /// Time-weighted mean over [start, last update); 0 before any interval.
+  double mean() const;
+
+  double max() const { return max_; }
+  double current() const { return value_; }
+  double elapsed() const { return last_t_ - start_t_; }
+
+ private:
+  bool started_ = false;
+  double start_t_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pstar::stats

@@ -1,0 +1,37 @@
+#include "pstar/stats/time_weighted.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pstar::stats {
+
+void TimeWeighted::start(double t, double v) {
+  started_ = true;
+  start_t_ = t;
+  last_t_ = t;
+  value_ = v;
+  integral_ = 0.0;
+  max_ = v;
+}
+
+void TimeWeighted::set(double t, double v) {
+  if (!started_) {
+    start(t, v);
+    return;
+  }
+  if (t < last_t_) throw std::invalid_argument("TimeWeighted::set: time went backwards");
+  integral_ += value_ * (t - last_t_);
+  last_t_ = t;
+  value_ = v;
+  max_ = std::max(max_, v);
+}
+
+void TimeWeighted::add(double t, double delta) { set(t, value_ + delta); }
+
+double TimeWeighted::mean() const {
+  const double span = last_t_ - start_t_;
+  if (span <= 0.0) return 0.0;
+  return integral_ / span;
+}
+
+}  // namespace pstar::stats

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file ring.hpp
+/// Distance arithmetic on a ring of n nodes (one torus dimension).
+
+#include <cstdint>
+
+namespace pstar::topo {
+
+/// Shortest-path hop distance between positions a and b on a ring of n.
+std::int32_t ring_distance(std::int32_t a, std::int32_t b, std::int32_t n);
+
+/// Signed minimal offset taking a to b on a ring of n: the value delta with
+/// |delta| = ring_distance and b = (a + delta) mod n.  When n is even and
+/// the two directions tie (|delta| = n/2), the positive direction is
+/// returned; callers that need unbiased routing break the tie themselves.
+std::int32_t ring_offset(std::int32_t a, std::int32_t b, std::int32_t n);
+
+/// True when the offset from a to b is exactly n/2 on an even ring, i.e.
+/// both directions are shortest.
+bool ring_tie(std::int32_t a, std::int32_t b, std::int32_t n);
+
+/// Exact mean of ring_distance(0, k, n) with k uniform over 0..n-1
+/// (destination may equal source): n/4 for even n, (n^2-1)/(4n) for odd n.
+double ring_mean_distance(std::int32_t n);
+
+/// The paper's approximation floor(n/4) for the ring mean distance, kept
+/// for reproducing the paper's formulas verbatim.
+std::int32_t ring_mean_distance_paper(std::int32_t n);
+
+/// Hops covered in the "long" direction when broadcasting from one node to
+/// the whole ring through both directions: ceil((n-1)/2).
+std::int32_t ring_long_arc(std::int32_t n);
+
+/// Hops covered in the "short" direction: floor((n-1)/2).
+std::int32_t ring_short_arc(std::int32_t n);
+
+/// Exact mean of |a - b| on a LINE of n nodes (one mesh dimension) with
+/// both endpoints uniform over 0..n-1 (they may coincide): (n^2 - 1)/(3n).
+double line_mean_distance(std::int32_t n);
+
+}  // namespace pstar::topo

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file shape.hpp
+/// Mixed-radix geometry of an n1 x n2 x ... x nd torus.
+///
+/// A Shape owns the per-dimension sizes and converts between linear node
+/// ids (0 .. N-1) and coordinate vectors.  Dimension indices are 0-based
+/// in code; the paper's dimensions 1..d map to 0..d-1.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pstar::topo {
+
+/// Node id within a torus (linearized coordinates).
+using NodeId = std::int32_t;
+
+/// Coordinate vector; coords()[i] in [0, size(i)).
+using Coords = std::vector<std::int32_t>;
+
+/// Geometry of an n1 x ... x nd torus (no connectivity; see Torus).
+class Shape {
+ public:
+  Shape() = default;
+
+  /// Builds from per-dimension sizes.  Every size must be >= 1; at least
+  /// one dimension is required.  A size-1 dimension contributes no links.
+  explicit Shape(std::vector<std::int32_t> sizes);
+  Shape(std::initializer_list<std::int32_t> sizes);
+
+  /// n-ary d-cube convenience: d dimensions of size n each.
+  static Shape kary(std::int32_t n, std::int32_t d);
+
+  /// Hypercube of dimension d (2-ary d-cube).
+  static Shape hypercube(std::int32_t d);
+
+  /// Number of dimensions d.
+  std::int32_t dims() const { return static_cast<std::int32_t>(sizes_.size()); }
+
+  /// Size of dimension i.
+  std::int32_t size(std::int32_t dim) const { return sizes_[static_cast<std::size_t>(dim)]; }
+
+  /// All sizes.
+  const std::vector<std::int32_t>& sizes() const { return sizes_; }
+
+  /// Total node count N = prod(n_i).
+  std::int64_t node_count() const { return node_count_; }
+
+  /// True when all dimensions have equal size (n-ary d-cube).
+  bool symmetric() const;
+
+  /// Linear id of a coordinate vector.
+  NodeId index_of(const Coords& coords) const;
+
+  /// Coordinate vector of a linear id.
+  Coords coords_of(NodeId node) const;
+
+  /// Coordinate of `node` along one dimension (cheaper than coords_of).
+  std::int32_t coord_of(NodeId node, std::int32_t dim) const;
+
+  /// The node reached from `node` by moving `delta` steps (any sign) along
+  /// `dim`, with wraparound.
+  NodeId neighbor(NodeId node, std::int32_t dim, std::int32_t delta) const;
+
+  /// "8x8x8" style human-readable form.
+  std::string to_string() const;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+ private:
+  std::vector<std::int32_t> sizes_;
+  std::vector<std::int64_t> strides_;  // strides_[i] = prod of sizes_[0..i-1]
+  std::int64_t node_count_ = 0;
+};
+
+}  // namespace pstar::topo

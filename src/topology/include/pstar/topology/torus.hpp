@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file torus.hpp
+/// Directed-link graph of a torus or mesh, with stable global link ids.
+///
+/// Each dimension either wraps around (torus ring) or not (mesh line).
+/// Per node, a dimension of size n contributes:
+///   - wrapping, n >= 3: two outgoing links (+ and - around the ring);
+///   - wrapping, n == 2: one outgoing link (both directions reach the
+///     same neighbor; the hypercube degeneracy the paper relies on when
+///     it says hypercubes are a special case of tori);
+///   - non-wrapping: a + link unless at the top boundary and a - link
+///     unless at the bottom boundary (so boundary nodes have fewer links
+///     -- the reason the paper caps mesh broadcast throughput near 0.5);
+///   - n == 1: no links.
+///
+/// Link ids are dense in [0, link_count()) and deterministic given the
+/// shape, so per-link statistics arrays can be plain vectors.
+
+#include <cstdint>
+#include <vector>
+
+#include "pstar/topology/ring.hpp"
+#include "pstar/topology/shape.hpp"
+
+namespace pstar::topo {
+
+/// Direction along a dimension.
+enum class Dir : std::int8_t { kPlus = 0, kMinus = 1 };
+
+/// Returns the opposite direction.
+inline Dir opposite(Dir d) { return d == Dir::kPlus ? Dir::kMinus : Dir::kPlus; }
+
+/// +1 / -1 step for a direction.
+inline std::int32_t step_of(Dir d) { return d == Dir::kPlus ? 1 : -1; }
+
+/// Dense id of a directed link.
+using LinkId = std::int32_t;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Static description of one directed link.
+struct LinkInfo {
+  NodeId from = -1;
+  NodeId to = -1;
+  std::int32_t dim = -1;
+  Dir dir = Dir::kPlus;
+};
+
+/// Directed-link torus/mesh graph.
+class Torus {
+ public:
+  /// Full torus: every dimension wraps.
+  explicit Torus(Shape shape);
+
+  /// Mixed: wraparound[i] selects ring (true) or line (false) per
+  /// dimension.  Must match the shape's arity.
+  Torus(Shape shape, std::vector<bool> wraparound);
+
+  /// Mesh convenience: no dimension wraps.
+  static Torus mesh(Shape shape);
+
+  const Shape& shape() const { return shape_; }
+  std::int32_t dims() const { return shape_.dims(); }
+  std::int64_t node_count() const { return shape_.node_count(); }
+
+  /// Whether dimension `dim` wraps around.
+  bool wraps(std::int32_t dim) const {
+    return wrap_[static_cast<std::size_t>(dim)];
+  }
+
+  /// True when every dimension wraps (a proper torus).
+  bool is_torus() const;
+
+  /// Total number of directed links.
+  std::int32_t link_count() const { return static_cast<std::int32_t>(links_.size()); }
+
+  /// Directed links belonging to dimension `dim`.
+  std::int32_t links_in_dim(std::int32_t dim) const {
+    return links_in_dim_[static_cast<std::size_t>(dim)];
+  }
+
+  /// Outgoing links per node in a WRAPPING dimension (0, 1 or 2); for a
+  /// non-wrapping dimension this is the interior-node count (boundary
+  /// nodes have fewer) -- prefer avg_links_per_node for load math.
+  std::int32_t links_per_node(std::int32_t dim) const {
+    return links_per_node_[static_cast<std::size_t>(dim)];
+  }
+
+  /// Average outgoing links per node in `dim`: links_in_dim / N.  Equals
+  /// links_per_node on wrapping dimensions and 2(1 - 1/n) on lines.
+  double avg_links_per_node(std::int32_t dim) const;
+
+  /// Maximum out-degree of any node: sum over dims of links_per_node.
+  /// The paper writes 2d for tori with all n_i >= 3.
+  std::int32_t degree() const { return degree_; }
+
+  /// Average out-degree: link_count / N.  This is the "d_ave" of the
+  /// paper's throughput-factor definition (2d - 2d/n for square meshes).
+  double average_degree() const;
+
+  /// The outgoing link of `node` along `dim` in direction `dir`, or
+  /// kInvalidLink when absent (size-1 dimension, or a mesh boundary).
+  /// For size-2 wrapping dimensions both directions return the same link.
+  LinkId link(NodeId node, std::int32_t dim, Dir dir) const;
+
+  /// Static info for a link id.
+  const LinkInfo& info(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+
+  /// Destination node of a link.
+  NodeId dest(LinkId id) const { return info(id).to; }
+
+  /// Mean number of dimension-`dim` hops of a shortest path to a
+  /// destination chosen uniformly among the OTHER N-1 nodes.  Exact.
+  double mean_hops(std::int32_t dim) const;
+
+  /// Average shortest-path distance D_ave to a uniform other node.
+  double average_distance() const;
+
+  /// Network diameter: sum over dims of floor(n_i/2) (ring) or n_i - 1
+  /// (line).
+  std::int32_t diameter() const;
+
+ private:
+  Shape shape_;
+  std::vector<bool> wrap_;
+  std::vector<std::int32_t> links_per_node_;
+  std::vector<std::int32_t> links_in_dim_;
+  std::int32_t degree_ = 0;
+  std::vector<LinkInfo> links_;
+  std::vector<LinkId> out_;  // [node * dims * 2 + dim * 2 + dir]
+};
+
+}  // namespace pstar::topo

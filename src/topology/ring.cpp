@@ -1,0 +1,54 @@
+#include "pstar/topology/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pstar::topo {
+
+std::int32_t ring_distance(std::int32_t a, std::int32_t b, std::int32_t n) {
+  assert(n >= 1 && a >= 0 && a < n && b >= 0 && b < n);
+  std::int32_t fwd = (b - a) % n;
+  if (fwd < 0) fwd += n;
+  return std::min(fwd, n - fwd);
+}
+
+std::int32_t ring_offset(std::int32_t a, std::int32_t b, std::int32_t n) {
+  assert(n >= 1 && a >= 0 && a < n && b >= 0 && b < n);
+  std::int32_t fwd = (b - a) % n;
+  if (fwd < 0) fwd += n;
+  // fwd in [0, n); prefer the shorter arc, positive on ties.
+  if (fwd * 2 <= n) return fwd;
+  return fwd - n;
+}
+
+bool ring_tie(std::int32_t a, std::int32_t b, std::int32_t n) {
+  if (n % 2 != 0) return false;
+  return ring_distance(a, b, n) == n / 2;
+}
+
+double ring_mean_distance(std::int32_t n) {
+  assert(n >= 1);
+  // Mean over k = 0..n-1 of min(k, n-k).
+  if (n % 2 == 0) return n / 4.0;
+  return static_cast<double>(static_cast<std::int64_t>(n) * n - 1) / (4.0 * n);
+}
+
+std::int32_t ring_mean_distance_paper(std::int32_t n) { return n / 4; }
+
+std::int32_t ring_long_arc(std::int32_t n) {
+  assert(n >= 1);
+  return n / 2;  // ceil((n-1)/2) == floor(n/2)
+}
+
+std::int32_t ring_short_arc(std::int32_t n) {
+  assert(n >= 1);
+  return (n - 1) / 2;
+}
+
+double line_mean_distance(std::int32_t n) {
+  assert(n >= 1);
+  // E|X - Y| for X, Y independent uniform over {0..n-1}.
+  return static_cast<double>(static_cast<std::int64_t>(n) * n - 1) / (3.0 * n);
+}
+
+}  // namespace pstar::topo

@@ -1,0 +1,83 @@
+#include "pstar/topology/shape.hpp"
+
+#include <stdexcept>
+
+namespace pstar::topo {
+
+Shape::Shape(std::vector<std::int32_t> sizes) : sizes_(std::move(sizes)) {
+  if (sizes_.empty()) throw std::invalid_argument("Shape: need at least one dimension");
+  strides_.resize(sizes_.size());
+  std::int64_t acc = 1;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (sizes_[i] < 1) throw std::invalid_argument("Shape: dimension size must be >= 1");
+    strides_[i] = acc;
+    acc *= sizes_[i];
+  }
+  node_count_ = acc;
+}
+
+Shape::Shape(std::initializer_list<std::int32_t> sizes)
+    : Shape(std::vector<std::int32_t>(sizes)) {}
+
+Shape Shape::kary(std::int32_t n, std::int32_t d) {
+  if (d < 1) throw std::invalid_argument("Shape::kary: d must be >= 1");
+  return Shape(std::vector<std::int32_t>(static_cast<std::size_t>(d), n));
+}
+
+Shape Shape::hypercube(std::int32_t d) { return kary(2, d); }
+
+bool Shape::symmetric() const {
+  for (std::int32_t s : sizes_) {
+    if (s != sizes_.front()) return false;
+  }
+  return true;
+}
+
+NodeId Shape::index_of(const Coords& coords) const {
+  if (coords.size() != sizes_.size()) {
+    throw std::invalid_argument("Shape::index_of: wrong arity");
+  }
+  std::int64_t idx = 0;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (coords[i] < 0 || coords[i] >= sizes_[i]) {
+      throw std::out_of_range("Shape::index_of: coordinate out of range");
+    }
+    idx += coords[i] * strides_[i];
+  }
+  return static_cast<NodeId>(idx);
+}
+
+Coords Shape::coords_of(NodeId node) const {
+  Coords coords(sizes_.size());
+  std::int64_t rest = node;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    coords[i] = static_cast<std::int32_t>(rest % sizes_[i]);
+    rest /= sizes_[i];
+  }
+  return coords;
+}
+
+std::int32_t Shape::coord_of(NodeId node, std::int32_t dim) const {
+  const auto d = static_cast<std::size_t>(dim);
+  return static_cast<std::int32_t>((node / strides_[d]) % sizes_[d]);
+}
+
+NodeId Shape::neighbor(NodeId node, std::int32_t dim, std::int32_t delta) const {
+  const auto d = static_cast<std::size_t>(dim);
+  const std::int32_t n = sizes_[d];
+  const std::int32_t old_c = coord_of(node, dim);
+  std::int32_t new_c = (old_c + delta) % n;
+  if (new_c < 0) new_c += n;
+  return static_cast<NodeId>(node + static_cast<std::int64_t>(new_c - old_c) * strides_[d]);
+}
+
+std::string Shape::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(sizes_[i]);
+  }
+  return out;
+}
+
+}  // namespace pstar::topo

@@ -1,0 +1,127 @@
+#include "pstar/topology/torus.hpp"
+
+#include <stdexcept>
+
+namespace pstar::topo {
+
+Torus::Torus(Shape shape)
+    : Torus(std::move(shape), std::vector<bool>()) {}
+
+Torus::Torus(Shape shape, std::vector<bool> wraparound)
+    : shape_(std::move(shape)), wrap_(std::move(wraparound)) {
+  const std::int32_t d = shape_.dims();
+  if (wrap_.empty()) {
+    wrap_.assign(static_cast<std::size_t>(d), true);
+  } else if (static_cast<std::int32_t>(wrap_.size()) != d) {
+    throw std::invalid_argument("Torus: wraparound arity mismatch");
+  }
+  const std::int64_t n_nodes = shape_.node_count();
+  if (n_nodes > (1LL << 30)) {
+    throw std::invalid_argument("Torus: too many nodes for 32-bit link ids");
+  }
+
+  links_per_node_.resize(static_cast<std::size_t>(d));
+  links_in_dim_.assign(static_cast<std::size_t>(d), 0);
+  for (std::int32_t i = 0; i < d; ++i) {
+    const std::int32_t n = shape_.size(i);
+    // Per-node maximum: 2 except for size-2 dimensions, where a ring
+    // degenerates to one aliased link and a line gives each endpoint a
+    // single link.
+    std::int32_t per_node = 0;
+    if (n >= 3) {
+      per_node = 2;
+    } else if (n == 2) {
+      per_node = 1;
+    }
+    links_per_node_[static_cast<std::size_t>(i)] = per_node;
+    degree_ += per_node;
+  }
+
+  out_.assign(static_cast<std::size_t>(n_nodes) * d * 2, kInvalidLink);
+  links_.reserve(static_cast<std::size_t>(n_nodes) * degree_);
+
+  for (NodeId node = 0; node < n_nodes; ++node) {
+    for (std::int32_t dim = 0; dim < d; ++dim) {
+      const std::int32_t n = shape_.size(dim);
+      const bool wraps_here = wrap_[static_cast<std::size_t>(dim)];
+      const std::int32_t c = shape_.coord_of(node, dim);
+      const std::size_t base =
+          (static_cast<std::size_t>(node) * d + static_cast<std::size_t>(dim)) * 2;
+      if (n == 1) continue;
+      const bool has_plus = wraps_here || c < n - 1;
+      const bool has_minus = (wraps_here && n >= 3) || (!wraps_here && c > 0);
+      if (has_plus) {
+        const LinkId id = static_cast<LinkId>(links_.size());
+        links_.push_back(LinkInfo{node, shape_.neighbor(node, dim, +1), dim,
+                                  Dir::kPlus});
+        out_[base + 0] = id;
+        ++links_in_dim_[static_cast<std::size_t>(dim)];
+        if (wraps_here && n == 2) out_[base + 1] = id;  // direction alias
+      }
+      if (has_minus) {
+        const LinkId id = static_cast<LinkId>(links_.size());
+        links_.push_back(LinkInfo{node, shape_.neighbor(node, dim, -1), dim,
+                                  Dir::kMinus});
+        out_[base + 1] = id;
+        ++links_in_dim_[static_cast<std::size_t>(dim)];
+      }
+    }
+  }
+}
+
+Torus Torus::mesh(Shape shape) {
+  const auto d = static_cast<std::size_t>(shape.dims());
+  return Torus(std::move(shape), std::vector<bool>(d, false));
+}
+
+bool Torus::is_torus() const {
+  for (bool w : wrap_) {
+    if (!w) return false;
+  }
+  return true;
+}
+
+double Torus::avg_links_per_node(std::int32_t dim) const {
+  return static_cast<double>(links_in_dim(dim)) /
+         static_cast<double>(node_count());
+}
+
+double Torus::average_degree() const {
+  return static_cast<double>(link_count()) / static_cast<double>(node_count());
+}
+
+LinkId Torus::link(NodeId node, std::int32_t dim, Dir dir) const {
+  const std::size_t base =
+      (static_cast<std::size_t>(node) * dims() + static_cast<std::size_t>(dim)) * 2;
+  return out_[base + static_cast<std::size_t>(dir)];
+}
+
+double Torus::mean_hops(std::int32_t dim) const {
+  // E[hops along dim] with the destination uniform over the other N-1
+  // nodes.  Per-dimension offsets are independent and uniform when the
+  // destination is uniform over all N nodes; conditioning on "not the
+  // source itself" scales each dimension's mean by N/(N-1).
+  const double n_nodes = static_cast<double>(shape_.node_count());
+  if (n_nodes <= 1.0) return 0.0;
+  const std::int32_t n = shape_.size(dim);
+  const double per_dim = wraps(dim) ? ring_mean_distance(n)
+                                    : line_mean_distance(n);
+  return per_dim * n_nodes / (n_nodes - 1.0);
+}
+
+double Torus::average_distance() const {
+  double total = 0.0;
+  for (std::int32_t i = 0; i < dims(); ++i) total += mean_hops(i);
+  return total;
+}
+
+std::int32_t Torus::diameter() const {
+  std::int32_t total = 0;
+  for (std::int32_t i = 0; i < dims(); ++i) {
+    const std::int32_t n = shape_.size(i);
+    total += wraps(i) ? n / 2 : n - 1;
+  }
+  return total;
+}
+
+}  // namespace pstar::topo

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file length.hpp
+/// Packet-length distributions.  The paper notes priority STAR handles
+/// variable-length packets without modification (Section 3.2); these
+/// distributions feed the variable-length ablation bench.
+
+#include <cstdint>
+
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::traffic {
+
+/// Family of packet-length laws.
+enum class LengthKind : std::uint8_t {
+  kFixed,      ///< every packet has the same length
+  kGeometric,  ///< geometric on {1, 2, ...}
+  kBimodal,    ///< short with prob 1-p, long with prob p
+};
+
+/// Packet-length distribution (lengths are in service-time units; one
+/// unit equals one unit-length transmission over a link).
+struct LengthDist {
+  LengthKind kind = LengthKind::kFixed;
+  std::uint32_t fixed = 1;      ///< kFixed value
+  double geometric_mean = 4.0;  ///< kGeometric mean (must be >= 1)
+  std::uint32_t short_len = 1;  ///< kBimodal short value
+  std::uint32_t long_len = 8;   ///< kBimodal long value
+  double long_prob = 0.1;       ///< kBimodal probability of long_len
+
+  /// Unit-length packets (the paper's default analysis setting).
+  static LengthDist unit() { return LengthDist{}; }
+  static LengthDist fixed_of(std::uint32_t len);
+  static LengthDist geometric(double mean);
+  static LengthDist bimodal(std::uint32_t short_len, std::uint32_t long_len,
+                            double long_prob);
+
+  /// Draws one length (always >= 1).
+  std::uint32_t sample(sim::Rng& rng) const;
+
+  /// Expected value; used to convert a target throughput factor into
+  /// arrival rates when packets are not unit length.
+  double mean() const;
+};
+
+}  // namespace pstar::traffic

@@ -1,0 +1,64 @@
+#include "pstar/traffic/length.hpp"
+
+#include <stdexcept>
+
+namespace pstar::traffic {
+
+LengthDist LengthDist::fixed_of(std::uint32_t len) {
+  if (len == 0) throw std::invalid_argument("LengthDist: zero length");
+  LengthDist d;
+  d.kind = LengthKind::kFixed;
+  d.fixed = len;
+  return d;
+}
+
+LengthDist LengthDist::geometric(double mean) {
+  if (mean < 1.0) throw std::invalid_argument("LengthDist: geometric mean < 1");
+  LengthDist d;
+  d.kind = LengthKind::kGeometric;
+  d.geometric_mean = mean;
+  return d;
+}
+
+LengthDist LengthDist::bimodal(std::uint32_t short_len, std::uint32_t long_len,
+                               double long_prob) {
+  if (short_len == 0 || long_len == 0) {
+    throw std::invalid_argument("LengthDist: zero length");
+  }
+  if (long_prob < 0.0 || long_prob > 1.0) {
+    throw std::invalid_argument("LengthDist: long_prob in [0, 1]");
+  }
+  LengthDist d;
+  d.kind = LengthKind::kBimodal;
+  d.short_len = short_len;
+  d.long_len = long_len;
+  d.long_prob = long_prob;
+  return d;
+}
+
+std::uint32_t LengthDist::sample(sim::Rng& rng) const {
+  switch (kind) {
+    case LengthKind::kFixed:
+      return fixed;
+    case LengthKind::kGeometric:
+      return static_cast<std::uint32_t>(rng.geometric(1.0 / geometric_mean));
+    case LengthKind::kBimodal:
+      return rng.bernoulli(long_prob) ? long_len : short_len;
+  }
+  return 1;
+}
+
+double LengthDist::mean() const {
+  switch (kind) {
+    case LengthKind::kFixed:
+      return static_cast<double>(fixed);
+    case LengthKind::kGeometric:
+      return geometric_mean;
+    case LengthKind::kBimodal:
+      return (1.0 - long_prob) * static_cast<double>(short_len) +
+             long_prob * static_cast<double>(long_len);
+  }
+  return 1.0;
+}
+
+}  // namespace pstar::traffic

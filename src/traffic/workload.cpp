@@ -1,0 +1,102 @@
+#include "pstar/traffic/workload.hpp"
+
+#include <stdexcept>
+
+namespace pstar::traffic {
+
+Workload::Workload(sim::Simulator& sim, net::Engine& engine, sim::Rng& rng,
+                   WorkloadConfig config)
+    : sim_(sim), engine_(engine), rng_(rng), config_(config) {
+  if (config_.lambda_broadcast < 0.0 || config_.lambda_unicast < 0.0 ||
+      config_.lambda_multicast < 0.0) {
+    throw std::invalid_argument("Workload: negative rate");
+  }
+  const double per_node = config_.lambda_broadcast + config_.lambda_unicast +
+                          config_.lambda_multicast;
+  total_rate_ = per_node * static_cast<double>(engine_.torus().node_count());
+  broadcast_share_ = per_node > 0.0 ? config_.lambda_broadcast / per_node : 0.0;
+  multicast_share_ = per_node > 0.0 ? config_.lambda_multicast / per_node : 0.0;
+  if (engine_.torus().node_count() < 2 &&
+      (config_.lambda_unicast > 0.0 || config_.lambda_multicast > 0.0)) {
+    throw std::invalid_argument(
+        "Workload: unicast/multicast needs at least two nodes");
+  }
+  if (config_.lambda_multicast > 0.0 &&
+      (config_.multicast_group < 1 ||
+       config_.multicast_group >= engine_.torus().node_count())) {
+    throw std::invalid_argument("Workload: multicast_group out of range");
+  }
+  if (config_.hotspot_fraction < 0.0 || config_.hotspot_fraction > 1.0) {
+    throw std::invalid_argument("Workload: hotspot_fraction in [0, 1]");
+  }
+  if (config_.hotspot_node < 0 ||
+      config_.hotspot_node >= engine_.torus().node_count()) {
+    throw std::invalid_argument("Workload: hotspot_node out of range");
+  }
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("Workload: batch_size must be >= 1");
+  }
+}
+
+void Workload::start() {
+  if (total_rate_ <= 0.0) return;
+  schedule_next();
+}
+
+void Workload::schedule_next() {
+  // Epoch rate: tasks arrive batch_size at a time, so epochs fire at
+  // total_rate / batch_size to keep the mean task rate fixed.
+  const double epoch_rate =
+      total_rate_ / static_cast<double>(config_.batch_size);
+  const double next = sim_.now() + rng_.exponential(epoch_rate);
+  if (next > config_.stop_time) return;
+  sim_.at(next, [this](sim::Simulator& s) { arrive(s); });
+}
+
+void Workload::arrive(sim::Simulator&) {
+  if (stopped_) return;
+  const auto n = static_cast<std::uint64_t>(engine_.torus().node_count());
+  for (std::uint32_t b = 0; b < config_.batch_size; ++b) {
+    const auto source = config_.hotspot_fraction > 0.0 &&
+                                rng_.bernoulli(config_.hotspot_fraction)
+                            ? config_.hotspot_node
+                            : static_cast<topo::NodeId>(rng_.below(n));
+    const std::uint32_t length = config_.length.sample(rng_);
+    const double kind_draw = rng_.uniform();
+    if (kind_draw < broadcast_share_) {
+      engine_.create_task(net::TaskKind::kBroadcast, source, source, length);
+    } else if (kind_draw < broadcast_share_ + multicast_share_) {
+      sample_group(source);
+      engine_.create_multicast(source, group_, length);
+    } else {
+      // Destination uniform over the other N-1 nodes.
+      auto dest = static_cast<topo::NodeId>(rng_.below(n - 1));
+      if (dest >= source) ++dest;
+      engine_.create_task(net::TaskKind::kUnicast, source, dest, length);
+    }
+    ++generated_;
+  }
+  schedule_next();
+}
+
+void Workload::sample_group(topo::NodeId source) {
+  const auto n = static_cast<std::uint64_t>(engine_.torus().node_count());
+  group_.clear();
+  // Rejection sampling; group sizes are small relative to N in practice,
+  // and correctness does not depend on that.
+  while (static_cast<std::int32_t>(group_.size()) < config_.multicast_group) {
+    const auto candidate = static_cast<topo::NodeId>(rng_.below(n));
+    if (candidate == source) continue;
+    bool duplicate = false;
+    for (topo::NodeId d : group_) {
+      if (d == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) group_.push_back(candidate);
+  }
+}
+
+}  // namespace pstar::traffic
+

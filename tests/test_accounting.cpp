@@ -1,0 +1,130 @@
+// Grand accounting matrix: for every combination of scheme, topology,
+// traffic mix, batchiness, and buffer regime, the flow-conservation
+// identities must hold exactly after a full drain:
+//   - every generated task's lifecycle completes,
+//   - broadcast receptions + orphaned receptions == (N-1) x broadcasts,
+//   - no copies remain in flight,
+//   - utilization stays within [0, 1] on every link.
+
+#include <gtest/gtest.h>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+struct MatrixCase {
+  const char* label;
+  const char* scheme;
+  Shape shape;
+  bool mesh;
+  double bcast_frac;   // of task RATE split below
+  double mcast_frac;
+  std::uint32_t batch;
+  std::uint32_t capacity;  // 0 = unbounded
+};
+
+class AccountingMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(AccountingMatrix, FlowConservationAfterDrain) {
+  const MatrixCase& c = GetParam();
+  const Torus torus =
+      c.mesh ? Torus::mesh(c.shape) : Torus(c.shape);
+  sim::Rng rng(4242);
+  core::Scheme scheme = *core::Scheme::by_name(c.scheme);
+  auto policy = core::make_policy(torus, scheme, 0.01, 0.05);
+
+  sim::Simulator sim;
+  net::EngineConfig engine_cfg;
+  engine_cfg.queue_capacity = c.capacity;
+  net::Engine engine(sim, torus, *policy, rng, engine_cfg);
+
+  // Moderate load via direct rates (we check identities, not delays).
+  const double per_node_rate = 0.08;
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast =
+      per_node_rate * c.bcast_frac /
+      static_cast<double>(torus.node_count());  // broadcasts are heavy
+  cfg.lambda_multicast = per_node_rate * c.mcast_frac / 8.0;
+  cfg.multicast_group = 4;
+  cfg.lambda_unicast =
+      per_node_rate * (1.0 - c.bcast_frac - c.mcast_frac);
+  cfg.batch_size = c.batch;
+  cfg.stop_time = 800.0;
+  traffic::Workload workload(sim, engine, rng, cfg);
+  engine.begin_measurement();
+  workload.start();
+  const auto reason = sim.run();
+  engine.end_measurement();
+
+  ASSERT_EQ(reason, sim::StopReason::kDrained) << c.label;
+  const net::Metrics& m = engine.metrics();
+
+  // Lifecycle conservation per kind.
+  for (std::size_t k = 0; k < net::kTaskKinds; ++k) {
+    EXPECT_EQ(m.tasks_completed[k], m.tasks_generated[k])
+        << c.label << " kind " << k;
+  }
+  EXPECT_EQ(engine.inflight_copies(), 0u) << c.label;
+
+  // Reception conservation: broadcasts cover (N-1) nodes each, delivered
+  // or orphaned; multicasts cover exactly their plans.
+  const std::uint64_t bcasts = m.tasks_generated[0];
+  EXPECT_EQ(m.broadcast_receptions + m.lost_receptions,
+            bcasts * static_cast<std::uint64_t>(torus.node_count() - 1))
+      << c.label;
+  EXPECT_EQ(m.multicast_receptions + m.lost_multicast_receptions,
+            m.multicast_expected_total)
+      << c.label;
+
+  // Per-link utilization bounded.
+  const double window = m.measure_end - m.measure_start;
+  for (double busy : m.link_busy_time) {
+    EXPECT_GE(busy, 0.0);
+    EXPECT_LE(busy, window * (1.0 + 1e-9)) << c.label;
+  }
+
+  // Without finite buffers nothing may be lost or failed.
+  if (c.capacity == 0) {
+    EXPECT_EQ(m.lost_receptions + m.lost_multicast_receptions, 0u) << c.label;
+    EXPECT_EQ(m.failed_broadcasts + m.failed_unicasts + m.failed_multicasts,
+              0u)
+        << c.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AccountingMatrix,
+    ::testing::Values(
+        MatrixCase{"torus_star", "priority-STAR", Shape{5, 5}, false, 0.5,
+                   0.0, 1, 0},
+        MatrixCase{"torus_fcfs", "FCFS-direct", Shape{4, 8}, false, 0.5, 0.0,
+                   1, 0},
+        MatrixCase{"torus_3c_mcast", "priority-STAR-3c", Shape{4, 4}, false,
+                   0.3, 0.3, 1, 0},
+        MatrixCase{"mesh_star", "priority-STAR", Shape{5, 5}, true, 0.5, 0.0,
+                   1, 0},
+        MatrixCase{"mesh_separate", "separate-STAR", Shape{4, 6}, true, 0.4,
+                   0.0, 1, 0},
+        MatrixCase{"batched", "priority-STAR", Shape{4, 4}, false, 0.5, 0.0,
+                   4, 0},
+        MatrixCase{"finite_buf", "priority-STAR", Shape{4, 4}, false, 0.6,
+                   0.0, 2, 3},
+        MatrixCase{"finite_mcast", "priority-STAR", Shape{4, 4}, false, 0.3,
+                   0.4, 2, 3},
+        MatrixCase{"hypercube", "priority-direct", Shape::hypercube(5), false,
+                   0.5, 0.2, 1, 0},
+        MatrixCase{"dim_order", "dim-order", Shape{3, 4}, false, 0.7, 0.0, 1,
+                   0}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace pstar

@@ -1,0 +1,95 @@
+#include "pstar/harness/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pstar::harness {
+namespace {
+
+TEST(ParseShape, Basic) {
+  EXPECT_EQ(parse_shape("8x8"), (topo::Shape{8, 8}));
+  EXPECT_EQ(parse_shape("4x4x8"), (topo::Shape{4, 4, 8}));
+  EXPECT_EQ(parse_shape("16"), (topo::Shape{16}));
+}
+
+TEST(ParseShape, Rejections) {
+  EXPECT_THROW(parse_shape(""), std::invalid_argument);
+  EXPECT_THROW(parse_shape("4x"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("x4"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("4xfoo"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("0x4"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("-2x4"), std::invalid_argument);
+  EXPECT_THROW(parse_shape("4.5x4"), std::invalid_argument);
+}
+
+TEST(ParseSweep, RangeForm) {
+  const auto v = parse_sweep("0.1:0.5:0.2");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_NEAR(v[1], 0.3, 1e-12);
+  EXPECT_NEAR(v[2], 0.5, 1e-12);
+}
+
+TEST(ParseSweep, InclusiveUpperBoundDespiteRounding) {
+  // 0.1 steps accumulate floating error; the endpoint must still appear.
+  const auto v = parse_sweep("0.1:0.9:0.1");
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_NEAR(v.back(), 0.9, 1e-9);
+}
+
+TEST(ParseSweep, CommaList) {
+  const auto v = parse_sweep("0.5,0.8,0.95");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 0.95);
+}
+
+TEST(ParseSweep, SingleValue) {
+  const auto v = parse_sweep("0.75");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 0.75);
+}
+
+TEST(ParseSweep, Rejections) {
+  EXPECT_THROW(parse_sweep("0.1:0.9"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep("0.9:0.1:0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep("0.1:0.9:0"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep("0.5,xyz"), std::invalid_argument);
+}
+
+TEST(ParseLength, AllForms) {
+  EXPECT_EQ(parse_length("unit").kind, traffic::LengthKind::kFixed);
+  EXPECT_DOUBLE_EQ(parse_length("unit").mean(), 1.0);
+  EXPECT_DOUBLE_EQ(parse_length("fixed:5").mean(), 5.0);
+  EXPECT_DOUBLE_EQ(parse_length("geom:3.5").mean(), 3.5);
+  const auto b = parse_length("bimodal:1:16:0.25");
+  EXPECT_EQ(b.kind, traffic::LengthKind::kBimodal);
+  EXPECT_DOUBLE_EQ(b.mean(), 0.75 + 4.0);
+}
+
+TEST(ParseLength, Rejections) {
+  EXPECT_THROW(parse_length("fixed"), std::invalid_argument);
+  EXPECT_THROW(parse_length("fixed:0"), std::invalid_argument);
+  EXPECT_THROW(parse_length("geom:0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_length("bimodal:1:16"), std::invalid_argument);
+  EXPECT_THROW(parse_length("zipf:2"), std::invalid_argument);
+}
+
+TEST(ParseScheme, KnownNames) {
+  EXPECT_EQ(parse_scheme("priority-STAR").name, "priority-STAR");
+  EXPECT_EQ(parse_scheme("FCFS-direct").balancing, core::Balancing::kUniform);
+  EXPECT_EQ(parse_scheme("dim-order").balancing, core::Balancing::kFixedOrder);
+}
+
+TEST(ParseScheme, UnknownListsRegistry) {
+  try {
+    parse_scheme("bogus");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("priority-STAR"), std::string::npos);
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pstar::harness

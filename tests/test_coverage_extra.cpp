@@ -1,0 +1,164 @@
+// Remaining coverage corners: measurement-window clipping, histogram
+// geometry, mesh distance math, batch generation counts, and analytic
+// class loads on asymmetric tori.
+
+#include <gtest/gtest.h>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/delay_model.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/topology/ring.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+class NullPolicy : public net::RoutingPolicy {
+ public:
+  void on_task(net::Engine&, net::TaskId, topo::NodeId) override {}
+  void on_receive(net::Engine&, topo::NodeId, const net::Copy&) override {}
+};
+
+TEST(MeasurementWindow, BusyTimeClippedAtWindowEnd) {
+  // A 10-unit transmission starts inside the window; the window closes
+  // 4 units in.  Only those 4 units count as busy time.
+  const Torus t(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  NullPolicy policy;
+  net::Engine engine(sim, t, policy, rng);
+  engine.begin_measurement();
+  const net::TaskId id = engine.create_task(net::TaskKind::kBroadcast, 0, 0, 10);
+  net::Copy c;
+  c.task = id;
+  c.prio = net::Priority::kHigh;
+  engine.send(0, 0, Dir::kPlus, c);
+  sim.at(4.0, [&engine](sim::Simulator&) { engine.end_measurement(); });
+  sim.run();
+  const auto link = t.link(0, 0, Dir::kPlus);
+  EXPECT_DOUBLE_EQ(
+      engine.metrics().link_busy_time[static_cast<std::size_t>(link)], 4.0);
+  // The transmission completed after the window: not counted in the
+  // per-link transmission tally.
+  EXPECT_EQ(
+      engine.metrics().link_transmissions[static_cast<std::size_t>(link)], 0u);
+}
+
+TEST(MeasurementWindow, BusyTimeClippedAtWindowStart) {
+  const Torus t(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(2);
+  NullPolicy policy;
+  net::Engine engine(sim, t, policy, rng);
+  const net::TaskId id = engine.create_task(net::TaskKind::kBroadcast, 0, 0, 10);
+  net::Copy c;
+  c.task = id;
+  c.prio = net::Priority::kHigh;
+  engine.send(0, 0, Dir::kPlus, c);  // busy on [0, 10)
+  sim.at(7.0, [&engine](sim::Simulator&) { engine.begin_measurement(); });
+  sim.run();
+  engine.end_measurement();
+  const auto link = t.link(0, 0, Dir::kPlus);
+  EXPECT_DOUBLE_EQ(
+      engine.metrics().link_busy_time[static_cast<std::size_t>(link)], 3.0);
+}
+
+TEST(Histograms, CustomGeometryIsRespected) {
+  const Torus t(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(3);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  net::EngineConfig cfg;
+  cfg.record_histograms = true;
+  cfg.histogram_width = 0.5;
+  cfg.histogram_buckets = 8;  // range [0, 4) + overflow
+  net::Engine engine(sim, t, *policy, rng, cfg);
+  engine.begin_measurement();
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  sim.run();
+  const auto& hist = *engine.metrics().reception_delay_hist;
+  EXPECT_EQ(hist.bucket_count(), 8u);
+  EXPECT_DOUBLE_EQ(hist.bucket_width(), 0.5);
+  EXPECT_EQ(hist.total(), 15u);
+  // Depth-4 tree on 4x4: receptions at delays 1..4; delay-4 ones land in
+  // the overflow bucket of a [0, 4) range.
+  EXPECT_GT(hist.overflow(), 0u);
+}
+
+TEST(MeshDistances, MeanHopsMatchesBruteForce) {
+  const Torus m = Torus::mesh(Shape{4, 5});
+  for (std::int32_t dim = 0; dim < m.dims(); ++dim) {
+    double total = 0.0;
+    std::int64_t pairs = 0;
+    for (topo::NodeId a = 0; a < m.node_count(); ++a) {
+      for (topo::NodeId b = 0; b < m.node_count(); ++b) {
+        if (a == b) continue;
+        total += std::abs(m.shape().coord_of(a, dim) -
+                          m.shape().coord_of(b, dim));
+        ++pairs;
+      }
+    }
+    EXPECT_NEAR(m.mean_hops(dim), total / static_cast<double>(pairs), 1e-12);
+  }
+}
+
+TEST(MeshDistances, CylinderMixesMetrics) {
+  const Torus c(Shape{6, 6}, {true, false});
+  // Dim 0 wraps (ring mean 1.5), dim 1 does not (line mean 35/18).
+  const double scale = 36.0 / 35.0;
+  EXPECT_NEAR(c.mean_hops(0), 1.5 * scale, 1e-12);
+  EXPECT_NEAR(c.mean_hops(1), (35.0 / 18.0) * scale, 1e-12);
+}
+
+TEST(BatchGeneration, TaskCountIsMultipleOfBatch) {
+  const Torus t(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(4);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  net::Engine engine(sim, t, *policy, rng);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.01;
+  cfg.batch_size = 5;
+  cfg.stop_time = 2000.0;
+  traffic::Workload w(sim, engine, rng, cfg);
+  w.start();
+  sim.run();
+  EXPECT_GT(w.generated(), 0u);
+  EXPECT_EQ(w.generated() % 5u, 0u);
+  EXPECT_EQ(engine.metrics().tasks_generated[0], w.generated());
+  // Mean rate preserved: N * lambda * T tasks expected.
+  EXPECT_NEAR(static_cast<double>(w.generated()), 16 * 0.01 * 2000, 100.0);
+}
+
+TEST(ClassLoads, AsymmetricTorusWeightsAcrossEndingDims) {
+  const Torus t(Shape{4, 8});
+  const auto x = routing::star_probabilities(t).x;
+  const auto loads = queueing::broadcast_class_loads(t, x, 0.6);
+  // Manual: low fraction = sum_l x_l (N - N/n_l)/(N-1).
+  const double expect_low_frac =
+      x[0] * (32.0 - 8.0) / 31.0 + x[1] * (32.0 - 4.0) / 31.0;
+  EXPECT_NEAR(loads.rho_low, 0.6 * expect_low_frac, 1e-12);
+  EXPECT_NEAR(loads.rho_high + loads.rho_low, 0.6, 1e-12);
+}
+
+TEST(Rng, BetweenCoversNegativeRanges) {
+  sim::Rng rng(5);
+  std::int64_t min_seen = 100, max_seen = -100;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.between(-7, -3);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_EQ(min_seen, -7);
+  EXPECT_EQ(max_seen, -3);
+}
+
+}  // namespace
+}  // namespace pstar

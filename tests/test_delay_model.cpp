@@ -1,0 +1,134 @@
+// Validates the Section 3.2 closed-form delay model: exact algebraic
+// properties, and agreement-in-shape with the simulator.
+
+#include "pstar/queueing/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/queueing/gd1.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+
+namespace pstar::queueing {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+TEST(ClassLoads, SymmetricTorusMatchesPaperFractions) {
+  // n-ary d-cube: the ending dimension carries (N - N/n)/(N - 1) of the
+  // traffic; Section 3.2 uses 1 - 1/n as the approximation.
+  const Torus t(Shape{8, 8});
+  const auto x = routing::star_probabilities(t).x;
+  const auto loads = broadcast_class_loads(t, x, 0.8);
+  EXPECT_NEAR(loads.rho_low, 0.8 * (64.0 - 8.0) / 63.0, 1e-12);
+  EXPECT_NEAR(loads.rho_high + loads.rho_low, 0.8, 1e-12);
+  // High fraction ~ 1/n = 0.125.
+  EXPECT_NEAR(loads.high_fraction, (8.0 - 1.0) / 63.0, 1e-12);
+}
+
+TEST(ClassLoads, HighFractionShrinksWithN) {
+  const auto x2 = routing::star_probabilities(Torus(Shape{4, 4})).x;
+  const auto x3 = routing::star_probabilities(Torus(Shape{16, 16})).x;
+  const auto small = broadcast_class_loads(Torus(Shape{4, 4}), x2, 0.5);
+  const auto large = broadcast_class_loads(Torus(Shape{16, 16}), x3, 0.5);
+  EXPECT_GT(small.high_fraction, large.high_fraction);
+}
+
+TEST(ClassLoads, ZeroLoadIsZero) {
+  const Torus t(Shape{4, 4});
+  const auto loads =
+      broadcast_class_loads(t, routing::star_probabilities(t).x, 0.0);
+  EXPECT_DOUBLE_EQ(loads.rho_high, 0.0);
+  EXPECT_DOUBLE_EQ(loads.rho_low, 0.0);
+}
+
+TEST(ClassLoads, RejectsBadInput) {
+  const Torus t(Shape{4, 4});
+  EXPECT_THROW(broadcast_class_loads(t, {1.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW(broadcast_class_loads(t, {0.5, 0.5}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DelayModel, ZeroLoadReducesToDistance) {
+  const Torus t(Shape{8, 8});
+  const auto x = routing::star_probabilities(t).x;
+  EXPECT_NEAR(predict_fcfs_reception_delay(t, 0.0), t.average_distance(),
+              1e-12);
+  EXPECT_NEAR(predict_priority_reception_delay(t, x, 0.0),
+              t.average_distance(), 1e-12);
+}
+
+TEST(DelayModel, PriorityBelowFcfsAtHighLoad) {
+  for (const Shape& shape : {Shape{8, 8}, Shape{16, 16}, Shape{8, 8, 8}}) {
+    const Torus t(shape);
+    const auto x = routing::star_probabilities(t).x;
+    for (double rho : {0.7, 0.9, 0.95}) {
+      EXPECT_LT(predict_priority_reception_delay(t, x, rho),
+                predict_fcfs_reception_delay(t, rho))
+          << shape.to_string() << " rho=" << rho;
+    }
+  }
+}
+
+TEST(DelayModel, PriorityAdvantageGrowsWithDimension) {
+  // The paper's Theta(d) separation: the FCFS/priority ratio at fixed n
+  // and rho increases with d.
+  const double rho = 0.95;
+  double prev_ratio = 0.0;
+  for (std::int32_t d : {2, 3, 4}) {
+    const Torus t(Shape::kary(8, d));
+    const auto x = routing::star_probabilities(t).x;
+    const double ratio = predict_fcfs_reception_delay(t, rho) /
+                         predict_priority_reception_delay(t, x, rho);
+    EXPECT_GT(ratio, prev_ratio) << "d=" << d;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 2.0);
+}
+
+TEST(DelayModel, MonotoneInRho) {
+  const Torus t(Shape{8, 8});
+  const auto x = routing::star_probabilities(t).x;
+  double prev_p = 0.0, prev_f = 0.0;
+  for (double rho : {0.0, 0.3, 0.6, 0.9, 0.97}) {
+    const double p = predict_priority_reception_delay(t, x, rho);
+    const double f = predict_fcfs_reception_delay(t, rho);
+    EXPECT_GT(p, prev_p);
+    EXPECT_GT(f, prev_f);
+    prev_p = p;
+    prev_f = f;
+  }
+}
+
+TEST(DelayModel, TracksSimulationShape) {
+  // The model is an independent-queue approximation; require it to be
+  // within a factor band of simulation and to preserve the ordering.
+  const Shape shape{8, 8};
+  const Torus t(shape);
+  const auto x = routing::star_probabilities(t).x;
+  for (double rho : {0.5, 0.8, 0.9}) {
+    harness::ExperimentSpec spec;
+    spec.shape = shape;
+    spec.rho = rho;
+    spec.warmup = 500.0;
+    spec.measure = 2500.0;
+    spec.seed = 321;
+
+    spec.scheme = core::Scheme::priority_star();
+    const auto star = harness::run_experiment(spec);
+    spec.scheme = core::Scheme::fcfs_direct();
+    const auto fcfs = harness::run_experiment(spec);
+    ASSERT_FALSE(star.unstable || fcfs.unstable);
+
+    const double pred_star = predict_priority_reception_delay(t, x, rho);
+    const double pred_fcfs = predict_fcfs_reception_delay(t, rho);
+    EXPECT_GT(pred_star, 0.75 * star.reception_delay_mean) << "rho=" << rho;
+    EXPECT_LT(pred_star, 1.8 * star.reception_delay_mean) << "rho=" << rho;
+    EXPECT_GT(pred_fcfs, 0.75 * fcfs.reception_delay_mean) << "rho=" << rho;
+    EXPECT_LT(pred_fcfs, 1.8 * fcfs.reception_delay_mean) << "rho=" << rho;
+  }
+}
+
+}  // namespace
+}  // namespace pstar::queueing

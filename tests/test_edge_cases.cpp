@@ -1,0 +1,282 @@
+// Cross-module edge cases: degenerate shapes, boundary parameters, and
+// interactions the per-module suites don't reach.
+
+#include <gtest/gtest.h>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+//----------------------------------------------------------------------
+// Degenerate topologies.
+//----------------------------------------------------------------------
+
+TEST(EdgeCases, SingleNodeTorusHasNoLinks) {
+  const Torus t(Shape{1});
+  EXPECT_EQ(t.link_count(), 0);
+  EXPECT_EQ(t.degree(), 0);
+  EXPECT_DOUBLE_EQ(t.average_distance(), 0.0);
+  EXPECT_EQ(t.diameter(), 0);
+}
+
+TEST(EdgeCases, SingleNodeBroadcastWorkload) {
+  const Torus t(Shape{1});
+  sim::Rng rng(1);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.5;
+  cfg.stop_time = 100.0;
+  traffic::Workload w(sim, engine, rng, cfg);
+  engine.begin_measurement();
+  w.start();
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions, 0u);
+  EXPECT_EQ(engine.metrics().tasks_completed[0],
+            engine.metrics().tasks_generated[0]);
+}
+
+TEST(EdgeCases, TwoNodeRingBroadcast) {
+  const Torus t(Shape{2});
+  sim::Rng rng(2);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  engine.begin_measurement();
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions, 1u);
+  EXPECT_DOUBLE_EQ(engine.metrics().broadcast_delay.mean(), 1.0);
+}
+
+TEST(EdgeCases, LongThinTorus) {
+  // 2 x 32: one hypercube-degenerate dimension next to a long ring.
+  const Torus t(Shape{2, 32});
+  EXPECT_EQ(t.degree(), 3);
+  EXPECT_EQ(t.link_count(), 64 * 3);
+  const auto p = routing::star_probabilities(t);
+  ASSERT_TRUE(p.feasible);
+  const auto load = routing::predicted_dimension_load(t, p.x, 1.0, 0.0);
+  EXPECT_NEAR(load[0], load[1], 1e-9);
+}
+
+TEST(EdgeCases, AllSizeOneButOneDimension) {
+  const Torus t(Shape{1, 1, 5, 1});
+  EXPECT_EQ(t.degree(), 2);
+  sim::Rng rng(3);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  engine.begin_measurement();
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions, 4u);
+  EXPECT_EQ(engine.metrics().tasks_completed[0], 1u);
+}
+
+TEST(EdgeCases, MaxSupportedDimensions) {
+  // kMaxDims-dimensional hypercube routes fine; one more is rejected.
+  const Torus ok(Shape::hypercube(net::kMaxDims));
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = routing::uniform_probabilities(net::kMaxDims).x;
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  EXPECT_NO_THROW(routing::SdcBroadcastPolicy(ok, cfg));
+
+  const Torus too_big(Shape::hypercube(net::kMaxDims + 1));
+  routing::SdcBroadcastConfig cfg2;
+  cfg2.ending_probabilities =
+      routing::uniform_probabilities(net::kMaxDims + 1).x;
+  cfg2.priorities = cfg.priorities;
+  EXPECT_THROW(routing::SdcBroadcastPolicy(too_big, cfg2),
+               std::invalid_argument);
+  EXPECT_THROW(routing::UnicastPolicy(too_big, routing::UnicastConfig{}),
+               std::invalid_argument);
+}
+
+//----------------------------------------------------------------------
+// Policy wiring failure modes.
+//----------------------------------------------------------------------
+
+TEST(EdgeCases, CombinedPolicyWithoutUnicastThrowsOnUnicast) {
+  const Torus t(Shape{4, 4});
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = routing::uniform_probabilities(2).x;
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  routing::CombinedPolicy policy(
+      std::make_unique<routing::SdcBroadcastPolicy>(t, cfg), nullptr);
+  sim::Rng rng(4);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, policy, rng);
+  EXPECT_NO_THROW(engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1));
+  EXPECT_THROW(engine.create_task(net::TaskKind::kUnicast, 0, 1, 1),
+               std::logic_error);
+}
+
+TEST(EdgeCases, SdcPolicyRejectsWrongArityProbabilities) {
+  const Torus t(Shape{4, 4});
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = {1.0};  // needs 2 entries
+  cfg.priorities = routing::priority_map(routing::Discipline::kFcfs);
+  EXPECT_THROW(routing::SdcBroadcastPolicy(t, cfg), std::invalid_argument);
+}
+
+//----------------------------------------------------------------------
+// Throughput-factor formula edges.
+//----------------------------------------------------------------------
+
+TEST(EdgeCases, RhoZeroMeansZeroRates) {
+  const Torus t(Shape{4, 4});
+  const auto r = queueing::rates_for_rho(t, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(r.lambda_b, 0.0);
+  EXPECT_DOUBLE_EQ(r.lambda_r, 0.0);
+}
+
+TEST(EdgeCases, PureUnicastRates) {
+  const Torus t(Shape{8, 8});
+  const auto r = queueing::rates_for_rho(t, 0.6, 0.0);
+  EXPECT_DOUBLE_EQ(r.lambda_b, 0.0);
+  EXPECT_GT(r.lambda_r, 0.0);
+  EXPECT_NEAR(queueing::torus_rho(t, 0.0, r.lambda_r), 0.6, 1e-12);
+}
+
+TEST(EdgeCases, SeparateFamilyClosedForm) {
+  EXPECT_NEAR(queueing::separate_family_max_rho(1), 1.0, 1e-12);
+  EXPECT_NEAR(queueing::separate_family_max_rho(2), 6.0 / 7.0, 1e-12);
+  EXPECT_NEAR(queueing::separate_family_max_rho(1000), 2.0 / 3.0, 1e-3);
+}
+
+//----------------------------------------------------------------------
+// Simulator / engine interaction edges.
+//----------------------------------------------------------------------
+
+TEST(EdgeCases, MeasurementWindowBoundariesAreHalfOpen) {
+  // A task created exactly at begin_measurement time is measured; the
+  // harness's warmup event runs before same-time arrivals because it is
+  // scheduled first (deterministic tie-break).
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.warmup = 0.0;  // measure from the very start
+  spec.measure = 300.0;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_GT(r.measured_broadcasts, 0u);
+}
+
+TEST(EdgeCases, BackToBackRunsOnOneSimulator) {
+  // The engine supports multiple generation/drain cycles.
+  const Torus t(Shape{4, 4});
+  sim::Rng rng(5);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  for (int round = 0; round < 5; ++round) {
+    engine.create_task(net::TaskKind::kBroadcast, round, 0, 1);
+    sim.run();
+    EXPECT_EQ(engine.inflight_copies(), 0u);
+  }
+  EXPECT_EQ(engine.metrics().tasks_completed[0], 5u);
+  EXPECT_EQ(engine.metrics().transmissions, 5u * 15u);
+}
+
+TEST(EdgeCases, TaskSlotRecyclingKeepsMetricsConsistent) {
+  // Thousands of tasks through a small table: recycled slots must never
+  // corrupt counts.
+  const Torus t(Shape{3, 3});
+  sim::Rng rng(6);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.05;
+  cfg.stop_time = 5000.0;
+  traffic::Workload w(sim, engine, rng, cfg);
+  w.start();
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[0], m.tasks_generated[0]);
+  EXPECT_EQ(m.transmissions, m.tasks_generated[0] * 8u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(EdgeCases, VariableLengthsInterleaveCorrectly) {
+  // A long packet monopolizes its link; a later short one on another
+  // link is unaffected (per-link servers are independent).
+  const Torus t(Shape{4, 4});
+  sim::Rng rng(7);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  engine.begin_measurement();
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 10);
+  engine.create_task(net::TaskKind::kBroadcast, 5, 0, 1);
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[0], 2u);
+  // The long broadcast needs 10x the idle-network time of the short one.
+  EXPECT_GE(m.broadcast_delay.max(), 40.0);
+  EXPECT_LE(m.broadcast_delay.min(), 15.0);
+}
+
+//----------------------------------------------------------------------
+// Harness spec edges.
+//----------------------------------------------------------------------
+
+TEST(EdgeCases, MixedWraparoundExperiment) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 6};
+  spec.wraparound = {true, false};  // cylinder
+  spec.rho = 0.4;
+  spec.warmup = 200.0;
+  spec.measure = 800.0;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_GT(r.measured_broadcasts, 0u);
+}
+
+TEST(EdgeCases, HotspotExperimentRuns) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.5;
+  spec.warmup = 200.0;
+  spec.measure = 800.0;
+  spec.hotspot_fraction = 0.3;
+  spec.hotspot_node = 7;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  // Mean utilization is set by offered load, not by where it originates.
+  EXPECT_NEAR(r.utilization_mean, 0.5, 0.06);
+}
+
+TEST(EdgeCases, UtilizationByDimSumsToMean) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 8};
+  spec.rho = 0.5;
+  spec.broadcast_fraction = 0.5;
+  spec.warmup = 300.0;
+  spec.measure = 1500.0;
+  const auto r = harness::run_experiment(spec);
+  ASSERT_EQ(r.utilization_by_dim.size(), 2u);
+  // Both dimensions have the same link count here, so the mean of the
+  // per-dim means equals the global mean.
+  EXPECT_NEAR((r.utilization_by_dim[0] + r.utilization_by_dim[1]) / 2.0,
+              r.utilization_mean, 1e-9);
+  // Balanced scheme: the two dimensions match.
+  EXPECT_NEAR(r.utilization_by_dim[0], r.utilization_by_dim[1], 0.05);
+}
+
+}  // namespace
+}  // namespace pstar

@@ -1,0 +1,233 @@
+#include "pstar/net/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar::net {
+namespace {
+
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+/// Policy that routes nothing; tests drive Engine::send directly.
+class NullPolicy : public RoutingPolicy {
+ public:
+  void on_task(Engine&, TaskId, topo::NodeId) override {}
+  void on_receive(Engine&, topo::NodeId, const Copy&) override {}
+};
+
+struct EngineFixture {
+  explicit EngineFixture(Shape shape, EngineConfig cfg = {})
+      : torus(std::move(shape)), rng(7), engine(sim, torus, policy, rng, cfg) {}
+
+  sim::Simulator sim;
+  Torus torus;
+  NullPolicy policy;
+  sim::Rng rng;
+  Engine engine;
+};
+
+Copy copy_for(TaskId task, Priority prio) {
+  Copy c;
+  c.task = task;
+  c.prio = prio;
+  return c;
+}
+
+TEST(Engine, SingleHopTakesOneTimeUnit) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  EXPECT_EQ(f.engine.metrics().transmissions, 1u);
+  EXPECT_DOUBLE_EQ(f.sim.now(), 1.0);
+  EXPECT_DOUBLE_EQ(f.engine.metrics().reception_delay.mean(), 1.0);
+}
+
+TEST(Engine, ServiceTimeScalesWithLength) {
+  EngineFixture f(Shape{4, 4});
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 5);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.sim.now(), 5.0);
+}
+
+TEST(Engine, RejectsZeroLength) {
+  EngineFixture f(Shape{4, 4});
+  EXPECT_THROW(f.engine.create_task(TaskKind::kBroadcast, 0, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsSendOnMissingDimension) {
+  EngineFixture f(Shape{1, 4});
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  EXPECT_THROW(f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh)),
+               std::invalid_argument);
+}
+
+TEST(Engine, QueuedCopiesWaitForTheServer) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  // Two copies on the same link back-to-back: second waits one unit.
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.sim.now(), 2.0);
+  const auto& wait = f.engine.metrics().wait_by_class[0];
+  EXPECT_EQ(wait.count(), 2u);
+  EXPECT_DOUBLE_EQ(wait.mean(), 0.5);  // waits 0 and 1
+}
+
+TEST(Engine, StrictPriorityOvertakesFifo) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  // t=0: a low-priority copy seizes the link.
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));
+  // While busy, queue another low and then a high: the high one must be
+  // served first despite arriving later.
+  f.sim.at(0.25, [&f, id](sim::Simulator&) {
+    f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));
+  });
+  f.sim.at(0.5, [&f, id](sim::Simulator&) {
+    f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  });
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  // High waits 1.0 - 0.5 = 0.5; the queued low waits 2.0 - 0.25 = 1.75.
+  EXPECT_DOUBLE_EQ(m.wait_by_class[0].mean(), 0.5);
+  EXPECT_DOUBLE_EQ(m.wait_by_class[2].max(), 1.75);
+  EXPECT_EQ(m.transmissions_by_class[0], 1u);
+  EXPECT_EQ(m.transmissions_by_class[2], 2u);
+}
+
+TEST(Engine, NonPreemptiveServiceFinishesLowFirst) {
+  EngineFixture f(Shape{4, 4});
+  const TaskId lo = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 10);
+  const TaskId hi = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(lo, Priority::kLow));
+  f.sim.at(1.0, [&f, hi](sim::Simulator&) {
+    f.engine.send(0, 0, Dir::kPlus, copy_for(hi, Priority::kHigh));
+  });
+  f.sim.run();
+  // Low runs to completion at t=10; the high copy then takes one unit.
+  EXPECT_DOUBLE_EQ(f.sim.now(), 11.0);
+}
+
+TEST(Engine, MediumClassSitsBetween) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));  // in service
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kMedium));
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_DOUBLE_EQ(m.wait_by_class[0].mean(), 1.0);  // high served second
+  EXPECT_DOUBLE_EQ(m.wait_by_class[1].mean(), 2.0);  // medium third
+  EXPECT_DOUBLE_EQ(m.wait_by_class[2].max(), 3.0);   // queued low last
+}
+
+TEST(Engine, BroadcastReceptionCountsTowardCompletion) {
+  // Drive a real broadcast with the SDC policy on a 3x3 torus.
+  const Torus torus(Shape{3, 3});
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = {0.5, 0.5};
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  routing::SdcBroadcastPolicy policy(torus, cfg);
+  Engine engine(sim, torus, policy, rng);
+  engine.begin_measurement();
+  engine.create_task(TaskKind::kBroadcast, 4, 4, 1);
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.transmissions, 8u);  // N-1
+  EXPECT_EQ(m.tasks_completed[0], 1u);
+  EXPECT_EQ(m.reception_delay.count(), 8u);
+  EXPECT_EQ(m.broadcast_delay.count(), 1u);
+  // Idle network: completion time equals the tree depth (2 + 2 arcs... for
+  // 3x3 the long arc is 1 per direction, so depth 2).
+  EXPECT_DOUBLE_EQ(m.broadcast_delay.mean(), 2.0);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+  EXPECT_EQ(engine.inflight_tasks(TaskKind::kBroadcast), 0u);
+}
+
+TEST(Engine, TasksBeforeMeasurementAreNotMeasured) {
+  const Torus torus(Shape{3, 3});
+  sim::Simulator sim;
+  sim::Rng rng(2);
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = {0.5, 0.5};
+  cfg.priorities = routing::priority_map(routing::Discipline::kFcfs);
+  routing::SdcBroadcastPolicy policy(torus, cfg);
+  Engine engine(sim, torus, policy, rng);
+  engine.create_task(TaskKind::kBroadcast, 0, 0, 1);  // before window
+  sim.run();
+  engine.begin_measurement();
+  engine.create_task(TaskKind::kBroadcast, 1, 1, 1);  // inside window
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[0], 2u);
+  EXPECT_EQ(m.broadcast_delay.count(), 1u);
+  EXPECT_EQ(m.reception_delay.count(), 8u);
+}
+
+TEST(Engine, InstabilityGuardTripsAndStops) {
+  EngineConfig cfg;
+  cfg.max_inflight_copies = 4;
+  EngineFixture f(Shape{4, 4}, cfg);
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  for (int i = 0; i < 6; ++i) {
+    f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  }
+  EXPECT_TRUE(f.engine.unstable());
+}
+
+TEST(Engine, UtilizationReflectsBusyTime) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  f.engine.end_measurement();
+  const auto& m = f.engine.metrics();
+  // One link busy 2 of 2 time units; the other 63 links idle.
+  EXPECT_DOUBLE_EQ(m.max_utilization(), 1.0);
+  EXPECT_NEAR(m.mean_utilization(), 1.0 / 64.0, 1e-12);
+  EXPECT_GT(m.utilization_cv(), 1.0);
+}
+
+TEST(Engine, VirtualChannelCountsAreRecorded) {
+  EngineFixture f(Shape{4, 4});
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  Copy a = copy_for(id, Priority::kHigh);
+  a.vc = 0;
+  Copy b = copy_for(id, Priority::kHigh);
+  b.vc = 1;
+  f.engine.send(0, 0, Dir::kPlus, a);
+  f.engine.send(0, 1, Dir::kPlus, b);
+  f.sim.run();
+  EXPECT_EQ(f.engine.metrics().transmissions_by_vc[0], 1u);
+  EXPECT_EQ(f.engine.metrics().transmissions_by_vc[1], 1u);
+}
+
+TEST(Engine, OneNodeBroadcastCompletesInstantly) {
+  EngineFixture f(Shape{1});
+  f.engine.begin_measurement();
+  f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  EXPECT_EQ(f.engine.metrics().tasks_completed[0], 1u);
+  EXPECT_DOUBLE_EQ(f.engine.metrics().broadcast_delay.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace pstar::net

@@ -1,0 +1,92 @@
+#include "pstar/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&order](Simulator&) { order.push_back(3); });
+  q.push(1.0, [&order](Simulator&) { order.push_back(1); });
+  q.push(2.0, [&order](Simulator&) { order.push_back(2); });
+  Simulator dummy;
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn(dummy);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  Simulator dummy;
+  while (!q.empty()) q.pop().second(dummy);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(9.0, [](Simulator&) {});
+  q.push(4.0, [](Simulator&) {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+}
+
+TEST(EventQueue, SequenceNumbersIncrease) {
+  EventQueue q;
+  const auto a = q.push(1.0, [](Simulator&) {});
+  const auto b = q.push(1.0, [](Simulator&) {});
+  EXPECT_LT(a, b);
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  q.push(1.0, [](Simulator&) {});
+  q.push(2.0, [](Simulator&) {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedHeapOrderProperty) {
+  EventQueue q;
+  Rng rng(99);
+  // Interleave pushes and pops; popped times must be non-decreasing and
+  // never exceed any remaining element.
+  double last = -1.0;
+  Simulator dummy;
+  for (int round = 0; round < 2000; ++round) {
+    if (q.empty() || rng.bernoulli(0.6)) {
+      // Push a time at or after the last popped time so that the
+      // monotonicity property can hold.
+      q.push(last + rng.uniform() * 10.0, [](Simulator&) {});
+    } else {
+      auto [t, fn] = q.pop();
+      EXPECT_GE(t, last);
+      last = t;
+    }
+  }
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace pstar::sim

@@ -1,0 +1,213 @@
+// Finite per-link queues: admission, tail-drop vs push-out eviction, and
+// exact loss accounting (dropped subtrees partition the receptions that
+// never happen).
+
+#include <gtest/gtest.h>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar::net {
+namespace {
+
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+class NullPolicy : public RoutingPolicy {
+ public:
+  void on_task(Engine&, TaskId, topo::NodeId) override {}
+  void on_receive(Engine&, topo::NodeId, const Copy&) override {}
+};
+
+Copy copy_for(TaskId task, Priority prio) {
+  Copy c;
+  c.task = task;
+  c.prio = prio;
+  return c;
+}
+
+TEST(FiniteBuffers, TailDropRejectsBeyondCapacity) {
+  EngineConfig cfg;
+  cfg.queue_capacity = 2;
+  const Torus torus(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  NullPolicy policy;
+  Engine engine(sim, torus, policy, rng, cfg);
+  const TaskId id = engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  // One in service + two queued fit; the fourth is dropped.
+  for (int i = 0; i < 4; ++i) {
+    engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  }
+  EXPECT_EQ(engine.metrics().drops_by_class[0], 1u);
+  EXPECT_EQ(engine.inflight_copies(), 3u);
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions, 3u);
+}
+
+TEST(FiniteBuffers, ServiceSlotDoesNotCountAgainstCapacity) {
+  EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  const Torus torus(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(2);
+  NullPolicy policy;
+  Engine engine(sim, torus, policy, rng, cfg);
+  const TaskId id = engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // serving
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // queued
+  EXPECT_EQ(engine.metrics().drops_by_class[0], 0u);
+}
+
+TEST(FiniteBuffers, PushOutEvictsLowerClassVictim) {
+  EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.drop_policy = DropPolicy::kPushOutLow;
+  const Torus torus(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(3);
+  NullPolicy policy;
+  Engine engine(sim, torus, policy, rng, cfg);
+  const TaskId id = engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));   // serving
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));   // queued
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // evicts
+  EXPECT_EQ(engine.metrics().drops_by_class[2], 1u);  // the LOW victim
+  EXPECT_EQ(engine.metrics().drops_by_class[0], 0u);
+  sim.run();
+  // Serving LOW + the HIGH that replaced the queued LOW.
+  EXPECT_EQ(engine.metrics().transmissions_by_class[0], 1u);
+  EXPECT_EQ(engine.metrics().transmissions_by_class[2], 1u);
+}
+
+TEST(FiniteBuffers, PushOutWithoutVictimDropsArrival) {
+  EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.drop_policy = DropPolicy::kPushOutLow;
+  const Torus torus(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(4);
+  NullPolicy policy;
+  Engine engine(sim, torus, policy, rng, cfg);
+  const TaskId id = engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // serving
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // queued
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));   // no victim
+  EXPECT_EQ(engine.metrics().drops_by_class[2], 1u);
+  // An equal-class arrival cannot evict either.
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  EXPECT_EQ(engine.metrics().drops_by_class[0], 1u);
+}
+
+TEST(FiniteBuffers, SubtreeAccountingIsExact) {
+  // Run a real broadcast workload with tiny buffers; delivered + lost
+  // receptions must exactly partition (N-1) x completed tasks.
+  const Torus torus(Shape{5, 5});
+  sim::Rng rng(5);
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  EngineConfig cfg;
+  cfg.queue_capacity = 2;
+  Engine engine(sim, torus, *policy, rng, cfg);
+  // All 40 broadcasts burst from the same source: its four outgoing
+  // links overflow immediately, so early-phase copies (large subtrees)
+  // are among the drops.
+  for (int burst = 0; burst < 40; ++burst) {
+    engine.create_task(TaskKind::kBroadcast, 12, 0, 1);
+  }
+  sim.run();
+  const Metrics& m = engine.metrics();
+  EXPECT_GT(m.lost_receptions, 0u);  // tiny buffers under a burst must drop
+  EXPECT_EQ(m.tasks_completed[0], 40u);  // lifecycle completes even if failed
+  EXPECT_EQ(m.broadcast_receptions + m.lost_receptions, 40u * 24u);
+  EXPECT_GT(m.failed_broadcasts, 0u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(FiniteBuffers, UnicastDropFailsTheTask) {
+  const Torus torus(Shape{8});
+  sim::Rng rng(6);
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 0.0, 1.0);
+  sim::Simulator sim;
+  EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  Engine engine(sim, torus, *policy, rng, cfg);
+  // Saturate one link with a burst of unicasts all crossing it.
+  for (int i = 0; i < 6; ++i) {
+    engine.create_task(TaskKind::kUnicast, 0, 2, 1);
+  }
+  sim.run();
+  const Metrics& m = engine.metrics();
+  // Deterministic: one copy in service, one queued, four dropped; every
+  // task's lifecycle completes (failed tasks count as completed too).
+  EXPECT_EQ(m.failed_unicasts, 4u);
+  EXPECT_EQ(m.tasks_completed[1], 6u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(FiniteBuffers, HarnessReportsLossMetrics) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.9;
+  spec.warmup = 200.0;
+  spec.measure = 1000.0;
+  spec.seed = 7;
+  spec.queue_capacity = 4;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_GT(r.drops, 0u);
+  EXPECT_GT(r.lost_receptions, 0u);
+  EXPECT_LT(r.delivered_fraction, 1.0);
+  EXPECT_GT(r.delivered_fraction, 0.8);
+  EXPECT_GT(r.failed_broadcasts, 0u);
+}
+
+TEST(FiniteBuffers, PushOutProtectsTreeTraffic) {
+  // With push-out, losses migrate to the LOW class; lost receptions per
+  // drop approach 1 (ending-dimension leaf subtrees).
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.95;
+  spec.warmup = 300.0;
+  spec.measure = 2000.0;
+  spec.seed = 8;
+  spec.queue_capacity = 4;
+
+  spec.scheme = core::Scheme::star_fcfs();
+  spec.drop_policy = net::DropPolicy::kTailDrop;
+  const auto fcfs = harness::run_experiment(spec);
+
+  spec.scheme = core::Scheme::priority_star();
+  spec.drop_policy = net::DropPolicy::kPushOutLow;
+  const auto pushout = harness::run_experiment(spec);
+
+  ASSERT_GT(fcfs.drops, 0u);
+  ASSERT_GT(pushout.drops, 0u);
+  const double fcfs_lpd = static_cast<double>(fcfs.lost_receptions) /
+                          static_cast<double>(fcfs.drops);
+  const double push_lpd = static_cast<double>(pushout.lost_receptions) /
+                          static_cast<double>(pushout.drops);
+  EXPECT_LT(push_lpd, fcfs_lpd);
+  EXPECT_GT(pushout.delivered_fraction, fcfs.delivered_fraction);
+  // Push-out drops land (almost) entirely on the LOW class.
+  EXPECT_GT(pushout.drops_by_class[2], pushout.drops_by_class[0]);
+}
+
+TEST(FiniteBuffers, UnboundedByDefault) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.9;
+  spec.warmup = 200.0;
+  spec.measure = 800.0;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_EQ(r.drops, 0u);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace pstar::net

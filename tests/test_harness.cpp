@@ -1,0 +1,216 @@
+// Tests of the harness layer itself: tables, figure runner output,
+// replication, and histogram-backed quantiles.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/figure.hpp"
+#include "pstar/harness/table.hpp"
+
+namespace pstar::harness {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt(0.0), "0.00");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xxxxx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, one row.
+  EXPECT_NE(out.find("a      bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  y"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEmission) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os, "CSV,tag");
+  EXPECT_EQ(os.str(), "CSV,tag,x,y\nCSV,tag,1,2\n");
+}
+
+TEST(Figure, DefaultSweepIsSorted) {
+  const auto rhos = default_rho_sweep();
+  EXPECT_GE(rhos.size(), 8u);
+  for (std::size_t i = 1; i < rhos.size(); ++i) EXPECT_GT(rhos[i], rhos[i - 1]);
+  EXPECT_LT(rhos.back(), 1.0);
+}
+
+TEST(Figure, MetricSelector) {
+  ExperimentResult r;
+  r.reception_delay_mean = 1.0;
+  r.broadcast_delay_mean = 2.0;
+  r.unicast_delay_mean = 3.0;
+  EXPECT_DOUBLE_EQ(metric_value(FigureMetric::kReceptionDelay, r), 1.0);
+  EXPECT_DOUBLE_EQ(metric_value(FigureMetric::kBroadcastDelay, r), 2.0);
+  EXPECT_DOUBLE_EQ(metric_value(FigureMetric::kUnicastDelay, r), 3.0);
+}
+
+TEST(Figure, RunFigureEmitsTableAndCsv) {
+  FigureSpec spec;
+  spec.id = "figX";
+  spec.title = "smoke";
+  spec.shape = topo::Shape{4, 4};
+  spec.schemes = {core::Scheme::priority_star(), core::Scheme::fcfs_direct()};
+  spec.rhos = {0.3, 0.6};
+  spec.warmup = 100.0;
+  spec.measure = 400.0;
+  std::ostringstream os;
+  const auto results = run_figure(spec, os);
+  EXPECT_EQ(results.size(), 4u);  // 2 rhos x 2 schemes
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== figX: smoke =="), std::string::npos);
+  EXPECT_NE(out.find("priority-STAR"), std::string::npos);
+  EXPECT_NE(out.find("CSV,figX,0.30"), std::string::npos);
+  EXPECT_NE(out.find("CSV,figX,0.60"), std::string::npos);
+  EXPECT_NE(out.find("bound"), std::string::npos);
+}
+
+TEST(Figure, UnstablePointsRenderAsUnstable) {
+  // Dimension-ordered broadcast saturates near 0.56 on an 8x8 torus;
+  // a rho = 0.9 sweep point must print "unstable", not a number.
+  FigureSpec spec;
+  spec.id = "figY";
+  spec.title = "saturation rendering";
+  spec.shape = topo::Shape{8, 8};
+  spec.schemes = {core::Scheme::fixed_order()};
+  spec.rhos = {0.3, 0.9};
+  spec.warmup = 300.0;
+  spec.measure = 1200.0;
+  spec.show_lower_bound = false;
+  spec.show_model = false;
+  std::ostringstream os;
+  const auto results = run_figure(spec, os);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].unstable || results[0].saturated);
+  EXPECT_TRUE(results[1].unstable || results[1].saturated);
+  EXPECT_NE(os.str().find("unstable"), std::string::npos);
+}
+
+TEST(Figure, ModelColumnsOnlyOnBroadcastReceptionFigures) {
+  FigureSpec spec;
+  spec.id = "figZ";
+  spec.title = "model columns";
+  spec.shape = topo::Shape{4, 4};
+  spec.schemes = {core::Scheme::priority_star()};
+  spec.rhos = {0.3};
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  std::ostringstream with_model;
+  run_figure(spec, with_model);
+  EXPECT_NE(with_model.str().find("model-prio"), std::string::npos);
+
+  spec.metric = FigureMetric::kBroadcastDelay;
+  std::ostringstream without_model;
+  run_figure(spec, without_model);
+  EXPECT_EQ(without_model.str().find("model-prio"), std::string::npos);
+}
+
+TEST(Replication, AdvancesSeedsAndAggregates) {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.rho = 0.5;
+  spec.warmup = 100.0;
+  spec.measure = 500.0;
+  spec.seed = 9;
+  const auto agg = run_replicated(spec, 3);
+  ASSERT_EQ(agg.runs.size(), 3u);
+  EXPECT_EQ(agg.stable_runs, 3u);
+  EXPECT_FALSE(agg.any_unstable);
+  // Different seeds -> different sample paths.
+  EXPECT_NE(agg.runs[0].transmissions, agg.runs[1].transmissions);
+  // The aggregate mean is the mean of the per-run means.
+  const double manual = (agg.runs[0].reception_delay_mean +
+                         agg.runs[1].reception_delay_mean +
+                         agg.runs[2].reception_delay_mean) /
+                        3.0;
+  EXPECT_NEAR(agg.reception_delay_mean, manual, 1e-12);
+  EXPECT_GT(agg.reception_delay_sd, 0.0);
+}
+
+TEST(Replication, RejectsZeroRuns) {
+  ExperimentSpec spec;
+  EXPECT_THROW(run_replicated(spec, 0), std::invalid_argument);
+}
+
+TEST(Replication, UnstableRunsExcludedFromStats) {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.rho = 1.5;  // far beyond capacity
+  spec.warmup = 100.0;
+  spec.measure = 1500.0;
+  spec.max_inflight = 10'000;
+  const auto agg = run_replicated(spec, 2);
+  EXPECT_TRUE(agg.any_unstable);
+  EXPECT_EQ(agg.stable_runs, 0u);
+  EXPECT_DOUBLE_EQ(agg.reception_delay_mean, 0.0);
+}
+
+TEST(Histograms, QuantilesPopulatedOnRequest) {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{8, 8};
+  spec.rho = 0.7;
+  spec.warmup = 200.0;
+  spec.measure = 1000.0;
+  spec.record_histograms = true;
+  const auto r = run_experiment(spec);
+  ASSERT_FALSE(r.unstable);
+  EXPECT_GT(r.reception_p50, 0.0);
+  EXPECT_GE(r.reception_p95, r.reception_p50);
+  EXPECT_GE(r.reception_p99, r.reception_p95);
+  EXPECT_GT(r.broadcast_p95, r.reception_p95);  // completion is the max
+  // The mean sits between the median-ish region and the tail.
+  EXPECT_LT(r.reception_delay_mean, r.reception_p95);
+}
+
+TEST(Histograms, AbsentByDefault) {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.rho = 0.5;
+  spec.warmup = 100.0;
+  spec.measure = 400.0;
+  const auto r = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(r.reception_p95, 0.0);
+  EXPECT_DOUBLE_EQ(r.unicast_p99, 0.0);
+}
+
+TEST(Experiment, RejectsBadWindows) {
+  ExperimentSpec spec;
+  spec.warmup = -1.0;
+  EXPECT_THROW(run_experiment(spec), std::invalid_argument);
+  spec.warmup = 10.0;
+  spec.measure = 0.0;
+  EXPECT_THROW(run_experiment(spec), std::invalid_argument);
+}
+
+TEST(Experiment, ReportsEndingProbabilities) {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 8};
+  spec.rho = 0.4;
+  spec.warmup = 100.0;
+  spec.measure = 400.0;
+  const auto r = run_experiment(spec);
+  ASSERT_EQ(r.ending_probabilities.size(), 2u);
+  double total = 0.0;
+  for (double x : r.ending_probabilities) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(r.balanced_feasible);
+}
+
+}  // namespace
+}  // namespace pstar::harness

@@ -1,0 +1,193 @@
+#include "pstar/harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::harness {
+namespace {
+
+using topo::Shape;
+
+ExperimentSpec base_spec() {
+  ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.5;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = 300.0;
+  spec.measure = 1200.0;
+  spec.seed = 404;
+  return spec;
+}
+
+TEST(Integration, LowLoadBroadcastIsStableAndFast) {
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.2;
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_GT(r.measured_broadcasts, 50u);
+  // Idle-network depth of an 8x8 SDC tree is 8 (two long arcs of 4); the
+  // broadcast delay can't be below that, and at rho=0.2 queueing is mild.
+  EXPECT_GE(r.broadcast_delay_mean, 8.0);
+  EXPECT_LT(r.broadcast_delay_mean, 20.0);
+  EXPECT_GE(r.reception_delay_mean, 1.0);
+  EXPECT_LT(r.reception_delay_mean, r.broadcast_delay_mean);
+}
+
+TEST(Integration, MeasuredUtilizationMatchesTargetRho) {
+  for (double rho : {0.3, 0.6}) {
+    ExperimentSpec spec = base_spec();
+    spec.rho = rho;
+    const ExperimentResult r = run_experiment(spec);
+    ASSERT_FALSE(r.unstable);
+    EXPECT_NEAR(r.utilization_mean, rho, 0.03) << "rho=" << rho;
+  }
+}
+
+TEST(Integration, PrioritySTARBeatsFcfsDirectAtHighLoad) {
+  // The headline claim of Figs. 2-7 at one operating point.  Windows are
+  // longer here: broadcast delay is a maximum statistic and needs more
+  // samples to separate the schemes cleanly.
+  ExperimentSpec spec = base_spec();
+  spec.warmup = 1500.0;
+  spec.measure = 6000.0;
+  spec.rho = 0.9;
+  spec.scheme = core::Scheme::priority_star();
+  const ExperimentResult star = run_experiment(spec);
+  spec.scheme = core::Scheme::fcfs_direct();
+  const ExperimentResult fcfs = run_experiment(spec);
+  ASSERT_FALSE(star.unstable);
+  ASSERT_FALSE(fcfs.unstable);
+  EXPECT_LT(star.reception_delay_mean, fcfs.reception_delay_mean);
+  EXPECT_LT(star.broadcast_delay_mean, fcfs.broadcast_delay_mean);
+}
+
+TEST(Integration, HighPriorityWaitStaysSmallUnderLoad) {
+  // Section 3.2: high-priority load is < 1/n, so its queueing delay stays
+  // O(1) even at rho = 0.9, while low-priority (ending dim) waits grow.
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.9;
+  const ExperimentResult r = run_experiment(spec);
+  ASSERT_FALSE(r.unstable);
+  EXPECT_LT(r.wait_mean[0], 1.0);
+  EXPECT_GT(r.wait_mean[2], r.wait_mean[0] * 2.0);
+}
+
+TEST(Integration, UnicastOnlyDelayTracksDistancePlusQueueing) {
+  ExperimentSpec spec = base_spec();
+  spec.broadcast_fraction = 0.0;
+  spec.rho = 0.4;
+  const ExperimentResult r = run_experiment(spec);
+  ASSERT_FALSE(r.unstable);
+  const topo::Torus torus(spec.shape);
+  EXPECT_NEAR(r.unicast_hops_mean, torus.average_distance(), 0.1);
+  EXPECT_GE(r.unicast_delay_mean, r.unicast_hops_mean);
+  EXPECT_LT(r.unicast_delay_mean, 3.0 * torus.average_distance());
+}
+
+TEST(Integration, OverloadedRunIsFlaggedUnstable) {
+  ExperimentSpec spec = base_spec();
+  spec.shape = Shape{4, 4};
+  spec.rho = 1.3;
+  spec.warmup = 200.0;
+  spec.measure = 3000.0;
+  spec.max_inflight = 20'000;
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_TRUE(r.unstable);
+}
+
+TEST(Integration, BalancedSchemeEvensOutAsymmetricLoad) {
+  // 4x8 torus, mixed traffic: priority STAR balances per-link load;
+  // the uniform baseline leaves the long dimension hotter.
+  ExperimentSpec spec = base_spec();
+  spec.shape = Shape{4, 8};
+  spec.rho = 0.6;
+  spec.broadcast_fraction = 0.5;
+  spec.scheme = core::Scheme::priority_star();
+  const ExperimentResult balanced = run_experiment(spec);
+  spec.scheme = core::Scheme::fcfs_direct();
+  const ExperimentResult uniform = run_experiment(spec);
+  ASSERT_FALSE(balanced.unstable);
+  ASSERT_FALSE(uniform.unstable);
+  EXPECT_LT(balanced.utilization_cv, uniform.utilization_cv);
+  EXPECT_LT(balanced.utilization_max, uniform.utilization_max);
+}
+
+TEST(Integration, HeterogeneousUnicastDelayStaysFlat) {
+  // Section 4: with priority classes, unicast delay is O(nd) and barely
+  // grows with rho (the high class sees only the small tree traffic).
+  ExperimentSpec low = base_spec();
+  low.broadcast_fraction = 0.5;
+  low.rho = 0.2;
+  ExperimentSpec high = low;
+  high.rho = 0.85;
+  const ExperimentResult a = run_experiment(low);
+  const ExperimentResult b = run_experiment(high);
+  ASSERT_FALSE(a.unstable);
+  ASSERT_FALSE(b.unstable);
+  EXPECT_LT(b.unicast_delay_mean, a.unicast_delay_mean * 2.0);
+}
+
+TEST(Integration, DeterministicGivenSeed) {
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.7;
+  const ExperimentResult a = run_experiment(spec);
+  const ExperimentResult b = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(a.reception_delay_mean, b.reception_delay_mean);
+  EXPECT_DOUBLE_EQ(a.broadcast_delay_mean, b.broadcast_delay_mean);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+}
+
+TEST(Integration, SeedChangesTheSamplePath) {
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.7;
+  const ExperimentResult a = run_experiment(spec);
+  spec.seed = 405;
+  const ExperimentResult b = run_experiment(spec);
+  EXPECT_NE(a.transmissions, b.transmissions);
+  // But the statistics agree within confidence intervals (sanity).
+  EXPECT_NEAR(a.reception_delay_mean, b.reception_delay_mean,
+              5.0 * (a.reception_delay_ci95 + b.reception_delay_ci95 + 0.1));
+}
+
+TEST(Integration, VariableLengthBroadcastStillStable) {
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.6;
+  spec.length = traffic::LengthDist::bimodal(1, 8, 0.2);
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  // Delays scale with packet length; the mean hop now costs 2.4 units.
+  EXPECT_GT(r.reception_delay_mean, 2.0);
+  EXPECT_NEAR(r.utilization_mean, 0.6, 0.05);
+}
+
+TEST(Integration, HypercubeRunsAsDegenerateTorus) {
+  ExperimentSpec spec = base_spec();
+  spec.shape = Shape::hypercube(6);
+  spec.rho = 0.5;
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_GT(r.measured_broadcasts, 20u);
+  EXPECT_GE(r.broadcast_delay_mean, 6.0);  // at least the diameter
+}
+
+TEST(Integration, ThreeClassKeepsBroadcastFasterThanTwoClass) {
+  // The three-class refinement trades unicast delay for reception delay.
+  ExperimentSpec spec = base_spec();
+  spec.broadcast_fraction = 0.5;
+  spec.rho = 0.85;
+  spec.scheme = core::Scheme::priority_star_three_class();
+  const ExperimentResult three = run_experiment(spec);
+  spec.scheme = core::Scheme::priority_star();
+  const ExperimentResult two = run_experiment(spec);
+  ASSERT_FALSE(three.unstable);
+  ASSERT_FALSE(two.unstable);
+  // Unicast moved to medium: its delay can only get worse.
+  EXPECT_GE(three.unicast_delay_mean, two.unicast_delay_mean * 0.95);
+}
+
+}  // namespace
+}  // namespace pstar::harness

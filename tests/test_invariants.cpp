@@ -1,0 +1,234 @@
+// Deeper structural invariants: link-graph consistency across arbitrary
+// shapes, virtual-channel ordering along tree paths, arc-randomization
+// balance, statistical RNG quality, and strict-priority starvation
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+//----------------------------------------------------------------------
+// Link-graph consistency for tori, meshes, and cylinders.
+//----------------------------------------------------------------------
+
+struct GraphCase {
+  Shape shape;
+  std::vector<bool> wrap;  // empty = all wrap
+};
+
+class LinkGraph : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(LinkGraph, EveryLinkListedExactlyOnceAsOutgoing) {
+  const GraphCase& c = GetParam();
+  const Torus t = c.wrap.empty() ? Torus(c.shape) : Torus(c.shape, c.wrap);
+  std::vector<int> seen(static_cast<std::size_t>(t.link_count()), 0);
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+      const topo::LinkId plus = t.link(n, dim, Dir::kPlus);
+      const topo::LinkId minus = t.link(n, dim, Dir::kMinus);
+      if (plus != topo::kInvalidLink) ++seen[static_cast<std::size_t>(plus)];
+      if (minus != topo::kInvalidLink && minus != plus) {
+        ++seen[static_cast<std::size_t>(minus)];
+      }
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_P(LinkGraph, InDegreeEqualsOutDegreePerNode) {
+  // Links come in +/- pairs along each dimension, so every node's
+  // in-degree equals its out-degree in tori AND meshes.
+  const GraphCase& c = GetParam();
+  const Torus t = c.wrap.empty() ? Torus(c.shape) : Torus(c.shape, c.wrap);
+  std::map<topo::NodeId, int> in, out;
+  for (topo::LinkId id = 0; id < t.link_count(); ++id) {
+    ++out[t.info(id).from];
+    ++in[t.info(id).to];
+  }
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(in[n], out[n]) << "node " << n;
+  }
+}
+
+TEST_P(LinkGraph, LinksInDimSumsToLinkCount) {
+  const GraphCase& c = GetParam();
+  const Torus t = c.wrap.empty() ? Torus(c.shape) : Torus(c.shape, c.wrap);
+  std::int32_t total = 0;
+  for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+    total += t.links_in_dim(dim);
+  }
+  EXPECT_EQ(total, t.link_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, LinkGraph,
+    ::testing::Values(GraphCase{Shape{8, 8}, {}},
+                      GraphCase{Shape{4, 8}, {}},
+                      GraphCase{Shape{3, 4, 5}, {}},
+                      GraphCase{Shape{2, 2, 2}, {}},
+                      GraphCase{Shape{5, 5}, {false, false}},
+                      GraphCase{Shape{4, 6}, {true, false}},
+                      GraphCase{Shape{2, 7}, {false, true}},
+                      GraphCase{Shape{1, 4, 2}, {}}),
+    [](const auto& info) {
+      std::string name = info.param.shape.to_string();
+      for (char& c : name) {
+        if (c == 'x') c = '_';
+      }
+      if (!info.param.wrap.empty()) {
+        name += "_w";
+        for (bool w : info.param.wrap) name += w ? '1' : '0';
+      }
+      return name;
+    });
+
+//----------------------------------------------------------------------
+// Virtual channels along tree paths never step backwards (VC1 -> VC2
+// only), which is the structure behind the paper's deadlock-freedom
+// claim for the two-channel SDC broadcast.
+//----------------------------------------------------------------------
+
+TEST(VirtualChannels, MonotoneAlongEveryTreePath) {
+  for (const Shape& shape : {Shape{5, 5}, Shape{4, 8}, Shape{3, 4, 5}}) {
+    const Torus t(shape);
+    for (std::int32_t l = 0; l < t.dims(); ++l) {
+      std::map<topo::NodeId, std::uint8_t> vc_at;
+      vc_at[0] = 0;
+      for (const auto& e : routing::build_sdc_tree(t, 0, l)) {
+        ASSERT_TRUE(vc_at.count(e.from));
+        EXPECT_GE(e.vc, vc_at[e.from])
+            << shape.to_string() << " l=" << l << " edge to " << e.to;
+        vc_at[e.to] = e.vc;
+      }
+    }
+  }
+}
+
+//----------------------------------------------------------------------
+// Randomized long-arc direction balances + and - links of even rings.
+//----------------------------------------------------------------------
+
+TEST(ArcRandomization, BalancesDirectionsInExpectation) {
+  const Torus t(Shape{8, 8});
+  sim::Rng rng(37);
+  std::int64_t plus = 0, minus = 0;
+  for (int rep = 0; rep < 400; ++rep) {
+    for (const auto& e : routing::build_sdc_tree(t, 0, 1, &rng)) {
+      (e.dir == Dir::kPlus ? plus : minus) += 1;
+    }
+  }
+  const double ratio = static_cast<double>(plus) / static_cast<double>(minus);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST(ArcRandomization, DeterministicWithoutRng) {
+  const Torus t(Shape{8, 8});
+  const auto a = routing::build_sdc_tree(t, 3, 0);
+  const auto b = routing::build_sdc_tree(t, 3, 0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to, b[i].to);
+    EXPECT_EQ(a[i].dir, b[i].dir);
+  }
+  // Long arcs deterministically go +: more + than - edges on even rings.
+  std::int64_t plus = 0, minus = 0;
+  for (const auto& e : a) (e.dir == Dir::kPlus ? plus : minus) += 1;
+  EXPECT_GT(plus, minus);
+}
+
+//----------------------------------------------------------------------
+// RNG statistical quality: chi-square uniformity.
+//----------------------------------------------------------------------
+
+TEST(RngQuality, BelowPassesChiSquare) {
+  sim::Rng rng(101);
+  constexpr int kBins = 16;
+  constexpr int kSamples = 160000;
+  std::array<int, kBins> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBins)];
+  double chi2 = 0.0;
+  const double expect = static_cast<double>(kSamples) / kBins;
+  for (int c : counts) {
+    chi2 += (c - expect) * (c - expect) / expect;
+  }
+  // 15 degrees of freedom: 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(RngQuality, UniformPairsUncorrelated) {
+  sim::Rng rng(102);
+  double sum_xy = 0.0, sum_x = 0.0, sum_y = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    const double y = rng.uniform();
+    sum_xy += x * y;
+    sum_x += x;
+    sum_y += y;
+  }
+  const double cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+  EXPECT_NEAR(cov, 0.0, 0.002);  // |corr| < ~0.024
+}
+
+//----------------------------------------------------------------------
+// Strict priority really starves: a saturating HIGH stream blocks LOW
+// indefinitely (the cost side of the discipline, stated plainly).
+//----------------------------------------------------------------------
+
+TEST(Starvation, ContinuousHighStreamBlocksLow) {
+  const Torus t(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(103);
+
+  class NullPolicy : public net::RoutingPolicy {
+   public:
+    void on_task(net::Engine&, net::TaskId, topo::NodeId) override {}
+    void on_receive(net::Engine&, topo::NodeId, const net::Copy&) override {}
+  } policy;
+
+  net::Engine engine(sim, t, policy, rng);
+  engine.begin_measurement();
+  const net::TaskId id =
+      engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+
+  net::Copy low;
+  low.task = id;
+  low.prio = net::Priority::kLow;
+  net::Copy high;
+  high.task = id;
+  high.prio = net::Priority::kHigh;
+
+  engine.send(0, 0, Dir::kPlus, high);  // seize the link
+  engine.send(0, 0, Dir::kPlus, low);   // queued at t=0
+  // Keep one HIGH copy always queued for the first 50 time units.
+  for (int k = 0; k < 50; ++k) {
+    sim.at(static_cast<double>(k) + 0.5, [&engine, high](sim::Simulator&) {
+      engine.send(0, 0, Dir::kPlus, high);
+    });
+  }
+  sim.run();
+  // The LOW copy waited out all 51 HIGH transmissions.
+  EXPECT_DOUBLE_EQ(engine.metrics().wait_by_class[2].max(), 51.0);
+  EXPECT_EQ(engine.metrics().transmissions_by_class[0], 51u);
+  EXPECT_EQ(engine.metrics().transmissions_by_class[2], 1u);
+}
+
+}  // namespace
+}  // namespace pstar

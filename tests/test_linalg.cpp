@@ -1,0 +1,147 @@
+#include "pstar/linalg/matrix.hpp"
+#include "pstar/linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityApplyIsNoop) {
+  const Matrix id = Matrix::identity(3);
+  const std::vector<double> x{1.0, -2.0, 3.5};
+  EXPECT_EQ(id.apply(x), x);
+}
+
+TEST(Matrix, ApplyMatchesManualComputation) {
+  Matrix m{{1.0, 2.0}, {0.0, -1.0}};
+  const auto y = m.apply({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(y[0], 11.0);
+  EXPECT_DOUBLE_EQ(y[1], -4.0);
+}
+
+TEST(Matrix, ApplySizeMismatchThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.apply({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyMatchesManual) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Solve, SimpleTwoByTwo) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const auto r = solve(a, {5.0, 10.0});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x[0], 1.0, 1e-12);
+  EXPECT_NEAR(r->x[1], 3.0, 1e-12);
+  EXPECT_LT(r->residual_inf, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto r = solve(a, {2.0, 3.0});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x[0], 3.0, 1e-12);
+  EXPECT_NEAR(r->x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularReturnsNullopt) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(solve(a, {1.0, 2.0}).has_value());
+}
+
+TEST(Solve, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Solve, RandomSystemsRoundTrip) {
+  sim::Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(8);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.uniform(-5.0, 5.0);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-10.0, 10.0);
+      a(r, r) += 20.0;  // diagonal dominance keeps the system well-conditioned
+    }
+    const auto b = a.apply(x_true);
+    const auto r = solve(a, b);
+    ASSERT_TRUE(r.has_value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r->x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Solve, MultiRightHandSides) {
+  Matrix a{{3.0, 1.0}, {1.0, 2.0}};
+  Matrix b{{4.0, 1.0}, {3.0, 7.0}};
+  const auto x = solve_multi(a, b);
+  ASSERT_TRUE(x.has_value());
+  const Matrix check = a.multiply(*x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_NEAR(check(r, c), b(r, c), 1e-12);
+  }
+}
+
+TEST(Solve, InverseTimesMatrixIsIdentity) {
+  Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix prod = a.multiply(*inv);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Solve, ConditionNumberOfIdentityIsOne) {
+  EXPECT_NEAR(condition_inf(Matrix::identity(4)), 1.0, 1e-12);
+}
+
+TEST(Solve, ConditionNumberOfSingularIsInfinite) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_TRUE(std::isinf(condition_inf(a)));
+}
+
+}  // namespace
+}  // namespace pstar::linalg

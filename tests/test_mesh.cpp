@@ -1,0 +1,185 @@
+// Meshes (tori without wraparound), which Section 2 of the paper uses
+// for its throughput-factor examples: the rho formula with average
+// degree 4 - 4/n, and the ~0.5 cap on broadcast throughput caused by
+// boundary nodes having fewer links.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+TEST(Mesh, LinkCountsExcludeBoundary) {
+  // n x n mesh: 2 n (n-1) undirected edges -> 4 n (n-1) directed links.
+  const Torus m = Torus::mesh(Shape{4, 4});
+  EXPECT_EQ(m.link_count(), 4 * 4 * 3);
+  EXPECT_EQ(m.links_in_dim(0), 2 * 4 * 3);
+  EXPECT_FALSE(m.is_torus());
+  EXPECT_TRUE(Torus(Shape{4, 4}).is_torus());
+}
+
+TEST(Mesh, AverageDegreeMatchesPaperFormula) {
+  // Paper, Section 2: d-D n x ... x n mesh has 2d - 2d/n links per node.
+  for (std::int32_t n : {3, 4, 8}) {
+    const Torus m2 = Torus::mesh(Shape{n, n});
+    EXPECT_NEAR(m2.average_degree(), 4.0 - 4.0 / n, 1e-12) << "n=" << n;
+    const Torus m3 = Torus::mesh(Shape{n, n, n});
+    EXPECT_NEAR(m3.average_degree(), 6.0 - 6.0 / n, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Mesh, BoundaryNodesLackLinks) {
+  const Torus m = Torus::mesh(Shape{5});
+  EXPECT_EQ(m.link(0, 0, Dir::kMinus), topo::kInvalidLink);
+  EXPECT_NE(m.link(0, 0, Dir::kPlus), topo::kInvalidLink);
+  EXPECT_EQ(m.link(4, 0, Dir::kPlus), topo::kInvalidLink);
+  EXPECT_NE(m.link(2, 0, Dir::kMinus), topo::kInvalidLink);
+}
+
+TEST(Mesh, MixedWraparound) {
+  // Cylinder: dim 0 wraps, dim 1 does not.
+  const Torus c(Shape{4, 4}, {true, false});
+  EXPECT_TRUE(c.wraps(0));
+  EXPECT_FALSE(c.wraps(1));
+  EXPECT_EQ(c.links_in_dim(0), 32);
+  EXPECT_EQ(c.links_in_dim(1), 24);
+}
+
+TEST(Mesh, LineMeanDistanceMatchesBruteForce) {
+  for (std::int32_t n = 1; n <= 10; ++n) {
+    double total = 0.0;
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (std::int32_t b = 0; b < n; ++b) total += std::abs(a - b);
+    }
+    EXPECT_NEAR(topo::line_mean_distance(n), total / (n * n), 1e-12) << n;
+  }
+}
+
+TEST(Mesh, DiameterIsCornerToCorner) {
+  EXPECT_EQ(Torus::mesh(Shape{8, 8}).diameter(), 14);
+  EXPECT_EQ(Torus(Shape{8, 8}).diameter(), 8);
+  EXPECT_EQ(Torus(Shape{8, 8}, {true, false}).diameter(), 4 + 7);
+}
+
+TEST(Mesh, MeshBroadcastRhoFormulaConsistent) {
+  // The generic torus_rho on a mesh must equal the paper's closed-form
+  // mesh formula rho = lambda_b (n^2 - 1)/(4 - 4/n).
+  for (std::int32_t n : {4, 8, 16}) {
+    const Torus m = Torus::mesh(Shape{n, n});
+    const double lambda_b = 0.001;
+    EXPECT_NEAR(queueing::torus_rho(m, lambda_b, 0.0),
+                queueing::mesh_broadcast_rho(n, lambda_b), 1e-12)
+        << "n=" << n;
+  }
+}
+
+class MeshBroadcast : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MeshBroadcast, SdcTreeCoversMeshExactlyOnce) {
+  const Torus m = Torus::mesh(GetParam());
+  for (topo::NodeId source = 0; source < m.node_count();
+       source += std::max<topo::NodeId>(1, m.node_count() / 5)) {
+    for (std::int32_t l = 0; l < m.dims(); ++l) {
+      const auto edges = routing::build_sdc_tree(m, source, l);
+      ASSERT_EQ(static_cast<std::int64_t>(edges.size()), m.node_count() - 1);
+      std::set<topo::NodeId> received{source};
+      for (const auto& e : edges) {
+        EXPECT_TRUE(received.count(e.from));
+        EXPECT_TRUE(received.insert(e.to).second);
+      }
+    }
+  }
+}
+
+TEST_P(MeshBroadcast, EngineBroadcastDeliversEverywhere) {
+  const Torus m = Torus::mesh(GetParam());
+  sim::Rng rng(77);
+  auto policy = core::make_policy(m, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, m, *policy, rng);
+  engine.begin_measurement();
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions,
+            static_cast<std::uint64_t>(m.node_count() - 1));
+  EXPECT_EQ(engine.metrics().tasks_completed[0], 1u);
+  // From a corner the tree depth is the full corner-to-corner diameter.
+  EXPECT_DOUBLE_EQ(engine.metrics().broadcast_delay.mean(),
+                   static_cast<double>(m.diameter()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshBroadcast,
+                         ::testing::Values(Shape{5, 5}, Shape{4, 8},
+                                           Shape{3, 4, 5}, Shape{2, 6},
+                                           Shape{7}),
+                         [](const auto& info) {
+                           std::string name = info.param.to_string();
+                           for (char& c : name) {
+                             if (c == 'x') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Mesh, UnicastTakesTheUniqueShortestPath) {
+  const Torus m = Torus::mesh(Shape{8});
+  sim::Rng rng(78);
+  routing::UnicastPolicy policy(m, routing::UnicastConfig{});
+  sim::Simulator sim;
+  net::Engine engine(sim, m, policy, rng);
+  engine.begin_measurement();
+  // 0 -> 7 on a line must take 7 hops (no wraparound shortcut).
+  engine.create_task(net::TaskKind::kUnicast, 0, 7, 1);
+  sim.run();
+  EXPECT_DOUBLE_EQ(engine.metrics().unicast_delay.mean(), 7.0);
+}
+
+TEST(Mesh, BroadcastSaturatesWellBelowTorus) {
+  // The paper's Section 2 point: mesh broadcast cannot exceed ~0.5-0.6
+  // throughput factor (boundary nodes have too few incoming links) while
+  // the torus reaches ~1.  Compare stability at rho = 0.8.
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.8;
+  spec.warmup = 400.0;
+  spec.measure = 1600.0;
+  spec.seed = 5;
+  const auto torus_run = harness::run_experiment(spec);
+  EXPECT_FALSE(torus_run.unstable || torus_run.saturated);
+
+  harness::ExperimentSpec mesh_spec = spec;
+  mesh_spec.mesh = true;
+  const auto mesh_run = harness::run_experiment(mesh_spec);
+  EXPECT_TRUE(mesh_run.saturated || mesh_run.unstable);
+}
+
+TEST(Mesh, BroadcastStableAtLowLoad) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.mesh = true;
+  spec.rho = 0.3;
+  spec.warmup = 400.0;
+  spec.measure = 1600.0;
+  spec.seed = 6;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable || r.saturated);
+  EXPECT_GT(r.measured_broadcasts, 100u);
+  // Mesh paths are longer than torus paths at equal shape.
+  EXPECT_GT(r.reception_delay_mean, 5.0);
+}
+
+}  // namespace
+}  // namespace pstar

@@ -1,0 +1,247 @@
+// STAR multicast over pruned SDC trees: tree structure, delivery
+// semantics, heterogeneous mixing, and loss accounting.
+
+#include "pstar/routing/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/topology/ring.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::routing {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+MulticastPolicy make_mcast_policy(const Torus& torus) {
+  MulticastConfig cfg;
+  cfg.ending_probabilities = uniform_probabilities(torus.dims()).x;
+  cfg.priorities = priority_map(Discipline::kTwoClass);
+  return MulticastPolicy(torus, cfg);
+}
+
+TEST(PrunedTree, CoversExactlyTheNeededNodes) {
+  const Torus t(Shape{5, 5});
+  MulticastPolicy policy = make_mcast_policy(t);
+  const std::vector<topo::NodeId> dests{3, 11, 24};
+  for (std::int32_t l = 0; l < t.dims(); ++l) {
+    const auto edges = policy.build_pruned_tree(0, l, dests);
+    std::set<topo::NodeId> covered{0};
+    for (const auto& e : edges) {
+      EXPECT_TRUE(covered.count(e.from)) << "edge from uncovered node";
+      EXPECT_TRUE(covered.insert(e.to).second) << "node covered twice";
+    }
+    for (topo::NodeId d : dests) EXPECT_TRUE(covered.count(d));
+    // Every leaf of the pruned tree is a destination (minimality of the
+    // prune: no edge dangles toward non-destinations).
+    std::set<topo::NodeId> has_child;
+    for (const auto& e : edges) has_child.insert(e.from);
+    for (const auto& e : edges) {
+      if (!has_child.count(e.to)) {
+        EXPECT_TRUE(std::count(dests.begin(), dests.end(), e.to) > 0)
+            << "leaf " << e.to << " is not a destination";
+      }
+    }
+  }
+}
+
+TEST(PrunedTree, SingleDestinationIsAShortestPath) {
+  const Torus t(Shape{6, 7});
+  MulticastPolicy policy = make_mcast_policy(t);
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto src = static_cast<topo::NodeId>(rng.below(42));
+    auto dst = static_cast<topo::NodeId>(rng.below(42));
+    if (dst == src) continue;
+    const std::vector<topo::NodeId> dests{dst};
+    const auto l = static_cast<std::int32_t>(rng.below(2));
+    const auto edges = policy.build_pruned_tree(src, l, dests);
+    std::int64_t dist = 0;
+    for (std::int32_t i = 0; i < t.dims(); ++i) {
+      dist += topo::ring_distance(t.shape().coord_of(src, i),
+                                  t.shape().coord_of(dst, i),
+                                  t.shape().size(i));
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(edges.size()), dist);
+  }
+}
+
+TEST(PrunedTree, AllDestinationsEqualsFullBroadcastTree) {
+  const Torus t(Shape{4, 4});
+  MulticastPolicy policy = make_mcast_policy(t);
+  std::vector<topo::NodeId> all;
+  for (topo::NodeId v = 1; v < t.node_count(); ++v) all.push_back(v);
+  const auto edges = policy.build_pruned_tree(0, 1, all);
+  EXPECT_EQ(static_cast<std::int64_t>(edges.size()), t.node_count() - 1);
+}
+
+TEST(PrunedTree, EmptyDestinationsIsEmpty) {
+  const Torus t(Shape{4, 4});
+  MulticastPolicy policy = make_mcast_policy(t);
+  EXPECT_TRUE(policy.build_pruned_tree(0, 0, {}).empty());
+  // Destinations == {source} also prunes to nothing.
+  const std::vector<topo::NodeId> self{0};
+  EXPECT_TRUE(policy.build_pruned_tree(0, 0, self).empty());
+}
+
+TEST(Multicast, EngineDeliversToEveryDestination) {
+  const Torus t(Shape{5, 5});
+  sim::Rng rng(9);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  engine.begin_measurement();
+  const std::vector<topo::NodeId> dests{1, 7, 18, 24};
+  engine.create_multicast(12, dests, 1);
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[2], 1u);
+  EXPECT_EQ(m.multicast_delay.count(), 1u);
+  EXPECT_GT(m.transmissions, 3u);           // at least one hop per dest arc
+  EXPECT_LT(m.transmissions, 25u);          // far fewer than a broadcast
+  EXPECT_EQ(policy->multicast()->live_plans(), 0u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(Multicast, ExpectedTransmissionsSanity) {
+  const Torus t(Shape{8, 8});
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Rng rng(10);
+  // One destination: the pruned tree is a shortest path, so its expected
+  // size is the average distance.
+  const double one = policy->multicast()->expected_transmissions(1, 2000, rng);
+  EXPECT_NEAR(one, t.average_distance(), 0.15);
+  // All-but-one destinations: nearly the full broadcast tree.
+  const double most =
+      policy->multicast()->expected_transmissions(62, 200, rng);
+  EXPECT_GT(most, 58.0);
+  EXPECT_LE(most, 63.0);
+  // Monotone in group size.
+  const double mid = policy->multicast()->expected_transmissions(8, 500, rng);
+  EXPECT_GT(mid, one);
+  EXPECT_LT(mid, most);
+}
+
+TEST(Multicast, WorkloadMixesThreeKinds) {
+  const Torus t(Shape{6, 6});
+  sim::Rng rng(11);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 0.01, 0.01);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, *policy, rng);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.002;
+  cfg.lambda_unicast = 0.02;
+  cfg.lambda_multicast = 0.005;
+  cfg.multicast_group = 5;
+  cfg.stop_time = 3000.0;
+  traffic::Workload w(sim, engine, rng, cfg);
+  engine.begin_measurement();
+  w.start();
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_GT(m.tasks_completed[0], 50u);
+  EXPECT_GT(m.tasks_completed[1], 500u);
+  EXPECT_GT(m.tasks_completed[2], 100u);
+  EXPECT_EQ(m.tasks_completed[2], m.tasks_generated[2]);
+  EXPECT_EQ(policy->multicast()->live_plans(), 0u);
+  EXPECT_GT(m.multicast_reception_delay.mean(), 1.0);
+  EXPECT_GT(m.multicast_delay.mean(), m.multicast_reception_delay.mean());
+}
+
+TEST(Multicast, HarnessMixedLoadIsCalibrated) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.6;
+  spec.broadcast_fraction = 0.3;
+  spec.multicast_fraction = 0.3;
+  spec.multicast_group = 6;
+  spec.warmup = 400.0;
+  spec.measure = 2000.0;
+  spec.seed = 12;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  // The Monte-Carlo rate calibration should land the total utilization
+  // near the target.
+  EXPECT_NEAR(r.utilization_mean, 0.6, 0.05);
+  EXPECT_GT(r.measured_multicasts, 100u);
+  EXPECT_GT(r.measured_broadcasts, 50u);
+  EXPECT_GT(r.measured_unicasts, 500u);
+  EXPECT_GT(r.multicast_delay_mean, 0.0);
+}
+
+TEST(Multicast, FractionsMustNotExceedOne) {
+  harness::ExperimentSpec spec;
+  spec.broadcast_fraction = 0.7;
+  spec.multicast_fraction = 0.5;
+  EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
+}
+
+TEST(Multicast, FractionsSummingExactlyToOneAreAccepted) {
+  // 0.7 + 0.3 leaves an epsilon-negative unicast share in floating
+  // point; the harness must clamp rather than reject or mis-split.
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.4;
+  spec.broadcast_fraction = 0.7;
+  spec.multicast_fraction = 0.3;
+  spec.multicast_group = 3;
+  spec.warmup = 100.0;
+  spec.measure = 600.0;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_GT(r.measured_broadcasts, 10u);
+  EXPECT_GT(r.measured_multicasts, 10u);
+  EXPECT_EQ(r.measured_unicasts, 0u);
+}
+
+TEST(Multicast, DropsAccountExactly) {
+  const Torus t(Shape{5, 5});
+  sim::Rng rng(13);
+  auto policy = core::make_policy(t, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  net::Engine engine(sim, t, *policy, rng, cfg);
+  std::vector<topo::NodeId> dests;
+  for (topo::NodeId v = 1; v < 20; ++v) dests.push_back(v);
+  std::uint32_t expected_total = 0;
+  for (int burst = 0; burst < 10; ++burst) {
+    engine.create_multicast(0, dests, 1);
+  }
+  sim.run();
+  const auto& m = engine.metrics();
+  (void)expected_total;
+  EXPECT_GT(m.lost_multicast_receptions, 0u);
+  EXPECT_EQ(m.multicast_receptions + m.lost_multicast_receptions,
+            m.multicast_expected_total);
+  EXPECT_GT(m.failed_multicasts, 0u);
+  EXPECT_EQ(m.tasks_completed[2], 10u);
+  EXPECT_EQ(policy->multicast()->live_plans(), 0u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(Multicast, PoliciesWithoutMulticastRejectIt) {
+  const Torus t(Shape{4, 4});
+  routing::SdcBroadcastConfig bcfg;
+  bcfg.ending_probabilities = uniform_probabilities(2).x;
+  bcfg.priorities = priority_map(Discipline::kFcfs);
+  CombinedPolicy policy(std::make_unique<SdcBroadcastPolicy>(t, bcfg),
+                        nullptr, nullptr);
+  sim::Rng rng(14);
+  sim::Simulator sim;
+  net::Engine engine(sim, t, policy, rng);
+  const std::vector<topo::NodeId> dests{3};
+  EXPECT_THROW(engine.create_multicast(0, dests, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pstar::routing

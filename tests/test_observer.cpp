@@ -1,0 +1,222 @@
+// Runtime path validation via the engine Observer hook: while a full
+// random workload runs, every transmission is checked against the SDC
+// broadcast schedule and the shortest-path unicast invariants -- packet
+// by packet, not just in aggregate.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/net/observer.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/topology/ring.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+/// Observer that replays every task's transmissions and asserts the
+/// invariants of its routing scheme.
+class PathValidator : public net::Observer {
+ public:
+  explicit PathValidator(const Torus& torus) : torus_(torus) {}
+
+  void on_task_created(net::TaskId task, const net::Task& info) override {
+    auto& st = live_[task];
+    st = TaskTrace{};
+    st.kind = info.kind;
+    st.source = info.source;
+    st.dest = info.dest;
+    st.created = info.created;
+    st.received.insert(info.source);
+  }
+
+  void on_transmission(net::TaskId task, const net::Copy& copy,
+                       topo::NodeId from, topo::NodeId to, std::int32_t dim,
+                       topo::Dir /*dir*/, double start, double end) override {
+    auto it = live_.find(task);
+    ASSERT_NE(it, live_.end()) << "transmission for unknown task";
+    TaskTrace& st = it->second;
+    EXPECT_GE(start, st.created);
+    EXPECT_GT(end, start);
+    ++st.transmissions;
+
+    if (st.kind == net::TaskKind::kBroadcast) {
+      // SDC tree invariants: sender already holds the packet, receiver is
+      // new, and the traversal dimension matches the copy's phase under
+      // its ending dimension.
+      EXPECT_TRUE(st.received.count(from))
+          << "broadcast forwarded by a node that never received it";
+      EXPECT_FALSE(st.received.count(to)) << "node received a second copy";
+      st.received.insert(to);
+      const std::int32_t d = torus_.dims();
+      const auto& bs = copy.bcast;
+      EXPECT_EQ(dim, (bs.ending_dim + 1 + bs.phase) % d);
+      // Paper's virtual-channel rule.
+      EXPECT_EQ(copy.vc, dim > bs.ending_dim ? 0 : 1);
+      // Ending-dimension transmissions are exactly the last phase.
+      EXPECT_EQ(bs.phase == d - 1, dim == bs.ending_dim && d > 1);
+    } else {
+      // Unicast: each hop shrinks the remaining shortest distance by one.
+      EXPECT_EQ(from, st.at.value_or(st.source));
+      st.at = to;
+    }
+  }
+
+  void on_task_completed(net::TaskId task, const net::Task& info,
+                         double time) override {
+    auto it = live_.find(task);
+    ASSERT_NE(it, live_.end());
+    const TaskTrace& st = it->second;
+    EXPECT_GE(time, st.created);
+    if (st.kind == net::TaskKind::kBroadcast) {
+      EXPECT_EQ(st.received.size(),
+                static_cast<std::size_t>(torus_.node_count()));
+      EXPECT_EQ(st.transmissions,
+                static_cast<std::uint64_t>(torus_.node_count() - 1));
+    } else {
+      EXPECT_EQ(st.at.value_or(st.source), st.dest);
+      // Shortest-path length.
+      std::int64_t dist = 0;
+      for (std::int32_t i = 0; i < torus_.dims(); ++i) {
+        dist += topo::ring_distance(torus_.shape().coord_of(st.source, i),
+                                    torus_.shape().coord_of(st.dest, i),
+                                    torus_.shape().size(i));
+      }
+      EXPECT_EQ(st.transmissions, static_cast<std::uint64_t>(dist));
+    }
+    EXPECT_EQ(info.receptions, st.kind == net::TaskKind::kBroadcast
+                                   ? static_cast<std::uint32_t>(
+                                         torus_.node_count() - 1)
+                                   : info.receptions);
+    ++completed_;
+    live_.erase(it);
+  }
+
+  std::uint64_t completed() const { return completed_; }
+  std::size_t live_tasks() const { return live_.size(); }
+
+ private:
+  struct TaskTrace {
+    net::TaskKind kind = net::TaskKind::kBroadcast;
+    topo::NodeId source = 0;
+    topo::NodeId dest = 0;
+    double created = 0.0;
+    std::uint64_t transmissions = 0;
+    std::set<topo::NodeId> received;      // broadcast
+    std::optional<topo::NodeId> at;       // unicast position
+  };
+
+  const Torus& torus_;
+  std::map<net::TaskId, TaskTrace> live_;
+  std::uint64_t completed_ = 0;
+};
+
+class ObserverValidation : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ObserverValidation, FullWorkloadSatisfiesPathInvariants) {
+  const Torus torus(GetParam());
+  sim::Rng rng(2027);
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(),
+                                  0.5, 0.5);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  PathValidator validator(torus);
+  engine.set_observer(&validator);
+
+  const auto rates = queueing::rates_for_rho(torus, 0.7, 0.5);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = rates.lambda_b;
+  cfg.lambda_unicast = rates.lambda_r;
+  cfg.stop_time = 300.0;
+  traffic::Workload workload(sim, engine, rng, cfg);
+  workload.start();
+  sim.run();
+
+  EXPECT_GT(validator.completed(), 50u) << GetParam().to_string();
+  EXPECT_EQ(validator.live_tasks(), 0u) << "tasks leaked";
+  EXPECT_EQ(validator.completed(),
+            engine.metrics().tasks_completed[0] +
+                engine.metrics().tasks_completed[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ObserverValidation,
+                         ::testing::Values(Shape{5, 5}, Shape{4, 8},
+                                           Shape{3, 4, 5}, Shape{8, 8},
+                                           Shape{2, 4, 6},
+                                           Shape::hypercube(5)),
+                         [](const auto& info) {
+                           std::string name = info.param.to_string();
+                           for (char& c : name) {
+                             if (c == 'x') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Observer, MeshBroadcastsSatisfyTreeInvariants) {
+  // Same per-packet tree validation on a mesh: exactly-once coverage,
+  // sender-already-holds, phase-dimension and VC rules all hold with
+  // line arcs in place of ring arcs.  (Broadcast-only: the validator's
+  // unicast distance check assumes wraparound.)
+  const Torus mesh = Torus::mesh(Shape{5, 5});
+  sim::Rng rng(2028);
+  auto policy = core::make_policy(mesh, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, mesh, *policy, rng);
+  PathValidator validator(mesh);
+  engine.set_observer(&validator);
+  for (int i = 0; i < 40; ++i) {
+    engine.create_task(net::TaskKind::kBroadcast,
+                       static_cast<topo::NodeId>(rng.below(25)), 0, 1);
+    sim.run();
+  }
+  EXPECT_EQ(validator.completed(), 40u);
+  EXPECT_EQ(validator.live_tasks(), 0u);
+}
+
+TEST(Observer, FcfsDirectAlsoSatisfiesTreeInvariants) {
+  const Torus torus(Shape{4, 8});
+  sim::Rng rng(31);
+  auto policy = core::make_policy(torus, core::Scheme::fcfs_direct(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  PathValidator validator(torus);
+  engine.set_observer(&validator);
+  for (int i = 0; i < 30; ++i) {
+    engine.create_task(net::TaskKind::kBroadcast,
+                       static_cast<topo::NodeId>(rng.below(32)), 0, 1);
+  }
+  sim.run();
+  EXPECT_EQ(validator.completed(), 30u);
+}
+
+TEST(Observer, DetachWorks) {
+  const Torus torus(Shape{4, 4});
+  sim::Rng rng(32);
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  PathValidator validator(torus);
+  engine.set_observer(&validator);
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  sim.run();
+  const auto seen = validator.completed();
+  EXPECT_EQ(seen, 1u);
+  engine.set_observer(nullptr);
+  engine.create_task(net::TaskKind::kBroadcast, 1, 1, 1);
+  sim.run();
+  EXPECT_EQ(validator.completed(), seen);  // no further callbacks
+}
+
+}  // namespace
+}  // namespace pstar

@@ -1,0 +1,43 @@
+#include "pstar/routing/priorities.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pstar::routing {
+namespace {
+
+using net::Priority;
+
+TEST(Priorities, FcfsPutsEverythingInOneClass) {
+  const PriorityMap m = priority_map(Discipline::kFcfs);
+  EXPECT_EQ(m.broadcast_tree, Priority::kHigh);
+  EXPECT_EQ(m.broadcast_ending, Priority::kHigh);
+  EXPECT_EQ(m.unicast, Priority::kHigh);
+}
+
+TEST(Priorities, TwoClassDemotesEndingDimension) {
+  const PriorityMap m = priority_map(Discipline::kTwoClass);
+  EXPECT_EQ(m.broadcast_tree, Priority::kHigh);
+  EXPECT_EQ(m.broadcast_ending, Priority::kLow);
+  EXPECT_EQ(m.unicast, Priority::kHigh);
+}
+
+TEST(Priorities, ThreeClassPutsUnicastInTheMiddle) {
+  const PriorityMap m = priority_map(Discipline::kThreeClass);
+  EXPECT_EQ(m.broadcast_tree, Priority::kHigh);
+  EXPECT_EQ(m.unicast, Priority::kMedium);
+  EXPECT_EQ(m.broadcast_ending, Priority::kLow);
+}
+
+TEST(Priorities, TreeClassNeverBelowEndingClass) {
+  // Invariant behind the paper's delay analysis: the bulky ending-
+  // dimension traffic must never outrank the tree traffic.
+  for (Discipline d :
+       {Discipline::kFcfs, Discipline::kTwoClass, Discipline::kThreeClass}) {
+    const PriorityMap m = priority_map(d);
+    EXPECT_LE(static_cast<int>(m.broadcast_tree),
+              static_cast<int>(m.broadcast_ending));
+  }
+}
+
+}  // namespace
+}  // namespace pstar::routing

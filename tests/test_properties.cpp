@@ -1,0 +1,226 @@
+// Parameterized property sweeps across torus shapes and schemes: the
+// structural invariants every routing configuration must satisfy, checked
+// end-to-end through the simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+//----------------------------------------------------------------------
+// Per-shape invariants of a single broadcast executed on an idle network.
+//----------------------------------------------------------------------
+
+class BroadcastInvariants : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BroadcastInvariants, EveryNodeReceivesExactlyOnce) {
+  const Torus torus(GetParam());
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  net::Engine engine(sim, torus, *policy, rng);
+  engine.begin_measurement();
+  const auto n = torus.node_count();
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto source = static_cast<topo::NodeId>(rng.below(
+        static_cast<std::uint64_t>(n)));
+    engine.create_task(net::TaskKind::kBroadcast, source, source, 1);
+    sim.run();
+    EXPECT_EQ(engine.inflight_copies(), 0u);
+  }
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[0], 8u);
+  // Exactly N-1 transmissions per broadcast: the minimum possible.
+  EXPECT_EQ(m.transmissions, 8u * static_cast<std::uint64_t>(n - 1));
+}
+
+TEST_P(BroadcastInvariants, IdleNetworkDelayBoundedByArcDepth) {
+  const Torus torus(GetParam());
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  sim::Rng rng(6);
+  net::Engine engine(sim, torus, *policy, rng);
+  engine.begin_measurement();
+  engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  sim.run();
+  double depth = 0.0;
+  for (std::int32_t i = 0; i < torus.dims(); ++i) {
+    depth += topo::ring_long_arc(torus.shape().size(i));
+  }
+  if (torus.node_count() > 1) {
+    EXPECT_DOUBLE_EQ(engine.metrics().broadcast_delay.mean(), depth);
+    EXPECT_GE(engine.metrics().broadcast_delay.mean(),
+              static_cast<double>(torus.diameter()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BroadcastInvariants,
+                         ::testing::Values(Shape{5, 5}, Shape{8, 8},
+                                           Shape{4, 8}, Shape{16, 16},
+                                           Shape{3, 4, 5}, Shape{8, 8, 8},
+                                           Shape{2, 2, 2, 2, 2}, Shape{2, 6},
+                                           Shape{9}, Shape{1, 5},
+                                           Shape{4, 1, 6}),
+                         [](const auto& info) {
+                           std::string name = info.param.to_string();
+                           for (char& c : name) {
+                             if (c == 'x') c = '_';
+                           }
+                           return name;
+                         });
+
+//----------------------------------------------------------------------
+// Scheme x load stability matrix.
+//----------------------------------------------------------------------
+
+struct SchemePoint {
+  const char* scheme;
+  double rho;
+  double fraction;
+};
+
+class SchemeStability : public ::testing::TestWithParam<SchemePoint> {
+ protected:
+  static core::Scheme scheme_by_name(const std::string& name) {
+    if (name == "priority-STAR") return core::Scheme::priority_star();
+    if (name == "priority-STAR-3c")
+      return core::Scheme::priority_star_three_class();
+    if (name == "STAR-FCFS") return core::Scheme::star_fcfs();
+    if (name == "FCFS-direct") return core::Scheme::fcfs_direct();
+    if (name == "priority-direct") return core::Scheme::priority_direct();
+    throw std::invalid_argument("unknown scheme " + name);
+  }
+};
+
+TEST_P(SchemeStability, StableBelowSaturationOnSymmetricTorus) {
+  const SchemePoint p = GetParam();
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{6, 6};
+  spec.scheme = scheme_by_name(p.scheme);
+  spec.rho = p.rho;
+  spec.broadcast_fraction = p.fraction;
+  spec.warmup = 300.0;
+  spec.measure = 900.0;
+  spec.seed = 99;
+  const harness::ExperimentResult r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable) << p.scheme << " rho=" << p.rho;
+  // Utilization tracks the offered load on a symmetric torus for every
+  // scheme (all of them are transmission-minimal there).
+  EXPECT_NEAR(r.utilization_mean, p.rho, 0.05);
+  // Delays are finite and at least one hop.
+  if (p.fraction > 0.0) EXPECT_GE(r.reception_delay_mean, 1.0);
+  if (p.fraction < 1.0) EXPECT_GE(r.unicast_delay_mean, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchemeStability,
+    ::testing::Values(SchemePoint{"priority-STAR", 0.3, 1.0},
+                      SchemePoint{"priority-STAR", 0.8, 1.0},
+                      SchemePoint{"priority-STAR", 0.8, 0.5},
+                      SchemePoint{"priority-STAR-3c", 0.8, 0.5},
+                      SchemePoint{"STAR-FCFS", 0.8, 1.0},
+                      SchemePoint{"FCFS-direct", 0.8, 1.0},
+                      SchemePoint{"FCFS-direct", 0.5, 0.5},
+                      SchemePoint{"priority-direct", 0.8, 1.0},
+                      SchemePoint{"priority-STAR", 0.5, 0.0}),
+    [](const auto& info) {
+      std::string name = info.param.scheme;
+      name += "_rho";
+      name += std::to_string(static_cast<int>(info.param.rho * 100));
+      name += "_f";
+      name += std::to_string(static_cast<int>(info.param.fraction * 100));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+//----------------------------------------------------------------------
+// Conservation-law check: priority reshuffles waiting time between
+// classes but cannot reduce the load-weighted average (service times are
+// class-independent for unit packets).
+//----------------------------------------------------------------------
+
+TEST(ConservationLaw, PriorityDoesNotChangeWeightedWait) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{8, 8};
+  spec.rho = 0.85;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = 500.0;
+  spec.measure = 2500.0;
+  spec.seed = 7;
+
+  spec.scheme = core::Scheme::priority_star();
+  const auto star = harness::run_experiment(spec);
+  spec.scheme = core::Scheme::star_fcfs();
+  const auto fcfs = harness::run_experiment(spec);
+  ASSERT_FALSE(star.unstable);
+  ASSERT_FALSE(fcfs.unstable);
+
+  // Transmission-weighted mean wait under priority STAR...
+  double weighted = 0.0;
+  double count = 0.0;
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    weighted += star.wait_mean[c] * static_cast<double>(star.wait_count[c]);
+    count += static_cast<double>(star.wait_count[c]);
+  }
+  weighted /= count;
+  // ...must match the FCFS mean wait (all classes collapse to class 0).
+  EXPECT_NEAR(weighted, fcfs.wait_mean[0], 0.15 * fcfs.wait_mean[0] + 0.05);
+}
+
+//----------------------------------------------------------------------
+// The balanced probability vector beats uniform on every asymmetric
+// torus we can throw at it (max-utilization is what saturates first).
+//----------------------------------------------------------------------
+
+class BalanceSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BalanceSweep, BalancedVectorMinimizesPredictedPeak) {
+  const Torus torus(GetParam());
+  const auto rates = queueing::rates_for_rho(torus, 0.7, 0.6);
+  const auto balanced = routing::heterogeneous_probabilities(
+      torus, rates.lambda_b, rates.lambda_r);
+  const auto uniform = routing::uniform_probabilities(torus.dims());
+  auto peak = [&](const std::vector<double>& x) {
+    double m = 0.0;
+    for (double v : routing::predicted_dimension_load(torus, x, rates.lambda_b,
+                                                      rates.lambda_r)) {
+      m = std::max(m, v);
+    }
+    return m;
+  };
+  EXPECT_LE(peak(balanced.x), peak(uniform.x) + 1e-9) << GetParam().to_string();
+  if (balanced.feasible && !torus.shape().symmetric()) {
+    EXPECT_LT(peak(balanced.x), peak(uniform.x) - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BalanceSweep,
+                         ::testing::Values(Shape{4, 8}, Shape{3, 9},
+                                           Shape{4, 4, 8}, Shape{2, 4, 8},
+                                           Shape{6, 6, 12}, Shape{5, 10},
+                                           Shape{8, 8}),
+                         [](const auto& info) {
+                           std::string name = info.param.to_string();
+                           for (char& c : name) {
+                             if (c == 'x') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pstar

@@ -1,0 +1,178 @@
+// Statistical validation of the engine's queueing behaviour against
+// closed-form queueing theory.  A 2-node torus has exactly one outgoing
+// link per node; broadcast tasks make one transmission each, so each link
+// is an M/D/1 queue whose waiting time must match rho/(2(1-rho)).  Mixing
+// unicast (high class) and broadcast (low class, ending dimension) on the
+// same links reproduces the two-class non-preemptive priority queue and
+// must match the Cobham formulas.  These tests tie the simulator to the
+// exact formulas the paper's delay analysis is built on.
+
+#include <gtest/gtest.h>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/gd1.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+struct TwoNodeRun {
+  double wait_high = 0.0;
+  double wait_low = 0.0;
+  std::uint64_t count_high = 0;
+  std::uint64_t count_low = 0;
+};
+
+/// Runs broadcast (low class) + unicast (high class) traffic on a 2-node
+/// torus for `horizon` time units and returns measured per-class waits.
+TwoNodeRun run_two_node(double lambda_bcast, double lambda_uni,
+                        double horizon, std::uint64_t seed) {
+  const Torus torus(Shape{2});
+  sim::Rng rng(seed);
+  // Two-class discipline: unicast HIGH, broadcast ending-dim LOW.  On a
+  // 1-D torus every broadcast transmission is on the ending dimension.
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(),
+                                  lambda_bcast, lambda_uni);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = lambda_bcast;
+  cfg.lambda_unicast = lambda_uni;
+  cfg.stop_time = horizon;
+  traffic::Workload workload(sim, engine, rng, cfg);
+  sim.at(horizon * 0.1,
+         [&engine](sim::Simulator&) { engine.begin_measurement(); });
+  workload.start();
+  sim.run();
+  const auto& m = engine.metrics();
+  TwoNodeRun out;
+  out.wait_high = m.wait_by_class[0].mean();
+  out.wait_low = m.wait_by_class[2].mean();
+  out.count_high = m.wait_by_class[0].count();
+  out.count_low = m.wait_by_class[2].count();
+  return out;
+}
+
+class Md1Validation : public ::testing::TestWithParam<double> {};
+
+TEST_P(Md1Validation, BroadcastOnlyLinkBehavesAsMd1) {
+  const double rho = GetParam();
+  // Broadcast-only: every task is one transmission on the source's only
+  // link; arrivals to the link are Poisson(rho), service is 1.
+  const TwoNodeRun run = run_two_node(rho, 0.0, 120000.0, 13);
+  const double expect = queueing::md1_wait(rho);
+  EXPECT_GT(run.count_low, 10000u);
+  EXPECT_NEAR(run.wait_low, expect, 0.06 * expect + 0.03)
+      << "rho=" << rho << " measured=" << run.wait_low;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Md1Validation,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.85),
+                         [](const auto& info) {
+                           return "rho" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+struct PriorityLoad {
+  double rho_high;
+  double rho_low;
+};
+
+class CobhamValidation : public ::testing::TestWithParam<PriorityLoad> {};
+
+TEST_P(CobhamValidation, TwoClassWaitsMatchCobham) {
+  const PriorityLoad p = GetParam();
+  // Unicast rate = rho_high (one hop per packet); broadcast = rho_low.
+  const TwoNodeRun run = run_two_node(p.rho_low, p.rho_high, 150000.0, 29);
+  const auto expect = queueing::md1_priority_wait(p.rho_high, p.rho_low);
+  EXPECT_GT(run.count_high, 5000u);
+  EXPECT_GT(run.count_low, 5000u);
+  EXPECT_NEAR(run.wait_high, expect.high, 0.08 * expect.high + 0.03);
+  EXPECT_NEAR(run.wait_low, expect.low, 0.08 * expect.low + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, CobhamValidation,
+    ::testing::Values(PriorityLoad{0.2, 0.4}, PriorityLoad{0.4, 0.4},
+                      PriorityLoad{0.1, 0.7}, PriorityLoad{0.45, 0.45}),
+    [](const auto& info) {
+      return "h" + std::to_string(static_cast<int>(info.param.rho_high * 100)) +
+             "_l" + std::to_string(static_cast<int>(info.param.rho_low * 100));
+    });
+
+struct BatchLoad {
+  double rho;
+  std::uint32_t batch;
+};
+
+class BatchGd1Validation : public ::testing::TestWithParam<BatchLoad> {};
+
+TEST_P(BatchGd1Validation, CompoundPoissonMatchesGd1Formula) {
+  // Batch arrivals inflate the arrival-count variance: on a 2-node torus
+  // with broadcast-only traffic and batch size K, each link sees
+  // compound-Poisson input with per-slot variance V = rho (1 + K)/2
+  // (epochs at rate 2 rho / K per network, Binomial(K, 1/2) of each batch
+  // per link).  The paper's G/D/1 formula V/(2 rho (1-rho)) - 1/2 must
+  // then predict the measured FCFS wait -- this exercises the formula
+  // beyond the Poisson special case V = rho.
+  const BatchLoad p = GetParam();
+  const topo::Torus torus(topo::Shape{2});
+  sim::Rng rng(83);
+  auto policy = core::make_policy(torus, core::Scheme::star_fcfs(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  traffic::WorkloadConfig cfg;
+  cfg.lambda_broadcast = p.rho;
+  cfg.stop_time = 150000.0;
+  cfg.batch_size = p.batch;
+  traffic::Workload workload(sim, engine, rng, cfg);
+  sim.at(5000.0, [&engine](sim::Simulator&) { engine.begin_measurement(); });
+  workload.start();
+  sim.run();
+
+  const double measured = engine.metrics().wait_by_class[0].mean();
+  const double v = p.rho * (1.0 + p.batch) / 2.0;
+  const double predicted = queueing::gd1_wait(v, p.rho);
+  EXPECT_GT(engine.metrics().wait_by_class[0].count(), 20000u);
+  EXPECT_NEAR(measured, predicted, 0.08 * predicted + 0.05)
+      << "rho=" << p.rho << " K=" << p.batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, BatchGd1Validation,
+    ::testing::Values(BatchLoad{0.5, 1}, BatchLoad{0.5, 4},
+                      BatchLoad{0.7, 2}, BatchLoad{0.7, 8},
+                      BatchLoad{0.85, 4}),
+    [](const auto& info) {
+      return "rho" + std::to_string(static_cast<int>(info.param.rho * 100)) +
+             "_K" + std::to_string(info.param.batch);
+    });
+
+TEST(QueueValidation, ConservationLawHoldsEmpirically) {
+  // rho-weighted mix of the two classes' waits equals the FCFS wait at
+  // the same total load (the argument in Section 3.2).
+  const double rho_h = 0.3, rho_l = 0.5;
+  const TwoNodeRun prio = run_two_node(rho_l, rho_h, 150000.0, 47);
+  const double mixed =
+      (rho_h * prio.wait_high + rho_l * prio.wait_low) / (rho_h + rho_l);
+  const double fcfs = queueing::md1_wait(rho_h + rho_l);
+  EXPECT_NEAR(mixed, fcfs, 0.08 * fcfs);
+}
+
+TEST(QueueValidation, HighClassWaitInsensitiveToLowLoad) {
+  // The key mechanism of priority STAR: adding low-priority load barely
+  // moves the high class's wait.
+  const TwoNodeRun light = run_two_node(0.05, 0.3, 80000.0, 61);
+  const TwoNodeRun heavy = run_two_node(0.60, 0.3, 80000.0, 61);
+  EXPECT_LT(heavy.wait_high, light.wait_high + 0.45);
+  EXPECT_GT(heavy.wait_low, light.wait_low * 2.0);
+}
+
+}  // namespace
+}  // namespace pstar

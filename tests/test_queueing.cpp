@@ -1,0 +1,155 @@
+#include "pstar/queueing/gd1.hpp"
+#include "pstar/queueing/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::queueing {
+namespace {
+
+TEST(Gd1, Md1WaitFormula) {
+  EXPECT_DOUBLE_EQ(md1_wait(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(md1_wait(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(md1_wait(0.8), 2.0);
+  EXPECT_DOUBLE_EQ(md1_system_time(0.5), 1.5);
+}
+
+TEST(Gd1, Md1WaitDivergesNearOne) {
+  EXPECT_GT(md1_wait(0.99), 49.0);
+  EXPECT_THROW(md1_wait(1.0), std::invalid_argument);
+  EXPECT_THROW(md1_wait(-0.1), std::invalid_argument);
+}
+
+TEST(Gd1, Gd1WaitWithPoissonVarianceMatchesMd1) {
+  // For Poisson arrivals V = rho; the paper's G/D/1 form reduces to
+  // rho/(2(1-rho)) - only when V == rho is plugged in:
+  //   V/(2 rho (1-rho)) - 1/2 = 1/(2(1-rho)) - 1/2 = rho/(2(1-rho)).
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(gd1_wait(rho, rho), md1_wait(rho), 1e-12);
+  }
+}
+
+TEST(Gd1, Gd1WaitRejectsBadRho) {
+  EXPECT_THROW(gd1_wait(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(gd1_wait(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Gd1, ConservationMixIsWeightedAverage) {
+  const std::vector<double> rho{0.2, 0.6};
+  const std::vector<double> wait{1.0, 4.0};
+  EXPECT_NEAR(conservation_mix(rho, wait), (0.2 * 1.0 + 0.6 * 4.0) / 0.8, 1e-12);
+}
+
+TEST(Gd1, PriorityWaitsSatisfyConservation) {
+  // Cobham waits must satisfy the conservation law: the rho-weighted mix
+  // of class waits equals the FCFS M/D/1 wait.
+  for (double rho_h : {0.05, 0.2, 0.4}) {
+    for (double rho_l : {0.1, 0.3, 0.5}) {
+      if (rho_h + rho_l >= 0.95) continue;
+      const TwoClassWait w = md1_priority_wait(rho_h, rho_l);
+      const std::vector<double> rhos{rho_h, rho_l};
+      const std::vector<double> waits{w.high, w.low};
+      EXPECT_NEAR(conservation_mix(rhos, waits), md1_wait(rho_h + rho_l), 1e-12)
+          << rho_h << " " << rho_l;
+    }
+  }
+}
+
+TEST(Gd1, HighClassWaitSmallWhenItsLoadIsSmall) {
+  // The paper's central observation: with tiny high-priority load the
+  // high-priority wait stays O(rho) even as total rho -> 1.
+  const TwoClassWait w = md1_priority_wait(0.05, 0.90);
+  EXPECT_LT(w.high, 0.6);
+  EXPECT_GT(w.low, 5.0);
+}
+
+TEST(Throughput, GenericFormula) {
+  // 64-node network, 256 links, rate 0.1, 10 transmissions per task.
+  EXPECT_NEAR(throughput_factor(0.1, 10.0, 64, 256), 0.25, 1e-12);
+  EXPECT_THROW(throughput_factor(0.1, 1.0, 4, 0), std::invalid_argument);
+}
+
+TEST(Throughput, TorusBroadcastOnly) {
+  const topo::Torus t(topo::Shape{8, 8});
+  // rho = lambda_b (N-1) / (2d) = lambda_b * 63 / 4.
+  EXPECT_NEAR(torus_rho(t, 0.04, 0.0), 0.04 * 63.0 / 4.0, 1e-12);
+}
+
+TEST(Throughput, TorusUnicastUsesAverageDistance)
+{
+  const topo::Torus t(topo::Shape{8, 8});
+  const double expected = 0.2 * t.average_distance() / 4.0;
+  EXPECT_NEAR(torus_rho(t, 0.0, 0.2), expected, 1e-12);
+}
+
+TEST(Throughput, PaperFormulaUsesFloorQuarter) {
+  const topo::Torus t(topo::Shape{5, 5});
+  // floor(5/4) = 1 per dimension -> sum = 2.
+  EXPECT_NEAR(torus_rho_paper(t, 0.0, 0.5), 0.5 * 2.0 / 4.0, 1e-12);
+}
+
+TEST(Throughput, HypercubeFormulaMatchesPaper) {
+  // rho = lambda_b (2^d - 1)/d + lambda_r (1/2 + 1/(2(2^d - 1))).
+  const double rho = hypercube_rho(4, 0.1, 0.2);
+  EXPECT_NEAR(rho, 0.1 * 15.0 / 4.0 + 0.2 * (0.5 + 1.0 / 30.0), 1e-12);
+}
+
+TEST(Throughput, MeshBroadcastFormulaMatchesPaper) {
+  // rho = lambda_b (n^2 - 1) / (4 - 4/n).
+  EXPECT_NEAR(mesh_broadcast_rho(4, 0.01), 0.01 * 15.0 / 3.0, 1e-12);
+}
+
+TEST(Throughput, DimensionOrderedMaxRho) {
+  EXPECT_DOUBLE_EQ(dimension_ordered_max_rho(2), 1.0);
+  EXPECT_DOUBLE_EQ(dimension_ordered_max_rho(10), 0.2);
+}
+
+TEST(Throughput, LowerBoundShape) {
+  EXPECT_NEAR(oblivious_lower_bound(3, 0.0), 4.0, 1e-12);
+  EXPECT_NEAR(oblivious_lower_bound(3, 0.5), 5.0, 1e-12);
+  EXPECT_GT(oblivious_lower_bound(3, 0.99), 100.0);
+}
+
+TEST(Throughput, RatesForRhoRoundTrips) {
+  const topo::Torus t(topo::Shape{4, 8});
+  for (double rho : {0.2, 0.5, 0.9}) {
+    for (double frac : {0.0, 0.3, 0.5, 1.0}) {
+      const Rates r = rates_for_rho(t, rho, frac);
+      EXPECT_NEAR(torus_rho(t, r.lambda_b, r.lambda_r), rho, 1e-12)
+          << "rho=" << rho << " frac=" << frac;
+      // The broadcast share of the load matches the request.
+      const double bcast_load =
+          r.lambda_b * static_cast<double>(t.node_count() - 1) / t.degree();
+      EXPECT_NEAR(bcast_load, frac * rho, 1e-12);
+    }
+  }
+}
+
+TEST(Throughput, RatesForRhoValidatesInput) {
+  const topo::Torus t(topo::Shape{4, 4});
+  EXPECT_THROW(rates_for_rho(t, -1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(rates_for_rho(t, 0.5, 1.5), std::invalid_argument);
+}
+
+TEST(Throughput, AsymmetricTorusSeparateSchemesLoseThroughput) {
+  // Section 1's motivating example: n1 = ... = n_{d-1} = n_d / 2 with a
+  // 50/50 load split.  If unicast alone loads the longest dimension's
+  // links proportionally to n_i, the longest dimension saturates first;
+  // a balanced scheme spreads broadcast onto the short dimensions.
+  const topo::Torus t(topo::Shape{4, 8});
+  const Rates r = rates_for_rho(t, 1.0, 0.5);
+  // Unbalanced: put broadcast uniformly (x = 1/2, 1/2).  Dimension-1
+  // links carry lambda_r * m_1 / 2 unicast load; with the uniform
+  // broadcast that dimension exceeds the average load of 0.5.
+  const double m1 = t.mean_hops(1);
+  const double unicast_dim1 = r.lambda_r * m1 / 2.0;
+  const double unicast_dim0 = r.lambda_r * t.mean_hops(0) / 2.0;
+  EXPECT_GT(unicast_dim1, unicast_dim0);
+}
+
+}  // namespace
+}  // namespace pstar::queueing

@@ -1,0 +1,108 @@
+#include "pstar/topology/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pstar::topo {
+namespace {
+
+TEST(Ring, DistanceBasics) {
+  EXPECT_EQ(ring_distance(0, 0, 5), 0);
+  EXPECT_EQ(ring_distance(0, 1, 5), 1);
+  EXPECT_EQ(ring_distance(0, 4, 5), 1);  // wraparound is shorter
+  EXPECT_EQ(ring_distance(0, 2, 5), 2);
+  EXPECT_EQ(ring_distance(1, 3, 4), 2);
+}
+
+TEST(Ring, DistanceIsSymmetric) {
+  for (std::int32_t n = 1; n <= 9; ++n) {
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (std::int32_t b = 0; b < n; ++b) {
+        EXPECT_EQ(ring_distance(a, b, n), ring_distance(b, a, n));
+      }
+    }
+  }
+}
+
+TEST(Ring, OffsetMagnitudeMatchesDistance) {
+  for (std::int32_t n = 1; n <= 9; ++n) {
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (std::int32_t b = 0; b < n; ++b) {
+        EXPECT_EQ(std::abs(ring_offset(a, b, n)), ring_distance(a, b, n));
+      }
+    }
+  }
+}
+
+TEST(Ring, OffsetReachesTarget) {
+  for (std::int32_t n = 1; n <= 9; ++n) {
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (std::int32_t b = 0; b < n; ++b) {
+        const std::int32_t off = ring_offset(a, b, n);
+        EXPECT_EQ(((a + off) % n + n) % n, b);
+      }
+    }
+  }
+}
+
+TEST(Ring, TieOnlyOnEvenRingsAtHalf) {
+  EXPECT_TRUE(ring_tie(0, 2, 4));
+  EXPECT_TRUE(ring_tie(1, 5, 8));
+  EXPECT_FALSE(ring_tie(0, 1, 4));
+  EXPECT_FALSE(ring_tie(0, 2, 5));
+  EXPECT_FALSE(ring_tie(0, 0, 4));
+}
+
+TEST(Ring, TiePrefersPositiveOffset) {
+  EXPECT_EQ(ring_offset(0, 2, 4), 2);
+  EXPECT_EQ(ring_offset(3, 1, 4), 2);
+}
+
+TEST(Ring, MeanDistanceEvenIsQuarter) {
+  EXPECT_DOUBLE_EQ(ring_mean_distance(4), 1.0);
+  EXPECT_DOUBLE_EQ(ring_mean_distance(8), 2.0);
+  EXPECT_DOUBLE_EQ(ring_mean_distance(16), 4.0);
+  EXPECT_DOUBLE_EQ(ring_mean_distance(2), 0.5);
+}
+
+TEST(Ring, MeanDistanceOddFormula) {
+  EXPECT_DOUBLE_EQ(ring_mean_distance(5), 24.0 / 20.0);
+  EXPECT_DOUBLE_EQ(ring_mean_distance(3), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(ring_mean_distance(1), 0.0);
+}
+
+TEST(Ring, MeanDistanceMatchesBruteForce) {
+  for (std::int32_t n = 1; n <= 12; ++n) {
+    double total = 0.0;
+    for (std::int32_t k = 0; k < n; ++k) total += ring_distance(0, k, n);
+    EXPECT_DOUBLE_EQ(ring_mean_distance(n), total / n) << "n=" << n;
+  }
+}
+
+TEST(Ring, PaperMeanIsFloorQuarter) {
+  EXPECT_EQ(ring_mean_distance_paper(8), 2);
+  EXPECT_EQ(ring_mean_distance_paper(5), 1);
+  EXPECT_EQ(ring_mean_distance_paper(3), 0);
+  EXPECT_EQ(ring_mean_distance_paper(16), 4);
+}
+
+TEST(Ring, ArcsPartitionTheRing) {
+  for (std::int32_t n = 2; n <= 12; ++n) {
+    EXPECT_EQ(ring_long_arc(n) + ring_short_arc(n), n - 1) << "n=" << n;
+    EXPECT_GE(ring_long_arc(n), ring_short_arc(n));
+    EXPECT_LE(ring_long_arc(n) - ring_short_arc(n), 1);
+  }
+}
+
+TEST(Ring, ArcValues) {
+  EXPECT_EQ(ring_long_arc(5), 2);
+  EXPECT_EQ(ring_short_arc(5), 2);
+  EXPECT_EQ(ring_long_arc(8), 4);
+  EXPECT_EQ(ring_short_arc(8), 3);
+  EXPECT_EQ(ring_long_arc(2), 1);
+  EXPECT_EQ(ring_short_arc(2), 0);
+}
+
+}  // namespace
+}  // namespace pstar::topo

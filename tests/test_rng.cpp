@@ -1,0 +1,229 @@
+#include "pstar/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace pstar::sim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(6);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(8);
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(Rng, BetweenInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(12);
+  const double mean = 3.0;
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>(rng.poisson(mean));
+    sum += v;
+    sq += v * v;
+  }
+  const double m = sum / n;
+  EXPECT_NEAR(m, mean, 0.05);
+  EXPECT_NEAR(sq / n - m * m, mean, 0.15);  // Poisson variance == mean
+}
+
+TEST(Rng, PoissonLargeMeanUsesSplitPath) {
+  Rng rng(13);
+  const double mean = 200.0;
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(14);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(15);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.05);
+}
+
+TEST(Rng, GeometricSupportStartsAtOne) {
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.geometric(0.9), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], n / 4, n / 40);
+  EXPECT_NEAR(counts[2], 3 * n / 4, n / 40);
+}
+
+TEST(Rng, WeightedThrowsOnZeroTotal) {
+  Rng rng(18);
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.weighted(w), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkSeedProducesIndependentStream) {
+  Rng parent(20);
+  Rng child(parent.fork_seed());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  Rng rng(21);
+  const std::vector<double> w{0.5, 0.2, 0.3};
+  DiscreteSampler sampler(w);
+  ASSERT_EQ(sampler.size(), 3u);
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0], 0.5 * n, n / 50);
+  EXPECT_NEAR(counts[1], 0.2 * n, n / 50);
+  EXPECT_NEAR(counts[2], 0.3 * n, n / 50);
+}
+
+TEST(DiscreteSampler, NormalizesWeights) {
+  DiscreteSampler sampler(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.75);
+}
+
+TEST(DiscreteSampler, SingleCategory) {
+  Rng rng(22);
+  DiscreteSampler sampler(std::vector<double>{5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, DegenerateZeroWeightCategory) {
+  Rng rng(23);
+  DiscreteSampler sampler(std::vector<double>{0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, RejectsBadInput) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pstar::sim

@@ -1,0 +1,111 @@
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/core/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pstar/queueing/throughput.hpp"
+
+namespace pstar::core {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+TEST(Scheme, PriorityStarPreset) {
+  const Scheme s = Scheme::priority_star();
+  EXPECT_EQ(s.name, "priority-STAR");
+  EXPECT_EQ(s.balancing, Balancing::kBalanced);
+  EXPECT_EQ(s.discipline, routing::Discipline::kTwoClass);
+}
+
+TEST(Scheme, ThreeClassPreset) {
+  const Scheme s = Scheme::priority_star_three_class();
+  EXPECT_EQ(s.discipline, routing::Discipline::kThreeClass);
+  EXPECT_EQ(s.balancing, Balancing::kBalanced);
+}
+
+TEST(Scheme, FcfsDirectPreset) {
+  const Scheme s = Scheme::fcfs_direct();
+  EXPECT_EQ(s.balancing, Balancing::kUniform);
+  EXPECT_EQ(s.discipline, routing::Discipline::kFcfs);
+}
+
+TEST(Scheme, StarFcfsIsolatesBalancing) {
+  const Scheme s = Scheme::star_fcfs();
+  EXPECT_EQ(s.balancing, Balancing::kBalanced);
+  EXPECT_EQ(s.discipline, routing::Discipline::kFcfs);
+}
+
+TEST(Scheme, FixedOrderDefaultsToLastDimension) {
+  const Torus t(Shape{4, 4, 4});
+  const auto p = Scheme::fixed_order().probabilities(t, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.x[2], 1.0);
+  const auto p1 = Scheme::fixed_order(0).probabilities(t, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(p1.x[0], 1.0);
+}
+
+TEST(Scheme, BalancedProbabilitiesDependOnTraffic) {
+  const Torus t(Shape{4, 8});
+  const Scheme s = Scheme::priority_star();
+  const auto bcast_only = s.probabilities(t, 1.0, 0.0);
+  const auto rates = queueing::rates_for_rho(t, 0.8, 0.5);
+  const auto mixed = s.probabilities(t, rates.lambda_b, rates.lambda_r);
+  EXPECT_NE(bcast_only.x[0], mixed.x[0]);
+}
+
+TEST(Scheme, UniformProbabilitiesIgnoreTraffic) {
+  const Torus t(Shape{4, 8});
+  const Scheme s = Scheme::fcfs_direct();
+  const auto a = s.probabilities(t, 1.0, 0.0);
+  const auto b = s.probabilities(t, 0.1, 0.9);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.x[0], 0.5);
+}
+
+TEST(Scheme, RegistryNamesAreUniqueAndResolvable) {
+  const auto all = Scheme::all();
+  EXPECT_GE(all.size(), 7u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+    const auto resolved = Scheme::by_name(all[i].name);
+    ASSERT_TRUE(resolved.has_value()) << all[i].name;
+    EXPECT_EQ(resolved->balancing, all[i].balancing);
+    EXPECT_EQ(resolved->discipline, all[i].discipline);
+  }
+  EXPECT_FALSE(Scheme::by_name("no-such-scheme").has_value());
+}
+
+TEST(Scheme, SeparateStarIgnoresUnicastLoad) {
+  const Torus t(Shape{4, 8});
+  const Scheme s = Scheme::separate_star();
+  const auto a = s.probabilities(t, 1.0, 0.0);
+  const auto b = s.probabilities(t, 0.2, 5.0);
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+  }
+  // ...and equals Eq. (2) exactly.
+  const auto eq2 = routing::star_probabilities(t);
+  EXPECT_NEAR(a.x[0], eq2.x[0], 1e-12);
+}
+
+TEST(PolicyFactory, BuildsAllSubPolicies) {
+  const Torus t(Shape{4, 4});
+  auto policy = make_policy(t, Scheme::priority_star(), 0.01, 0.01);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_NE(policy->broadcast(), nullptr);
+  EXPECT_NE(policy->unicast(), nullptr);
+  EXPECT_NE(policy->multicast(), nullptr);
+}
+
+TEST(PolicyFactory, BroadcastSamplerUsesBalancedVector) {
+  const Torus t(Shape{4, 8});
+  auto policy = make_policy(t, Scheme::priority_star(), 1.0, 0.0);
+  const auto expect = routing::star_probabilities(t);
+  EXPECT_NEAR(policy->broadcast()->ending_probability(0), expect.x[0], 1e-12);
+  EXPECT_NEAR(policy->broadcast()->ending_probability(1), expect.x[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace pstar::core

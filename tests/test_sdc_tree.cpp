@@ -1,0 +1,152 @@
+#include "pstar/routing/sdc_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "pstar/routing/star_probabilities.hpp"
+
+namespace pstar::routing {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+class SdcTreeShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SdcTreeShapes, CoversEveryNodeExactlyOnce) {
+  const Torus t(GetParam());
+  for (topo::NodeId source = 0; source < t.node_count();
+       source += std::max<topo::NodeId>(1, t.node_count() / 7)) {
+    for (std::int32_t l = 0; l < t.dims(); ++l) {
+      const auto edges = build_sdc_tree(t, source, l);
+      ASSERT_EQ(static_cast<std::int64_t>(edges.size()), t.node_count() - 1)
+          << GetParam().to_string() << " l=" << l;
+      std::set<topo::NodeId> received;
+      for (const TreeEdge& e : edges) {
+        EXPECT_TRUE(received.insert(e.to).second)
+            << "node received twice: " << e.to;
+        EXPECT_NE(e.to, source);
+      }
+      EXPECT_EQ(static_cast<std::int64_t>(received.size()), t.node_count() - 1);
+    }
+  }
+}
+
+TEST_P(SdcTreeShapes, EdgesFormATreeRootedAtSource) {
+  const Torus t(GetParam());
+  const auto edges = build_sdc_tree(t, 0, 0);
+  // Every edge's origin must already hold the packet (source or an
+  // earlier edge's destination) -- i.e. edges arrive in a valid
+  // activation order.
+  std::set<topo::NodeId> holders{0};
+  for (const TreeEdge& e : edges) {
+    EXPECT_TRUE(holders.count(e.from)) << "edge from non-holder " << e.from;
+    holders.insert(e.to);
+  }
+}
+
+TEST_P(SdcTreeShapes, PerDimensionCountsMatchEq1) {
+  const Torus t(GetParam());
+  for (std::int32_t l = 0; l < t.dims(); ++l) {
+    const auto edges = build_sdc_tree(t, 0, l);
+    std::map<std::int32_t, double> count;
+    for (const TreeEdge& e : edges) count[e.dim] += 1.0;
+    for (std::int32_t i = 0; i < t.dims(); ++i) {
+      EXPECT_DOUBLE_EQ(count[i], sdc_transmissions(t.shape(), i, l))
+          << GetParam().to_string() << " dim=" << i << " l=" << l;
+    }
+  }
+}
+
+TEST_P(SdcTreeShapes, EndingFlagOnlyOnEndingDimension) {
+  const Torus t(GetParam());
+  for (std::int32_t l = 0; l < t.dims(); ++l) {
+    for (const TreeEdge& e : build_sdc_tree(t, 0, l)) {
+      if (t.dims() == 1) {
+        EXPECT_TRUE(e.ending);
+        continue;
+      }
+      EXPECT_EQ(e.ending, e.dim == l && e.phase == t.dims() - 1);
+      if (e.ending) EXPECT_EQ(e.dim, l);
+    }
+  }
+}
+
+TEST_P(SdcTreeShapes, VirtualChannelSplitMatchesPaper) {
+  const Torus t(GetParam());
+  for (std::int32_t l = 0; l < t.dims(); ++l) {
+    for (const TreeEdge& e : build_sdc_tree(t, 0, l)) {
+      EXPECT_EQ(e.vc, e.dim > l ? 0 : 1);
+    }
+  }
+}
+
+TEST_P(SdcTreeShapes, PhasesAreMonotoneAlongPaths) {
+  // Walking from the source, phases along any root-to-leaf path never
+  // decrease (phase order is the SDC schedule).
+  const Torus t(GetParam());
+  const auto edges = build_sdc_tree(t, 0, t.dims() - 1);
+  std::map<topo::NodeId, std::int32_t> phase_at;
+  phase_at[0] = -1;
+  for (const TreeEdge& e : edges) {
+    ASSERT_TRUE(phase_at.count(e.from));
+    EXPECT_GE(e.phase, phase_at[e.from]);
+    phase_at[e.to] = e.phase;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SdcTreeShapes,
+                         ::testing::Values(Shape{5, 5}, Shape{8, 8},
+                                           Shape{4, 8}, Shape{3, 4, 5},
+                                           Shape{2, 2, 2, 2}, Shape{2, 5},
+                                           Shape{7}, Shape{1, 6},
+                                           Shape{6, 1, 4}),
+                         [](const auto& info) {
+                           std::string name = info.param.to_string();
+                           for (char& c : name) {
+                             if (c == 'x') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SdcTree, DepthIsBoundedByArcSums) {
+  // A packet is forwarded at most ceil((n_i - 1)/2) hops per dimension.
+  const Torus t(Shape{8, 8});
+  const auto edges = build_sdc_tree(t, 0, 1);
+  std::map<topo::NodeId, std::int32_t> depth;
+  depth[0] = 0;
+  std::int32_t max_depth = 0;
+  for (const TreeEdge& e : edges) {
+    depth[e.to] = depth[e.from] + 1;
+    max_depth = std::max(max_depth, depth[e.to]);
+  }
+  EXPECT_LE(max_depth, 4 + 4);  // long arc of 8 is 4, two dimensions
+  EXPECT_GE(max_depth, 4);
+}
+
+TEST(SdcTree, HypercubeTreeIsDimensionOrderBroadcast) {
+  // In a hypercube every ring flood is a single transmission; the SDC
+  // tree is the classic binomial broadcast tree.
+  const Torus t(Shape::hypercube(4));
+  const auto edges = build_sdc_tree(t, 0, 3);
+  EXPECT_EQ(edges.size(), 15u);
+  std::map<std::int32_t, int> per_phase;
+  for (const TreeEdge& e : edges) ++per_phase[e.phase];
+  // Phase q doubles the holder set: 1, 2, 4, 8 transmissions.
+  EXPECT_EQ(per_phase[0], 1);
+  EXPECT_EQ(per_phase[1], 2);
+  EXPECT_EQ(per_phase[2], 4);
+  EXPECT_EQ(per_phase[3], 8);
+}
+
+TEST(SdcTree, RejectsBadEndingDim) {
+  const Torus t(Shape{4, 4});
+  EXPECT_THROW(build_sdc_tree(t, 0, -1), std::invalid_argument);
+  EXPECT_THROW(build_sdc_tree(t, 0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pstar::routing

@@ -1,0 +1,102 @@
+#include "pstar/topology/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pstar::topo {
+namespace {
+
+TEST(Shape, BasicGeometry) {
+  Shape s{4, 6, 2};
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_EQ(s.size(0), 4);
+  EXPECT_EQ(s.size(1), 6);
+  EXPECT_EQ(s.size(2), 2);
+  EXPECT_EQ(s.node_count(), 48);
+}
+
+TEST(Shape, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(Shape(std::vector<std::int32_t>{}), std::invalid_argument);
+  EXPECT_THROW((Shape{4, 0}), std::invalid_argument);
+  EXPECT_THROW((Shape{-1}), std::invalid_argument);
+}
+
+TEST(Shape, KaryFactory) {
+  const Shape s = Shape::kary(5, 3);
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_EQ(s.node_count(), 125);
+  EXPECT_TRUE(s.symmetric());
+}
+
+TEST(Shape, HypercubeFactory) {
+  const Shape s = Shape::hypercube(4);
+  EXPECT_EQ(s.dims(), 4);
+  EXPECT_EQ(s.node_count(), 16);
+  for (std::int32_t i = 0; i < 4; ++i) EXPECT_EQ(s.size(i), 2);
+}
+
+TEST(Shape, SymmetryDetection) {
+  EXPECT_TRUE((Shape{8, 8}).symmetric());
+  EXPECT_FALSE((Shape{4, 8}).symmetric());
+  EXPECT_TRUE((Shape{7}).symmetric());
+}
+
+TEST(Shape, IndexCoordsRoundTrip) {
+  const Shape s{3, 4, 5};
+  for (NodeId id = 0; id < s.node_count(); ++id) {
+    const Coords c = s.coords_of(id);
+    EXPECT_EQ(s.index_of(c), id);
+    for (std::int32_t dim = 0; dim < s.dims(); ++dim) {
+      EXPECT_EQ(s.coord_of(id, dim), c[static_cast<std::size_t>(dim)]);
+      EXPECT_GE(c[static_cast<std::size_t>(dim)], 0);
+      EXPECT_LT(c[static_cast<std::size_t>(dim)], s.size(dim));
+    }
+  }
+}
+
+TEST(Shape, IndexOfValidatesInput) {
+  const Shape s{3, 3};
+  EXPECT_THROW(s.index_of({1}), std::invalid_argument);
+  EXPECT_THROW(s.index_of({1, 3}), std::out_of_range);
+  EXPECT_THROW(s.index_of({-1, 0}), std::out_of_range);
+}
+
+TEST(Shape, NeighborWrapsAround) {
+  const Shape s{5, 3};
+  const NodeId origin = s.index_of({0, 0});
+  EXPECT_EQ(s.coords_of(s.neighbor(origin, 0, -1))[0], 4);
+  EXPECT_EQ(s.coords_of(s.neighbor(origin, 0, +1))[0], 1);
+  EXPECT_EQ(s.coords_of(s.neighbor(origin, 1, -1))[1], 2);
+  // Multi-step deltas also wrap.
+  EXPECT_EQ(s.coords_of(s.neighbor(origin, 0, 7))[0], 2);
+  EXPECT_EQ(s.coords_of(s.neighbor(origin, 0, -12))[0], 3);
+}
+
+TEST(Shape, NeighborKeepsOtherCoordinates) {
+  const Shape s{4, 4, 4};
+  const NodeId n = s.index_of({1, 2, 3});
+  const Coords c = s.coords_of(s.neighbor(n, 1, +1));
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], 3);
+  EXPECT_EQ(c[2], 3);
+}
+
+TEST(Shape, ToStringFormat) {
+  EXPECT_EQ((Shape{8, 8, 8}).to_string(), "8x8x8");
+  EXPECT_EQ((Shape{16}).to_string(), "16");
+}
+
+TEST(Shape, EqualityComparison) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(Shape, SizeOneDimension) {
+  const Shape s{1, 5};
+  EXPECT_EQ(s.node_count(), 5);
+  const NodeId n = s.index_of({0, 2});
+  // Moving along the size-1 dimension stays put.
+  EXPECT_EQ(s.neighbor(n, 0, +1), n);
+}
+
+}  // namespace
+}  // namespace pstar::topo

@@ -1,0 +1,197 @@
+#include "pstar/routing/star_probabilities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "pstar/queueing/throughput.hpp"
+
+namespace pstar::routing {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(SdcTransmissions, MatchesPaperEq1For2D) {
+  // 5x5 torus, ending dim l (0-based).  For l = 0 phases go dim1 then
+  // dim0: a_{1,0} = n1 - 1 = 4, a_{0,0} = (n0 - 1) n1 = 20.
+  const Shape s{5, 5};
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 1, 1), 20.0);
+}
+
+TEST(SdcTransmissions, AsymmetricShape) {
+  // 4x8: ending dim 0 -> phases dim1 (7 transmissions) then dim0 (3*8=24).
+  const Shape s{4, 8};
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 0, 0), 24.0);
+  // Ending dim 1 -> phases dim0 (3) then dim1 (7*4=28).
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 1, 1), 28.0);
+}
+
+TEST(SdcTransmissions, ThreeDimensionalRotation) {
+  const Shape s{3, 4, 5};
+  // Ending dim 1 -> order: dim2, dim0, dim1.
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 2, 1), 4.0);        // n2-1
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 0, 1), 2.0 * 5.0);  // (n0-1) n2
+  EXPECT_DOUBLE_EQ(sdc_transmissions(s, 1, 1), 3.0 * 3.0 * 5.0);
+}
+
+TEST(SdcTransmissions, ColumnsSumToNMinusOne) {
+  // Eq. (3) of the paper: every ending dimension generates exactly N-1
+  // transmissions in total.
+  for (const Shape& s : {Shape{5, 5}, Shape{4, 8}, Shape{3, 4, 5},
+                         Shape{2, 2, 2, 2}, Shape{7}, Shape{1, 6}}) {
+    for (std::int32_t l = 0; l < s.dims(); ++l) {
+      double total = 0.0;
+      for (std::int32_t i = 0; i < s.dims(); ++i) {
+        total += sdc_transmissions(s, i, l);
+      }
+      EXPECT_DOUBLE_EQ(total, static_cast<double>(s.node_count() - 1))
+          << s.to_string() << " l=" << l;
+    }
+  }
+}
+
+TEST(StarProbabilities, SymmetricTorusGivesUniform) {
+  for (const Shape& s : {Shape{8, 8}, Shape{5, 5, 5}, Shape{4, 4, 4, 4}}) {
+    const Torus t(s);
+    const StarProbabilities p = star_probabilities(t);
+    EXPECT_TRUE(p.feasible);
+    for (double x : p.x) {
+      EXPECT_NEAR(x, 1.0 / s.dims(), 1e-12) << s.to_string();
+    }
+  }
+}
+
+TEST(StarProbabilities, SumsToOne) {
+  for (const Shape& s : {Shape{4, 8}, Shape{3, 9}, Shape{2, 4, 8},
+                         Shape{5, 6, 7}, Shape{16, 4}}) {
+    const Torus t(s);
+    const StarProbabilities p = star_probabilities(t);
+    EXPECT_NEAR(sum(p.x), 1.0, 1e-9) << s.to_string();
+  }
+}
+
+TEST(StarProbabilities, BalancesPerLinkLoadExactly) {
+  // The defining property of Eq. (2): the expected per-link load is equal
+  // across dimensions when weights are the solution.
+  for (const Shape& s : {Shape{4, 8}, Shape{3, 4, 5}, Shape{6, 6, 12}}) {
+    const Torus t(s);
+    const StarProbabilities p = star_probabilities(t);
+    ASSERT_TRUE(p.feasible) << s.to_string();
+    const auto load = predicted_dimension_load(t, p.x, 1.0, 0.0);
+    for (std::int32_t i = 1; i < t.dims(); ++i) {
+      EXPECT_NEAR(load[static_cast<std::size_t>(i)], load[0], 1e-9)
+          << s.to_string() << " dim " << i;
+    }
+  }
+}
+
+TEST(StarProbabilities, UniformDoesNotBalanceAsymmetricTorus) {
+  const Torus t(Shape{4, 8});
+  const auto uniform = uniform_probabilities(2);
+  const auto load = predicted_dimension_load(t, uniform.x, 1.0, 0.0);
+  EXPECT_GT(std::abs(load[0] - load[1]), 0.1);
+}
+
+TEST(HeterogeneousProbabilities, BalancesMixedTraffic) {
+  // Section 4: broadcast weights compensate the unicast imbalance.
+  const Torus t(Shape{4, 8});
+  const auto rates = queueing::rates_for_rho(t, 0.8, 0.5);
+  const StarProbabilities p =
+      heterogeneous_probabilities(t, rates.lambda_b, rates.lambda_r);
+  ASSERT_TRUE(p.feasible);
+  const auto load =
+      predicted_dimension_load(t, p.x, rates.lambda_b, rates.lambda_r);
+  EXPECT_NEAR(load[0], load[1], 1e-9);
+  EXPECT_NEAR(load[0], 0.8, 1e-9);  // per-link load equals rho
+  // More broadcast weight must go to the SHORT dimension (ending dim
+  // carries the bulk of a tree's traffic, and dim 1 is already loaded by
+  // unicast).
+  EXPECT_GT(p.x[0], p.x[1]);
+}
+
+TEST(HeterogeneousProbabilities, ReducesToEq2WithoutUnicast) {
+  const Torus t(Shape{3, 4, 5});
+  const auto a = star_probabilities(t);
+  const auto b = heterogeneous_probabilities(t, 0.123, 0.0);
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_NEAR(a.x[i], b.x[i], 1e-12);
+  }
+}
+
+TEST(HeterogeneousProbabilities, InfeasibleClampsToSimplex) {
+  // Very unicast-heavy traffic on a very asymmetric torus: the raw
+  // solution leaves [0,1]; the clamped vector must still be a
+  // distribution, concentrated on the SHORT dimension so that broadcast
+  // traffic stays off the unicast-saturated long dimension (the paper's
+  // "(1, 0) instead of (x1, x2)" example).
+  const Torus t(Shape{3, 30});
+  const double lambda_r = 1.0;
+  const double lambda_b = 1e-4;
+  const StarProbabilities p = heterogeneous_probabilities(t, lambda_b, lambda_r);
+  EXPECT_FALSE(p.feasible);
+  EXPECT_NEAR(sum(p.x), 1.0, 1e-9);
+  for (double x : p.x) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0 + 1e-12);
+  }
+  // Ending dimension 0 keeps the bulk of each tree's transmissions on the
+  // short dimension: choosing l = 0 generates (n0-1) n1 transmissions on
+  // dim 0 and only n1 - 1 on the overloaded dim 1.
+  EXPECT_GT(p.x[0], 0.95);
+}
+
+TEST(HeterogeneousProbabilities, ZeroBroadcastReturnsUniform) {
+  const Torus t(Shape{4, 8});
+  const StarProbabilities p = heterogeneous_probabilities(t, 0.0, 1.0);
+  EXPECT_NEAR(p.x[0], 0.5, 1e-12);
+  EXPECT_NEAR(p.x[1], 0.5, 1e-12);
+}
+
+TEST(HeterogeneousProbabilities, RejectsNegativeRates) {
+  const Torus t(Shape{4, 4});
+  EXPECT_THROW(heterogeneous_probabilities(t, -1.0, 0.0), std::invalid_argument);
+}
+
+TEST(HeterogeneousProbabilities, HypercubeDegeneracyBalances) {
+  // Mixed sizes including size-2 dimensions (one link per node): the
+  // generalized system must still balance per-LINK load.
+  const Torus t(Shape{2, 4, 8});
+  const auto rates = queueing::rates_for_rho(t, 0.6, 0.7);
+  const StarProbabilities p =
+      heterogeneous_probabilities(t, rates.lambda_b, rates.lambda_r);
+  ASSERT_TRUE(p.feasible);
+  const auto load =
+      predicted_dimension_load(t, p.x, rates.lambda_b, rates.lambda_r);
+  EXPECT_NEAR(load[0], load[1], 1e-9);
+  EXPECT_NEAR(load[1], load[2], 1e-9);
+}
+
+TEST(FixedProbabilities, SelectsOneDimension) {
+  const auto p = fixed_probabilities(3, 1);
+  EXPECT_DOUBLE_EQ(p.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.x[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.x[2], 0.0);
+  EXPECT_THROW(fixed_probabilities(3, 3), std::invalid_argument);
+}
+
+TEST(PredictedLoad, MatchesThroughputFactorWhenBalanced) {
+  const Torus t(Shape{8, 8});
+  const auto p = star_probabilities(t);
+  const auto rates = queueing::rates_for_rho(t, 0.5, 1.0);
+  const auto load = predicted_dimension_load(t, p.x, rates.lambda_b, 0.0);
+  for (double l : load) EXPECT_NEAR(l, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace pstar::routing

@@ -1,0 +1,214 @@
+#include "pstar/stats/batch_means.hpp"
+#include "pstar/stats/histogram.hpp"
+#include "pstar/stats/running.hpp"
+#include "pstar/stats/time_weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::stats {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVarianceMatchManual) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleObservation) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  sim::Rng rng(7);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    whole.add(v);
+    (i < 400 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  sim::Rng rng(8);
+  RunningStat small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Histogram, CountsFallInCorrectBuckets) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(1.0);   // lands in bucket [1, 2)
+  h.add(3.99);
+  h.add(100.0);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MedianFromBuckets) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(1.5);
+  for (int i = 0; i < 50; ++i) h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 8.0);
+}
+
+TEST(Histogram, InvalidGeometryThrows) {
+  EXPECT_THROW(Histogram(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileValidatesRange) {
+  Histogram h(1.0, 2);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(BatchMeans, MeanMatchesCompleteBatches) {
+  BatchMeans bm(3);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 100.0}) bm.add(v);
+  // Two complete batches (means 2 and 5); the trailing 100 is incomplete
+  // and excluded.
+  EXPECT_EQ(bm.batch_count(), 2u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 3.5);
+}
+
+TEST(BatchMeans, RejectsZeroBatchLength) {
+  EXPECT_THROW(BatchMeans(0), std::invalid_argument);
+}
+
+TEST(BatchMeans, IidStreamMatchesRunningStatCi) {
+  // On an i.i.d. stream the batch-means CI approximates the i.i.d. CI.
+  sim::Rng rng(17);
+  BatchMeans bm(100);
+  RunningStat rs;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.uniform();
+    bm.add(v);
+    rs.add(v);
+  }
+  EXPECT_NEAR(bm.mean(), rs.mean(), 1e-9);
+  EXPECT_NEAR(bm.ci95_half_width(), rs.ci95_half_width(),
+              0.3 * rs.ci95_half_width());
+}
+
+TEST(BatchMeans, CorrelatedStreamWidensCi) {
+  // AR(1)-style stream: the batch-means CI must exceed the (dishonest)
+  // i.i.d. CI substantially.
+  sim::Rng rng(18);
+  BatchMeans bm(200);
+  RunningStat rs;
+  double state = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    state = 0.98 * state + rng.uniform(-1.0, 1.0);
+    bm.add(state);
+    rs.add(state);
+  }
+  EXPECT_GT(bm.ci95_half_width(), 2.0 * rs.ci95_half_width());
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw;
+  tw.start(0.0, 3.0);
+  tw.flush(10.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 3.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw;
+  tw.start(0.0, 0.0);
+  tw.set(4.0, 10.0);  // 0 on [0,4)
+  tw.flush(8.0);      // 10 on [4,8)
+  EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 10.0);
+  EXPECT_DOUBLE_EQ(tw.elapsed(), 8.0);
+}
+
+TEST(TimeWeighted, AddAdjustsCurrent) {
+  TimeWeighted tw;
+  tw.start(0.0, 1.0);
+  tw.add(2.0, +2.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 3.0);
+  tw.add(4.0, -1.0);
+  tw.flush(6.0);
+  // 1 on [0,2), 3 on [2,4), 2 on [4,6) -> mean = (2+6+4)/6 = 2.
+  EXPECT_DOUBLE_EQ(tw.mean(), 2.0);
+}
+
+TEST(TimeWeighted, BackwardsTimeThrows) {
+  TimeWeighted tw;
+  tw.start(5.0, 1.0);
+  EXPECT_THROW(tw.set(4.0, 2.0), std::invalid_argument);
+}
+
+TEST(TimeWeighted, ZeroSpanMeanIsZero) {
+  TimeWeighted tw;
+  tw.start(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+}
+
+TEST(TimeWeighted, LazyStartViaSet) {
+  TimeWeighted tw;
+  tw.set(3.0, 2.0);  // acts as start
+  tw.flush(5.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace pstar::stats

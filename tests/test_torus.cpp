@@ -1,0 +1,166 @@
+#include "pstar/topology/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pstar::topo {
+namespace {
+
+TEST(Torus, LinkCountMatchesDegree) {
+  for (const Shape& shape :
+       {Shape{8, 8}, Shape{4, 8}, Shape{3, 5, 7}, Shape{2, 2, 2}, Shape{1, 6}}) {
+    const Torus t(shape);
+    EXPECT_EQ(t.link_count(), t.node_count() * t.degree()) << shape.to_string();
+  }
+}
+
+TEST(Torus, DegreeOfRegularTorusIsTwoD) {
+  EXPECT_EQ(Torus(Shape{8, 8}).degree(), 4);
+  EXPECT_EQ(Torus(Shape{8, 8, 8}).degree(), 6);
+  EXPECT_EQ(Torus(Shape{5}).degree(), 2);
+}
+
+TEST(Torus, HypercubeDegreeIsD) {
+  EXPECT_EQ(Torus(Shape::hypercube(4)).degree(), 4);
+  EXPECT_EQ(Torus(Shape{2, 8}).degree(), 3);
+}
+
+TEST(Torus, SizeOneDimensionHasNoLinks) {
+  const Torus t(Shape{1, 6});
+  EXPECT_EQ(t.links_per_node(0), 0);
+  EXPECT_EQ(t.links_per_node(1), 2);
+  EXPECT_EQ(t.link(0, 0, Dir::kPlus), kInvalidLink);
+}
+
+TEST(Torus, LinkEndpointsAreRingNeighbors) {
+  const Torus t(Shape{4, 5});
+  for (LinkId id = 0; id < t.link_count(); ++id) {
+    const LinkInfo& info = t.info(id);
+    const NodeId expect =
+        t.shape().neighbor(info.from, info.dim, step_of(info.dir));
+    EXPECT_EQ(info.to, expect);
+    EXPECT_NE(info.to, info.from);
+  }
+}
+
+TEST(Torus, LinkLookupIsConsistentWithInfo) {
+  const Torus t(Shape{3, 4, 2});
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+      for (Dir dir : {Dir::kPlus, Dir::kMinus}) {
+        const LinkId id = t.link(n, dim, dir);
+        if (t.links_per_node(dim) == 0) {
+          EXPECT_EQ(id, kInvalidLink);
+          continue;
+        }
+        ASSERT_NE(id, kInvalidLink);
+        EXPECT_EQ(t.info(id).from, n);
+        EXPECT_EQ(t.info(id).dim, dim);
+      }
+    }
+  }
+}
+
+TEST(Torus, SizeTwoDimensionAliasesDirections) {
+  const Torus t(Shape{2, 5});
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(t.link(n, 0, Dir::kPlus), t.link(n, 0, Dir::kMinus));
+    EXPECT_NE(t.link(n, 1, Dir::kPlus), t.link(n, 1, Dir::kMinus));
+  }
+}
+
+TEST(Torus, LinkIdsAreDenseAndUnique) {
+  const Torus t(Shape{3, 3});
+  std::set<LinkId> seen;
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+      for (Dir dir : {Dir::kPlus, Dir::kMinus}) {
+        seen.insert(t.link(n, dim, dir));
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(seen.size()), t.link_count());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), t.link_count() - 1);
+}
+
+TEST(Torus, EveryNodeReachableByLinks) {
+  // BFS over links from node 0 must reach all nodes.
+  const Torus t(Shape{4, 3, 2});
+  std::vector<bool> visited(static_cast<std::size_t>(t.node_count()), false);
+  std::vector<NodeId> frontier{0};
+  visited[0] = true;
+  std::int64_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId at = frontier.back();
+    frontier.pop_back();
+    for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+      for (Dir dir : {Dir::kPlus, Dir::kMinus}) {
+        const LinkId id = t.link(at, dim, dir);
+        if (id == kInvalidLink) continue;
+        const NodeId to = t.dest(id);
+        if (!visited[static_cast<std::size_t>(to)]) {
+          visited[static_cast<std::size_t>(to)] = true;
+          frontier.push_back(to);
+          ++count;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(count, t.node_count());
+}
+
+TEST(Torus, MeanHopsMatchesBruteForce) {
+  const Torus t(Shape{4, 5});
+  // Brute force: average per-dimension ring distance over all ordered
+  // pairs with distinct endpoints.
+  for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+    double total = 0.0;
+    std::int64_t pairs = 0;
+    for (NodeId a = 0; a < t.node_count(); ++a) {
+      for (NodeId b = 0; b < t.node_count(); ++b) {
+        if (a == b) continue;
+        total += ring_distance(t.shape().coord_of(a, dim),
+                               t.shape().coord_of(b, dim), t.shape().size(dim));
+        ++pairs;
+      }
+    }
+    EXPECT_NEAR(t.mean_hops(dim), total / static_cast<double>(pairs), 1e-12);
+  }
+}
+
+TEST(Torus, AverageDistanceMatchesBruteForce) {
+  const Torus t(Shape{3, 4});
+  double total = 0.0;
+  std::int64_t pairs = 0;
+  for (NodeId a = 0; a < t.node_count(); ++a) {
+    for (NodeId b = 0; b < t.node_count(); ++b) {
+      if (a == b) continue;
+      for (std::int32_t dim = 0; dim < t.dims(); ++dim) {
+        total += ring_distance(t.shape().coord_of(a, dim),
+                               t.shape().coord_of(b, dim), t.shape().size(dim));
+      }
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(t.average_distance(), total / static_cast<double>(pairs), 1e-12);
+}
+
+TEST(Torus, HypercubeAverageDistanceIsHalfDimesionScaled) {
+  // d-cube: average Hamming distance to another node = d/2 * 2^d/(2^d-1).
+  const std::int32_t d = 5;
+  const Torus t(Shape::hypercube(d));
+  const double n = static_cast<double>(t.node_count());
+  EXPECT_NEAR(t.average_distance(), (d / 2.0) * n / (n - 1.0), 1e-12);
+}
+
+TEST(Torus, DiameterIsSumOfHalfSizes) {
+  EXPECT_EQ(Torus(Shape{8, 8}).diameter(), 8);
+  EXPECT_EQ(Torus(Shape{5, 7}).diameter(), 5);
+  EXPECT_EQ(Torus(Shape::hypercube(6)).diameter(), 6);
+}
+
+}  // namespace
+}  // namespace pstar::topo

@@ -1,0 +1,234 @@
+#include "pstar/traffic/length.hpp"
+#include "pstar/traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+
+namespace pstar::traffic {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+TEST(LengthDist, UnitIsAlwaysOne) {
+  sim::Rng rng(1);
+  const LengthDist d = LengthDist::unit();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+}
+
+TEST(LengthDist, FixedValue) {
+  sim::Rng rng(2);
+  const LengthDist d = LengthDist::fixed_of(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 7u);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.0);
+  EXPECT_THROW(LengthDist::fixed_of(0), std::invalid_argument);
+}
+
+TEST(LengthDist, GeometricMeanMatches) {
+  sim::Rng rng(3);
+  const LengthDist d = LengthDist::geometric(4.0);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = d.sample(rng);
+    EXPECT_GE(v, 1u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_THROW(LengthDist::geometric(0.5), std::invalid_argument);
+}
+
+TEST(LengthDist, BimodalMixture) {
+  sim::Rng rng(4);
+  const LengthDist d = LengthDist::bimodal(1, 10, 0.25);
+  int longs = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = d.sample(rng);
+    EXPECT_TRUE(v == 1u || v == 10u);
+    longs += v == 10u;
+  }
+  EXPECT_NEAR(longs, n / 4, n / 50);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.75 * 1.0 + 0.25 * 10.0);
+  EXPECT_THROW(LengthDist::bimodal(1, 4, 1.5), std::invalid_argument);
+}
+
+struct WorkloadFixture {
+  explicit WorkloadFixture(Shape shape)
+      : torus(std::move(shape)),
+        rng(31),
+        policy(make_policy()),
+        engine(sim, torus, *policy, rng) {}
+
+  std::unique_ptr<routing::CombinedPolicy> make_policy() {
+    routing::SdcBroadcastConfig cfg;
+    cfg.ending_probabilities =
+        routing::uniform_probabilities(torus.dims()).x;
+    cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+    return std::make_unique<routing::CombinedPolicy>(
+        std::make_unique<routing::SdcBroadcastPolicy>(torus, cfg),
+        std::make_unique<routing::UnicastPolicy>(torus,
+                                                 routing::UnicastConfig{}));
+  }
+
+  sim::Simulator sim;
+  Torus torus;
+  sim::Rng rng;
+  std::unique_ptr<routing::CombinedPolicy> policy;
+  net::Engine engine;
+};
+
+TEST(Workload, GeneratesAtTheConfiguredRate) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.01;
+  cfg.lambda_unicast = 0.03;
+  cfg.stop_time = 2000.0;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  w.start();
+  f.sim.run();
+  // Expected arrivals: N (lb + lr) T = 16 * 0.04 * 2000 = 1280.
+  EXPECT_NEAR(static_cast<double>(w.generated()), 1280.0, 120.0);
+  const auto& m = f.engine.metrics();
+  const double total = static_cast<double>(m.tasks_generated[0] +
+                                           m.tasks_generated[1]);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(w.generated()));
+  // Broadcast share of tasks = 0.01/0.04 = 25%.
+  EXPECT_NEAR(static_cast<double>(m.tasks_generated[0]) / total, 0.25, 0.05);
+}
+
+TEST(Workload, StopsAtStopTime) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.05;
+  cfg.stop_time = 100.0;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  w.start();
+  f.sim.run();
+  // Everything drains shortly after the horizon: no runaway events.
+  EXPECT_LT(f.sim.now(), 130.0);
+  EXPECT_EQ(f.engine.inflight_copies(), 0u);
+}
+
+TEST(Workload, ManualStopCeasesGeneration) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.05;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  w.start();
+  f.sim.at(50.0, [&w](sim::Simulator&) { w.stop(); });
+  // Without stop this would run forever; the event budget is a backstop.
+  f.sim.run(std::numeric_limits<double>::infinity(), 10'000'000);
+  EXPECT_EQ(f.engine.inflight_copies(), 0u);
+  EXPECT_LT(f.sim.now(), 200.0);
+}
+
+TEST(Workload, ZeroRateGeneratesNothing) {
+  WorkloadFixture f(Shape{4, 4});
+  Workload w(f.sim, f.engine, f.rng, WorkloadConfig{});
+  w.start();
+  f.sim.run();
+  EXPECT_EQ(w.generated(), 0u);
+}
+
+TEST(Workload, UnicastDestinationsExcludeSource) {
+  WorkloadFixture f(Shape{3, 3});
+  WorkloadConfig cfg;
+  cfg.lambda_unicast = 0.05;
+  cfg.stop_time = 1000.0;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  f.engine.begin_measurement();
+  w.start();
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_GT(m.tasks_completed[1], 100u);
+  // Every unicast made at least one hop: destinations never equal the
+  // source, so a zero minimum delay would betray a self-addressed packet.
+  EXPECT_GT(m.unicast_delay.count(), 100u);
+  EXPECT_GE(m.unicast_delay.min(), 1.0);
+}
+
+TEST(Workload, HotspotSkewsSources) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.02;
+  cfg.stop_time = 2000.0;
+  cfg.hotspot_fraction = 0.5;
+  cfg.hotspot_node = 5;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  f.engine.begin_measurement();
+  w.start();
+  f.sim.run();
+  f.engine.end_measurement();
+  // Node 5's outgoing links should carry far more than an average
+  // node's: ~50% of all trees root there.
+  const auto& tx = f.engine.metrics().link_transmissions;
+  std::uint64_t hot = 0, total = 0;
+  for (topo::LinkId id = 0; id < f.torus.link_count(); ++id) {
+    const auto count = tx[static_cast<std::size_t>(id)];
+    total += count;
+    if (f.torus.info(id).from == 5) hot += count;
+  }
+  ASSERT_GT(total, 0u);
+  // A uniform workload would put ~1/16 of root transmissions here; the
+  // hotspot puts ~1/2 of the roots' first hops at node 5.
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.10);
+}
+
+TEST(Workload, HotspotValidation) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.01;
+  cfg.hotspot_fraction = 1.5;
+  EXPECT_THROW(Workload(f.sim, f.engine, f.rng, cfg), std::invalid_argument);
+  cfg.hotspot_fraction = 0.5;
+  cfg.hotspot_node = 99;
+  EXPECT_THROW(Workload(f.sim, f.engine, f.rng, cfg), std::invalid_argument);
+}
+
+TEST(Workload, FullHotspotRootsEverythingAtOneNode) {
+  WorkloadFixture f(Shape{3, 3});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.05;
+  cfg.stop_time = 400.0;
+  cfg.hotspot_fraction = 1.0;
+  cfg.hotspot_node = 4;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  w.start();
+  f.sim.run();
+  // Every broadcast roots at node 4: all tasks completed, each with
+  // exactly N-1 transmissions.
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.tasks_completed[0], m.tasks_generated[0]);
+  EXPECT_EQ(m.transmissions, m.tasks_generated[0] * 8u);
+}
+
+TEST(Workload, RejectsNegativeRates) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = -0.1;
+  EXPECT_THROW(Workload(f.sim, f.engine, f.rng, cfg), std::invalid_argument);
+}
+
+TEST(Workload, VariableLengthsReachTheEngine) {
+  WorkloadFixture f(Shape{4, 4});
+  WorkloadConfig cfg;
+  cfg.lambda_broadcast = 0.02;
+  cfg.length = LengthDist::fixed_of(3);
+  cfg.stop_time = 200.0;
+  Workload w(f.sim, f.engine, f.rng, cfg);
+  f.engine.begin_measurement();
+  w.start();
+  f.sim.run();
+  // Every hop takes 3 time units, so even the first reception of any
+  // broadcast is at least 3.
+  EXPECT_GE(f.engine.metrics().reception_delay.min(), 3.0);
+}
+
+}  // namespace
+}  // namespace pstar::traffic

@@ -1,0 +1,193 @@
+#include "pstar/routing/unicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar::routing {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+struct UnicastFixture {
+  explicit UnicastFixture(Shape shape, UnicastConfig cfg = {})
+      : torus(std::move(shape)),
+        rng(11),
+        policy(torus, cfg),
+        engine(sim, torus, policy, rng) {}
+
+  void route(topo::NodeId from, topo::NodeId to) {
+    engine.create_task(net::TaskKind::kUnicast, from, to, 1);
+  }
+
+  sim::Simulator sim;
+  Torus torus;
+  sim::Rng rng;
+  UnicastPolicy policy;
+  net::Engine engine;
+};
+
+TEST(Unicast, DeliversAtExactShortestDistance) {
+  UnicastFixture f(Shape{5, 5});
+  f.engine.begin_measurement();
+  const topo::NodeId from = f.torus.shape().index_of({0, 0});
+  const topo::NodeId to = f.torus.shape().index_of({2, 4});
+  f.route(from, to);
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.tasks_completed[1], 1u);
+  // Shortest path: 2 hops in dim 0, 1 hop (wraparound) in dim 1.
+  EXPECT_DOUBLE_EQ(m.unicast_delay.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.unicast_hops.mean(), 3.0);
+}
+
+TEST(Unicast, WraparoundIsUsedWhenShorter) {
+  UnicastFixture f(Shape{8});
+  f.engine.begin_measurement();
+  f.route(0, 7);
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.engine.metrics().unicast_delay.mean(), 1.0);
+}
+
+TEST(Unicast, ZeroDistanceSelfDeliveryCompletesWithoutHops) {
+  UnicastFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  f.route(5, 5);
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.tasks_completed[1], 1u);
+  EXPECT_DOUBLE_EQ(m.unicast_delay.mean(), 0.0);
+  EXPECT_EQ(m.transmissions, 0u);
+}
+
+TEST(Unicast, AllPairsDeliverAtShortestDistance) {
+  UnicastFixture f(Shape{4, 3});
+  for (topo::NodeId a = 0; a < f.torus.node_count(); ++a) {
+    for (topo::NodeId b = 0; b < f.torus.node_count(); ++b) {
+      if (a == b) continue;
+      sim::Simulator sim;
+      sim::Rng rng(17);
+      UnicastPolicy policy(f.torus, UnicastConfig{});
+      net::Engine engine(sim, f.torus, policy, rng);
+      engine.begin_measurement();
+      engine.create_task(net::TaskKind::kUnicast, a, b, 1);
+      sim.run();
+      double dist = 0.0;
+      for (std::int32_t dim = 0; dim < f.torus.dims(); ++dim) {
+        dist += topo::ring_distance(f.torus.shape().coord_of(a, dim),
+                                    f.torus.shape().coord_of(b, dim),
+                                    f.torus.shape().size(dim));
+      }
+      ASSERT_DOUBLE_EQ(engine.metrics().unicast_delay.mean(), dist)
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(Unicast, EvenRingTieUsesBothDirections) {
+  // Offset exactly n/2: over many packets both + and - links of the tied
+  // dimension must carry traffic.
+  const Torus torus(Shape{8});
+  sim::Simulator sim;
+  sim::Rng rng(23);
+  UnicastPolicy policy(torus, UnicastConfig{});
+  net::Engine engine(sim, torus, policy, rng);
+  engine.begin_measurement();
+  for (int i = 0; i < 200; ++i) {
+    engine.create_task(net::TaskKind::kUnicast, 0, 4, 1);
+    sim.run();
+  }
+  engine.end_measurement();
+  const topo::LinkId plus = torus.link(0, 0, topo::Dir::kPlus);
+  const topo::LinkId minus = torus.link(0, 0, topo::Dir::kMinus);
+  const auto& tx = engine.metrics().link_transmissions;
+  EXPECT_GT(tx[static_cast<std::size_t>(plus)], 60u);
+  EXPECT_GT(tx[static_cast<std::size_t>(minus)], 60u);
+  EXPECT_EQ(tx[static_cast<std::size_t>(plus)] +
+                tx[static_cast<std::size_t>(minus)],
+            200u);
+}
+
+TEST(Unicast, AscendingOrderRoutesDimensionZeroFirst) {
+  UnicastFixture f(Shape{4, 4}, UnicastConfig{net::Priority::kHigh,
+                                              DimOrder::kAscending});
+  f.engine.begin_measurement();
+  const topo::NodeId from = f.torus.shape().index_of({0, 0});
+  const topo::NodeId to = f.torus.shape().index_of({1, 1});
+  f.route(from, to);
+  f.sim.run();
+  f.engine.end_measurement();
+  // With ascending order the first hop is on dimension 0 from the source.
+  const topo::LinkId first = f.torus.link(from, 0, topo::Dir::kPlus);
+  EXPECT_EQ(f.engine.metrics().link_transmissions[static_cast<std::size_t>(
+                first)],
+            1u);
+}
+
+TEST(Unicast, RandomOrderStillDeliversShortest) {
+  UnicastFixture f(Shape{5, 5, 5},
+                   UnicastConfig{net::Priority::kHigh, DimOrder::kRandom});
+  f.engine.begin_measurement();
+  const topo::NodeId from = f.torus.shape().index_of({0, 0, 0});
+  const topo::NodeId to = f.torus.shape().index_of({2, 3, 1});
+  f.route(from, to);
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.engine.metrics().unicast_delay.mean(), 2.0 + 2.0 + 1.0);
+}
+
+TEST(Unicast, AdaptiveAvoidsTheLoadedDimension) {
+  // Pre-load the dimension-0 link out of the source; an adaptive unicast
+  // with both dimensions productive must take its first hop on dim 1.
+  UnicastFixture f(Shape{4, 4},
+                   UnicastConfig{net::Priority::kHigh, DimOrder::kAdaptive});
+  const topo::NodeId from = f.torus.shape().index_of({0, 0});
+  const topo::NodeId to = f.torus.shape().index_of({1, 1});
+  // Jam the dim-0 + link with an unmeasured unicast heading that way.
+  f.route(from, f.torus.shape().index_of({1, 0}));
+
+  f.engine.begin_measurement();
+  f.route(from, to);
+  f.sim.run();
+  f.engine.end_measurement();
+  // First hop went up dimension 1 (the empty link); delay is exactly 2
+  // because neither chosen link ever queues behind the jam.
+  EXPECT_DOUBLE_EQ(f.engine.metrics().unicast_delay.mean(), 2.0);
+  const topo::LinkId dim1 = f.torus.link(from, 1, topo::Dir::kPlus);
+  EXPECT_EQ(
+      f.engine.metrics().link_transmissions[static_cast<std::size_t>(dim1)],
+      1u);
+}
+
+TEST(Unicast, AdaptiveStillDeliversShortestPaths) {
+  UnicastFixture f(Shape{5, 5, 5},
+                   UnicastConfig{net::Priority::kHigh, DimOrder::kAdaptive});
+  f.engine.begin_measurement();
+  const topo::NodeId from = f.torus.shape().index_of({0, 0, 0});
+  const topo::NodeId to = f.torus.shape().index_of({2, 4, 1});
+  f.route(from, to);
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.engine.metrics().unicast_hops.mean(), 2.0 + 1.0 + 1.0);
+}
+
+TEST(Unicast, HypercubeRouting) {
+  UnicastFixture f(Shape::hypercube(5));
+  f.engine.begin_measurement();
+  f.route(0, 0b10110);
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(f.engine.metrics().unicast_delay.mean(), 3.0);  // popcount
+}
+
+TEST(Unicast, UsesConfiguredPriorityClass) {
+  UnicastFixture f(Shape{4, 4},
+                   UnicastConfig{net::Priority::kMedium, DimOrder::kAscending});
+  f.engine.begin_measurement();
+  f.route(0, 1);
+  f.sim.run();
+  EXPECT_EQ(f.engine.metrics().transmissions_by_class[1], 1u);
+}
+
+}  // namespace
+}  // namespace pstar::routing

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""ASCII plotter for the bench binaries' CSV output.
+
+Every simulation bench prints `CSV,<figure-id>,...` rows alongside its
+table.  This tool turns them back into a figure without any third-party
+dependency, so results can be eyeballed on a headless box:
+
+    ./build/bench/fig2_reception_8x8 | tools/plot_csv.py
+    ./build/bench/fig8_heterogeneous > out.txt
+    tools/plot_csv.py --id fig8 --x rho --y unicast-delay out.txt
+
+With no arguments it plots every numeric series of the first CSV id it
+finds against that id's first column.
+"""
+
+import argparse
+import sys
+
+MARKS = "ox+*#@%&"
+WIDTH = 72
+HEIGHT = 22
+
+
+def read_rows(stream):
+    """Collects CSV rows keyed by figure id: {id: (header, [rows])}."""
+    figures = {}
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("CSV,"):
+            continue
+        parts = line.split(",")[1:]
+        if len(parts) < 2:
+            continue
+        fig, cells = parts[0], parts[1:]
+        if fig not in figures:
+            figures[fig] = (cells, [])  # first row is the header
+        else:
+            figures[fig][1].append(cells)
+    return figures
+
+
+def to_float(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def numeric_columns(header, rows):
+    """Column indices whose every non-placeholder cell parses as float."""
+    numeric = []
+    for c in range(len(header)):
+        values = [r[c] for r in rows if c < len(r)]
+        parsed = [to_float(v) for v in values]
+        if parsed and all(p is not None or v in ("-", "unstable")
+                          for p, v in zip(parsed, values)):
+            if any(p is not None for p in parsed):
+                numeric.append(c)
+    return numeric
+
+
+def render(title, series, x_label):
+    """series: {name: [(x, y), ...]} -> ASCII plot lines."""
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return ["(no numeric data)"]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for mark, (name, pts) in zip(MARKS, series.items()):
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (WIDTH - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (HEIGHT - 1))
+            grid[HEIGHT - 1 - row][col] = mark
+
+    out = [title]
+    out.append(f"y: {y_lo:.4g} .. {y_hi:.4g}")
+    for line in grid:
+        out.append("|" + "".join(line))
+    out.append("+" + "-" * WIDTH)
+    out.append(f" x ({x_label}): {x_lo:.4g} .. {x_hi:.4g}")
+    for mark, name in zip(MARKS, series.keys()):
+        out.append(f"   {mark} = {name}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="file with CSV rows (default stdin)")
+    parser.add_argument("--id", help="figure id to plot (default: first found)")
+    parser.add_argument("--x", help="x column name (default: first column)")
+    parser.add_argument("--y", action="append",
+                        help="y column name(s) (default: every numeric column)")
+    args = parser.parse_args()
+
+    stream = open(args.file) if args.file else sys.stdin
+    figures = read_rows(stream)
+    if not figures:
+        print("no CSV,<id>,... rows found", file=sys.stderr)
+        return 1
+    fig = args.id or next(iter(figures))
+    if fig not in figures:
+        print(f"id '{fig}' not found; have: {', '.join(figures)}", file=sys.stderr)
+        return 1
+    header, rows = figures[fig]
+
+    x_col = header.index(args.x) if args.x else 0
+    if args.y:
+        y_cols = [header.index(name) for name in args.y]
+    else:
+        y_cols = [c for c in numeric_columns(header, rows)
+                  if c != x_col and not header[c].startswith("+-")]
+
+    series = {}
+    for c in y_cols:
+        pts = []
+        for r in rows:
+            if c >= len(r) or x_col >= len(r):
+                continue
+            x, y = to_float(r[x_col]), to_float(r[c])
+            if x is not None and y is not None:
+                pts.append((x, y))
+        if pts:
+            series[header[c]] = pts
+
+    for line in render(f"== {fig} ==", series, header[x_col]):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
