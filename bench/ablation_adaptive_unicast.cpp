@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -30,8 +31,11 @@ int main() {
 
   harness::Table table({"traffic", "rho", "order", "unicast-delay",
                         "unicast-p95", "util-max"});
-  for (double fraction : {0.0, 0.5}) {
-    for (double rho : {0.5, 0.8, 0.95}) {
+  const std::vector<double> fractions{0.0, 0.5};
+  const std::vector<double> rhos{0.5, 0.8, 0.95};
+  std::vector<harness::ExperimentSpec> specs;
+  for (double fraction : fractions) {
+    for (double rho : rhos) {
       for (const auto& o : orders) {
         harness::ExperimentSpec spec;
         spec.shape = shape;
@@ -43,7 +47,17 @@ int main() {
         spec.measure = 4000.0;
         spec.seed = 31415;
         spec.record_histograms = true;
-        const auto r = harness::run_experiment(spec);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_adaptive");
+
+  std::size_t index = 0;
+  for (double fraction : fractions) {
+    for (double rho : rhos) {
+      for (const auto& o : orders) {
+        const auto& r = results[index++];
         const char* traffic = fraction == 0.0 ? "unicast-only" : "50/50 mix";
         if (r.unstable || r.saturated) {
           table.add_row({traffic, harness::fmt(rho, 2), o.label, "unstable",

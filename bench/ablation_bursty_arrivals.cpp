@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/gd1.hpp"
@@ -22,9 +23,12 @@ int main() {
   harness::Table table({"batch", "scheme", "reception-delay",
                         "broadcast-delay", "wait-hi", "wait-lo"});
 
-  for (std::uint32_t batch : {1u, 2u, 4u, 8u}) {
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+  const std::vector<std::uint32_t> batches{1u, 2u, 4u, 8u};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+  std::vector<harness::ExperimentSpec> specs;
+  for (std::uint32_t batch : batches) {
+    for (const core::Scheme& scheme : schemes) {
       harness::ExperimentSpec spec;
       spec.shape = shape;
       spec.scheme = scheme;
@@ -34,7 +38,15 @@ int main() {
       spec.measure = 4000.0;
       spec.seed = 24601;
       spec.batch_size = batch;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_bursty");
+
+  std::size_t index = 0;
+  for (std::uint32_t batch : batches) {
+    for (const core::Scheme& scheme : schemes) {
+      const auto& r = results[index++];
       if (r.unstable || r.saturated) {
         table.add_row({std::to_string(batch), scheme.name, "unstable", "-",
                        "-", "-"});

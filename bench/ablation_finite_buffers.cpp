@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -44,8 +45,11 @@ int main() {
                         "lost/drop", "delivered", "failed-bcast%",
                         "reception-delay"});
 
-  for (std::uint32_t capacity : {4u, 8u, 16u}) {
-    for (double rho : {0.85, 0.95}) {
+  const std::vector<std::uint32_t> capacities{4u, 8u, 16u};
+  const std::vector<double> rhos{0.85, 0.95};
+  std::vector<harness::ExperimentSpec> specs;
+  for (std::uint32_t capacity : capacities) {
+    for (double rho : rhos) {
       for (const Config& cfg : configs) {
         harness::ExperimentSpec spec;
         spec.shape = shape;
@@ -57,7 +61,17 @@ int main() {
         spec.seed = 90210;
         spec.queue_capacity = capacity;
         spec.drop_policy = cfg.drop;
-        const auto r = harness::run_experiment(spec);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_buffers");
+
+  std::size_t index = 0;
+  for (std::uint32_t capacity : capacities) {
+    for (double rho : rhos) {
+      for (const Config& cfg : configs) {
+        const auto& r = results[index++];
         const double attempts =
             static_cast<double>(r.transmissions + r.drops);
         const double total_tasks = static_cast<double>(

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -30,9 +31,12 @@ int main() {
                         "broadcast-delay", "util-mean", "util-max",
                         "util-cv"});
 
-  for (double frac : {0.0, 0.1, 0.25, 0.5}) {
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+  const std::vector<double> fractions{0.0, 0.1, 0.25, 0.5};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+  std::vector<harness::ExperimentSpec> specs;
+  for (double frac : fractions) {
+    for (const core::Scheme& scheme : schemes) {
       harness::ExperimentSpec spec;
       spec.shape = shape;
       spec.scheme = scheme;
@@ -43,7 +47,15 @@ int main() {
       spec.seed = 1111;
       spec.hotspot_fraction = frac;
       spec.hotspot_node = 0;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_hotspot");
+
+  std::size_t index = 0;
+  for (double frac : fractions) {
+    for (const core::Scheme& scheme : schemes) {
+      const auto& r = results[index++];
       if (r.unstable || r.saturated) {
         table.add_row({harness::fmt(frac, 2), scheme.name, "unstable", "-",
                        "-", "-", "-"});

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -31,7 +32,9 @@ int main() {
       {"3-class", core::Scheme::priority_star_three_class()},
   };
 
-  for (double rho : {0.5, 0.7, 0.85, 0.95}) {
+  const std::vector<double> rhos{0.5, 0.7, 0.85, 0.95};
+  std::vector<harness::ExperimentSpec> specs;
+  for (double rho : rhos) {
     for (const auto& d : disciplines) {
       harness::ExperimentSpec spec;
       spec.shape = shape;
@@ -41,7 +44,15 @@ int main() {
       spec.warmup = 800.0;
       spec.measure = 3000.0;
       spec.seed = 60203;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_priority");
+
+  std::size_t index = 0;
+  for (double rho : rhos) {
+    for (const auto& d : disciplines) {
+      const auto& r = results[index++];
       if (r.unstable || r.saturated) {
         table.add_row({harness::fmt(rho, 2), d.label, "unstable", "-", "-",
                        "-", "-", "-"});

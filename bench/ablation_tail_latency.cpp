@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -17,9 +18,12 @@ int main() {
             << shape.to_string() << " torus, broadcast-only ==\n\n";
 
   harness::Table table({"rho", "scheme", "mean", "p50", "p95", "p99"});
-  for (double rho : {0.5, 0.7, 0.85, 0.95}) {
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+  const std::vector<double> rhos{0.5, 0.7, 0.85, 0.95};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+  std::vector<harness::ExperimentSpec> specs;
+  for (double rho : rhos) {
+    for (const core::Scheme& scheme : schemes) {
       harness::ExperimentSpec spec;
       spec.shape = shape;
       spec.scheme = scheme;
@@ -29,7 +33,15 @@ int main() {
       spec.measure = 4000.0;
       spec.seed = 55;
       spec.record_histograms = true;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_tails");
+
+  std::size_t index = 0;
+  for (double rho : rhos) {
+    for (const core::Scheme& scheme : schemes) {
+      const auto& r = results[index++];
       if (r.unstable || r.saturated) {
         table.add_row({harness::fmt(rho, 2), scheme.name, "unstable", "-",
                        "-", "-"});

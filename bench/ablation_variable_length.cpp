@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -30,10 +31,13 @@ int main() {
   harness::Table table({"length-dist", "rho", "scheme", "reception-delay",
                         "broadcast-delay", "util-mean"});
 
+  const std::vector<double> rhos{0.5, 0.85};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+  std::vector<harness::ExperimentSpec> specs;
   for (const auto& len : lengths) {
-    for (double rho : {0.5, 0.85}) {
-      for (const core::Scheme& scheme :
-           {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+    for (double rho : rhos) {
+      for (const core::Scheme& scheme : schemes) {
         harness::ExperimentSpec spec;
         spec.shape = shape;
         spec.scheme = scheme;
@@ -43,7 +47,17 @@ int main() {
         spec.warmup = 1500.0;
         spec.measure = 5000.0;
         spec.seed = 112358;
-        const auto r = harness::run_experiment(spec);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "ablation_length");
+
+  std::size_t index = 0;
+  for (const auto& len : lengths) {
+    for (double rho : rhos) {
+      for (const core::Scheme& scheme : schemes) {
+        const auto& r = results[index++];
         if (r.unstable || r.saturated) {
           table.add_row({len.label, harness::fmt(rho, 2), scheme.name,
                          "unstable", "-", "-"});

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/figure.hpp"
 #include "pstar/harness/table.hpp"
@@ -26,9 +27,11 @@ int main() {
   harness::Table table({"rho", "scheme", "conc-bcast", "conc-unicast",
                         "unicast-delay", "reception-delay"});
 
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::star_fcfs()};
+  std::vector<harness::ExperimentSpec> specs;
   for (double rho : harness::default_rho_sweep()) {
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::star_fcfs()}) {
+    for (const core::Scheme& scheme : schemes) {
       harness::ExperimentSpec spec;
       spec.shape = shape;
       spec.scheme = scheme;
@@ -37,7 +40,15 @@ int main() {
       spec.warmup = 1000.0;
       spec.measure = 3000.0;
       spec.seed = 20030708;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "fig8");
+
+  std::size_t index = 0;
+  for (double rho : harness::default_rho_sweep()) {
+    for (const core::Scheme& scheme : schemes) {
+      const auto& r = results[index++];
       if (r.unstable || r.saturated) {
         table.add_row({harness::fmt(rho, 2), scheme.name, "unstable", "-", "-",
                        "-"});

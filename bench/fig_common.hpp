@@ -3,13 +3,52 @@
 /// Shared setup for the Figs. 2-7 reproduction benches: each figure plots
 /// one delay metric against the throughput factor for priority STAR and
 /// the FCFS generalization of the direct scheme of [12] on one torus.
+/// All sweeps route through harness::BatchRunner: every (point x
+/// replication) cell runs concurrently on the worker pool (PSTAR_JOBS or
+/// all cores) with deterministically derived seeds, and each bench prints
+/// a throughput record so logs track simulator events/sec over time.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "pstar/harness/batch_runner.hpp"
+#include "pstar/harness/cli.hpp"
 #include "pstar/harness/figure.hpp"
 #include "pstar/harness/table.hpp"
 
 namespace pstar::bench {
+
+/// Replications per cell for the figure benches: PSTAR_REPS env, default 1.
+inline std::size_t env_reps() {
+  if (const char* env = std::getenv("PSTAR_REPS")) {
+    return harness::parse_count(env, "PSTAR_REPS");
+  }
+  return 1;
+}
+
+/// Runs every spec through a shared BatchRunner and returns one result
+/// per spec, in input order, after printing the batch throughput line
+/// (cells, jobs, wall seconds, simulator events/sec).  The tab_* /
+/// ablation_* sweep drivers call this instead of serial
+/// run_experiment loops.
+inline std::vector<harness::ExperimentResult> run_all(
+    const std::vector<harness::ExperimentSpec>& specs,
+    const std::string& tag) {
+  harness::BatchRunner runner;
+  const auto results = runner.run_cells(specs);
+  double wall = 0.0;
+  std::uint64_t events = 0;
+  for (const auto& r : results) {
+    wall += r.wall_seconds;
+    events += r.events_processed;
+  }
+  std::cout << "throughput[" << tag << "]: " << specs.size()
+            << " cells | jobs " << runner.jobs() << " | "
+            << harness::fmt(wall, 2) << " s cpu | " << events << " events\n";
+  return results;
+}
 
 inline int run_delay_figure(const std::string& id, const std::string& title,
                             topo::Shape shape,
@@ -25,6 +64,7 @@ inline int run_delay_figure(const std::string& id, const std::string& title,
   spec.broadcast_fraction = 1.0;
   spec.warmup = measure_window / 3.0;
   spec.measure = measure_window;
+  spec.replications = env_reps();
   const auto results = harness::run_figure(spec, std::cout);
 
   // Shape check printed for EXPERIMENTS.md: at the highest stable rho the
@@ -33,7 +73,7 @@ inline int run_delay_figure(const std::string& id, const std::string& title,
   if (last >= 2) {
     const auto& star = results[last - 2];
     const auto& fcfs = results[last - 1];
-    if (!star.unstable && !fcfs.unstable) {
+    if (star.stable_runs > 0 && fcfs.stable_runs > 0) {
       const double a = harness::metric_value(spec.metric, star);
       const double b = harness::metric_value(spec.metric, fcfs);
       std::cout << "shape-check: priority-STAR "

@@ -8,7 +8,10 @@
 // achievable-throughput gain of priority STAR over FCFS-direct.
 
 #include <iostream>
+#include <vector>
 
+#include "fig_common.hpp"
+#include "pstar/harness/batch_runner.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -16,8 +19,8 @@ namespace {
 
 using namespace pstar;
 
-double delay_at(const topo::Shape& shape, const core::Scheme& scheme,
-                double rho) {
+harness::ExperimentSpec probe_spec(const topo::Shape& shape,
+                                   const core::Scheme& scheme, double rho) {
   harness::ExperimentSpec spec;
   spec.shape = shape;
   spec.scheme = scheme;
@@ -26,26 +29,24 @@ double delay_at(const topo::Shape& shape, const core::Scheme& scheme,
   spec.warmup = 800.0;
   spec.measure = 2500.0;
   spec.seed = 777;
-  const auto r = harness::run_experiment(spec);
-  if (r.unstable || r.saturated) return -1.0;
-  return r.reception_delay_mean;
+  return spec;
 }
 
-/// Largest rho (to ~0.01) with average reception delay <= budget.
-double max_rho_under_budget(const topo::Shape& shape,
-                            const core::Scheme& scheme, double budget) {
-  double lo = 0.05, hi = 0.99;
-  if (delay_at(shape, scheme, lo) > budget) return 0.0;
-  for (int iter = 0; iter < 8; ++iter) {
-    const double mid = (lo + hi) / 2.0;
-    const double d = delay_at(shape, scheme, mid);
-    if (d >= 0.0 && d <= budget) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+/// One bisection in progress for a (budget, scheme) pair.  All pairs
+/// advance in lockstep: every round batches one probe per live search
+/// through the BatchRunner, so the 2 x 5 searches share the thread pool
+/// instead of bisecting one after another.
+struct Search {
+  double budget;
+  core::Scheme scheme;
+  double lo = 0.05;
+  double hi = 0.99;
+  bool dead = false;  // delay already above budget at rho = lo
+};
+
+double probed_delay(const harness::ExperimentResult& r) {
+  if (r.unstable || r.saturated) return -1.0;
+  return r.reception_delay_mean;
 }
 
 }  // namespace
@@ -55,13 +56,64 @@ int main() {
   std::cout << "== tab-delay-budget: max throughput under a reception-delay "
                "budget, " << shape.to_string() << " torus ==\n\n";
 
+  const std::vector<double> budgets{6.0, 8.0, 10.0, 14.0, 20.0};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+
+  std::vector<Search> searches;
+  for (double budget : budgets) {
+    for (const core::Scheme& scheme : schemes) {
+      searches.push_back({budget, scheme});
+    }
+  }
+
+  const harness::BatchRunner runner;
+
+  // Feasibility round: probe every pair at rho = lo.
+  {
+    std::vector<harness::ExperimentSpec> specs;
+    for (const Search& s : searches) {
+      specs.push_back(probe_spec(shape, s.scheme, s.lo));
+    }
+    const auto results = runner.run_cells(specs);
+    for (std::size_t i = 0; i < searches.size(); ++i) {
+      const double d = probed_delay(results[i]);
+      if (d < 0.0 || d > searches[i].budget) searches[i].dead = true;
+    }
+  }
+
+  // Lockstep bisection to ~0.01: each round batches all live midpoints.
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<harness::ExperimentSpec> specs;
+    std::vector<std::size_t> owners;
+    for (std::size_t i = 0; i < searches.size(); ++i) {
+      if (searches[i].dead) continue;
+      const double mid = (searches[i].lo + searches[i].hi) / 2.0;
+      specs.push_back(probe_spec(shape, searches[i].scheme, mid));
+      owners.push_back(i);
+    }
+    if (specs.empty()) break;
+    const auto results = runner.run_cells(specs);
+    for (std::size_t k = 0; k < owners.size(); ++k) {
+      Search& s = searches[owners[k]];
+      const double mid = (s.lo + s.hi) / 2.0;
+      const double d = probed_delay(results[k]);
+      if (d >= 0.0 && d <= s.budget) {
+        s.lo = mid;
+      } else {
+        s.hi = mid;
+      }
+    }
+  }
+
   harness::Table table({"delay-budget", "priority-STAR max rho",
                         "FCFS-direct max rho", "throughput gain"});
-  for (double budget : {6.0, 8.0, 10.0, 14.0, 20.0}) {
-    const double star =
-        max_rho_under_budget(shape, core::Scheme::priority_star(), budget);
+  std::size_t index = 0;
+  for (double budget : budgets) {
+    const double star = searches[index].dead ? 0.0 : searches[index].lo;
     const double fcfs =
-        max_rho_under_budget(shape, core::Scheme::fcfs_direct(), budget);
+        searches[index + 1].dead ? 0.0 : searches[index + 1].lo;
+    index += 2;
     table.add_row({harness::fmt(budget, 1), harness::fmt(star, 3),
                    harness::fmt(fcfs, 3),
                    fcfs > 0.0 ? harness::fmt(star / fcfs, 2) + "x" : "-"});

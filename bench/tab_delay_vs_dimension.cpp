@@ -6,67 +6,70 @@
 // GROW with d (toward Theta(d)) rather than stay constant.
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/throughput.hpp"
 
-namespace {
-
-using namespace pstar;
-
-void sweep(const char* family, const std::vector<topo::Shape>& shapes,
-           double rho, harness::Table& table) {
-  for (const topo::Shape& shape : shapes) {
-    double star = 0.0, fcfs = 0.0;
-    bool ok = true;
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
-      harness::ExperimentSpec spec;
-      spec.shape = shape;
-      spec.scheme = scheme;
-      spec.rho = rho;
-      spec.broadcast_fraction = 1.0;
-      spec.warmup = 500.0;
-      spec.measure = 1500.0;
-      spec.seed = 1003;
-      const auto r = harness::run_experiment(spec);
-      if (r.unstable || r.saturated) {
-        ok = false;
-        break;
-      }
-      (scheme.balancing == core::Balancing::kBalanced ? star : fcfs) =
-          r.reception_delay_mean;
-    }
-    const topo::Torus torus(shape);
-    if (!ok) {
-      table.add_row({family, std::to_string(torus.dims()), shape.to_string(),
-                     "unstable", "-", "-"});
-      continue;
-    }
-    table.add_row({family, std::to_string(torus.dims()), shape.to_string(),
-                   harness::fmt(star, 2), harness::fmt(fcfs, 2),
-                   harness::fmt(fcfs / star, 2)});
-  }
-}
-
-}  // namespace
-
 int main() {
+  using namespace pstar;
+
   const double rho = 0.9;
   std::cout << "== tab-dimension: reception delay vs dimension at rho = "
             << rho << ", broadcast-only ==\n\n";
 
+  const std::vector<std::pair<const char*, std::vector<topo::Shape>>> families{
+      {"4-ary",
+       {topo::Shape::kary(4, 2), topo::Shape::kary(4, 3),
+        topo::Shape::kary(4, 4)}},
+      {"hypercube",
+       {topo::Shape::hypercube(4), topo::Shape::hypercube(6),
+        topo::Shape::hypercube(8), topo::Shape::hypercube(10)}}};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+
+  std::vector<harness::ExperimentSpec> specs;
+  for (const auto& family : families) {
+    for (const topo::Shape& shape : family.second) {
+      for (const core::Scheme& scheme : schemes) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.scheme = scheme;
+        spec.rho = rho;
+        spec.broadcast_fraction = 1.0;
+        spec.warmup = 500.0;
+        spec.measure = 1500.0;
+        spec.seed = 1003;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "tab_dimension");
+
   harness::Table table({"family", "d", "shape", "priority-STAR",
                         "FCFS-direct", "FCFS/STAR"});
-  sweep("4-ary",
-        {topo::Shape::kary(4, 2), topo::Shape::kary(4, 3),
-         topo::Shape::kary(4, 4)},
-        rho, table);
-  sweep("hypercube",
-        {topo::Shape::hypercube(4), topo::Shape::hypercube(6),
-         topo::Shape::hypercube(8), topo::Shape::hypercube(10)},
-        rho, table);
+  std::size_t index = 0;
+  for (const auto& family : families) {
+    for (const topo::Shape& shape : family.second) {
+      const auto& star_r = results[index++];
+      const auto& fcfs_r = results[index++];
+      const topo::Torus torus(shape);
+      if (star_r.unstable || star_r.saturated || fcfs_r.unstable ||
+          fcfs_r.saturated) {
+        table.add_row({family.first, std::to_string(torus.dims()),
+                       shape.to_string(), "unstable", "-", "-"});
+        continue;
+      }
+      const double star = star_r.reception_delay_mean;
+      const double fcfs = fcfs_r.reception_delay_mean;
+      table.add_row({family.first, std::to_string(torus.dims()),
+                     shape.to_string(), harness::fmt(star, 2),
+                     harness::fmt(fcfs, 2), harness::fmt(fcfs / star, 2)});
+    }
+  }
   table.print(std::cout);
   std::cout << "\n";
   table.print_csv(std::cout, "CSV,tab_dimension");

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/throughput.hpp"
@@ -31,21 +32,10 @@ double analytic_cap(const topo::Torus& torus, const core::Scheme& scheme) {
   return rho_at_unit_lambda / peak;
 }
 
-double measured_cap(const topo::Shape& shape, const core::Scheme& scheme) {
-  double last_stable = 0.0;
-  for (double rho = 0.10; rho <= 1.01; rho += 0.10) {
-    harness::ExperimentSpec spec;
-    spec.shape = shape;
-    spec.scheme = scheme;
-    spec.rho = rho;
-    spec.broadcast_fraction = 1.0;
-    spec.warmup = 400.0;
-    spec.measure = 1600.0;
-    spec.seed = 271828;
-    const auto r = harness::run_experiment(spec);
-    if (!r.unstable && !r.saturated) last_stable = rho;
-  }
-  return last_stable;
+std::vector<double> cap_grid() {
+  std::vector<double> rhos;
+  for (double rho = 0.10; rho <= 1.01; rho += 0.10) rhos.push_back(rho);
+  return rhos;
 }
 
 }  // namespace
@@ -57,16 +47,48 @@ int main() {
   harness::Table table({"torus", "2/d (hypercube ref)", "dim-order analytic",
                         "dim-order measured", "priority-STAR measured"});
 
-  for (const topo::Shape& shape :
-       {topo::Shape{8, 8}, topo::Shape{4, 4, 4}, topo::Shape::hypercube(4),
-        topo::Shape::hypercube(6)}) {
+  const std::vector<topo::Shape> shapes{
+      topo::Shape{8, 8}, topo::Shape{4, 4, 4}, topo::Shape::hypercube(4),
+      topo::Shape::hypercube(6)};
+  const std::vector<core::Scheme> schemes{core::Scheme::fixed_order(),
+                                          core::Scheme::priority_star()};
+  const std::vector<double> rhos = cap_grid();
+
+  // The whole (shape x scheme x rho) stability grid fans out in one
+  // batch; the measured cap is then the last stable grid point.
+  std::vector<harness::ExperimentSpec> specs;
+  for (const topo::Shape& shape : shapes) {
+    for (const core::Scheme& scheme : schemes) {
+      for (double rho : rhos) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.scheme = scheme;
+        spec.rho = rho;
+        spec.broadcast_fraction = 1.0;
+        spec.warmup = 400.0;
+        spec.measure = 1600.0;
+        spec.seed = 271828;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "tab_dim_order");
+
+  std::size_t index = 0;
+  for (const topo::Shape& shape : shapes) {
+    double measured[2] = {0.0, 0.0};
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      for (double rho : rhos) {
+        const auto& r = results[index++];
+        if (!r.unstable && !r.saturated) measured[s] = rho;
+      }
+    }
     const topo::Torus torus(shape);
     table.add_row(
         {shape.to_string(),
          harness::fmt(queueing::dimension_ordered_max_rho(torus.dims()), 3),
          harness::fmt(analytic_cap(torus, core::Scheme::fixed_order()), 3),
-         harness::fmt(measured_cap(shape, core::Scheme::fixed_order()), 2),
-         harness::fmt(measured_cap(shape, core::Scheme::priority_star()), 2)});
+         harness::fmt(measured[0], 2), harness::fmt(measured[1], 2)});
   }
   table.print(std::cout);
   std::cout << "\n";

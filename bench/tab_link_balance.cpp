@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/throughput.hpp"
@@ -32,9 +33,11 @@ int main() {
   harness::Table table({"torus", "bcast-frac", "scheme", "util-mean",
                         "util-max", "util-cv"});
 
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::fcfs_direct()};
+  std::vector<harness::ExperimentSpec> specs;
   for (const Case& c : cases) {
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::fcfs_direct()}) {
+    for (const core::Scheme& scheme : schemes) {
       harness::ExperimentSpec spec;
       spec.shape = c.shape;
       spec.scheme = scheme;
@@ -43,7 +46,15 @@ int main() {
       spec.warmup = 500.0;
       spec.measure = 2500.0;
       spec.seed = 1618;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "tab_balance");
+
+  std::size_t index = 0;
+  for (const Case& c : cases) {
+    for (const core::Scheme& scheme : schemes) {
+      const auto& r = results[index++];
       table.add_row({c.shape.to_string(), harness::fmt(c.fraction, 1),
                      scheme.name, harness::fmt(r.utilization_mean, 3),
                      harness::fmt(r.utilization_max, 3),

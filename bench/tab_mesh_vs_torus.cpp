@@ -11,7 +11,9 @@
 // last-stable rho for meshes and tori of the same shape.
 
 #include <iostream>
+#include <vector>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/throughput.hpp"
@@ -31,22 +33,10 @@ double mesh_corner_bound(const topo::Torus& mesh) {
   return queueing::torus_rho(mesh, lambda_max, 0.0);
 }
 
-double measured_max_rho(const topo::Shape& shape, bool mesh) {
-  double last_stable = 0.0;
-  for (double rho = 0.20; rho <= 1.01; rho += 0.05) {
-    harness::ExperimentSpec spec;
-    spec.shape = shape;
-    spec.mesh = mesh;
-    spec.rho = rho;
-    spec.broadcast_fraction = 1.0;
-    spec.warmup = 400.0;
-    spec.measure = 1600.0;
-    spec.seed = 4242;
-    spec.max_events = 20'000'000;
-    const auto r = harness::run_experiment(spec);
-    if (!r.unstable && !r.saturated) last_stable = rho;
-  }
-  return last_stable;
+std::vector<double> rho_grid() {
+  std::vector<double> rhos;
+  for (double rho = 0.20; rho <= 1.01; rho += 0.05) rhos.push_back(rho);
+  return rhos;
 }
 
 }  // namespace
@@ -54,15 +44,46 @@ double measured_max_rho(const topo::Shape& shape, bool mesh) {
 int main() {
   std::cout << "== tab-mesh: broadcast max throughput, mesh vs torus ==\n\n";
 
+  const std::vector<topo::Shape> shapes{topo::Shape{8, 8}, topo::Shape{16, 16},
+                                        topo::Shape{6, 6, 6}};
+  const bool topologies[] = {true, false};  // mesh first, then torus
+  const std::vector<double> rhos = rho_grid();
+
+  std::vector<harness::ExperimentSpec> specs;
+  for (const topo::Shape& shape : shapes) {
+    for (bool mesh : topologies) {
+      for (double rho : rhos) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.mesh = mesh;
+        spec.rho = rho;
+        spec.broadcast_fraction = 1.0;
+        spec.warmup = 400.0;
+        spec.measure = 1600.0;
+        spec.seed = 4242;
+        spec.max_events = 20'000'000;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "tab_mesh");
+
   harness::Table table({"shape", "topology", "corner bound", "measured max rho"});
-  for (const topo::Shape& shape : {topo::Shape{8, 8}, topo::Shape{16, 16},
-                                   topo::Shape{6, 6, 6}}) {
+  std::size_t index = 0;
+  for (const topo::Shape& shape : shapes) {
+    double measured[2] = {0.0, 0.0};
+    for (std::size_t t = 0; t < 2; ++t) {
+      for (double rho : rhos) {
+        const auto& r = results[index++];
+        if (!r.unstable && !r.saturated) measured[t] = rho;
+      }
+    }
     const topo::Torus mesh = topo::Torus::mesh(shape);
     table.add_row({shape.to_string(), "mesh",
                    harness::fmt(mesh_corner_bound(mesh), 3),
-                   harness::fmt(measured_max_rho(shape, true), 2)});
+                   harness::fmt(measured[0], 2)});
     table.add_row({shape.to_string(), "torus", "1.000",
-                   harness::fmt(measured_max_rho(shape, false), 2)});
+                   harness::fmt(measured[1], 2)});
   }
   table.print(std::cout);
   std::cout << "\n";

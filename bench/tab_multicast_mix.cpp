@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 
@@ -20,9 +21,12 @@ int main() {
   harness::Table table({"rho", "scheme", "unicast", "mcast-recep",
                         "mcast-compl", "bcast-recep", "util-mean"});
 
-  for (double rho : {0.3, 0.5, 0.7, 0.85, 0.95}) {
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::star_fcfs()}) {
+  const std::vector<double> rhos{0.3, 0.5, 0.7, 0.85, 0.95};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::star_fcfs()};
+  std::vector<harness::ExperimentSpec> specs;
+  for (double rho : rhos) {
+    for (const core::Scheme& scheme : schemes) {
       harness::ExperimentSpec spec;
       spec.shape = shape;
       spec.scheme = scheme;
@@ -33,7 +37,15 @@ int main() {
       spec.warmup = 800.0;
       spec.measure = 3000.0;
       spec.seed = 333;
-      const auto r = harness::run_experiment(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "tab_multicast");
+
+  std::size_t index = 0;
+  for (double rho : rhos) {
+    for (const core::Scheme& scheme : schemes) {
+      const auto& r = results[index++];
       if (r.unstable || r.saturated) {
         table.add_row({harness::fmt(rho, 2), scheme.name, "unstable", "-",
                        "-", "-", "-"});

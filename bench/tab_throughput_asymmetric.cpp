@@ -17,6 +17,7 @@
 #include <iostream>
 #include <vector>
 
+#include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/throughput.hpp"
@@ -37,24 +38,10 @@ double analytic_max_rho(const topo::Torus& torus, const core::Scheme& scheme) {
   return peak > 0.0 ? 1.0 / peak : 1.0;
 }
 
-double measured_max_rho(const topo::Shape& shape, const core::Scheme& scheme) {
-  double last_stable = 0.0;
-  for (double rho = 0.60; rho <= 1.01; rho += 0.05) {
-    harness::ExperimentSpec spec;
-    spec.shape = shape;
-    spec.scheme = scheme;
-    spec.rho = rho;
-    spec.broadcast_fraction = 0.5;
-    spec.warmup = 300.0;
-    spec.measure = 1200.0;
-    spec.seed = 31337;
-    // Oversaturated runs build enormous backlogs whose drain dominates
-    // wall-clock; a hard event budget classifies them as unstable early.
-    spec.max_events = 20'000'000;
-    const auto r = harness::run_experiment(spec);
-    if (!r.unstable && !r.saturated) last_stable = rho;
-  }
-  return last_stable;
+std::vector<double> rho_grid() {
+  std::vector<double> rhos;
+  for (double rho = 0.60; rho <= 1.01; rho += 0.05) rhos.push_back(rho);
+  return rhos;
 }
 
 }  // namespace
@@ -63,21 +50,52 @@ int main() {
   std::cout << "== tab-throughput: maximum throughput factor, asymmetric "
                "tori (n_d = 2n family), 50/50 unicast+broadcast ==\n\n";
 
+  const std::vector<topo::Shape> shapes{
+      topo::Shape{4, 8}, topo::Shape{4, 4, 8}, topo::Shape{4, 4, 4, 8}};
+  const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
+                                          core::Scheme::separate_star(),
+                                          core::Scheme::fcfs_direct()};
+  const std::vector<double> rhos = rho_grid();
+
+  std::vector<harness::ExperimentSpec> specs;
+  for (const topo::Shape& shape : shapes) {
+    for (const core::Scheme& scheme : schemes) {
+      for (double rho : rhos) {
+        harness::ExperimentSpec spec;
+        spec.shape = shape;
+        spec.scheme = scheme;
+        spec.rho = rho;
+        spec.broadcast_fraction = 0.5;
+        spec.warmup = 300.0;
+        spec.measure = 1200.0;
+        spec.seed = 31337;
+        // Oversaturated runs build enormous backlogs whose drain dominates
+        // wall-clock; a hard event budget classifies them as unstable early.
+        spec.max_events = 20'000'000;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto results = bench::run_all(specs, "tab_throughput");
+
   harness::Table table({"torus", "scheme", "analytic-max-rho",
                         "measured-max-rho", "2(d+1)/(3d+1)"});
 
-  for (const topo::Shape& shape :
-       {topo::Shape{4, 8}, topo::Shape{4, 4, 8}, topo::Shape{4, 4, 4, 8}}) {
+  std::size_t index = 0;
+  for (const topo::Shape& shape : shapes) {
     const topo::Torus torus(shape);
     const double family_cap =
         queueing::separate_family_max_rho(torus.dims());
-    for (const core::Scheme& scheme :
-         {core::Scheme::priority_star(), core::Scheme::separate_star(),
-          core::Scheme::fcfs_direct()}) {
+    for (const core::Scheme& scheme : schemes) {
+      double measured = 0.0;
+      for (double rho : rhos) {
+        const auto& r = results[index++];
+        if (!r.unstable && !r.saturated) measured = rho;
+      }
       const bool is_separate = scheme.balancing == core::Balancing::kSeparate;
       table.add_row({shape.to_string(), scheme.name,
                      harness::fmt(analytic_max_rho(torus, scheme), 3),
-                     harness::fmt(measured_max_rho(shape, scheme), 2),
+                     harness::fmt(measured, 2),
                      is_separate ? harness::fmt(family_cap, 3) : "-"});
     }
   }

@@ -12,7 +12,11 @@
 //     --length SPEC             unit | fixed:L | geom:M | bimodal:S:L:P
 //     --warmup T --measure T    time windows (default 1000 / 3000)
 //     --seed N                  base seed (default 1)
-//     --reps N                  seeds per point, cross-seed stats (default 1)
+//     --reps N                  independent replications per point with
+//                               seed-stream-derived seeds (default 1);
+//                               adds an across-replication ci95_rep column
+//     --jobs N|auto             worker threads for the batch runner
+//                               (default: PSTAR_JOBS env or all cores)
 //     --tails                   also report reception p95/p99
 //     --mesh                    drop all wraparound links (mesh topology)
 //     --batch K                 K tasks per arrival epoch (bursty traffic)
@@ -25,11 +29,13 @@
 //     sweep_cli --schemes priority-STAR,STAR-FCFS --length geom:4 --tails
 //     sweep_cli --mesh --rho 0.3,0.5 --shape 16x16
 
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "pstar/harness/batch_runner.hpp"
 #include "pstar/harness/cli.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/table.hpp"
@@ -49,6 +55,7 @@ struct Options {
   double measure = 3000.0;
   std::uint64_t seed = 1;
   std::size_t reps = 1;
+  std::size_t jobs = 0;
   bool tails = false;
   bool mesh = false;
   std::uint32_t batch = 1;
@@ -96,7 +103,9 @@ Options parse_options(int argc, char** argv) {
     } else if (flag == "--seed") {
       opt.seed = std::stoull(value());
     } else if (flag == "--reps") {
-      opt.reps = std::stoull(value());
+      opt.reps = std::max<std::size_t>(1, harness::parse_count(value(), "--reps"));
+    } else if (flag == "--jobs") {
+      opt.jobs = harness::parse_count(value(), "--jobs");
     } else if (flag == "--tails") {
       opt.tails = true;
     } else if (flag == "--mesh") {
@@ -145,23 +154,34 @@ int main(int argc, char** argv) {
     std::cerr << "usage: sweep_cli [--shape 8x8] [--schemes a,b] "
                  "[--rho lo:hi:step] [--bcast-frac F]\n"
                  "                 [--length SPEC] [--warmup T] [--measure T] "
-                 "[--seed N] [--reps N] [--tails]\n";
+                 "[--seed N] [--reps N] [--jobs N] [--tails]\n";
     return 2;
   }
 
+  harness::BatchConfig batch_config;
+  batch_config.jobs = opt.jobs;
+  batch_config.replications = opt.reps;
+  harness::BatchRunner runner(batch_config);
+
   std::cout << "sweep: " << opt.shape.to_string() << ", bcast-frac "
             << opt.broadcast_fraction << ", seed " << opt.seed << ", reps "
-            << opt.reps << "\n\n";
+            << opt.reps << ", jobs " << runner.jobs() << "\n\n";
 
   std::vector<std::string> header{"rho", "scheme", "reception", "broadcast",
                                   "unicast", "util-max"};
-  if (opt.reps > 1) header.push_back("recep-sd");
+  if (opt.reps > 1) {
+    header.push_back("recep-sd");
+    header.push_back("ci95_rep");
+  }
   if (opt.tails) {
     header.push_back("recep-p95");
     header.push_back("recep-p99");
   }
   harness::Table table(header);
 
+  // One cell spec per (rho, scheme), fanned out with derived seeds; the
+  // batch runner executes all (cell x replication) pairs concurrently.
+  std::vector<harness::ExperimentSpec> cells;
   for (double rho : opt.rhos) {
     for (const core::Scheme& scheme : opt.schemes) {
       harness::ExperimentSpec spec;
@@ -180,42 +200,44 @@ int main(int argc, char** argv) {
       spec.hotspot_node = opt.hotspot_node;
       spec.queue_capacity = opt.capacity;
       spec.drop_policy = opt.drop;
+      cells.push_back(std::move(spec));
+    }
+  }
 
+  const auto batch = runner.run(cells);
+  for (const auto& f : batch.failures) {
+    std::cerr << "cell failure: point " << f.point << " rep " << f.replication
+              << " (seed " << f.spec.seed << "): " << f.message << "\n";
+  }
+
+  std::size_t index = 0;
+  for (double rho : opt.rhos) {
+    for (const core::Scheme& scheme : opt.schemes) {
+      const harness::ReplicatedResult& agg = batch.points[index++];
       std::vector<std::string> row{harness::fmt(rho, 2), scheme.name};
+      if (agg.stable_runs == 0) {
+        row.insert(row.end(), {"unstable", "-", "-", "-"});
+        if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
+        if (opt.tails) row.insert(row.end(), {"-", "-"});
+        table.add_row(std::move(row));
+        continue;
+      }
+      const auto& first = agg.runs.front();
+      row.push_back(harness::fmt(agg.reception_delay_mean, 2));
+      row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
+      row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
+      row.push_back(harness::fmt(first.utilization_max, 3));
       if (opt.reps > 1) {
-        const auto agg = harness::run_replicated(spec, opt.reps);
-        if (agg.stable_runs == 0) {
-          row.insert(row.end(), {"unstable", "-", "-", "-", "-"});
-          if (opt.tails) row.insert(row.end(), {"-", "-"});
-          table.add_row(std::move(row));
-          continue;
-        }
-        const auto& first = agg.runs.front();
-        row.push_back(harness::fmt(agg.reception_delay_mean, 2));
-        row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
-        row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
-        row.push_back(harness::fmt(first.utilization_max, 3));
         row.push_back(harness::fmt(agg.reception_delay_sd, 3));
-        if (opt.tails) {
-          row.push_back(harness::fmt(first.reception_p95, 1));
-          row.push_back(harness::fmt(first.reception_p99, 1));
-        }
-      } else {
-        const auto r = harness::run_experiment(spec);
-        if (r.unstable || r.saturated) {
-          row.insert(row.end(), {"unstable", "-", "-", "-"});
-          if (opt.tails) row.insert(row.end(), {"-", "-"});
-          table.add_row(std::move(row));
-          continue;
-        }
-        row.push_back(harness::fmt(r.reception_delay_mean, 2));
-        row.push_back(harness::fmt(r.broadcast_delay_mean, 2));
-        row.push_back(harness::fmt(r.unicast_delay_mean, 2));
-        row.push_back(harness::fmt(r.utilization_max, 3));
-        if (opt.tails) {
-          row.push_back(harness::fmt(r.reception_p95, 1));
-          row.push_back(harness::fmt(r.reception_p99, 1));
-        }
+        row.push_back(harness::fmt(agg.reception_delay_ci95_rep, 3));
+      }
+      if (opt.tails) {
+        row.push_back(harness::fmt(agg.reception_p50 > 0.0
+                                       ? agg.reception_p95
+                                       : first.reception_p95, 1));
+        row.push_back(harness::fmt(agg.reception_p50 > 0.0
+                                       ? agg.reception_p99
+                                       : first.reception_p99, 1));
       }
       table.add_row(std::move(row));
     }
@@ -223,5 +245,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n";
   table.print_csv(std::cout, "CSV,sweep");
+  std::cout << "\nthroughput: " << cells.size() * opt.reps << " cells | jobs "
+            << batch.jobs << " | " << harness::fmt(batch.wall_seconds, 2)
+            << " s wall | " << harness::fmt(batch.events_per_sec / 1e6, 2)
+            << "M events/s\n";
   return 0;
 }

@@ -1,0 +1,179 @@
+#include "pstar/harness/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::harness {
+namespace {
+
+/// Closed-at-construction job queue: all cells are enqueued before the
+/// workers start, pop() hands them out under a mutex, and the condvar
+/// only matters for the (future) streaming case where jobs arrive while
+/// workers wait.  No stealing: completion order is irrelevant because
+/// every result has a fixed slot.
+class JobQueue {
+ public:
+  struct Job {
+    std::size_t point;
+    std::size_t replication;
+  };
+
+  void push(Job job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push_back(job);
+    }
+    ready_.notify_one();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Blocks until a job is available or the queue is closed and drained.
+  std::optional<Job> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return next_ < jobs_.size() || closed_; });
+    if (next_ >= jobs_.size()) return std::nullopt;
+    return jobs_[next_++];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<Job> jobs_;
+  std::size_t next_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PSTAR_JOBS")) {
+    // strtoul would happily wrap "-2" around to a huge count; only plain
+    // positive decimals are accepted, anything else falls through.
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' &&
+        v > 0 && v <= 65536) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+BatchRunner::BatchRunner(BatchConfig config)
+    : config_(std::move(config)), jobs_(resolve_jobs(config_.jobs)) {}
+
+BatchResult BatchRunner::run(const std::vector<ExperimentSpec>& specs) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t reps = std::max<std::size_t>(1, config_.replications);
+  const std::size_t total = specs.size() * reps;
+
+  BatchResult batch;
+  batch.jobs = std::max<std::size_t>(1, std::min(jobs_, total));
+  batch.points.resize(specs.size());
+  if (total == 0) return batch;
+
+  // Fixed result slots: cell (p, r) writes cells[p][r] only, so the
+  // output never depends on which worker ran it or when it finished.
+  std::vector<std::vector<std::optional<ExperimentResult>>> cells(
+      specs.size(), std::vector<std::optional<ExperimentResult>>(reps));
+
+  JobQueue queue;
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    for (std::size_t r = 0; r < reps; ++r) queue.push({p, r});
+  }
+  queue.close();
+
+  std::mutex mutex;  // guards failures + progress counter
+  std::size_t done = 0;
+  auto worker = [&] {
+    while (auto job = queue.pop()) {
+      ExperimentSpec spec = specs[job->point];
+      spec.seed =
+          sim::seed_stream(specs[job->point].seed, job->point, job->replication);
+      try {
+        ExperimentResult result = run_experiment(spec);
+        cells[job->point][job->replication] = std::move(result);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        batch.failures.push_back(
+            {job->point, job->replication, std::move(spec), e.what()});
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      ++done;
+      if (config_.progress) config_.progress(done, total);
+    }
+  };
+
+  if (batch.jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(batch.jobs);
+    for (std::size_t t = 0; t < batch.jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::sort(batch.failures.begin(), batch.failures.end(),
+            [](const CellFailure& a, const CellFailure& b) {
+              return a.point != b.point ? a.point < b.point
+                                        : a.replication < b.replication;
+            });
+
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    std::vector<ExperimentResult> runs;
+    runs.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      if (cells[p][r]) runs.push_back(std::move(*cells[p][r]));
+    }
+    batch.points[p] = aggregate_replications(std::move(runs));
+    batch.events_processed += batch.points[p].events_processed;
+  }
+
+  batch.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (batch.wall_seconds > 0.0) {
+    batch.events_per_sec =
+        static_cast<double>(batch.events_processed) / batch.wall_seconds;
+  }
+  return batch;
+}
+
+std::vector<ExperimentResult> BatchRunner::run_cells(
+    const std::vector<ExperimentSpec>& specs) const {
+  BatchConfig config = config_;
+  config.replications = 1;
+  BatchResult batch = BatchRunner(std::move(config)).run(specs);
+  if (!batch.failures.empty()) {
+    const CellFailure& f = batch.failures.front();
+    throw std::runtime_error("batch cell " + std::to_string(f.point) +
+                             " failed: " + f.message);
+  }
+  std::vector<ExperimentResult> results;
+  results.reserve(specs.size());
+  for (ReplicatedResult& point : batch.points) {
+    results.push_back(std::move(point.runs.at(0)));
+  }
+  return results;
+}
+
+}  // namespace pstar::harness

@@ -108,6 +108,21 @@ traffic::LengthDist parse_length(const std::string& text) {
       text + "'");
 }
 
+std::size_t parse_count(const std::string& text, const std::string& what) {
+  if (text == "auto") return 0;
+  std::int64_t v = 0;
+  try {
+    v = parse_int(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + " must be a count or 'auto', got '" +
+                                text + "'");
+  }
+  if (v < 0 || v > 1'000'000) {
+    throw std::invalid_argument(what + " out of range: '" + text + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
 core::Scheme parse_scheme(const std::string& text) {
   if (auto scheme = core::Scheme::by_name(text)) return *scheme;
   std::string known;

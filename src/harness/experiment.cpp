@@ -1,6 +1,7 @@
 #include "pstar/harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "pstar/core/policy_factory.hpp"
@@ -12,6 +13,7 @@
 namespace pstar::harness {
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
   if (spec.warmup < 0.0 || spec.measure <= 0.0) {
     throw std::invalid_argument("run_experiment: bad time windows");
   }
@@ -88,6 +90,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   ExperimentResult r;
   r.unstable = engine.unstable() || reason == sim::StopReason::kEventLimit ||
                reason == sim::StopReason::kStopped;
+  r.stop_reason = reason;
   r.balanced_feasible = probs.feasible;
   r.ending_probabilities = probs.x;
 
@@ -166,7 +169,63 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   r.measured_unicasts = m.unicast_delay.count();
   r.transmissions = m.transmissions;
   r.sim_end_time = sim.now();
+  r.events_processed = sim.events_executed();
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (r.wall_seconds > 0.0) {
+    r.events_per_sec =
+        static_cast<double>(r.events_processed) / r.wall_seconds;
+  }
   return r;
+}
+
+ReplicatedResult aggregate_replications(std::vector<ExperimentResult> runs) {
+  ReplicatedResult agg;
+  stats::RunningStat reception, broadcast, unicast;
+  stats::RunningStat reception_within, broadcast_within, unicast_within;
+  stats::RunningStat p50, p95, p99;
+  for (const ExperimentResult& r : runs) {
+    agg.events_processed += r.events_processed;
+    agg.wall_seconds += r.wall_seconds;
+    agg.drops += r.drops;
+    if (r.drops > 0) agg.any_dropped = true;
+    if (r.saturated) agg.any_saturated = true;
+    if (r.unstable || r.saturated) {
+      agg.any_unstable = true;
+      continue;
+    }
+    ++agg.stable_runs;
+    reception.add(r.reception_delay_mean);
+    broadcast.add(r.broadcast_delay_mean);
+    unicast.add(r.unicast_delay_mean);
+    reception_within.add(r.reception_delay_ci95);
+    broadcast_within.add(r.broadcast_delay_ci95);
+    unicast_within.add(r.unicast_delay_ci95);
+    if (r.reception_p50 > 0.0 || r.reception_p95 > 0.0) {
+      p50.add(r.reception_p50);
+      p95.add(r.reception_p95);
+      p99.add(r.reception_p99);
+    }
+  }
+  agg.reception_delay_mean = reception.mean();
+  agg.reception_delay_sd = reception.stddev();
+  agg.reception_delay_ci95_rep = reception.ci95_half_width_t();
+  agg.broadcast_delay_mean = broadcast.mean();
+  agg.broadcast_delay_sd = broadcast.stddev();
+  agg.broadcast_delay_ci95_rep = broadcast.ci95_half_width_t();
+  agg.unicast_delay_mean = unicast.mean();
+  agg.unicast_delay_sd = unicast.stddev();
+  agg.unicast_delay_ci95_rep = unicast.ci95_half_width_t();
+  agg.reception_delay_ci95_within = reception_within.mean();
+  agg.broadcast_delay_ci95_within = broadcast_within.mean();
+  agg.unicast_delay_ci95_within = unicast_within.mean();
+  agg.reception_p50 = p50.mean();
+  agg.reception_p95 = p95.mean();
+  agg.reception_p99 = p99.mean();
+  agg.runs = std::move(runs);
+  return agg;
 }
 
 ReplicatedResult run_replicated(ExperimentSpec spec,
@@ -174,29 +233,14 @@ ReplicatedResult run_replicated(ExperimentSpec spec,
   if (replications == 0) {
     throw std::invalid_argument("run_replicated: need at least one run");
   }
-  ReplicatedResult agg;
-  agg.runs.reserve(replications);
-  stats::RunningStat reception, broadcast, unicast;
+  const std::uint64_t base = spec.seed;
+  std::vector<ExperimentResult> runs;
+  runs.reserve(replications);
   for (std::size_t i = 0; i < replications; ++i) {
-    agg.runs.push_back(run_experiment(spec));
-    const ExperimentResult& r = agg.runs.back();
-    if (r.unstable || r.saturated) {
-      agg.any_unstable = true;
-    } else {
-      ++agg.stable_runs;
-      reception.add(r.reception_delay_mean);
-      broadcast.add(r.broadcast_delay_mean);
-      unicast.add(r.unicast_delay_mean);
-    }
-    ++spec.seed;
+    spec.seed = sim::seed_stream(base, 0, i);
+    runs.push_back(run_experiment(spec));
   }
-  agg.reception_delay_mean = reception.mean();
-  agg.reception_delay_sd = reception.stddev();
-  agg.broadcast_delay_mean = broadcast.mean();
-  agg.broadcast_delay_sd = broadcast.stddev();
-  agg.unicast_delay_mean = unicast.mean();
-  agg.unicast_delay_sd = unicast.stddev();
-  return agg;
+  return aggregate_replications(std::move(runs));
 }
 
 }  // namespace pstar::harness

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "pstar/harness/batch_runner.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/delay_model.hpp"
 #include "pstar/queueing/throughput.hpp"
@@ -26,16 +27,43 @@ double metric_value(FigureMetric metric, const ExperimentResult& result) {
   return 0.0;
 }
 
-namespace {
-
-double metric_ci(FigureMetric metric, const ExperimentResult& result) {
+double metric_value(FigureMetric metric, const ReplicatedResult& result) {
   switch (metric) {
     case FigureMetric::kReceptionDelay:
-      return result.reception_delay_ci95;
+      return result.reception_delay_mean;
     case FigureMetric::kBroadcastDelay:
-      return result.broadcast_delay_ci95;
+      return result.broadcast_delay_mean;
     case FigureMetric::kUnicastDelay:
-      return result.unicast_delay_ci95;
+      return result.unicast_delay_mean;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// The CI column: across-replication when replicated, else the single
+/// run's within-run CI (the two estimators are kept distinct; see
+/// ExperimentResult docs).
+double metric_ci(FigureMetric metric, const ReplicatedResult& result,
+                 bool replicated) {
+  if (replicated) {
+    switch (metric) {
+      case FigureMetric::kReceptionDelay:
+        return result.reception_delay_ci95_rep;
+      case FigureMetric::kBroadcastDelay:
+        return result.broadcast_delay_ci95_rep;
+      case FigureMetric::kUnicastDelay:
+        return result.unicast_delay_ci95_rep;
+    }
+    return 0.0;
+  }
+  switch (metric) {
+    case FigureMetric::kReceptionDelay:
+      return result.reception_delay_ci95_within;
+    case FigureMetric::kBroadcastDelay:
+      return result.broadcast_delay_ci95_within;
+    case FigureMetric::kUnicastDelay:
+      return result.unicast_delay_ci95_within;
   }
   return 0.0;
 }
@@ -54,14 +82,17 @@ const char* metric_name(FigureMetric metric) {
 
 }  // namespace
 
-std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
+std::vector<ReplicatedResult> run_figure(const FigureSpec& spec,
                                          std::ostream& os) {
   const topo::Torus torus(spec.shape);
+  const std::size_t reps = spec.replications > 0 ? spec.replications : 1;
 
   os << "== " << spec.id << ": " << spec.title << " ==\n";
   os << "torus " << spec.shape.to_string() << "  (" << torus.node_count()
      << " nodes, " << torus.link_count() << " directed links)  metric: "
-     << metric_name(spec.metric) << "  seed " << spec.seed << "\n";
+     << metric_name(spec.metric) << "  seed " << spec.seed;
+  if (reps > 1) os << "  reps " << reps;
+  os << "\n";
   if (spec.broadcast_fraction < 1.0) {
     os << "broadcast fraction of load: " << fmt(spec.broadcast_fraction, 2)
        << "\n";
@@ -77,7 +108,7 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
   std::vector<std::string> header{"rho"};
   for (const auto& scheme : spec.schemes) {
     header.push_back(scheme.name);
-    header.push_back("+-95%");
+    header.push_back(reps > 1 ? "ci95_rep" : "+-95%");
   }
   if (spec.show_lower_bound) header.push_back("bound d+1/(1-rho)");
   if (with_model) {
@@ -86,11 +117,10 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
   }
   Table table(header);
 
-  std::vector<ExperimentResult> all;
-  all.reserve(spec.rhos.size() * spec.schemes.size());
-
+  // Row-major cell list (rho outer, scheme inner), all fanned out at once.
+  std::vector<ExperimentSpec> cells;
+  cells.reserve(spec.rhos.size() * spec.schemes.size());
   for (double rho : spec.rhos) {
-    std::vector<std::string> row{fmt(rho, 2)};
     for (const auto& scheme : spec.schemes) {
       ExperimentSpec point;
       point.shape = spec.shape;
@@ -101,14 +131,26 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
       point.warmup = spec.warmup;
       point.measure = spec.measure;
       point.seed = spec.seed;
-      ExperimentResult result = run_experiment(point);
-      all.push_back(result);
-      if (result.unstable || result.saturated) {
+      cells.push_back(std::move(point));
+    }
+  }
+
+  BatchConfig config;
+  config.jobs = spec.jobs;
+  config.replications = reps;
+  BatchResult batch = BatchRunner(config).run(cells);
+
+  std::size_t index = 0;
+  for (double rho : spec.rhos) {
+    std::vector<std::string> row{fmt(rho, 2)};
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      const ReplicatedResult& point = batch.points[index++];
+      if (point.stable_runs == 0) {
         row.push_back("unstable");
         row.push_back("-");
       } else {
-        row.push_back(fmt(metric_value(spec.metric, result), 2));
-        row.push_back(fmt(metric_ci(spec.metric, result), 2));
+        row.push_back(fmt(metric_value(spec.metric, point), 2));
+        row.push_back(fmt(metric_ci(spec.metric, point, reps > 1), 2));
       }
     }
     if (spec.show_lower_bound) {
@@ -127,7 +169,21 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
   os << "\n";
   table.print_csv(os, "CSV," + spec.id);
   os << "\n";
-  return all;
+  for (const CellFailure& f : batch.failures) {
+    os << "cell failure: point " << f.point << " rep " << f.replication
+       << " (seed " << f.spec.seed << "): " << f.message << "\n";
+  }
+  os << "throughput: " << cells.size() * reps << " cells | jobs "
+     << batch.jobs << " | " << fmt(batch.wall_seconds, 2) << " s wall | "
+     << batch.events_processed << " events | "
+     << fmt(batch.events_per_sec / 1e6, 2) << "M events/s\n";
+  Table timing({"cells", "jobs", "wall-s", "events", "events-per-sec"});
+  timing.add_row({std::to_string(cells.size() * reps),
+                  std::to_string(batch.jobs), fmt(batch.wall_seconds, 3),
+                  std::to_string(batch.events_processed),
+                  fmt(batch.events_per_sec, 0)});
+  timing.print_csv(os, "CSV," + spec.id + "-timing");
+  return std::move(batch.points);
 }
 
 }  // namespace pstar::harness

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file batch_runner.hpp
+/// Parallel multi-replication experiment runner.
+///
+/// BatchRunner executes every (experiment point x replication) cell of a
+/// sweep concurrently on a fixed pool of worker threads fed from a
+/// mutex/condvar job queue (no work stealing).  Each cell's seed is
+/// derived deterministically from its spec's base seed via the
+/// sim::seed_stream SplitMix64 stream, so the simulation output is
+/// bit-identical regardless of thread count or completion order: only
+/// the wall-clock accounting fields differ between a `jobs=1` and a
+/// `jobs=N` run.  A cell that throws is captured as a CellFailure
+/// (spec + message) instead of poisoning the rest of the batch; a cell
+/// that diverges reports through its result's stop_reason/unstable
+/// flags as usual.  See docs/REPLICATION.md for the methodology.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+
+namespace pstar::harness {
+
+/// Resolves a worker-thread request: `requested` when positive, else the
+/// PSTAR_JOBS environment variable when set to a positive integer, else
+/// std::thread::hardware_concurrency() (never less than 1).
+std::size_t resolve_jobs(std::size_t requested = 0);
+
+struct BatchConfig {
+  std::size_t jobs = 0;          ///< worker threads; 0 = resolve_jobs()
+  std::size_t replications = 1;  ///< replications per point (>= 1)
+  /// Optional progress hook (cells finished, cells total), invoked from
+  /// worker threads under the runner's internal mutex -- keep it cheap
+  /// and do not call back into the runner.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// One cell whose run_experiment call threw.  `spec.seed` holds the
+/// derived per-cell seed, so the failure is reproducible in isolation.
+struct CellFailure {
+  std::size_t point = 0;        ///< index into the input spec vector
+  std::size_t replication = 0;  ///< replication index within the point
+  ExperimentSpec spec;          ///< spec as executed (derived seed)
+  std::string message;          ///< exception text
+};
+
+struct BatchResult {
+  /// Per-point aggregates, in input order.  A point all of whose cells
+  /// failed has an empty `runs` and stable_runs == 0.
+  std::vector<ReplicatedResult> points;
+  std::vector<CellFailure> failures;  ///< sorted by (point, replication)
+
+  // Whole-batch throughput: wall clock of the run() call, summed
+  // deterministic event counts, and their ratio.
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  double events_per_sec = 0.0;
+  std::size_t jobs = 1;  ///< worker threads actually used
+};
+
+/// Fixed-thread-pool sweep executor.  Stateless between run() calls and
+/// safe to reuse; one runner per call site is also fine.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchConfig config = {});
+
+  /// Worker threads the next run() will use (after resolution).
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs replications-many cells for every spec and aggregates each
+  /// point across its replications.  Cell (p, r) executes specs[p] with
+  /// seed sim::seed_stream(specs[p].seed, p, r); results land at fixed
+  /// positions, so output is independent of scheduling.
+  BatchResult run(const std::vector<ExperimentSpec>& specs) const;
+
+  /// Single-replication convenience for sweep drivers: returns one
+  /// result per spec, in input order.  Rethrows the first cell failure
+  /// as std::runtime_error (matching the serial-loop behaviour it
+  /// replaces).
+  std::vector<ExperimentResult> run_cells(
+      const std::vector<ExperimentSpec>& specs) const;
+
+ private:
+  BatchConfig config_;
+  std::size_t jobs_;
+};
+
+}  // namespace pstar::harness

@@ -7,6 +7,7 @@
 /// "bimodal:1:16:0.1"), and scheme names.  All parsers throw
 /// std::invalid_argument with a message naming the offending input.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -29,5 +30,9 @@ traffic::LengthDist parse_length(const std::string& text);
 
 /// Scheme preset by name; throws listing the registry on failure.
 core::Scheme parse_scheme(const std::string& text);
+
+/// Small non-negative count ("4", or "auto" -> 0) for flags like --reps
+/// and --jobs; `what` names the flag in error messages.
+std::size_t parse_count(const std::string& text, const std::string& what);
 
 }  // namespace pstar::harness

@@ -13,6 +13,7 @@
 
 #include "pstar/core/scheme.hpp"
 #include "pstar/net/engine.hpp"
+#include "pstar/sim/simulator.hpp"
 #include "pstar/topology/shape.hpp"
 #include "pstar/traffic/length.hpp"
 
@@ -73,16 +74,25 @@ struct ExperimentSpec {
 };
 
 /// Summary of one run.
+///
+/// CI semantics: every `*_ci95` field below is a WITHIN-RUN confidence
+/// interval -- 1.96 standard errors over the samples of one simulation
+/// run.  Those samples are autocorrelated (consecutive tasks share queue
+/// state), so within-run CIs understate run-to-run variability,
+/// increasingly so near saturation.  Honest error bars come from
+/// independent replications: see ReplicatedResult, which exposes both
+/// the across-replication CI (`*_ci95_rep`) and the mean within-run CI
+/// (`*_ci95_within`) side by side.
 struct ExperimentResult {
   // Broadcast metrics (time units).
   double reception_delay_mean = 0.0;
-  double reception_delay_ci95 = 0.0;
+  double reception_delay_ci95 = 0.0;  ///< within-run (see struct docs)
   double broadcast_delay_mean = 0.0;
-  double broadcast_delay_ci95 = 0.0;
+  double broadcast_delay_ci95 = 0.0;  ///< within-run
 
   // Unicast metrics.
   double unicast_delay_mean = 0.0;
-  double unicast_delay_ci95 = 0.0;
+  double unicast_delay_ci95 = 0.0;    ///< within-run
   double unicast_hops_mean = 0.0;
 
   // Multicast metrics (populated when multicast_fraction > 0).
@@ -140,31 +150,79 @@ struct ExperimentResult {
   bool saturated = false;
   std::uint64_t inflight_at_end = 0;
   bool balanced_feasible = true;  ///< Eq. (4) solution was inside [0,1]^d
+  /// Why the simulation loop returned (kEventLimit marks a diverging
+  /// cell whose event budget tripped).
+  sim::StopReason stop_reason = sim::StopReason::kDrained;
 
   /// The probability vector the scheme actually used.
   std::vector<double> ending_probabilities;
+
+  // Per-run throughput accounting.  events_processed is deterministic;
+  // wall_seconds / events_per_sec measure the host and are the ONLY
+  // fields excluded from bit-identity guarantees across thread counts.
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
 };
 
 /// Runs one experiment point.
 ExperimentResult run_experiment(const ExperimentSpec& spec);
 
-/// Cross-seed aggregate of a replicated experiment.
+/// Cross-replication aggregate of one experiment point.
+///
+/// Means, standard deviations, CIs, and quantiles are computed over the
+/// STABLE runs only; instability/saturation/drop indicators are
+/// OR-reduced over all runs, and loss/event counters are summed.
 struct ReplicatedResult {
-  std::vector<ExperimentResult> runs;  ///< one per seed, in seed order
-  /// Cross-seed mean and sample standard deviation of the headline
-  /// metrics (computed over the stable runs only).
+  std::vector<ExperimentResult> runs;  ///< one per replication, in order
+
+  /// Across-replication mean and sample standard deviation of the
+  /// headline metrics.
   double reception_delay_mean = 0.0, reception_delay_sd = 0.0;
   double broadcast_delay_mean = 0.0, broadcast_delay_sd = 0.0;
   double unicast_delay_mean = 0.0, unicast_delay_sd = 0.0;
-  std::size_t stable_runs = 0;
+
+  /// ACROSS-REPLICATION 95% CI half-widths (Student t over the stable
+  /// runs' means) -- the honest error bar, shrinking ~1/sqrt(R).
+  double reception_delay_ci95_rep = 0.0;
+  double broadcast_delay_ci95_rep = 0.0;
+  double unicast_delay_ci95_rep = 0.0;
+
+  /// Mean of the per-run WITHIN-RUN CIs, kept as a distinct field so the
+  /// two estimators are never silently conflated (within-run samples are
+  /// autocorrelated and understate variance; see ExperimentResult docs).
+  double reception_delay_ci95_within = 0.0;
+  double broadcast_delay_ci95_within = 0.0;
+  double unicast_delay_ci95_within = 0.0;
+
+  /// Delay quantiles averaged across the stable runs that recorded
+  /// histograms (0 when none did).
+  double reception_p50 = 0.0, reception_p95 = 0.0, reception_p99 = 0.0;
+
+  // OR-reduced flags and summed loss counters over ALL runs.
   bool any_unstable = false;
+  bool any_saturated = false;
+  bool any_dropped = false;
+  std::uint64_t drops = 0;
+
+  // Summed throughput accounting (events deterministic, wall not).
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+
+  std::size_t stable_runs = 0;
 };
 
-/// Runs the same experiment under `replications` consecutive seeds
-/// (spec.seed, spec.seed + 1, ...) and aggregates across seeds.  This is
-/// the honest way to attach error bars to a single-run harness: within-run
-/// confidence intervals understate variability because samples inside one
-/// run are correlated.
+/// Builds the cross-replication aggregate from per-replication results
+/// (in replication order).  Pure reduction -- shared by BatchRunner,
+/// run_replicated, and the statistics tests.
+ReplicatedResult aggregate_replications(std::vector<ExperimentResult> runs);
+
+/// Runs the same experiment under `replications` independent seeds
+/// derived from spec.seed via sim::seed_stream(spec.seed, 0, rep) -- the
+/// exact seeds BatchRunner would use for a one-point batch -- and
+/// aggregates across runs.  This is the honest way to attach error bars
+/// to a single-run harness: within-run confidence intervals understate
+/// variability because samples inside one run are correlated.
 ReplicatedResult run_replicated(ExperimentSpec spec, std::size_t replications);
 
 }  // namespace pstar::harness

@@ -37,6 +37,12 @@ struct FigureSpec {
   /// Append the Section 3.2 closed-form model predictions (only honored
   /// for broadcast-only reception-delay figures, where the model applies).
   bool show_model = true;
+  /// Independent replications per (rho, scheme) cell; with more than one
+  /// the CI column switches from within-run to across-replication
+  /// (header "ci95_rep") and all cells fan out over the worker pool.
+  std::size_t replications = 1;
+  /// Worker threads (0 = PSTAR_JOBS env or hardware concurrency).
+  std::size_t jobs = 0;
 };
 
 /// The default rho sweep used throughout (0.1 .. 0.95).
@@ -45,10 +51,15 @@ std::vector<double> default_rho_sweep();
 /// Extracts the figure's metric from a result.
 double metric_value(FigureMetric metric, const ExperimentResult& result);
 
-/// Runs the whole sweep and prints the table followed by CSV lines
-/// prefixed "CSV,<id>".  Returns the per-(rho, scheme) results in
-/// row-major order (rho outer, scheme inner) for callers that post-check.
-std::vector<ExperimentResult> run_figure(const FigureSpec& spec,
+/// Same metric from a cross-replication aggregate (mean over stable runs).
+double metric_value(FigureMetric metric, const ReplicatedResult& result);
+
+/// Runs the whole sweep through BatchRunner (all cells concurrent) and
+/// prints the table followed by CSV lines prefixed "CSV,<id>" plus a
+/// "CSV,<id>-timing" throughput record.  Returns the per-(rho, scheme)
+/// aggregates in row-major order (rho outer, scheme inner) for callers
+/// that post-check.
+std::vector<ReplicatedResult> run_figure(const FigureSpec& spec,
                                          std::ostream& os);
 
 }  // namespace pstar::harness

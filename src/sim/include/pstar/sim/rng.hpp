@@ -96,6 +96,16 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Derives the seed of one (point, replication) cell of a batched
+/// experiment from a base seed.  The mapping chains the SplitMix64
+/// finalizer over (base, point, rep), so nearby indices yield
+/// statistically unrelated streams and the result depends only on the
+/// three inputs -- never on thread count, scheduling, or completion
+/// order.  This is the single seed-derivation scheme used by the batch
+/// runner and the replication helpers; see docs/REPLICATION.md.
+std::uint64_t seed_stream(std::uint64_t base, std::uint64_t point,
+                          std::uint64_t rep);
+
 /// Walker alias table for O(1) sampling from a fixed discrete
 /// distribution.  Built once from a weight vector; sample() then costs one
 /// uniform draw and one comparison.  Used for ending-dimension selection

@@ -32,6 +32,22 @@ void Rng::reseed(std::uint64_t seed) {
   }
 }
 
+std::uint64_t seed_stream(std::uint64_t base, std::uint64_t point,
+                          std::uint64_t rep) {
+  // Chain the SplitMix64 finalizer, offsetting each input by a multiple
+  // of the golden-ratio increment so that (0, 0, 0) is not a fixed point
+  // and swapping point/rep changes the output.
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = mix(base + 0x9e3779b97f4a7c15ULL);
+  h = mix(h ^ (point + 0x3c6ef372fe94f82aULL));
+  h = mix(h ^ (rep + 0xdaa66d2c7ddf743fULL));
+  return h;
+}
+
 std::uint64_t Rng::next() {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

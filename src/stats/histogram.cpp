@@ -21,6 +21,14 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (width_ != other.width_ || counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::quantile(double q) const {
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q in [0,1]");
   if (total_ == 0) return 0.0;

@@ -19,6 +19,12 @@ class Histogram {
   /// the overflow bucket).
   void add(double x);
 
+  /// Merges another histogram recorded with identical geometry (same
+  /// bucket width and count); bucket counts and totals add, so merged
+  /// quantiles are exactly those of the pooled sample.  Throws
+  /// std::invalid_argument on a geometry mismatch.
+  void merge(const Histogram& other);
+
   std::uint64_t total() const { return total_; }
 
   /// Count in regular bucket i (i < bucket_count()).

@@ -37,7 +37,18 @@ class RunningStat {
 
   /// Half-width of an approximate 95% confidence interval (1.96 standard
   /// errors; accurate for the large sample counts simulations produce).
+  /// NOTE: when the observations are samples from within ONE simulation
+  /// run they are autocorrelated, and this half-width understates the
+  /// true uncertainty; across independent replications it is exact up to
+  /// the normal approximation (see ci95_half_width_t for small counts).
   double ci95_half_width() const { return 1.96 * std_error(); }
+
+  /// Half-width of a 95% confidence interval using the two-sided Student
+  /// t quantile for count-1 degrees of freedom; the honest interval for
+  /// the small sample counts of across-replication aggregation (a few to
+  /// a few dozen independent runs).  Falls back to 1.96 above 30 dof and
+  /// returns 0 with fewer than two observations.
+  double ci95_half_width_t() const;
 
   double min() const { return min_; }
   double max() const { return max_; }

@@ -48,4 +48,17 @@ double RunningStat::std_error() const {
   return stddev() / std::sqrt(static_cast<double>(count_));
 }
 
+double RunningStat::ci95_half_width_t() const {
+  if (count_ < 2) return 0.0;
+  // Two-sided 95% (0.975) Student t quantiles for 1..30 degrees of
+  // freedom; beyond that the normal value 1.96 is within ~1%.
+  static constexpr double kT975[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::uint64_t dof = count_ - 1;
+  const double t = dof <= 30 ? kT975[dof - 1] : 1.96;
+  return t * std_error();
+}
+
 }  // namespace pstar::stats

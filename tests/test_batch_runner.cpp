@@ -1,0 +1,281 @@
+// BatchRunner contract tests: bit-identical results regardless of
+// thread count, exact agreement with a serial run_experiment loop over
+// the same derived seeds, failure isolation, jobs resolution, progress
+// reporting, and (on machines with enough cores) parallel speedup.
+
+#include "pstar/harness/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::harness {
+namespace {
+
+/// A small but non-trivial sweep: 3 points on a 4x4 torus at distinct
+/// loads, fast enough to replicate 4x under several thread counts.
+std::vector<ExperimentSpec> three_point_sweep() {
+  std::vector<ExperimentSpec> specs;
+  for (double rho : {0.3, 0.5, 0.7}) {
+    ExperimentSpec spec;
+    spec.shape = topo::Shape{4, 4};
+    spec.rho = rho;
+    spec.warmup = 100.0;
+    spec.measure = 400.0;
+    spec.seed = 4242;
+    spec.record_histograms = true;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Field-exact equality over everything BatchRunner promises to keep
+/// bit-identical: every simulation output EXCEPT the host-timing fields
+/// (wall_seconds, events_per_sec), which measure the machine.
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_DOUBLE_EQ(a.reception_delay_mean, b.reception_delay_mean);
+  EXPECT_DOUBLE_EQ(a.reception_delay_ci95, b.reception_delay_ci95);
+  EXPECT_DOUBLE_EQ(a.broadcast_delay_mean, b.broadcast_delay_mean);
+  EXPECT_DOUBLE_EQ(a.broadcast_delay_ci95, b.broadcast_delay_ci95);
+  EXPECT_DOUBLE_EQ(a.unicast_delay_mean, b.unicast_delay_mean);
+  EXPECT_DOUBLE_EQ(a.reception_p50, b.reception_p50);
+  EXPECT_DOUBLE_EQ(a.reception_p95, b.reception_p95);
+  EXPECT_DOUBLE_EQ(a.reception_p99, b.reception_p99);
+  EXPECT_DOUBLE_EQ(a.utilization_mean, b.utilization_mean);
+  EXPECT_DOUBLE_EQ(a.utilization_max, b.utilization_max);
+  EXPECT_DOUBLE_EQ(a.sim_end_time, b.sim_end_time);
+  EXPECT_EQ(a.measured_broadcasts, b.measured_broadcasts);
+  EXPECT_EQ(a.measured_unicasts, b.measured_unicasts);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.unstable, b.unstable);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.ending_probabilities, b.ending_probabilities);
+}
+
+void expect_identical(const ReplicatedResult& a, const ReplicatedResult& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    expect_identical(a.runs[i], b.runs[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.reception_delay_mean, b.reception_delay_mean);
+  EXPECT_DOUBLE_EQ(a.reception_delay_sd, b.reception_delay_sd);
+  EXPECT_DOUBLE_EQ(a.reception_delay_ci95_rep, b.reception_delay_ci95_rep);
+  EXPECT_DOUBLE_EQ(a.reception_delay_ci95_within,
+                   b.reception_delay_ci95_within);
+  EXPECT_EQ(a.stable_runs, b.stable_runs);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(BatchRunner, ThreadCountDoesNotChangeResults) {
+  const auto specs = three_point_sweep();
+  BatchConfig serial;
+  serial.jobs = 1;
+  serial.replications = 4;
+  BatchConfig parallel;
+  parallel.jobs = 8;
+  parallel.replications = 4;
+
+  const BatchResult one = BatchRunner(serial).run(specs);
+  const BatchResult eight = BatchRunner(parallel).run(specs);
+
+  ASSERT_EQ(one.points.size(), specs.size());
+  ASSERT_EQ(eight.points.size(), specs.size());
+  EXPECT_TRUE(one.failures.empty());
+  EXPECT_TRUE(eight.failures.empty());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    expect_identical(one.points[p], eight.points[p]);
+  }
+  EXPECT_EQ(one.events_processed, eight.events_processed);
+}
+
+TEST(BatchRunner, MatchesSerialRunExperimentLoop) {
+  const auto specs = three_point_sweep();
+  const std::size_t reps = 4;
+  BatchConfig config;
+  config.jobs = 8;
+  config.replications = reps;
+  const BatchResult batch = BatchRunner(config).run(specs);
+
+  ASSERT_EQ(batch.points.size(), specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    ASSERT_EQ(batch.points[p].runs.size(), reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      ExperimentSpec cell = specs[p];
+      cell.seed = sim::seed_stream(specs[p].seed, p, r);
+      expect_identical(batch.points[p].runs[r], run_experiment(cell));
+    }
+  }
+}
+
+TEST(BatchRunner, MatchesRunReplicated) {
+  // A one-point batch must use the exact seeds run_replicated documents,
+  // so the two entry points are interchangeable.
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.rho = 0.5;
+  spec.warmup = 100.0;
+  spec.measure = 400.0;
+  spec.seed = 99;
+
+  BatchConfig config;
+  config.jobs = 4;
+  config.replications = 3;
+  const BatchResult batch = BatchRunner(config).run({spec});
+  ASSERT_EQ(batch.points.size(), 1u);
+  expect_identical(batch.points.front(), run_replicated(spec, 3));
+}
+
+TEST(BatchRunner, RunCellsPreservesInputOrder) {
+  const auto specs = three_point_sweep();
+  BatchConfig config;
+  config.jobs = 8;
+  const auto cells = BatchRunner(config).run_cells(specs);
+  ASSERT_EQ(cells.size(), specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    ExperimentSpec serial = specs[p];
+    serial.seed = sim::seed_stream(specs[p].seed, p, 0);
+    expect_identical(cells[p], run_experiment(serial));
+  }
+  // Higher rho -> strictly more delay on the same topology; order held.
+  EXPECT_LT(cells[0].reception_delay_mean, cells[2].reception_delay_mean);
+}
+
+TEST(BatchRunner, FailingCellDoesNotPoisonBatch) {
+  auto specs = three_point_sweep();
+  specs[1].warmup = -1.0;  // run_experiment throws std::invalid_argument
+  BatchConfig config;
+  config.jobs = 4;
+  config.replications = 2;
+  const BatchResult batch = BatchRunner(config).run(specs);
+
+  ASSERT_EQ(batch.failures.size(), 2u);  // both replications of point 1
+  EXPECT_EQ(batch.failures[0].point, 1u);
+  EXPECT_EQ(batch.failures[0].replication, 0u);
+  EXPECT_EQ(batch.failures[1].replication, 1u);
+  EXPECT_FALSE(batch.failures[0].message.empty());
+  // The failing cell's derived seed is preserved for reproduction.
+  EXPECT_EQ(batch.failures[0].spec.seed, sim::seed_stream(4242, 1, 0));
+
+  // The healthy points still aggregate normally.
+  ASSERT_EQ(batch.points.size(), 3u);
+  EXPECT_EQ(batch.points[0].stable_runs, 2u);
+  EXPECT_EQ(batch.points[1].stable_runs, 0u);
+  EXPECT_TRUE(batch.points[1].runs.empty());
+  EXPECT_EQ(batch.points[2].stable_runs, 2u);
+}
+
+TEST(BatchRunner, RunCellsThrowsOnFailure) {
+  auto specs = three_point_sweep();
+  specs[2].measure = 0.0;
+  BatchConfig config;
+  config.jobs = 2;
+  EXPECT_THROW(BatchRunner(config).run_cells(specs), std::runtime_error);
+}
+
+TEST(BatchRunner, EmptyBatch) {
+  const BatchResult batch = BatchRunner().run({});
+  EXPECT_TRUE(batch.points.empty());
+  EXPECT_TRUE(batch.failures.empty());
+  EXPECT_EQ(batch.events_processed, 0u);
+}
+
+TEST(BatchRunner, ProgressReportsEveryCell) {
+  const auto specs = three_point_sweep();
+  std::vector<std::pair<std::size_t, std::size_t>> ticks;
+  BatchConfig config;
+  config.jobs = 4;
+  config.replications = 2;
+  config.progress = [&ticks](std::size_t done, std::size_t total) {
+    ticks.emplace_back(done, total);
+  };
+  BatchRunner(config).run(specs);
+
+  const std::size_t total = specs.size() * 2;
+  ASSERT_EQ(ticks.size(), total);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    // The done counter is incremented under the runner's mutex, so the
+    // callback sequence is exactly 1..total even with 4 workers.
+    EXPECT_EQ(ticks[i].first, i + 1);
+    EXPECT_EQ(ticks[i].second, total);
+  }
+}
+
+TEST(ResolveJobs, ExplicitRequestWins) {
+  ::setenv("PSTAR_JOBS", "3", 1);
+  EXPECT_EQ(resolve_jobs(5), 5u);
+  ::unsetenv("PSTAR_JOBS");
+}
+
+TEST(ResolveJobs, EnvironmentOverridesDefault) {
+  ::setenv("PSTAR_JOBS", "7", 1);
+  EXPECT_EQ(resolve_jobs(), 7u);
+  ::unsetenv("PSTAR_JOBS");
+}
+
+TEST(ResolveJobs, IgnoresMalformedEnvironment) {
+  const std::size_t fallback = resolve_jobs();
+  EXPECT_GE(fallback, 1u);
+  for (const char* bad : {"", "0", "-2", "lots", "4x"}) {
+    ::setenv("PSTAR_JOBS", bad, 1);
+    EXPECT_EQ(resolve_jobs(), fallback) << "PSTAR_JOBS=" << bad;
+  }
+  ::unsetenv("PSTAR_JOBS");
+}
+
+TEST(BatchRunner, ConfigJobsOverridesEnvironment) {
+  ::setenv("PSTAR_JOBS", "9", 1);
+  BatchConfig config;
+  config.jobs = 2;
+  EXPECT_EQ(BatchRunner(config).jobs(), 2u);
+  EXPECT_EQ(BatchRunner().jobs(), 9u);
+  ::unsetenv("PSTAR_JOBS");
+}
+
+TEST(BatchRunner, ParallelSpeedupOnMulticoreHosts) {
+  // The ISSUE's acceptance bar: a 4-point x 4-replication fig2-style
+  // sweep with jobs=4 must run >= 2.5x faster than jobs=1 on a 4-core
+  // machine, with bit-identical output.  Meaningless on fewer cores.
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                 << std::thread::hardware_concurrency();
+  }
+
+  std::vector<ExperimentSpec> specs;
+  for (double rho : {0.3, 0.5, 0.7, 0.85}) {
+    ExperimentSpec spec;
+    spec.shape = topo::Shape{8, 8};
+    spec.rho = rho;
+    spec.warmup = 300.0;
+    spec.measure = 1500.0;
+    spec.seed = 1;
+    specs.push_back(std::move(spec));
+  }
+  BatchConfig serial;
+  serial.jobs = 1;
+  serial.replications = 4;
+  BatchConfig quad;
+  quad.jobs = 4;
+  quad.replications = 4;
+
+  const BatchResult one = BatchRunner(serial).run(specs);
+  const BatchResult four = BatchRunner(quad).run(specs);
+
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    expect_identical(one.points[p], four.points[p]);
+  }
+  ASSERT_GT(four.wall_seconds, 0.0);
+  EXPECT_GE(one.wall_seconds / four.wall_seconds, 2.5)
+      << "jobs=1 " << one.wall_seconds << "s vs jobs=4 " << four.wall_seconds
+      << "s";
+}
+
+}  // namespace
+}  // namespace pstar::harness

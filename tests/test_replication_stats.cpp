@@ -1,0 +1,279 @@
+// Property tests for the statistics underlying replication aggregation:
+// RunningStat::merge must behave like pooling the raw samples (so shard
+// order and grouping cannot change a batch result), Histogram::merge
+// must preserve counts and quantile bounds, and the across-replication
+// CI must shrink like 1/sqrt(R) while staying distinct from the
+// within-run CI.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/stats/histogram.hpp"
+#include "pstar/stats/running.hpp"
+
+namespace pstar::stats {
+namespace {
+
+std::vector<double> random_samples(std::uint64_t seed, std::size_t n) {
+  sim::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform(-5.0, 20.0));
+  return xs;
+}
+
+RunningStat accumulate(const std::vector<double>& xs) {
+  RunningStat s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+void expect_same_moments(const RunningStat& a, const RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(RunningStatMerge, EqualsPooledSamples) {
+  const auto xs = random_samples(1, 257);
+  const auto ys = random_samples(2, 64);
+  auto pooled_samples = xs;
+  pooled_samples.insert(pooled_samples.end(), ys.begin(), ys.end());
+
+  RunningStat merged = accumulate(xs);
+  merged.merge(accumulate(ys));
+  expect_same_moments(merged, accumulate(pooled_samples));
+}
+
+TEST(RunningStatMerge, Commutative) {
+  const auto xs = random_samples(3, 100);
+  const auto ys = random_samples(4, 31);
+  RunningStat ab = accumulate(xs);
+  ab.merge(accumulate(ys));
+  RunningStat ba = accumulate(ys);
+  ba.merge(accumulate(xs));
+  expect_same_moments(ab, ba);
+}
+
+TEST(RunningStatMerge, Associative) {
+  const auto xs = random_samples(5, 40);
+  const auto ys = random_samples(6, 7);
+  const auto zs = random_samples(7, 111);
+
+  RunningStat left = accumulate(xs);       // (x + y) + z
+  left.merge(accumulate(ys));
+  left.merge(accumulate(zs));
+
+  RunningStat yz = accumulate(ys);         // x + (y + z)
+  yz.merge(accumulate(zs));
+  RunningStat right = accumulate(xs);
+  right.merge(yz);
+
+  expect_same_moments(left, right);
+}
+
+TEST(RunningStatMerge, EmptyIsIdentity) {
+  const auto xs = random_samples(8, 50);
+  RunningStat s = accumulate(xs);
+  s.merge(RunningStat{});
+  expect_same_moments(s, accumulate(xs));
+
+  RunningStat e;
+  e.merge(accumulate(xs));
+  expect_same_moments(e, accumulate(xs));
+
+  RunningStat both;
+  both.merge(RunningStat{});
+  EXPECT_TRUE(both.empty());
+  EXPECT_DOUBLE_EQ(both.mean(), 0.0);
+}
+
+TEST(RunningStatMerge, ManyShardsMatchSerial) {
+  // Split one sample stream into uneven shards, merge in order; any
+  // grouping must reproduce the serial accumulation.
+  const auto xs = random_samples(9, 1000);
+  RunningStat merged;
+  std::size_t at = 0;
+  for (std::size_t shard_size : {1u, 17u, 0u, 300u, 682u}) {
+    RunningStat shard;
+    for (std::size_t i = 0; i < shard_size && at < xs.size(); ++i) {
+      shard.add(xs[at++]);
+    }
+    merged.merge(shard);
+  }
+  expect_same_moments(merged, accumulate(xs));
+}
+
+TEST(StudentTCi, WiderThanNormalForFewRuns) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  // df = 3 -> t = 3.182 vs z = 1.96.
+  EXPECT_GT(s.ci95_half_width_t(), s.ci95_half_width());
+  EXPECT_NEAR(s.ci95_half_width_t() / s.std_error(), 3.182, 1e-3);
+}
+
+TEST(StudentTCi, ApproachesNormalForManyRuns) {
+  RunningStat s;
+  sim::Rng rng(10);
+  for (int i = 0; i < 200; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.ci95_half_width_t(), s.ci95_half_width(), 1e-12);
+}
+
+TEST(StudentTCi, ZeroBelowTwoObservations) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.ci95_half_width_t(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width_t(), 0.0);
+}
+
+TEST(HistogramMerge, PreservesCountsAndBuckets) {
+  Histogram a(0.5, 20), b(0.5, 20);
+  sim::Rng rng(11);
+  for (int i = 0; i < 500; ++i) a.add(rng.uniform(0.0, 12.0));
+  for (int i = 0; i < 300; ++i) b.add(rng.uniform(0.0, 9.0));
+
+  Histogram pooled(0.5, 20);
+  {
+    // Rebuild the pooled distribution from scratch for comparison.
+    sim::Rng replay(11);
+    for (int i = 0; i < 500; ++i) pooled.add(replay.uniform(0.0, 12.0));
+    for (int i = 0; i < 300; ++i) pooled.add(replay.uniform(0.0, 9.0));
+  }
+
+  a.merge(b);
+  EXPECT_EQ(a.total(), 800u);
+  EXPECT_EQ(a.total(), pooled.total());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), pooled.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.overflow(), pooled.overflow());
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), pooled.quantile(q));
+  }
+}
+
+TEST(HistogramMerge, QuantileBoundedByParts) {
+  // The pooled q-quantile cannot escape the interval spanned by the two
+  // parts' q-quantiles.
+  Histogram low(1.0, 50), high(1.0, 50);
+  sim::Rng rng(12);
+  for (int i = 0; i < 400; ++i) low.add(rng.uniform(0.0, 10.0));
+  for (int i = 0; i < 400; ++i) high.add(rng.uniform(20.0, 40.0));
+  for (double q : {0.25, 0.5, 0.75, 0.95}) {
+    const double lo = low.quantile(q);
+    const double hi = high.quantile(q);
+    Histogram merged(1.0, 50);
+    merged.merge(low);
+    merged.merge(high);
+    const double m = merged.quantile(q);
+    EXPECT_GE(m, lo) << "q=" << q;
+    EXPECT_LE(m, hi) << "q=" << q;
+  }
+}
+
+TEST(HistogramMerge, EmptyIsIdentity) {
+  Histogram a(0.25, 8), empty(0.25, 8);
+  a.add(0.3);
+  a.add(1.9);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.bucket(1), 1u);
+}
+
+TEST(HistogramMerge, RejectsGeometryMismatch) {
+  Histogram a(0.5, 10);
+  EXPECT_THROW(a.merge(Histogram(0.5, 11)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.25, 10)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pstar::stats
+
+namespace pstar::harness {
+namespace {
+
+/// Synthetic per-run results with per-run means drawn from a known
+/// distribution -- isolates the aggregation math from the simulator.
+std::vector<ExperimentResult> synthetic_runs(std::uint64_t seed,
+                                             std::size_t n, double spread) {
+  sim::Rng rng(seed);
+  std::vector<ExperimentResult> runs(n);
+  for (auto& r : runs) {
+    r.reception_delay_mean = 10.0 + rng.uniform(-spread, spread);
+    r.reception_delay_ci95 = 0.05;  // tight within-run bars
+    r.broadcast_delay_mean = 20.0 + rng.uniform(-spread, spread);
+    r.unicast_delay_mean = 5.0 + rng.uniform(-spread, spread);
+  }
+  return runs;
+}
+
+TEST(AggregateReplications, CiShrinksLikeInverseSqrtR) {
+  // With per-run means of fixed spread, the across-replication CI must
+  // shrink ~1/sqrt(R): t_R * s / sqrt(R).  Compare R vs 4R: expect about
+  // a factor 2, loosened for the t-quantile change and sampling noise.
+  const auto small = aggregate_replications(synthetic_runs(1, 8, 2.0));
+  const auto large = aggregate_replications(synthetic_runs(1, 32, 2.0));
+  ASSERT_GT(small.reception_delay_ci95_rep, 0.0);
+  ASSERT_GT(large.reception_delay_ci95_rep, 0.0);
+  const double ratio =
+      small.reception_delay_ci95_rep / large.reception_delay_ci95_rep;
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 3.4);
+}
+
+TEST(AggregateReplications, WithinAndAcrossCisAreDistinct) {
+  const auto agg = aggregate_replications(synthetic_runs(2, 12, 2.0));
+  // Within-run bars were set to 0.05; across-run spread is ~2 units.
+  EXPECT_NEAR(agg.reception_delay_ci95_within, 0.05, 1e-12);
+  EXPECT_GT(agg.reception_delay_ci95_rep, 10.0 * agg.reception_delay_ci95_within);
+}
+
+TEST(AggregateReplications, MeanOfRunMeans) {
+  const auto runs = synthetic_runs(3, 5, 1.0);
+  double manual = 0.0;
+  for (const auto& r : runs) manual += r.reception_delay_mean;
+  manual /= static_cast<double>(runs.size());
+  const auto agg = aggregate_replications(runs);
+  EXPECT_EQ(agg.stable_runs, runs.size());
+  EXPECT_NEAR(agg.reception_delay_mean, manual, 1e-12);
+}
+
+TEST(AggregateReplications, FlagsOrReducedAndCountersSummed) {
+  auto runs = synthetic_runs(4, 4, 1.0);
+  runs[1].unstable = true;
+  runs[1].drops = 7;
+  runs[3].saturated = true;
+  runs[3].drops = 5;
+  runs[0].events_processed = 100;
+  runs[2].events_processed = 250;
+  const auto agg = aggregate_replications(runs);
+  EXPECT_TRUE(agg.any_unstable);
+  EXPECT_TRUE(agg.any_saturated);
+  EXPECT_TRUE(agg.any_dropped);
+  EXPECT_EQ(agg.drops, 12u);
+  EXPECT_EQ(agg.events_processed, 350u);
+  // Unstable/saturated runs are excluded from the delay statistics.
+  EXPECT_EQ(agg.stable_runs, 2u);
+  EXPECT_NEAR(agg.reception_delay_mean,
+              (runs[0].reception_delay_mean + runs[2].reception_delay_mean) / 2,
+              1e-12);
+}
+
+TEST(AggregateReplications, EmptyInput) {
+  const auto agg = aggregate_replications({});
+  EXPECT_EQ(agg.stable_runs, 0u);
+  EXPECT_FALSE(agg.any_unstable);
+  EXPECT_DOUBLE_EQ(agg.reception_delay_mean, 0.0);
+  EXPECT_DOUBLE_EQ(agg.reception_delay_ci95_rep, 0.0);
+  EXPECT_TRUE(agg.runs.empty());
+}
+
+}  // namespace
+}  // namespace pstar::harness

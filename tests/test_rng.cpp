@@ -186,6 +186,41 @@ TEST(Rng, ForkSeedProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(SeedStream, DeterministicFunctionOfInputs) {
+  EXPECT_EQ(seed_stream(42, 0, 0), seed_stream(42, 0, 0));
+  EXPECT_EQ(seed_stream(0, 7, 3), seed_stream(0, 7, 3));
+}
+
+TEST(SeedStream, DistinctAcrossCells) {
+  // Every (base, point, rep) cell must get its own seed; collisions in a
+  // small grid would correlate replications.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL}) {
+    for (std::uint64_t point = 0; point < 8; ++point) {
+      for (std::uint64_t rep = 0; rep < 8; ++rep) {
+        seeds.push_back(seed_stream(base, point, rep));
+      }
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(SeedStream, PointAndRepAreNotInterchangeable) {
+  EXPECT_NE(seed_stream(5, 1, 2), seed_stream(5, 2, 1));
+  EXPECT_NE(seed_stream(5, 0, 1), seed_stream(5, 1, 0));
+}
+
+TEST(SeedStream, DerivedSeedsDriveIndependentStreams) {
+  Rng a(seed_stream(99, 0, 0));
+  Rng b(seed_stream(99, 0, 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(DiscreteSampler, MatchesWeights) {
   Rng rng(21);
   const std::vector<double> w{0.5, 0.2, 0.3};

@@ -60,25 +60,47 @@ def numeric_columns(header, rows):
 
 
 def render(title, series, x_label):
-    """series: {name: [(x, y), ...]} -> ASCII plot lines."""
+    """series: {name: [(x, y, err), ...]} -> ASCII plot lines.
+
+    err is an optional 95% CI half-width (from a `ci95_rep` column);
+    when present and positive the point is drawn with a vertical bar
+    spanning y +- err.
+    """
     points = [p for pts in series.values() for p in pts]
     if not points:
         return ["(no numeric data)"]
     xs = [p[0] for p in points]
-    ys = [p[1] for p in points]
+    y_spans = [(p[1] - (p[2] or 0.0), p[1] + (p[2] or 0.0)) for p in points]
     x_lo, x_hi = min(xs), max(xs)
-    y_lo, y_hi = min(ys), max(ys)
+    y_lo = min(lo for lo, _ in y_spans)
+    y_hi = max(hi for _, hi in y_spans)
     if x_hi == x_lo:
         x_hi = x_lo + 1.0
     if y_hi == y_lo:
         y_hi = y_lo + 1.0
 
+    def to_col(x):
+        return int((x - x_lo) / (x_hi - x_lo) * (WIDTH - 1))
+
+    def to_row(y):
+        clamped = min(max(y, y_lo), y_hi)
+        return HEIGHT - 1 - int((clamped - y_lo) / (y_hi - y_lo) * (HEIGHT - 1))
+
     grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    # Error bars first, marks second, so a mark is never hidden by a bar.
+    any_bars = False
+    for name, pts in series.items():
+        for x, y, err in pts:
+            if not err:
+                continue
+            any_bars = True
+            col = to_col(x)
+            top, bottom = to_row(y + err), to_row(y - err)
+            for row in range(top, bottom + 1):
+                grid[row][col] = "|"
     for mark, (name, pts) in zip(MARKS, series.items()):
-        for x, y in pts:
-            col = int((x - x_lo) / (x_hi - x_lo) * (WIDTH - 1))
-            row = int((y - y_lo) / (y_hi - y_lo) * (HEIGHT - 1))
-            grid[HEIGHT - 1 - row][col] = mark
+        for x, y, _ in pts:
+            grid[to_row(y)][to_col(x)] = mark
 
     out = [title]
     out.append(f"y: {y_lo:.4g} .. {y_hi:.4g}")
@@ -88,6 +110,8 @@ def render(title, series, x_label):
     out.append(f" x ({x_label}): {x_lo:.4g} .. {x_hi:.4g}")
     for mark, name in zip(MARKS, series.keys()):
         out.append(f"   {mark} = {name}")
+    if any_bars:
+        out.append("   | = 95% CI across replications (ci95_rep)")
     return out
 
 
@@ -115,18 +139,28 @@ def main():
     if args.y:
         y_cols = [header.index(name) for name in args.y]
     else:
+        # "+-95%" (within-run CI) and "ci95_rep" (across-replication CI)
+        # columns are error bars, not series.
         y_cols = [c for c in numeric_columns(header, rows)
-                  if c != x_col and not header[c].startswith("+-")]
+                  if c != x_col and not header[c].startswith("+-")
+                  and header[c] != "ci95_rep"]
 
     series = {}
     for c in y_cols:
+        # A ci95_rep column immediately after a series holds its 95% CI
+        # half-widths (the `--reps` harness output); older CSVs without
+        # the column plot exactly as before.
+        err_col = c + 1 if c + 1 < len(header) and header[c + 1] == "ci95_rep" \
+            else None
         pts = []
         for r in rows:
             if c >= len(r) or x_col >= len(r):
                 continue
             x, y = to_float(r[x_col]), to_float(r[c])
+            err = to_float(r[err_col]) if err_col is not None and err_col < len(r) \
+                else None
             if x is not None and y is not None:
-                pts.append((x, y))
+                pts.append((x, y, err))
         if pts:
             series[header[c]] = pts
 
