@@ -65,6 +65,10 @@ inline int run_delay_figure(const std::string& id, const std::string& title,
   spec.warmup = measure_window / 3.0;
   spec.measure = measure_window;
   spec.replications = env_reps();
+  // Every figure bench also reports the measured per-scheme link-load
+  // imbalance ("imb" column, max/mean busy time over directed links) so
+  // the balance claim behind Eq. (2)/(4) is checked on the same runs.
+  spec.measure_imbalance = true;
   const auto results = harness::run_figure(spec, std::cout);
 
   // Shape check printed for EXPERIMENTS.md: at the highest stable rho the

@@ -6,9 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <ostream>
+#include <streambuf>
+
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/net/engine.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/obs/probe.hpp"
+#include "pstar/obs/trace.hpp"
 #include "pstar/routing/multicast.hpp"
 #include "pstar/routing/sdc_broadcast.hpp"
 #include "pstar/routing/star_probabilities.hpp"
@@ -158,6 +164,52 @@ void BM_SimulatedTransmissions(benchmark::State& state) {
   state.SetLabel("items = packet transmissions");
 }
 BENCHMARK(BM_SimulatedTransmissions)->Arg(50)->Arg(90);
+
+void BM_ObserverOverhead(benchmark::State& state) {
+  // Same loaded broadcast simulation as BM_SimulatedTransmissions at
+  // rho=0.9, with the obs instrumentation in its four states.  Mode 0
+  // (detached) is the zero-cost baseline -- the engine takes one never-
+  // taken branch per event; the other modes price the metrics registry,
+  // the JSONL formatter (into a discarding stream, so the number is
+  // serialization cost, not disk), and both together.  The measured
+  // ratios are quoted in docs/OBSERVABILITY.md.
+  struct NullBuf : std::streambuf {
+    std::streamsize xsputn(const char*, std::streamsize n) override {
+      return n;
+    }
+    int overflow(int c) override { return c; }
+  };
+  const int mode = static_cast<int>(state.range(0));
+  NullBuf null_buf;
+  std::ostream null_stream(&null_buf);
+  std::int64_t transmissions = 0;
+  for (auto _ : state) {
+    const topo::Torus torus{topo::Shape{8, 8}};
+    sim::Rng rng(4);
+    auto policy =
+        core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+    sim::Simulator sim;
+    net::Engine engine(sim, torus, *policy, rng);
+    obs::MetricsRegistry registry(torus);
+    obs::JsonlTraceSink sink(null_stream);
+    obs::EngineProbe probe(mode & 1 ? &registry : nullptr,
+                           mode & 2 ? &sink : nullptr);
+    if (mode != 0) engine.set_observer(&probe);
+    traffic::WorkloadConfig cfg;
+    cfg.lambda_broadcast =
+        0.9 * torus.degree() / static_cast<double>(torus.node_count() - 1);
+    cfg.stop_time = 200.0;
+    traffic::Workload workload(sim, engine, rng, cfg);
+    workload.start();
+    sim.run();
+    transmissions += static_cast<std::int64_t>(engine.metrics().transmissions);
+  }
+  state.SetItemsProcessed(transmissions);
+  static const char* kLabels[] = {"detached", "metrics", "trace",
+                                  "metrics+trace"};
+  state.SetLabel(kLabels[mode]);
+}
+BENCHMARK(BM_ObserverOverhead)->DenseRange(0, 3);
 
 }  // namespace
 

@@ -10,6 +10,7 @@
 
 #include "fig_common.hpp"
 #include "pstar/harness/experiment.hpp"
+#include "pstar/harness/observability.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/throughput.hpp"
 #include "pstar/routing/star_probabilities.hpp"
@@ -31,7 +32,7 @@ int main() {
   };
 
   harness::Table table({"torus", "bcast-frac", "scheme", "util-mean",
-                        "util-max", "util-cv"});
+                        "util-max", "util-cv", "imb"});
 
   const std::vector<core::Scheme> schemes{core::Scheme::priority_star(),
                                           core::Scheme::fcfs_direct()};
@@ -43,9 +44,14 @@ int main() {
       spec.scheme = scheme;
       spec.rho = 0.6;
       spec.broadcast_fraction = c.fraction;
-      spec.warmup = 500.0;
-      spec.measure = 2500.0;
+      // Long measurement window: the imbalance ratio is a max statistic
+      // over all directed links, so per-link counting noise must be small
+      // for balanced cases to read ~1.0 (at 2500 time units it sits near
+      // 1.07 from noise alone; at 10000 it drops below 1.05).
+      spec.warmup = 1000.0;
+      spec.measure = 10000.0;
       spec.seed = 1618;
+      spec.collect_link_metrics = true;
       specs.push_back(std::move(spec));
     }
   }
@@ -58,12 +64,24 @@ int main() {
       table.add_row({c.shape.to_string(), harness::fmt(c.fraction, 1),
                      scheme.name, harness::fmt(r.utilization_mean, 3),
                      harness::fmt(r.utilization_max, 3),
-                     harness::fmt(r.utilization_cv, 4)});
+                     harness::fmt(r.utilization_cv, 4),
+                     r.link_metrics
+                         ? harness::fmt(r.link_metrics->imbalance_ratio(), 3)
+                         : "-"});
     }
   }
   table.print(std::cout);
   std::cout << "\n";
   table.print_csv(std::cout, "CSV,tab_balance");
+
+  // Class-conditional wait times on the symmetric broadcast-only case:
+  // HIGH (tree) hops should wait far less than LOW (ending-dimension)
+  // hops under strict priority.
+  if (results[0].link_metrics) {
+    std::cout << "\n8x8 broadcast-only, priority-STAR: wait by class "
+                 "(measured via obs registry)\n";
+    harness::class_wait_table(*results[0].link_metrics).print(std::cout);
+  }
 
   // Predicted vs measured per-dimension load on the 4x8 mixed case.
   const topo::Shape shape{4, 8};

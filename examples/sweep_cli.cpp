@@ -23,13 +23,22 @@
 //     --hotspot FRAC:NODE       skew FRAC of sources onto NODE
 //     --capacity N              finite per-link queues of N copies
 //     --drop tail|pushout       full-queue policy (with --capacity)
+//     --metrics FILE.csv        per-link/per-class metrics CSV for every
+//                               (rho, scheme, rep) cell; adds an "imb"
+//                               (max/mean link-load imbalance) column to
+//                               the table (see docs/OBSERVABILITY.md)
+//     --trace FILE.jsonl        JSONL event trace of rep 0 of every cell,
+//                               re-run serially after the sweep with the
+//                               identical derived seed
 //
 //   examples:
 //     sweep_cli --shape 4x4x8 --bcast-frac 0.5 --rho 0.5:0.95:0.05
 //     sweep_cli --schemes priority-STAR,STAR-FCFS --length geom:4 --tails
 //     sweep_cli --mesh --rho 0.3,0.5 --shape 16x16
+//     sweep_cli --rho 0.5 --metrics links.csv --trace events.jsonl
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -38,7 +47,10 @@
 #include "pstar/harness/batch_runner.hpp"
 #include "pstar/harness/cli.hpp"
 #include "pstar/harness/experiment.hpp"
+#include "pstar/harness/observability.hpp"
 #include "pstar/harness/table.hpp"
+#include "pstar/obs/trace.hpp"
+#include "pstar/sim/rng.hpp"
 
 namespace {
 
@@ -63,6 +75,8 @@ struct Options {
   topo::NodeId hotspot_node = 0;
   std::uint32_t capacity = 0;
   net::DropPolicy drop = net::DropPolicy::kTailDrop;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -121,6 +135,10 @@ Options parse_options(int argc, char** argv) {
       opt.hotspot_fraction = std::stod(spec.substr(0, colon));
       opt.hotspot_node =
           static_cast<topo::NodeId>(std::stol(spec.substr(colon + 1)));
+    } else if (flag == "--metrics") {
+      opt.metrics_path = value();
+    } else if (flag == "--trace") {
+      opt.trace_path = value();
     } else if (flag == "--capacity") {
       opt.capacity = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--drop") {
@@ -154,7 +172,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: sweep_cli [--shape 8x8] [--schemes a,b] "
                  "[--rho lo:hi:step] [--bcast-frac F]\n"
                  "                 [--length SPEC] [--warmup T] [--measure T] "
-                 "[--seed N] [--reps N] [--jobs N] [--tails]\n";
+                 "[--seed N] [--reps N] [--jobs N] [--tails]\n"
+                 "                 [--metrics FILE.csv] [--trace FILE.jsonl]\n";
     return 2;
   }
 
@@ -169,6 +188,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> header{"rho", "scheme", "reception", "broadcast",
                                   "unicast", "util-max"};
+  if (!opt.metrics_path.empty()) header.push_back("imb");
   if (opt.reps > 1) {
     header.push_back("recep-sd");
     header.push_back("ci95_rep");
@@ -200,6 +220,7 @@ int main(int argc, char** argv) {
       spec.hotspot_node = opt.hotspot_node;
       spec.queue_capacity = opt.capacity;
       spec.drop_policy = opt.drop;
+      spec.collect_link_metrics = !opt.metrics_path.empty();
       cells.push_back(std::move(spec));
     }
   }
@@ -217,6 +238,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{harness::fmt(rho, 2), scheme.name};
       if (agg.stable_runs == 0) {
         row.insert(row.end(), {"unstable", "-", "-", "-"});
+        if (!opt.metrics_path.empty()) row.push_back("-");
         if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
         if (opt.tails) row.insert(row.end(), {"-", "-"});
         table.add_row(std::move(row));
@@ -227,6 +249,10 @@ int main(int argc, char** argv) {
       row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
       row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
       row.push_back(harness::fmt(first.utilization_max, 3));
+      if (!opt.metrics_path.empty()) {
+        const double imb = harness::mean_imbalance(agg);
+        row.push_back(imb > 0.0 ? harness::fmt(imb, 3) : "-");
+      }
       if (opt.reps > 1) {
         row.push_back(harness::fmt(agg.reception_delay_sd, 3));
         row.push_back(harness::fmt(agg.reception_delay_ci95_rep, 3));
@@ -249,5 +275,69 @@ int main(int argc, char** argv) {
             << batch.jobs << " | " << harness::fmt(batch.wall_seconds, 2)
             << " s wall | " << harness::fmt(batch.events_per_sec / 1e6, 2)
             << "M events/s\n";
+
+  // Per-link metrics CSV: one row per directed link of every
+  // (rho, scheme, rep) cell, prefixed with those three columns.
+  if (!opt.metrics_path.empty()) {
+    std::ofstream os(opt.metrics_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << opt.metrics_path << "\n";
+      return 1;
+    }
+    harness::write_link_metrics_csv_header(os, "rho,scheme,rep");
+    std::size_t point = 0;
+    std::uint64_t rows = 0;
+    for (double rho : opt.rhos) {
+      for (const core::Scheme& scheme : opt.schemes) {
+        const harness::ReplicatedResult& agg = batch.points[point++];
+        for (std::size_t rep = 0; rep < agg.runs.size(); ++rep) {
+          const auto& snap = agg.runs[rep].link_metrics;
+          if (!snap) continue;
+          harness::write_link_metrics_csv(
+              os, *snap,
+              harness::fmt(rho, 2) + "," + scheme.name + "," +
+                  std::to_string(rep));
+          rows += snap->links.size();
+        }
+      }
+    }
+    std::cout << "metrics: " << rows << " link rows -> " << opt.metrics_path
+              << "\n";
+  }
+
+  // JSONL trace: trace sinks are single-threaded, so rep 0 of each cell
+  // is re-run serially here with the identical BatchRunner-derived seed
+  // (sim::seed_stream(base, point, 0)) -- the traced runs are
+  // bit-identical to the ones aggregated above.
+  if (!opt.trace_path.empty()) {
+    std::ofstream os(opt.trace_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << opt.trace_path << "\n";
+      return 1;
+    }
+    obs::JsonlTraceSink sink(os);
+    for (std::size_t point = 0; point < cells.size(); ++point) {
+      harness::ExperimentSpec spec = cells[point];
+      spec.seed = sim::seed_stream(cells[point].seed, point, 0);
+      spec.collect_link_metrics = false;
+      spec.trace_sink = &sink;
+      sink.run_header()
+          .field("shape", opt.shape.to_string())
+          .field("scheme", spec.scheme.name)
+          .field("rho", spec.rho)
+          .field("bcast_frac", spec.broadcast_fraction)
+          .field("warmup", spec.warmup)
+          .field("measure", spec.measure)
+          .field("seed", spec.seed);
+      try {
+        harness::run_experiment(spec);
+      } catch (const std::exception& e) {
+        std::cerr << "trace run failure: point " << point << ": " << e.what()
+                  << "\n";
+      }
+    }
+    std::cout << "trace: " << sink.records() << " records -> "
+              << opt.trace_path << "\n";
+  }
   return 0;
 }

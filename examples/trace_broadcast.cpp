@@ -29,10 +29,11 @@ class TaskTracer : public net::Observer {
   void watch(net::TaskId task) { watched_ = task; }
 
   void on_transmission(net::TaskId task, const net::Copy& copy,
-                       topo::NodeId from, topo::NodeId to, std::int32_t dim,
-                       topo::Dir dir, double start, double end) override {
+                       topo::LinkId /*link*/, topo::NodeId from,
+                       topo::NodeId to, std::int32_t dim, topo::Dir dir,
+                       double enqueued_at, double start, double end) override {
     if (task != watched_) return;
-    rows_.push_back({copy.prio, from, to, dim, dir, start, end});
+    rows_.push_back({copy.prio, from, to, dim, dir, enqueued_at, start, end});
   }
 
   void on_task_completed(net::TaskId task, const net::Task&,
@@ -49,7 +50,7 @@ class TaskTracer : public net::Observer {
     topo::NodeId from, to;
     std::int32_t dim;
     topo::Dir dir;
-    double start, end;
+    double enqueued_at, start, end;
   };
   const std::vector<Row>& rows() const { return rows_; }
   double completed_at() const { return completed_at_; }
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
             << tracer.completed_at() << "  (broadcast delay "
             << harness::fmt(tracer.completed_at() - created_at, 2) << ")\n\n";
 
-  harness::Table table({"t-depart", "t-arrive", "class", "hop"});
+  harness::Table table({"t-depart", "t-arrive", "waited", "class", "hop"});
   int high_n = 0, low_n = 0;
   double last_high = 0.0, last_low = 0.0;
   for (const auto& r : tracer.rows()) {
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
         std::max(low ? last_low : last_high, r.end - created_at);
     table.add_row({harness::fmt(r.start - created_at, 2),
                    harness::fmt(r.end - created_at, 2),
+                   harness::fmt(r.start - r.enqueued_at, 2),
                    low ? "LOW" : "HIGH",
                    std::to_string(r.from) + "->" + std::to_string(r.to) +
                        " d" + std::to_string(r.dim) +

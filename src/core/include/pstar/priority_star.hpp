@@ -18,6 +18,7 @@
 ///   queueing  - Section 2 throughput/delay formulas
 ///   stats     - streaming statistics
 ///   net       - store-and-forward engine with priority queues
+///   obs       - per-link/per-class metrics registry, JSONL trace sink
 ///   traffic   - Poisson broadcast/unicast workloads
 ///   routing   - SDC/STAR broadcast, shortest-path unicast, Eq. (2)/(4)
 ///   core      - named schemes and the policy factory
@@ -29,6 +30,9 @@
 #include "pstar/net/engine.hpp"
 #include "pstar/net/packet.hpp"
 #include "pstar/net/policy.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/obs/probe.hpp"
+#include "pstar/obs/trace.hpp"
 #include "pstar/queueing/gd1.hpp"
 #include "pstar/queueing/throughput.hpp"
 #include "pstar/routing/combined.hpp"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "pstar/core/policy_factory.hpp"
+#include "pstar/obs/probe.hpp"
 #include "pstar/queueing/throughput.hpp"
 #include "pstar/sim/rng.hpp"
 #include "pstar/sim/simulator.hpp"
@@ -78,9 +79,26 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   traffic_cfg.batch_size = spec.batch_size;
   traffic::Workload workload(sim, engine, rng, traffic_cfg);
 
+  // Optional observability: a metrics registry and/or trace sink bridged
+  // through one EngineProbe (the engine accepts a single observer).  The
+  // registry's window tracks the engine's measurement window exactly.
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  if (spec.collect_link_metrics) {
+    registry = std::make_unique<obs::MetricsRegistry>(torus);
+  }
+  obs::EngineProbe probe(registry.get(), spec.trace_sink);
+  if (registry || spec.trace_sink) engine.set_observer(&probe);
+
   sim.at(spec.warmup, [&engine](sim::Simulator&) { engine.begin_measurement(); });
   sim.at(traffic_cfg.stop_time,
          [&engine](sim::Simulator&) { engine.end_measurement(); });
+  if (registry) {
+    obs::MetricsRegistry* reg = registry.get();
+    sim.at(spec.warmup,
+           [reg](sim::Simulator& s) { reg->begin_window(s.now()); });
+    sim.at(traffic_cfg.stop_time,
+           [reg](sim::Simulator& s) { reg->end_window(s.now()); });
+  }
   workload.start();
 
   const sim::StopReason reason = sim.run(
@@ -164,6 +182,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     const double delivered = static_cast<double>(m.broadcast_receptions);
     r.delivered_fraction =
         delivered / (delivered + static_cast<double>(m.lost_receptions));
+  }
+  if (registry) {
+    r.link_metrics = std::make_shared<const obs::LinkMetricsSnapshot>(
+        registry->snapshot());
   }
   r.measured_broadcasts = m.broadcast_delay.count();
   r.measured_unicasts = m.unicast_delay.count();

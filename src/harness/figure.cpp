@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "pstar/harness/batch_runner.hpp"
+#include "pstar/harness/observability.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/queueing/delay_model.hpp"
 #include "pstar/queueing/throughput.hpp"
@@ -109,6 +110,7 @@ std::vector<ReplicatedResult> run_figure(const FigureSpec& spec,
   for (const auto& scheme : spec.schemes) {
     header.push_back(scheme.name);
     header.push_back(reps > 1 ? "ci95_rep" : "+-95%");
+    if (spec.measure_imbalance) header.push_back("imb");
   }
   if (spec.show_lower_bound) header.push_back("bound d+1/(1-rho)");
   if (with_model) {
@@ -131,6 +133,7 @@ std::vector<ReplicatedResult> run_figure(const FigureSpec& spec,
       point.warmup = spec.warmup;
       point.measure = spec.measure;
       point.seed = spec.seed;
+      point.collect_link_metrics = spec.measure_imbalance;
       cells.push_back(std::move(point));
     }
   }
@@ -151,6 +154,10 @@ std::vector<ReplicatedResult> run_figure(const FigureSpec& spec,
       } else {
         row.push_back(fmt(metric_value(spec.metric, point), 2));
         row.push_back(fmt(metric_ci(spec.metric, point, reps > 1), 2));
+      }
+      if (spec.measure_imbalance) {
+        const double imb = mean_imbalance(point);
+        row.push_back(imb > 0.0 ? fmt(imb, 3) : "-");
       }
     }
     if (spec.show_lower_bound) {

@@ -9,10 +9,13 @@
 /// censoring at high load).  Runs are deterministic given the seed.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "pstar/core/scheme.hpp"
 #include "pstar/net/engine.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/obs/trace.hpp"
 #include "pstar/sim/simulator.hpp"
 #include "pstar/topology/shape.hpp"
 #include "pstar/traffic/length.hpp"
@@ -71,6 +74,20 @@ struct ExperimentSpec {
 
   /// Tasks per arrival epoch (compound Poisson; 1 = the paper's model).
   std::uint32_t batch_size = 1;
+
+  /// When true, an obs::MetricsRegistry is attached for the measurement
+  /// window and its snapshot lands in ExperimentResult::link_metrics:
+  /// per-(link, class) transmissions, busy time, waiting times, backlog
+  /// gauges, and the max/mean imbalance ratio (docs/OBSERVABILITY.md).
+  bool collect_link_metrics = false;
+
+  /// Optional structured trace: every engine event of the run streams to
+  /// this sink as JSONL (docs/OBSERVABILITY.md documents the schema).
+  /// Non-owning; the sink must outlive the run.  Sinks are
+  /// single-threaded -- never share one across concurrent cells of a
+  /// BatchRunner sweep (run traced cells serially instead, as
+  /// examples/sweep_cli.cpp does).
+  obs::JsonlTraceSink* trace_sink = nullptr;
 };
 
 /// Summary of one run.
@@ -156,6 +173,11 @@ struct ExperimentResult {
 
   /// The probability vector the scheme actually used.
   std::vector<double> ending_probabilities;
+
+  /// Per-link / per-class measurements over the measurement window; only
+  /// populated when spec.collect_link_metrics.  Shared (immutable) so
+  /// results stay cheap to copy through the replication aggregator.
+  std::shared_ptr<const obs::LinkMetricsSnapshot> link_metrics;
 
   // Per-run throughput accounting.  events_processed is deterministic;
   // wall_seconds / events_per_sec measure the host and are the ONLY

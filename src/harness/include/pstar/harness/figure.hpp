@@ -43,6 +43,11 @@ struct FigureSpec {
   std::size_t replications = 1;
   /// Worker threads (0 = PSTAR_JOBS env or hardware concurrency).
   std::size_t jobs = 0;
+  /// Attach the obs metrics registry to every cell and append one "imb"
+  /// column per scheme: the measured max/mean directed-link load
+  /// imbalance (the paper's balance metric; ~1.00 when Eq. (2)/(4)
+  /// holds).  See docs/OBSERVABILITY.md.
+  bool measure_imbalance = false;
 };
 
 /// The default rho sweep used throughout (0.1 .. 0.95).

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file observability.hpp
+/// Aggregate exporters over obs::LinkMetricsSnapshot: the per-link
+/// utilization CSV, the class-conditional wait-time table, and the
+/// max/mean link-load imbalance ratio (the paper's balance metric).
+/// Column meanings are documented in docs/OBSERVABILITY.md.
+
+#include <iosfwd>
+#include <string>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/obs/metrics.hpp"
+
+namespace pstar::harness {
+
+/// Column names of the per-link CSV, after the caller's prefix columns:
+///   link,from,to,dim,dir,util,busy,tx,tx_high,tx_med,tx_low,
+///   wait_high,wait_med,wait_low,drops,backlog_mean,backlog_max
+/// One header line; `prefix_header` (e.g. "rho,scheme,rep") is prepended
+/// when non-empty.
+void write_link_metrics_csv_header(std::ostream& os,
+                                   const std::string& prefix_header);
+
+/// One CSV row per directed link of the snapshot; `prefix` (matching the
+/// header's prefix columns, e.g. "0.50,priority-STAR,0") is prepended
+/// when non-empty.  Backlog columns are empty strings when the snapshot
+/// carries no gauges.
+void write_link_metrics_csv(std::ostream& os,
+                            const obs::LinkMetricsSnapshot& snap,
+                            const std::string& prefix);
+
+/// Class-conditional wait-time table: per priority class, transmissions,
+/// share of total busy time, mean/max wait, and (when the snapshot
+/// carries histograms) wait p50/p95/p99.
+Table class_wait_table(const obs::LinkMetricsSnapshot& snap);
+
+/// Mean measured max/mean link-load imbalance over the runs of one
+/// replicated point that collected link metrics; 0 when none did.
+double mean_imbalance(const ReplicatedResult& point);
+
+}  // namespace pstar::harness

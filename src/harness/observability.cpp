@@ -1,0 +1,90 @@
+#include "pstar/harness/observability.hpp"
+
+#include <ostream>
+
+namespace pstar::harness {
+
+void write_link_metrics_csv_header(std::ostream& os,
+                                   const std::string& prefix_header) {
+  if (!prefix_header.empty()) os << prefix_header << ',';
+  os << "link,from,to,dim,dir,util,busy,tx,tx_high,tx_med,tx_low,"
+        "wait_high,wait_med,wait_low,drops,backlog_mean,backlog_max\n";
+}
+
+void write_link_metrics_csv(std::ostream& os,
+                            const obs::LinkMetricsSnapshot& snap,
+                            const std::string& prefix) {
+  for (const obs::LinkKey& k : snap.links) {
+    if (!prefix.empty()) os << prefix << ',';
+    std::uint64_t drops = 0;
+    for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+      drops += snap.cell(k.link, static_cast<net::Priority>(c)).drops;
+    }
+    os << k.link << ',' << k.from << ',' << k.to << ',' << k.dim << ','
+       << (k.dir == topo::Dir::kPlus ? '+' : '-') << ','
+       << fmt(snap.utilization(k.link), 6) << ','
+       << fmt(snap.link_busy(k.link), 3) << ','
+       << snap.link_transmissions(k.link);
+    for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+      os << ',' << snap.cell(k.link, static_cast<net::Priority>(c)).transmissions;
+    }
+    for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+      os << ','
+         << fmt(snap.cell(k.link, static_cast<net::Priority>(c)).wait.mean(), 4);
+    }
+    os << ',' << drops;
+    const auto idx = static_cast<std::size_t>(k.link);
+    if (idx < snap.backlog_mean.size()) {
+      os << ',' << fmt(snap.backlog_mean[idx], 4) << ','
+         << fmt(snap.backlog_max[idx], 1);
+    } else {
+      os << ",,";
+    }
+    os << '\n';
+  }
+}
+
+Table class_wait_table(const obs::LinkMetricsSnapshot& snap) {
+  const bool tails = !snap.class_wait_hist.empty();
+  std::vector<std::string> header{"class", "tx", "busy-share", "wait-mean",
+                                  "wait-max"};
+  if (tails) {
+    header.insert(header.end(), {"wait-p50", "wait-p95", "wait-p99"});
+  }
+  Table table(std::move(header));
+  static const char* kNames[net::kPriorityClasses] = {"high", "medium", "low"};
+  double total_busy = 0.0;
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    total_busy += snap.class_busy(static_cast<net::Priority>(c));
+  }
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    const auto prio = static_cast<net::Priority>(c);
+    const stats::RunningStat wait = snap.class_wait(prio);
+    if (wait.count() == 0 && snap.class_transmissions(prio) == 0) continue;
+    std::vector<std::string> row{
+        kNames[c], std::to_string(snap.class_transmissions(prio)),
+        fmt(total_busy > 0.0 ? snap.class_busy(prio) / total_busy : 0.0, 3),
+        fmt(wait.mean(), 3), fmt(wait.max(), 2)};
+    if (tails) {
+      const stats::Histogram& h = snap.class_wait_hist[c];
+      row.push_back(fmt(h.quantile(0.50), 2));
+      row.push_back(fmt(h.quantile(0.95), 2));
+      row.push_back(fmt(h.quantile(0.99), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+double mean_imbalance(const ReplicatedResult& point) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const ExperimentResult& r : point.runs) {
+    if (!r.link_metrics) continue;
+    total += r.link_metrics->imbalance_ratio();
+    ++n;
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace pstar::harness

@@ -186,15 +186,16 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
           if (!ls.queue[c].empty()) {
             const Copy victim = ls.queue[c].back().copy;
             ls.queue[c].pop_back();
-            drop_copy(victim, /*was_queued=*/true);
+            drop_copy(victim, link, /*was_queued=*/true);
             ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
                 Queued{copy, sim_.now()});
             ++inflight_copies_;
+            if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
             return;
           }
         }
       }
-      drop_copy(copy, /*was_queued=*/false);
+      drop_copy(copy, link, /*was_queued=*/false);
       return;
     }
   }
@@ -208,6 +209,7 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
     sim_.stop();
   }
 
+  if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
   if (!ls.busy) {
     begin_service(link, copy, sim_.now());
   } else {
@@ -216,7 +218,8 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   }
 }
 
-void Engine::drop_copy(const Copy& copy, bool was_queued) {
+void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
+  if (observer_) observer_->on_drop(copy.task, copy, link, sim_.now(), was_queued);
   ++metrics_.drops_by_class[static_cast<std::size_t>(copy.prio)];
   if (was_queued) {
     --inflight_copies_;
@@ -252,6 +255,7 @@ void Engine::begin_service(topo::LinkId link, const Copy& copy,
   ls.busy = true;
   ls.serving = copy;
   ls.service_start = sim_.now();
+  ls.serving_enqueued_at = queued_since;
   if (measuring_) {
     metrics_.wait_by_class[static_cast<std::size_t>(copy.prio)].add(
         sim_.now() - queued_since);
@@ -281,7 +285,8 @@ void Engine::complete_service(topo::LinkId link) {
   const topo::NodeId node = torus_.dest(link);
   if (observer_) {
     const topo::LinkInfo& li = torus_.info(link);
-    observer_->on_transmission(copy.task, copy, li.from, li.to, li.dim, li.dir,
+    observer_->on_transmission(copy.task, copy, link, li.from, li.to, li.dim,
+                               li.dir, ls.serving_enqueued_at,
                                ls.service_start, now);
   }
   if (t.kind == TaskKind::kUnicast) {

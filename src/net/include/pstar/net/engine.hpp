@@ -200,6 +200,7 @@ class Engine {
     bool busy = false;
     Copy serving{};
     double service_start = 0.0;
+    double serving_enqueued_at = 0.0;
     std::deque<Queued> queue[kPriorityClasses];
   };
 
@@ -208,7 +209,7 @@ class Engine {
   /// Charges a dropped copy: loss metrics, orphaned receptions, and task
   /// failure bookkeeping.  `was_queued` says whether the copy was already
   /// counted in flight (push-out victim) or arriving (tail drop).
-  void drop_copy(const Copy& copy, bool was_queued);
+  void drop_copy(const Copy& copy, topo::LinkId link, bool was_queued);
   /// Finishes a broadcast once receptions + lost cover every node;
   /// idempotent (both the delivery and the drop path may trigger it).
   void maybe_finish_broadcast(TaskId id);

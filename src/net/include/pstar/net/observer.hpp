@@ -3,11 +3,22 @@
 /// \file observer.hpp
 /// Optional engine instrumentation hook.
 ///
-/// An Observer sees every transmission and task lifecycle event with full
-/// routing context.  It exists for validation and tracing: integration
-/// tests attach observers that check, packet by packet, that broadcasts
-/// follow legal SDC tree edges and unicasts never leave a shortest path.
-/// Production runs attach none and pay nothing.
+/// An Observer sees every queue entry, transmission, drop, and task
+/// lifecycle event with full routing context.  It exists for validation
+/// and tracing: integration tests attach observers that check, packet by
+/// packet, that broadcasts follow legal SDC tree edges and unicasts never
+/// leave a shortest path; `pstar::obs::EngineProbe` bridges the same
+/// callbacks into the metrics registry and the JSONL trace sink (see
+/// docs/OBSERVABILITY.md).  Production runs attach none and pay nothing:
+/// the engine holds a single raw pointer and skips every callback behind
+/// one branch, so a detached engine makes no virtual calls at all.
+///
+/// Event order for one copy crossing one link is always
+///   on_enqueue -> on_transmission       (served), or
+///   on_enqueue -> on_drop               (push-out victim), or
+///   on_drop                             (tail-dropped on arrival),
+/// and `enqueued_at` in on_transmission equals the `now` of the matching
+/// on_enqueue, so per-link waiting time is `start - enqueued_at`.
 
 #include "pstar/net/packet.hpp"
 #include "pstar/topology/torus.hpp"
@@ -24,12 +35,30 @@ class Observer {
   /// A task entered the system.
   virtual void on_task_created(TaskId /*task*/, const Task& /*info*/) {}
 
-  /// A copy finished crossing a link: it departed `from` at time `start`
-  /// and was delivered to `to` at time `end`.
+  /// A copy was admitted to the outgoing link `link` at time `now`:
+  /// either queued behind the copy in service or taken into service
+  /// immediately.  `now` reappears as `enqueued_at` in the matching
+  /// on_transmission (or the copy is dropped later by push-out).
+  virtual void on_enqueue(TaskId /*task*/, const Copy& /*copy*/,
+                          topo::LinkId /*link*/, double /*now*/) {}
+
+  /// A copy finished crossing `link`: it entered the link's queue at
+  /// `enqueued_at`, started service (departed `from`) at `start`, and
+  /// was delivered to `to` at `end`.  Per-link waiting time is
+  /// `start - enqueued_at`; service time is `end - start`.
   virtual void on_transmission(TaskId /*task*/, const Copy& /*copy*/,
+                               topo::LinkId /*link*/,
                                topo::NodeId /*from*/, topo::NodeId /*to*/,
                                std::int32_t /*dim*/, topo::Dir /*dir*/,
-                               double /*start*/, double /*end*/) {}
+                               double /*enqueued_at*/, double /*start*/,
+                               double /*end*/) {}
+
+  /// A copy was discarded at a full finite queue of `link` at time `now`.
+  /// `was_queued` distinguishes a push-out victim (it had an on_enqueue)
+  /// from an arriving copy tail-dropped before entering the queue.
+  virtual void on_drop(TaskId /*task*/, const Copy& /*copy*/,
+                       topo::LinkId /*link*/, double /*now*/,
+                       bool /*was_queued*/) {}
 
   /// A task finished (broadcast: all receptions done; unicast: delivered).
   virtual void on_task_completed(TaskId /*task*/, const Task& /*info*/,

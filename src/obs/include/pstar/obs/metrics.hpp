@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Per-link / per-class metrics registry for the network engine.
+///
+/// The registry is the measurement companion of the paper's central
+/// claims, which are distributional: Eq. (2)/(4) equalize the EXPECTED
+/// LOAD ON EVERY DIRECTED LINK, and the priority discipline splits
+/// queueing between classes.  `net::Engine`'s built-in Metrics aggregate
+/// over the whole network; this registry keeps every series keyed by
+/// `(link, dim, dir, priority)` so balance and per-class queue behaviour
+/// are measured directly instead of asserted indirectly.
+///
+/// Lifecycle: construct against a torus, attach via `obs::EngineProbe`
+/// (the `net::Observer` bridge), call `begin_window`/`end_window` around
+/// the measurement window (the harness schedules both alongside the
+/// engine's own window), then take a `snapshot()`.  The snapshot is a
+/// plain value type that denormalizes link identity (from/to/dim/dir),
+/// so exporters need no Torus.  A detached registry costs nothing on the
+/// hot path: the engine skips all observer callbacks behind one null
+/// check (see net/observer.hpp).
+///
+/// docs/OBSERVABILITY.md is the catalog of every series recorded here,
+/// with units and update sites.
+
+#include <cstdint>
+#include <vector>
+
+#include "pstar/net/packet.hpp"
+#include "pstar/stats/histogram.hpp"
+#include "pstar/stats/running.hpp"
+#include "pstar/stats/time_weighted.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::obs {
+
+/// Registry tuning knobs.
+struct MetricsConfig {
+  /// Record a time-weighted backlog gauge (queued + in service) per link.
+  bool track_backlog = true;
+
+  /// Record one network-wide waiting-time histogram per priority class
+  /// (for class-conditional p50/p95/p99 tables).
+  bool wait_histograms = true;
+  /// Histogram geometry: [0, width * buckets) plus an overflow bucket.
+  double wait_hist_width = 0.25;
+  std::size_t wait_hist_buckets = 2048;
+};
+
+/// Static identity of one directed link, denormalized from the Torus.
+struct LinkKey {
+  topo::LinkId link = topo::kInvalidLink;
+  topo::NodeId from = -1;
+  topo::NodeId to = -1;
+  std::int32_t dim = -1;
+  topo::Dir dir = topo::Dir::kPlus;
+};
+
+/// Accumulators of one (link, priority class) series.
+struct LinkClassCell {
+  std::uint64_t transmissions = 0;  ///< completed inside the window
+  double busy_time = 0.0;           ///< service time clamped to the window
+  std::uint64_t drops = 0;          ///< copies discarded at this link
+  stats::RunningStat wait;          ///< queueing delay (service start - enqueue)
+};
+
+/// Immutable copy of everything the registry measured in one window.
+/// Self-contained: carries the link table, so CSV export and imbalance
+/// math need no topology object.
+struct LinkMetricsSnapshot {
+  std::vector<LinkKey> links;        ///< size L, indexed by LinkId
+  std::vector<LinkClassCell> cells;  ///< size L * kPriorityClasses
+  /// Time-weighted per-link backlog (queued + in service) over the
+  /// window; empty when MetricsConfig::track_backlog was off.
+  std::vector<double> backlog_mean;
+  std::vector<double> backlog_max;
+  /// Network-wide per-class waiting-time histograms; empty when
+  /// MetricsConfig::wait_histograms was off.
+  std::vector<stats::Histogram> class_wait_hist;
+
+  double window_start = 0.0;
+  double window_end = 0.0;
+
+  const LinkClassCell& cell(topo::LinkId link, net::Priority prio) const {
+    return cells[static_cast<std::size_t>(link) * net::kPriorityClasses +
+                 static_cast<std::size_t>(prio)];
+  }
+
+  double span() const { return window_end - window_start; }
+
+  /// Busy time of one link summed over classes (time units).
+  double link_busy(topo::LinkId link) const;
+  /// Transmissions of one link summed over classes.
+  std::uint64_t link_transmissions(topo::LinkId link) const;
+  /// Fraction of the window one link spent serving (0 when span is 0).
+  double utilization(topo::LinkId link) const;
+
+  /// Mean / max utilization over all directed links.
+  double mean_utilization() const;
+  double max_utilization() const;
+
+  /// The paper's balance metric: max over directed links of busy time
+  /// divided by the mean over directed links.  Eq. (2)/(4) predict this
+  /// ratio -> 1 as the window grows; a hot link pushes it above 1.
+  /// Returns 1.0 when no link carried any load.
+  double imbalance_ratio() const;
+
+  /// Waiting-time statistics of one class merged over all links.
+  stats::RunningStat class_wait(net::Priority prio) const;
+  /// Transmissions of one class summed over all links.
+  std::uint64_t class_transmissions(net::Priority prio) const;
+  /// Busy time of one class summed over all links.
+  double class_busy(net::Priority prio) const;
+  std::uint64_t total_transmissions() const;
+};
+
+/// Accumulates per-link / per-class series from engine events.  Feed it
+/// through `obs::EngineProbe`; it never touches the engine itself.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(const topo::Torus& torus, MetricsConfig config = {});
+
+  /// Opens the measurement window at time t, discarding anything
+  /// accumulated before (warmup).  Backlog gauges restart from the live
+  /// backlog, which the registry tracks from the first event onward.
+  void begin_window(double t);
+
+  /// Closes the window at time t: gauges flush and later events no
+  /// longer accumulate (the drain phase of a run is excluded, matching
+  /// Engine::end_measurement).
+  void end_window(double t);
+
+  // Update sites (called by EngineProbe).
+  void record_enqueue(topo::LinkId link, const net::Copy& copy, double now);
+  void record_transmission(topo::LinkId link, const net::Copy& copy,
+                           double enqueued_at, double start, double end);
+  void record_drop(topo::LinkId link, const net::Copy& copy, double now,
+                   bool was_queued);
+
+  /// Copies the current state out.  Valid any time; typically taken
+  /// after end_window.
+  LinkMetricsSnapshot snapshot() const;
+
+  double window_start() const { return window_start_; }
+  double window_end() const { return window_end_; }
+
+ private:
+  LinkClassCell& cell(topo::LinkId link, net::Priority prio) {
+    return cells_[static_cast<std::size_t>(link) * net::kPriorityClasses +
+                  static_cast<std::size_t>(prio)];
+  }
+
+  MetricsConfig config_;
+  std::vector<LinkKey> links_;
+  std::vector<LinkClassCell> cells_;
+  std::vector<std::int64_t> backlog_;  ///< live queued + in service, per link
+  std::vector<stats::TimeWeighted> backlog_gauge_;
+  std::vector<stats::Histogram> class_wait_hist_;
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  bool window_open_ = false;
+  double last_event_ = 0.0;
+};
+
+}  // namespace pstar::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file probe.hpp
+/// The net::Observer bridge into the observability layer.
+///
+/// EngineProbe multiplexes engine callbacks into an optional
+/// MetricsRegistry and an optional JsonlTraceSink (the engine accepts a
+/// single observer).  Either target may be null; a probe with both null
+/// is legal and does nothing.  Attach with Engine::set_observer; detach
+/// (set_observer(nullptr)) to return the engine to the zero-cost path.
+
+#include "pstar/net/observer.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/obs/trace.hpp"
+
+namespace pstar::obs {
+
+/// Feeds engine events to a metrics registry and/or a trace sink.
+class EngineProbe : public net::Observer {
+ public:
+  EngineProbe(MetricsRegistry* metrics, JsonlTraceSink* trace)
+      : metrics_(metrics), trace_(trace) {}
+
+  void on_task_created(net::TaskId task, const net::Task& info) override {
+    if (trace_) trace_->task_created(info.created, task, info);
+  }
+
+  void on_enqueue(net::TaskId task, const net::Copy& copy, topo::LinkId link,
+                  double now) override {
+    if (metrics_) metrics_->record_enqueue(link, copy, now);
+    if (trace_) trace_->enqueue(now, task, copy, link);
+  }
+
+  void on_transmission(net::TaskId task, const net::Copy& copy,
+                       topo::LinkId link, topo::NodeId from, topo::NodeId to,
+                       std::int32_t dim, topo::Dir dir, double enqueued_at,
+                       double start, double end) override {
+    if (metrics_) {
+      metrics_->record_transmission(link, copy, enqueued_at, start, end);
+    }
+    if (trace_) {
+      trace_->transmission(task, copy, link, from, to, dim, dir, enqueued_at,
+                           start, end);
+    }
+  }
+
+  void on_drop(net::TaskId task, const net::Copy& copy, topo::LinkId link,
+               double now, bool was_queued) override {
+    if (metrics_) metrics_->record_drop(link, copy, now, was_queued);
+    if (trace_) trace_->drop(now, task, copy, link, was_queued);
+  }
+
+  void on_task_completed(net::TaskId task, const net::Task& info,
+                         double time) override {
+    if (trace_) trace_->task_completed(time, task, info);
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  JsonlTraceSink* trace_;
+};
+
+}  // namespace pstar::obs

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured JSONL trace sink for engine events.
+///
+/// One JSON object per line, written to any std::ostream.  The schema
+/// (documented with a worked example in docs/OBSERVABILITY.md and
+/// validated by tools/check_trace.py) is versioned through the `schema`
+/// field of the run-header record.  Event records:
+///
+///   {"ev":"run", "schema":1, ...free-form run metadata...}
+///   {"ev":"task","t":T,"task":I,"kind":K,"src":N,"dst":N,"len":L,"measured":B}
+///   {"ev":"enq", "t":T,"task":I,"link":L,"prio":P}
+///   {"ev":"tx",  "task":I,"link":L,"from":N,"to":N,"dim":D,"dir":S,
+///    "prio":P,"vc":V,"enq":T,"start":T,"end":T}
+///   {"ev":"drop","t":T,"task":I,"link":L,"prio":P,"queued":B}
+///   {"ev":"done","t":T,"task":I,"kind":K,"receptions":R,"lost":X}
+///
+/// Times are simulation time units with full double precision; `dir` is
+/// "+" or "-".  Tracing is strictly opt-in: with no sink attached the
+/// engine makes no observer calls at all.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "pstar/net/packet.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::obs {
+
+/// Streams one flat JSON object per JsonLine lifetime.  Keys must be
+/// plain identifiers (no escaping is applied to keys); string values are
+/// escaped.  Used by JsonlTraceSink and by harness run headers.
+class JsonLine {
+ public:
+  explicit JsonLine(std::ostream& os);
+  ~JsonLine();  ///< closes the object and writes the newline
+
+  JsonLine(JsonLine&& other) noexcept;  ///< transfers the open line
+  JsonLine(const JsonLine&) = delete;
+  JsonLine& operator=(const JsonLine&) = delete;
+  JsonLine& operator=(JsonLine&&) = delete;
+
+  JsonLine& field(std::string_view key, std::string_view value);
+  JsonLine& field(std::string_view key, const char* value);
+  JsonLine& field(std::string_view key, double value);
+  JsonLine& field(std::string_view key, std::uint64_t value);
+  JsonLine& field(std::string_view key, std::int64_t value);
+  JsonLine& field(std::string_view key, std::int32_t value);
+  JsonLine& field(std::string_view key, bool value);
+
+ private:
+  void key(std::string_view k);
+
+  std::ostream& os_;
+  bool first_ = true;
+  bool active_ = true;
+};
+
+/// Current trace schema version (bumped on incompatible changes).
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Writes engine events as JSON Lines.  The caller owns the stream; the
+/// sink never flushes it.  Single-threaded by design -- give each
+/// concurrent run its own sink and stream.
+class JsonlTraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
+
+  /// Starts the run-header record (`"ev":"run","schema":1`) and returns
+  /// the open line so the caller can append run metadata (shape, scheme,
+  /// rho, seed, ...) before it closes.
+  JsonLine run_header();
+
+  void task_created(double t, net::TaskId task, const net::Task& info);
+  void enqueue(double t, net::TaskId task, const net::Copy& copy,
+               topo::LinkId link);
+  void transmission(net::TaskId task, const net::Copy& copy,
+                    topo::LinkId link, topo::NodeId from, topo::NodeId to,
+                    std::int32_t dim, topo::Dir dir, double enqueued_at,
+                    double start, double end);
+  void drop(double t, net::TaskId task, const net::Copy& copy,
+            topo::LinkId link, bool was_queued);
+  void task_completed(double t, net::TaskId task, const net::Task& info);
+
+  /// Records written so far (including the run header).
+  std::uint64_t records() const { return records_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t records_ = 0;
+};
+
+/// Name of a task kind as it appears in trace records.
+std::string_view task_kind_name(net::TaskKind kind);
+
+}  // namespace pstar::obs

@@ -1,0 +1,203 @@
+#include "pstar/obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pstar::obs {
+
+double LinkMetricsSnapshot::link_busy(topo::LinkId link) const {
+  double total = 0.0;
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    total += cell(link, static_cast<net::Priority>(c)).busy_time;
+  }
+  return total;
+}
+
+std::uint64_t LinkMetricsSnapshot::link_transmissions(topo::LinkId link) const {
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    total += cell(link, static_cast<net::Priority>(c)).transmissions;
+  }
+  return total;
+}
+
+double LinkMetricsSnapshot::utilization(topo::LinkId link) const {
+  const double s = span();
+  return s > 0.0 ? link_busy(link) / s : 0.0;
+}
+
+double LinkMetricsSnapshot::mean_utilization() const {
+  const double s = span();
+  if (s <= 0.0 || links.empty()) return 0.0;
+  double total = 0.0;
+  for (const LinkKey& k : links) total += link_busy(k.link);
+  return total / (s * static_cast<double>(links.size()));
+}
+
+double LinkMetricsSnapshot::max_utilization() const {
+  const double s = span();
+  if (s <= 0.0) return 0.0;
+  double best = 0.0;
+  for (const LinkKey& k : links) best = std::max(best, link_busy(k.link));
+  return best / s;
+}
+
+double LinkMetricsSnapshot::imbalance_ratio() const {
+  if (links.empty()) return 1.0;
+  double total = 0.0;
+  double best = 0.0;
+  for (const LinkKey& k : links) {
+    const double b = link_busy(k.link);
+    total += b;
+    best = std::max(best, b);
+  }
+  const double mean = total / static_cast<double>(links.size());
+  return mean > 0.0 ? best / mean : 1.0;
+}
+
+stats::RunningStat LinkMetricsSnapshot::class_wait(net::Priority prio) const {
+  stats::RunningStat merged;
+  for (const LinkKey& k : links) merged.merge(cell(k.link, prio).wait);
+  return merged;
+}
+
+std::uint64_t LinkMetricsSnapshot::class_transmissions(
+    net::Priority prio) const {
+  std::uint64_t total = 0;
+  for (const LinkKey& k : links) total += cell(k.link, prio).transmissions;
+  return total;
+}
+
+double LinkMetricsSnapshot::class_busy(net::Priority prio) const {
+  double total = 0.0;
+  for (const LinkKey& k : links) total += cell(k.link, prio).busy_time;
+  return total;
+}
+
+std::uint64_t LinkMetricsSnapshot::total_transmissions() const {
+  std::uint64_t total = 0;
+  for (const LinkKey& k : links) total += link_transmissions(k.link);
+  return total;
+}
+
+MetricsRegistry::MetricsRegistry(const topo::Torus& torus, MetricsConfig config)
+    : config_(config) {
+  const auto link_count = static_cast<std::size_t>(torus.link_count());
+  links_.reserve(link_count);
+  for (topo::LinkId id = 0; id < torus.link_count(); ++id) {
+    const topo::LinkInfo& li = torus.info(id);
+    links_.push_back(LinkKey{id, li.from, li.to, li.dim, li.dir});
+  }
+  cells_.resize(link_count * net::kPriorityClasses);
+  backlog_.assign(link_count, 0);
+  if (config_.track_backlog) backlog_gauge_.resize(link_count);
+  if (config_.wait_histograms) {
+    class_wait_hist_.reserve(net::kPriorityClasses);
+    for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+      class_wait_hist_.emplace_back(config_.wait_hist_width,
+                                    config_.wait_hist_buckets);
+    }
+  }
+  // Observe from construction onward until begin_window resets (so a
+  // registry used without explicit windows still measures the whole run,
+  // mirroring Engine::Metrics semantics).
+  window_open_ = true;
+  window_start_ = 0.0;
+  window_end_ = std::numeric_limits<double>::infinity();
+}
+
+void MetricsRegistry::begin_window(double t) {
+  window_start_ = t;
+  window_end_ = std::numeric_limits<double>::infinity();
+  window_open_ = true;
+  for (LinkClassCell& c : cells_) c = LinkClassCell{};
+  for (std::size_t l = 0; l < backlog_gauge_.size(); ++l) {
+    backlog_gauge_[l].start(t, static_cast<double>(backlog_[l]));
+  }
+  if (config_.wait_histograms) {
+    class_wait_hist_.clear();
+    for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+      class_wait_hist_.emplace_back(config_.wait_hist_width,
+                                    config_.wait_hist_buckets);
+    }
+  }
+  last_event_ = t;
+}
+
+void MetricsRegistry::end_window(double t) {
+  for (auto& g : backlog_gauge_) g.flush(t);
+  window_end_ = t;
+  window_open_ = false;
+  last_event_ = std::max(last_event_, t);
+}
+
+void MetricsRegistry::record_enqueue(topo::LinkId link, const net::Copy&,
+                                     double now) {
+  const auto l = static_cast<std::size_t>(link);
+  ++backlog_[l];
+  if (window_open_ && !backlog_gauge_.empty()) {
+    backlog_gauge_[l].set(now, static_cast<double>(backlog_[l]));
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_transmission(topo::LinkId link,
+                                          const net::Copy& copy,
+                                          double enqueued_at, double start,
+                                          double end) {
+  const auto l = static_cast<std::size_t>(link);
+  --backlog_[l];
+  if (window_open_ && !backlog_gauge_.empty()) {
+    backlog_gauge_[l].set(end, static_cast<double>(backlog_[l]));
+  }
+  LinkClassCell& c = cell(link, copy.prio);
+  // Busy time is clamped to the window; the transmission and wait counts
+  // follow Engine::record_window_busy / begin_service: a transmission is
+  // in-window when it ran entirely inside it, a wait sample when service
+  // started inside it.
+  const double lo = std::max(start, window_start_);
+  const double hi = std::min(end, window_end_);
+  if (hi > lo) c.busy_time += hi - lo;
+  if (start >= window_start_ && end <= window_end_) ++c.transmissions;
+  if (start >= window_start_ && start <= window_end_) {
+    const double waited = start - enqueued_at;
+    c.wait.add(waited);
+    if (!class_wait_hist_.empty()) {
+      class_wait_hist_[static_cast<std::size_t>(copy.prio)].add(waited);
+    }
+  }
+  last_event_ = std::max(last_event_, end);
+}
+
+void MetricsRegistry::record_drop(topo::LinkId link, const net::Copy& copy,
+                                  double now, bool was_queued) {
+  const auto l = static_cast<std::size_t>(link);
+  if (was_queued) {
+    --backlog_[l];
+    if (window_open_ && !backlog_gauge_.empty()) {
+      backlog_gauge_[l].set(now, static_cast<double>(backlog_[l]));
+    }
+  }
+  if (now >= window_start_ && now <= window_end_) ++cell(link, copy.prio).drops;
+  last_event_ = std::max(last_event_, now);
+}
+
+LinkMetricsSnapshot MetricsRegistry::snapshot() const {
+  LinkMetricsSnapshot snap;
+  snap.links = links_;
+  snap.cells = cells_;
+  if (!backlog_gauge_.empty()) {
+    snap.backlog_mean.reserve(backlog_gauge_.size());
+    snap.backlog_max.reserve(backlog_gauge_.size());
+    for (const auto& g : backlog_gauge_) {
+      snap.backlog_mean.push_back(g.mean());
+      snap.backlog_max.push_back(g.max());
+    }
+  }
+  snap.class_wait_hist = class_wait_hist_;
+  snap.window_start = window_start_;
+  snap.window_end = window_open_ ? last_event_ : window_end_;
+  return snap;
+}
+
+}  // namespace pstar::obs

@@ -1,0 +1,191 @@
+#include "pstar/obs/trace.hpp"
+
+#include <charconv>
+#include <ostream>
+
+namespace pstar::obs {
+
+namespace {
+
+/// Shortest round-trip decimal form of a double (std::to_chars), which
+/// is also valid JSON for every finite value.
+void write_number(std::ostream& os, double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, ptr - buf);
+  (void)ec;  // 32 chars always fit the shortest form
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << ch;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+JsonLine::JsonLine(std::ostream& os) : os_(os) { os_ << '{'; }
+
+JsonLine::JsonLine(JsonLine&& other) noexcept
+    : os_(other.os_), first_(other.first_) {
+  other.active_ = false;
+}
+
+JsonLine::~JsonLine() {
+  if (active_) os_ << "}\n";
+}
+
+void JsonLine::key(std::string_view k) {
+  if (!first_) os_ << ',';
+  first_ = false;
+  os_ << '"' << k << "\":";
+}
+
+JsonLine& JsonLine::field(std::string_view k, std::string_view value) {
+  key(k);
+  write_escaped(os_, value);
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, const char* value) {
+  return field(k, std::string_view(value));
+}
+
+JsonLine& JsonLine::field(std::string_view k, double value) {
+  key(k);
+  write_number(os_, value);
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  os_ << value;
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, std::int64_t value) {
+  key(k);
+  os_ << value;
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, std::int32_t value) {
+  key(k);
+  os_ << value;
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view k, bool value) {
+  key(k);
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+std::string_view task_kind_name(net::TaskKind kind) {
+  switch (kind) {
+    case net::TaskKind::kBroadcast:
+      return "broadcast";
+    case net::TaskKind::kUnicast:
+      return "unicast";
+    case net::TaskKind::kMulticast:
+      return "multicast";
+  }
+  return "?";
+}
+
+JsonLine JsonlTraceSink::run_header() {
+  ++records_;
+  JsonLine line(os_);
+  line.field("ev", "run").field("schema",
+                                static_cast<std::int32_t>(kTraceSchemaVersion));
+  return line;
+}
+
+void JsonlTraceSink::task_created(double t, net::TaskId task,
+                                  const net::Task& info) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "task")
+      .field("t", t)
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("kind", task_kind_name(info.kind))
+      .field("src", static_cast<std::int64_t>(info.source))
+      .field("dst", static_cast<std::int64_t>(info.dest))
+      .field("len", static_cast<std::uint64_t>(info.length))
+      .field("measured", info.measured);
+}
+
+void JsonlTraceSink::enqueue(double t, net::TaskId task, const net::Copy& copy,
+                             topo::LinkId link) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "enq")
+      .field("t", t)
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("link", static_cast<std::int32_t>(link))
+      .field("prio", static_cast<std::int32_t>(copy.prio));
+}
+
+void JsonlTraceSink::transmission(net::TaskId task, const net::Copy& copy,
+                                  topo::LinkId link, topo::NodeId from,
+                                  topo::NodeId to, std::int32_t dim,
+                                  topo::Dir dir, double enqueued_at,
+                                  double start, double end) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "tx")
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("link", static_cast<std::int32_t>(link))
+      .field("from", static_cast<std::int64_t>(from))
+      .field("to", static_cast<std::int64_t>(to))
+      .field("dim", dim)
+      .field("dir", dir == topo::Dir::kPlus ? "+" : "-")
+      .field("prio", static_cast<std::int32_t>(copy.prio))
+      .field("vc", static_cast<std::int32_t>(copy.vc))
+      .field("enq", enqueued_at)
+      .field("start", start)
+      .field("end", end);
+}
+
+void JsonlTraceSink::drop(double t, net::TaskId task, const net::Copy& copy,
+                          topo::LinkId link, bool was_queued) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "drop")
+      .field("t", t)
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("link", static_cast<std::int32_t>(link))
+      .field("prio", static_cast<std::int32_t>(copy.prio))
+      .field("queued", was_queued);
+}
+
+void JsonlTraceSink::task_completed(double t, net::TaskId task,
+                                    const net::Task& info) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "done")
+      .field("t", t)
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("kind", task_kind_name(info.kind))
+      .field("receptions", static_cast<std::uint64_t>(info.receptions))
+      .field("lost", static_cast<std::uint64_t>(info.lost));
+}
+
+}  // namespace pstar::obs

@@ -1,0 +1,262 @@
+// obs layer: metrics registry correctness against hand-computed values,
+// JSONL trace round-trip, and the end-to-end balance check -- on a
+// symmetric torus under the Eq. (2) probabilities the measured max/mean
+// link-load imbalance approaches 1 as the window grows.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/observability.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/obs/probe.hpp"
+#include "pstar/obs/trace.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar {
+namespace {
+
+net::Copy make_copy(net::TaskId task, net::Priority prio) {
+  net::Copy copy;
+  copy.task = task;
+  copy.prio = prio;
+  return copy;
+}
+
+TEST(MetricsRegistry, HandFedEventsMatchHandComputedIntegrals) {
+  // One link of a 4-ring receives two copies; every accumulator of the
+  // snapshot is checked against pencil-and-paper values.
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+  registry.begin_window(0.0);
+
+  const net::Copy high = make_copy(1, net::Priority::kHigh);
+  const net::Copy low = make_copy(2, net::Priority::kLow);
+  // Backlog on link 0: 0 on [0,1), 1 on [1,1.5), 2 on [1.5,3), 1 on
+  // [3,5), 0 on [5,10].
+  registry.record_enqueue(0, high, 1.0);
+  registry.record_enqueue(0, low, 1.5);
+  registry.record_transmission(0, high, /*enqueued_at=*/1.0, /*start=*/1.0,
+                               /*end=*/3.0);
+  registry.record_transmission(0, low, /*enqueued_at=*/1.5, /*start=*/3.0,
+                               /*end=*/5.0);
+  registry.end_window(10.0);
+
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.links.size(), 8u);  // 4-ring: 4 nodes x 2 directions
+  EXPECT_EQ(snap.window_start, 0.0);
+  EXPECT_EQ(snap.window_end, 10.0);
+  EXPECT_EQ(snap.span(), 10.0);
+
+  const auto& hi_cell = snap.cell(0, net::Priority::kHigh);
+  EXPECT_EQ(hi_cell.transmissions, 1u);
+  EXPECT_DOUBLE_EQ(hi_cell.busy_time, 2.0);
+  EXPECT_DOUBLE_EQ(hi_cell.wait.mean(), 0.0);
+
+  const auto& lo_cell = snap.cell(0, net::Priority::kLow);
+  EXPECT_EQ(lo_cell.transmissions, 1u);
+  EXPECT_DOUBLE_EQ(lo_cell.busy_time, 2.0);
+  EXPECT_DOUBLE_EQ(lo_cell.wait.mean(), 1.5);
+
+  EXPECT_DOUBLE_EQ(snap.link_busy(0), 4.0);
+  EXPECT_EQ(snap.link_transmissions(0), 2u);
+  EXPECT_DOUBLE_EQ(snap.utilization(0), 0.4);
+  EXPECT_EQ(snap.total_transmissions(), 2u);
+  EXPECT_EQ(snap.class_transmissions(net::Priority::kHigh), 1u);
+  EXPECT_EQ(snap.class_transmissions(net::Priority::kMedium), 0u);
+  EXPECT_DOUBLE_EQ(snap.class_busy(net::Priority::kLow), 2.0);
+
+  // Time-weighted backlog: integral 0*1 + 1*0.5 + 2*1.5 + 1*2 + 0*5 =
+  // 5.5 over a span of 10.
+  ASSERT_EQ(snap.backlog_mean.size(), 8u);
+  EXPECT_DOUBLE_EQ(snap.backlog_mean[0], 0.55);
+  EXPECT_DOUBLE_EQ(snap.backlog_max[0], 2.0);
+  EXPECT_DOUBLE_EQ(snap.backlog_mean[3], 0.0);
+
+  // All load on one of 8 links: imbalance = 4.0 / (4.0 / 8).
+  EXPECT_DOUBLE_EQ(snap.imbalance_ratio(), 8.0);
+
+  // Class histograms saw the same waits as the RunningStats.
+  ASSERT_EQ(snap.class_wait_hist.size(), net::kPriorityClasses);
+  EXPECT_EQ(snap.class_wait_hist[0].total(), 1u);
+  EXPECT_EQ(snap.class_wait_hist[2].total(), 1u);
+  // The 1.5 wait lands in bucket [1.5, 1.75) of the 0.25-wide grid.
+  EXPECT_DOUBLE_EQ(snap.class_wait_hist[2].quantile(1.0), 1.75);
+}
+
+TEST(MetricsRegistry, WindowClampsBusyAndFiltersCounts) {
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+  const net::Copy c = make_copy(1, net::Priority::kHigh);
+
+  // Enqueued during warmup, serviced across the window start: busy
+  // clamps to [10, 12]; neither the transmission nor its wait counts
+  // (service started before the window opened).
+  registry.record_enqueue(0, c, 5.0);
+  registry.begin_window(10.0);
+  registry.record_enqueue(0, c, 11.0);
+  registry.record_transmission(0, c, 5.0, 8.0, 12.0);
+  // Fully inside: everything counts (enqueued 11, served 12..13).
+  registry.record_transmission(0, c, 11.0, 12.0, 13.0);
+  // Started inside the window but drains past its end: busy clamps to
+  // [19, 20], the wait sample counts (service began in-window), the
+  // transmission itself does not (it did not run entirely inside).
+  registry.record_enqueue(0, c, 15.0);
+  registry.end_window(20.0);
+  registry.record_transmission(0, c, 15.0, 19.0, 25.0);
+  // Entirely after the window: invisible.
+  registry.record_enqueue(0, c, 21.0);
+  registry.record_transmission(0, c, 21.0, 21.0, 22.0);
+
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  const auto& cell = snap.cell(0, net::Priority::kHigh);
+  EXPECT_EQ(cell.transmissions, 1u);
+  EXPECT_DOUBLE_EQ(cell.busy_time, 2.0 + 1.0 + 1.0);
+  EXPECT_EQ(cell.wait.count(), 2u);           // starts at 12 and 19
+  EXPECT_DOUBLE_EQ(cell.wait.sum(), 1.0 + 4.0);
+  EXPECT_EQ(snap.span(), 10.0);
+}
+
+TEST(MetricsRegistry, DropsAndBacklogUnderFiniteQueues) {
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+  registry.begin_window(0.0);
+  const net::Copy c = make_copy(1, net::Priority::kLow);
+  registry.record_enqueue(0, c, 1.0);
+  registry.record_enqueue(0, c, 1.0);
+  registry.record_drop(0, c, 2.0, /*was_queued=*/true);   // push-out victim
+  registry.record_drop(0, c, 3.0, /*was_queued=*/false);  // tail drop
+  registry.record_transmission(0, c, 1.0, 3.0, 4.0);
+  registry.end_window(10.0);
+
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.cell(0, net::Priority::kLow).drops, 2u);
+  // Backlog: 0 on [0,1), 2 on [1,2), 1 on [2,4), 0 on [4,10] -> 4/10.
+  EXPECT_DOUBLE_EQ(snap.backlog_mean[0], 0.4);
+  EXPECT_DOUBLE_EQ(snap.backlog_max[0], 2.0);
+}
+
+TEST(TraceSink, RoundTripParses) {
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  sink.run_header()
+      .field("shape", "4x4")
+      .field("rho", 0.5)
+      .field("note", std::string_view("quote\"back\\slash"));
+
+  net::Task task;
+  task.kind = net::TaskKind::kBroadcast;
+  task.source = 3;
+  task.dest = 3;
+  task.length = 1;
+  sink.task_created(0.125, 7, task);
+  const net::Copy copy = make_copy(7, net::Priority::kLow);
+  sink.enqueue(0.125, 7, copy, 12);
+  // An awkward double must survive the shortest-round-trip formatter.
+  const double start = 1.0 / 3.0;
+  sink.transmission(7, copy, 12, 3, 7, 0, topo::Dir::kMinus, 0.125, start,
+                    start + 1.0);
+  sink.drop(2.5, 7, copy, 12, true);
+  task.receptions = 15;
+  sink.task_completed(9.0, 7, task);
+
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(out.str());
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines.size(), sink.records());
+
+  // Every record is one flat JSON object with an "ev" discriminator.
+  const char* expected_ev[] = {"run", "task", "enq", "tx", "drop", "done"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].front(), '{') << lines[i];
+    EXPECT_EQ(lines[i].back(), '}') << lines[i];
+    const std::string tag = "\"ev\":\"" + std::string(expected_ev[i]) + "\"";
+    EXPECT_NE(lines[i].find(tag), std::string::npos) << lines[i];
+  }
+  EXPECT_NE(lines[0].find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"note\":\"quote\\\"back\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"broadcast\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"dir\":\"-\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"queued\":true"), std::string::npos);
+
+  // The tx start field parses back to the exact double that was written.
+  const std::string key = "\"start\":";
+  const std::size_t pos = lines[3].find(key);
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::strtod(lines[3].c_str() + pos + key.size(), nullptr),
+                   start);
+}
+
+TEST(Metrics, SymmetricTorusImbalanceApproachesOne) {
+  // Eq. (2) balances expected load across ALL directed links of a
+  // symmetric torus, so the measured imbalance is pure counting noise
+  // and must shrink toward 1 as the measurement window grows.
+  auto imbalance_at = [](double measure) {
+    harness::ExperimentSpec spec;
+    spec.shape = topo::Shape{4, 4};
+    spec.rho = 0.6;
+    spec.warmup = 300.0;
+    spec.measure = measure;
+    spec.seed = 99;
+    spec.collect_link_metrics = true;
+    const harness::ExperimentResult r = harness::run_experiment(spec);
+    EXPECT_NE(r.link_metrics, nullptr);
+    // Engine and registry measure the same window with the same clamp
+    // rules, so their network-wide utilization must agree closely.
+    EXPECT_NEAR(r.link_metrics->mean_utilization(), r.utilization_mean, 0.01);
+    return r.link_metrics->imbalance_ratio();
+  };
+
+  const double short_window = imbalance_at(500.0);
+  const double long_window = imbalance_at(8000.0);
+  EXPECT_GT(short_window, 1.0);
+  EXPECT_GT(long_window, 1.0);
+  EXPECT_LT(long_window, short_window);
+  EXPECT_LT(long_window, 1.10);
+}
+
+TEST(Metrics, RegistrySeesEveryEngineTransmission) {
+  // Attached over a whole run (no windows), the registry's totals must
+  // match the engine's own aggregate metrics exactly.
+  harness::ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.rho = 0.5;
+  spec.warmup = 0.0;
+  spec.measure = 400.0;
+  spec.seed = 5;
+  spec.collect_link_metrics = true;
+  const harness::ExperimentResult r = harness::run_experiment(spec);
+  ASSERT_NE(r.link_metrics, nullptr);
+  const auto& snap = *r.link_metrics;
+
+  // Per-class wait means from the registry match the merged view.
+  const auto lo = snap.class_wait(net::Priority::kLow);
+  std::uint64_t hist_total = 0;
+  for (const auto& h : snap.class_wait_hist) hist_total += h.total();
+  std::uint64_t wait_total = 0;
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    wait_total += snap.class_wait(static_cast<net::Priority>(c)).count();
+  }
+  EXPECT_EQ(hist_total, wait_total);
+  EXPECT_GT(lo.count(), 0u);
+
+  // The harness exporter agrees with the snapshot it wraps.
+  std::ostringstream csv;
+  harness::write_link_metrics_csv_header(csv, "");
+  harness::write_link_metrics_csv(csv, snap, "");
+  std::string line;
+  std::istringstream in(csv.str());
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, snap.links.size() + 1);  // header + one row per link
+}
+
+}  // namespace
+}  // namespace pstar

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "pstar/core/policy_factory.hpp"
@@ -41,15 +43,32 @@ class PathValidator : public net::Observer {
     st.received.insert(info.source);
   }
 
+  void on_enqueue(net::TaskId task, const net::Copy& /*copy*/,
+                  topo::LinkId link, double now) override {
+    ++enqueues_;
+    enqueue_time_[{task, link}] = now;
+  }
+
   void on_transmission(net::TaskId task, const net::Copy& copy,
-                       topo::NodeId from, topo::NodeId to, std::int32_t dim,
-                       topo::Dir /*dir*/, double start, double end) override {
+                       topo::LinkId link, topo::NodeId from, topo::NodeId to,
+                       std::int32_t dim, topo::Dir /*dir*/, double enqueued_at,
+                       double start, double end) override {
     auto it = live_.find(task);
     ASSERT_NE(it, live_.end()) << "transmission for unknown task";
     TaskTrace& st = it->second;
     EXPECT_GE(start, st.created);
     EXPECT_GT(end, start);
     ++st.transmissions;
+
+    // Queue-entry timestamp: every transmission was preceded by a
+    // matching on_enqueue at exactly enqueued_at, and the per-link wait
+    // (start - enqueued_at) is non-negative.
+    EXPECT_LE(enqueued_at, start) << "service started before queue entry";
+    const auto enq = enqueue_time_.find({task, link});
+    ASSERT_NE(enq, enqueue_time_.end())
+        << "transmission without a matching on_enqueue";
+    EXPECT_EQ(enq->second, enqueued_at);
+    enqueue_time_.erase(enq);
 
     if (st.kind == net::TaskKind::kBroadcast) {
       // SDC tree invariants: sender already holds the packet, receiver is
@@ -105,6 +124,8 @@ class PathValidator : public net::Observer {
 
   std::uint64_t completed() const { return completed_; }
   std::size_t live_tasks() const { return live_.size(); }
+  std::uint64_t enqueues() const { return enqueues_; }
+  std::size_t pending_enqueues() const { return enqueue_time_.size(); }
 
  private:
   struct TaskTrace {
@@ -119,7 +140,9 @@ class PathValidator : public net::Observer {
 
   const Torus& torus_;
   std::map<net::TaskId, TaskTrace> live_;
+  std::map<std::pair<net::TaskId, topo::LinkId>, double> enqueue_time_;
   std::uint64_t completed_ = 0;
+  std::uint64_t enqueues_ = 0;
 };
 
 class ObserverValidation : public ::testing::TestWithParam<Shape> {};
@@ -148,6 +171,10 @@ TEST_P(ObserverValidation, FullWorkloadSatisfiesPathInvariants) {
   EXPECT_EQ(validator.completed(),
             engine.metrics().tasks_completed[0] +
                 engine.metrics().tasks_completed[1]);
+  // Every copy admitted to a link was eventually transmitted, and each
+  // transmission carried the matching queue-entry timestamp.
+  EXPECT_EQ(validator.enqueues(), engine.metrics().transmissions);
+  EXPECT_EQ(validator.pending_enqueues(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, ObserverValidation,
@@ -198,6 +225,53 @@ TEST(Observer, FcfsDirectAlsoSatisfiesTreeInvariants) {
   }
   sim.run();
   EXPECT_EQ(validator.completed(), 30u);
+}
+
+TEST(Observer, EnqueueTimestampReconstructsPerLinkWait) {
+  // Three simultaneous broadcasts on a 2-node ring serialize on the one
+  // outgoing link of the source: the enqueue timestamps surfaced through
+  // on_enqueue / on_transmission must reconstruct waits of exactly
+  // 0, 1, 2 time units, matching the engine's own wait_by_class stats.
+  struct WaitCollector : net::Observer {
+    std::vector<double> waits;
+    std::vector<double> enqueues;
+    void on_enqueue(net::TaskId, const net::Copy&, topo::LinkId,
+                    double now) override {
+      enqueues.push_back(now);
+    }
+    void on_transmission(net::TaskId, const net::Copy&, topo::LinkId,
+                         topo::NodeId, topo::NodeId, std::int32_t, topo::Dir,
+                         double enqueued_at, double start, double) override {
+      waits.push_back(start - enqueued_at);
+    }
+  };
+
+  const Torus torus(Shape{2});
+  sim::Rng rng(7);
+  auto policy = core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+  sim::Simulator sim;
+  net::Engine engine(sim, torus, *policy, rng);
+  WaitCollector collector;
+  engine.set_observer(&collector);
+  engine.begin_measurement();
+
+  for (int i = 0; i < 3; ++i) {
+    engine.create_task(net::TaskKind::kBroadcast, 0, 0, 1);
+  }
+  sim.run();
+
+  ASSERT_EQ(collector.enqueues.size(), 3u);
+  for (double t : collector.enqueues) EXPECT_EQ(t, 0.0);
+  ASSERT_EQ(collector.waits.size(), 3u);
+  std::vector<double> sorted = collector.waits;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<double>{0.0, 1.0, 2.0}));
+
+  double engine_wait = 0.0;
+  for (const auto& w : engine.metrics().wait_by_class) {
+    engine_wait += w.sum();
+  }
+  EXPECT_DOUBLE_EQ(engine_wait, 3.0);
 }
 
 TEST(Observer, DetachWorks) {

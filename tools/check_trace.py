@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate a pstar JSONL trace against the documented schema.
+
+Checks every line of the trace produced by ``obs::JsonlTraceSink``
+(``sweep_cli --trace``, or any program attaching the sink) against the
+schema table in docs/OBSERVABILITY.md, version 1:
+
+  - every line parses as one flat JSON object with an "ev" discriminator;
+  - the first record of each run is a header with "schema": 1;
+  - each record carries exactly the documented required fields with the
+    documented types (extra metadata is allowed only on the run header);
+  - per-record invariants hold (tx: enq <= start < end; prio in 0..2;
+    dir is "+" or "-"; kind is a known task kind);
+  - per-copy ordering holds within each run: a tx or queued drop on
+    (task, link) consumes a prior enq on the same (task, link).
+
+Usage:  check_trace.py TRACE.jsonl [...]
+        check_trace.py < TRACE.jsonl
+
+Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+NUMBER = (int, float)
+
+# ev -> {field: type tuple}; run headers allow extra free-form metadata.
+REQUIRED = {
+    "run": {"schema": (int,)},
+    "task": {
+        "t": NUMBER,
+        "task": (int,),
+        "kind": (str,),
+        "src": (int,),
+        "dst": (int,),
+        "len": (int,),
+        "measured": (bool,),
+    },
+    "enq": {"t": NUMBER, "task": (int,), "link": (int,), "prio": (int,)},
+    "tx": {
+        "task": (int,),
+        "link": (int,),
+        "from": (int,),
+        "to": (int,),
+        "dim": (int,),
+        "dir": (str,),
+        "prio": (int,),
+        "vc": (int,),
+        "enq": NUMBER,
+        "start": NUMBER,
+        "end": NUMBER,
+    },
+    "drop": {
+        "t": NUMBER,
+        "task": (int,),
+        "link": (int,),
+        "prio": (int,),
+        "queued": (bool,),
+    },
+    "done": {
+        "t": NUMBER,
+        "task": (int,),
+        "kind": (str,),
+        "receptions": (int,),
+        "lost": (int,),
+    },
+}
+
+TASK_KINDS = {"broadcast", "unicast", "multicast"}
+
+
+def check_record(rec, state):
+    """Returns a list of problems with one parsed record."""
+    ev = rec.get("ev")
+    if ev not in REQUIRED:
+        return ["unknown or missing \"ev\": {!r}".format(ev)]
+    problems = []
+    spec = REQUIRED[ev]
+    for field, types in spec.items():
+        if field not in rec:
+            problems.append("{}: missing field {!r}".format(ev, field))
+        elif not isinstance(rec[field], types) or isinstance(
+            rec[field], bool
+        ) != (types == (bool,)):
+            problems.append(
+                "{}: field {!r} has type {}, expected {}".format(
+                    ev, field, type(rec[field]).__name__,
+                    "/".join(t.__name__ for t in types)))
+    if ev != "run":
+        extra = set(rec) - set(spec) - {"ev"}
+        if extra:
+            problems.append("{}: undocumented fields {}".format(
+                ev, sorted(extra)))
+    if problems:
+        return problems
+
+    if ev == "run":
+        if rec["schema"] != SCHEMA_VERSION:
+            problems.append("run: schema {} != {}".format(
+                rec["schema"], SCHEMA_VERSION))
+        state["in_run"] = True
+        state["pending"].clear()
+    elif not state["in_run"]:
+        problems.append("{}: record before any run header".format(ev))
+
+    if "prio" in rec and not 0 <= rec["prio"] <= 2:
+        problems.append("{}: prio {} outside 0..2".format(ev, rec["prio"]))
+    if "kind" in rec and rec["kind"] not in TASK_KINDS:
+        problems.append("{}: unknown kind {!r}".format(ev, rec["kind"]))
+
+    if ev == "enq":
+        state["pending"][(rec["task"], rec["link"])] = rec["t"]
+    elif ev == "tx":
+        if rec["dir"] not in ("+", "-"):
+            problems.append("tx: dir {!r} not '+'/'-'".format(rec["dir"]))
+        if not rec["enq"] <= rec["start"] < rec["end"]:
+            problems.append(
+                "tx: times violate enq <= start < end: {} {} {}".format(
+                    rec["enq"], rec["start"], rec["end"]))
+        if rec["vc"] not in (0, 1):
+            problems.append("tx: vc {} not 0/1".format(rec["vc"]))
+        key = (rec["task"], rec["link"])
+        if state["pending"].pop(key, None) is None:
+            problems.append("tx: no pending enq for task {} link {}".format(
+                rec["task"], rec["link"]))
+    elif ev == "drop":
+        if rec["queued"]:
+            key = (rec["task"], rec["link"])
+            if state["pending"].pop(key, None) is None:
+                problems.append(
+                    "drop: queued=true but no pending enq for task {} "
+                    "link {}".format(rec["task"], rec["link"]))
+    elif ev == "done":
+        if rec["receptions"] < 0 or rec["lost"] < 0:
+            problems.append("done: negative receptions/lost")
+    return problems
+
+
+def check_stream(lines, name):
+    state = {"in_run": False, "pending": {}}
+    counts = {}
+    errors = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError as exc:
+            print("{}:{}: not JSON: {}".format(name, lineno, exc))
+            errors += 1
+            continue
+        if not isinstance(rec, dict):
+            print("{}:{}: not a JSON object".format(name, lineno))
+            errors += 1
+            continue
+        for problem in check_record(rec, state):
+            print("{}:{}: {}".format(name, lineno, problem))
+            errors += 1
+        counts[rec.get("ev")] = counts.get(rec.get("ev"), 0) + 1
+    if not counts:
+        print("{}: empty trace".format(name))
+        return 1
+    if counts.get("run", 0) == 0:
+        print("{}: no run header".format(name))
+        errors += 1
+    summary = ", ".join(
+        "{} {}".format(v, k) for k, v in sorted(counts.items()))
+    print("{}: {} records ({}) -> {}".format(
+        name, sum(counts.values()), summary,
+        "OK" if errors == 0 else "{} error(s)".format(errors)))
+    return 1 if errors else 0
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        return check_stream(sys.stdin, "<stdin>")
+    status = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            status |= check_stream(fh, path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
