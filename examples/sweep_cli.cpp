@@ -30,6 +30,12 @@
 //     --trace FILE.jsonl        JSONL event trace of rep 0 of every cell,
 //                               re-run serially after the sweep with the
 //                               identical derived seed
+//     --mtbf T --mttr T         random link faults: exponential mean time
+//                               between failures / to repair, per directed
+//                               link (docs/FAULTS.md); adds a "delivered"
+//                               column (mean delivered fraction)
+//     --fail-links 3,17,42      fail these directed links for the whole
+//                               run (scripted, on top of --mtbf)
 //
 //   examples:
 //     sweep_cli --shape 4x4x8 --bcast-frac 0.5 --rho 0.5:0.95:0.05
@@ -77,6 +83,11 @@ struct Options {
   net::DropPolicy drop = net::DropPolicy::kTailDrop;
   std::string metrics_path;
   std::string trace_path;
+  double mtbf = 0.0;
+  double mttr = 0.0;
+  std::vector<topo::LinkId> fail_links;
+
+  bool faulted() const { return mtbf > 0.0 || !fail_links.empty(); }
 };
 
 Options parse_options(int argc, char** argv) {
@@ -139,6 +150,12 @@ Options parse_options(int argc, char** argv) {
       opt.metrics_path = value();
     } else if (flag == "--trace") {
       opt.trace_path = value();
+    } else if (flag == "--mtbf") {
+      opt.mtbf = std::stod(value());
+    } else if (flag == "--mttr") {
+      opt.mttr = std::stod(value());
+    } else if (flag == "--fail-links") {
+      opt.fail_links = harness::parse_fail_links(value());
     } else if (flag == "--capacity") {
       opt.capacity = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--drop") {
@@ -155,6 +172,12 @@ Options parse_options(int argc, char** argv) {
     } else {
       throw std::invalid_argument("unknown flag " + flag);
     }
+  }
+  if (opt.mtbf < 0.0 || opt.mttr < 0.0) {
+    throw std::invalid_argument("--mtbf/--mttr must be >= 0");
+  }
+  if (opt.mtbf > 0.0 && opt.mttr <= 0.0) {
+    throw std::invalid_argument("--mtbf requires --mttr > 0");
   }
   return opt;
 }
@@ -173,7 +196,8 @@ int main(int argc, char** argv) {
                  "[--rho lo:hi:step] [--bcast-frac F]\n"
                  "                 [--length SPEC] [--warmup T] [--measure T] "
                  "[--seed N] [--reps N] [--jobs N] [--tails]\n"
-                 "                 [--metrics FILE.csv] [--trace FILE.jsonl]\n";
+                 "                 [--metrics FILE.csv] [--trace FILE.jsonl]\n"
+                 "                 [--mtbf T --mttr T] [--fail-links a,b,c]\n";
     return 2;
   }
 
@@ -188,6 +212,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> header{"rho", "scheme", "reception", "broadcast",
                                   "unicast", "util-max"};
+  if (opt.faulted()) header.push_back("delivered");
   if (!opt.metrics_path.empty()) header.push_back("imb");
   if (opt.reps > 1) {
     header.push_back("recep-sd");
@@ -220,6 +245,9 @@ int main(int argc, char** argv) {
       spec.hotspot_node = opt.hotspot_node;
       spec.queue_capacity = opt.capacity;
       spec.drop_policy = opt.drop;
+      spec.fault_mtbf = opt.mtbf;
+      spec.fault_mttr = opt.mttr;
+      spec.fail_links = opt.fail_links;
       spec.collect_link_metrics = !opt.metrics_path.empty();
       cells.push_back(std::move(spec));
     }
@@ -238,6 +266,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{harness::fmt(rho, 2), scheme.name};
       if (agg.stable_runs == 0) {
         row.insert(row.end(), {"unstable", "-", "-", "-"});
+        if (opt.faulted()) row.push_back("-");
         if (!opt.metrics_path.empty()) row.push_back("-");
         if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
         if (opt.tails) row.insert(row.end(), {"-", "-"});
@@ -249,6 +278,9 @@ int main(int argc, char** argv) {
       row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
       row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
       row.push_back(harness::fmt(first.utilization_max, 3));
+      if (opt.faulted()) {
+        row.push_back(harness::fmt(agg.delivered_fraction_mean, 4));
+      }
       if (!opt.metrics_path.empty()) {
         const double imb = harness::mean_imbalance(agg);
         row.push_back(imb > 0.0 ? harness::fmt(imb, 3) : "-");
@@ -321,14 +353,20 @@ int main(int argc, char** argv) {
       spec.seed = sim::seed_stream(cells[point].seed, point, 0);
       spec.collect_link_metrics = false;
       spec.trace_sink = &sink;
-      sink.run_header()
-          .field("shape", opt.shape.to_string())
-          .field("scheme", spec.scheme.name)
-          .field("rho", spec.rho)
-          .field("bcast_frac", spec.broadcast_fraction)
-          .field("warmup", spec.warmup)
-          .field("measure", spec.measure)
-          .field("seed", spec.seed);
+      {
+        // Scoped: the JsonLine must close before the run's events stream.
+        obs::JsonLine header_rec = sink.run_header();
+        header_rec.field("shape", opt.shape.to_string())
+            .field("scheme", spec.scheme.name)
+            .field("rho", spec.rho)
+            .field("bcast_frac", spec.broadcast_fraction)
+            .field("warmup", spec.warmup)
+            .field("measure", spec.measure)
+            .field("seed", spec.seed);
+        if (opt.faulted()) {
+          header_rec.field("mtbf", opt.mtbf).field("mttr", opt.mttr);
+        }
+      }
       try {
         harness::run_experiment(spec);
       } catch (const std::exception& e) {

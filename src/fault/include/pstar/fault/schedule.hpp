@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Deterministic link-fault schedules for the torus engine.
+///
+/// The fault model is fail-stop at directed-link granularity
+/// (docs/FAULTS.md): a down link aborts its in-service copy, drops its
+/// queue, and rejects new sends until repaired.  Two sources of outages
+/// compose:
+///
+///   - a random renewal process per link -- exponential uptime with mean
+///     `mtbf` followed by exponential downtime with mean `mttr`,
+///     independent across links;
+///   - scripted one-shot faults -- a specific link goes down at a
+///     specific time for a fixed (possibly infinite) duration.
+///
+/// The whole schedule is materialized up front from the config, so a run
+/// is exactly reproducible from its seed and the event count is bounded
+/// before the simulation starts.  Every per-link random stream is derived
+/// with sim::seed_stream -- the same derivation rule the batch runner
+/// uses for cell seeds -- so schedules are bit-identical across thread
+/// counts and independent of everything else the run's master Rng draws.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pstar/sim/rng.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::fault {
+
+/// Stream tag under which the harness derives a run's fault seed from
+/// the experiment seed: seed_stream(spec.seed, kFaultSeedStream, 0).
+/// Distinct from every (point, rep) pair the batch runner can produce,
+/// so fault draws never alias workload draws.
+inline constexpr std::uint64_t kFaultSeedStream = 0xFA5EEDULL;
+
+/// One scripted outage: `link` goes down at time `at` and comes back
+/// after `duration` (infinity = never repaired).
+struct ScriptedFault {
+  topo::LinkId link = topo::kInvalidLink;
+  double at = 0.0;
+  double duration = std::numeric_limits<double>::infinity();
+};
+
+/// Fault-model parameters consumed by net::EngineConfig.  Default state
+/// is disabled: the engine's fault machinery is bypassed entirely and
+/// the fault-free path is bit-identical to an engine without faults.
+struct FaultConfig {
+  /// Mean time between failures of one link (exponential uptime).
+  /// 0 disables the random process.
+  double mtbf = 0.0;
+  /// Mean time to repair (exponential downtime); must be > 0 when the
+  /// random process is enabled.
+  double mttr = 0.0;
+  /// Seed of the per-link fault streams (derive via seed_stream with
+  /// kFaultSeedStream; see docs/FAULTS.md).
+  std::uint64_t seed = 0;
+  /// No NEW random failure starts at or after this time (repairs of
+  /// earlier failures still complete), so a finite-horizon run drains
+  /// instead of chasing an endless fault process.  Must be finite when
+  /// mtbf > 0.
+  double horizon = std::numeric_limits<double>::infinity();
+  /// Scripted one-shot outages, applied on top of the random process
+  /// (overlapping outages of one link nest; the link is up only when
+  /// every outage covering it has ended).
+  std::vector<ScriptedFault> scripted;
+
+  bool enabled() const { return mtbf > 0.0 || !scripted.empty(); }
+};
+
+/// One link state transition of a materialized schedule.
+struct FaultEvent {
+  double time = 0.0;
+  topo::LinkId link = topo::kInvalidLink;
+  bool down = false;  ///< true = failure, false = repair
+};
+
+/// Materializes the full schedule for `link_count` directed links:
+/// per-link random up/down renewal processes (each on its own
+/// seed_stream(seed, tag, link) stream) merged with the scripted faults,
+/// sorted by (time, link, failure-before-repair).  Deterministic given
+/// the config.  Throws std::invalid_argument on an inconsistent config
+/// (mtbf > 0 with mttr <= 0 or an infinite horizon; a scripted fault on
+/// a link id outside [0, link_count)).
+std::vector<FaultEvent> build_schedule(const FaultConfig& config,
+                                       std::int32_t link_count);
+
+}  // namespace pstar::fault

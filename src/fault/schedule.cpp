@@ -1,0 +1,71 @@
+#include "pstar/fault/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pstar::fault {
+
+namespace {
+
+/// Stream tag of the per-link renewal processes: link l draws from
+/// seed_stream(config.seed, kLinkStreamTag, l).
+constexpr std::uint64_t kLinkStreamTag = 0xFA017ULL;
+
+}  // namespace
+
+std::vector<FaultEvent> build_schedule(const FaultConfig& config,
+                                       std::int32_t link_count) {
+  std::vector<FaultEvent> events;
+  if (config.mtbf > 0.0) {
+    if (config.mttr <= 0.0) {
+      throw std::invalid_argument(
+          "fault::build_schedule: mtbf > 0 requires mttr > 0");
+    }
+    if (!std::isfinite(config.horizon)) {
+      throw std::invalid_argument(
+          "fault::build_schedule: mtbf > 0 requires a finite horizon");
+    }
+    for (topo::LinkId l = 0; l < link_count; ++l) {
+      sim::Rng rng(sim::seed_stream(config.seed, kLinkStreamTag,
+                                    static_cast<std::uint64_t>(l)));
+      double t = 0.0;
+      for (;;) {
+        // Alternating exponential uptime / downtime; per link the draw
+        // order is fixed (uptime, downtime, uptime, ...), so the stream
+        // never depends on other links or on simulation state.
+        const double down_at = t + rng.exponential(1.0 / config.mtbf);
+        if (!(down_at < config.horizon)) break;
+        const double up_at = down_at + rng.exponential(1.0 / config.mttr);
+        events.push_back(FaultEvent{down_at, l, true});
+        events.push_back(FaultEvent{up_at, l, false});
+        t = up_at;
+      }
+    }
+  }
+  for (const ScriptedFault& f : config.scripted) {
+    if (f.link < 0 || f.link >= link_count) {
+      throw std::invalid_argument(
+          "fault::build_schedule: scripted fault link out of range");
+    }
+    if (f.at < 0.0 || !(f.duration > 0.0)) {
+      throw std::invalid_argument(
+          "fault::build_schedule: scripted fault needs at >= 0, duration > 0");
+    }
+    events.push_back(FaultEvent{f.at, f.link, true});
+    if (std::isfinite(f.duration)) {
+      events.push_back(FaultEvent{f.at + f.duration, f.link, false});
+    }
+  }
+  // Total order so engines consume the schedule identically regardless
+  // of source: time, then link, then failure before repair.
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.link != b.link) return a.link < b.link;
+              return a.down && !b.down;
+            });
+  return events;
+}
+
+}  // namespace pstar::fault

@@ -1,6 +1,7 @@
 #include "pstar/harness/cli.hpp"
 
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace pstar::harness {
@@ -121,6 +122,22 @@ std::size_t parse_count(const std::string& text, const std::string& what) {
     throw std::invalid_argument(what + " out of range: '" + text + "'");
   }
   return static_cast<std::size_t>(v);
+}
+
+std::vector<topo::LinkId> parse_fail_links(const std::string& text) {
+  std::vector<topo::LinkId> links;
+  for (const std::string& part : split(text, ',')) {
+    if (part.empty()) {
+      throw std::invalid_argument("--fail-links: empty link id in '" + text +
+                                  "'");
+    }
+    const std::int64_t v = parse_int(part);
+    if (v < 0 || v > std::numeric_limits<topo::LinkId>::max()) {
+      throw std::invalid_argument("--fail-links: bad link id '" + part + "'");
+    }
+    links.push_back(static_cast<topo::LinkId>(v));
+  }
+  return links;
 }
 
 core::Scheme parse_scheme(const std::string& text) {

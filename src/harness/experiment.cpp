@@ -65,6 +65,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   engine_cfg.record_histograms = spec.record_histograms;
   engine_cfg.queue_capacity = spec.queue_capacity;
   engine_cfg.drop_policy = spec.drop_policy;
+  if (spec.fault_mtbf > 0.0 || !spec.fail_links.empty()) {
+    // The fault seed is seed-stream-derived from the cell seed (the same
+    // rule BatchRunner uses for cell seeds), so faulted sweeps are
+    // bit-identical across thread counts, and new random failures stop
+    // at generation stop time so the drain phase terminates.
+    engine_cfg.faults.mtbf = spec.fault_mtbf;
+    engine_cfg.faults.mttr = spec.fault_mttr;
+    engine_cfg.faults.horizon = spec.warmup + spec.measure;
+    engine_cfg.faults.seed =
+        sim::seed_stream(spec.seed, fault::kFaultSeedStream, 0);
+    engine_cfg.faults.scripted.reserve(spec.fail_links.size());
+    for (topo::LinkId link : spec.fail_links) {
+      engine_cfg.faults.scripted.push_back(fault::ScriptedFault{
+          link, 0.0, std::numeric_limits<double>::infinity()});
+    }
+  }
   net::Engine engine(sim, torus, *policy, rng, engine_cfg);
 
   traffic::WorkloadConfig traffic_cfg;
@@ -143,7 +159,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   r.utilization_max = m.max_utilization();
   r.utilization_cv = m.utilization_cv();
   // Per-dimension mean utilization (balance diagnostics).
-  const double window = m.measure_end - m.measure_start;
+  const double window = m.window_span();
   r.utilization_by_dim.assign(static_cast<std::size_t>(torus.dims()), 0.0);
   if (window > 0.0) {
     std::vector<std::int64_t> links_in_dim(
@@ -178,6 +194,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   r.lost_receptions = m.lost_receptions;
   r.failed_broadcasts = m.failed_broadcasts;
   r.failed_unicasts = m.failed_unicasts;
+  r.link_failures = m.link_failures;
+  r.link_repairs = m.link_repairs;
+  r.fault_drops = m.fault_drops;
+  r.mean_downtime_fraction = m.mean_downtime_fraction();
+  r.downtime_weighted_utilization = m.downtime_weighted_utilization();
   if (m.lost_receptions > 0) {
     const double delivered = static_cast<double>(m.broadcast_receptions);
     r.delivered_fraction =
@@ -208,10 +229,12 @@ ReplicatedResult aggregate_replications(std::vector<ExperimentResult> runs) {
   stats::RunningStat reception, broadcast, unicast;
   stats::RunningStat reception_within, broadcast_within, unicast_within;
   stats::RunningStat p50, p95, p99;
+  stats::RunningStat delivered;
   for (const ExperimentResult& r : runs) {
     agg.events_processed += r.events_processed;
     agg.wall_seconds += r.wall_seconds;
     agg.drops += r.drops;
+    delivered.add(r.delivered_fraction);
     if (r.drops > 0) agg.any_dropped = true;
     if (r.saturated) agg.any_saturated = true;
     if (r.unstable || r.saturated) {
@@ -246,6 +269,7 @@ ReplicatedResult aggregate_replications(std::vector<ExperimentResult> runs) {
   agg.reception_p50 = p50.mean();
   agg.reception_p95 = p95.mean();
   agg.reception_p99 = p99.mean();
+  if (delivered.count() > 0) agg.delivered_fraction_mean = delivered.mean();
   agg.runs = std::move(runs);
   return agg;
 }

@@ -13,6 +13,7 @@
 
 #include "pstar/core/scheme.hpp"
 #include "pstar/topology/shape.hpp"
+#include "pstar/topology/torus.hpp"
 #include "pstar/traffic/length.hpp"
 
 namespace pstar::harness {
@@ -34,5 +35,10 @@ core::Scheme parse_scheme(const std::string& text);
 /// Small non-negative count ("4", or "auto" -> 0) for flags like --reps
 /// and --jobs; `what` names the flag in error messages.
 std::size_t parse_count(const std::string& text, const std::string& what);
+
+/// "3,17,42" -> {3, 17, 42}: comma-separated directed link ids for
+/// --fail-links.  Ids must be non-negative; range against the actual
+/// torus is checked when the fault schedule is built.
+std::vector<topo::LinkId> parse_fail_links(const std::string& text);
 
 }  // namespace pstar::harness

@@ -75,6 +75,19 @@ struct ExperimentSpec {
   /// Tasks per arrival epoch (compound Poisson; 1 = the paper's model).
   std::uint32_t batch_size = 1;
 
+  /// Link-fault model (docs/FAULTS.md).  fault_mtbf > 0 gives every
+  /// directed link an independent exponential up/down renewal process
+  /// (mean uptime fault_mtbf, mean downtime fault_mttr, which must then
+  /// be > 0); new failures stop at warmup + measure so the run drains.
+  /// The per-link fault streams are derived from spec.seed via
+  /// sim::seed_stream -- the batch-runner rule -- so faulted sweeps stay
+  /// bit-identical across --jobs thread counts.
+  double fault_mtbf = 0.0;
+  double fault_mttr = 0.0;
+  /// Directed links failed for the whole run (scripted down at t = 0,
+  /// never repaired) on top of the random process.
+  std::vector<topo::LinkId> fail_links;
+
   /// When true, an obs::MetricsRegistry is attached for the measurement
   /// window and its snapshot lands in ExperimentResult::link_metrics:
   /// per-(link, class) transmissions, busy time, waiting times, backlog
@@ -154,6 +167,16 @@ struct ExperimentResult {
   /// delivered / (delivered + lost); 1.0 when nothing was dropped.
   double delivered_fraction = 1.0;
 
+  // Link-fault accounting (all zero in fault-free runs; docs/FAULTS.md).
+  std::uint64_t link_failures = 0;   ///< up -> down transitions
+  std::uint64_t link_repairs = 0;    ///< down -> up transitions
+  std::uint64_t fault_drops = 0;     ///< copies lost to failed links
+  /// Mean over links of (window downtime / window span).
+  double mean_downtime_fraction = 0.0;
+  /// Utilization normalized by per-link AVAILABLE time (span minus
+  /// downtime); equals utilization_mean fault-free.
+  double downtime_weighted_utilization = 0.0;
+
   // Bookkeeping.
   std::uint64_t measured_broadcasts = 0;
   std::uint64_t measured_unicasts = 0;
@@ -226,6 +249,10 @@ struct ReplicatedResult {
   bool any_saturated = false;
   bool any_dropped = false;
   std::uint64_t drops = 0;
+
+  /// Mean delivered fraction over ALL runs (faulted/lossy runs are the
+  /// point of this metric, so unstable runs are not excluded).
+  double delivered_fraction_mean = 1.0;
 
   // Summed throughput accounting (events deterministic, wall not).
   std::uint64_t events_processed = 0;

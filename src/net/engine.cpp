@@ -8,8 +8,16 @@
 
 namespace pstar::net {
 
+double Metrics::window_span() const {
+  // A window never closed by end_measurement leaves measure_end at
+  // +infinity; clamping to the last recorded event keeps utilization
+  // well-defined instead of silently 0 (docs/MODEL.md §11).
+  const double end = std::isinf(measure_end) ? last_event : measure_end;
+  return end - measure_start;
+}
+
 double Metrics::mean_utilization() const {
-  const double span = measure_end - measure_start;
+  const double span = window_span();
   if (span <= 0.0 || link_busy_time.empty()) return 0.0;
   double total = 0.0;
   for (double b : link_busy_time) total += b;
@@ -17,13 +25,36 @@ double Metrics::mean_utilization() const {
 }
 
 double Metrics::max_utilization() const {
-  const double span = measure_end - measure_start;
+  const double span = window_span();
   if (span <= 0.0 || link_busy_time.empty()) return 0.0;
   return *std::max_element(link_busy_time.begin(), link_busy_time.end()) / span;
 }
 
+double Metrics::mean_downtime_fraction() const {
+  const double span = window_span();
+  if (span <= 0.0 || link_down_time.empty()) return 0.0;
+  double total = 0.0;
+  for (double d : link_down_time) total += d;
+  return total / (span * static_cast<double>(link_down_time.size()));
+}
+
+double Metrics::downtime_weighted_utilization() const {
+  const double span = window_span();
+  if (span <= 0.0 || link_busy_time.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t l = 0; l < link_busy_time.size(); ++l) {
+    const double down = l < link_down_time.size() ? link_down_time[l] : 0.0;
+    const double avail = span - down;
+    if (avail <= span * 1e-12) continue;  // down for (nearly) the whole window
+    total += link_busy_time[l] / avail;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
 double Metrics::utilization_cv() const {
-  const double span = measure_end - measure_start;
+  const double span = window_span();
   if (span <= 0.0 || link_busy_time.empty()) return 0.0;
   double mean = 0.0;
   for (double b : link_busy_time) mean += b;
@@ -41,8 +72,28 @@ Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
   links_.resize(static_cast<std::size_t>(torus_.link_count()));
   metrics_.link_busy_time.assign(links_.size(), 0.0);
   metrics_.link_transmissions.assign(links_.size(), 0);
+  metrics_.link_down_time.assign(links_.size(), 0.0);
   metrics_.measure_start = 0.0;
   metrics_.measure_end = std::numeric_limits<double>::infinity();
+  metrics_.last_event = sim_.now();
+  if (config_.faults.enabled()) {
+    fault_aware_ = true;
+    // The whole schedule is materialized up front (deterministic given
+    // the fault seed) and applied through timed events; past-dated
+    // entries fire immediately in schedule order.
+    for (const fault::FaultEvent& ev :
+         fault::build_schedule(config_.faults, torus_.link_count())) {
+      const double delay = std::max(0.0, ev.time - sim_.now());
+      if (ev.down) {
+        sim_.after(delay,
+                   [this, link = ev.link](sim::Simulator&) { fail_link(link); });
+      } else {
+        sim_.after(delay, [this, link = ev.link](sim::Simulator&) {
+          restore_link(link);
+        });
+      }
+    }
+  }
   if (config_.record_histograms) {
     metrics_.reception_delay_hist = std::make_unique<stats::Histogram>(
         config_.histogram_width, config_.histogram_buckets);
@@ -174,6 +225,15 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   }
   LinkState& ls = links_[static_cast<std::size_t>(link)];
 
+  // Fail-stop: a down link accepts no traffic.  The copy (and its
+  // downstream subtree) is charged through the normal drop machinery,
+  // exactly like a tail drop at a full queue.
+  if (ls.down_count > 0) {
+    ++metrics_.fault_drops;
+    drop_copy(copy, link, /*was_queued=*/false);
+    return;
+  }
+
   // Finite-buffer admission (queued copies only; service slot is free).
   if (ls.busy && config_.queue_capacity > 0) {
     std::size_t queued = 0;
@@ -189,7 +249,7 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
             drop_copy(victim, link, /*was_queued=*/true);
             ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
                 Queued{copy, sim_.now()});
-            ++inflight_copies_;
+            note_copy_admitted();
             if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
             return;
           }
@@ -200,14 +260,7 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
     }
   }
 
-  ++inflight_copies_;
-  if (measuring_) {
-    metrics_.inflight_copies.set(sim_.now(), static_cast<double>(inflight_copies_));
-  }
-  if (inflight_copies_ > config_.max_inflight_copies && !metrics_.unstable) {
-    metrics_.unstable = true;
-    sim_.stop();
-  }
+  note_copy_admitted();
 
   if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
   if (!ls.busy) {
@@ -215,6 +268,18 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   } else {
     ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
         Queued{copy, sim_.now()});
+  }
+}
+
+void Engine::note_copy_admitted() {
+  ++inflight_copies_;
+  if (measuring_) {
+    metrics_.inflight_copies.set(sim_.now(),
+                                 static_cast<double>(inflight_copies_));
+  }
+  if (inflight_copies_ > config_.max_inflight_copies && !metrics_.unstable) {
+    metrics_.unstable = true;
+    sim_.stop();
   }
 }
 
@@ -261,12 +326,14 @@ void Engine::begin_service(topo::LinkId link, const Copy& copy,
         sim_.now() - queued_since);
   }
   const double service_time = static_cast<double>(tasks_[copy.task].length);
-  sim_.after(service_time,
-             [this, link](sim::Simulator&) { complete_service(link); });
+  sim_.after(service_time, [this, link, epoch = ls.epoch](sim::Simulator&) {
+    complete_service(link, epoch);
+  });
 }
 
-void Engine::complete_service(topo::LinkId link) {
+void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
   LinkState& ls = links_[static_cast<std::size_t>(link)];
+  if (ls.epoch != epoch) return;  // service aborted by a link failure
   assert(ls.busy);
   const Copy copy = ls.serving;
   const double now = sim_.now();
@@ -275,7 +342,7 @@ void Engine::complete_service(topo::LinkId link) {
   ++metrics_.transmissions;
   ++metrics_.transmissions_by_vc[copy.vc & 1];
   ++metrics_.transmissions_by_class[static_cast<std::size_t>(copy.prio)];
-  record_window_busy(link, ls.service_start, now, t.length);
+  record_window_busy(link, ls.service_start, now, /*completed=*/true);
 
   --inflight_copies_;
   if (measuring_) {
@@ -382,6 +449,45 @@ void Engine::finish_task(TaskId id) {
   free_tasks_.push_back(id);
 }
 
+void Engine::fail_link(topo::LinkId link) {
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  if (ls.down_count++ > 0) return;  // overlapping outages nest
+  ++metrics_.link_failures;
+  ls.down_since = sim_.now();
+  if (observer_) observer_->on_link_down(link, sim_.now());
+  if (ls.busy) {
+    // Fail-stop: the copy in service is lost mid-flight.  Its partial
+    // service still occupied the link (counted as busy time) but it is
+    // not a completed transmission; the pending completion event is
+    // cancelled by advancing the link epoch.
+    ++ls.epoch;
+    const Copy victim = ls.serving;
+    record_window_busy(link, ls.service_start, sim_.now(), /*completed=*/false);
+    ls.busy = false;
+    ++metrics_.fault_drops;
+    drop_copy(victim, link, /*was_queued=*/true);
+  }
+  // Drain the queue through the normal drop machinery so subtree losses
+  // and task failures are charged exactly like buffer overflows.
+  for (auto& q : ls.queue) {
+    while (!q.empty()) {
+      const Copy victim = q.front().copy;
+      q.pop_front();
+      ++metrics_.fault_drops;
+      drop_copy(victim, link, /*was_queued=*/true);
+    }
+  }
+}
+
+void Engine::restore_link(topo::LinkId link) {
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  assert(ls.down_count > 0);
+  if (ls.down_count == 0 || --ls.down_count > 0) return;
+  ++metrics_.link_repairs;
+  record_window_downtime(link, ls.down_since, sim_.now());
+  if (observer_) observer_->on_link_up(link, sim_.now());
+}
+
 std::size_t Engine::link_backlog(topo::LinkId link) const {
   const LinkState& ls = links_[static_cast<std::size_t>(link)];
   std::size_t total = ls.busy ? 1 : 0;
@@ -398,6 +504,9 @@ void Engine::begin_measurement() {
   std::fill(metrics_.link_busy_time.begin(), metrics_.link_busy_time.end(), 0.0);
   std::fill(metrics_.link_transmissions.begin(),
             metrics_.link_transmissions.end(), 0);
+  std::fill(metrics_.link_down_time.begin(), metrics_.link_down_time.end(),
+            0.0);
+  metrics_.last_event = now;
   metrics_.inflight_broadcast_tasks.start(
       now, static_cast<double>(inflight_tasks_[0]));
   metrics_.inflight_unicast_tasks.start(
@@ -411,6 +520,16 @@ void Engine::end_measurement() {
   const double now = sim_.now();
   metrics_.measure_end = now;
   metrics_.inflight_copies_at_end = inflight_copies_;
+  // Flush open outages into the window and re-date them so the repair
+  // (which lands past measure_end) adds nothing on top.  Not gated on
+  // fault_aware_: tests and custom drivers may call fail_link directly.
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (links_[l].down_count > 0) {
+      record_window_downtime(static_cast<topo::LinkId>(l),
+                             links_[l].down_since, now);
+      links_[l].down_since = now;
+    }
+  }
   metrics_.inflight_broadcast_tasks.flush(now);
   metrics_.inflight_unicast_tasks.flush(now);
   metrics_.inflight_multicast_tasks.flush(now);
@@ -419,15 +538,33 @@ void Engine::end_measurement() {
 }
 
 void Engine::record_window_busy(topo::LinkId link, double start, double end,
-                                std::uint32_t /*length*/) {
+                                bool completed) {
+  // Window attribution rule (docs/MODEL.md §11, mirrored by
+  // obs::MetricsRegistry): a service interval belongs to the window when
+  // its overlap with it has positive length; its busy time is the
+  // clamped overlap and, when the service completed, it counts as one
+  // in-window transmission.  Busy time and transmission counts therefore
+  // agree at the window edges instead of disagreeing on straddlers.
+  // Services aborted by a link failure credit busy time only.
   const double lo = std::max(start, metrics_.measure_start);
   const double hi = std::min(end, metrics_.measure_end);
   if (hi > lo) {
     metrics_.link_busy_time[static_cast<std::size_t>(link)] += hi - lo;
-    if (end <= metrics_.measure_end && start >= metrics_.measure_start) {
+    if (completed) {
       ++metrics_.link_transmissions[static_cast<std::size_t>(link)];
     }
   }
+  metrics_.last_event = std::max(metrics_.last_event, end);
+}
+
+void Engine::record_window_downtime(topo::LinkId link, double start,
+                                    double end) {
+  const double lo = std::max(start, metrics_.measure_start);
+  const double hi = std::min(end, metrics_.measure_end);
+  if (hi > lo) {
+    metrics_.link_down_time[static_cast<std::size_t>(link)] += hi - lo;
+  }
+  metrics_.last_event = std::max(metrics_.last_event, end);
 }
 
 }  // namespace pstar::net

@@ -19,6 +19,7 @@
 
 #include <memory>
 
+#include "pstar/fault/schedule.hpp"
 #include "pstar/net/observer.hpp"
 #include "pstar/net/packet.hpp"
 #include "pstar/net/policy.hpp"
@@ -61,6 +62,13 @@ struct EngineConfig {
   /// overflow bucket beyond.
   double histogram_width = 1.0;
   std::size_t histogram_buckets = 4096;
+
+  /// Link-fault model (docs/FAULTS.md).  Disabled by default; when
+  /// enabled the engine materializes the schedule at construction and
+  /// applies every failure/repair at its scheduled time.  The fault-free
+  /// path is unaffected: with faults disabled no fault event exists and
+  /// results are bit-identical to an engine without the subsystem.
+  fault::FaultConfig faults;
 };
 
 /// Aggregated measurements of one run.  Delay statistics cover tasks
@@ -104,6 +112,17 @@ struct Metrics {
 
   std::vector<double> link_busy_time;      ///< within measurement window
   std::vector<std::uint64_t> link_transmissions;  ///< within window
+  /// Outage time per link clamped to the measurement window (all zero in
+  /// fault-free runs).
+  std::vector<double> link_down_time;
+
+  // Fault accounting (docs/FAULTS.md); all zero with faults disabled.
+  std::uint64_t link_failures = 0;  ///< up -> down transitions, whole run
+  std::uint64_t link_repairs = 0;   ///< down -> up transitions, whole run
+  /// Copies lost to link failures: aborted in-service copies, drained
+  /// queue entries, and sends rejected at a down link.  Each is also
+  /// counted in drops_by_class.
+  std::uint64_t fault_drops = 0;
 
   /// Delay histograms; present only when EngineConfig::record_histograms.
   std::unique_ptr<stats::Histogram> reception_delay_hist;
@@ -112,6 +131,9 @@ struct Metrics {
 
   double measure_start = 0.0;
   double measure_end = 0.0;
+  /// Time of the last window-accounted event; stands in for measure_end
+  /// when the window was never closed (see window_span).
+  double last_event = 0.0;
   bool unstable = false;
   /// Copies still queued or in service when the window closed; a large
   /// backlog relative to the steady state marks a saturated (rho beyond
@@ -119,12 +141,25 @@ struct Metrics {
   /// tripped, because a finite-horizon run always drains eventually.
   std::uint64_t inflight_copies_at_end = 0;
 
+  /// Effective measurement span: measure_end - measure_start, except
+  /// that a window never closed by end_measurement (measure_end still
+  /// +infinity) is clamped to the last recorded event, so utilization is
+  /// well-defined instead of silently 0 (docs/MODEL.md §11).
+  double window_span() const;
+
   /// Mean utilization over links inside the measurement window.
   double mean_utilization() const;
   /// Maximum per-link utilization inside the window.
   double max_utilization() const;
   /// Coefficient of variation of per-link utilization (balance metric).
   double utilization_cv() const;
+
+  /// Mean over links of (window downtime / window span); 0 fault-free.
+  double mean_downtime_fraction() const;
+  /// Mean utilization normalized by per-link AVAILABLE time
+  /// (span - downtime); links down for the whole window are excluded.
+  /// Equals mean_utilization in a fault-free run.
+  double downtime_weighted_utilization() const;
 };
 
 /// The network simulator core.
@@ -186,6 +221,24 @@ class Engine {
   /// True once the instability guard has tripped.
   bool unstable() const { return metrics_.unstable; }
 
+  /// True when a fault schedule is active for this run (config.faults
+  /// enabled); routing policies consult this before paying for per-link
+  /// state checks.
+  bool fault_aware() const { return fault_aware_; }
+
+  /// Whether `link` currently accepts traffic (always true fault-free).
+  bool link_up(topo::LinkId link) const {
+    return links_[static_cast<std::size_t>(link)].down_count == 0;
+  }
+
+  /// Fails a link (fail-stop): aborts its in-service copy, drains its
+  /// queue through the drop machinery, and rejects sends until
+  /// restore_link.  Overlapping outages nest -- the link is up again
+  /// only after a matching number of restores.  Scheduled automatically
+  /// from EngineConfig::faults; public for tests and custom drivers.
+  void fail_link(topo::LinkId link);
+  void restore_link(topo::LinkId link);
+
   /// Attaches an instrumentation observer (nullptr detaches).  The
   /// observer must outlive the engine.  At most one observer is active.
   void set_observer(Observer* observer) { observer_ = observer; }
@@ -202,10 +255,17 @@ class Engine {
     double service_start = 0.0;
     double serving_enqueued_at = 0.0;
     std::deque<Queued> queue[kPriorityClasses];
+    /// Nested outage counter: > 0 means down (fail_link/restore_link).
+    std::uint32_t down_count = 0;
+    /// Bumped when a failure aborts the in-service copy; the pending
+    /// completion event carries the epoch it was scheduled under and is
+    /// ignored when stale.
+    std::uint64_t epoch = 0;
+    double down_since = 0.0;
   };
 
   void begin_service(topo::LinkId link, const Copy& copy, double queued_since);
-  void complete_service(topo::LinkId link);
+  void complete_service(topo::LinkId link, std::uint64_t epoch);
   /// Charges a dropped copy: loss metrics, orphaned receptions, and task
   /// failure bookkeeping.  `was_queued` says whether the copy was already
   /// counted in flight (push-out victim) or arriving (tail drop).
@@ -214,8 +274,13 @@ class Engine {
   /// idempotent (both the delivery and the drop path may trigger it).
   void maybe_finish_broadcast(TaskId id);
   void finish_task(TaskId id);
+  /// Admission bookkeeping shared by every path that adds a copy to a
+  /// link: in-flight count, the time-weighted gauge, and the instability
+  /// guard.
+  void note_copy_admitted();
   void record_window_busy(topo::LinkId link, double start, double end,
-                          std::uint32_t length);
+                          bool completed);
+  void record_window_downtime(topo::LinkId link, double start, double end);
 
   sim::Simulator& sim_;
   const topo::Torus& torus_;
@@ -233,6 +298,7 @@ class Engine {
   Metrics metrics_;
   Observer* observer_ = nullptr;
   bool measuring_ = false;
+  bool fault_aware_ = false;
   std::uint64_t inflight_copies_ = 0;
   std::uint64_t inflight_tasks_[kTaskKinds] = {0, 0, 0};
 };

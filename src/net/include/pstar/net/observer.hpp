@@ -63,6 +63,17 @@ class Observer {
   /// A task finished (broadcast: all receptions done; unicast: delivered).
   virtual void on_task_completed(TaskId /*task*/, const Task& /*info*/,
                                  double /*time*/) {}
+
+  /// `link` failed at `now` (fail-stop; docs/FAULTS.md).  Fires on the
+  /// up -> down transition only (overlapping outages nest silently), and
+  /// BEFORE the on_drop calls for the aborted in-service copy and the
+  /// drained queue, so a trace reader knows why those copies died.
+  virtual void on_link_down(topo::LinkId /*link*/, double /*now*/) {}
+
+  /// `link` was repaired at `now` (the matching down -> up transition);
+  /// it accepts sends again.  Per link, on_link_down/on_link_up strictly
+  /// alternate.
+  virtual void on_link_up(topo::LinkId /*link*/, double /*now*/) {}
 };
 
 }  // namespace pstar::net

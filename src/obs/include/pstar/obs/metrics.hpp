@@ -74,6 +74,11 @@ struct LinkMetricsSnapshot {
   /// window; empty when MetricsConfig::track_backlog was off.
   std::vector<double> backlog_mean;
   std::vector<double> backlog_max;
+  /// Per-link outage time clamped to the window and per-link failure
+  /// count (up -> down transitions inside the window); all zero in
+  /// fault-free runs (docs/FAULTS.md).
+  std::vector<double> down_time;
+  std::vector<std::uint64_t> failures;
   /// Network-wide per-class waiting-time histograms; empty when
   /// MetricsConfig::wait_histograms was off.
   std::vector<stats::Histogram> class_wait_hist;
@@ -90,6 +95,8 @@ struct LinkMetricsSnapshot {
 
   /// Busy time of one link summed over classes (time units).
   double link_busy(topo::LinkId link) const;
+  /// Fraction of the window one link was available (1 fault-free).
+  double availability(topo::LinkId link) const;
   /// Transmissions of one link summed over classes.
   std::uint64_t link_transmissions(topo::LinkId link) const;
   /// Fraction of the window one link spent serving (0 when span is 0).
@@ -136,6 +143,8 @@ class MetricsRegistry {
                            double enqueued_at, double start, double end);
   void record_drop(topo::LinkId link, const net::Copy& copy, double now,
                    bool was_queued);
+  void record_link_down(topo::LinkId link, double now);
+  void record_link_up(topo::LinkId link, double now);
 
   /// Copies the current state out.  Valid any time; typically taken
   /// after end_window.
@@ -155,6 +164,9 @@ class MetricsRegistry {
   std::vector<LinkClassCell> cells_;
   std::vector<std::int64_t> backlog_;  ///< live queued + in service, per link
   std::vector<stats::TimeWeighted> backlog_gauge_;
+  std::vector<double> down_time_;      ///< accumulated, clamped to the window
+  std::vector<double> down_since_;     ///< outage start; < 0 when the link is up
+  std::vector<std::uint64_t> failures_;
   std::vector<stats::Histogram> class_wait_hist_;
   double window_start_ = 0.0;
   double window_end_ = 0.0;

@@ -55,6 +55,16 @@ class EngineProbe : public net::Observer {
     if (trace_) trace_->task_completed(time, task, info);
   }
 
+  void on_link_down(topo::LinkId link, double now) override {
+    if (metrics_) metrics_->record_link_down(link, now);
+    if (trace_) trace_->link_down(now, link);
+  }
+
+  void on_link_up(topo::LinkId link, double now) override {
+    if (metrics_) metrics_->record_link_up(link, now);
+    if (trace_) trace_->link_up(now, link);
+  }
+
  private:
   MetricsRegistry* metrics_;
   JsonlTraceSink* trace_;

@@ -8,13 +8,15 @@
 /// validated by tools/check_trace.py) is versioned through the `schema`
 /// field of the run-header record.  Event records:
 ///
-///   {"ev":"run", "schema":1, ...free-form run metadata...}
+///   {"ev":"run", "schema":2, ...free-form run metadata...}
 ///   {"ev":"task","t":T,"task":I,"kind":K,"src":N,"dst":N,"len":L,"measured":B}
 ///   {"ev":"enq", "t":T,"task":I,"link":L,"prio":P}
 ///   {"ev":"tx",  "task":I,"link":L,"from":N,"to":N,"dim":D,"dir":S,
 ///    "prio":P,"vc":V,"enq":T,"start":T,"end":T}
 ///   {"ev":"drop","t":T,"task":I,"link":L,"prio":P,"queued":B}
 ///   {"ev":"done","t":T,"task":I,"kind":K,"receptions":R,"lost":X}
+///   {"ev":"link_down","t":T,"link":L}     (schema 2: fail-stop outage)
+///   {"ev":"link_up",  "t":T,"link":L}     (schema 2: repair)
 ///
 /// Times are simulation time units with full double precision; `dir` is
 /// "+" or "-".  Tracing is strictly opt-in: with no sink attached the
@@ -59,7 +61,8 @@ class JsonLine {
 };
 
 /// Current trace schema version (bumped on incompatible changes).
-inline constexpr int kTraceSchemaVersion = 1;
+/// Version 2 added the link_down/link_up fault records.
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// Writes engine events as JSON Lines.  The caller owns the stream; the
 /// sink never flushes it.  Single-threaded by design -- give each
@@ -68,7 +71,7 @@ class JsonlTraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
 
-  /// Starts the run-header record (`"ev":"run","schema":1`) and returns
+  /// Starts the run-header record (`"ev":"run","schema":2`) and returns
   /// the open line so the caller can append run metadata (shape, scheme,
   /// rho, seed, ...) before it closes.
   JsonLine run_header();
@@ -83,6 +86,8 @@ class JsonlTraceSink {
   void drop(double t, net::TaskId task, const net::Copy& copy,
             topo::LinkId link, bool was_queued);
   void task_completed(double t, net::TaskId task, const net::Task& info);
+  void link_down(double t, topo::LinkId link);
+  void link_up(double t, topo::LinkId link);
 
   /// Records written so far (including the run header).
   std::uint64_t records() const { return records_; }

@@ -26,6 +26,14 @@ double LinkMetricsSnapshot::utilization(topo::LinkId link) const {
   return s > 0.0 ? link_busy(link) / s : 0.0;
 }
 
+double LinkMetricsSnapshot::availability(topo::LinkId link) const {
+  const double s = span();
+  if (s <= 0.0) return 1.0;
+  const auto l = static_cast<std::size_t>(link);
+  const double down = l < down_time.size() ? down_time[l] : 0.0;
+  return std::max(0.0, 1.0 - down / s);
+}
+
 double LinkMetricsSnapshot::mean_utilization() const {
   const double s = span();
   if (s <= 0.0 || links.empty()) return 0.0;
@@ -90,6 +98,9 @@ MetricsRegistry::MetricsRegistry(const topo::Torus& torus, MetricsConfig config)
   }
   cells_.resize(link_count * net::kPriorityClasses);
   backlog_.assign(link_count, 0);
+  down_time_.assign(link_count, 0.0);
+  down_since_.assign(link_count, -1.0);
+  failures_.assign(link_count, 0);
   if (config_.track_backlog) backlog_gauge_.resize(link_count);
   if (config_.wait_histograms) {
     class_wait_hist_.reserve(net::kPriorityClasses);
@@ -111,6 +122,10 @@ void MetricsRegistry::begin_window(double t) {
   window_end_ = std::numeric_limits<double>::infinity();
   window_open_ = true;
   for (LinkClassCell& c : cells_) c = LinkClassCell{};
+  // Downtime restarts with the window; an outage already in progress
+  // keeps its start time and is clamped to the new window when it ends.
+  std::fill(down_time_.begin(), down_time_.end(), 0.0);
+  std::fill(failures_.begin(), failures_.end(), 0);
   for (std::size_t l = 0; l < backlog_gauge_.size(); ++l) {
     backlog_gauge_[l].start(t, static_cast<double>(backlog_[l]));
   }
@@ -129,6 +144,15 @@ void MetricsRegistry::end_window(double t) {
   window_end_ = t;
   window_open_ = false;
   last_event_ = std::max(last_event_, t);
+  // Flush open outages into the window and re-date them so the repair
+  // (past window_end) adds nothing on top -- mirroring the engine.
+  for (std::size_t l = 0; l < down_since_.size(); ++l) {
+    if (down_since_[l] >= 0.0) {
+      const double lo = std::max(down_since_[l], window_start_);
+      if (t > lo) down_time_[l] += t - lo;
+      down_since_[l] = t;
+    }
+  }
 }
 
 void MetricsRegistry::record_enqueue(topo::LinkId link, const net::Copy&,
@@ -151,14 +175,17 @@ void MetricsRegistry::record_transmission(topo::LinkId link,
     backlog_gauge_[l].set(end, static_cast<double>(backlog_[l]));
   }
   LinkClassCell& c = cell(link, copy.prio);
-  // Busy time is clamped to the window; the transmission and wait counts
-  // follow Engine::record_window_busy / begin_service: a transmission is
-  // in-window when it ran entirely inside it, a wait sample when service
-  // started inside it.
+  // Window attribution follows Engine::record_window_busy exactly
+  // (docs/MODEL.md §11): a transmission belongs to the window when its
+  // service interval overlaps it with positive length, its busy time is
+  // the clamped overlap, and a wait sample counts when service started
+  // inside the window.
   const double lo = std::max(start, window_start_);
   const double hi = std::min(end, window_end_);
-  if (hi > lo) c.busy_time += hi - lo;
-  if (start >= window_start_ && end <= window_end_) ++c.transmissions;
+  if (hi > lo) {
+    c.busy_time += hi - lo;
+    ++c.transmissions;
+  }
   if (start >= window_start_ && start <= window_end_) {
     const double waited = start - enqueued_at;
     c.wait.add(waited);
@@ -182,6 +209,24 @@ void MetricsRegistry::record_drop(topo::LinkId link, const net::Copy& copy,
   last_event_ = std::max(last_event_, now);
 }
 
+void MetricsRegistry::record_link_down(topo::LinkId link, double now) {
+  const auto l = static_cast<std::size_t>(link);
+  down_since_[l] = now;
+  if (now >= window_start_ && now <= window_end_) ++failures_[l];
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_link_up(topo::LinkId link, double now) {
+  const auto l = static_cast<std::size_t>(link);
+  if (down_since_[l] >= 0.0) {
+    const double lo = std::max(down_since_[l], window_start_);
+    const double hi = std::min(now, window_end_);
+    if (hi > lo) down_time_[l] += hi - lo;
+    down_since_[l] = -1.0;
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
 LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   LinkMetricsSnapshot snap;
   snap.links = links_;
@@ -197,6 +242,17 @@ LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   snap.class_wait_hist = class_wait_hist_;
   snap.window_start = window_start_;
   snap.window_end = window_open_ ? last_event_ : window_end_;
+  snap.down_time = down_time_;
+  snap.failures = failures_;
+  // Outages still open at snapshot time are credited up to the
+  // snapshot's effective window end (end_window already flushed closed
+  // windows, so this only fires for open ones).
+  for (std::size_t l = 0; l < down_since_.size(); ++l) {
+    if (down_since_[l] >= 0.0) {
+      const double lo = std::max(down_since_[l], window_start_);
+      if (snap.window_end > lo) snap.down_time[l] += snap.window_end - lo;
+    }
+  }
   return snap;
 }
 

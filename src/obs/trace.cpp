@@ -176,6 +176,22 @@ void JsonlTraceSink::drop(double t, net::TaskId task, const net::Copy& copy,
       .field("queued", was_queued);
 }
 
+void JsonlTraceSink::link_down(double t, topo::LinkId link) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "link_down")
+      .field("t", t)
+      .field("link", static_cast<std::int32_t>(link));
+}
+
+void JsonlTraceSink::link_up(double t, topo::LinkId link) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "link_up")
+      .field("t", t)
+      .field("link", static_cast<std::int32_t>(link));
+}
+
 void JsonlTraceSink::task_completed(double t, net::TaskId task,
                                     const net::Task& info) {
   ++records_;

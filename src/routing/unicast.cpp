@@ -71,14 +71,20 @@ void UnicastPolicy::forward(net::Engine& engine, topo::NodeId node,
           engine.rng().below(static_cast<std::uint64_t>(count)))];
       break;
     case DimOrder::kAdaptive: {
-      // Join-shortest-queue over the productive outgoing links.
+      // Join-shortest-queue over the productive outgoing links; under an
+      // active fault schedule a down link is a last resort (picked only
+      // when every productive link is down, which fails the task at the
+      // engine's door).
       std::size_t best = std::numeric_limits<std::size_t>::max();
       for (std::int32_t i = 0; i < count; ++i) {
         const std::int32_t dim = pending[static_cast<std::size_t>(i)];
         const auto off = copy.uni.offsets[static_cast<std::size_t>(dim)];
         const topo::LinkId link = torus_.link(
             node, dim, off > 0 ? topo::Dir::kPlus : topo::Dir::kMinus);
-        const std::size_t backlog = engine.link_backlog(link);
+        std::size_t backlog = engine.link_backlog(link);
+        if (engine.fault_aware() && !engine.link_up(link)) {
+          backlog = std::numeric_limits<std::size_t>::max() - 1;
+        }
         if (backlog < best) {
           best = backlog;
           pick = dim;
@@ -88,7 +94,29 @@ void UnicastPolicy::forward(net::Engine& engine, topo::NodeId node,
     }
   }
   auto& off = copy.uni.offsets[static_cast<std::size_t>(pick)];
-  const topo::Dir dir = off > 0 ? topo::Dir::kPlus : topo::Dir::kMinus;
+  topo::Dir dir = off > 0 ? topo::Dir::kPlus : topo::Dir::kMinus;
+  if (engine.fault_aware()) {
+    const topo::LinkId primary = torus_.link(node, pick, dir);
+    if (primary != topo::kInvalidLink && !engine.link_up(primary)) {
+      // Fault fallback: route around the dead segment the long way.  The
+      // remaining offset flips to the complementary arc of the ring
+      // (|off'| = n - |off|), legal only on a wrapping dimension of size
+      // >= 3 whose opposite link is up and whose longer arc still fits
+      // the int8 routing state.  When no legal detour exists the send
+      // proceeds into the down link and the engine fails the task --
+      // graceful degradation rather than deadlock.
+      const std::int32_t n = torus_.shape().size(pick);
+      const topo::Dir alt_dir = topo::opposite(dir);
+      const topo::LinkId alt = torus_.link(node, pick, alt_dir);
+      const std::int32_t flipped = off > 0 ? off - n : off + n;
+      if (torus_.wraps(pick) && n >= 3 && alt != topo::kInvalidLink &&
+          alt != primary && engine.link_up(alt) && flipped >= -127 &&
+          flipped <= 127) {
+        off = static_cast<std::int8_t>(flipped);
+        dir = alt_dir;
+      }
+    }
+  }
   off = static_cast<std::int8_t>(off > 0 ? off - 1 : off + 1);
   engine.send(node, pick, dir, copy);
 }

@@ -80,6 +80,24 @@ TEST(ParseScheme, KnownNames) {
   EXPECT_EQ(parse_scheme("dim-order").balancing, core::Balancing::kFixedOrder);
 }
 
+TEST(ParseFailLinks, Basic) {
+  const auto v = parse_fail_links("3,17,42");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[1], 17);
+  EXPECT_EQ(v[2], 42);
+  EXPECT_EQ(parse_fail_links("0").size(), 1u);
+}
+
+TEST(ParseFailLinks, Rejections) {
+  EXPECT_THROW(parse_fail_links(""), std::invalid_argument);
+  EXPECT_THROW(parse_fail_links("3,"), std::invalid_argument);
+  EXPECT_THROW(parse_fail_links(",3"), std::invalid_argument);
+  EXPECT_THROW(parse_fail_links("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_fail_links("3,foo"), std::invalid_argument);
+  EXPECT_THROW(parse_fail_links("3.5"), std::invalid_argument);
+}
+
 TEST(ParseScheme, UnknownListsRegistry) {
   try {
     parse_scheme("bogus");

@@ -45,10 +45,10 @@ TEST(MeasurementWindow, BusyTimeClippedAtWindowEnd) {
   const auto link = t.link(0, 0, Dir::kPlus);
   EXPECT_DOUBLE_EQ(
       engine.metrics().link_busy_time[static_cast<std::size_t>(link)], 4.0);
-  // The transmission completed after the window: not counted in the
-  // per-link transmission tally.
+  // The transmission overlaps the window (docs/MODEL.md §11): it counts
+  // in the per-link tally even though it completed after the close.
   EXPECT_EQ(
-      engine.metrics().link_transmissions[static_cast<std::size_t>(link)], 0u);
+      engine.metrics().link_transmissions[static_cast<std::size_t>(link)], 1u);
 }
 
 TEST(MeasurementWindow, BusyTimeClippedAtWindowStart) {

@@ -207,6 +207,67 @@ TEST(Engine, UtilizationReflectsBusyTime) {
   EXPECT_GT(m.utilization_cv(), 1.0);
 }
 
+TEST(Engine, UtilizationWithoutEndMeasurementUsesLastEvent) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  // end_measurement was never called: the span clamps to the last
+  // accounted event (t=2) instead of leaving every utilization silently
+  // 0 against an infinite window (docs/MODEL.md §11).
+  const auto& m = f.engine.metrics();
+  EXPECT_DOUBLE_EQ(m.window_span(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_utilization(), 1.0);
+  EXPECT_NEAR(m.mean_utilization(), 1.0 / 64.0, 1e-12);
+  EXPECT_GT(m.utilization_cv(), 1.0);
+}
+
+TEST(Engine, WindowStraddlersCountWhenTheyOverlap) {
+  EngineFixture f(Shape{4, 4});
+  const topo::LinkId link = f.torus.link(0, 0, Dir::kPlus);
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 4);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // [0, 4]
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // [4, 8]
+  f.sim.at(2.0, [&f](sim::Simulator&) { f.engine.begin_measurement(); });
+  f.sim.at(6.0, [&f](sim::Simulator&) { f.engine.end_measurement(); });
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  // Both services straddle a window edge; each is attributed to the
+  // window (positive overlap) with its busy time clamped to it, so the
+  // per-link busy integral and transmission count agree on membership.
+  EXPECT_DOUBLE_EQ(m.link_busy_time[static_cast<std::size_t>(link)], 4.0);
+  EXPECT_EQ(m.link_transmissions[static_cast<std::size_t>(link)], 2u);
+}
+
+TEST(Engine, PushOutAdmissionUpdatesTheInflightGauge) {
+  EngineConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.drop_policy = DropPolicy::kPushOutLow;
+  EngineFixture f(Shape{4, 4}, cfg);
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // serving
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // queued
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));   // queued
+  f.sim.at(0.5, [&f, id](sim::Simulator&) {
+    // Queue full: this high-class arrival evicts the queued low copy.
+    f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  });
+  f.sim.run();
+  f.engine.end_measurement();
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.drops_by_class[2], 1u);
+  EXPECT_EQ(m.transmissions, 3u);
+  EXPECT_EQ(f.engine.inflight_copies(), 0u);
+  // Gauge integral over [0, 3]: 3 copies in flight on [0, 1] (the
+  // eviction at 0.5 swaps one copy for another), 2 on [1, 2], 1 on
+  // [2, 3] -> mean 2.  The push-out admission path must drive the gauge
+  // exactly like normal admission, or the 0.5 -> 1 stretch reads stale.
+  EXPECT_DOUBLE_EQ(m.inflight_copies.mean(), 2.0);
+}
+
 TEST(Engine, VirtualChannelCountsAreRecorded) {
   EngineFixture f(Shape{4, 4});
   const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);

@@ -1,0 +1,403 @@
+#include "pstar/fault/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/obs/probe.hpp"
+#include "pstar/obs/trace.hpp"
+#include "pstar/routing/unicast.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar {
+namespace {
+
+using net::Copy;
+using net::Engine;
+using net::EngineConfig;
+using net::Priority;
+using net::TaskId;
+using net::TaskKind;
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class NullPolicy : public net::RoutingPolicy {
+ public:
+  void on_task(Engine&, TaskId, topo::NodeId) override {}
+  void on_receive(Engine&, topo::NodeId, const Copy&) override {}
+};
+
+Copy copy_for(TaskId task, Priority prio) {
+  Copy c;
+  c.task = task;
+  c.prio = prio;
+  return c;
+}
+
+// ---------------------------------------------------------------- schedule
+
+TEST(FaultSchedule, DeterministicAndHorizonBounded) {
+  fault::FaultConfig cfg;
+  cfg.mtbf = 50.0;
+  cfg.mttr = 10.0;
+  cfg.seed = 99;
+  cfg.horizon = 1000.0;
+  const auto a = fault::build_schedule(cfg, 8);
+  const auto b = fault::build_schedule(cfg, 8);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].link, b[i].link);
+    EXPECT_EQ(a[i].down, b[i].down);
+  }
+  // Sorted by time; no NEW failure at or past the horizon; per-link
+  // events strictly alternate starting with a failure.
+  std::map<topo::LinkId, bool> down;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(a[i - 1].time, a[i].time);
+    }
+    if (a[i].down) {
+      EXPECT_LT(a[i].time, cfg.horizon);
+    }
+    EXPECT_NE(down[a[i].link], a[i].down ? true : false)
+        << "link " << a[i].link << " double " << (a[i].down ? "down" : "up");
+    down[a[i].link] = a[i].down;
+  }
+}
+
+TEST(FaultSchedule, DifferentSeedsDiffer) {
+  fault::FaultConfig cfg;
+  cfg.mtbf = 50.0;
+  cfg.mttr = 10.0;
+  cfg.horizon = 1000.0;
+  cfg.seed = 1;
+  const auto a = fault::build_schedule(cfg, 8);
+  cfg.seed = 2;
+  const auto b = fault::build_schedule(cfg, 8);
+  bool differ = a.size() != b.size();
+  for (std::size_t i = 0; !differ && i < a.size(); ++i) {
+    differ = a[i].time != b[i].time || a[i].link != b[i].link;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultSchedule, RejectsInconsistentConfigs) {
+  fault::FaultConfig cfg;
+  cfg.mtbf = 50.0;
+  cfg.mttr = 0.0;  // random process with no repair
+  cfg.horizon = 100.0;
+  EXPECT_THROW(fault::build_schedule(cfg, 8), std::invalid_argument);
+  cfg.mttr = 10.0;
+  cfg.horizon = kInf;  // unbounded event count
+  EXPECT_THROW(fault::build_schedule(cfg, 8), std::invalid_argument);
+  cfg.mtbf = 0.0;
+  cfg.scripted.push_back({8, 0.0, kInf});  // link out of [0, 8)
+  EXPECT_THROW(fault::build_schedule(cfg, 8), std::invalid_argument);
+  cfg.scripted = {{0, -1.0, kInf}};  // negative start
+  EXPECT_THROW(fault::build_schedule(cfg, 8), std::invalid_argument);
+  cfg.scripted = {{0, 1.0, 0.0}};  // empty outage
+  EXPECT_THROW(fault::build_schedule(cfg, 8), std::invalid_argument);
+}
+
+TEST(FaultSchedule, ScriptedFaultsExpand) {
+  fault::FaultConfig cfg;
+  cfg.scripted.push_back({3, 5.0, 2.0});
+  cfg.scripted.push_back({1, 1.0, kInf});  // never repaired
+  const auto events = fault::build_schedule(cfg, 8);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].link, 1);
+  EXPECT_TRUE(events[0].down);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[1].link, 3);
+  EXPECT_TRUE(events[1].down);
+  EXPECT_DOUBLE_EQ(events[1].time, 5.0);
+  EXPECT_EQ(events[2].link, 3);
+  EXPECT_FALSE(events[2].down);
+  EXPECT_DOUBLE_EQ(events[2].time, 7.0);
+}
+
+// ------------------------------------------------------------- engine core
+
+struct EngineFixture {
+  explicit EngineFixture(Shape shape, EngineConfig cfg = {})
+      : torus(std::move(shape)), rng(7), engine(sim, torus, policy, rng, cfg) {}
+
+  sim::Simulator sim;
+  Torus torus;
+  NullPolicy policy;
+  sim::Rng rng;
+  Engine engine;
+};
+
+TEST(EngineFaults, FailAbortsServiceAndDrainsQueue) {
+  EngineFixture f(Shape{4, 4});
+  f.engine.begin_measurement();
+  const topo::LinkId link = f.torus.link(0, 0, Dir::kPlus);
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 10);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // serving
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));  // queued
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));   // queued
+  f.sim.at(0.5, [&f, link](sim::Simulator&) { f.engine.fail_link(link); });
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_FALSE(f.engine.link_up(link));
+  EXPECT_EQ(m.fault_drops, 3u);
+  EXPECT_EQ(m.drops_by_class[0], 2u);
+  EXPECT_EQ(m.drops_by_class[2], 1u);
+  EXPECT_EQ(m.link_failures, 1u);
+  EXPECT_EQ(m.transmissions, 0u);
+  EXPECT_EQ(f.engine.inflight_copies(), 0u);
+  // The aborted service still occupied the link for 0.5 units but is not
+  // an in-window transmission.
+  EXPECT_DOUBLE_EQ(m.link_busy_time[static_cast<std::size_t>(link)], 0.5);
+  EXPECT_EQ(m.link_transmissions[static_cast<std::size_t>(link)], 0u);
+  // The stale completion event at t=10 must not fire: the run ended when
+  // the last scheduled event (the failure) was processed.
+  EXPECT_DOUBLE_EQ(f.sim.now(), 10.0);  // event still pops, but is a no-op
+}
+
+TEST(EngineFaults, SendOnDownLinkIsRejected) {
+  EngineFixture f(Shape{4, 4});
+  const topo::LinkId link = f.torus.link(0, 0, Dir::kPlus);
+  f.engine.fail_link(link);
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.fault_drops, 1u);
+  EXPECT_EQ(m.transmissions, 0u);
+  EXPECT_EQ(f.engine.inflight_copies(), 0u);
+}
+
+TEST(EngineFaults, RepairRestoresService) {
+  EngineFixture f(Shape{4, 4});
+  const topo::LinkId link = f.torus.link(0, 0, Dir::kPlus);
+  f.engine.fail_link(link);
+  f.engine.restore_link(link);
+  EXPECT_TRUE(f.engine.link_up(link));
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.transmissions, 1u);
+  EXPECT_EQ(m.fault_drops, 0u);
+  EXPECT_EQ(m.link_failures, 1u);
+  EXPECT_EQ(m.link_repairs, 1u);
+}
+
+TEST(EngineFaults, OverlappingOutagesNest) {
+  EngineFixture f(Shape{4, 4});
+  const topo::LinkId link = f.torus.link(0, 0, Dir::kPlus);
+  f.engine.fail_link(link);
+  f.engine.fail_link(link);  // second outage overlaps the first
+  f.engine.restore_link(link);
+  EXPECT_FALSE(f.engine.link_up(link));  // one outage still covers it
+  f.engine.restore_link(link);
+  EXPECT_TRUE(f.engine.link_up(link));
+  // Only the 0 -> 1 and 1 -> 0 transitions count.
+  EXPECT_EQ(f.engine.metrics().link_failures, 1u);
+  EXPECT_EQ(f.engine.metrics().link_repairs, 1u);
+}
+
+TEST(EngineFaults, DowntimeIsClampedToTheWindow) {
+  EngineFixture f(Shape{4, 4});
+  const topo::LinkId link = f.torus.link(0, 0, Dir::kPlus);
+  f.sim.at(1.0, [&f, link](sim::Simulator&) { f.engine.fail_link(link); });
+  f.sim.at(2.0, [&f](sim::Simulator&) { f.engine.begin_measurement(); });
+  f.sim.at(3.0, [&f, link](sim::Simulator&) { f.engine.restore_link(link); });
+  f.sim.at(4.0, [&f, link](sim::Simulator&) { f.engine.fail_link(link); });
+  f.sim.at(5.0, [&f](sim::Simulator&) { f.engine.end_measurement(); });
+  f.sim.at(7.0, [&f, link](sim::Simulator&) { f.engine.restore_link(link); });
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  // Outage [1,3] overlaps [2,5] for 1 unit; the open outage [4, ...) is
+  // flushed at end_measurement for 1 more; the repair at 7 adds nothing.
+  EXPECT_DOUBLE_EQ(m.link_down_time[static_cast<std::size_t>(link)], 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_downtime_fraction(),
+                   2.0 / (3.0 * static_cast<double>(m.link_down_time.size())));
+}
+
+TEST(EngineFaults, DowntimeWeightedUtilizationSkipsDeadLinks) {
+  EngineFixture f(Shape{2});  // ring of 2: links 0 and 1
+  f.engine.begin_measurement();
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  // The other link is down for the whole window.
+  const topo::LinkId other = f.torus.link(1, 0, Dir::kPlus);
+  f.engine.fail_link(other);
+  f.sim.run();
+  f.engine.end_measurement();
+  const auto& m = f.engine.metrics();
+  // Window is [0,1]: the up link was busy 1 of 1 available units; the
+  // dead link has no available time and is excluded -- so the
+  // availability-normalized utilization is 1, not the raw mean of 1/2.
+  EXPECT_DOUBLE_EQ(m.downtime_weighted_utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_utilization(), 0.5);
+}
+
+TEST(EngineFaults, ConfiguredScheduleFiresThroughTheSimulator) {
+  const Torus torus(Shape{4, 4});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back(
+      {torus.link(0, 0, Dir::kPlus), 0.5, 2.0});
+  EngineFixture f(Shape{4, 4}, cfg);
+  EXPECT_TRUE(f.engine.fault_aware());
+  const TaskId id = f.engine.create_task(TaskKind::kBroadcast, 0, 0, 10);
+  f.engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
+  f.sim.run();
+  const auto& m = f.engine.metrics();
+  EXPECT_EQ(m.fault_drops, 1u);  // the in-service copy aborted at t=0.5
+  EXPECT_EQ(m.link_failures, 1u);
+  EXPECT_EQ(m.link_repairs, 1u);
+  EXPECT_TRUE(f.engine.link_up(f.torus.link(0, 0, Dir::kPlus)));
+}
+
+TEST(EngineFaults, ObserverSeesDownUpTransitions) {
+  const Torus torus(Shape{4, 4});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 1.0, 2.0});
+  EngineFixture f(Shape{4, 4}, cfg);
+  std::ostringstream os;
+  obs::JsonlTraceSink sink(os);
+  obs::EngineProbe probe(nullptr, &sink);
+  f.engine.set_observer(&probe);
+  f.sim.run();
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"ev\":\"link_down\",\"t\":1"), std::string::npos);
+  EXPECT_NE(trace.find("\"ev\":\"link_up\",\"t\":3"), std::string::npos);
+}
+
+// ------------------------------------------------------- unicast fallback
+
+TEST(UnicastFaults, ReroutesAroundAFailedLink) {
+  const Torus torus(Shape{4});  // one ring of 4 nodes
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  engine.begin_measurement();
+  // Create the task from inside the simulation so the t=0 fault event
+  // has already fired when the route is chosen.
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  // The one-hop +arc is dead; the packet takes the 3-hop -arc instead.
+  EXPECT_EQ(m.tasks_completed[static_cast<std::size_t>(TaskKind::kUnicast)],
+            1u);
+  EXPECT_EQ(m.failed_unicasts, 0u);
+  EXPECT_DOUBLE_EQ(m.unicast_hops.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.unicast_delay.mean(), 3.0);
+}
+
+TEST(UnicastFaults, FailsGracefullyWithNoDetour) {
+  const Torus torus(Shape{4});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  // Both directions out of node 0 are dead: no legal detour exists and
+  // the task fails at the engine's door instead of deadlocking.
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kMinus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.failed_unicasts, 1u);
+  EXPECT_EQ(m.fault_drops, 1u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+// ------------------------------------------------------------ harness level
+
+TEST(HarnessFaults, PermanentFaultDegradesDeliveryWithoutDeadlock) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  spec.seed = 17;
+  spec.fail_links = {0};
+  const auto r = harness::run_experiment(spec);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+  EXPECT_EQ(r.link_failures, 1u);
+  EXPECT_GT(r.fault_drops, 0u);
+  EXPECT_LT(r.delivered_fraction, 1.0);
+  EXPECT_GT(r.delivered_fraction, 0.0);
+}
+
+TEST(HarnessFaults, RandomFaultsAreBitIdenticalAcrossRepeats) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  spec.seed = 23;
+  spec.fault_mtbf = 150.0;
+  spec.fault_mttr = 30.0;
+  const auto a = harness::run_experiment(spec);
+  const auto b = harness::run_experiment(spec);
+  EXPECT_GT(a.link_failures, 0u);
+  EXPECT_EQ(a.link_failures, b.link_failures);
+  EXPECT_EQ(a.link_repairs, b.link_repairs);
+  EXPECT_EQ(a.fault_drops, b.fault_drops);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.reception_delay_mean, b.reception_delay_mean);
+  EXPECT_EQ(a.mean_downtime_fraction, b.mean_downtime_fraction);
+}
+
+TEST(HarnessFaults, FaultFreeSpecLeavesFaultMetricsZero) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_EQ(r.link_failures, 0u);
+  EXPECT_EQ(r.fault_drops, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_downtime_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+  // Fault-free, availability-normalized utilization IS utilization.
+  EXPECT_DOUBLE_EQ(r.downtime_weighted_utilization, r.utilization_mean);
+}
+
+TEST(HarnessFaults, TraceCarriesLinkEventsUnderFaults) {
+  std::ostringstream os;
+  obs::JsonlTraceSink sink(os);
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.warmup = 50.0;
+  spec.measure = 200.0;
+  spec.seed = 31;
+  spec.fault_mtbf = 100.0;
+  spec.fault_mttr = 20.0;
+  spec.trace_sink = &sink;
+  (void)harness::run_experiment(spec);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"ev\":\"link_down\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ev\":\"link_up\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pstar

@@ -94,8 +94,9 @@ TEST(MetricsRegistry, WindowClampsBusyAndFiltersCounts) {
   const net::Copy c = make_copy(1, net::Priority::kHigh);
 
   // Enqueued during warmup, serviced across the window start: busy
-  // clamps to [10, 12]; neither the transmission nor its wait counts
-  // (service started before the window opened).
+  // clamps to [10, 12] and the straddling transmission counts (positive
+  // in-window overlap, docs/MODEL.md §11); its wait does not (service
+  // started before the window opened).
   registry.record_enqueue(0, c, 5.0);
   registry.begin_window(10.0);
   registry.record_enqueue(0, c, 11.0);
@@ -103,8 +104,8 @@ TEST(MetricsRegistry, WindowClampsBusyAndFiltersCounts) {
   // Fully inside: everything counts (enqueued 11, served 12..13).
   registry.record_transmission(0, c, 11.0, 12.0, 13.0);
   // Started inside the window but drains past its end: busy clamps to
-  // [19, 20], the wait sample counts (service began in-window), the
-  // transmission itself does not (it did not run entirely inside).
+  // [19, 20]; both the wait sample (service began in-window) and the
+  // transmission (positive overlap) count.
   registry.record_enqueue(0, c, 15.0);
   registry.end_window(20.0);
   registry.record_transmission(0, c, 15.0, 19.0, 25.0);
@@ -114,11 +115,38 @@ TEST(MetricsRegistry, WindowClampsBusyAndFiltersCounts) {
 
   const obs::LinkMetricsSnapshot snap = registry.snapshot();
   const auto& cell = snap.cell(0, net::Priority::kHigh);
-  EXPECT_EQ(cell.transmissions, 1u);
+  // Busy time and the transmission count agree on which services belong
+  // to the window: every service with positive overlap, so 3 of the 4.
+  EXPECT_EQ(cell.transmissions, 3u);
   EXPECT_DOUBLE_EQ(cell.busy_time, 2.0 + 1.0 + 1.0);
   EXPECT_EQ(cell.wait.count(), 2u);           // starts at 12 and 19
   EXPECT_DOUBLE_EQ(cell.wait.sum(), 1.0 + 4.0);
   EXPECT_EQ(snap.span(), 10.0);
+}
+
+TEST(MetricsRegistry, DowntimeClampsAndFlushesOpenOutages) {
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+
+  // Outage [1, 12] straddles window [10, 20]: only [10, 12] counts, and
+  // the failure itself does not (it happened before the window opened).
+  registry.record_link_down(0, 1.0);
+  registry.begin_window(10.0);
+  registry.record_link_up(0, 12.0);
+  // Outage [15, ...) is still open at end_window: flushed to [15, 20],
+  // and the late repair at 25 adds nothing on top.
+  registry.record_link_down(0, 15.0);
+  registry.end_window(20.0);
+
+  obs::LinkMetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.down_time[0], 2.0 + 5.0);
+  EXPECT_EQ(snap.failures[0], 1u);
+  EXPECT_DOUBLE_EQ(snap.availability(0), 1.0 - 7.0 / 10.0);
+  EXPECT_DOUBLE_EQ(snap.availability(1), 1.0);
+
+  registry.record_link_up(0, 25.0);
+  snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.down_time[0], 7.0);
 }
 
 TEST(MetricsRegistry, DropsAndBacklogUnderFiniteQueues) {
@@ -179,7 +207,7 @@ TEST(TraceSink, RoundTripParses) {
     const std::string tag = "\"ev\":\"" + std::string(expected_ev[i]) + "\"";
     EXPECT_NE(lines[i].find(tag), std::string::npos) << lines[i];
   }
-  EXPECT_NE(lines[0].find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schema\":2"), std::string::npos);
   EXPECT_NE(lines[0].find("\"note\":\"quote\\\"back\\\\slash\""),
             std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"broadcast\""), std::string::npos);

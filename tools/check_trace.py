@@ -3,16 +3,19 @@
 
 Checks every line of the trace produced by ``obs::JsonlTraceSink``
 (``sweep_cli --trace``, or any program attaching the sink) against the
-schema table in docs/OBSERVABILITY.md, version 1:
+schema table in docs/OBSERVABILITY.md, versions 1 and 2:
 
   - every line parses as one flat JSON object with an "ev" discriminator;
-  - the first record of each run is a header with "schema": 1;
+  - the first record of each run is a header with "schema": 1 or 2;
   - each record carries exactly the documented required fields with the
     documented types (extra metadata is allowed only on the run header);
   - per-record invariants hold (tx: enq <= start < end; prio in 0..2;
     dir is "+" or "-"; kind is a known task kind);
   - per-copy ordering holds within each run: a tx or queued drop on
-    (task, link) consumes a prior enq on the same (task, link).
+    (task, link) consumes a prior enq on the same (task, link);
+  - fault records (schema 2 only) strictly alternate per link -- never
+    link_down on a down link or link_up on an up link -- and no enq
+    lands on a link that is currently down.
 
 Usage:  check_trace.py TRACE.jsonl [...]
         check_trace.py < TRACE.jsonl
@@ -23,7 +26,8 @@ Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
+FAULT_SCHEMA = 2  # first schema with link_down / link_up records
 
 NUMBER = (int, float)
 
@@ -67,6 +71,8 @@ REQUIRED = {
         "receptions": (int,),
         "lost": (int,),
     },
+    "link_down": {"t": NUMBER, "link": (int,)},
+    "link_up": {"t": NUMBER, "link": (int,)},
 }
 
 TASK_KINDS = {"broadcast", "unicast", "multicast"}
@@ -98,11 +104,13 @@ def check_record(rec, state):
         return problems
 
     if ev == "run":
-        if rec["schema"] != SCHEMA_VERSION:
-            problems.append("run: schema {} != {}".format(
-                rec["schema"], SCHEMA_VERSION))
+        if rec["schema"] not in SCHEMA_VERSIONS:
+            problems.append("run: schema {} not in {}".format(
+                rec["schema"], SCHEMA_VERSIONS))
         state["in_run"] = True
+        state["schema"] = rec["schema"]
         state["pending"].clear()
+        state["down_links"].clear()
     elif not state["in_run"]:
         problems.append("{}: record before any run header".format(ev))
 
@@ -111,7 +119,25 @@ def check_record(rec, state):
     if "kind" in rec and rec["kind"] not in TASK_KINDS:
         problems.append("{}: unknown kind {!r}".format(ev, rec["kind"]))
 
-    if ev == "enq":
+    if ev in ("link_down", "link_up"):
+        if state["in_run"] and state["schema"] < FAULT_SCHEMA:
+            problems.append(
+                "{}: fault record in a schema-{} run".format(
+                    ev, state["schema"]))
+        if ev == "link_down":
+            if rec["link"] in state["down_links"]:
+                problems.append("link_down: link {} is already down".format(
+                    rec["link"]))
+            state["down_links"].add(rec["link"])
+        else:
+            if rec["link"] not in state["down_links"]:
+                problems.append("link_up: link {} is not down".format(
+                    rec["link"]))
+            state["down_links"].discard(rec["link"])
+    elif ev == "enq":
+        if rec["link"] in state["down_links"]:
+            problems.append("enq: task {} enqueued on down link {}".format(
+                rec["task"], rec["link"]))
         state["pending"][(rec["task"], rec["link"])] = rec["t"]
     elif ev == "tx":
         if rec["dir"] not in ("+", "-"):
@@ -140,7 +166,7 @@ def check_record(rec, state):
 
 
 def check_stream(lines, name):
-    state = {"in_run": False, "pending": {}}
+    state = {"in_run": False, "schema": 0, "pending": {}, "down_links": set()}
     counts = {}
     errors = 0
     for lineno, line in enumerate(lines, 1):
