@@ -36,6 +36,13 @@
 //                               column (mean delivered fraction)
 //     --fail-links 3,17,42      fail these directed links for the whole
 //                               run (scripted, on top of --mtbf)
+//     --retries N               end-to-end recovery (docs/FAULTS.md §7):
+//                               retry lost subtrees/unicasts, bounded by N
+//                               consecutive unproductive attempts per task;
+//                               adds "retx" and "recovered" columns
+//     --retry-timeout T         base retry timer (default 50)
+//     --retry-backoff B         timer multiplier per failed attempt
+//                               (default 2)
 //
 //   examples:
 //     sweep_cli --shape 4x4x8 --bcast-frac 0.5 --rho 0.5:0.95:0.05
@@ -86,6 +93,9 @@ struct Options {
   double mtbf = 0.0;
   double mttr = 0.0;
   std::vector<topo::LinkId> fail_links;
+  std::uint32_t retries = 0;
+  double retry_timeout = 50.0;
+  double retry_backoff = 2.0;
 
   bool faulted() const { return mtbf > 0.0 || !fail_links.empty(); }
 };
@@ -156,6 +166,12 @@ Options parse_options(int argc, char** argv) {
       opt.mttr = std::stod(value());
     } else if (flag == "--fail-links") {
       opt.fail_links = harness::parse_fail_links(value());
+    } else if (flag == "--retries") {
+      opt.retries = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--retry-timeout") {
+      opt.retry_timeout = std::stod(value());
+    } else if (flag == "--retry-backoff") {
+      opt.retry_backoff = std::stod(value());
     } else if (flag == "--capacity") {
       opt.capacity = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--drop") {
@@ -179,6 +195,11 @@ Options parse_options(int argc, char** argv) {
   if (opt.mtbf > 0.0 && opt.mttr <= 0.0) {
     throw std::invalid_argument("--mtbf requires --mttr > 0");
   }
+  if (opt.retries > 0 &&
+      (opt.retry_timeout <= 0.0 || opt.retry_backoff < 1.0)) {
+    throw std::invalid_argument(
+        "--retries needs --retry-timeout > 0 and --retry-backoff >= 1");
+  }
   return opt;
 }
 
@@ -197,7 +218,9 @@ int main(int argc, char** argv) {
                  "                 [--length SPEC] [--warmup T] [--measure T] "
                  "[--seed N] [--reps N] [--jobs N] [--tails]\n"
                  "                 [--metrics FILE.csv] [--trace FILE.jsonl]\n"
-                 "                 [--mtbf T --mttr T] [--fail-links a,b,c]\n";
+                 "                 [--mtbf T --mttr T] [--fail-links a,b,c]\n"
+                 "                 [--retries N [--retry-timeout T] "
+                 "[--retry-backoff B]]\n";
     return 2;
   }
 
@@ -213,6 +236,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> header{"rho", "scheme", "reception", "broadcast",
                                   "unicast", "util-max"};
   if (opt.faulted()) header.push_back("delivered");
+  if (opt.retries > 0) {
+    header.push_back("retx");
+    header.push_back("recovered");
+  }
   if (!opt.metrics_path.empty()) header.push_back("imb");
   if (opt.reps > 1) {
     header.push_back("recep-sd");
@@ -248,6 +275,9 @@ int main(int argc, char** argv) {
       spec.fault_mtbf = opt.mtbf;
       spec.fault_mttr = opt.mttr;
       spec.fail_links = opt.fail_links;
+      spec.max_retries = opt.retries;
+      spec.retry_timeout = opt.retry_timeout;
+      spec.retry_backoff = opt.retry_backoff;
       spec.collect_link_metrics = !opt.metrics_path.empty();
       cells.push_back(std::move(spec));
     }
@@ -267,6 +297,7 @@ int main(int argc, char** argv) {
       if (agg.stable_runs == 0) {
         row.insert(row.end(), {"unstable", "-", "-", "-"});
         if (opt.faulted()) row.push_back("-");
+        if (opt.retries > 0) row.insert(row.end(), {"-", "-"});
         if (!opt.metrics_path.empty()) row.push_back("-");
         if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
         if (opt.tails) row.insert(row.end(), {"-", "-"});
@@ -280,6 +311,12 @@ int main(int argc, char** argv) {
       row.push_back(harness::fmt(first.utilization_max, 3));
       if (opt.faulted()) {
         row.push_back(harness::fmt(agg.delivered_fraction_mean, 4));
+      }
+      if (opt.retries > 0) {
+        std::uint64_t recovered = 0;
+        for (const auto& run : agg.runs) recovered += run.receptions_recovered;
+        row.push_back(std::to_string(agg.retransmissions));
+        row.push_back(std::to_string(recovered));
       }
       if (!opt.metrics_path.empty()) {
         const double imb = harness::mean_imbalance(agg);
@@ -365,6 +402,10 @@ int main(int argc, char** argv) {
             .field("seed", spec.seed);
         if (opt.faulted()) {
           header_rec.field("mtbf", opt.mtbf).field("mttr", opt.mttr);
+        }
+        if (opt.retries > 0) {
+          header_rec.field("retries",
+                           static_cast<std::uint64_t>(opt.retries));
         }
       }
       try {

@@ -62,9 +62,10 @@ struct FaultConfig {
   /// instead of chasing an endless fault process.  Must be finite when
   /// mtbf > 0.
   double horizon = std::numeric_limits<double>::infinity();
-  /// Scripted one-shot outages, applied on top of the random process
-  /// (overlapping outages of one link nest; the link is up only when
-  /// every outage covering it has ended).
+  /// Scripted one-shot outages, applied on top of the random process.
+  /// Overlapping or touching outages of one link are merged into one
+  /// continuous outage when the schedule is built; the link is up only
+  /// when every outage covering it has ended.
   std::vector<ScriptedFault> scripted;
 
   bool enabled() const { return mtbf > 0.0 || !scripted.empty(); }
@@ -80,10 +81,15 @@ struct FaultEvent {
 /// Materializes the full schedule for `link_count` directed links:
 /// per-link random up/down renewal processes (each on its own
 /// seed_stream(seed, tag, link) stream) merged with the scripted faults,
-/// sorted by (time, link, failure-before-repair).  Deterministic given
-/// the config.  Throws std::invalid_argument on an inconsistent config
-/// (mtbf > 0 with mttr <= 0 or an infinite horizon; a scripted fault on
-/// a link id outside [0, link_count)).
+/// sorted by (time, link, failure-before-repair).  Overlapping or
+/// touching outage intervals of one link are coalesced, so the returned
+/// schedule is CANONICAL: per link the events strictly alternate
+/// down/up with strictly increasing times, every down is followed by at
+/// most one up (a final unrepaired outage has none), and no two events
+/// of one link share a timestamp.  Deterministic given the config.
+/// Throws std::invalid_argument on an inconsistent config (mtbf > 0
+/// with mttr <= 0 or an infinite horizon; a scripted fault on a link id
+/// outside [0, link_count)).
 std::vector<FaultEvent> build_schedule(const FaultConfig& config,
                                        std::int32_t link_count);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace pstar::fault {
 
@@ -16,7 +17,14 @@ constexpr std::uint64_t kLinkStreamTag = 0xFA017ULL;
 
 std::vector<FaultEvent> build_schedule(const FaultConfig& config,
                                        std::int32_t link_count) {
-  std::vector<FaultEvent> events;
+  // Collect raw [start, end) outage intervals per link from both
+  // sources, then merge overlapping or touching intervals so the emitted
+  // schedule is a CANONICAL strictly-alternating down/up sequence per
+  // link: consumers (the engine's pending-repair ledger in particular)
+  // may rely on every down event of a link being followed by exactly one
+  // up event, never interleaved with another outage of the same link.
+  std::vector<std::vector<std::pair<double, double>>> intervals(
+      static_cast<std::size_t>(link_count));
   if (config.mtbf > 0.0) {
     if (config.mttr <= 0.0) {
       throw std::invalid_argument(
@@ -37,8 +45,7 @@ std::vector<FaultEvent> build_schedule(const FaultConfig& config,
         const double down_at = t + rng.exponential(1.0 / config.mtbf);
         if (!(down_at < config.horizon)) break;
         const double up_at = down_at + rng.exponential(1.0 / config.mttr);
-        events.push_back(FaultEvent{down_at, l, true});
-        events.push_back(FaultEvent{up_at, l, false});
+        intervals[static_cast<std::size_t>(l)].emplace_back(down_at, up_at);
         t = up_at;
       }
     }
@@ -52,10 +59,34 @@ std::vector<FaultEvent> build_schedule(const FaultConfig& config,
       throw std::invalid_argument(
           "fault::build_schedule: scripted fault needs at >= 0, duration > 0");
     }
-    events.push_back(FaultEvent{f.at, f.link, true});
-    if (std::isfinite(f.duration)) {
-      events.push_back(FaultEvent{f.at + f.duration, f.link, false});
+    intervals[static_cast<std::size_t>(f.link)].emplace_back(
+        f.at, f.at + f.duration);  // +inf duration stays +inf: never repaired
+  }
+
+  std::vector<FaultEvent> events;
+  for (topo::LinkId l = 0; l < link_count; ++l) {
+    auto& iv = intervals[static_cast<std::size_t>(l)];
+    if (iv.empty()) continue;
+    std::sort(iv.begin(), iv.end());
+    double start = iv.front().first;
+    double end = iv.front().second;
+    auto emit = [&events, l](double s, double e) {
+      events.push_back(FaultEvent{s, l, true});
+      if (std::isfinite(e)) events.push_back(FaultEvent{e, l, false});
+    };
+    for (std::size_t i = 1; i < iv.size(); ++i) {
+      if (iv[i].first <= end) {
+        // Overlapping or touching: one continuous outage.  A repair and
+        // a failure of the same link at the same instant would otherwise
+        // leave the link's state order-dependent.
+        end = std::max(end, iv[i].second);
+      } else {
+        emit(start, end);
+        start = iv[i].first;
+        end = iv[i].second;
+      }
     }
+    emit(start, end);
   }
   // Total order so engines consume the schedule identically regardless
   // of source: time, then link, then failure before repair.

@@ -6,6 +6,7 @@
 
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/obs/probe.hpp"
+#include "pstar/recovery/manager.hpp"
 #include "pstar/queueing/throughput.hpp"
 #include "pstar/sim/rng.hpp"
 #include "pstar/sim/simulator.hpp"
@@ -82,6 +83,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     }
   }
   net::Engine engine(sim, torus, *policy, rng, engine_cfg);
+
+  // End-to-end recovery (docs/FAULTS.md §7): attaches to the engine's
+  // RecoveryHook seam.  Its randomness comes from a dedicated seed stream
+  // and its timers are armed lazily at the first loss, so a fault-free
+  // run with recovery enabled is bit-identical to max_retries = 0.
+  std::unique_ptr<recovery::RecoveryManager> recovery_mgr;
+  if (spec.max_retries > 0) {
+    recovery::RecoveryConfig rc;
+    rc.max_retries = spec.max_retries;
+    rc.timeout = spec.retry_timeout;
+    rc.backoff = spec.retry_backoff;
+    rc.jitter = spec.retry_jitter;
+    rc.seed = sim::seed_stream(spec.seed, recovery::kRecoverySeedStream, 0);
+    recovery_mgr = std::make_unique<recovery::RecoveryManager>(
+        engine, policy->broadcast(), policy->unicast(), rc);
+  }
 
   traffic::WorkloadConfig traffic_cfg;
   traffic_cfg.lambda_broadcast = rates.lambda_b;
@@ -199,6 +216,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   r.fault_drops = m.fault_drops;
   r.mean_downtime_fraction = m.mean_downtime_fraction();
   r.downtime_weighted_utilization = m.downtime_weighted_utilization();
+  if (recovery_mgr) {
+    const recovery::RecoveryStats& rs = recovery_mgr->stats();
+    r.retransmissions = rs.retransmissions();
+    r.receptions_recovered = rs.receptions_recovered;
+    r.tasks_recovered = rs.tasks_recovered;
+    r.retries_exhausted = rs.tasks_exhausted;
+  }
   if (m.lost_receptions > 0) {
     const double delivered = static_cast<double>(m.broadcast_receptions);
     r.delivered_fraction =
@@ -234,6 +258,7 @@ ReplicatedResult aggregate_replications(std::vector<ExperimentResult> runs) {
     agg.events_processed += r.events_processed;
     agg.wall_seconds += r.wall_seconds;
     agg.drops += r.drops;
+    agg.retransmissions += r.retransmissions;
     delivered.add(r.delivered_fraction);
     if (r.drops > 0) agg.any_dropped = true;
     if (r.saturated) agg.any_saturated = true;

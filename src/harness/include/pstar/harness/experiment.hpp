@@ -88,6 +88,18 @@ struct ExperimentSpec {
   /// never repaired) on top of the random process.
   std::vector<topo::LinkId> fail_links;
 
+  /// End-to-end recovery layer (docs/FAULTS.md §7).  max_retries > 0
+  /// attaches a recovery::RecoveryManager: lost broadcast subtrees are
+  /// re-flooded and failed unicasts re-routed after a retry timer with
+  /// exponential backoff, bounded by max_retries CONSECUTIVE unproductive
+  /// attempts per task.  Recovery randomness comes from
+  /// sim::seed_stream(spec.seed, recovery::kRecoverySeedStream, 0), so
+  /// fault-free runs stay bit-identical with the layer enabled.
+  std::uint32_t max_retries = 0;
+  double retry_timeout = 50.0;  ///< base retry timer (time units)
+  double retry_backoff = 2.0;   ///< timer multiplier per failed attempt
+  double retry_jitter = 0.1;    ///< uniform jitter factor in [1, 1+jitter)
+
   /// When true, an obs::MetricsRegistry is attached for the measurement
   /// window and its snapshot lands in ExperimentResult::link_metrics:
   /// per-(link, class) transmissions, busy time, waiting times, backlog
@@ -177,6 +189,13 @@ struct ExperimentResult {
   /// downtime); equals utilization_mean fault-free.
   double downtime_weighted_utilization = 0.0;
 
+  // Recovery-layer accounting (all zero when spec.max_retries == 0;
+  // docs/FAULTS.md §7).
+  std::uint64_t retransmissions = 0;       ///< retries injected, all modes
+  std::uint64_t receptions_recovered = 0;  ///< orphans delivered by retries
+  std::uint64_t tasks_recovered = 0;   ///< tasks clean after >= 1 retry
+  std::uint64_t retries_exhausted = 0;  ///< tasks that ran out of budget
+
   // Bookkeeping.
   std::uint64_t measured_broadcasts = 0;
   std::uint64_t measured_unicasts = 0;
@@ -249,6 +268,8 @@ struct ReplicatedResult {
   bool any_saturated = false;
   bool any_dropped = false;
   std::uint64_t drops = 0;
+  /// Summed recovery retransmissions over ALL runs (0 without recovery).
+  std::uint64_t retransmissions = 0;
 
   /// Mean delivered fraction over ALL runs (faulted/lossy runs are the
   /// point of this metric, so unstable runs are not excluded).

@@ -88,7 +88,9 @@ Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
         sim_.after(delay,
                    [this, link = ev.link](sim::Simulator&) { fail_link(link); });
       } else {
+        ++links_[static_cast<std::size_t>(ev.link)].pending_repairs;
         sim_.after(delay, [this, link = ev.link](sim::Simulator&) {
+          --links_[static_cast<std::size_t>(link)].pending_repairs;
           restore_link(link);
         });
       }
@@ -296,12 +298,22 @@ void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
   const TaskKind kind = tasks_[copy.task].kind;
   if (kind == TaskKind::kUnicast) {
     if (!tasks_[copy.task].finished) {
+      // A recovery hook may claim the task for a retry; otherwise the
+      // drop is terminal exactly as without the layer.
+      if (recovery_ != nullptr && recovery_->on_unicast_loss(*this, copy, link)) {
+        return;
+      }
       ++metrics_.failed_unicasts;
       finish_task(copy.task);
     }
   } else {
+    // A dropped retx copy charges only its still-pending orphans (its
+    // duplicate part was never uncharged); the hook sizes that set.
+    const bool retx = recovery_ != nullptr && (copy.flags & kRetxCopy) != 0 &&
+                      kind == TaskKind::kBroadcast;
     const std::uint64_t orphaned =
-        policy_.dropped_subtree_receptions(*this, copy);
+        retx ? recovery_->on_retx_drop(*this, copy, link)
+             : policy_.dropped_subtree_receptions(*this, copy);
     if (kind == TaskKind::kBroadcast) {
       metrics_.lost_receptions += orphaned;
     } else {
@@ -309,6 +321,9 @@ void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
     }
     // Re-fetch by id: the policy callback may have touched the table.
     tasks_[copy.task].lost += static_cast<std::uint32_t>(orphaned);
+    if (!retx && recovery_ != nullptr && kind == TaskKind::kBroadcast) {
+      recovery_->on_broadcast_loss(*this, copy, link, orphaned);
+    }
     maybe_finish_broadcast(copy.task);
   }
 }
@@ -361,21 +376,30 @@ void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
     policy_.on_receive(*this, node, copy);
   } else {
     // Broadcast and multicast: every hop delivers to a new covered node.
-    if (t.kind == TaskKind::kBroadcast) {
-      ++metrics_.broadcast_receptions;
-      if (t.measured) {
-        metrics_.reception_delay.add(now - t.created);
-        if (metrics_.reception_delay_hist) {
-          metrics_.reception_delay_hist->add(now - t.created);
+    // A retx copy's delivery counts only when it fills a still-pending
+    // orphan; re-covering an already-counted node is a duplicate and
+    // must not inflate receptions (docs/FAULTS.md §7).
+    const bool counts =
+        recovery_ == nullptr || (copy.flags & kRetxCopy) == 0 ||
+        t.kind != TaskKind::kBroadcast ||
+        recovery_->on_retx_delivery(*this, copy.task, node);
+    if (counts) {
+      if (t.kind == TaskKind::kBroadcast) {
+        ++metrics_.broadcast_receptions;
+        if (t.measured) {
+          metrics_.reception_delay.add(now - t.created);
+          if (metrics_.reception_delay_hist) {
+            metrics_.reception_delay_hist->add(now - t.created);
+          }
+        }
+      } else {
+        ++metrics_.multicast_receptions;
+        if (t.measured) {
+          metrics_.multicast_reception_delay.add(now - t.created);
         }
       }
-    } else {
-      ++metrics_.multicast_receptions;
-      if (t.measured) {
-        metrics_.multicast_reception_delay.add(now - t.created);
-      }
+      ++t.receptions;
     }
-    ++t.receptions;
     policy_.on_receive(*this, node, copy);
     maybe_finish_broadcast(copy.task);
   }
@@ -398,6 +422,13 @@ void Engine::maybe_finish_broadcast(TaskId id) {
   Task& t = tasks_[id];
   if (t.finished) return;
   if (static_cast<std::uint64_t>(t.receptions) + t.lost < t.expected) return;
+  // The threshold is met, but a pending retry may still convert lost
+  // receptions into deliveries (or retx duplicates may still be in
+  // flight referencing this slot): the recovery layer holds the task
+  // open and calls resolve_task once it lets go.
+  if (recovery_ != nullptr && recovery_->should_defer_completion(*this, id)) {
+    return;
+  }
   if (t.lost == 0) {
     if (t.measured) {
       const double delay = sim_.now() - t.created;
@@ -437,6 +468,7 @@ void Engine::unicast_delivered(const Copy& copy) {
 void Engine::finish_task(TaskId id) {
   assert(!tasks_[id].finished);
   tasks_[id].finished = true;
+  if (recovery_ != nullptr) recovery_->on_task_finished(id);
   if (observer_) observer_->on_task_completed(id, tasks_[id], sim_.now());
   const auto k = static_cast<std::size_t>(tasks_[id].kind);
   ++metrics_.tasks_completed[k];
@@ -447,6 +479,25 @@ void Engine::finish_task(TaskId id) {
         .set(sim_.now(), static_cast<double>(inflight_tasks_[k]));
   }
   free_tasks_.push_back(id);
+}
+
+void Engine::uncredit_lost_receptions(TaskId id, std::uint64_t count) {
+  assert(metrics_.lost_receptions >= count);
+  assert(tasks_[id].lost >= count);
+  metrics_.lost_receptions -= count;
+  tasks_[id].lost -= static_cast<std::uint32_t>(count);
+}
+
+void Engine::finalize_failed_unicast(TaskId id) {
+  if (tasks_[id].finished) return;
+  ++metrics_.failed_unicasts;
+  finish_task(id);
+}
+
+void Engine::note_retx(TaskId id, std::uint32_t attempt, RetxMode mode,
+                       topo::LinkId link) {
+  ++metrics_.retransmissions;
+  if (observer_) observer_->on_retx(id, attempt, mode, link, sim_.now());
 }
 
 void Engine::fail_link(topo::LinkId link) {

@@ -23,6 +23,7 @@
 #include "pstar/net/observer.hpp"
 #include "pstar/net/packet.hpp"
 #include "pstar/net/policy.hpp"
+#include "pstar/net/recovery_hook.hpp"
 #include "pstar/sim/rng.hpp"
 #include "pstar/sim/simulator.hpp"
 #include "pstar/stats/histogram.hpp"
@@ -123,6 +124,10 @@ struct Metrics {
   /// queue entries, and sends rejected at a down link.  Each is also
   /// counted in drops_by_class.
   std::uint64_t fault_drops = 0;
+  /// Recovery-layer retry injections (docs/FAULTS.md §7): one per
+  /// note_retx call, i.e. one per re-flooded frontier, fresh retry tree,
+  /// or re-launched unicast.  Zero with no recovery hook attached.
+  std::uint64_t retransmissions = 0;
 
   /// Delay histograms; present only when EngineConfig::record_histograms.
   std::unique_ptr<stats::Histogram> reception_delay_hist;
@@ -231,6 +236,16 @@ class Engine {
     return links_[static_cast<std::size_t>(link)].down_count == 0;
   }
 
+  /// Whether a scheduled repair of `link` has not fired yet.  The fault
+  /// schedule is materialized up front (deterministic DES), so a down
+  /// link with no pending repair is down for the rest of the run.  The
+  /// recovery layer uses this to wait out repairable outages instead of
+  /// burning retry budget against them, and to fall back to fresh trees
+  /// / finalization only for permanent cuts (docs/FAULTS.md §7).
+  bool repair_pending(topo::LinkId link) const {
+    return links_[static_cast<std::size_t>(link)].pending_repairs > 0;
+  }
+
   /// Fails a link (fail-stop): aborts its in-service copy, drains its
   /// queue through the drop machinery, and rejects sends until
   /// restore_link.  Overlapping outages nest -- the link is up again
@@ -242,6 +257,36 @@ class Engine {
   /// Attaches an instrumentation observer (nullptr detaches).  The
   /// observer must outlive the engine.  At most one observer is active.
   void set_observer(Observer* observer) { observer_ = observer; }
+
+  /// Attaches the end-to-end recovery hook (nullptr detaches); the hook
+  /// must outlive the engine or detach itself first.  With no hook every
+  /// recovery call site is one null check and the engine behaves exactly
+  /// as before the layer existed (docs/FAULTS.md §7).
+  void set_recovery(RecoveryHook* hook) { recovery_ = hook; }
+  RecoveryHook* recovery() const { return recovery_; }
+
+  // --- Recovery-layer services (docs/FAULTS.md §7).  Called only by an
+  // attached RecoveryHook; they are public so the recovery module needs
+  // no friendship into the engine.
+
+  /// Removes `count` previously charged lost receptions of a task whose
+  /// orphans a retry is about to re-deliver.  Pairs with the charge made
+  /// in drop_copy, so a fully recovered task ends with lost == 0.
+  void uncredit_lost_receptions(TaskId id, std::uint64_t count);
+
+  /// Re-runs the deferred completion check of a broadcast/multicast task
+  /// (after the recovery layer released it).  No-op when the task is
+  /// still short of its threshold or already finished.
+  void resolve_task(TaskId id) { maybe_finish_broadcast(id); }
+
+  /// Finalizes a unicast whose retry budget is exhausted: counted as a
+  /// failed unicast exactly like an unrecovered drop.  Idempotent.
+  void finalize_failed_unicast(TaskId id);
+
+  /// Records one recovery retransmission: bumps Metrics::retransmissions
+  /// and emits the observer's on_retx event.
+  void note_retx(TaskId id, std::uint32_t attempt, RetxMode mode,
+                 topo::LinkId link);
 
  private:
   struct Queued {
@@ -257,6 +302,8 @@ class Engine {
     std::deque<Queued> queue[kPriorityClasses];
     /// Nested outage counter: > 0 means down (fail_link/restore_link).
     std::uint32_t down_count = 0;
+    /// Scheduled repair events not yet fired (from EngineConfig::faults).
+    std::uint32_t pending_repairs = 0;
     /// Bumped when a failure aborts the in-service copy; the pending
     /// completion event carries the epoch it was scheduled under and is
     /// ignored when stale.
@@ -297,6 +344,7 @@ class Engine {
 
   Metrics metrics_;
   Observer* observer_ = nullptr;
+  RecoveryHook* recovery_ = nullptr;
   bool measuring_ = false;
   bool fault_aware_ = false;
   std::uint64_t inflight_copies_ = 0;

@@ -74,6 +74,16 @@ class Observer {
   /// it accepts sends again.  Per link, on_link_down/on_link_up strictly
   /// alternate.
   virtual void on_link_up(topo::LinkId /*link*/, double /*now*/) {}
+
+  /// The recovery layer injected a retransmission for `task` at `now`
+  /// (docs/FAULTS.md §7): `attempt` is the task's retry attempt number
+  /// (>= 1; several injections of one timer expiry share it), `mode` says
+  /// how the retry was built, and `link` is the frontier link a subtree
+  /// re-flood re-entered (kInvalidLink for fresh-tree and unicast
+  /// retries).  Fires BEFORE the retried copies' on_enqueue records.
+  virtual void on_retx(TaskId /*task*/, std::uint32_t /*attempt*/,
+                       RetxMode /*mode*/, topo::LinkId /*link*/,
+                       double /*now*/) {}
 };
 
 }  // namespace pstar::net

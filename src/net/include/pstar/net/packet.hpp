@@ -58,11 +58,26 @@ struct MulticastState {
   std::int32_t edge = -1;
 };
 
+/// Copy::flags bit: the copy was injected by the recovery layer (a
+/// retransmission), not by the task's original flood.  Deliveries and
+/// drops of flagged copies are routed through the RecoveryHook so
+/// duplicate receptions are never double-counted (docs/FAULTS.md §7).
+inline constexpr std::uint8_t kRetxCopy = 0x1;
+
+/// How a recovery retransmission was injected (docs/FAULTS.md §7).
+enum class RetxMode : std::uint8_t {
+  kSubtree = 0,  ///< exact orphaned subtree re-flooded from the frontier
+  kFresh = 1,    ///< fresh STAR tree with a re-drawn ending dimension
+  kUnicast = 2,  ///< unicast re-launched from the drop point
+};
+inline constexpr std::size_t kRetxModes = 3;
+
 /// One in-flight replica of a packet.
 struct Copy {
   TaskId task = 0;
   Priority prio = Priority::kHigh;
-  std::uint8_t vc = 0;  ///< virtual channel (0 or 1); bookkeeping only
+  std::uint8_t vc = 0;     ///< virtual channel (0 or 1); bookkeeping only
+  std::uint8_t flags = 0;  ///< kRetxCopy; propagated to every forwarded copy
   union {
     BroadcastState bcast;
     UnicastState uni;

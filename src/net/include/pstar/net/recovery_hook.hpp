@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file recovery_hook.hpp
+/// Engine-side interface of the end-to-end recovery layer.
+///
+/// The engine itself stays loss-terminal (PR 3 semantics): a dropped copy
+/// charges its orphaned subtree and the task finalizes once
+/// receptions + lost covers every node.  A RecoveryHook, attached through
+/// Engine::set_recovery, intercepts exactly the decision points where a
+/// retransmission layer needs a say:
+///
+///   - on_broadcast_loss / on_unicast_loss fire when an ORIGINAL copy is
+///     dropped, so the hook can capture the orphaned-subtree frontier (the
+///     dropped copy plus the live node it was leaving) and arm a timer;
+///   - on_retx_drop / on_retx_delivery fire instead of the normal loss /
+///     reception accounting for copies carrying kRetxCopy, so duplicate
+///     deliveries of a retried subtree are never double-counted;
+///   - should_defer_completion keeps a broadcast open at its reception
+///     threshold while a retry is pending or in flight;
+///   - on_task_finished releases per-task recovery state before the task
+///     slot is recycled.
+///
+/// With no hook attached every call site short-circuits on one null check
+/// and the engine is bit-identical to the pre-recovery code
+/// (docs/FAULTS.md §7).  The concrete implementation lives in
+/// pstar::recovery::RecoveryManager.
+
+#include <cstdint>
+
+#include "pstar/net/packet.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::net {
+
+class Engine;
+
+/// Decision points the engine offers a recovery layer.  All methods are
+/// called synchronously from inside the engine's event processing; they
+/// may send new copies (retries go through the normal Engine::send path)
+/// but must not destroy the engine.
+class RecoveryHook {
+ public:
+  virtual ~RecoveryHook() = default;
+
+  /// An ORIGINAL (non-retx) broadcast copy was dropped at `link`;
+  /// `orphaned` receptions were just charged as lost.  Record the
+  /// frontier and arm a retry timer if the task still has budget.
+  virtual void on_broadcast_loss(Engine& engine, const Copy& copy,
+                                 topo::LinkId link, std::uint64_t orphaned) = 0;
+
+  /// A unicast copy was dropped at `link`.  Return true to claim the
+  /// task for a retry (the engine then skips the failed-unicast
+  /// finalization); false hands it back to PR 3 semantics.
+  virtual bool on_unicast_loss(Engine& engine, const Copy& copy,
+                               topo::LinkId link) = 0;
+
+  /// A kRetxCopy broadcast copy was dropped at `link`.  Called INSTEAD of
+  /// RoutingPolicy::dropped_subtree_receptions: returns how many
+  /// receptions to charge as lost -- only the still-pending orphans in
+  /// the dropped subtree, since its duplicate part was never uncharged.
+  virtual std::uint64_t on_retx_drop(Engine& engine, const Copy& copy,
+                                     topo::LinkId link) = 0;
+
+  /// A kRetxCopy broadcast copy delivered to `node`.  Return true when
+  /// the delivery fills a pending orphan (counts as a reception); false
+  /// marks it a duplicate of an already-counted reception.
+  virtual bool on_retx_delivery(Engine& engine, TaskId task,
+                                topo::NodeId node) = 0;
+
+  /// Called from the broadcast completion check once receptions + lost
+  /// reaches the threshold: return true to keep the task open (a retry
+  /// is pending or retx copies are still in flight).
+  virtual bool should_defer_completion(const Engine& engine, TaskId task) = 0;
+
+  /// The task is finalizing; its id is about to be recycled.  Free any
+  /// per-task recovery state.
+  virtual void on_task_finished(TaskId task) = 0;
+};
+
+}  // namespace pstar::net

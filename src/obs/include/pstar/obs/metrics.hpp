@@ -82,6 +82,11 @@ struct LinkMetricsSnapshot {
   /// Network-wide per-class waiting-time histograms; empty when
   /// MetricsConfig::wait_histograms was off.
   std::vector<stats::Histogram> class_wait_hist;
+  /// Recovery retransmissions inside the window, total and by
+  /// net::RetxMode (subtree / fresh / unicast); all zero without the
+  /// recovery layer (docs/FAULTS.md §7).
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retx_by_mode[net::kRetxModes] = {0, 0, 0};
 
   double window_start = 0.0;
   double window_end = 0.0;
@@ -145,6 +150,7 @@ class MetricsRegistry {
                    bool was_queued);
   void record_link_down(topo::LinkId link, double now);
   void record_link_up(topo::LinkId link, double now);
+  void record_retx(net::RetxMode mode, double now);
 
   /// Copies the current state out.  Valid any time; typically taken
   /// after end_window.
@@ -168,6 +174,8 @@ class MetricsRegistry {
   std::vector<double> down_since_;     ///< outage start; < 0 when the link is up
   std::vector<std::uint64_t> failures_;
   std::vector<stats::Histogram> class_wait_hist_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t retx_by_mode_[net::kRetxModes] = {0, 0, 0};
   double window_start_ = 0.0;
   double window_end_ = 0.0;
   bool window_open_ = false;

@@ -65,6 +65,12 @@ class EngineProbe : public net::Observer {
     if (trace_) trace_->link_up(now, link);
   }
 
+  void on_retx(net::TaskId task, std::uint32_t attempt, net::RetxMode mode,
+               topo::LinkId link, double now) override {
+    if (metrics_) metrics_->record_retx(mode, now);
+    if (trace_) trace_->retx(now, task, attempt, mode, link);
+  }
+
  private:
   MetricsRegistry* metrics_;
   JsonlTraceSink* trace_;

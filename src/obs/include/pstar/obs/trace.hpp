@@ -8,7 +8,7 @@
 /// validated by tools/check_trace.py) is versioned through the `schema`
 /// field of the run-header record.  Event records:
 ///
-///   {"ev":"run", "schema":2, ...free-form run metadata...}
+///   {"ev":"run", "schema":3, ...free-form run metadata...}
 ///   {"ev":"task","t":T,"task":I,"kind":K,"src":N,"dst":N,"len":L,"measured":B}
 ///   {"ev":"enq", "t":T,"task":I,"link":L,"prio":P}
 ///   {"ev":"tx",  "task":I,"link":L,"from":N,"to":N,"dim":D,"dir":S,
@@ -17,6 +17,13 @@
 ///   {"ev":"done","t":T,"task":I,"kind":K,"receptions":R,"lost":X}
 ///   {"ev":"link_down","t":T,"link":L}     (schema 2: fail-stop outage)
 ///   {"ev":"link_up",  "t":T,"link":L}     (schema 2: repair)
+///   {"ev":"retx","t":T,"task":I,"retry":K,"mode":M,"link":L}  (schema 3)
+///
+/// `retx` records one recovery retransmission (docs/FAULTS.md §7):
+/// `retry` is the task's lifetime attempt number (>= 1, non-decreasing
+/// per task), `mode` is "subtree" (orphaned subtree re-flooded across
+/// `link`), "fresh" (new STAR tree from the source), or "unicast"
+/// (re-launched from the drop point); `link` is -1 for the latter two.
 ///
 /// Times are simulation time units with full double precision; `dir` is
 /// "+" or "-".  Tracing is strictly opt-in: with no sink attached the
@@ -61,8 +68,9 @@ class JsonLine {
 };
 
 /// Current trace schema version (bumped on incompatible changes).
-/// Version 2 added the link_down/link_up fault records.
-inline constexpr int kTraceSchemaVersion = 2;
+/// Version 2 added the link_down/link_up fault records; version 3 added
+/// the retx recovery records.
+inline constexpr int kTraceSchemaVersion = 3;
 
 /// Writes engine events as JSON Lines.  The caller owns the stream; the
 /// sink never flushes it.  Single-threaded by design -- give each
@@ -71,7 +79,7 @@ class JsonlTraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
 
-  /// Starts the run-header record (`"ev":"run","schema":2`) and returns
+  /// Starts the run-header record (`"ev":"run","schema":3`) and returns
   /// the open line so the caller can append run metadata (shape, scheme,
   /// rho, seed, ...) before it closes.
   JsonLine run_header();
@@ -88,6 +96,8 @@ class JsonlTraceSink {
   void task_completed(double t, net::TaskId task, const net::Task& info);
   void link_down(double t, topo::LinkId link);
   void link_up(double t, topo::LinkId link);
+  void retx(double t, net::TaskId task, std::uint32_t attempt,
+            net::RetxMode mode, topo::LinkId link);
 
   /// Records written so far (including the run header).
   std::uint64_t records() const { return records_; }
@@ -99,5 +109,8 @@ class JsonlTraceSink {
 
 /// Name of a task kind as it appears in trace records.
 std::string_view task_kind_name(net::TaskKind kind);
+
+/// Name of a retransmission mode as it appears in retx trace records.
+std::string_view retx_mode_name(net::RetxMode mode);
 
 }  // namespace pstar::obs

@@ -126,6 +126,8 @@ void MetricsRegistry::begin_window(double t) {
   // keeps its start time and is clamped to the new window when it ends.
   std::fill(down_time_.begin(), down_time_.end(), 0.0);
   std::fill(failures_.begin(), failures_.end(), 0);
+  retransmissions_ = 0;
+  std::fill(retx_by_mode_, retx_by_mode_ + net::kRetxModes, 0);
   for (std::size_t l = 0; l < backlog_gauge_.size(); ++l) {
     backlog_gauge_[l].start(t, static_cast<double>(backlog_[l]));
   }
@@ -227,6 +229,14 @@ void MetricsRegistry::record_link_up(topo::LinkId link, double now) {
   last_event_ = std::max(last_event_, now);
 }
 
+void MetricsRegistry::record_retx(net::RetxMode mode, double now) {
+  if (now >= window_start_ && now <= window_end_) {
+    ++retransmissions_;
+    ++retx_by_mode_[static_cast<std::size_t>(mode)];
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
 LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   LinkMetricsSnapshot snap;
   snap.links = links_;
@@ -244,6 +254,10 @@ LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   snap.window_end = window_open_ ? last_event_ : window_end_;
   snap.down_time = down_time_;
   snap.failures = failures_;
+  snap.retransmissions = retransmissions_;
+  for (std::size_t m = 0; m < net::kRetxModes; ++m) {
+    snap.retx_by_mode[m] = retx_by_mode_[m];
+  }
   // Outages still open at snapshot time are credited up to the
   // snapshot's effective window end (end_window already flushed closed
   // windows, so this only fires for open ones).

@@ -110,6 +110,18 @@ std::string_view task_kind_name(net::TaskKind kind) {
   return "?";
 }
 
+std::string_view retx_mode_name(net::RetxMode mode) {
+  switch (mode) {
+    case net::RetxMode::kSubtree:
+      return "subtree";
+    case net::RetxMode::kFresh:
+      return "fresh";
+    case net::RetxMode::kUnicast:
+      return "unicast";
+  }
+  return "?";
+}
+
 JsonLine JsonlTraceSink::run_header() {
   ++records_;
   JsonLine line(os_);
@@ -189,6 +201,18 @@ void JsonlTraceSink::link_up(double t, topo::LinkId link) {
   JsonLine(os_)
       .field("ev", "link_up")
       .field("t", t)
+      .field("link", static_cast<std::int32_t>(link));
+}
+
+void JsonlTraceSink::retx(double t, net::TaskId task, std::uint32_t attempt,
+                          net::RetxMode mode, topo::LinkId link) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "retx")
+      .field("t", t)
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("retry", static_cast<std::uint64_t>(attempt))
+      .field("mode", retx_mode_name(mode))
       .field("link", static_cast<std::int32_t>(link));
 }
 

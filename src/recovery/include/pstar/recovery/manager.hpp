@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file manager.hpp
+/// End-to-end reliable delivery on top of the fail-stop engine
+/// (docs/FAULTS.md §7).
+///
+/// PR 3 made losses graceful but terminal; this layer makes them a
+/// delay.  The engine reports every loss through the net::RecoveryHook
+/// interface; the RecoveryManager captures the orphaned-subtree frontier
+/// (the dropped copy plus the live node it was leaving), arms a per-task
+/// retry timer with exponential backoff and deterministic jitter, and at
+/// expiry re-injects through the NORMAL send path, so priority classes,
+/// Eq. (2)/(4) balancing, and metrics accounting apply to retries
+/// unchanged:
+///
+///   - broadcast, frontier link up again: the exact dropped copy is
+///     re-sent from the nearest live ancestor, reconstructing precisely
+///     the orphaned subtree (SDC subtrees are disjoint, so nothing is
+///     covered twice);
+///   - broadcast, frontier link still down: once every original copy has
+///     resolved, a FRESH STAR tree with a re-drawn ending dimension is
+///     flooded from the source; deliveries to already-covered nodes are
+///     recognized as duplicates via the per-task orphan set and are not
+///     double-counted;
+///   - unicast: the task is re-launched from the node where its copy
+///     died, with shortest-path offsets recomputed so links that went
+///     down since the original routing are detoured at retry time.
+///
+/// Loss accounting stays exact: a drop charges lost receptions exactly
+/// as without the layer, a retry "uncredits" the orphans it re-covers,
+/// and a dropped retry re-charges only the orphans still pending -- so a
+/// fully recovered task ends with lost == 0 and delivered_fraction
+/// returns to 1, while an exhausted task keeps its PR 3 numbers.
+///
+/// Budget semantics: `max_retries` bounds CONSECUTIVE unproductive
+/// attempts.  Any retry that recovers at least one orphaned reception
+/// resets the counter (TCP-style forward-progress credit), while a task
+/// making no progress for max_retries straight attempts finalizes as
+/// lost exactly like PR 3.  Crucially, a timer expiry whose blocking
+/// links are down WITH a repair still scheduled is a POLL, not an
+/// attempt: the fault schedule is materialized up front (the engine is a
+/// deterministic DES), so Engine::repair_pending is an exact oracle for
+/// "this outage is transient", and the layer waits it out without
+/// burning budget.  Budget is consumed only by injections with a real
+/// chance -- frontier re-floods over live links, fresh trees routed
+/// around permanent cuts, unicast re-launches -- which makes exhaustion
+/// impossible under purely transient faults (delivered_fraction returns
+/// to exactly 1) while permanent cuts still exhaust after max_retries
+/// fruitless fresh trees.  Total work stays bounded: each reset consumes
+/// at least one of the task's <= N-1 orphans.  Multicast losses are NOT
+/// recovered (PR 3 semantics; their pruned trees live in per-task policy
+/// state that does not survive the task).
+///
+/// Determinism: every random draw of the layer (timer jitter, fresh-tree
+/// ending dimensions, unicast tie-breaks) comes from its own rng seeded
+/// via sim::seed_stream(spec.seed, kRecoverySeedStream, 0), and timers
+/// are armed lazily at the first loss -- a fault-free run schedules no
+/// recovery event, draws nothing, and stays bit-identical to
+/// max_retries = 0.
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/net/recovery_hook.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/unicast.hpp"
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::recovery {
+
+/// Stream tag under which the harness derives a run's recovery seed:
+/// seed_stream(spec.seed, kRecoverySeedStream, 0).  Distinct from every
+/// (point, rep) pair and from fault::kFaultSeedStream, so recovery draws
+/// never alias workload or fault draws.
+inline constexpr std::uint64_t kRecoverySeedStream = 0x2EC07E2ULL;
+
+/// Recovery-layer tuning knobs (docs/FAULTS.md §7).
+struct RecoveryConfig {
+  /// Consecutive unproductive retry attempts before a task is finalized
+  /// as lost; 0 disables the layer entirely (PR 3 semantics).
+  std::uint32_t max_retries = 0;
+  /// Base retry timer (time units from the loss to the first attempt).
+  double timeout = 50.0;
+  /// Multiplier applied to the timer after each unproductive attempt.
+  double backoff = 2.0;
+  /// Deterministic jitter: each delay is scaled by a factor drawn
+  /// uniformly from [1, 1 + jitter), decorrelating retry bursts.
+  double jitter = 0.1;
+  /// Seed of the layer's private rng (derive via kRecoverySeedStream).
+  std::uint64_t seed = 0;
+
+  bool enabled() const { return max_retries > 0; }
+};
+
+/// What the layer did during one run.
+struct RecoveryStats {
+  std::uint64_t retx_subtree = 0;   ///< exact-subtree re-floods injected
+  std::uint64_t retx_fresh = 0;     ///< fresh-tree retries injected
+  std::uint64_t retx_unicast = 0;   ///< unicast re-launches injected
+  std::uint64_t receptions_recovered = 0;  ///< orphans delivered by a retry
+  std::uint64_t tasks_recovered = 0;  ///< tasks completing clean after >= 1 retry
+  std::uint64_t tasks_exhausted = 0;  ///< tasks that ran out of budget
+  std::uint64_t timer_fires = 0;      ///< retry timer expiries processed
+
+  std::uint64_t retransmissions() const {
+    return retx_subtree + retx_fresh + retx_unicast;
+  }
+};
+
+/// The net::RecoveryHook implementation.  Construct after the engine
+/// (it attaches itself via Engine::set_recovery and detaches in its
+/// destructor) and keep it alive until the simulation has drained.
+class RecoveryManager : public net::RecoveryHook {
+ public:
+  /// `broadcast` / `unicast` may be null when the run carries no traffic
+  /// of that kind; losses of a kind without its policy are left to PR 3
+  /// semantics.  The policies and engine must outlive the manager.
+  RecoveryManager(net::Engine& engine, routing::SdcBroadcastPolicy* broadcast,
+                  routing::UnicastPolicy* unicast, RecoveryConfig config);
+  ~RecoveryManager() override;
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  void on_broadcast_loss(net::Engine& engine, const net::Copy& copy,
+                         topo::LinkId link, std::uint64_t orphaned) override;
+  bool on_unicast_loss(net::Engine& engine, const net::Copy& copy,
+                       topo::LinkId link) override;
+  std::uint64_t on_retx_drop(net::Engine& engine, const net::Copy& copy,
+                             topo::LinkId link) override;
+  bool on_retx_delivery(net::Engine& engine, net::TaskId task,
+                        topo::NodeId node) override;
+  bool should_defer_completion(const net::Engine& engine,
+                               net::TaskId task) override;
+  void on_task_finished(net::TaskId task) override;
+
+  const RecoveryStats& stats() const { return stats_; }
+  const RecoveryConfig& config() const { return config_; }
+  /// Tasks with live recovery state (0 once the run has drained).
+  std::size_t open_tasks() const { return tasks_.size(); }
+
+ private:
+  /// One captured orphaned-subtree frontier: the dropped copy plus the
+  /// live ancestor it was leaving when its link died.
+  struct Frontier {
+    topo::LinkId link = topo::kInvalidLink;
+    topo::NodeId from = -1;   ///< live ancestor (tail of the dropped link)
+    topo::NodeId first = -1;  ///< head of the link: first orphaned node
+    std::int32_t dim = -1;
+    topo::Dir dir = topo::Dir::kPlus;
+    net::Copy copy;           ///< routing state to re-inject verbatim
+    std::uint64_t orphans = 0;  ///< lost receptions charged for this frontier
+    /// Orphan nodes charged above.  Empty means the frontier is an
+    /// ORIGINAL loss whose orphans are its whole subtree (enumerated
+    /// lazily at injection); a retx-drop frontier stores the explicit
+    /// still-pending subset.
+    std::vector<topo::NodeId> orphan_nodes;
+  };
+
+  struct TaskState {
+    std::vector<Frontier> frontiers;
+    /// Nodes awaiting a retry delivery; membership decides whether a
+    /// retx delivery counts as a reception or is a duplicate.
+    std::unordered_set<topo::NodeId> orphans;
+    std::uint64_t retx_outstanding = 0;  ///< retx receptions in flight
+    std::uint32_t retries_used = 0;  ///< CONSECUTIVE unproductive attempts
+    std::uint32_t attempts = 0;      ///< lifetime attempts (trace retry field)
+    std::uint64_t epoch = 0;         ///< stale-timer guard
+    std::int32_t last_remaining = std::numeric_limits<std::int32_t>::max();
+    topo::NodeId resume_node = -1;   ///< unicast: where the copy died
+    topo::LinkId unicast_link = topo::kInvalidLink;  ///< link it died on
+    bool timer_armed = false;
+    bool unicast_pending = false;
+    bool retried = false;    ///< at least one retry was ever injected
+    bool exhausted = false;  ///< budget ran out (stats guard)
+    bool injecting = false;  ///< reentrancy guard: defer completion while
+                             ///< this task's retries are being injected
+  };
+
+  void arm_timer(net::TaskId id, TaskState& st);
+  double retry_delay(std::uint32_t consecutive_failures);
+  void on_timer(net::TaskId id, std::uint64_t epoch);
+  void inject_frontier(net::TaskId id, TaskState& st, Frontier f,
+                       std::uint32_t attempt);
+  void inject_fresh_tree(net::TaskId id, TaskState& st,
+                         std::vector<Frontier> down, std::uint32_t attempt);
+  void give_up(net::TaskId id, TaskState& st);
+
+  net::Engine& engine_;
+  routing::SdcBroadcastPolicy* broadcast_;
+  routing::UnicastPolicy* unicast_;
+  RecoveryConfig config_;
+  sim::Rng rng_;
+  RecoveryStats stats_;
+  std::unordered_map<net::TaskId, TaskState> tasks_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+}  // namespace pstar::recovery

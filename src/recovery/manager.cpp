@@ -1,0 +1,379 @@
+#include "pstar/recovery/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace pstar::recovery {
+namespace {
+
+/// Hops a dropped unicast copy still had to travel (its offsets are the
+/// state AFTER the failed hop's decrement, so this is a consistent
+/// progress measure across drops of the same task).
+std::int32_t unicast_remaining(const topo::Torus& torus,
+                               const net::Copy& copy) {
+  std::int32_t rem = 0;
+  for (std::int32_t i = 0; i < torus.dims(); ++i) {
+    rem += std::abs(
+        static_cast<std::int32_t>(copy.uni.offsets[static_cast<std::size_t>(i)]));
+  }
+  return rem;
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(net::Engine& engine,
+                                 routing::SdcBroadcastPolicy* broadcast,
+                                 routing::UnicastPolicy* unicast,
+                                 RecoveryConfig config)
+    : engine_(engine),
+      broadcast_(broadcast),
+      unicast_(unicast),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.enabled()) {
+    if (config_.timeout <= 0.0) {
+      throw std::invalid_argument("RecoveryManager: timeout must be > 0");
+    }
+    if (config_.backoff < 1.0) {
+      throw std::invalid_argument("RecoveryManager: backoff must be >= 1");
+    }
+    if (config_.jitter < 0.0) {
+      throw std::invalid_argument("RecoveryManager: jitter must be >= 0");
+    }
+    engine_.set_recovery(this);
+  }
+}
+
+RecoveryManager::~RecoveryManager() {
+  if (engine_.recovery() == this) engine_.set_recovery(nullptr);
+}
+
+void RecoveryManager::on_broadcast_loss(net::Engine& engine,
+                                        const net::Copy& copy,
+                                        topo::LinkId link,
+                                        std::uint64_t orphaned) {
+  if (!config_.enabled() || orphaned == 0 || broadcast_ == nullptr) return;
+  TaskState& st = tasks_[copy.task];
+  if (st.exhausted) return;  // budget spent: the loss stays charged (PR 3)
+  const topo::LinkInfo& li = engine.torus().info(link);
+  Frontier f;
+  f.link = link;
+  f.from = li.from;
+  f.first = li.to;
+  f.dim = li.dim;
+  f.dir = li.dir;
+  f.copy = copy;
+  f.orphans = orphaned;
+  st.frontiers.push_back(std::move(f));
+  if (!st.timer_armed) arm_timer(copy.task, st);
+}
+
+bool RecoveryManager::on_unicast_loss(net::Engine& engine,
+                                      const net::Copy& copy,
+                                      topo::LinkId link) {
+  if (!config_.enabled() || unicast_ == nullptr) return false;
+  TaskState& st = tasks_[copy.task];
+  const std::int32_t rem = unicast_remaining(engine.torus(), copy);
+  if (rem < st.last_remaining) {
+    // The copy died closer to the destination than last time: forward
+    // progress, so the consecutive-failure budget resets.
+    st.retries_used = 0;
+  }
+  st.last_remaining = rem;
+  // Only a drop at a PERMANENTLY dead link (no repair left in the
+  // materialized fault schedule) consumes budget; transient blockages are
+  // waited out by the timer for free.
+  if (!engine.repair_pending(link)) {
+    if (st.retries_used >= config_.max_retries) {
+      if (!st.exhausted) {
+        st.exhausted = true;
+        ++stats_.tasks_exhausted;
+      }
+      tasks_.erase(copy.task);
+      return false;  // engine finalizes the task as failed, exactly as PR 3
+    }
+    ++st.retries_used;
+  }
+  st.unicast_pending = true;
+  st.unicast_link = link;
+  st.resume_node = engine.torus().info(link).from;
+  if (!st.timer_armed) arm_timer(copy.task, st);
+  return true;
+}
+
+std::uint64_t RecoveryManager::on_retx_drop(net::Engine& engine,
+                                            const net::Copy& copy,
+                                            topo::LinkId link) {
+  assert(broadcast_ != nullptr);
+  const std::uint64_t full = broadcast_->dropped_subtree_receptions(engine, copy);
+  auto it = tasks_.find(copy.task);
+  if (it == tasks_.end()) {
+    // State already retired (budget exhausted with copies in flight):
+    // charge the full subtree defensively, as without recovery.
+    return full;
+  }
+  TaskState& st = it->second;
+  st.retx_outstanding -= std::min(st.retx_outstanding, full);
+  // Only orphans still pending get re-charged; nodes of the dropped
+  // subtree that some other copy already covered were never uncharged.
+  const topo::LinkInfo& li = engine.torus().info(link);
+  std::vector<topo::NodeId> pending;
+  for (topo::NodeId node :
+       routing::sdc_subtree_nodes(engine.torus(), copy.bcast, li.to)) {
+    if (st.orphans.count(node) != 0) pending.push_back(node);
+  }
+  if (pending.empty() || st.exhausted) return pending.size();
+  // A retry copy dropped at a PERMANENTLY dead link (no repair left in
+  // the materialized fault schedule) is an unproductive attempt and
+  // consumes budget; a drop at a transiently-down link re-enters the
+  // wait pool for free.
+  if (!engine.repair_pending(link)) {
+    ++st.retries_used;
+    if (st.retries_used >= config_.max_retries) {
+      st.exhausted = true;
+      ++stats_.tasks_exhausted;
+      // The pending orphans are re-charged below and other in-flight
+      // copies keep deduplicating through the surviving state; the last
+      // of them resolves the task through the normal completion check.
+      return pending.size();
+    }
+  }
+  Frontier f;
+  f.link = link;
+  f.from = li.from;
+  f.first = li.to;
+  f.dim = li.dim;
+  f.dir = li.dir;
+  f.copy = copy;
+  f.orphans = pending.size();
+  f.orphan_nodes = std::move(pending);
+  const std::uint64_t charged = f.orphans;
+  st.frontiers.push_back(std::move(f));
+  if (!st.timer_armed) arm_timer(copy.task, st);
+  return charged;
+}
+
+bool RecoveryManager::on_retx_delivery(net::Engine& /*engine*/,
+                                       net::TaskId task, topo::NodeId node) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) return true;
+  TaskState& st = it->second;
+  if (st.retx_outstanding > 0) --st.retx_outstanding;
+  const bool counts = st.orphans.erase(node) > 0;
+  if (counts) {
+    ++stats_.receptions_recovered;
+    // Forward progress: the consecutive-failure budget resets.
+    st.retries_used = 0;
+  }
+  return counts;
+}
+
+bool RecoveryManager::should_defer_completion(const net::Engine& /*engine*/,
+                                              net::TaskId task) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) return false;
+  const TaskState& st = it->second;
+  return st.injecting || st.retx_outstanding > 0 ||
+         (!st.frontiers.empty() && st.retries_used < config_.max_retries);
+}
+
+void RecoveryManager::on_task_finished(net::TaskId task) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) return;
+  const TaskState& st = it->second;
+  const net::Task& t = engine_.task(task);
+  const bool failed_unicast = t.kind == net::TaskKind::kUnicast && st.exhausted;
+  if (st.retried && t.lost == 0 && !failed_unicast) ++stats_.tasks_recovered;
+  tasks_.erase(it);
+}
+
+void RecoveryManager::arm_timer(net::TaskId id, TaskState& st) {
+  st.timer_armed = true;
+  st.epoch = next_epoch_++;
+  const std::uint64_t epoch = st.epoch;
+  engine_.simulator().after(
+      retry_delay(st.retries_used),
+      [this, id, epoch](sim::Simulator&) { on_timer(id, epoch); });
+}
+
+double RecoveryManager::retry_delay(std::uint32_t consecutive_failures) {
+  const double base =
+      config_.timeout * std::pow(config_.backoff,
+                                 static_cast<double>(consecutive_failures));
+  // Deterministic jitter from the layer's own stream: scale by a factor
+  // uniform in [1, 1 + jitter) so synchronized losses don't retry in
+  // lock-step.
+  return base * (1.0 + config_.jitter * rng_.uniform());
+}
+
+void RecoveryManager::on_timer(net::TaskId id, std::uint64_t epoch) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second.epoch != epoch) return;  // stale
+  ++stats_.timer_fires;
+  TaskState& st = it->second;
+  st.timer_armed = false;
+  if (st.frontiers.empty() && !st.unicast_pending) return;
+
+  // An expiry whose blocking links all have a repair still scheduled is a
+  // POLL, not an attempt: re-injecting against a known-temporary outage
+  // would waste work on losses that are certain to become recoverable,
+  // so the timer just re-arms.  Budget is never consumed here -- it is
+  // charged at DROP time, and only for drops at permanently dead links
+  // (see on_unicast_loss / on_retx_drop) -- which makes exhaustion
+  // impossible under purely transient faults while keeping permanent
+  // cuts bounded to max_retries fruitless re-floods.
+  bool injected = false;
+
+  if (st.unicast_pending) {
+    const bool wait = st.unicast_link != topo::kInvalidLink &&
+                      !engine_.link_up(st.unicast_link) &&
+                      engine_.repair_pending(st.unicast_link);
+    if (!wait) {
+      if (st.retries_used >= config_.max_retries) {
+        give_up(id, st);
+        return;
+      }
+      const std::uint32_t attempt = ++st.attempts;
+      st.retried = true;
+      st.injecting = true;  // defer completion during re-entry
+      st.unicast_pending = false;
+      engine_.note_retx(id, attempt, net::RetxMode::kUnicast,
+                        topo::kInvalidLink);
+      ++stats_.retx_unicast;
+      injected = true;
+      unicast_->reinject(engine_, rng_, st.resume_node, id, net::kRetxCopy);
+      st.injecting = false;
+    }
+  } else {
+    std::vector<Frontier> frontiers = std::move(st.frontiers);
+    st.frontiers.clear();
+    std::vector<Frontier> waiting;
+    std::vector<Frontier> live;
+    std::vector<Frontier> dead;
+    for (Frontier& f : frontiers) {
+      if (engine_.link_up(f.link)) {
+        live.push_back(std::move(f));
+      } else if (engine_.repair_pending(f.link)) {
+        waiting.push_back(std::move(f));
+      } else {
+        dead.push_back(std::move(f));
+      }
+    }
+    // A fresh tree floods from the source and covers EVERY node, so it is
+    // only safe once all the task's prior copies have resolved (all its
+    // pending orphans are charged); otherwise an in-flight copy and the
+    // fresh tree could both cover an uncharged orphan.  Until then the
+    // dead frontiers keep waiting.
+    const net::Task& t = engine_.task(id);
+    const bool resolved =
+        static_cast<std::uint64_t>(t.receptions) + t.lost >= t.expected;
+    if (!dead.empty() && !resolved) {
+      for (Frontier& f : dead) waiting.push_back(std::move(f));
+      dead.clear();
+    }
+    if (!live.empty() || !dead.empty()) {
+      if (st.retries_used >= config_.max_retries) {
+        give_up(id, st);
+        return;
+      }
+      const std::uint32_t attempt = ++st.attempts;
+      st.retried = true;
+      st.injecting = true;  // defer completion during re-entry
+      for (Frontier& f : live) {
+        inject_frontier(id, st, std::move(f), attempt);
+        injected = true;
+      }
+      if (!dead.empty()) {
+        inject_fresh_tree(id, st, std::move(dead), attempt);
+        injected = true;
+      }
+      st.injecting = false;
+    }
+    for (Frontier& f : waiting) st.frontiers.push_back(std::move(f));
+  }
+
+  if (injected && engine_.task(id).kind != net::TaskKind::kUnicast) {
+    // Completion checks were deferred during injection; re-run them now.
+    engine_.resolve_task(id);
+  }
+  // resolve_task may have finalized the task and erased its state.
+  it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  TaskState& st2 = it->second;
+  if (!st2.timer_armed && (!st2.frontiers.empty() || st2.unicast_pending)) {
+    arm_timer(id, st2);
+  }
+}
+
+void RecoveryManager::inject_frontier(net::TaskId id, TaskState& st,
+                                      Frontier f, std::uint32_t attempt) {
+  // The frontier link is up again: re-send the exact dropped copy from
+  // its live ancestor, reconstructing precisely the orphaned subtree.
+  std::vector<topo::NodeId> nodes =
+      f.orphan_nodes.empty()
+          ? routing::sdc_subtree_nodes(engine_.torus(), f.copy.bcast, f.first)
+          : std::move(f.orphan_nodes);
+  for (topo::NodeId node : nodes) st.orphans.insert(node);
+  // Every node of the re-flooded subtree produces a retx delivery or a
+  // retx drop, orphan or duplicate alike.
+  st.retx_outstanding += broadcast_->dropped_subtree_receptions(engine_, f.copy);
+  engine_.uncredit_lost_receptions(id, f.orphans);
+  engine_.note_retx(id, attempt, net::RetxMode::kSubtree, f.link);
+  ++stats_.retx_subtree;
+  net::Copy copy = f.copy;
+  copy.flags = static_cast<std::uint8_t>(copy.flags | net::kRetxCopy);
+  engine_.send(f.from, f.dim, f.dir, copy);
+}
+
+void RecoveryManager::inject_fresh_tree(net::TaskId id, TaskState& st,
+                                        std::vector<Frontier> down,
+                                        std::uint32_t attempt) {
+  // The frontier links are still dead: rebuild from the root.  A fresh
+  // STAR tree with a re-drawn ending dimension covers every node; the
+  // orphan set separates real recoveries from duplicate deliveries.
+  std::uint64_t uncharge = 0;
+  for (Frontier& f : down) {
+    std::vector<topo::NodeId> nodes =
+        f.orphan_nodes.empty()
+            ? routing::sdc_subtree_nodes(engine_.torus(), f.copy.bcast, f.first)
+            : std::move(f.orphan_nodes);
+    for (topo::NodeId node : nodes) st.orphans.insert(node);
+    uncharge += f.orphans;
+  }
+  const net::Task& t = engine_.task(id);
+  st.retx_outstanding += t.expected;  // N-1 deliveries or drops will follow
+  engine_.uncredit_lost_receptions(id, uncharge);
+  const std::int32_t ending = broadcast_->sample_ending_dim(rng_);
+  engine_.note_retx(id, attempt, net::RetxMode::kFresh, topo::kInvalidLink);
+  ++stats_.retx_fresh;
+  broadcast_->initiate_flood(engine_, id, t.source, ending, net::kRetxCopy);
+}
+
+void RecoveryManager::give_up(net::TaskId id, TaskState& st) {
+  if (!st.exhausted) {
+    st.exhausted = true;
+    ++stats_.tasks_exhausted;
+  }
+  // Pending frontier losses stay charged (they were never uncredited), so
+  // the task's accounting is exactly what PR 3 would have produced.
+  st.frontiers.clear();
+  if (engine_.task(id).kind == net::TaskKind::kUnicast) {
+    st.unicast_pending = false;
+    tasks_.erase(id);
+    engine_.finalize_failed_unicast(id);
+    return;
+  }
+  if (st.retx_outstanding == 0) {
+    tasks_.erase(id);
+    engine_.resolve_task(id);
+  }
+  // Otherwise retx copies are still in flight; the state stays (so their
+  // deliveries and drops keep deduplicating) and the last of them
+  // resolves the task through the normal completion check.
+}
+
+}  // namespace pstar::recovery

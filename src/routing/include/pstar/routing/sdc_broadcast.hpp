@@ -58,12 +58,28 @@ class SdcBroadcastPolicy : public net::RoutingPolicy {
     return sampler_.probability(static_cast<std::size_t>(dim));
   }
 
+  /// Draws an ending dimension from the policy's distribution using an
+  /// EXTERNAL rng.  The recovery layer redraws from its own dedicated
+  /// stream when rebuilding a fresh retry tree, so recovery never
+  /// perturbs the main workload stream (docs/FAULTS.md §7).
+  std::int32_t sample_ending_dim(sim::Rng& rng) const {
+    return static_cast<std::int32_t>(sampler_.sample(rng));
+  }
+
+  /// Emits the complete STAR flood of `task` from `source` with a given
+  /// ending dimension, stamping `flags` on every emitted copy.  on_task
+  /// is exactly sample_ending_dim + initiate_flood with flags 0; the
+  /// recovery layer calls it with net::kRetxCopy for fresh retry trees.
+  void initiate_flood(net::Engine& engine, net::TaskId task,
+                      topo::NodeId source, std::int32_t ending_dim,
+                      std::uint8_t flags = 0);
+
  private:
   /// Starts the ring flood of phase q at `node` for the task of `proto`
   /// (a copy carrying task id and ending dimension).
   void initiate_ring(net::Engine& engine, net::TaskId task,
                      topo::NodeId node, std::int32_t ending_dim,
-                     std::int32_t phase);
+                     std::int32_t phase, std::uint8_t flags);
 
   const topo::Torus& torus_;
   SdcBroadcastConfig config_;
@@ -92,5 +108,17 @@ std::vector<TreeEdge> build_sdc_tree(const topo::Torus& torus,
                                      topo::NodeId source,
                                      std::int32_t ending_dim,
                                      sim::Rng* rng = nullptr);
+
+/// Enumerates the nodes of the subtree a broadcast copy would still have
+/// covered, given its routing state and the node it was about to be
+/// delivered to (`first` = the head of the dropped link).  These are the
+/// (hops_left + 1) nodes remaining on the copy's ring arc, crossed with
+/// every coordinate of each later-phase dimension -- exactly the
+/// receptions SdcBroadcastPolicy::dropped_subtree_receptions charges, so
+/// the recovery layer's orphan sets and the engine's loss accounting
+/// always agree in size (docs/FAULTS.md §7).
+std::vector<topo::NodeId> sdc_subtree_nodes(const topo::Torus& torus,
+                                            const net::BroadcastState& state,
+                                            topo::NodeId first);
 
 }  // namespace pstar::routing

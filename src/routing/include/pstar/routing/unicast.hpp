@@ -37,7 +37,21 @@ class UnicastPolicy : public net::RoutingPolicy {
   void on_receive(net::Engine& engine, topo::NodeId node,
                   const net::Copy& copy) override;
 
+  /// Re-launches `task` from `node` (where its previous copy died):
+  /// shortest-path offsets toward the destination are recomputed from
+  /// scratch, so links that went down since the original routing are
+  /// detoured at retry time by the normal fault-aware forwarding.  Ring
+  /// ties draw from `rng` -- the recovery layer's own stream -- not the
+  /// engine's, and `flags` (net::kRetxCopy) is stamped on the copy.
+  void reinject(net::Engine& engine, sim::Rng& rng, topo::NodeId node,
+                net::TaskId task, std::uint8_t flags);
+
  private:
+  /// Builds a fresh shortest-path copy of `task` at `node` (ring ties
+  /// broken from `rng`) and forwards it.  on_task and reinject share it.
+  void launch(net::Engine& engine, sim::Rng& rng, topo::NodeId node,
+              net::TaskId task, std::uint8_t flags);
+
   /// Forwards the copy one hop toward its destination, or reports
   /// delivery when all offsets are exhausted.
   void forward(net::Engine& engine, topo::NodeId node, net::Copy copy);

@@ -40,9 +40,16 @@ void SdcBroadcastPolicy::on_task(net::Engine& engine, net::TaskId task,
                                  topo::NodeId source) {
   const auto ending_dim =
       static_cast<std::int32_t>(sampler_.sample(engine.rng()));
+  initiate_flood(engine, task, source, ending_dim, 0);
+}
+
+void SdcBroadcastPolicy::initiate_flood(net::Engine& engine, net::TaskId task,
+                                        topo::NodeId source,
+                                        std::int32_t ending_dim,
+                                        std::uint8_t flags) {
   // The source participates in every phase's ring flood.
   for (std::int32_t q = 0; q < torus_.dims(); ++q) {
-    initiate_ring(engine, task, source, ending_dim, q);
+    initiate_ring(engine, task, source, ending_dim, q, flags);
   }
 }
 
@@ -56,9 +63,10 @@ void SdcBroadcastPolicy::on_receive(net::Engine& engine, topo::NodeId node,
     engine.send(node, phase_dimension(st.ending_dim, st.phase, torus_.dims()),
                 st.dir > 0 ? topo::Dir::kPlus : topo::Dir::kMinus, fwd);
   }
-  // Start all later phases from this node.
+  // Start all later phases from this node, inheriting the copy's flags
+  // so a retried subtree stays marked kRetxCopy all the way down.
   for (std::int32_t q = st.phase + 1; q < torus_.dims(); ++q) {
-    initiate_ring(engine, copy.task, node, st.ending_dim, q);
+    initiate_ring(engine, copy.task, node, st.ending_dim, q, copy.flags);
   }
 }
 
@@ -77,7 +85,8 @@ std::uint64_t SdcBroadcastPolicy::dropped_subtree_receptions(
 void SdcBroadcastPolicy::initiate_ring(net::Engine& engine, net::TaskId task,
                                        topo::NodeId node,
                                        std::int32_t ending_dim,
-                                       std::int32_t phase) {
+                                       std::int32_t phase,
+                                       std::uint8_t flags) {
   const std::int32_t d = torus_.dims();
   const std::int32_t dim = phase_dimension(ending_dim, phase, d);
   const std::int32_t n = torus_.shape().size(dim);
@@ -89,6 +98,7 @@ void SdcBroadcastPolicy::initiate_ring(net::Engine& engine, net::TaskId task,
   proto.prio = is_ending ? config_.priorities.broadcast_ending
                          : config_.priorities.broadcast_tree;
   proto.vc = vc_for_dim(dim, ending_dim);
+  proto.flags = flags;
   proto.bcast.ending_dim = static_cast<std::int8_t>(ending_dim);
   proto.bcast.phase = static_cast<std::int8_t>(phase);
 
@@ -121,6 +131,39 @@ void SdcBroadcastPolicy::initiate_ring(net::Engine& engine, net::TaskId task,
   const topo::Dir long_dir = long_plus ? topo::Dir::kPlus : topo::Dir::kMinus;
   send_arc(long_dir, topo::ring_long_arc(n));
   send_arc(topo::opposite(long_dir), topo::ring_short_arc(n));
+}
+
+std::vector<topo::NodeId> sdc_subtree_nodes(const topo::Torus& torus,
+                                            const net::BroadcastState& state,
+                                            topo::NodeId first) {
+  const std::int32_t d = torus.dims();
+  const std::int32_t dim =
+      phase_dimension(state.ending_dim, state.phase, d);
+  std::vector<topo::NodeId> nodes;
+  // The remaining arc of the current ring traversal...
+  topo::NodeId at = first;
+  nodes.push_back(at);
+  for (std::int32_t s = 0; s < state.hops_left; ++s) {
+    at = torus.shape().neighbor(at, dim, state.dir);
+    nodes.push_back(at);
+  }
+  // ...each of which would have seeded every later phase over the FULL
+  // extent of that phase's dimension (Shape::neighbor wraps, so stepping
+  // n-1 times enumerates every coordinate on rings and lines alike).
+  for (std::int32_t q = state.phase + 1; q < d; ++q) {
+    const std::int32_t dq = phase_dimension(state.ending_dim, q, d);
+    const std::int32_t n = torus.shape().size(dq);
+    if (n < 2) continue;
+    const std::size_t base = nodes.size();
+    for (std::size_t i = 0; i < base; ++i) {
+      topo::NodeId cur = nodes[i];
+      for (std::int32_t c = 1; c < n; ++c) {
+        cur = torus.shape().neighbor(cur, dq, 1);
+        nodes.push_back(cur);
+      }
+    }
+  }
+  return nodes;
 }
 
 std::vector<TreeEdge> build_sdc_tree(const topo::Torus& torus,

@@ -18,29 +18,42 @@ UnicastPolicy::UnicastPolicy(const topo::Torus& torus, UnicastConfig config)
 
 void UnicastPolicy::on_task(net::Engine& engine, net::TaskId task,
                             topo::NodeId source) {
+  launch(engine, engine.rng(), source, task, 0);
+}
+
+void UnicastPolicy::reinject(net::Engine& engine, sim::Rng& rng,
+                             topo::NodeId node, net::TaskId task,
+                             std::uint8_t flags) {
+  launch(engine, rng, node, task, flags);
+}
+
+void UnicastPolicy::launch(net::Engine& engine, sim::Rng& rng,
+                           topo::NodeId node, net::TaskId task,
+                           std::uint8_t flags) {
   const net::Task& t = engine.task(task);
   net::Copy copy;
   copy.task = task;
   copy.prio = config_.priority;
   copy.vc = 0;
+  copy.flags = flags;
   copy.uni = net::UnicastState{};
   for (std::int32_t i = 0; i < torus_.dims(); ++i) {
     const std::int32_t n = torus_.shape().size(i);
-    const std::int32_t a = torus_.shape().coord_of(source, i);
+    const std::int32_t a = torus_.shape().coord_of(node, i);
     const std::int32_t b = torus_.shape().coord_of(t.dest, i);
     std::int32_t off;
     if (torus_.wraps(i)) {
       off = topo::ring_offset(a, b, n);
       // Both arcs are shortest when |off| == n/2 on an even ring; choose
       // a direction uniformly so neither is systematically favored.
-      if (topo::ring_tie(a, b, n) && engine.rng().flip()) off = -off;
+      if (topo::ring_tie(a, b, n) && rng.flip()) off = -off;
     } else {
       off = b - a;  // a line has a unique shortest direction
     }
     copy.uni.offsets[static_cast<std::size_t>(i)] =
         static_cast<std::int8_t>(off);
   }
-  forward(engine, source, copy);
+  forward(engine, node, copy);
 }
 
 void UnicastPolicy::on_receive(net::Engine& engine, topo::NodeId node,

@@ -127,6 +127,69 @@ TEST(FaultSchedule, ScriptedFaultsExpand) {
   EXPECT_DOUBLE_EQ(events[2].time, 7.0);
 }
 
+TEST(FaultSchedule, OverlappingScriptedIntervalsMerge) {
+  fault::FaultConfig cfg;
+  cfg.scripted.push_back({0, 1.0, 4.0});   // [1, 5)
+  cfg.scripted.push_back({0, 3.0, 4.0});   // [3, 7): overlaps the first
+  cfg.scripted.push_back({0, 7.0, 1.0});   // [7, 8): touches the merged end
+  cfg.scripted.push_back({0, 10.0, 1.0});  // [10, 11): disjoint
+  const auto events = fault::build_schedule(cfg, 8);
+  // One continuous outage [1, 8) plus the disjoint [10, 11).
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_TRUE(events[0].down);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_FALSE(events[1].down);
+  EXPECT_DOUBLE_EQ(events[1].time, 8.0);
+  EXPECT_TRUE(events[2].down);
+  EXPECT_DOUBLE_EQ(events[2].time, 10.0);
+  EXPECT_FALSE(events[3].down);
+  EXPECT_DOUBLE_EQ(events[3].time, 11.0);
+}
+
+TEST(FaultSchedule, InfiniteOutageSwallowsLaterIntervals) {
+  fault::FaultConfig cfg;
+  cfg.scripted.push_back({2, 5.0, kInf});
+  cfg.scripted.push_back({2, 7.0, 1.0});  // inside the permanent outage
+  cfg.scripted.push_back({2, 1.0, 2.0});  // earlier and disjoint
+  const auto events = fault::build_schedule(cfg, 8);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].down);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_FALSE(events[1].down);
+  EXPECT_DOUBLE_EQ(events[1].time, 3.0);
+  EXPECT_TRUE(events[2].down);  // down at 5, never repaired
+  EXPECT_DOUBLE_EQ(events[2].time, 5.0);
+}
+
+TEST(FaultSchedule, RenewalPlusScriptedStaysCanonicallyAlternating) {
+  // Scripted outages deliberately chosen to overlap the dense renewal
+  // process; the merged schedule must still strictly alternate per link
+  // with strictly increasing times, starting with a failure.
+  fault::FaultConfig cfg;
+  cfg.mtbf = 20.0;
+  cfg.mttr = 50.0;  // links are down most of the time: overlaps guaranteed
+  cfg.seed = 7;
+  cfg.horizon = 500.0;
+  for (topo::LinkId l = 0; l < 8; ++l) {
+    cfg.scripted.push_back({l, 40.0, 100.0});
+    cfg.scripted.push_back({l, 90.0, 60.0});
+  }
+  const auto events = fault::build_schedule(cfg, 8);
+  ASSERT_FALSE(events.empty());
+  std::map<topo::LinkId, double> last_time;
+  std::map<topo::LinkId, bool> down;
+  for (const auto& ev : events) {
+    if (last_time.count(ev.link) != 0) {
+      EXPECT_LT(last_time[ev.link], ev.time) << "link " << ev.link;
+      EXPECT_NE(down[ev.link], ev.down) << "link " << ev.link;
+    } else {
+      EXPECT_TRUE(ev.down) << "link " << ev.link << " starts with a repair";
+    }
+    last_time[ev.link] = ev.time;
+    down[ev.link] = ev.down;
+  }
+}
+
 // ------------------------------------------------------------- engine core
 
 struct EngineFixture {
@@ -323,6 +386,113 @@ TEST(UnicastFaults, FailsGracefullyWithNoDetour) {
   EXPECT_EQ(m.failed_unicasts, 1u);
   EXPECT_EQ(m.fault_drops, 1u);
   EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(UnicastFaults, TwoRingHasNoDetour) {
+  // On an n == 2 wrapping ring both directions alias ONE directed link
+  // (the hypercube degeneracy), so the "opposite arc" detour is the
+  // dead primary itself and the task must fail at the engine's door.
+  const Torus torus(Shape{2});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  ASSERT_EQ(torus.link(0, 0, Dir::kPlus), torus.link(0, 0, Dir::kMinus));
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.failed_unicasts, 1u);
+  EXPECT_EQ(m.fault_drops, 1u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(UnicastFaults, MeshLineHasNoDetour) {
+  // A mesh dimension does not wrap: with the only forward link dead
+  // there is no opposite arc to flip to and the task fails gracefully.
+  const Torus torus = Torus::mesh(Shape{4});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.failed_unicasts, 1u);
+  EXPECT_EQ(m.fault_drops, 1u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(UnicastFaults, ThreeRingDetourWorks) {
+  // n == 3 is the smallest ring with a genuine opposite arc.
+  const Torus torus(Shape{3});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  engine.begin_measurement();
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[static_cast<std::size_t>(TaskKind::kUnicast)],
+            1u);
+  EXPECT_EQ(m.failed_unicasts, 0u);
+  EXPECT_DOUBLE_EQ(m.unicast_hops.mean(), 2.0);
+}
+
+TEST(UnicastFaults, LongerArcBeyondInt8RangeIsRejected) {
+  // The detour flips a +1 offset to -(n - 1).  Routing state stores
+  // offsets as int8, so on a 200-ring the flipped offset (-199) is
+  // unrepresentable: the guard must refuse the detour (graceful failure)
+  // instead of overflowing into a bogus route.
+  const Torus torus(Shape{200});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.failed_unicasts, 1u);
+  EXPECT_EQ(m.fault_drops, 1u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(UnicastFaults, LongerArcWithinInt8RangeIsTaken) {
+  // Same flip on a 120-ring: -119 fits int8, so the packet walks the
+  // long way around instead of failing.
+  const Torus torus(Shape{120});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig cfg;
+  cfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, cfg);
+  engine.begin_measurement();
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[static_cast<std::size_t>(TaskKind::kUnicast)],
+            1u);
+  EXPECT_EQ(m.failed_unicasts, 0u);
+  EXPECT_DOUBLE_EQ(m.unicast_hops.mean(), 119.0);
 }
 
 // ------------------------------------------------------------ harness level

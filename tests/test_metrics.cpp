@@ -189,6 +189,7 @@ TEST(TraceSink, RoundTripParses) {
   sink.transmission(7, copy, 12, 3, 7, 0, topo::Dir::kMinus, 0.125, start,
                     start + 1.0);
   sink.drop(2.5, 7, copy, 12, true);
+  sink.retx(3.0, 7, 1, net::RetxMode::kSubtree, 12);
   task.receptions = 15;
   sink.task_completed(9.0, 7, task);
 
@@ -196,23 +197,27 @@ TEST(TraceSink, RoundTripParses) {
   std::string line;
   std::istringstream in(out.str());
   while (std::getline(in, line)) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 6u);
+  ASSERT_EQ(lines.size(), 7u);
   EXPECT_EQ(lines.size(), sink.records());
 
   // Every record is one flat JSON object with an "ev" discriminator.
-  const char* expected_ev[] = {"run", "task", "enq", "tx", "drop", "done"};
+  const char* expected_ev[] = {"run", "task", "enq", "tx", "drop", "retx",
+                               "done"};
   for (std::size_t i = 0; i < lines.size(); ++i) {
     EXPECT_EQ(lines[i].front(), '{') << lines[i];
     EXPECT_EQ(lines[i].back(), '}') << lines[i];
     const std::string tag = "\"ev\":\"" + std::string(expected_ev[i]) + "\"";
     EXPECT_NE(lines[i].find(tag), std::string::npos) << lines[i];
   }
-  EXPECT_NE(lines[0].find("\"schema\":2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schema\":3"), std::string::npos);
   EXPECT_NE(lines[0].find("\"note\":\"quote\\\"back\\\\slash\""),
             std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"broadcast\""), std::string::npos);
   EXPECT_NE(lines[3].find("\"dir\":\"-\""), std::string::npos);
   EXPECT_NE(lines[4].find("\"queued\":true"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"retry\":1"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"mode\":\"subtree\""), std::string::npos);
+  EXPECT_NE(lines[5].find("\"link\":12"), std::string::npos);
 
   // The tx start field parses back to the exact double that was written.
   const std::string key = "\"start\":";

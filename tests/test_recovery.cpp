@@ -1,0 +1,256 @@
+#include "pstar/recovery/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/priorities.hpp"
+#include "pstar/routing/sdc_broadcast.hpp"
+#include "pstar/routing/unicast.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar {
+namespace {
+
+using net::Engine;
+using net::EngineConfig;
+using net::TaskKind;
+using topo::Dir;
+using topo::Shape;
+using topo::Torus;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+recovery::RecoveryConfig quick_config(std::uint32_t max_retries) {
+  recovery::RecoveryConfig rc;
+  rc.max_retries = max_retries;
+  rc.timeout = 2.0;
+  rc.backoff = 1.5;
+  rc.jitter = 0.1;
+  rc.seed = 42;
+  return rc;
+}
+
+// ----------------------------------------------------------- construction
+
+TEST(RecoveryConfig, EnabledConfigIsValidated) {
+  const Torus torus(Shape{4});
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = {1.0};
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  routing::SdcBroadcastPolicy policy(torus, cfg);
+  Engine engine(sim, torus, policy, rng);
+
+  recovery::RecoveryConfig rc = quick_config(1);
+  rc.timeout = 0.0;
+  EXPECT_THROW(recovery::RecoveryManager(engine, &policy, nullptr, rc),
+               std::invalid_argument);
+  rc = quick_config(1);
+  rc.backoff = 0.5;
+  EXPECT_THROW(recovery::RecoveryManager(engine, &policy, nullptr, rc),
+               std::invalid_argument);
+  rc = quick_config(1);
+  rc.jitter = -1.0;
+  EXPECT_THROW(recovery::RecoveryManager(engine, &policy, nullptr, rc),
+               std::invalid_argument);
+  // max_retries == 0 disables the layer: nothing is validated and the
+  // manager never attaches to the engine.
+  rc = quick_config(0);
+  rc.timeout = 0.0;
+  recovery::RecoveryManager disabled(engine, &policy, nullptr, rc);
+  EXPECT_EQ(engine.recovery(), nullptr);
+}
+
+// ---------------------------------------------------------- engine level
+
+TEST(Recovery, TransientBroadcastLossIsRefloodedFromTheFrontier) {
+  // Ring of 4, source 0, link 0 -> 1 down for [0, 5).  The original
+  // flood's +arc dies at the engine's door; the layer must wait out the
+  // repair (it is scheduled, so no budget burns) and then re-send the
+  // exact dropped copy from node 0, recovering every orphan.
+  const Torus torus(Shape{4});
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = {1.0};
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  routing::SdcBroadcastPolicy policy(torus, cfg);
+  EngineConfig ecfg;
+  ecfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, 5.0});
+  Engine engine(sim, torus, policy, rng, ecfg);
+  recovery::RecoveryManager mgr(engine, &policy, nullptr, quick_config(3));
+  EXPECT_EQ(engine.recovery(), &mgr);
+  engine.begin_measurement();
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.reception_delay.count(), 3u);  // every node reached
+  EXPECT_EQ(m.lost_receptions, 0u);
+  EXPECT_EQ(m.tasks_completed[static_cast<std::size_t>(TaskKind::kBroadcast)],
+            1u);
+  EXPECT_GE(mgr.stats().retx_subtree, 1u);
+  EXPECT_GT(mgr.stats().receptions_recovered, 0u);
+  EXPECT_EQ(mgr.stats().tasks_recovered, 1u);
+  EXPECT_EQ(mgr.stats().tasks_exhausted, 0u);
+  EXPECT_EQ(m.retransmissions, mgr.stats().retransmissions());
+  EXPECT_EQ(mgr.open_tasks(), 0u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(Recovery, PermanentCutExhaustsTheBudgetAndFinalizesAsLost) {
+  // Link 0 -> 1 never repairs, and on a 4-ring node 1 is only reachable
+  // through it: fresh trees burn the budget (each retry drop at the dead
+  // link counts) and the task must finalize with node 1 still lost --
+  // never hang.
+  const Torus torus(Shape{4});
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  routing::SdcBroadcastConfig cfg;
+  cfg.ending_probabilities = {1.0};
+  cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+  routing::SdcBroadcastPolicy policy(torus, cfg);
+  EngineConfig ecfg;
+  ecfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, kInf});
+  Engine engine(sim, torus, policy, rng, ecfg);
+  recovery::RecoveryManager mgr(engine, &policy, nullptr, quick_config(2));
+  engine.begin_measurement();
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(mgr.stats().tasks_exhausted, 1u);
+  EXPECT_GE(mgr.stats().retx_fresh, 1u);
+  EXPECT_GE(m.lost_receptions, 1u);  // node 1 is unreachable
+  EXPECT_EQ(m.tasks_completed[static_cast<std::size_t>(TaskKind::kBroadcast)],
+            1u);
+  EXPECT_EQ(mgr.open_tasks(), 0u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+TEST(Recovery, BlockedUnicastWaitsForTheRepairAndRelaunches) {
+  // Both arcs out of node 0 are down for [0, 5): no detour exists, the
+  // copy dies at the door, and the layer re-launches it from node 0
+  // after the repair instead of failing the task.
+  const Torus torus(Shape{4});
+  sim::Simulator sim;
+  sim::Rng rng(5);
+  routing::UnicastPolicy policy(torus, routing::UnicastConfig{});
+  EngineConfig ecfg;
+  ecfg.faults.scripted.push_back({torus.link(0, 0, Dir::kPlus), 0.0, 5.0});
+  ecfg.faults.scripted.push_back({torus.link(0, 0, Dir::kMinus), 0.0, 5.0});
+  Engine engine(sim, torus, policy, rng, ecfg);
+  recovery::RecoveryManager mgr(engine, nullptr, &policy, quick_config(3));
+  engine.begin_measurement();
+  sim.at(1.0, [&engine](sim::Simulator&) {
+    engine.create_task(TaskKind::kUnicast, 0, 1, 1);
+  });
+  sim.run();
+  const auto& m = engine.metrics();
+  EXPECT_EQ(m.tasks_completed[static_cast<std::size_t>(TaskKind::kUnicast)],
+            1u);
+  EXPECT_EQ(m.failed_unicasts, 0u);
+  EXPECT_EQ(mgr.stats().retx_unicast, 1u);
+  EXPECT_EQ(mgr.stats().tasks_exhausted, 0u);
+  EXPECT_EQ(mgr.open_tasks(), 0u);
+  EXPECT_EQ(engine.inflight_copies(), 0u);
+}
+
+// --------------------------------------------------------- harness level
+
+TEST(HarnessRecovery, TransientFaultsFullyRecoverDelivery) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  spec.seed = 23;
+  spec.fault_mtbf = 150.0;
+  spec.fault_mttr = 30.0;
+
+  const auto degraded = harness::run_experiment(spec);
+  ASSERT_GT(degraded.fault_drops, 0u);
+  EXPECT_LT(degraded.delivered_fraction, 1.0);
+  EXPECT_EQ(degraded.retransmissions, 0u);
+
+  spec.max_retries = 3;
+  const auto recovered = harness::run_experiment(spec);
+  // Every outage in a renewal schedule is eventually repaired, so the
+  // repair-aware budget cannot exhaust and delivery returns to EXACTLY 1.
+  EXPECT_DOUBLE_EQ(recovered.delivered_fraction, 1.0);
+  EXPECT_EQ(recovered.retries_exhausted, 0u);
+  EXPECT_GT(recovered.retransmissions, 0u);
+  EXPECT_GT(recovered.receptions_recovered, 0u);
+  EXPECT_GT(recovered.tasks_recovered, 0u);
+  EXPECT_EQ(recovered.stop_reason, sim::StopReason::kDrained);
+}
+
+TEST(HarnessRecovery, TransientFaultsFullyRecoverUnicasts) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.broadcast_fraction = 0.0;  // unicast-only workload
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  spec.seed = 23;
+  spec.fault_mtbf = 150.0;
+  spec.fault_mttr = 30.0;
+  spec.max_retries = 3;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+  EXPECT_EQ(r.retries_exhausted, 0u);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+}
+
+TEST(HarnessRecovery, FaultFreeRunIsBitIdenticalWithRecoveryEnabled) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  spec.seed = 7;
+  const auto base = harness::run_experiment(spec);
+  spec.max_retries = 3;
+  const auto with_recovery = harness::run_experiment(spec);
+  // Timers are armed lazily at the first loss, so a fault-free run
+  // schedules no recovery event and draws nothing from the layer's rng.
+  EXPECT_EQ(with_recovery.retransmissions, 0u);
+  EXPECT_EQ(base.events_processed, with_recovery.events_processed);
+  EXPECT_EQ(base.transmissions, with_recovery.transmissions);
+  EXPECT_EQ(base.reception_delay_mean, with_recovery.reception_delay_mean);
+  EXPECT_EQ(base.broadcast_delay_mean, with_recovery.broadcast_delay_mean);
+  EXPECT_EQ(base.delivered_fraction, with_recovery.delivered_fraction);
+}
+
+TEST(HarnessRecovery, RecoveryRunsAreBitIdenticalAcrossRepeats) {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.rho = 0.3;
+  spec.warmup = 100.0;
+  spec.measure = 300.0;
+  spec.seed = 23;
+  spec.fault_mtbf = 150.0;
+  spec.fault_mttr = 30.0;
+  spec.max_retries = 3;
+  const auto a = harness::run_experiment(spec);
+  const auto b = harness::run_experiment(spec);
+  EXPECT_GT(a.retransmissions, 0u);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.receptions_recovered, b.receptions_recovered);
+  EXPECT_EQ(a.tasks_recovered, b.tasks_recovered);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.reception_delay_mean, b.reception_delay_mean);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
+}  // namespace
+}  // namespace pstar

@@ -3,19 +3,24 @@
 
 Checks every line of the trace produced by ``obs::JsonlTraceSink``
 (``sweep_cli --trace``, or any program attaching the sink) against the
-schema table in docs/OBSERVABILITY.md, versions 1 and 2:
+schema table in docs/OBSERVABILITY.md, versions 1 through 3:
 
   - every line parses as one flat JSON object with an "ev" discriminator;
-  - the first record of each run is a header with "schema": 1 or 2;
+  - the first record of each run is a header with "schema": 1, 2 or 3;
   - each record carries exactly the documented required fields with the
     documented types (extra metadata is allowed only on the run header);
   - per-record invariants hold (tx: enq <= start < end; prio in 0..2;
     dir is "+" or "-"; kind is a known task kind);
   - per-copy ordering holds within each run: a tx or queued drop on
     (task, link) consumes a prior enq on the same (task, link);
-  - fault records (schema 2 only) strictly alternate per link -- never
+  - fault records (schema >= 2) strictly alternate per link -- never
     link_down on a down link or link_up on an up link -- and no enq
-    lands on a link that is currently down.
+    lands on a link that is currently down;
+  - retx records (schema 3 only) carry a known mode, a retry counter
+    that starts at >= 1 and never decreases over one task's lifetime,
+    and only appear for tasks that previously suffered a drop;
+  - a run that ends with links still down is flagged with a NOTE (not
+    an error: permanent scripted faults legitimately outlive the run).
 
 Usage:  check_trace.py TRACE.jsonl [...]
         check_trace.py < TRACE.jsonl
@@ -26,8 +31,11 @@ Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 FAULT_SCHEMA = 2  # first schema with link_down / link_up records
+RETX_SCHEMA = 3  # first schema with retx records
+
+RETX_MODES = {"subtree", "fresh", "unicast"}
 
 NUMBER = (int, float)
 
@@ -73,6 +81,13 @@ REQUIRED = {
     },
     "link_down": {"t": NUMBER, "link": (int,)},
     "link_up": {"t": NUMBER, "link": (int,)},
+    "retx": {
+        "t": NUMBER,
+        "task": (int,),
+        "retry": (int,),
+        "mode": (str,),
+        "link": (int,),
+    },
 }
 
 TASK_KINDS = {"broadcast", "unicast", "multicast"}
@@ -111,6 +126,8 @@ def check_record(rec, state):
         state["schema"] = rec["schema"]
         state["pending"].clear()
         state["down_links"].clear()
+        state["retry"].clear()
+        state["dropped"].clear()
     elif not state["in_run"]:
         problems.append("{}: record before any run header".format(ev))
 
@@ -159,14 +176,44 @@ def check_record(rec, state):
                 problems.append(
                     "drop: queued=true but no pending enq for task {} "
                     "link {}".format(rec["task"], rec["link"]))
+        state["dropped"].add(rec["task"])
+    elif ev == "retx":
+        if state["in_run"] and state["schema"] < RETX_SCHEMA:
+            problems.append("retx: retx record in a schema-{} run".format(
+                state["schema"]))
+        if rec["mode"] not in RETX_MODES:
+            problems.append("retx: unknown mode {!r}".format(rec["mode"]))
+        if rec["retry"] < 1:
+            problems.append("retx: retry {} < 1".format(rec["retry"]))
+        last = state["retry"].get(rec["task"], 0)
+        if rec["retry"] < last:
+            problems.append(
+                "retx: task {} retry {} after retry {}".format(
+                    rec["task"], rec["retry"], last))
+        state["retry"][rec["task"]] = rec["retry"]
+        if rec["task"] not in state["dropped"]:
+            problems.append(
+                "retx: task {} was never affected by a drop".format(
+                    rec["task"]))
     elif ev == "done":
         if rec["receptions"] < 0 or rec["lost"] < 0:
             problems.append("done: negative receptions/lost")
+        # Task ids are slots and get recycled: the finished task's retry
+        # and drop history must not leak into its successor.
+        state["retry"].pop(rec["task"], None)
+        state["dropped"].discard(rec["task"])
     return problems
 
 
 def check_stream(lines, name):
-    state = {"in_run": False, "schema": 0, "pending": {}, "down_links": set()}
+    state = {
+        "in_run": False,
+        "schema": 0,
+        "pending": {},
+        "down_links": set(),
+        "retry": {},
+        "dropped": set(),
+    }
     counts = {}
     errors = 0
     for lineno, line in enumerate(lines, 1):
@@ -193,6 +240,10 @@ def check_stream(lines, name):
     if counts.get("run", 0) == 0:
         print("{}: no run header".format(name))
         errors += 1
+    if state["down_links"]:
+        print("{}: NOTE: trace ends with {} link(s) still down: {}".format(
+            name, len(state["down_links"]),
+            sorted(state["down_links"])))
     summary = ", ".join(
         "{} {}".format(v, k) for k, v in sorted(counts.items()))
     print("{}: {} records ({}) -> {}".format(
