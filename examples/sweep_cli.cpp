@@ -43,12 +43,25 @@
 //     --retry-timeout T         base retry timer (default 50)
 //     --retry-backoff B         timer multiplier per failed attempt
 //                               (default 2)
+//     --overload MODE           overload control past saturation
+//                               (docs/OVERLOAD.md): off (default; a
+//                               saturated run aborts unstable), throttle
+//                               (token-bucket admission control at the
+//                               sources), or shed (throttle plus
+//                               priority-aware shedding at hot links);
+//                               adds goodput / shed-frac / hi-deliv /
+//                               sat-time / throttled columns
+//     --sat-high X --sat-low X  detector hysteresis on the EWMA of mean
+//                               per-link backlog (default 10 / 3)
+//
+//   Flags also accept the --flag=value spelling.
 //
 //   examples:
 //     sweep_cli --shape 4x4x8 --bcast-frac 0.5 --rho 0.5:0.95:0.05
 //     sweep_cli --schemes priority-STAR,STAR-FCFS --length geom:4 --tails
 //     sweep_cli --mesh --rho 0.3,0.5 --shape 16x16
 //     sweep_cli --rho 0.5 --metrics links.csv --trace events.jsonl
+//     sweep_cli --rho 1.3 --overload=shed --trace events.jsonl
 
 #include <algorithm>
 #include <fstream>
@@ -63,6 +76,7 @@
 #include "pstar/harness/observability.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/obs/trace.hpp"
+#include "pstar/overload/controller.hpp"
 #include "pstar/sim/rng.hpp"
 
 namespace {
@@ -96,13 +110,31 @@ struct Options {
   std::uint32_t retries = 0;
   double retry_timeout = 50.0;
   double retry_backoff = 2.0;
+  overload::OverloadMode overload_mode = overload::OverloadMode::kOff;
+  double sat_high = 10.0;
+  double sat_low = 3.0;
 
   bool faulted() const { return mtbf > 0.0 || !fail_links.empty(); }
+  bool overloaded() const {
+    return overload_mode != overload::OverloadMode::kOff;
+  }
 };
 
 Options parse_options(int argc, char** argv) {
   Options opt;
-  std::vector<std::string> args(argv + 1, argv + argc);
+  // Accept both "--flag value" and "--flag=value".
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
     auto value = [&]() -> const std::string& {
@@ -172,6 +204,21 @@ Options parse_options(int argc, char** argv) {
       opt.retry_timeout = std::stod(value());
     } else if (flag == "--retry-backoff") {
       opt.retry_backoff = std::stod(value());
+    } else if (flag == "--overload") {
+      const std::string which = value();
+      if (which == "off") {
+        opt.overload_mode = overload::OverloadMode::kOff;
+      } else if (which == "throttle") {
+        opt.overload_mode = overload::OverloadMode::kThrottle;
+      } else if (which == "shed") {
+        opt.overload_mode = overload::OverloadMode::kShed;
+      } else {
+        throw std::invalid_argument("--overload must be off, throttle, or shed");
+      }
+    } else if (flag == "--sat-high") {
+      opt.sat_high = std::stod(value());
+    } else if (flag == "--sat-low") {
+      opt.sat_low = std::stod(value());
     } else if (flag == "--capacity") {
       opt.capacity = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (flag == "--drop") {
@@ -200,6 +247,9 @@ Options parse_options(int argc, char** argv) {
     throw std::invalid_argument(
         "--retries needs --retry-timeout > 0 and --retry-backoff >= 1");
   }
+  if (opt.overloaded() && (opt.sat_low <= 0.0 || opt.sat_high <= opt.sat_low)) {
+    throw std::invalid_argument("--overload needs --sat-high > --sat-low > 0");
+  }
   return opt;
 }
 
@@ -220,7 +270,9 @@ int main(int argc, char** argv) {
                  "                 [--metrics FILE.csv] [--trace FILE.jsonl]\n"
                  "                 [--mtbf T --mttr T] [--fail-links a,b,c]\n"
                  "                 [--retries N [--retry-timeout T] "
-                 "[--retry-backoff B]]\n";
+                 "[--retry-backoff B]]\n"
+                 "                 [--overload off|throttle|shed "
+                 "[--sat-high X] [--sat-low X]]\n";
     return 2;
   }
 
@@ -239,6 +291,10 @@ int main(int argc, char** argv) {
   if (opt.retries > 0) {
     header.push_back("retx");
     header.push_back("recovered");
+  }
+  if (opt.overloaded()) {
+    header.insert(header.end(),
+                  {"goodput", "shed-frac", "hi-deliv", "sat-time", "throttled"});
   }
   if (!opt.metrics_path.empty()) header.push_back("imb");
   if (opt.reps > 1) {
@@ -278,6 +334,9 @@ int main(int argc, char** argv) {
       spec.max_retries = opt.retries;
       spec.retry_timeout = opt.retry_timeout;
       spec.retry_backoff = opt.retry_backoff;
+      spec.overload.mode = opt.overload_mode;
+      spec.overload.sat_high = opt.sat_high;
+      spec.overload.sat_low = opt.sat_low;
       spec.collect_link_metrics = !opt.metrics_path.empty();
       cells.push_back(std::move(spec));
     }
@@ -294,10 +353,29 @@ int main(int argc, char** argv) {
     for (const core::Scheme& scheme : opt.schemes) {
       const harness::ReplicatedResult& agg = batch.points[index++];
       std::vector<std::string> row{harness::fmt(rho, 2), scheme.name};
-      if (agg.stable_runs == 0) {
+      // Mean of one field over the runs that completed (did not trip the
+      // instability guard).  Overload sweeps saturate BY DESIGN -- the
+      // hottest link runs at ~100% -- which excludes every run from the
+      // stable aggregate, so controlled points re-aggregate here instead
+      // of printing "unstable".
+      auto mean_completed = [&agg](auto field) {
+        stats::RunningStat s;
+        for (const auto& run : agg.runs) {
+          if (!run.unstable) s.add(field(run));
+        }
+        return s.mean();
+      };
+      std::size_t completed = 0;
+      for (const auto& run : agg.runs) {
+        if (!run.unstable) ++completed;
+      }
+      const bool controlled =
+          opt.overloaded() && agg.stable_runs == 0 && completed > 0;
+      if (agg.stable_runs == 0 && !controlled) {
         row.insert(row.end(), {"unstable", "-", "-", "-"});
         if (opt.faulted()) row.push_back("-");
         if (opt.retries > 0) row.insert(row.end(), {"-", "-"});
+        if (opt.overloaded()) row.insert(row.end(), {"-", "-", "-", "-", "-"});
         if (!opt.metrics_path.empty()) row.push_back("-");
         if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
         if (opt.tails) row.insert(row.end(), {"-", "-"});
@@ -305,9 +383,21 @@ int main(int argc, char** argv) {
         continue;
       }
       const auto& first = agg.runs.front();
-      row.push_back(harness::fmt(agg.reception_delay_mean, 2));
-      row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
-      row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
+      if (controlled) {
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.reception_delay_mean; }),
+            2));
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.broadcast_delay_mean; }),
+            2));
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.unicast_delay_mean; }),
+            2));
+      } else {
+        row.push_back(harness::fmt(agg.reception_delay_mean, 2));
+        row.push_back(harness::fmt(agg.broadcast_delay_mean, 2));
+        row.push_back(harness::fmt(agg.unicast_delay_mean, 2));
+      }
       row.push_back(harness::fmt(first.utilization_max, 3));
       if (opt.faulted()) {
         row.push_back(harness::fmt(agg.delivered_fraction_mean, 4));
@@ -317,6 +407,22 @@ int main(int argc, char** argv) {
         for (const auto& run : agg.runs) recovered += run.receptions_recovered;
         row.push_back(std::to_string(agg.retransmissions));
         row.push_back(std::to_string(recovered));
+      }
+      if (opt.overloaded()) {
+        std::uint64_t throttled = 0;
+        for (const auto& run : agg.runs) throttled += run.tasks_throttled;
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.goodput; }), 3));
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.shed_fraction; }), 4));
+        row.push_back(harness::fmt(
+            mean_completed(
+                [](const auto& r) { return r.high_delivered_fraction; }),
+            4));
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.time_in_saturation; }),
+            1));
+        row.push_back(std::to_string(throttled));
       }
       if (!opt.metrics_path.empty()) {
         const double imb = harness::mean_imbalance(agg);
@@ -406,6 +512,15 @@ int main(int argc, char** argv) {
         if (opt.retries > 0) {
           header_rec.field("retries",
                            static_cast<std::uint64_t>(opt.retries));
+        }
+        if (opt.overloaded()) {
+          header_rec
+              .field("overload",
+                     opt.overload_mode == overload::OverloadMode::kShed
+                         ? "shed"
+                         : "throttle")
+              .field("sat_high", opt.sat_high)
+              .field("sat_low", opt.sat_low);
         }
       }
       try {

@@ -6,6 +6,7 @@
 
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/obs/probe.hpp"
+#include "pstar/overload/controller.hpp"
 #include "pstar/recovery/manager.hpp"
 #include "pstar/queueing/throughput.hpp"
 #include "pstar/sim/rng.hpp"
@@ -111,6 +112,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   traffic_cfg.hotspot_node = spec.hotspot_node;
   traffic_cfg.batch_size = spec.batch_size;
   traffic::Workload workload(sim, engine, rng, traffic_cfg);
+
+  // Overload control (docs/OVERLOAD.md): attaches to the workload's
+  // AdmissionGate seam and (kShed mode) the engine's OverloadHook seam.
+  // Its randomness comes from a dedicated seed stream and its only
+  // standing event is the periodic backlog sampler, which draws nothing,
+  // so a run that never saturates behaves identically to mode kOff
+  // except for the sampler events themselves.
+  std::unique_ptr<overload::OverloadController> overload_ctl;
+  if (spec.overload.enabled()) {
+    overload::OverloadConfig oc = spec.overload;
+    oc.seed = sim::seed_stream(spec.seed, overload::kOverloadSeedStream, 0);
+    oc.horizon = traffic_cfg.stop_time;
+    overload_ctl =
+        std::make_unique<overload::OverloadController>(engine, workload, oc);
+    overload_ctl->start();
+  }
 
   // Optional observability: a metrics registry and/or trace sink bridged
   // through one EngineProbe (the engine accepts a single observer).  The
@@ -222,6 +239,31 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     r.receptions_recovered = rs.receptions_recovered;
     r.tasks_recovered = rs.tasks_recovered;
     r.retries_exhausted = rs.tasks_exhausted;
+  }
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    r.shed_by_class[c] = m.shed_copies_by_class[c];
+    r.shed_copies += m.shed_copies_by_class[c];
+  }
+  r.shed_receptions = m.shed_receptions;
+  const double offered_copies =
+      static_cast<double>(m.transmissions + r.drops);
+  if (offered_copies > 0.0) {
+    r.shed_fraction = static_cast<double>(r.shed_copies) / offered_copies;
+  }
+  if (overload_ctl) {
+    const overload::OverloadStats& os = overload_ctl->stats();
+    r.sat_transitions = os.sat_transitions;
+    r.time_in_saturation = overload_ctl->time_in_saturation_until(sim.now());
+    r.tasks_throttled = os.tasks_throttled;
+    r.tasks_released = os.tasks_released;
+    r.admission_delay_mean = os.admission_delay.mean();
+  }
+  r.goodput = m.mean_utilization();
+  const std::uint64_t high_tx = m.transmissions_by_class[0];
+  const std::uint64_t high_drops = m.drops_by_class[0];
+  if (high_tx + high_drops > 0) {
+    r.high_delivered_fraction = static_cast<double>(high_tx) /
+                                static_cast<double>(high_tx + high_drops);
   }
   if (m.lost_receptions > 0) {
     const double delivered = static_cast<double>(m.broadcast_receptions);

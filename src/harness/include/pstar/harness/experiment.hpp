@@ -16,6 +16,7 @@
 #include "pstar/net/engine.hpp"
 #include "pstar/obs/metrics.hpp"
 #include "pstar/obs/trace.hpp"
+#include "pstar/overload/controller.hpp"
 #include "pstar/sim/simulator.hpp"
 #include "pstar/topology/shape.hpp"
 #include "pstar/traffic/length.hpp"
@@ -99,6 +100,17 @@ struct ExperimentSpec {
   double retry_timeout = 50.0;  ///< base retry timer (time units)
   double retry_backoff = 2.0;   ///< timer multiplier per failed attempt
   double retry_jitter = 0.1;    ///< uniform jitter factor in [1, 1+jitter)
+
+  /// Overload control (docs/OVERLOAD.md).  mode != kOff attaches an
+  /// overload::OverloadController: a periodic saturation detector over
+  /// the mean per-link backlog, a token-bucket admission gate at the
+  /// sources while saturated, and (kShed mode) a priority-aware shedder
+  /// at deeply backlogged links.  The controller's seed and horizon
+  /// fields are overridden here -- the seed is derived from spec.seed
+  /// via sim::seed_stream(spec.seed, overload::kOverloadSeedStream, 0)
+  /// and the horizon is warmup + measure -- so runs with mode kOff are
+  /// bit-identical to builds without the subsystem.
+  overload::OverloadConfig overload;
 
   /// When true, an obs::MetricsRegistry is attached for the measurement
   /// window and its snapshot lands in ExperimentResult::link_metrics:
@@ -195,6 +207,28 @@ struct ExperimentResult {
   std::uint64_t receptions_recovered = 0;  ///< orphans delivered by retries
   std::uint64_t tasks_recovered = 0;   ///< tasks clean after >= 1 retry
   std::uint64_t retries_exhausted = 0;  ///< tasks that ran out of budget
+
+  // Overload-control accounting (all zero / 1.0 when spec.overload.mode
+  // is kOff; docs/OVERLOAD.md).
+  std::uint64_t shed_copies = 0;  ///< copies shed at link doors, all classes
+  std::uint64_t shed_by_class[net::kPriorityClasses] = {0, 0, 0};
+  std::uint64_t shed_receptions = 0;  ///< receptions orphaned by sheds
+  /// Fraction of copies offered to links (transmitted + dropped) that the
+  /// shedder discarded at the door.
+  double shed_fraction = 0.0;
+  std::uint64_t tasks_throttled = 0;  ///< launches deferred at the source
+  std::uint64_t tasks_released = 0;   ///< deferred launches later injected
+  double admission_delay_mean = 0.0;  ///< defer -> launch (time units)
+  std::uint64_t sat_transitions = 0;  ///< detector trips into saturation
+  double time_in_saturation = 0.0;    ///< total saturated time (time units)
+  /// Delivered load actually carried: mean link utilization over the
+  /// measurement window.  Under overload control this is the goodput the
+  /// run sustained instead of aborting; fault-free off-mode runs have
+  /// goodput == utilization_mean == rho.
+  double goodput = 0.0;
+  /// Copy-level delivery of the protected class: high-priority copies
+  /// transmitted / (transmitted + dropped); 1.0 when none were offered.
+  double high_delivered_fraction = 1.0;
 
   // Bookkeeping.
   std::uint64_t measured_broadcasts = 0;

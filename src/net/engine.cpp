@@ -236,6 +236,23 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
     return;
   }
 
+  // Overload shedding (docs/OVERLOAD.md): during detected saturation the
+  // hook can refuse delay-tolerant copies at the door.  The shed rides
+  // the normal drop machinery so orphaned subtrees are charged exactly;
+  // only the shed counters and the trace record distinguish it from a
+  // buffer overflow.
+  if (overload_ != nullptr && overload_->should_shed(*this, copy, link)) {
+    ++metrics_.shed_copies_by_class[static_cast<std::size_t>(copy.prio)];
+    if (observer_) observer_->on_shed(copy.task, copy, link, sim_.now());
+    const std::uint64_t lost_before =
+        metrics_.lost_receptions + metrics_.lost_multicast_receptions;
+    drop_copy(copy, link, /*was_queued=*/false);
+    metrics_.shed_receptions += metrics_.lost_receptions +
+                                metrics_.lost_multicast_receptions -
+                                lost_before;
+    return;
+  }
+
   // Finite-buffer admission (queued copies only; service slot is free).
   if (ls.busy && config_.queue_capacity > 0) {
     std::size_t queued = 0;
@@ -280,9 +297,21 @@ void Engine::note_copy_admitted() {
                                  static_cast<double>(inflight_copies_));
   }
   if (inflight_copies_ > config_.max_inflight_copies && !metrics_.unstable) {
-    metrics_.unstable = true;
-    sim_.stop();
+    abort_unstable();
   }
+}
+
+void Engine::abort_unstable() {
+  // The guard used to discard the run mid-flight (bare stop()), leaving
+  // time-weighted gauges unflushed and traces without a footer.  Closing
+  // the measurement window here makes the partial results of an unstable
+  // run analyzable: utilization, gauges, and inflight_copies_at_end all
+  // reflect the state at the abort instant.
+  metrics_.unstable = true;
+  if (measuring_) end_measurement();
+  metrics_.last_event = std::max(metrics_.last_event, sim_.now());
+  if (observer_) observer_->on_abort(sim_.now(), inflight_copies_);
+  sim_.stop();
 }
 
 void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {

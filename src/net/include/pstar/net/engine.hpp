@@ -21,6 +21,7 @@
 
 #include "pstar/fault/schedule.hpp"
 #include "pstar/net/observer.hpp"
+#include "pstar/net/overload_hook.hpp"
 #include "pstar/net/packet.hpp"
 #include "pstar/net/policy.hpp"
 #include "pstar/net/recovery_hook.hpp"
@@ -128,6 +129,15 @@ struct Metrics {
   /// note_retx call, i.e. one per re-flooded frontier, fresh retry tree,
   /// or re-launched unicast.  Zero with no recovery hook attached.
   std::uint64_t retransmissions = 0;
+
+  // Overload-shedding accounting (docs/OVERLOAD.md); all zero with no
+  // OverloadHook attached.  Shed copies are ALSO counted in
+  // drops_by_class (a shed is a drop with a policy reason), so existing
+  // loss invariants -- receptions + lost == expected -- stay exact.
+  std::uint64_t shed_copies_by_class[kPriorityClasses] = {0, 0, 0};
+  /// Broadcast/multicast receptions orphaned by shed copies (the subset
+  /// of lost_receptions + lost_multicast_receptions charged by sheds).
+  std::uint64_t shed_receptions = 0;
 
   /// Delay histograms; present only when EngineConfig::record_histograms.
   std::unique_ptr<stats::Histogram> reception_delay_hist;
@@ -257,6 +267,17 @@ class Engine {
   /// Attaches an instrumentation observer (nullptr detaches).  The
   /// observer must outlive the engine.  At most one observer is active.
   void set_observer(Observer* observer) { observer_ = observer; }
+  /// The attached observer (nullptr when detached).  The overload
+  /// controller emits its saturation/throttle events through this so
+  /// they interleave correctly with the engine's own records.
+  Observer* observer() const { return observer_; }
+
+  /// Attaches the overload-shedding hook (nullptr detaches); the hook
+  /// must outlive the engine or detach itself first.  With no hook the
+  /// send path pays one null check and behaves exactly as before the
+  /// subsystem existed (docs/OVERLOAD.md).
+  void set_overload(OverloadHook* hook) { overload_ = hook; }
+  OverloadHook* overload() const { return overload_; }
 
   /// Attaches the end-to-end recovery hook (nullptr detaches); the hook
   /// must outlive the engine or detach itself first.  With no hook every
@@ -325,6 +346,10 @@ class Engine {
   /// link: in-flight count, the time-weighted gauge, and the instability
   /// guard.
   void note_copy_admitted();
+  /// Trips the instability guard: flushes the measurement window (so the
+  /// partial run stays analyzable instead of being discarded mid-flight),
+  /// emits the observer's on_abort footer, and stops the simulation.
+  void abort_unstable();
   void record_window_busy(topo::LinkId link, double start, double end,
                           bool completed);
   void record_window_downtime(topo::LinkId link, double start, double end);
@@ -345,6 +370,7 @@ class Engine {
   Metrics metrics_;
   Observer* observer_ = nullptr;
   RecoveryHook* recovery_ = nullptr;
+  OverloadHook* overload_ = nullptr;
   bool measuring_ = false;
   bool fault_aware_ = false;
   std::uint64_t inflight_copies_ = 0;

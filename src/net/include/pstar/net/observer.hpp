@@ -84,6 +84,34 @@ class Observer {
   virtual void on_retx(TaskId /*task*/, std::uint32_t /*attempt*/,
                        RetxMode /*mode*/, topo::LinkId /*link*/,
                        double /*now*/) {}
+
+  /// The overload detector tripped into saturation at `now` with backlog
+  /// level `level` (docs/OVERLOAD.md).  Per run, on_saturation_on and
+  /// on_saturation_off strictly alternate, starting with on.
+  virtual void on_saturation_on(double /*now*/, double /*level*/) {}
+
+  /// The overload detector cleared saturation (the matching transition).
+  virtual void on_saturation_off(double /*now*/, double /*level*/) {}
+
+  /// The overload shedder discarded `copy` at the door of `link` at
+  /// `now` instead of admitting it.  Fires BEFORE the copy's on_drop
+  /// record (the drop carries the loss accounting), and only between
+  /// on_saturation_on and on_saturation_off.
+  virtual void on_shed(TaskId /*task*/, const Copy& /*copy*/,
+                       topo::LinkId /*link*/, double /*now*/) {}
+
+  /// The admission controller deferred a new task launch from `source`
+  /// at `now` (docs/OVERLOAD.md).  The task does not exist yet -- it is
+  /// created later when the token bucket releases it -- so the record
+  /// carries the source and kind only.  Only fires while saturated.
+  virtual void on_throttle(topo::NodeId /*source*/, TaskKind /*kind*/,
+                           double /*now*/) {}
+
+  /// The instability guard tripped at `now` with `inflight` copies in
+  /// flight: the engine flushed its measurement window and is stopping
+  /// the run.  At most one per run; the trace's well-formed footer for
+  /// aborted runs.
+  virtual void on_abort(double /*now*/, std::uint64_t /*inflight*/) {}
 };
 
 }  // namespace pstar::net

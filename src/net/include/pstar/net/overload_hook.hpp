@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file overload_hook.hpp
+/// Engine seam for the overload-control subsystem (docs/OVERLOAD.md).
+///
+/// The engine consults an attached OverloadHook once per send: when the
+/// hook claims the copy, the engine sheds it through the normal drop
+/// machinery (orphaned subtrees are charged exactly like buffer
+/// overflows) instead of admitting it to the link.  The decision side --
+/// saturation detection, hysteresis, which classes shed at what backlog
+/// -- lives in pstar::overload::OverloadController; the engine only asks
+/// and charges.
+///
+/// Like the RecoveryHook, the seam is zero-cost when detached: with no
+/// hook every call site is one null check and behaviour is bit-identical
+/// to an engine without the subsystem.
+
+#include "pstar/net/packet.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::net {
+
+class Engine;
+
+/// Shed decision callback.  Called synchronously inside Engine::send
+/// BEFORE admission, for every copy headed to an up link; the hook must
+/// not mutate the engine (it may read backlog and metrics).
+class OverloadHook {
+ public:
+  virtual ~OverloadHook() = default;
+
+  /// Returns true when `copy` should be shed at `link` instead of
+  /// admitted.  A shed copy is charged through the drop machinery
+  /// (Metrics::shed_copies_by_class, drops_by_class, orphaned
+  /// receptions) and emits on_shed before its on_drop record.
+  virtual bool should_shed(const Engine& engine, const Copy& copy,
+                           topo::LinkId link) = 0;
+};
+
+}  // namespace pstar::net

@@ -88,6 +88,16 @@ struct LinkMetricsSnapshot {
   std::uint64_t retransmissions = 0;
   std::uint64_t retx_by_mode[net::kRetxModes] = {0, 0, 0};
 
+  /// Overload-control events inside the window (docs/OVERLOAD.md); all
+  /// zero with the subsystem off.  Shed copies are also counted in their
+  /// link's LinkClassCell::drops (the shed rides the drop machinery).
+  std::uint64_t sheds_by_class[net::kPriorityClasses] = {0, 0, 0};
+  std::uint64_t throttles = 0;       ///< task launches deferred at a source
+  std::uint64_t sat_transitions = 0; ///< detector trips inside the window
+  /// Saturated time clamped to the window (a window still open at
+  /// snapshot time is credited up to the effective window end).
+  double sat_time = 0.0;
+
   double window_start = 0.0;
   double window_end = 0.0;
 
@@ -139,7 +149,9 @@ class MetricsRegistry {
 
   /// Closes the window at time t: gauges flush and later events no
   /// longer accumulate (the drain phase of a run is excluded, matching
-  /// Engine::end_measurement).
+  /// Engine::end_measurement).  Idempotent: a window already closed --
+  /// e.g. by the abort footer racing the scheduled close -- is left
+  /// untouched.
   void end_window(double t);
 
   // Update sites (called by EngineProbe).
@@ -151,6 +163,10 @@ class MetricsRegistry {
   void record_link_down(topo::LinkId link, double now);
   void record_link_up(topo::LinkId link, double now);
   void record_retx(net::RetxMode mode, double now);
+  void record_sat_on(double now);
+  void record_sat_off(double now);
+  void record_shed(topo::LinkId link, const net::Copy& copy, double now);
+  void record_throttle(double now);
 
   /// Copies the current state out.  Valid any time; typically taken
   /// after end_window.
@@ -176,6 +192,11 @@ class MetricsRegistry {
   std::vector<stats::Histogram> class_wait_hist_;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t retx_by_mode_[net::kRetxModes] = {0, 0, 0};
+  std::uint64_t sheds_by_class_[net::kPriorityClasses] = {0, 0, 0};
+  std::uint64_t throttles_ = 0;
+  std::uint64_t sat_transitions_ = 0;
+  double sat_time_ = 0.0;   ///< closed saturation windows, window-clamped
+  double sat_since_ = -1.0; ///< open saturation start; < 0 when clear
   double window_start_ = 0.0;
   double window_end_ = 0.0;
   bool window_open_ = false;

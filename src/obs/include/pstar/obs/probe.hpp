@@ -71,6 +71,36 @@ class EngineProbe : public net::Observer {
     if (trace_) trace_->retx(now, task, attempt, mode, link);
   }
 
+  void on_saturation_on(double now, double level) override {
+    if (metrics_) metrics_->record_sat_on(now);
+    if (trace_) trace_->saturation_on(now, level);
+  }
+
+  void on_saturation_off(double now, double level) override {
+    if (metrics_) metrics_->record_sat_off(now);
+    if (trace_) trace_->saturation_off(now, level);
+  }
+
+  void on_shed(net::TaskId task, const net::Copy& copy, topo::LinkId link,
+               double now) override {
+    if (metrics_) metrics_->record_shed(link, copy, now);
+    if (trace_) trace_->shed(now, task, copy, link);
+  }
+
+  void on_throttle(topo::NodeId source, net::TaskKind kind,
+                   double now) override {
+    if (metrics_) metrics_->record_throttle(now);
+    if (trace_) trace_->throttle(now, source, kind);
+  }
+
+  void on_abort(double now, std::uint64_t inflight) override {
+    // The engine flushed its own measurement window before stopping; the
+    // registry's scheduled close will never fire, so close it here
+    // (end_window is idempotent for the non-abort path).
+    if (metrics_) metrics_->end_window(now);
+    if (trace_) trace_->abort(now, inflight);
+  }
+
  private:
   MetricsRegistry* metrics_;
   JsonlTraceSink* trace_;

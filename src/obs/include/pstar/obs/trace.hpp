@@ -18,12 +18,29 @@
 ///   {"ev":"link_down","t":T,"link":L}     (schema 2: fail-stop outage)
 ///   {"ev":"link_up",  "t":T,"link":L}     (schema 2: repair)
 ///   {"ev":"retx","t":T,"task":I,"retry":K,"mode":M,"link":L}  (schema 3)
+///   {"ev":"sat_on", "t":T,"level":X}      (schema 4: overload)
+///   {"ev":"sat_off","t":T,"level":X}
+///   {"ev":"shed","t":T,"task":I,"link":L,"prio":P}
+///   {"ev":"throttle","t":T,"src":N,"kind":K}
+///   {"ev":"abort","t":T,"inflight":C}
 ///
 /// `retx` records one recovery retransmission (docs/FAULTS.md §7):
 /// `retry` is the task's lifetime attempt number (>= 1, non-decreasing
 /// per task), `mode` is "subtree" (orphaned subtree re-flooded across
 /// `link`), "fresh" (new STAR tree from the source), or "unicast"
 /// (re-launched from the drop point); `link` is -1 for the latter two.
+///
+/// Schema 4 adds the overload-control records (docs/OVERLOAD.md).
+/// `sat_on`/`sat_off` mark the detector's saturation windows (`level` is
+/// the smoothed mean per-link backlog) and strictly alternate per run,
+/// starting with `sat_on`; a final window left open by an aborted or
+/// truncated run is legal.  `shed` precedes the shed copy's `drop`
+/// record (which carries the loss accounting; its `queued` is false) and
+/// `throttle` records a deferred task launch (the task does not exist
+/// yet, so there is no task id); both appear only inside saturation
+/// windows.  `abort` is the well-formed footer of a run stopped by the
+/// instability guard: at most one, and nothing but the run's tail may
+/// follow it.
 ///
 /// Times are simulation time units with full double precision; `dir` is
 /// "+" or "-".  Tracing is strictly opt-in: with no sink attached the
@@ -69,8 +86,9 @@ class JsonLine {
 
 /// Current trace schema version (bumped on incompatible changes).
 /// Version 2 added the link_down/link_up fault records; version 3 added
-/// the retx recovery records.
-inline constexpr int kTraceSchemaVersion = 3;
+/// the retx recovery records; version 4 added the overload records
+/// (sat_on/sat_off/shed/throttle/abort).
+inline constexpr int kTraceSchemaVersion = 4;
 
 /// Writes engine events as JSON Lines.  The caller owns the stream; the
 /// sink never flushes it.  Single-threaded by design -- give each
@@ -98,6 +116,12 @@ class JsonlTraceSink {
   void link_up(double t, topo::LinkId link);
   void retx(double t, net::TaskId task, std::uint32_t attempt,
             net::RetxMode mode, topo::LinkId link);
+  void saturation_on(double t, double level);
+  void saturation_off(double t, double level);
+  void shed(double t, net::TaskId task, const net::Copy& copy,
+            topo::LinkId link);
+  void throttle(double t, topo::NodeId source, net::TaskKind kind);
+  void abort(double t, std::uint64_t inflight);
 
   /// Records written so far (including the run header).
   std::uint64_t records() const { return records_; }

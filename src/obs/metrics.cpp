@@ -128,6 +128,12 @@ void MetricsRegistry::begin_window(double t) {
   std::fill(failures_.begin(), failures_.end(), 0);
   retransmissions_ = 0;
   std::fill(retx_by_mode_, retx_by_mode_ + net::kRetxModes, 0);
+  std::fill(sheds_by_class_, sheds_by_class_ + net::kPriorityClasses, 0);
+  throttles_ = 0;
+  sat_transitions_ = 0;
+  // Like downtime: saturation accounting restarts with the window, but a
+  // saturation window already in progress keeps its start time.
+  sat_time_ = 0.0;
   for (std::size_t l = 0; l < backlog_gauge_.size(); ++l) {
     backlog_gauge_[l].start(t, static_cast<double>(backlog_[l]));
   }
@@ -142,6 +148,9 @@ void MetricsRegistry::begin_window(double t) {
 }
 
 void MetricsRegistry::end_window(double t) {
+  // Idempotent: the abort footer closes the window early, and the close
+  // scheduled at generation stop time must then leave it alone.
+  if (!window_open_) return;
   for (auto& g : backlog_gauge_) g.flush(t);
   window_end_ = t;
   window_open_ = false;
@@ -154,6 +163,11 @@ void MetricsRegistry::end_window(double t) {
       if (t > lo) down_time_[l] += t - lo;
       down_since_[l] = t;
     }
+  }
+  if (sat_since_ >= 0.0) {
+    const double lo = std::max(sat_since_, window_start_);
+    if (t > lo) sat_time_ += t - lo;
+    sat_since_ = t;
   }
 }
 
@@ -237,6 +251,35 @@ void MetricsRegistry::record_retx(net::RetxMode mode, double now) {
   last_event_ = std::max(last_event_, now);
 }
 
+void MetricsRegistry::record_sat_on(double now) {
+  sat_since_ = now;
+  if (now >= window_start_ && now <= window_end_) ++sat_transitions_;
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_sat_off(double now) {
+  if (sat_since_ >= 0.0) {
+    const double lo = std::max(sat_since_, window_start_);
+    const double hi = std::min(now, window_end_);
+    if (hi > lo) sat_time_ += hi - lo;
+    sat_since_ = -1.0;
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_shed(topo::LinkId, const net::Copy& copy,
+                                  double now) {
+  if (now >= window_start_ && now <= window_end_) {
+    ++sheds_by_class_[static_cast<std::size_t>(copy.prio)];
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_throttle(double now) {
+  if (now >= window_start_ && now <= window_end_) ++throttles_;
+  last_event_ = std::max(last_event_, now);
+}
+
 LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   LinkMetricsSnapshot snap;
   snap.links = links_;
@@ -258,6 +301,12 @@ LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   for (std::size_t m = 0; m < net::kRetxModes; ++m) {
     snap.retx_by_mode[m] = retx_by_mode_[m];
   }
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    snap.sheds_by_class[c] = sheds_by_class_[c];
+  }
+  snap.throttles = throttles_;
+  snap.sat_transitions = sat_transitions_;
+  snap.sat_time = sat_time_;
   // Outages still open at snapshot time are credited up to the
   // snapshot's effective window end (end_window already flushed closed
   // windows, so this only fires for open ones).
@@ -266,6 +315,10 @@ LinkMetricsSnapshot MetricsRegistry::snapshot() const {
       const double lo = std::max(down_since_[l], window_start_);
       if (snap.window_end > lo) snap.down_time[l] += snap.window_end - lo;
     }
+  }
+  if (sat_since_ >= 0.0) {
+    const double lo = std::max(sat_since_, window_start_);
+    if (snap.window_end > lo) snap.sat_time += snap.window_end - lo;
   }
   return snap;
 }

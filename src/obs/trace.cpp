@@ -216,6 +216,42 @@ void JsonlTraceSink::retx(double t, net::TaskId task, std::uint32_t attempt,
       .field("link", static_cast<std::int32_t>(link));
 }
 
+void JsonlTraceSink::saturation_on(double t, double level) {
+  ++records_;
+  JsonLine(os_).field("ev", "sat_on").field("t", t).field("level", level);
+}
+
+void JsonlTraceSink::saturation_off(double t, double level) {
+  ++records_;
+  JsonLine(os_).field("ev", "sat_off").field("t", t).field("level", level);
+}
+
+void JsonlTraceSink::shed(double t, net::TaskId task, const net::Copy& copy,
+                          topo::LinkId link) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "shed")
+      .field("t", t)
+      .field("task", static_cast<std::uint64_t>(task))
+      .field("link", static_cast<std::int32_t>(link))
+      .field("prio", static_cast<std::int32_t>(copy.prio));
+}
+
+void JsonlTraceSink::throttle(double t, topo::NodeId source,
+                              net::TaskKind kind) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "throttle")
+      .field("t", t)
+      .field("src", static_cast<std::int64_t>(source))
+      .field("kind", task_kind_name(kind));
+}
+
+void JsonlTraceSink::abort(double t, std::uint64_t inflight) {
+  ++records_;
+  JsonLine(os_).field("ev", "abort").field("t", t).field("inflight", inflight);
+}
+
 void JsonlTraceSink::task_completed(double t, net::TaskId task,
                                     const net::Task& info) {
   ++records_;

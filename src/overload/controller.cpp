@@ -1,0 +1,186 @@
+#include "pstar/overload/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pstar::overload {
+
+namespace {
+
+/// Sum of completed tasks over all kinds -- the sampler's throughput
+/// signal.  Counting tasks (not transmissions) keeps the automatic admit
+/// rate in the same unit as the arrival process it gates.
+std::uint64_t completed_tasks(const net::Metrics& m) {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < net::kTaskKinds; ++k) {
+    total += m.tasks_completed[k];
+  }
+  return total;
+}
+
+}  // namespace
+
+OverloadController::OverloadController(net::Engine& engine,
+                                       traffic::Workload& workload,
+                                       OverloadConfig config)
+    : engine_(engine),
+      workload_(workload),
+      config_(config),
+      rng_(config.seed),
+      detector_(config.sat_high, config.sat_low, config.ewma_alpha),
+      tokens_(config.bucket_depth) {
+  if (config_.sat_high <= config_.sat_low) {
+    throw std::invalid_argument("OverloadController: sat_high <= sat_low");
+  }
+  if (config_.ewma_alpha <= 0.0 || config_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("OverloadController: ewma_alpha in (0, 1]");
+  }
+  if (config_.sample_period <= 0.0) {
+    throw std::invalid_argument("OverloadController: sample_period <= 0");
+  }
+  if (config_.shed_medium_factor < 1.0) {
+    throw std::invalid_argument("OverloadController: shed_medium_factor < 1");
+  }
+  if (!config_.enabled()) {
+    throw std::invalid_argument("OverloadController: mode is kOff");
+  }
+  workload_.set_gate(this);
+  // The shed hook costs one virtual call per send while attached, so
+  // kThrottle mode leaves the engine seam null entirely.
+  if (config_.mode == OverloadMode::kShed) engine_.set_overload(this);
+}
+
+OverloadController::~OverloadController() {
+  workload_.set_gate(nullptr);
+  if (engine_.overload() == this) engine_.set_overload(nullptr);
+}
+
+void OverloadController::start() { schedule_sample(); }
+
+void OverloadController::schedule_sample() {
+  engine_.simulator().after(config_.sample_period,
+                            [this](sim::Simulator&) { sample(); });
+}
+
+void OverloadController::sample() {
+  sim::Simulator& sim = engine_.simulator();
+  const double now = sim.now();
+  const net::Metrics& m = engine_.metrics();
+
+  // Throughput EWMA (the automatic admit rate): tasks completed since
+  // the previous sample, per time unit.  At the moment the detector
+  // trips, this is the network's measured capacity.
+  const std::uint64_t completed = completed_tasks(m);
+  const double rate_sample =
+      static_cast<double>(completed - last_completed_) / config_.sample_period;
+  last_completed_ = completed;
+  completion_rate_ =
+      rate_primed_
+          ? config_.ewma_alpha * rate_sample +
+                (1.0 - config_.ewma_alpha) * completion_rate_
+          : rate_sample;
+  rate_primed_ = true;
+
+  // Saturation signal: MEAN backlog per directed link (see the header
+  // for why the mean and not the max).
+  const double backlog =
+      static_cast<double>(engine_.inflight_copies()) /
+      static_cast<double>(engine_.torus().link_count());
+  const int transition = detector_.observe(backlog);
+  if (transition > 0) {
+    ++stats_.sat_transitions;
+    sat_since_ = now;
+    if (net::Observer* obs = engine_.observer()) {
+      obs->on_saturation_on(now, detector_.level());
+    }
+  } else if (transition < 0) {
+    stats_.time_in_saturation += now - sat_since_;
+    if (net::Observer* obs = engine_.observer()) {
+      obs->on_saturation_off(now, detector_.level());
+    }
+  }
+
+  // Keep sampling while generation is live, traffic is in flight, a
+  // deferred launch is pending, or a saturation window is still open
+  // (so the backlog-zero samples can close it with a clean sat_off);
+  // then stop, so the sampler never keeps a drained simulation alive.
+  if (now < config_.horizon || engine_.inflight_copies() > 0 ||
+      !pending_.empty() || detector_.saturated()) {
+    schedule_sample();
+  }
+}
+
+double OverloadController::time_in_saturation_until(double now) const {
+  double total = stats_.time_in_saturation;
+  if (detector_.saturated()) total += now - sat_since_;
+  return total;
+}
+
+double OverloadController::admit_rate() const {
+  return config_.admit_rate > 0.0 ? config_.admit_rate : completion_rate_;
+}
+
+void OverloadController::refill_tokens(double now) {
+  tokens_ = std::min(config_.bucket_depth,
+                     tokens_ + (now - last_refill_) * admit_rate());
+  last_refill_ = now;
+}
+
+bool OverloadController::on_arrival(const traffic::Arrival& arrival) {
+  // Admission is clamped only while saturated, so every throttle record
+  // falls inside a saturation window (the check_trace.py v4 invariant).
+  // Arrivals after the clear launch directly even while earlier deferred
+  // ones are still draining from the release queue.
+  if (!detector_.saturated()) return true;
+  const double now = engine_.simulator().now();
+  // A zero rate means the sampler has not measured any throughput yet;
+  // deferring against an unknown rate would park the task forever.
+  if (admit_rate() <= 0.0) return true;
+  refill_tokens(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  pending_.push_back(Pending{arrival, now});
+  ++stats_.tasks_throttled;
+  if (net::Observer* obs = engine_.observer()) {
+    obs->on_throttle(arrival.source, arrival.kind, now);
+  }
+  schedule_release();
+  return false;
+}
+
+void OverloadController::schedule_release() {
+  if (release_scheduled_) return;
+  const double rate = admit_rate();
+  if (rate <= 0.0) return;  // re-armed by the next on_arrival or release
+  release_scheduled_ = true;
+  engine_.simulator().after(rng_.exponential(rate),
+                            [this](sim::Simulator&) { release(); });
+}
+
+void OverloadController::release() {
+  release_scheduled_ = false;
+  if (pending_.empty()) return;
+  Pending next = std::move(pending_.front());
+  pending_.pop_front();
+  const double now = engine_.simulator().now();
+  stats_.admission_delay.add(now - next.deferred_at);
+  ++stats_.tasks_released;
+  traffic::launch_arrival(engine_, next.arrival);
+  if (!pending_.empty()) schedule_release();
+}
+
+bool OverloadController::should_shed(const net::Engine& engine,
+                                     const net::Copy& copy,
+                                     topo::LinkId link) {
+  if (!detector_.saturated()) return false;
+  if (copy.prio == net::Priority::kHigh) return false;
+  const double threshold =
+      config_.shed_threshold > 0.0 ? config_.shed_threshold : config_.sat_high;
+  const auto backlog = static_cast<double>(engine.link_backlog(link));
+  if (copy.prio == net::Priority::kLow) return backlog >= threshold;
+  return backlog >= threshold * config_.shed_medium_factor;
+}
+
+}  // namespace pstar::overload

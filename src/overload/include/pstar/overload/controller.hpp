@@ -1,0 +1,234 @@
+#pragma once
+
+/// \file controller.hpp
+/// Overload control: saturation detection, admission throttling, and
+/// priority-aware load shedding past the scheme's maximum throughput
+/// (docs/OVERLOAD.md).
+///
+/// The paper's analysis ends at rho_max: past it, queues grow without
+/// bound and the engine's instability guard turns the run into an abort.
+/// This subsystem turns that cliff into a controlled operating mode with
+/// three cooperating pieces:
+///
+///   1. an online SATURATION DETECTOR -- an EWMA of the MEAN per-link
+///      backlog (inflight copies / directed links), sampled on a fixed
+///      period, with trip/clear hysteresis (sat_high / sat_low).  The
+///      mean is the right signal: the MAX over hundreds of links visits
+///      double-digit backlogs routinely at stable rho 0.9, while the
+///      mean sits near the M/D/1 value rho + rho^2 / (2(1-rho)) (~5 at
+///      rho 0.9) and grows without bound only past saturation;
+///
+///   2. an ADMISSION CONTROLLER at the sources -- while saturated, new
+///      task launches pass a token bucket refilled at the network's own
+///      measured task-completion rate (an EWMA maintained by the same
+///      sampler), so the offered load is clamped to what the network is
+///      actually finishing.  Throttled arrivals are queued at the source
+///      and released by Poisson events drawn from the subsystem's
+///      private rng -- deterministic, seed-stream-derived, and untouched
+///      by the workload's draws;
+///
+///   3. a PRIORITY-AWARE SHEDDER at the links (kShed mode only) -- while
+///      saturated, copies arriving at a deeply backlogged link are shed
+///      at the door, low class first: kLow (the delay-tolerant
+///      ending-dimension traffic) at shed_threshold, kMedium only at
+///      shed_medium_factor times that, kHigh never.  A shed rides the
+///      engine's existing drop machinery, so orphaned-subtree accounting
+///      and the receptions + lost == expected invariant stay exact.
+///
+/// Determinism: every draw (release times) comes from a private rng
+/// seeded via sim::seed_stream(spec.seed, kOverloadSeedStream, 0); with
+/// mode kOff no controller exists, the engine and workload seams are
+/// null, and runs are bit-identical to builds without the subsystem.
+///
+/// Interplay with recovery (docs/FAULTS.md §7): a shed broadcast copy is
+/// a loss like any other, so an attached RecoveryManager will try to
+/// re-flood it after its timer.  That is intentional -- shedding turns
+/// urgent load into deferred load -- but under sustained saturation the
+/// retries are themselves sheddable, so pairing kShed with a small
+/// max_retries is the sensible configuration.
+
+#include <cstdint>
+#include <deque>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/net/overload_hook.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/stats/running.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::overload {
+
+/// Stream tag under which the harness derives a run's overload seed:
+/// seed_stream(spec.seed, kOverloadSeedStream, 0).  Distinct from every
+/// (point, rep) pair and from the fault/recovery tags, so release-event
+/// draws never alias workload, fault, or recovery draws.
+inline constexpr std::uint64_t kOverloadSeedStream = 0x0E410ADULL;
+
+/// What the subsystem is allowed to do past saturation.
+enum class OverloadMode : std::uint8_t {
+  kOff,       ///< subsystem absent; saturation aborts as before
+  kThrottle,  ///< admission control only (defer launches, shed nothing)
+  kShed,      ///< throttle AND shed low-priority copies at hot links
+};
+
+/// Overload-control tuning knobs (docs/OVERLOAD.md).
+struct OverloadConfig {
+  OverloadMode mode = OverloadMode::kOff;
+
+  /// Detector hysteresis on the EWMA of mean per-link backlog: trip into
+  /// saturation at >= sat_high, clear at <= sat_low.  The gap keeps the
+  /// detector from chattering across the boundary.
+  double sat_high = 10.0;
+  double sat_low = 3.0;
+  /// EWMA smoothing factor in (0, 1]; 1 = raw samples.
+  double ewma_alpha = 0.3;
+  /// Backlog sampling period (time units; one unit = one unit-length
+  /// packet transmission).
+  double sample_period = 1.0;
+
+  /// Token-bucket admission rate while saturated (tasks per time unit,
+  /// network-wide).  0 = automatic: the sampler's EWMA of the measured
+  /// task-completion rate, i.e. admit what the network finishes.
+  double admit_rate = 0.0;
+  /// Token-bucket depth (burst tolerance, in tasks).
+  double bucket_depth = 4.0;
+
+  /// Link backlog (queued + in service) at which kLow copies are shed
+  /// while saturated; 0 = use sat_high.  kMedium copies are shed only at
+  /// shed_medium_factor times this; kHigh copies are never shed.
+  double shed_threshold = 0.0;
+  double shed_medium_factor = 3.0;
+
+  /// Seed of the subsystem's private rng (derive via kOverloadSeedStream).
+  std::uint64_t seed = 0;
+  /// Generation stop time (warmup + measure); the sampler keeps running
+  /// past it only while traffic is in flight or launches are pending, so
+  /// the run still drains.
+  double horizon = 0.0;
+
+  bool enabled() const { return mode != OverloadMode::kOff; }
+};
+
+/// Hysteresis detector over one scalar signal.  Separated from the
+/// controller so the trip/clear logic is unit-testable without a
+/// simulation (tests/test_overload.cpp).
+class SaturationDetector {
+ public:
+  SaturationDetector(double high, double low, double alpha)
+      : high_(high), low_(low), alpha_(alpha) {}
+
+  /// Feeds one raw sample; returns +1 on the trip into saturation, -1 on
+  /// the clear, 0 otherwise.  The first sample primes the EWMA directly
+  /// (no decay from a fictitious zero).
+  int observe(double sample) {
+    ewma_ = primed_ ? alpha_ * sample + (1.0 - alpha_) * ewma_ : sample;
+    primed_ = true;
+    if (!saturated_ && ewma_ >= high_) {
+      saturated_ = true;
+      return +1;
+    }
+    if (saturated_ && ewma_ <= low_) {
+      saturated_ = false;
+      return -1;
+    }
+    return 0;
+  }
+
+  bool saturated() const { return saturated_; }
+  /// Current smoothed backlog level (the trace's `level` field).
+  double level() const { return ewma_; }
+
+ private:
+  double high_;
+  double low_;
+  double alpha_;
+  double ewma_ = 0.0;
+  bool primed_ = false;
+  bool saturated_ = false;
+};
+
+/// What the subsystem did during one run.  Shed counts live in
+/// net::Metrics (shed_copies_by_class / shed_receptions) because the
+/// engine charges them; this struct holds the controller's own side.
+struct OverloadStats {
+  std::uint64_t sat_transitions = 0;  ///< trips into saturation
+  /// Saturated time of CLOSED windows; time_in_saturation_until adds the
+  /// still-open one.
+  double time_in_saturation = 0.0;
+  std::uint64_t tasks_throttled = 0;  ///< launches deferred at the source
+  std::uint64_t tasks_released = 0;   ///< deferred launches later injected
+  stats::RunningStat admission_delay;  ///< defer -> launch (time units)
+};
+
+/// The overload controller: implements the engine's OverloadHook (shed
+/// decisions) and the workload's AdmissionGate (throttle decisions), and
+/// drives the periodic saturation sampler.  Construct after the engine
+/// and workload (it attaches itself to both and detaches in its
+/// destructor), call start() once before Simulator::run, and keep it
+/// alive until the run has drained.
+class OverloadController : public net::OverloadHook,
+                           public traffic::AdmissionGate {
+ public:
+  OverloadController(net::Engine& engine, traffic::Workload& workload,
+                     OverloadConfig config);
+  ~OverloadController() override;
+
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  /// Schedules the first detector sample.  Call once before the run.
+  void start();
+
+  // net::OverloadHook
+  bool should_shed(const net::Engine& engine, const net::Copy& copy,
+                   topo::LinkId link) override;
+
+  // traffic::AdmissionGate
+  bool on_arrival(const traffic::Arrival& arrival) override;
+
+  const OverloadStats& stats() const { return stats_; }
+  const OverloadConfig& config() const { return config_; }
+  bool saturated() const { return detector_.saturated(); }
+  /// Smoothed mean per-link backlog as of the last sample.
+  double level() const { return detector_.level(); }
+  /// Total saturated time including a window still open at `now`.
+  double time_in_saturation_until(double now) const;
+  /// Launches deferred at the source and not yet released.
+  std::size_t pending_launches() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    traffic::Arrival arrival;
+    double deferred_at = 0.0;
+  };
+
+  void sample();
+  void schedule_sample();
+  /// Current admission rate: configured, or the completion-rate EWMA.
+  double admit_rate() const;
+  void refill_tokens(double now);
+  void schedule_release();
+  void release();
+
+  net::Engine& engine_;
+  traffic::Workload& workload_;
+  OverloadConfig config_;
+  sim::Rng rng_;
+  SaturationDetector detector_;
+  OverloadStats stats_;
+
+  std::deque<Pending> pending_;  ///< throttled launches, FIFO
+  double tokens_;                ///< admission bucket fill
+  double last_refill_ = 0.0;
+  bool release_scheduled_ = false;
+
+  /// EWMA of the network-wide task completion rate (tasks / time unit),
+  /// maintained by the sampler; the automatic admit rate.
+  double completion_rate_ = 0.0;
+  bool rate_primed_ = false;
+  std::uint64_t last_completed_ = 0;
+
+  double sat_since_ = 0.0;  ///< open saturation window start
+};
+
+}  // namespace pstar::overload

@@ -20,6 +20,37 @@
 
 namespace pstar::traffic {
 
+/// One fully-drawn task launch request: everything the engine needs to
+/// create the task.  The workload draws kind, source, destination(s),
+/// and length at ARRIVAL time (so the rng stream is identical whether or
+/// not a gate is attached) and either launches immediately or hands the
+/// arrival to the admission gate to launch later.
+struct Arrival {
+  net::TaskKind kind = net::TaskKind::kBroadcast;
+  topo::NodeId source = 0;
+  topo::NodeId dest = 0;  ///< unicast destination (== source otherwise)
+  std::uint32_t length = 1;
+  std::vector<topo::NodeId> group;  ///< multicast destinations
+};
+
+/// Source-side admission control seam (docs/OVERLOAD.md).  With no gate
+/// attached the workload launches every arrival immediately -- the
+/// pre-subsystem behaviour, bit for bit.
+class AdmissionGate {
+ public:
+  virtual ~AdmissionGate() = default;
+
+  /// Returns true when the arrival may launch now; false when the gate
+  /// takes ownership (it launches the task itself later via
+  /// launch_arrival, typically from a token-bucket release event).
+  virtual bool on_arrival(const Arrival& arrival) = 0;
+};
+
+/// Creates the task an Arrival describes on the engine at the current
+/// simulation time.  Shared by the workload (immediate launches) and
+/// admission gates (deferred launches).
+void launch_arrival(net::Engine& engine, const Arrival& arrival);
+
 /// Workload parameters (rates are per node per unit time).
 struct WorkloadConfig {
   double lambda_broadcast = 0.0;
@@ -64,6 +95,11 @@ class Workload {
   /// Stops generating (before stop_time).
   void stop() { stopped_ = true; }
 
+  /// Attaches a source-side admission gate (nullptr detaches).  The gate
+  /// must outlive the run.  Arrivals are still drawn identically; the
+  /// gate only decides WHEN each drawn task launches.
+  void set_gate(AdmissionGate* gate) { gate_ = gate; }
+
   std::uint64_t generated() const { return generated_; }
 
  private:
@@ -80,6 +116,7 @@ class Workload {
   double broadcast_share_ = 0.0;
   double multicast_share_ = 0.0;
   bool stopped_ = false;
+  AdmissionGate* gate_ = nullptr;
   std::uint64_t generated_ = 0;
   std::vector<topo::NodeId> group_;  ///< scratch destination buffer
 };

@@ -4,6 +4,15 @@
 
 namespace pstar::traffic {
 
+void launch_arrival(net::Engine& engine, const Arrival& arrival) {
+  if (arrival.kind == net::TaskKind::kMulticast) {
+    engine.create_multicast(arrival.source, arrival.group, arrival.length);
+  } else {
+    engine.create_task(arrival.kind, arrival.source, arrival.dest,
+                       arrival.length);
+  }
+}
+
 Workload::Workload(sim::Simulator& sim, net::Engine& engine, sim::Rng& rng,
                    WorkloadConfig config)
     : sim_(sim), engine_(engine), rng_(rng), config_(config) {
@@ -57,22 +66,33 @@ void Workload::arrive(sim::Simulator&) {
   if (stopped_) return;
   const auto n = static_cast<std::uint64_t>(engine_.torus().node_count());
   for (std::uint32_t b = 0; b < config_.batch_size; ++b) {
-    const auto source = config_.hotspot_fraction > 0.0 &&
-                                rng_.bernoulli(config_.hotspot_fraction)
-                            ? config_.hotspot_node
-                            : static_cast<topo::NodeId>(rng_.below(n));
-    const std::uint32_t length = config_.length.sample(rng_);
+    Arrival a;
+    a.source = config_.hotspot_fraction > 0.0 &&
+                       rng_.bernoulli(config_.hotspot_fraction)
+                   ? config_.hotspot_node
+                   : static_cast<topo::NodeId>(rng_.below(n));
+    a.length = config_.length.sample(rng_);
     const double kind_draw = rng_.uniform();
     if (kind_draw < broadcast_share_) {
-      engine_.create_task(net::TaskKind::kBroadcast, source, source, length);
+      a.kind = net::TaskKind::kBroadcast;
+      a.dest = a.source;
     } else if (kind_draw < broadcast_share_ + multicast_share_) {
-      sample_group(source);
-      engine_.create_multicast(source, group_, length);
+      sample_group(a.source);
+      a.kind = net::TaskKind::kMulticast;
+      a.dest = a.source;
+      a.group = group_;
     } else {
       // Destination uniform over the other N-1 nodes.
       auto dest = static_cast<topo::NodeId>(rng_.below(n - 1));
-      if (dest >= source) ++dest;
-      engine_.create_task(net::TaskKind::kUnicast, source, dest, length);
+      if (dest >= a.source) ++dest;
+      a.kind = net::TaskKind::kUnicast;
+      a.dest = dest;
+    }
+    // The draws above happen unconditionally so the workload rng stream
+    // is identical with and without a gate; the gate only decides when
+    // (or whether) the drawn task launches.
+    if (gate_ == nullptr || gate_->on_arrival(a)) {
+      launch_arrival(engine_, a);
     }
     ++generated_;
   }

@@ -7,6 +7,7 @@
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/net/engine.hpp"
+#include "pstar/net/overload_hook.hpp"
 #include "pstar/routing/sdc_broadcast.hpp"
 #include "pstar/routing/star_probabilities.hpp"
 #include "pstar/sim/rng.hpp"
@@ -31,6 +32,19 @@ Copy copy_for(TaskId task, Priority prio) {
   c.prio = prio;
   return c;
 }
+
+/// Sheds every copy of one class at the door (docs/OVERLOAD.md); lets
+/// the finite-buffer tests exercise the hook seam without a controller.
+class StubShedHook : public OverloadHook {
+ public:
+  explicit StubShedHook(Priority victim) : victim_(victim) {}
+  bool should_shed(const Engine&, const Copy& copy, topo::LinkId) override {
+    return copy.prio == victim_;
+  }
+
+ private:
+  Priority victim_;
+};
 
 TEST(FiniteBuffers, TailDropRejectsBeyondCapacity) {
   EngineConfig cfg;
@@ -103,6 +117,59 @@ TEST(FiniteBuffers, PushOutWithoutVictimDropsArrival) {
   // An equal-class arrival cannot evict either.
   engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));
   EXPECT_EQ(engine.metrics().drops_by_class[0], 1u);
+}
+
+TEST(FiniteBuffers, ShedderComposesWithPushOut) {
+  // The overload hook sheds at the door, BEFORE finite-buffer admission;
+  // push-out eviction happens at admission.  The two must compose per
+  // class: MEDIUM shed by the hook, the queued LOW evicted by the HIGH
+  // arrival, and shed counters separate from eviction drops.
+  EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.drop_policy = DropPolicy::kPushOutLow;
+  const Torus torus(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(9);
+  NullPolicy policy;
+  Engine engine(sim, torus, policy, rng, cfg);
+  StubShedHook hook(Priority::kMedium);
+  engine.set_overload(&hook);
+  const TaskId id = engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));     // serving
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kLow));     // queued
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kMedium));  // shed
+  EXPECT_EQ(engine.metrics().shed_copies_by_class[1], 1u);
+  // The shed is charged through the drop machinery (it IS a drop)...
+  EXPECT_EQ(engine.metrics().drops_by_class[1], 1u);
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kHigh));    // evicts
+  // ...but a push-out eviction is NOT a shed.
+  EXPECT_EQ(engine.metrics().drops_by_class[2], 1u);
+  EXPECT_EQ(engine.metrics().shed_copies_by_class[2], 0u);
+  EXPECT_EQ(engine.metrics().shed_copies_by_class[0], 0u);
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions_by_class[0], 1u);
+  EXPECT_EQ(engine.metrics().transmissions_by_class[2], 1u);
+  engine.set_overload(nullptr);
+}
+
+TEST(FiniteBuffers, DetachedShedHookIsInert) {
+  EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.drop_policy = DropPolicy::kPushOutLow;
+  const Torus torus(Shape{4, 4});
+  sim::Simulator sim;
+  sim::Rng rng(10);
+  NullPolicy policy;
+  Engine engine(sim, torus, policy, rng, cfg);
+  StubShedHook hook(Priority::kMedium);
+  engine.set_overload(&hook);
+  engine.set_overload(nullptr);  // detached before any traffic
+  const TaskId id = engine.create_task(TaskKind::kBroadcast, 0, 0, 1);
+  engine.send(0, 0, Dir::kPlus, copy_for(id, Priority::kMedium));
+  EXPECT_EQ(engine.metrics().shed_copies_by_class[1], 0u);
+  EXPECT_EQ(engine.metrics().drops_by_class[1], 0u);
+  sim.run();
+  EXPECT_EQ(engine.metrics().transmissions_by_class[1], 1u);
 }
 
 TEST(FiniteBuffers, SubtreeAccountingIsExact) {

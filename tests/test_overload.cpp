@@ -1,0 +1,188 @@
+// Overload control (docs/OVERLOAD.md): detector hysteresis, config
+// validation, determinism of the throttle path, priority ordering of the
+// shedder, and the end-to-end contract that runs past rho_max complete
+// under control instead of aborting -- while off-mode runs are untouched.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/overload/controller.hpp"
+
+namespace pstar::overload {
+namespace {
+
+// ---------------------------------------------------------------------
+// SaturationDetector: pure hysteresis logic, no simulation.
+
+TEST(SaturationDetector, TripsAtHighClearsAtLow) {
+  SaturationDetector d(10.0, 3.0, 1.0);  // alpha 1 = raw samples
+  EXPECT_FALSE(d.saturated());
+  EXPECT_EQ(d.observe(9.9), 0);
+  EXPECT_FALSE(d.saturated());
+  EXPECT_EQ(d.observe(10.0), +1);  // trip at >= high
+  EXPECT_TRUE(d.saturated());
+  EXPECT_EQ(d.observe(3.1), 0);  // inside the band: still saturated
+  EXPECT_TRUE(d.saturated());
+  EXPECT_EQ(d.observe(3.0), -1);  // clear at <= low
+  EXPECT_FALSE(d.saturated());
+}
+
+TEST(SaturationDetector, BandSamplesNeverChatter) {
+  SaturationDetector d(10.0, 3.0, 1.0);
+  // Oscillating inside (low, high) must produce no transitions at all,
+  // in either state.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(d.observe(i % 2 ? 9.0 : 4.0), 0);
+  }
+  EXPECT_EQ(d.observe(50.0), +1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(d.observe(i % 2 ? 9.0 : 4.0), 0);
+  }
+  EXPECT_TRUE(d.saturated());
+}
+
+TEST(SaturationDetector, FirstSamplePrimesEwmaDirectly) {
+  // With alpha 0.3 and a decaying start from zero, one sample of 12
+  // would only reach 3.6; priming must take it verbatim and trip.
+  SaturationDetector d(10.0, 3.0, 0.3);
+  EXPECT_EQ(d.observe(12.0), +1);
+  EXPECT_DOUBLE_EQ(d.level(), 12.0);
+}
+
+TEST(SaturationDetector, EwmaSmoothsTransientSpikes) {
+  SaturationDetector d(10.0, 3.0, 0.3);
+  EXPECT_EQ(d.observe(1.0), 0);  // primes at 1
+  // One spike: ewma = 0.3 * 25 + 0.7 * 1 = 8.2 < 10, no trip.
+  EXPECT_EQ(d.observe(25.0), 0);
+  EXPECT_FALSE(d.saturated());
+  // Sustained overload does trip: 0.3 * 25 + 0.7 * 8.2 = 13.24 >= 10.
+  EXPECT_EQ(d.observe(25.0), +1);
+}
+
+// ---------------------------------------------------------------------
+// Config validation (the controller cannot exist in a nonsense state).
+
+TEST(OverloadConfig, InvalidConfigsThrow) {
+  harness::ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.warmup = 10.0;
+  spec.measure = 10.0;
+  spec.overload.mode = OverloadMode::kThrottle;
+
+  auto expect_throws = [&](void (*tweak)(OverloadConfig&)) {
+    harness::ExperimentSpec bad = spec;
+    tweak(bad.overload);
+    EXPECT_THROW(harness::run_experiment(bad), std::invalid_argument);
+  };
+  expect_throws([](OverloadConfig& c) { c.sat_high = c.sat_low; });
+  expect_throws([](OverloadConfig& c) { c.sat_high = 1.0; c.sat_low = 2.0; });
+  expect_throws([](OverloadConfig& c) { c.ewma_alpha = 0.0; });
+  expect_throws([](OverloadConfig& c) { c.ewma_alpha = 1.5; });
+  expect_throws([](OverloadConfig& c) { c.sample_period = 0.0; });
+  expect_throws([](OverloadConfig& c) { c.shed_medium_factor = 0.5; });
+}
+
+// ---------------------------------------------------------------------
+// End-to-end through the harness.
+
+harness::ExperimentSpec overload_spec(double rho, OverloadMode mode) {
+  harness::ExperimentSpec spec;
+  spec.shape = topo::Shape{8, 8};
+  spec.scheme = core::Scheme::priority_star();
+  spec.rho = rho;
+  spec.broadcast_fraction = 1.0;
+  spec.warmup = 300.0;
+  spec.measure = 900.0;
+  spec.seed = 4242;
+  spec.overload.mode = mode;
+  return spec;
+}
+
+TEST(OverloadControl, OffModeFieldsAreInert) {
+  // A stable run with the subsystem off must report the neutral values
+  // and be identical to a run whose (unused) thresholds differ -- the
+  // kOff path constructs no controller at all.
+  auto spec = overload_spec(0.6, OverloadMode::kOff);
+  const auto base = harness::run_experiment(spec);
+  spec.overload.sat_high = 99.0;
+  spec.overload.sat_low = 98.0;
+  spec.overload.ewma_alpha = 0.5;
+  const auto tweaked = harness::run_experiment(spec);
+
+  EXPECT_FALSE(base.unstable);
+  EXPECT_EQ(base.shed_copies, 0u);
+  EXPECT_EQ(base.tasks_throttled, 0u);
+  EXPECT_EQ(base.sat_transitions, 0u);
+  EXPECT_DOUBLE_EQ(base.time_in_saturation, 0.0);
+  EXPECT_DOUBLE_EQ(base.high_delivered_fraction, 1.0);
+
+  EXPECT_EQ(base.transmissions, tweaked.transmissions);
+  EXPECT_EQ(base.events_processed, tweaked.events_processed);
+  EXPECT_DOUBLE_EQ(base.reception_delay_mean, tweaked.reception_delay_mean);
+  EXPECT_DOUBLE_EQ(base.goodput, tweaked.goodput);
+}
+
+TEST(OverloadControl, ShedRunCompletesPastSaturation) {
+  const auto r = harness::run_experiment(overload_spec(1.3, OverloadMode::kShed));
+  // The tentpole contract: 1.3x saturation finishes without tripping the
+  // instability guard, the detector saw it, and the protected class got
+  // through essentially untouched.
+  EXPECT_FALSE(r.unstable);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+  EXPECT_GE(r.sat_transitions, 1u);
+  EXPECT_GT(r.time_in_saturation, 0.0);
+  EXPECT_GT(r.shed_copies, 0u);
+  EXPECT_GT(r.tasks_throttled, 0u);
+  EXPECT_GE(r.high_delivered_fraction, 0.99);
+  // Priority ordering: never the high class, and the low class (the
+  // delay-tolerant ending-dimension traffic) sheds before the medium.
+  EXPECT_EQ(r.shed_by_class[0], 0u);
+  EXPECT_GT(r.shed_by_class[2], 0u);
+  EXPECT_GE(r.shed_by_class[2], r.shed_by_class[1]);
+  // Sheds are charged through the drop machinery, not double-booked.
+  EXPECT_LE(r.shed_copies, r.drops);
+  EXPECT_GT(r.shed_fraction, 0.0);
+  EXPECT_LT(r.shed_fraction, 1.0);
+}
+
+TEST(OverloadControl, ThrottleModeDefersWithoutShedding) {
+  const auto r =
+      harness::run_experiment(overload_spec(1.3, OverloadMode::kThrottle));
+  EXPECT_FALSE(r.unstable);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+  EXPECT_EQ(r.shed_copies, 0u);  // the engine seam stays null
+  EXPECT_GT(r.tasks_throttled, 0u);
+  EXPECT_GT(r.tasks_released, 0u);
+  EXPECT_LE(r.tasks_released, r.tasks_throttled);
+  EXPECT_GT(r.admission_delay_mean, 0.0);
+}
+
+TEST(OverloadControl, ThrottleAndShedAreDeterministic) {
+  for (OverloadMode mode : {OverloadMode::kThrottle, OverloadMode::kShed}) {
+    const auto a = harness::run_experiment(overload_spec(1.25, mode));
+    const auto b = harness::run_experiment(overload_spec(1.25, mode));
+    EXPECT_EQ(a.transmissions, b.transmissions);
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.shed_copies, b.shed_copies);
+    EXPECT_EQ(a.tasks_throttled, b.tasks_throttled);
+    EXPECT_EQ(a.tasks_released, b.tasks_released);
+    EXPECT_EQ(a.sat_transitions, b.sat_transitions);
+    EXPECT_DOUBLE_EQ(a.time_in_saturation, b.time_in_saturation);
+    EXPECT_DOUBLE_EQ(a.admission_delay_mean, b.admission_delay_mean);
+    EXPECT_DOUBLE_EQ(a.goodput, b.goodput);
+  }
+}
+
+TEST(OverloadControl, OffModePastSaturationStaysFlagged) {
+  // Without the subsystem the old behavior is preserved: the run is
+  // flagged saturated (or aborts via the guard on longer horizons).
+  const auto r = harness::run_experiment(overload_spec(1.3, OverloadMode::kOff));
+  EXPECT_TRUE(r.saturated || r.unstable);
+  EXPECT_EQ(r.shed_copies, 0u);
+  EXPECT_EQ(r.tasks_throttled, 0u);
+}
+
+}  // namespace
+}  // namespace pstar::overload

@@ -3,7 +3,7 @@
 
 Checks every line of the trace produced by ``obs::JsonlTraceSink``
 (``sweep_cli --trace``, or any program attaching the sink) against the
-schema table in docs/OBSERVABILITY.md, versions 1 through 3:
+schema table in docs/OBSERVABILITY.md, versions 1 through 4:
 
   - every line parses as one flat JSON object with an "ev" discriminator;
   - the first record of each run is a header with "schema": 1, 2 or 3;
@@ -16,9 +16,15 @@ schema table in docs/OBSERVABILITY.md, versions 1 through 3:
   - fault records (schema >= 2) strictly alternate per link -- never
     link_down on a down link or link_up on an up link -- and no enq
     lands on a link that is currently down;
-  - retx records (schema 3 only) carry a known mode, a retry counter
+  - retx records (schema 3+) carry a known mode, a retry counter
     that starts at >= 1 and never decreases over one task's lifetime,
     and only appear for tasks that previously suffered a drop;
+  - overload records (schema 4, docs/OVERLOAD.md): sat_on / sat_off
+    strictly alternate per run starting with sat_on (a final window
+    left open by an aborted or truncated run is legal); shed and
+    throttle records appear only inside saturation windows; every shed
+    is consumed by a following drop of the same (task, link) with
+    queued false; abort appears at most once per run;
   - a run that ends with links still down is flagged with a NOTE (not
     an error: permanent scripted faults legitimately outlive the run).
 
@@ -31,9 +37,10 @@ Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3)
+SCHEMA_VERSIONS = (1, 2, 3, 4)
 FAULT_SCHEMA = 2  # first schema with link_down / link_up records
 RETX_SCHEMA = 3  # first schema with retx records
+OVERLOAD_SCHEMA = 4  # first schema with sat_on/sat_off/shed/throttle/abort
 
 RETX_MODES = {"subtree", "fresh", "unicast"}
 
@@ -88,7 +95,14 @@ REQUIRED = {
         "mode": (str,),
         "link": (int,),
     },
+    "sat_on": {"t": NUMBER, "level": NUMBER},
+    "sat_off": {"t": NUMBER, "level": NUMBER},
+    "shed": {"t": NUMBER, "task": (int,), "link": (int,), "prio": (int,)},
+    "throttle": {"t": NUMBER, "src": (int,), "kind": (str,)},
+    "abort": {"t": NUMBER, "inflight": (int,)},
 }
+
+OVERLOAD_EVENTS = ("sat_on", "sat_off", "shed", "throttle", "abort")
 
 TASK_KINDS = {"broadcast", "unicast", "multicast"}
 
@@ -128,6 +142,13 @@ def check_record(rec, state):
         state["down_links"].clear()
         state["retry"].clear()
         state["dropped"].clear()
+        if state["shed_pending"]:
+            problems.append(
+                "run: previous run left {} shed record(s) without the "
+                "matching drop".format(len(state["shed_pending"])))
+            state["shed_pending"].clear()
+        state["saturated"] = False
+        state["aborted"] = False
     elif not state["in_run"]:
         problems.append("{}: record before any run header".format(ev))
 
@@ -170,12 +191,17 @@ def check_record(rec, state):
             problems.append("tx: no pending enq for task {} link {}".format(
                 rec["task"], rec["link"]))
     elif ev == "drop":
+        key = (rec["task"], rec["link"])
         if rec["queued"]:
-            key = (rec["task"], rec["link"])
             if state["pending"].pop(key, None) is None:
                 problems.append(
                     "drop: queued=true but no pending enq for task {} "
                     "link {}".format(rec["task"], rec["link"]))
+            if key in state["shed_pending"]:
+                problems.append(
+                    "drop: shed copy for task {} link {} charged as a "
+                    "queued drop".format(rec["task"], rec["link"]))
+        state["shed_pending"].discard(key)
         state["dropped"].add(rec["task"])
     elif ev == "retx":
         if state["in_run"] and state["schema"] < RETX_SCHEMA:
@@ -202,6 +228,37 @@ def check_record(rec, state):
         # and drop history must not leak into its successor.
         state["retry"].pop(rec["task"], None)
         state["dropped"].discard(rec["task"])
+    elif ev in OVERLOAD_EVENTS:
+        if state["in_run"] and state["schema"] < OVERLOAD_SCHEMA:
+            problems.append("{}: overload record in a schema-{} run".format(
+                ev, state["schema"]))
+        if ev == "sat_on":
+            if state["saturated"]:
+                problems.append("sat_on: saturation window already open")
+            state["saturated"] = True
+        elif ev == "sat_off":
+            if not state["saturated"]:
+                problems.append("sat_off: no saturation window open")
+            state["saturated"] = False
+        elif ev == "shed":
+            if not state["saturated"]:
+                problems.append(
+                    "shed: task {} shed outside a saturation window".format(
+                        rec["task"]))
+            # The shed copy's charge-through drop (queued=false, same
+            # task and link) must follow before the run ends.
+            state["shed_pending"].add((rec["task"], rec["link"]))
+        elif ev == "throttle":
+            if not state["saturated"]:
+                problems.append(
+                    "throttle: source {} throttled outside a saturation "
+                    "window".format(rec["src"]))
+        elif ev == "abort":
+            if state["aborted"]:
+                problems.append("abort: second abort in one run")
+            if rec["inflight"] < 0:
+                problems.append("abort: negative inflight")
+            state["aborted"] = True
     return problems
 
 
@@ -213,6 +270,9 @@ def check_stream(lines, name):
         "down_links": set(),
         "retry": {},
         "dropped": set(),
+        "shed_pending": set(),
+        "saturated": False,
+        "aborted": False,
     }
     counts = {}
     errors = 0
@@ -244,6 +304,15 @@ def check_stream(lines, name):
         print("{}: NOTE: trace ends with {} link(s) still down: {}".format(
             name, len(state["down_links"]),
             sorted(state["down_links"])))
+    if state["shed_pending"]:
+        print("{}: {} shed record(s) without the matching drop".format(
+            name, len(state["shed_pending"])))
+        errors += 1
+    if state["saturated"]:
+        # Legal: an aborted or horizon-truncated run may leave the final
+        # saturation window open (trace.hpp documents this).
+        print("{}: NOTE: trace ends inside an open saturation window".format(
+            name))
     summary = ", ".join(
         "{} {}".format(v, k) for k, v in sorted(counts.items()))
     print("{}: {} records ({}) -> {}".format(
