@@ -8,6 +8,7 @@
 
 #include <ostream>
 #include <streambuf>
+#include <string>
 
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/harness/experiment.hpp"
@@ -27,23 +28,32 @@ namespace {
 
 using namespace pstar;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
+void BM_SchedulerPushPop(benchmark::State& state) {
+  // Steady-state hold-one-push-one over both pending-event-set backends
+  // at two queue depths.  The heap pays O(log depth) per operation; the
+  // calendar's cost is flat in depth (docs/ENGINE.md).
   const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  const auto kind = static_cast<sim::SchedulerKind>(state.range(1));
   sim::Rng rng(1);
-  sim::EventQueue q;
+  auto q = sim::make_scheduler(kind);
   for (std::size_t i = 0; i < depth; ++i) {
-    q.push(rng.uniform() * 1e6, [](sim::Simulator&) {});
+    q->push(rng.uniform() * 1e6, [](sim::Simulator&) {});
   }
   double t = 1e6;
   for (auto _ : state) {
-    auto [when, fn] = q.pop();
+    auto [when, fn] = q->pop();
     benchmark::DoNotOptimize(when);
-    q.push(t, [](sim::Simulator&) {});
+    q->push(t, [](sim::Simulator&) {});
     t += 1.0;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(sim::scheduler_name(kind));
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_SchedulerPushPop)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
 
 void BM_RngExponential(benchmark::State& state) {
   sim::Rng rng(2);
@@ -164,6 +174,35 @@ void BM_SimulatedTransmissions(benchmark::State& state) {
   state.SetLabel("items = packet transmissions");
 }
 BENCHMARK(BM_SimulatedTransmissions)->Arg(50)->Arg(90);
+
+void BM_Broadcast16HotLoop(benchmark::State& state) {
+  // THE tracked benchmark: the 16x16 broadcast hot loop at rho = 0.9,
+  // parameterized over the scheduler backend.  tools/record_bench.py
+  // records the same workload (via sweep_cli --perf) as the
+  // BENCH_ENGINE.json trajectory; items here are simulator events, so
+  // items-per-second is directly the recorded events/sec figure.
+  const auto kind = static_cast<sim::SchedulerKind>(state.range(0));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const topo::Torus torus{topo::Shape{16, 16}};
+    sim::Rng rng(4);
+    auto policy =
+        core::make_policy(torus, core::Scheme::priority_star(), 1.0, 0.0);
+    sim::Simulator sim(kind);
+    net::Engine engine(sim, torus, *policy, rng);
+    traffic::WorkloadConfig cfg;
+    cfg.lambda_broadcast =
+        0.9 * torus.degree() / static_cast<double>(torus.node_count() - 1);
+    cfg.stop_time = 200.0;
+    traffic::Workload workload(sim, engine, rng, cfg);
+    workload.start();
+    sim.run();
+    events += static_cast<std::int64_t>(sim.events_executed());
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel(std::string("items = events, ") + sim::scheduler_name(kind));
+}
+BENCHMARK(BM_Broadcast16HotLoop)->Arg(0)->Arg(1);
 
 void BM_ObserverOverhead(benchmark::State& state) {
   // Same loaded broadcast simulation as BM_SimulatedTransmissions at

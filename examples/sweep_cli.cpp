@@ -53,6 +53,12 @@
 //                               sat-time / throttled columns
 //     --sat-high X --sat-low X  detector hysteresis on the EWMA of mean
 //                               per-link backlog (default 10 / 3)
+//     --scheduler NAME          pending-event-set backend: calendar
+//                               (default) or heap; results are
+//                               bit-identical either way (docs/ENGINE.md)
+//     --perf                    append a machine-parseable PERF line
+//                               (events, wall, events/sec, peak RSS) for
+//                               tools/record_bench.py
 //
 //   Flags also accept the --flag=value spelling.
 //
@@ -74,6 +80,7 @@
 #include "pstar/harness/cli.hpp"
 #include "pstar/harness/experiment.hpp"
 #include "pstar/harness/observability.hpp"
+#include "pstar/harness/perf.hpp"
 #include "pstar/harness/table.hpp"
 #include "pstar/obs/trace.hpp"
 #include "pstar/overload/controller.hpp"
@@ -113,6 +120,8 @@ struct Options {
   overload::OverloadMode overload_mode = overload::OverloadMode::kOff;
   double sat_high = 10.0;
   double sat_low = 3.0;
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+  bool perf = false;
 
   bool faulted() const { return mtbf > 0.0 || !fail_links.empty(); }
   bool overloaded() const {
@@ -215,6 +224,17 @@ Options parse_options(int argc, char** argv) {
       } else {
         throw std::invalid_argument("--overload must be off, throttle, or shed");
       }
+    } else if (flag == "--scheduler") {
+      const std::string which = value();
+      if (which == "heap") {
+        opt.scheduler = sim::SchedulerKind::kHeap;
+      } else if (which == "calendar") {
+        opt.scheduler = sim::SchedulerKind::kCalendar;
+      } else {
+        throw std::invalid_argument("--scheduler must be heap or calendar");
+      }
+    } else if (flag == "--perf") {
+      opt.perf = true;
     } else if (flag == "--sat-high") {
       opt.sat_high = std::stod(value());
     } else if (flag == "--sat-low") {
@@ -272,7 +292,8 @@ int main(int argc, char** argv) {
                  "                 [--retries N [--retry-timeout T] "
                  "[--retry-backoff B]]\n"
                  "                 [--overload off|throttle|shed "
-                 "[--sat-high X] [--sat-low X]]\n";
+                 "[--sat-high X] [--sat-low X]]\n"
+                 "                 [--scheduler heap|calendar] [--perf]\n";
     return 2;
   }
 
@@ -337,6 +358,7 @@ int main(int argc, char** argv) {
       spec.overload.mode = opt.overload_mode;
       spec.overload.sat_high = opt.sat_high;
       spec.overload.sat_low = opt.sat_low;
+      spec.scheduler = opt.scheduler;
       spec.collect_link_metrics = !opt.metrics_path.empty();
       cells.push_back(std::move(spec));
     }
@@ -450,6 +472,22 @@ int main(int argc, char** argv) {
             << batch.jobs << " | " << harness::fmt(batch.wall_seconds, 2)
             << " s wall | " << harness::fmt(batch.events_per_sec / 1e6, 2)
             << "M events/s\n";
+
+  // Machine-parseable perf record for tools/record_bench.py.  Events are
+  // summed over every run; wall and RSS measure the host (docs/ENGINE.md
+  // explains the interleaved-A/B protocol raw numbers need).
+  if (opt.perf) {
+    std::uint64_t total_events = 0;
+    for (const auto& point : batch.points) {
+      for (const auto& run : point.runs) total_events += run.events_processed;
+    }
+    std::cout << "PERF scheduler=" << sim::scheduler_name(opt.scheduler)
+              << " events=" << total_events
+              << " wall_seconds=" << harness::fmt(batch.wall_seconds, 6)
+              << " events_per_sec="
+              << harness::fmt(batch.events_per_sec, 1)
+              << " peak_rss_bytes=" << harness::peak_rss_bytes() << "\n";
+  }
 
   // Per-link metrics CSV: one row per directed link of every
   // (rho, scheme, rep) cell, prefixed with those three columns.

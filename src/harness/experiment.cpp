@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/perf.hpp"
 #include "pstar/obs/probe.hpp"
 #include "pstar/overload/controller.hpp"
 #include "pstar/recovery/manager.hpp"
@@ -61,8 +62,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const routing::StarProbabilities probs =
       spec.scheme.probabilities(torus, rates.lambda_b, rates.lambda_r);
 
-  sim::Simulator sim;
+  sim::Simulator sim(spec.scheduler);
   net::EngineConfig engine_cfg;
+  engine_cfg.scheduler = spec.scheduler;
   engine_cfg.max_inflight_copies = spec.max_inflight;
   engine_cfg.record_histograms = spec.record_histograms;
   engine_cfg.queue_capacity = spec.queue_capacity;
@@ -287,6 +289,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     r.events_per_sec =
         static_cast<double>(r.events_processed) / r.wall_seconds;
   }
+  r.peak_rss_bytes = peak_rss_bytes();
   return r;
 }
 

@@ -59,6 +59,12 @@ struct ExperimentSpec {
   std::uint64_t max_events = 200'000'000;      ///< simulator event budget
   std::uint64_t max_inflight = 2'000'000;      ///< instability guard
 
+  /// Pending-event-set backend (docs/ENGINE.md).  The two backends are
+  /// observationally equivalent -- bit-identical metrics and traces,
+  /// proven by tests/test_scheduler_equivalence.cpp -- so this only
+  /// changes host speed, never results.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+
   /// When true, delay quantiles (p50/p95/p99) are recorded in addition to
   /// means, at a small memory cost.
   bool record_histograms = false;
@@ -256,11 +262,16 @@ struct ExperimentResult {
   std::shared_ptr<const obs::LinkMetricsSnapshot> link_metrics;
 
   // Per-run throughput accounting.  events_processed is deterministic;
-  // wall_seconds / events_per_sec measure the host and are the ONLY
-  // fields excluded from bit-identity guarantees across thread counts.
+  // wall_seconds / events_per_sec / peak_rss_bytes measure the host and
+  // are the ONLY fields excluded from bit-identity guarantees across
+  // thread counts and scheduler backends.
   std::uint64_t events_processed = 0;
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
+  /// Process-wide peak RSS sampled when the run finished (bytes; 0 when
+  /// unavailable).  Monotone per process: meaningful for the first /
+  /// largest run of a process, an upper bound for later ones.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Runs one experiment point.

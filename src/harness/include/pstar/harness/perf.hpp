@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file perf.hpp
+/// Host-side performance counters for the benchmark trajectory
+/// (tools/record_bench.py, BENCH_ENGINE.json).
+///
+/// These measure the HOST, not the simulation: they are excluded from
+/// every bit-identity guarantee, and docs/ENGINE.md explains why raw
+/// readings from a shared machine are only comparable when interleaved
+/// against a reference build in the same window.
+
+#include <cstdint>
+
+namespace pstar::harness {
+
+/// Peak resident-set size of this process so far, in bytes; 0 when the
+/// platform offers no reading.  Monotone over the process lifetime, so
+/// measure a workload's footprint by running it in a fresh process (as
+/// record_bench.py does), not by differencing two calls.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace pstar::harness

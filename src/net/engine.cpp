@@ -1,12 +1,16 @@
 #include "pstar/net/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace pstar::net {
+
+static_assert(kPriorityClasses <= 8,
+              "link_queued_mask_ packs one bit per class into a byte");
 
 double Metrics::window_span() const {
   // A window never closed by end_measurement leaves measure_end at
@@ -69,10 +73,15 @@ double Metrics::utilization_cv() const {
 Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
                RoutingPolicy& policy, sim::Rng& rng, EngineConfig config)
     : sim_(sim), torus_(torus), policy_(policy), rng_(rng), config_(config) {
-  links_.resize(static_cast<std::size_t>(torus_.link_count()));
-  metrics_.link_busy_time.assign(links_.size(), 0.0);
-  metrics_.link_transmissions.assign(links_.size(), 0);
-  metrics_.link_down_time.assign(links_.size(), 0.0);
+  const auto nlinks = static_cast<std::size_t>(torus_.link_count());
+  link_hot_.assign(nlinks, LinkHot{});
+  link_down_count_.assign(nlinks, 0);
+  link_pending_repairs_.assign(nlinks, 0);
+  link_down_since_.assign(nlinks, 0.0);
+  queues_.reset(nlinks * kPriorityClasses);
+  metrics_.link_busy_time.assign(nlinks, 0.0);
+  metrics_.link_transmissions.assign(nlinks, 0);
+  metrics_.link_down_time.assign(nlinks, 0.0);
   metrics_.measure_start = 0.0;
   metrics_.measure_end = std::numeric_limits<double>::infinity();
   metrics_.last_event = sim_.now();
@@ -88,9 +97,9 @@ Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
         sim_.after(delay,
                    [this, link = ev.link](sim::Simulator&) { fail_link(link); });
       } else {
-        ++links_[static_cast<std::size_t>(ev.link)].pending_repairs;
+        ++link_pending_repairs_[static_cast<std::size_t>(ev.link)];
         sim_.after(delay, [this, link = ev.link](sim::Simulator&) {
-          --links_[static_cast<std::size_t>(link)].pending_repairs;
+          --link_pending_repairs_[static_cast<std::size_t>(link)];
           restore_link(link);
         });
       }
@@ -225,12 +234,12 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   if (link == topo::kInvalidLink) {
     throw std::invalid_argument("Engine::send: no link in that dimension");
   }
-  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  const auto li = static_cast<std::size_t>(link);
 
   // Fail-stop: a down link accepts no traffic.  The copy (and its
   // downstream subtree) is charged through the normal drop machinery,
   // exactly like a tail drop at a full queue.
-  if (ls.down_count > 0) {
+  if (link_down_count_[li] > 0) {
     ++metrics_.fault_drops;
     drop_copy(copy, link, /*was_queued=*/false);
     return;
@@ -254,20 +263,27 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   }
 
   // Finite-buffer admission (queued copies only; service slot is free).
-  if (ls.busy && config_.queue_capacity > 0) {
+  if (link_hot_[li].busy != 0 && config_.queue_capacity > 0) {
     std::size_t queued = 0;
-    for (const auto& q : ls.queue) queued += q.size();
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+      queued += queues_.size(lane(link, c));
+    }
     if (queued >= config_.queue_capacity) {
       if (config_.drop_policy == DropPolicy::kPushOutLow) {
         // Evict the newest queued copy of a strictly lower class, if any.
         for (std::size_t c = kPriorityClasses;
              c-- > static_cast<std::size_t>(copy.prio) + 1;) {
-          if (!ls.queue[c].empty()) {
-            const Copy victim = ls.queue[c].back().copy;
-            ls.queue[c].pop_back();
+          const std::size_t victim_lane = lane(link, c);
+          if (!queues_.empty(victim_lane)) {
+            const Copy victim = queues_.back(victim_lane).copy;
+            queues_.pop_back(victim_lane);
+            if (queues_.empty(victim_lane)) {
+              link_hot_[li].queued_mask &= static_cast<std::uint8_t>(~(1u << c));
+            }
             drop_copy(victim, link, /*was_queued=*/true);
-            ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
-                Queued{copy, sim_.now()});
+            const auto cls = static_cast<std::size_t>(copy.prio);
+            queues_.push_back(lane(link, cls), Queued{copy, sim_.now()});
+            link_hot_[li].queued_mask |= static_cast<std::uint8_t>(1u << cls);
             note_copy_admitted();
             if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
             return;
@@ -282,11 +298,12 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   note_copy_admitted();
 
   if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
-  if (!ls.busy) {
+  if (link_hot_[li].busy == 0) {
     begin_service(link, copy, sim_.now());
   } else {
-    ls.queue[static_cast<std::size_t>(copy.prio)].push_back(
-        Queued{copy, sim_.now()});
+    const auto cls = static_cast<std::size_t>(copy.prio);
+    queues_.push_back(lane(link, cls), Queued{copy, sim_.now()});
+    link_hot_[li].queued_mask |= static_cast<std::uint8_t>(1u << cls);
   }
 }
 
@@ -359,34 +376,35 @@ void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
 
 void Engine::begin_service(topo::LinkId link, const Copy& copy,
                            double queued_since) {
-  LinkState& ls = links_[static_cast<std::size_t>(link)];
-  assert(!ls.busy);
-  ls.busy = true;
-  ls.serving = copy;
-  ls.service_start = sim_.now();
-  ls.serving_enqueued_at = queued_since;
+  const auto li = static_cast<std::size_t>(link);
+  assert(link_hot_[li].busy == 0);
+  link_hot_[li].busy = 1;
+  link_hot_[li].serving = copy;
+  link_hot_[li].service_start = sim_.now();
+  link_hot_[li].serving_enqueued_at = queued_since;
   if (measuring_) {
     metrics_.wait_by_class[static_cast<std::size_t>(copy.prio)].add(
         sim_.now() - queued_since);
   }
   const double service_time = static_cast<double>(tasks_[copy.task].length);
-  sim_.after(service_time, [this, link, epoch = ls.epoch](sim::Simulator&) {
-    complete_service(link, epoch);
-  });
+  sim_.after(service_time,
+             [this, link, epoch = link_hot_[li].epoch](sim::Simulator&) {
+               complete_service(link, epoch);
+             });
 }
 
 void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
-  LinkState& ls = links_[static_cast<std::size_t>(link)];
-  if (ls.epoch != epoch) return;  // service aborted by a link failure
-  assert(ls.busy);
-  const Copy copy = ls.serving;
+  const auto li = static_cast<std::size_t>(link);
+  if (link_hot_[li].epoch != epoch) return;  // service aborted by a link failure
+  assert(link_hot_[li].busy != 0);
+  const Copy copy = link_hot_[li].serving;
   const double now = sim_.now();
   Task& t = tasks_[copy.task];
 
   ++metrics_.transmissions;
   ++metrics_.transmissions_by_vc[copy.vc & 1];
   ++metrics_.transmissions_by_class[static_cast<std::size_t>(copy.prio)];
-  record_window_busy(link, ls.service_start, now, /*completed=*/true);
+  record_window_busy(link, link_hot_[li].service_start, now, /*completed=*/true);
 
   --inflight_copies_;
   if (measuring_) {
@@ -395,10 +413,11 @@ void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
 
   const topo::NodeId node = torus_.dest(link);
   if (observer_) {
-    const topo::LinkInfo& li = torus_.info(link);
-    observer_->on_transmission(copy.task, copy, link, li.from, li.to, li.dim,
-                               li.dir, ls.serving_enqueued_at,
-                               ls.service_start, now);
+    const topo::LinkInfo& info = torus_.info(link);
+    observer_->on_transmission(copy.task, copy, link, info.from, info.to,
+                               info.dim, info.dir,
+                               link_hot_[li].serving_enqueued_at,
+                               link_hot_[li].service_start, now);
   }
   if (t.kind == TaskKind::kUnicast) {
     ++t.receptions;  // hop counter for unicasts
@@ -433,17 +452,23 @@ void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
     maybe_finish_broadcast(copy.task);
   }
 
-  // Pull the next queued copy: strict priority, FIFO within class.
-  for (auto& q : ls.queue) {
-    if (!q.empty()) {
-      Queued next = q.front();
-      q.pop_front();
-      ls.busy = false;
-      begin_service(link, next.copy, next.enqueued_at);
-      return;
+  // Pull the next queued copy: strict priority, FIFO within class.  The
+  // nonempty-class bitmask turns the scan into a count-trailing-zeros
+  // (bit 0 = class 0 = highest priority).
+  const std::uint8_t mask = link_hot_[li].queued_mask;
+  if (mask != 0) {
+    const auto cls = static_cast<std::size_t>(std::countr_zero(mask));
+    const std::size_t ln = lane(link, cls);
+    const Queued next = queues_.front(ln);
+    queues_.pop_front(ln);
+    if (queues_.empty(ln)) {
+      link_hot_[li].queued_mask &= static_cast<std::uint8_t>(~(1u << cls));
     }
+    link_hot_[li].busy = 0;
+    begin_service(link, next.copy, next.enqueued_at);
+    return;
   }
-  ls.busy = false;
+  link_hot_[li].busy = 0;
 }
 
 void Engine::maybe_finish_broadcast(TaskId id) {
@@ -530,48 +555,54 @@ void Engine::note_retx(TaskId id, std::uint32_t attempt, RetxMode mode,
 }
 
 void Engine::fail_link(topo::LinkId link) {
-  LinkState& ls = links_[static_cast<std::size_t>(link)];
-  if (ls.down_count++ > 0) return;  // overlapping outages nest
+  const auto li = static_cast<std::size_t>(link);
+  if (link_down_count_[li]++ > 0) return;  // overlapping outages nest
   ++metrics_.link_failures;
-  ls.down_since = sim_.now();
+  link_down_since_[li] = sim_.now();
   if (observer_) observer_->on_link_down(link, sim_.now());
-  if (ls.busy) {
+  if (link_hot_[li].busy != 0) {
     // Fail-stop: the copy in service is lost mid-flight.  Its partial
     // service still occupied the link (counted as busy time) but it is
     // not a completed transmission; the pending completion event is
     // cancelled by advancing the link epoch.
-    ++ls.epoch;
-    const Copy victim = ls.serving;
-    record_window_busy(link, ls.service_start, sim_.now(), /*completed=*/false);
-    ls.busy = false;
+    ++link_hot_[li].epoch;
+    const Copy victim = link_hot_[li].serving;
+    record_window_busy(link, link_hot_[li].service_start, sim_.now(),
+                       /*completed=*/false);
+    link_hot_[li].busy = 0;
     ++metrics_.fault_drops;
     drop_copy(victim, link, /*was_queued=*/true);
   }
   // Drain the queue through the normal drop machinery so subtree losses
-  // and task failures are charged exactly like buffer overflows.
-  for (auto& q : ls.queue) {
-    while (!q.empty()) {
-      const Copy victim = q.front().copy;
-      q.pop_front();
+  // and task failures are charged exactly like buffer overflows.  The
+  // link went down before any callback above could run, so nothing can
+  // re-enqueue here mid-drain.
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const std::size_t ln = lane(link, c);
+    while (!queues_.empty(ln)) {
+      const Copy victim = queues_.front(ln).copy;
+      queues_.pop_front(ln);
       ++metrics_.fault_drops;
       drop_copy(victim, link, /*was_queued=*/true);
     }
   }
+  link_hot_[li].queued_mask = 0;
 }
 
 void Engine::restore_link(topo::LinkId link) {
-  LinkState& ls = links_[static_cast<std::size_t>(link)];
-  assert(ls.down_count > 0);
-  if (ls.down_count == 0 || --ls.down_count > 0) return;
+  const auto li = static_cast<std::size_t>(link);
+  assert(link_down_count_[li] > 0);
+  if (link_down_count_[li] == 0 || --link_down_count_[li] > 0) return;
   ++metrics_.link_repairs;
-  record_window_downtime(link, ls.down_since, sim_.now());
+  record_window_downtime(link, link_down_since_[li], sim_.now());
   if (observer_) observer_->on_link_up(link, sim_.now());
 }
 
 std::size_t Engine::link_backlog(topo::LinkId link) const {
-  const LinkState& ls = links_[static_cast<std::size_t>(link)];
-  std::size_t total = ls.busy ? 1 : 0;
-  for (const auto& q : ls.queue) total += q.size();
+  std::size_t total = link_hot_[static_cast<std::size_t>(link)].busy != 0 ? 1 : 0;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    total += queues_.size(lane(link, c));
+  }
   return total;
 }
 
@@ -603,11 +634,11 @@ void Engine::end_measurement() {
   // Flush open outages into the window and re-date them so the repair
   // (which lands past measure_end) adds nothing on top.  Not gated on
   // fault_aware_: tests and custom drivers may call fail_link directly.
-  for (std::size_t l = 0; l < links_.size(); ++l) {
-    if (links_[l].down_count > 0) {
+  for (std::size_t l = 0; l < link_down_count_.size(); ++l) {
+    if (link_down_count_[l] > 0) {
       record_window_downtime(static_cast<topo::LinkId>(l),
-                             links_[l].down_since, now);
-      links_[l].down_since = now;
+                             link_down_since_[l], now);
+      link_down_since_[l] = now;
     }
   }
   metrics_.inflight_broadcast_tasks.flush(now);

@@ -13,7 +13,6 @@
 /// priority decisions are delegated to a RoutingPolicy.
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "pstar/net/packet.hpp"
 #include "pstar/net/policy.hpp"
 #include "pstar/net/recovery_hook.hpp"
+#include "pstar/queueing/fifo_slab.hpp"
 #include "pstar/sim/rng.hpp"
 #include "pstar/sim/simulator.hpp"
 #include "pstar/stats/histogram.hpp"
@@ -71,6 +71,14 @@ struct EngineConfig {
   /// path is unaffected: with faults disabled no fault event exists and
   /// results are bit-identical to an engine without the subsystem.
   fault::FaultConfig faults;
+
+  /// Pending-event-set backend for the simulator driving this engine.
+  /// The engine itself never reads this field -- it schedules through
+  /// whatever Simulator it is handed -- but carrying the knob here lets
+  /// every driver (harness, CLI, benchmarks) plumb one config object.
+  /// The two backends are observationally equivalent (docs/ENGINE.md;
+  /// tests/test_scheduler_equivalence.cpp), so this only changes speed.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
 };
 
 /// Aggregated measurements of one run.  Delay statistics cover tasks
@@ -243,7 +251,7 @@ class Engine {
 
   /// Whether `link` currently accepts traffic (always true fault-free).
   bool link_up(topo::LinkId link) const {
-    return links_[static_cast<std::size_t>(link)].down_count == 0;
+    return link_down_count_[static_cast<std::size_t>(link)] == 0;
   }
 
   /// Whether a scheduled repair of `link` has not fired yet.  The fault
@@ -253,7 +261,7 @@ class Engine {
   /// burning retry budget against them, and to fall back to fresh trees
   /// / finalization only for permanent cuts (docs/FAULTS.md §7).
   bool repair_pending(topo::LinkId link) const {
-    return links_[static_cast<std::size_t>(link)].pending_repairs > 0;
+    return link_pending_repairs_[static_cast<std::size_t>(link)] > 0;
   }
 
   /// Fails a link (fail-stop): aborts its in-service copy, drains its
@@ -315,22 +323,10 @@ class Engine {
     double enqueued_at;
   };
 
-  struct LinkState {
-    bool busy = false;
-    Copy serving{};
-    double service_start = 0.0;
-    double serving_enqueued_at = 0.0;
-    std::deque<Queued> queue[kPriorityClasses];
-    /// Nested outage counter: > 0 means down (fail_link/restore_link).
-    std::uint32_t down_count = 0;
-    /// Scheduled repair events not yet fired (from EngineConfig::faults).
-    std::uint32_t pending_repairs = 0;
-    /// Bumped when a failure aborts the in-service copy; the pending
-    /// completion event carries the epoch it was scheduled under and is
-    /// ignored when stale.
-    std::uint64_t epoch = 0;
-    double down_since = 0.0;
-  };
+  /// Dense lane index of one (link, priority class) FIFO in queues_.
+  static std::size_t lane(topo::LinkId link, std::size_t cls) {
+    return static_cast<std::size_t>(link) * kPriorityClasses + cls;
+  }
 
   void begin_service(topo::LinkId link, const Copy& copy, double queued_since);
   void complete_service(topo::LinkId link, std::uint64_t epoch);
@@ -362,7 +358,39 @@ class Engine {
 
   std::vector<Task> tasks_;
   std::vector<TaskId> free_tasks_;
-  std::vector<LinkState> links_;
+
+  /// Hot per-link service state, one cache line per link.  Every engine
+  /// operation addresses a single link at a time (random access by dense
+  /// LinkId), so the service-path fields of a link belong TOGETHER in
+  /// one line -- splitting them field-per-array would touch five lines
+  /// per operation (docs/ENGINE.md).
+  struct alignas(64) LinkHot {
+    Copy serving{};
+    std::uint8_t busy = 0;
+    /// Bit c set iff the (link, class c) lane is nonempty: the strict-
+    /// priority pull is a count-trailing-zeros instead of a queue scan.
+    std::uint8_t queued_mask = 0;
+    double service_start = 0.0;
+    double serving_enqueued_at = 0.0;
+    /// Bumped when a failure aborts the in-service copy; the pending
+    /// completion event carries the epoch it was scheduled under and is
+    /// ignored when stale.
+    std::uint64_t epoch = 0;
+  };
+
+  // Per-link state as flat slabs indexed by dense LinkId: the hot
+  // records above, cold fault bookkeeping (touched only on
+  // failure/repair) as parallel arrays, and every per-(link, class)
+  // FIFO in one shared lane slab.  Idle links cost bytes, not container
+  // instances (docs/ENGINE.md).
+  std::vector<LinkHot> link_hot_;
+  /// Nested outage counter: > 0 means down (fail_link/restore_link).
+  std::vector<std::uint32_t> link_down_count_;
+  /// Scheduled repair events not yet fired (from EngineConfig::faults).
+  std::vector<std::uint32_t> link_pending_repairs_;
+  std::vector<double> link_down_since_;
+  /// All per-(link, class) FIFOs in one slab; see lane().
+  queueing::FifoSlab<Queued> queues_;
 
   /// The time-weighted concurrency recorder for one task kind.
   stats::TimeWeighted& inflight_recorder(TaskKind kind);

@@ -1,0 +1,106 @@
+#include "pstar/sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pstar::sim {
+
+CalendarQueue::CalendarQueue(double bucket_width)
+    : width_(bucket_width), inv_width_(1.0 / bucket_width) {
+  if (!(bucket_width > 0.0) || in_overflow_range(bucket_width)) {
+    throw std::invalid_argument(
+        "CalendarQueue: bucket width must be positive and finite");
+  }
+  buckets_.resize(kMinBuckets);
+  mask_ = kMinBuckets - 1;
+}
+
+void CalendarQueue::insert_sorted_slow(Bucket& bucket, Entry entry) {
+  auto& v = bucket.items;
+  const auto it = std::upper_bound(
+      v.begin() + static_cast<std::ptrdiff_t>(bucket.head), v.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        return key_less(a.time, a.seq, b.time, b.seq);
+      });
+  v.insert(it, std::move(entry));
+}
+
+std::uint64_t CalendarQueue::push_overflow(Time t, EventFn fn) {
+  const std::uint64_t seq = next_seq_++;
+  insert_sorted(far_, Entry{t, seq, std::move(fn)});
+  ++size_;
+  return seq;
+}
+
+CalendarQueue::Bucket* CalendarQueue::locate_min_slow() const {
+  assert(main_size() > 0);
+  // Walk the calendar one day at a time starting at the cursor.  A
+  // bucket's head is its minimum (buckets are sorted runs), and it is due
+  // this year iff its day equals the day under the cursor -- an exact
+  // integer test through the same day_of() used for placement, so there
+  // is no floating-point edge to disagree about.
+  const std::size_t nbuckets = buckets_.size();
+  std::uint64_t day = cur_day_;
+  for (std::size_t step = 0; step < nbuckets; ++step, ++day) {
+    Bucket& b = buckets_[static_cast<std::size_t>(day) & mask_];
+    if (!b.empty() && day_of(b.items[b.head].time) <= day) {
+      cur_day_ = day;
+      min_cache_ = &b;
+      return &b;
+    }
+  }
+  // Every pending event is more than a year out: fall back to a direct
+  // scan over bucket heads.  Distinct buckets never share a time (one
+  // time maps to one day maps to one bucket), but compare the full key
+  // anyway to keep the ordering contract explicit.
+  Bucket* best = nullptr;
+  for (Bucket& b : buckets_) {
+    if (b.empty()) continue;
+    const Entry& e = b.items[b.head];
+    if (best == nullptr ||
+        key_less(e.time, e.seq, best->items[best->head].time,
+                 best->items[best->head].seq)) {
+      best = &b;
+    }
+  }
+  cur_day_ = day_of(best->items[best->head].time);
+  min_cache_ = best;
+  return best;
+}
+
+void CalendarQueue::clear() {
+  buckets_.clear();
+  buckets_.resize(kMinBuckets);
+  mask_ = kMinBuckets - 1;
+  far_.reset();
+  size_ = 0;
+  cur_day_ = 0;
+  min_cache_ = nullptr;
+}
+
+void CalendarQueue::resize(std::size_t nbuckets) {
+  std::vector<Entry> pending;
+  pending.reserve(main_size());
+  for (Bucket& b : buckets_) {
+    for (std::size_t i = b.head; i < b.items.size(); ++i) {
+      pending.push_back(std::move(b.items[i]));
+    }
+  }
+  std::sort(pending.begin(), pending.end(), [](const Entry& a, const Entry& b) {
+    return key_less(a.time, a.seq, b.time, b.seq);
+  });
+  buckets_.clear();
+  buckets_.resize(nbuckets);
+  mask_ = nbuckets - 1;
+  min_cache_ = nullptr;
+  if (!pending.empty()) cur_day_ = day_of(pending.front().time);
+  // Redistributing in ascending key order means every per-bucket
+  // subsequence is ascending, so each insert takes the O(1) append path.
+  for (Entry& e : pending) {
+    insert_sorted(buckets_[static_cast<std::size_t>(day_of(e.time)) & mask_],
+                  std::move(e));
+  }
+}
+
+}  // namespace pstar::sim

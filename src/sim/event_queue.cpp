@@ -2,7 +2,24 @@
 
 #include <cassert>
 
+#include "pstar/sim/calendar_queue.hpp"
+
 namespace pstar::sim {
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kHeap:
+      return "heap";
+    case SchedulerKind::kCalendar:
+      return "calendar";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  if (kind == SchedulerKind::kHeap) return std::make_unique<EventQueue>();
+  return std::make_unique<CalendarQueue>();
+}
 
 std::uint64_t EventQueue::push(Time t, EventFn fn) {
   const std::uint64_t seq = next_seq_++;

@@ -1,0 +1,215 @@
+#pragma once
+
+/// \file calendar_queue.hpp
+/// Calendar-queue scheduler: O(1) amortized pending-event set.
+///
+/// A calendar queue (Brown 1988) hashes events by time into an array of
+/// buckets of fixed width, like days on a wall calendar: bucket index is
+/// floor(t / width) mod nbuckets, and dequeue walks the calendar from the
+/// current day forward, wrapping year by year.  The simulation's unit
+/// link service time makes the natural bucket width 1.0 -- service
+/// completions land one bucket ahead of where they were scheduled -- and
+/// the bucket count adapts to the event population (doubling/halving on
+/// occupancy thresholds) so a bucket holds O(1) events on average.
+///
+/// Two deviations from the textbook structure keep the ordering contract
+/// exact and the worst cases bounded (docs/ENGINE.md):
+///
+///   - Buckets are kept SORTED by the full (time, seq) key, as an
+///     ascending run behind a head cursor.  Appends in key order -- the
+///     overwhelmingly common case, since events are mostly scheduled in
+///     nondecreasing time order -- cost O(1); out-of-order inserts pay a
+///     binary search plus shift within one bucket.  Sorted buckets make
+///     dequeue a head peek instead of a linear scan, so thousands of
+///     same-instant events (a broadcast wavefront in a large torus)
+///     drain in O(1) each instead of O(n) each.
+///   - Events whose virtual bucket index overflows the calendar's
+///     arithmetic range (time / width >= 2^62, e.g. sentinel timers at
+///     huge times) live in a separate sorted overflow run consulted only
+///     when the calendar proper is empty; every overflow time strictly
+///     exceeds every calendar time, so ordering is preserved.
+///
+/// Ties fire in insertion order (seq), matching EventQueue exactly; the
+/// two backends are observationally equivalent.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pstar/sim/event_queue.hpp"
+
+namespace pstar::sim {
+
+/// Calendar-queue implementation of the Scheduler interface.
+class CalendarQueue final : public Scheduler {
+ public:
+  /// Bucket width in time units.  The default of 1.0 is the unit link
+  /// service time, which spreads the engine's service-completion events
+  /// one bucket ahead of the cursor.  Must be positive and finite.
+  explicit CalendarQueue(double bucket_width = 1.0);
+
+  // The per-event operations are defined inline (below the class) so the
+  // monomorphized simulator loop (simulator.cpp) inlines them; the cold
+  // paths (resize, overflow, the full cursor walk) stay in the .cpp.
+  std::uint64_t push(Time t, EventFn fn) override;
+  bool empty() const override { return size_ == 0; }
+  std::size_t size() const override { return size_; }
+  Time next_time() const override;
+  std::pair<Time, EventFn> pop() override;
+  void clear() override;
+
+  // Introspection for tests and the design doc's worked examples.
+  std::size_t bucket_count() const { return buckets_.size(); }
+  double bucket_width() const { return width_; }
+  std::size_t overflow_size() const { return far_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  /// One calendar day: an ascending (time, seq) run behind a head cursor.
+  /// pop consumes from head; fully consumed buckets reset to reclaim the
+  /// popped prefix.
+  struct Bucket {
+    std::vector<Entry> items;
+    std::size_t head = 0;
+
+    bool empty() const { return head == items.size(); }
+    std::size_t size() const { return items.size() - head; }
+    void reset() {
+      items.clear();
+      head = 0;
+    }
+  };
+
+  static bool key_less(Time ta, std::uint64_t sa, Time tb, std::uint64_t sb) {
+    if (ta != tb) return ta < tb;
+    return sa < sb;
+  }
+
+  /// Small enough that an idle queue costs nothing; resize doubles from
+  /// here as the event population grows.
+  static constexpr std::size_t kMinBuckets = 32;
+
+  /// Inserts preserving the ascending run; O(1) when the key appends.
+  static void insert_sorted(Bucket& bucket, Entry entry);
+  /// Out-of-order insert: binary search plus shift within the bucket.
+  static void insert_sorted_slow(Bucket& bucket, Entry entry);
+
+  bool in_overflow_range(Time t) const {
+    // Virtual day indices at or beyond 2^62 (including +infinity and
+    // NaN, via the negated comparison) cannot be hashed safely.
+    return !(t * inv_width_ < 4611686018427387904.0);
+  }
+
+  /// Virtual day of a time: its global bucket index before wrapping.
+  /// Every membership, rewind, and window decision goes through this one
+  /// computation, so floating-point rounding at a bucket edge can never
+  /// make two code paths disagree about which day an event belongs to.
+  /// (Multiplying by the precomputed reciprocal instead of dividing is
+  /// part of that single definition, not an approximation of it.)
+  std::uint64_t day_of(Time t) const {
+    return static_cast<std::uint64_t>(t * inv_width_);
+  }
+
+  std::size_t main_size() const { return size_ - far_.size(); }
+
+  /// Finds the earliest pending calendar entry and leaves the cursor on
+  /// its day.  Requires main_size() > 0.  Cursor motion is logically
+  /// const: it never changes the contents.  The fast path -- the event
+  /// is on the day under the cursor -- is inline; walking to a later day
+  /// happens in the .cpp.
+  Bucket* locate_min() const {
+    if (min_cache_ != nullptr) return min_cache_;
+    Bucket& b = buckets_[static_cast<std::size_t>(cur_day_) & mask_];
+    if (!b.empty() && day_of(b.items[b.head].time) <= cur_day_) {
+      min_cache_ = &b;
+      return &b;
+    }
+    return locate_min_slow();
+  }
+  Bucket* locate_min_slow() const;
+
+  std::uint64_t push_overflow(Time t, EventFn fn);
+
+  /// Rebuilds the calendar with `nbuckets` buckets (a power of two),
+  /// redistributing all calendar entries; overflow entries stay put.
+  void resize(std::size_t nbuckets);
+  void maybe_grow() {
+    if (main_size() > 2 * buckets_.size()) resize(buckets_.size() * 2);
+  }
+  void maybe_shrink() {
+    if (buckets_.size() > kMinBuckets && main_size() < buckets_.size() / 8) {
+      resize(buckets_.size() / 2);
+    }
+  }
+
+  double width_;
+  double inv_width_;      ///< 1 / width_, precomputed
+  std::size_t mask_ = 0;  ///< bucket_count - 1 (bucket count is a power of 2)
+  mutable std::vector<Bucket> buckets_;
+  Bucket far_;  ///< overflow run: times beyond the calendar's range
+
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;            ///< total pending (calendar + overflow)
+  mutable std::uint64_t cur_day_ = 0;  ///< cursor: current virtual day
+  /// Bucket holding the minimum, found by the last locate_min and still
+  /// valid (no push/pop/resize since).  Saves the re-walk when the event
+  /// loop peeks next_time() and then immediately pop()s.
+  mutable Bucket* min_cache_ = nullptr;
+};
+
+inline std::uint64_t CalendarQueue::push(Time t, EventFn fn) {
+  if (in_overflow_range(t)) return push_overflow(t, std::move(fn));
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t day = day_of(t);
+  if (main_size() == 0 || day < cur_day_) {
+    // Jump (empty calendar) or rewind (an event landing on an earlier
+    // day than the cursor; the simulator schedules at now or later, so
+    // this only happens when the cursor's day straddles "now").
+    cur_day_ = day;
+  }
+  insert_sorted(buckets_[static_cast<std::size_t>(day) & mask_],
+                Entry{t, seq, std::move(fn)});
+  ++size_;
+  min_cache_ = nullptr;
+  maybe_grow();
+  return seq;
+}
+
+inline Time CalendarQueue::next_time() const {
+  if (main_size() > 0) {
+    const Bucket* b = locate_min();
+    return b->items[b->head].time;
+  }
+  return far_.items[far_.head].time;
+}
+
+inline std::pair<Time, EventFn> CalendarQueue::pop() {
+  Bucket* b = main_size() > 0 ? locate_min() : &far_;
+  Entry entry = std::move(b->items[b->head]);
+  ++b->head;
+  if (b->empty()) b->reset();
+  --size_;
+  min_cache_ = nullptr;
+  maybe_shrink();
+  return {entry.time, std::move(entry.fn)};
+}
+
+inline void CalendarQueue::insert_sorted(Bucket& bucket, Entry entry) {
+  auto& v = bucket.items;
+  // Fast path: the new key extends the ascending run.  This is the
+  // overwhelmingly common case -- sequence numbers grow monotonically,
+  // and a simulation schedules mostly in nondecreasing time order.
+  if (v.empty() ||
+      !key_less(entry.time, entry.seq, v.back().time, v.back().seq)) {
+    v.push_back(std::move(entry));
+    return;
+  }
+  insert_sorted_slow(bucket, std::move(entry));
+}
+
+}  // namespace pstar::sim

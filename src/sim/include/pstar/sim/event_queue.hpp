@@ -3,13 +3,35 @@
 /// \file event_queue.hpp
 /// Pending-event set for the discrete-event simulator.
 ///
-/// A binary min-heap keyed by (time, sequence number).  The sequence number
+/// Two interchangeable scheduler backends implement one interface:
+///
+///   - EventQueue: a binary min-heap keyed by (time, sequence number).
+///     O(log n) per operation; simple enough to be obviously correct, so
+///     it serves as the reference implementation.
+///   - CalendarQueue (calendar_queue.hpp): a calendar/ladder scheduler
+///     with O(1) amortized enqueue/dequeue for the stationary event
+///     populations a simulation run produces.
+///
+/// Both order events by (time, sequence number).  The sequence number
 /// makes event ordering total and deterministic: two events scheduled for
 /// the same instant fire in the order they were scheduled, independent of
-/// heap internals or platform.
+/// backend internals or platform.  Because the ordering contract is the
+/// full (time, seq) key, the two backends are observationally equivalent
+/// -- a run produces bit-identical results on either (docs/ENGINE.md;
+/// enforced by tests/test_scheduler_equivalence.cpp).
+///
+/// Event callbacks are stored in an EventFn: a move-only function wrapper
+/// with a 24-byte inline buffer.  Every hot closure of the engine (link
+/// service completion: a pointer, a link id, and an epoch) fits inline,
+/// so the per-event path performs no heap allocation -- the single
+/// biggest win over std::function, whose 16-byte small-object buffer
+/// spills exactly those closures to the heap.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -21,34 +43,176 @@ using Time = double;
 
 class Simulator;
 
-/// Event callback.  Receives the simulator so it can schedule follow-ups.
-using EventFn = std::function<void(Simulator&)>;
+/// Move-only callable `void(Simulator&)` with small-buffer storage.
+///
+/// Callables up to kInlineSize bytes (and nothrow-move-constructible) are
+/// stored inline; larger ones fall back to a single heap allocation.  The
+/// inline capacity is sized for the engine's service-completion closure
+/// (object pointer + link id + epoch), the hottest event in any run.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 24;
 
-/// Deterministic binary min-heap of timed events.
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&, Simulator&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule call site
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      // The common case: a closure of PODs (object pointer, link id,
+      // epoch).  Null relocate/destroy ops let moves collapse to a
+      // fixed-size copy with no indirect call (see move_from/reset).
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &trivial_ops<D>;
+    } else if constexpr (sizeof(D) <= kInlineSize &&
+                         alignof(D) <= alignof(std::max_align_t) &&
+                         std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the stored callable.  Requires bool(*this).
+  void operator()(Simulator& sim) { ops_->invoke(storage_, sim); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj, Simulator& sim);
+    /// Move-constructs the callable at dst from src and destroys src.
+    /// nullptr means "relocation is a raw kInlineSize-byte copy".
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr means trivially destructible: nothing to do.
+    void (*destroy)(void* obj) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops trivial_ops = {
+      [](void* obj, Simulator& sim) { (*static_cast<D*>(obj))(sim); },
+      nullptr,
+      nullptr,
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* obj, Simulator& sim) { (*static_cast<D*>(obj))(sim); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* obj) noexcept { static_cast<D*>(obj)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* obj, Simulator& sim) { (**static_cast<D**>(obj))(sim); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* obj) noexcept { delete *static_cast<D**>(obj); },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+      } else {
+        // Fixed-size copy: the compiler lowers this to a few register
+        // moves, no call.
+        __builtin_memcpy(storage_, other.storage_, kInlineSize);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+/// Which pending-event-set implementation a simulator uses.
+enum class SchedulerKind : std::uint8_t {
+  kHeap = 0,      ///< binary min-heap (reference implementation)
+  kCalendar = 1,  ///< calendar queue (O(1) amortized; the default)
+};
+
+/// Human-readable backend name ("heap" / "calendar").
+const char* scheduler_name(SchedulerKind kind);
+
+/// Pending-event-set interface shared by both backends.
 ///
 /// Not thread-safe; a simulation run is single-threaded by design (the
 /// model's parallelism is simulated, not host-level).
-class EventQueue {
+class Scheduler {
  public:
+  virtual ~Scheduler() = default;
+
   /// Inserts an event at absolute time t.  Returns the event's sequence
   /// number (monotonically increasing; useful in tests).
-  std::uint64_t push(Time t, EventFn fn);
+  virtual std::uint64_t push(Time t, EventFn fn) = 0;
 
   /// True when no events are pending.
-  bool empty() const { return heap_.empty(); }
+  virtual bool empty() const = 0;
 
   /// Number of pending events.
-  std::size_t size() const { return heap_.size(); }
+  virtual std::size_t size() const = 0;
 
   /// Time of the earliest pending event.  Requires !empty().
-  Time next_time() const { return heap_.front().time; }
+  virtual Time next_time() const = 0;
 
   /// Removes and returns the earliest event's callback together with its
   /// timestamp.  Requires !empty().
-  std::pair<Time, EventFn> pop();
+  virtual std::pair<Time, EventFn> pop() = 0;
 
   /// Discards all pending events.
-  void clear();
+  virtual void clear() = 0;
+};
+
+/// Constructs a scheduler backend of the given kind.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+/// Deterministic binary min-heap of timed events (the reference backend).
+class EventQueue final : public Scheduler {
+ public:
+  std::uint64_t push(Time t, EventFn fn) override;
+  bool empty() const override { return heap_.empty(); }
+  std::size_t size() const override { return heap_.size(); }
+  Time next_time() const override { return heap_.front().time; }
+  std::pair<Time, EventFn> pop() override;
+  void clear() override;
 
  private:
   struct Entry {

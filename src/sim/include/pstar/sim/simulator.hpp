@@ -18,13 +18,18 @@ enum class StopReason {
   kStopped,       ///< a callback requested stop()
 };
 
-/// Minimal discrete-event simulator: a clock plus an event queue.
+/// Minimal discrete-event simulator: a clock plus a pending-event set.
 ///
 /// Components schedule closures at absolute times; run() executes them in
 /// deterministic (time, insertion) order.  The network engine, traffic
-/// sources, and statistics probes all hang off this loop.
+/// sources, and statistics probes all hang off this loop.  The scheduler
+/// backend is chosen at construction; both backends honour the same total
+/// ordering, so the choice is observationally invisible (docs/ENGINE.md).
 class Simulator {
  public:
+  explicit Simulator(SchedulerKind scheduler = SchedulerKind::kCalendar)
+      : kind_(scheduler), queue_(make_scheduler(scheduler)) {}
+
   /// Current simulation time.  Starts at 0.
   Time now() const { return now_; }
 
@@ -41,7 +46,10 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
   /// Number of events currently pending.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return queue_->size(); }
+
+  /// Which scheduler backend this simulator runs on.
+  SchedulerKind scheduler_kind() const { return kind_; }
 
   /// Executes events until the queue drains, time would pass end_time, the
   /// event budget is used up, or stop() is called.  The clock is left at
@@ -51,10 +59,11 @@ class Simulator {
                      std::numeric_limits<std::uint64_t>::max());
 
   /// Direct access to the queue for tests.
-  EventQueue& queue() { return queue_; }
+  Scheduler& queue() { return *queue_; }
 
  private:
-  EventQueue queue_;
+  SchedulerKind kind_;
+  std::unique_ptr<Scheduler> queue_;
   Time now_ = 0.0;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;

@@ -3,28 +3,51 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "pstar/sim/calendar_queue.hpp"
+
 namespace pstar::sim {
 
 void Simulator::at(Time t, EventFn fn) {
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
-  queue_.push(t, std::move(fn));
+  queue_->push(t, std::move(fn));
 }
+
+namespace {
+
+/// The event loop, monomorphized per backend: next_time/pop resolve to
+/// direct (inlinable) calls instead of one virtual dispatch per event.
+template <typename Queue>
+StopReason run_loop(Simulator& sim, Queue& queue, Time end_time,
+                    std::uint64_t max_events, Time& now,
+                    std::uint64_t& events_executed, bool& stop_requested) {
+  std::uint64_t executed_this_run = 0;
+  while (!queue.empty()) {
+    if (queue.next_time() > end_time) return StopReason::kTimeLimit;
+    if (executed_this_run >= max_events) return StopReason::kEventLimit;
+    auto [t, fn] = queue.pop();
+    assert(t >= now);
+    now = t;
+    fn(sim);
+    ++events_executed;
+    ++executed_this_run;
+    if (stop_requested) return StopReason::kStopped;
+  }
+  return StopReason::kDrained;
+}
+
+}  // namespace
 
 StopReason Simulator::run(Time end_time, std::uint64_t max_events) {
   stop_requested_ = false;
-  std::uint64_t executed_this_run = 0;
-  while (!queue_.empty()) {
-    if (queue_.next_time() > end_time) return StopReason::kTimeLimit;
-    if (executed_this_run >= max_events) return StopReason::kEventLimit;
-    auto [t, fn] = queue_.pop();
-    assert(t >= now_);
-    now_ = t;
-    fn(*this);
-    ++events_executed_;
-    ++executed_this_run;
-    if (stop_requested_) return StopReason::kStopped;
+  switch (kind_) {
+    case SchedulerKind::kCalendar:
+      return run_loop(*this, static_cast<CalendarQueue&>(*queue_), end_time,
+                      max_events, now_, events_executed_, stop_requested_);
+    case SchedulerKind::kHeap:
+      break;
   }
-  return StopReason::kDrained;
+  return run_loop(*this, static_cast<EventQueue&>(*queue_), end_time,
+                  max_events, now_, events_executed_, stop_requested_);
 }
 
 }  // namespace pstar::sim

@@ -10,8 +10,21 @@ namespace pstar::stats {
 /// Numerically stable streaming mean / variance / extrema accumulator.
 class RunningStat {
  public:
-  /// Adds one observation.
-  void add(double x);
+  /// Adds one observation.  Inline: this is called on the engine's
+  /// per-event hot path (every measured wait and delay sample).
+  void add(double x) {
+    if (count_ == 0) {
+      min_ = x;
+      max_ = x;
+    } else {
+      min_ = min_ < x ? min_ : x;
+      max_ = max_ > x ? max_ : x;
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   /// Merges another accumulator into this one (parallel-combine form of
   /// Welford's update).

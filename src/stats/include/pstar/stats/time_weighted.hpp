@@ -13,13 +13,32 @@ namespace pstar::stats {
 class TimeWeighted {
  public:
   /// Starts (or restarts) observation at time t with current value v.
-  void start(double t, double v);
+  void start(double t, double v) {
+    started_ = true;
+    start_t_ = t;
+    last_t_ = t;
+    value_ = v;
+    integral_ = 0.0;
+    max_ = v;
+  }
 
   /// Records that the signal changes to v at time t (t >= last update).
-  void set(double t, double v);
+  /// Inline: the engine updates its in-flight gauges on every admitted
+  /// and retired copy inside the measurement window.
+  void set(double t, double v) {
+    if (!started_) {
+      start(t, v);
+      return;
+    }
+    check_monotonic(t);
+    integral_ += value_ * (t - last_t_);
+    last_t_ = t;
+    value_ = v;
+    max_ = max_ > v ? max_ : v;
+  }
 
   /// Convenience: adds delta to the current value at time t.
-  void add(double t, double delta);
+  void add(double t, double delta) { set(t, value_ + delta); }
 
   /// Finalizes integration up to time t without changing the value.
   void flush(double t) { set(t, value_); }
@@ -32,6 +51,10 @@ class TimeWeighted {
   double elapsed() const { return last_t_ - start_t_; }
 
  private:
+  /// Throws when time goes backwards; out of line so the throw machinery
+  /// stays off the inlined fast path.
+  void check_monotonic(double t) const;
+
   bool started_ = false;
   double start_t_ = 0.0;
   double last_t_ = 0.0;

@@ -5,28 +5,11 @@
 
 namespace pstar::stats {
 
-void TimeWeighted::start(double t, double v) {
-  started_ = true;
-  start_t_ = t;
-  last_t_ = t;
-  value_ = v;
-  integral_ = 0.0;
-  max_ = v;
-}
-
-void TimeWeighted::set(double t, double v) {
-  if (!started_) {
-    start(t, v);
-    return;
+void TimeWeighted::check_monotonic(double t) const {
+  if (t < last_t_) {
+    throw std::invalid_argument("TimeWeighted::set: time went backwards");
   }
-  if (t < last_t_) throw std::invalid_argument("TimeWeighted::set: time went backwards");
-  integral_ += value_ * (t - last_t_);
-  last_t_ = t;
-  value_ = v;
-  max_ = std::max(max_, v);
 }
-
-void TimeWeighted::add(double t, double delta) { set(t, value_ + delta); }
 
 double TimeWeighted::mean() const {
   const double span = last_t_ - start_t_;

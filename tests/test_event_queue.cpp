@@ -1,7 +1,16 @@
+// Scheduler-contract tests, parameterized over BOTH pending-event-set
+// backends (binary heap and calendar queue) through the make_scheduler
+// factory: every backend must pop in (time, insertion-order) order,
+// report the earliest pending time, and survive interleaved workloads.
+// Backend-specific behaviour (bucket resizing, overflow handling) lives
+// in test_calendar_queue.cpp.
+
 #include "pstar/sim/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "pstar/sim/rng.hpp"
@@ -10,83 +19,119 @@
 namespace pstar::sim {
 namespace {
 
-TEST(EventQueue, StartsEmpty) {
-  EventQueue q;
-  EXPECT_TRUE(q.empty());
-  EXPECT_EQ(q.size(), 0u);
+class SchedulerContract : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  std::unique_ptr<Scheduler> make() { return make_scheduler(GetParam()); }
+};
+
+TEST_P(SchedulerContract, StartsEmpty) {
+  auto q = make();
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->size(), 0u);
 }
 
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue q;
+TEST_P(SchedulerContract, PopsInTimeOrder) {
+  auto q = make();
   std::vector<int> order;
-  q.push(3.0, [&order](Simulator&) { order.push_back(3); });
-  q.push(1.0, [&order](Simulator&) { order.push_back(1); });
-  q.push(2.0, [&order](Simulator&) { order.push_back(2); });
+  q->push(3.0, [&order](Simulator&) { order.push_back(3); });
+  q->push(1.0, [&order](Simulator&) { order.push_back(1); });
+  q->push(2.0, [&order](Simulator&) { order.push_back(2); });
   Simulator dummy;
-  while (!q.empty()) {
-    auto [t, fn] = q.pop();
+  while (!q->empty()) {
+    auto [t, fn] = q->pop();
     fn(dummy);
   }
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, TiesBreakByInsertionOrder) {
-  EventQueue q;
+TEST_P(SchedulerContract, TiesBreakByInsertionOrder) {
+  auto q = make();
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.push(5.0, [&order, i](Simulator&) { order.push_back(i); });
+    q->push(5.0, [&order, i](Simulator&) { order.push_back(i); });
   }
   Simulator dummy;
-  while (!q.empty()) q.pop().second(dummy);
+  while (!q->empty()) q->pop().second(dummy);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(EventQueue, NextTimeReportsEarliest) {
-  EventQueue q;
-  q.push(9.0, [](Simulator&) {});
-  q.push(4.0, [](Simulator&) {});
-  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+TEST_P(SchedulerContract, NextTimeReportsEarliest) {
+  auto q = make();
+  q->push(9.0, [](Simulator&) {});
+  q->push(4.0, [](Simulator&) {});
+  EXPECT_DOUBLE_EQ(q->next_time(), 4.0);
 }
 
-TEST(EventQueue, SequenceNumbersIncrease) {
-  EventQueue q;
-  const auto a = q.push(1.0, [](Simulator&) {});
-  const auto b = q.push(1.0, [](Simulator&) {});
+TEST_P(SchedulerContract, SequenceNumbersIncrease) {
+  auto q = make();
+  const auto a = q->push(1.0, [](Simulator&) {});
+  const auto b = q->push(1.0, [](Simulator&) {});
   EXPECT_LT(a, b);
 }
 
-TEST(EventQueue, ClearEmptiesQueue) {
-  EventQueue q;
-  q.push(1.0, [](Simulator&) {});
-  q.push(2.0, [](Simulator&) {});
-  q.clear();
-  EXPECT_TRUE(q.empty());
+TEST_P(SchedulerContract, ClearEmptiesQueue) {
+  auto q = make();
+  q->push(1.0, [](Simulator&) {});
+  q->push(2.0, [](Simulator&) {});
+  q->clear();
+  EXPECT_TRUE(q->empty());
+  // A cleared queue must be fully usable again.
+  q->push(7.0, [](Simulator&) {});
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_DOUBLE_EQ(q->next_time(), 7.0);
 }
 
-TEST(EventQueue, RandomizedHeapOrderProperty) {
-  EventQueue q;
+TEST_P(SchedulerContract, SizeTracksPushesAndPops) {
+  auto q = make();
+  for (int i = 0; i < 100; ++i) q->push(static_cast<double>(i), [](Simulator&) {});
+  EXPECT_EQ(q->size(), 100u);
+  for (int i = 0; i < 40; ++i) q->pop();
+  EXPECT_EQ(q->size(), 60u);
+}
+
+TEST_P(SchedulerContract, RandomizedOrderProperty) {
+  auto q = make();
   Rng rng(99);
   // Interleave pushes and pops; popped times must be non-decreasing and
   // never exceed any remaining element.
   double last = -1.0;
-  Simulator dummy;
   for (int round = 0; round < 2000; ++round) {
-    if (q.empty() || rng.bernoulli(0.6)) {
+    if (q->empty() || rng.bernoulli(0.6)) {
       // Push a time at or after the last popped time so that the
       // monotonicity property can hold.
-      q.push(last + rng.uniform() * 10.0, [](Simulator&) {});
+      q->push(last + rng.uniform() * 10.0, [](Simulator&) {});
     } else {
-      auto [t, fn] = q.pop();
+      auto [t, fn] = q->pop();
       EXPECT_GE(t, last);
       last = t;
     }
   }
-  while (!q.empty()) {
-    auto [t, fn] = q.pop();
+  while (!q->empty()) {
+    auto [t, fn] = q->pop();
     EXPECT_GE(t, last);
     last = t;
   }
 }
+
+TEST_P(SchedulerContract, MoveOnlyCallbackPayloads) {
+  // EventFn accepts move-only callables (the engine captures unique
+  // state in recovery timers); both backends must relocate them safely
+  // through their internal moves.
+  auto q = make();
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  q->push(1.0, [p = std::move(payload), &seen](Simulator&) { seen = *p + 1; });
+  Simulator dummy;
+  q->pop().second(dummy);
+  EXPECT_EQ(seen, 42);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SchedulerContract,
+    ::testing::Values(SchedulerKind::kHeap, SchedulerKind::kCalendar),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+      return std::string(scheduler_name(info.param));
+    });
 
 }  // namespace
 }  // namespace pstar::sim

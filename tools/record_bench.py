@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Record (or check) a point on the engine benchmark trajectory.
+
+Runs the tracked workload -- the 16x16 broadcast hot loop at rho = 0.9
+(the same workload as micro_engine's BM_Broadcast16HotLoop) -- through
+``sweep_cli --perf`` several times per scheduler backend, in a FRESH
+process each time so peak RSS is meaningful, and summarizes the PERF
+lines into one trajectory point:
+
+  events, best / median events per second per backend, peak RSS per
+  backend, and the calendar-vs-heap speedup measured in the same window.
+
+Modes:
+
+  record (default)   append the point to BENCH_ENGINE.json
+  --check            do NOT append; compare the fresh measurement
+                     against the last recorded point and exit nonzero
+                     on a regression beyond --tolerance (default 10%)
+
+Noise caveat (docs/ENGINE.md): raw events/sec from a shared host moves
+with machine load, and raw numbers from DIFFERENT machines are not
+comparable at all.  Within one invocation the backends are interleaved
+(heap, calendar, heap, calendar, ...), so the calendar-vs-heap SPEEDUP
+ratio is stable across both load and hardware.  --check therefore
+compares best-of-N raw throughput only when the baseline was recorded
+on this same host, and falls back to the speedup ratio otherwise (the
+CI case: ephemeral runners).  Treat a raw-number failure on a shared
+machine as a prompt to re-run, not as proof.
+
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import re
+import statistics
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The tracked workload.  Changing it invalidates the trajectory: bump
+# the label and start a new file instead.
+WORKLOAD = {
+    "shape": "16x16",
+    "rho": 0.9,
+    "broadcast_fraction": 1.0,
+    "warmup": 200.0,
+    "measure": 2000.0,
+    "seed": 42,
+}
+
+PERF_RE = re.compile(
+    r"^PERF scheduler=(?P<scheduler>\S+) events=(?P<events>\d+) "
+    r"wall_seconds=(?P<wall>[0-9.]+) events_per_sec=(?P<eps>[0-9.]+) "
+    r"peak_rss_bytes=(?P<rss>\d+)$"
+)
+
+
+def run_once(binary: str, scheduler: str) -> dict:
+    """One fresh-process measurement; returns the parsed PERF record."""
+    cmd = [
+        binary,
+        "--shape", WORKLOAD["shape"],
+        "--rho", f"{WORKLOAD['rho']}:{WORKLOAD['rho']}:1",
+        "--bcast-frac", str(WORKLOAD["broadcast_fraction"]),
+        "--warmup", str(WORKLOAD["warmup"]),
+        "--measure", str(WORKLOAD["measure"]),
+        "--seed", str(WORKLOAD["seed"]),
+        "--jobs", "1",
+        "--scheduler", scheduler,
+        "--perf",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True).stdout
+    for line in out.splitlines():
+        m = PERF_RE.match(line.strip())
+        if m:
+            return {
+                "scheduler": m.group("scheduler"),
+                "events": int(m.group("events")),
+                "wall_seconds": float(m.group("wall")),
+                "events_per_sec": float(m.group("eps")),
+                "peak_rss_bytes": int(m.group("rss")),
+            }
+    raise RuntimeError(f"no PERF line in output of: {' '.join(cmd)}")
+
+
+def measure(binary: str, runs: int) -> dict:
+    """Interleaved A/B measurement of both backends, `runs` each."""
+    samples: dict[str, list[dict]] = {"heap": [], "calendar": []}
+    for i in range(runs):
+        # Interleave so both backends see the same host-load window.
+        for scheduler in ("heap", "calendar"):
+            rec = run_once(binary, scheduler)
+            assert rec["scheduler"] == scheduler
+            samples[scheduler].append(rec)
+            print(
+                f"  run {i + 1}/{runs} {scheduler:>8}: "
+                f"{rec['events_per_sec'] / 1e6:6.2f}M events/s, "
+                f"rss {rec['peak_rss_bytes'] // 1024} kB",
+                file=sys.stderr,
+            )
+    events = {s[0]["events"] for s in samples.values()}
+    if len(events) != 1:
+        raise RuntimeError(f"backends disagree on event count: {events}")
+
+    def summary(recs: list[dict]) -> dict:
+        eps = [r["events_per_sec"] for r in recs]
+        return {
+            "events": recs[0]["events"],
+            "events_per_sec_best": max(eps),
+            "events_per_sec_median": statistics.median(eps),
+            "peak_rss_bytes": min(r["peak_rss_bytes"] for r in recs),
+        }
+
+    heap = summary(samples["heap"])
+    calendar = summary(samples["calendar"])
+    # Ratio of medians over the same interleaved window: the noise-robust
+    # headline number.
+    speedup = (
+        calendar["events_per_sec_median"] / heap["events_per_sec_median"]
+        if heap["events_per_sec_median"] > 0
+        else 0.0
+    )
+    return {
+        "runs": runs,
+        "heap": heap,
+        "calendar": calendar,
+        "speedup_calendar_vs_heap": round(speedup, 3),
+    }
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "-C", REPO_ROOT, "rev-parse", "--short", "HEAD"],
+            check=True, capture_output=True, text=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trajectory(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("workload") != WORKLOAD:
+            raise SystemExit(
+                f"{path} tracks a different workload; move it aside to "
+                "start a new trajectory"
+            )
+        return doc
+    return {"schema": 1, "workload": WORKLOAD, "points": []}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--binary",
+        default=os.path.join(REPO_ROOT, "build", "examples", "sweep_cli"),
+        help="sweep_cli binary (default: build/examples/sweep_cli)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_ENGINE.json"),
+        help="trajectory file (default: BENCH_ENGINE.json at repo root)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5,
+        help="fresh-process runs per backend (default 5)",
+    )
+    parser.add_argument(
+        "--label", default="",
+        help="optional label stored with the recorded point",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the last recorded point instead of appending",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="--check: allowed fractional events/sec drop (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        raise SystemExit(f"binary not found: {args.binary} (build first)")
+    if args.runs < 1:
+        raise SystemExit("--runs must be >= 1")
+
+    print(f"measuring {args.runs}x2 fresh-process runs ...", file=sys.stderr)
+    point = measure(args.binary, args.runs)
+
+    cal = point["calendar"]
+    print(
+        f"calendar: best {cal['events_per_sec_best'] / 1e6:.2f}M, "
+        f"median {cal['events_per_sec_median'] / 1e6:.2f}M events/s | "
+        f"heap median {point['heap']['events_per_sec_median'] / 1e6:.2f}M | "
+        f"speedup {point['speedup_calendar_vs_heap']:.2f}x | "
+        f"rss {cal['peak_rss_bytes'] // (1024 * 1024)} MiB"
+    )
+
+    if args.check:
+        doc = load_trajectory(args.output)
+        if not doc["points"]:
+            raise SystemExit(f"{args.output} has no recorded points to check")
+        baseline = doc["points"][-1]
+        same_host = baseline.get("host") == platform.node()
+        if same_host:
+            base = baseline["calendar"]["events_per_sec_best"]
+            cur = cal["events_per_sec_best"]
+            what = "calendar events/sec (best of N, same host)"
+        else:
+            base = baseline["speedup_calendar_vs_heap"]
+            cur = point["speedup_calendar_vs_heap"]
+            what = (
+                "calendar-vs-heap speedup (different host than the "
+                "baseline; raw events/sec are not comparable)"
+            )
+        floor = (1.0 - args.tolerance) * base
+        print(
+            f"check: {what}\n"
+            f"  current {cur:.3g} vs baseline {base:.3g} "
+            f"(floor {floor:.3g}, baseline rev {baseline.get('git_rev', '?')})"
+        )
+        if cur < floor:
+            print(
+                f"REGRESSION: {what} dropped more than "
+                f"{args.tolerance:.0%} below the recorded baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print("ok: within tolerance")
+        return 0
+
+    doc = load_trajectory(args.output)
+    point["git_rev"] = git_rev()
+    point["host"] = platform.node()
+    point["date"] = datetime.date.today().isoformat()
+    if args.label:
+        point["label"] = args.label
+    doc["points"].append(point)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"recorded point {len(doc['points'])} -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
