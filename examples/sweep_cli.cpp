@@ -56,6 +56,16 @@
 //     --scheduler NAME          pending-event-set backend: calendar
 //                               (default) or heap; results are
 //                               bit-identical either way (docs/ENGINE.md)
+//     --shards N                intra-run parallel engine: partition the
+//                               torus into N node slabs advanced in
+//                               conservative windows (docs/PARALLEL.md).
+//                               N is part of the experiment identity
+//                               (like --seed); a fixed N is bit-identical
+//                               across thread counts, and N=1 is
+//                               bit-identical to the serial engine.  With
+//                               --shards, --jobs means worker threads
+//                               INSIDE each run and cells run one at a
+//                               time
 //     --perf                    append a machine-parseable PERF line
 //                               (events, wall, events/sec, peak RSS) for
 //                               tools/record_bench.py
@@ -121,6 +131,7 @@ struct Options {
   double sat_high = 10.0;
   double sat_low = 3.0;
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+  std::uint32_t shards = 0;
   bool perf = false;
 
   bool faulted() const { return mtbf > 0.0 || !fail_links.empty(); }
@@ -233,6 +244,12 @@ Options parse_options(int argc, char** argv) {
       } else {
         throw std::invalid_argument("--scheduler must be heap or calendar");
       }
+    } else if (flag == "--shards") {
+      opt.shards = static_cast<std::uint32_t>(
+          harness::parse_count(value(), "--shards"));
+      if (opt.shards == 0) {
+        throw std::invalid_argument("--shards must be >= 1");
+      }
     } else if (flag == "--perf") {
       opt.perf = true;
     } else if (flag == "--sat-high") {
@@ -287,24 +304,35 @@ int main(int argc, char** argv) {
                  "[--rho lo:hi:step] [--bcast-frac F]\n"
                  "                 [--length SPEC] [--warmup T] [--measure T] "
                  "[--seed N] [--reps N] [--jobs N] [--tails]\n"
+                 "                 [--mesh] [--batch K] [--hotspot FRAC:NODE]\n"
+                 "                 [--capacity N [--drop tail|pushout]]\n"
                  "                 [--metrics FILE.csv] [--trace FILE.jsonl]\n"
                  "                 [--mtbf T --mttr T] [--fail-links a,b,c]\n"
                  "                 [--retries N [--retry-timeout T] "
                  "[--retry-backoff B]]\n"
                  "                 [--overload off|throttle|shed "
                  "[--sat-high X] [--sat-low X]]\n"
-                 "                 [--scheduler heap|calendar] [--perf]\n";
+                 "                 [--scheduler heap|calendar] [--shards N] "
+                 "[--perf]\n";
     return 2;
   }
 
   harness::BatchConfig batch_config;
   batch_config.jobs = opt.jobs;
   batch_config.replications = opt.reps;
+  if (opt.shards > 0) {
+    // Sharded runs parallelize INSIDE each experiment; running cells
+    // concurrently on top would oversubscribe the cores, so the batch
+    // runner goes serial and --jobs feeds the per-run worker pool.
+    batch_config.jobs = 1;
+  }
   harness::BatchRunner runner(batch_config);
 
   std::cout << "sweep: " << opt.shape.to_string() << ", bcast-frac "
             << opt.broadcast_fraction << ", seed " << opt.seed << ", reps "
-            << opt.reps << ", jobs " << runner.jobs() << "\n\n";
+            << opt.reps << ", jobs " << runner.jobs();
+  if (opt.shards > 0) std::cout << ", shards " << opt.shards;
+  std::cout << "\n\n";
 
   std::vector<std::string> header{"rho", "scheme", "reception", "broadcast",
                                   "unicast", "util-max"};
@@ -359,6 +387,8 @@ int main(int argc, char** argv) {
       spec.overload.sat_high = opt.sat_high;
       spec.overload.sat_low = opt.sat_low;
       spec.scheduler = opt.scheduler;
+      spec.shards = opt.shards;
+      spec.shard_jobs = static_cast<unsigned>(opt.jobs);
       spec.collect_link_metrics = !opt.metrics_path.empty();
       cells.push_back(std::move(spec));
     }
@@ -482,6 +512,7 @@ int main(int argc, char** argv) {
       for (const auto& run : point.runs) total_events += run.events_processed;
     }
     std::cout << "PERF scheduler=" << sim::scheduler_name(opt.scheduler)
+              << " shards=" << opt.shards
               << " events=" << total_events
               << " wall_seconds=" << harness::fmt(batch.wall_seconds, 6)
               << " events_per_sec="

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file parallel_engine.hpp
+/// Sharded conservative-sync coordinator over per-shard network engines
+/// (docs/PARALLEL.md).
+///
+/// The torus is partitioned into S contiguous node slabs (sim::shard_slab).
+/// Each shard runs its own Simulator + Engine + Workload over the slab's
+/// nodes and the links ORIGINATING there, advancing in lock-step windows
+/// of width W = the minimum service time: a copy that starts service
+/// toward another shard inside window [t, t+W) cannot arrive before
+/// t + W, so one handoff exchange per window barrier preserves the exact
+/// event-time order a serial run would produce at every receiver.
+///
+/// Determinism contract (docs/PARALLEL.md §5): results depend on
+/// (spec, seed, shard count) and on NOTHING else.  Shards are
+/// single-threaded, all cross-shard interaction happens at barriers in
+/// fixed shard order, and per-shard rngs are keyed by shard index -- so a
+/// fixed shard count is bit-identical across worker-thread counts, and
+/// S == 1 (one shard, no hook attached) is bit-identical to the serial
+/// engine.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "pstar/core/scheme.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/sim/parallel.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::routing {
+class CombinedPolicy;
+}  // namespace pstar::routing
+
+namespace pstar::core {
+
+/// Coordinator knobs.  Window width, budgets, and seeds; the per-shard
+/// engine/traffic parameters ride in on the config templates passed to
+/// the constructor.
+struct ParallelConfig {
+  /// Number of shards (>= 1).  Part of the experiment's identity: S > 1
+  /// reshards the arrival streams, so results are deterministic per S but
+  /// differ across S (exactly like the seed).
+  std::uint32_t shards = 1;
+
+  /// Worker threads executing shard windows (0 = min(shards, hardware)).
+  /// NEVER affects results -- only wall-clock speed.
+  unsigned jobs = 0;
+
+  /// Base seed.  Shard s draws from seed_stream(seed, kShardSeedStream, s)
+  /// when shards > 1; a single shard uses the seed directly so S == 1
+  /// reproduces the serial rng stream bit for bit.
+  std::uint64_t seed = 1;
+
+  /// Conservative window width: the minimum service time of the run's
+  /// length distribution (traffic::LengthDist::min(), >= 1).  A handoff
+  /// announced when service begins arrives >= one window later, so
+  /// exchanging at barriers never delivers into a shard's past.
+  double window = 1.0;
+
+  /// Global event budget, checked at window barriers (exact for S == 1;
+  /// a multi-shard round may overshoot by up to one window's events).
+  std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+
+  /// Global instability guard over the summed in-flight copies of all
+  /// shards, checked at barriers.  Each shard additionally carries the
+  /// engine's own per-shard guard from its EngineConfig.
+  std::uint64_t max_inflight = 2'000'000;
+};
+
+/// Owns S shards (Simulator, Rng, RoutingPolicy, Engine, Workload) and
+/// runs them to completion in barrier-synchronized windows.
+///
+/// The harness wires measurement callbacks (begin/end_measurement,
+/// registry windows, per-shard observers) through the shard accessors
+/// before calling run(), exactly as it would for a serial run; run()
+/// then starts every workload and loops windows until all shards drain.
+class ParallelEngine {
+ public:
+  /// Builds the shards.  `torus` and `scheme` must outlive the engine.
+  /// `engine_cfg` / `traffic_cfg` are per-shard templates: the
+  /// coordinator overwrites their node_lo/node_hi slabs per shard, and
+  /// each shard's engine filters the (shared-seed) fault schedule to its
+  /// owned links.  lambda_b / lambda_r feed per-shard policy balancing.
+  ParallelEngine(const topo::Torus& torus, const Scheme& scheme,
+                 double lambda_b, double lambda_r,
+                 const net::EngineConfig& engine_cfg,
+                 const traffic::WorkloadConfig& traffic_cfg,
+                 const ParallelConfig& cfg);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  std::uint32_t shards() const { return static_cast<std::uint32_t>(shards_.size()); }
+  /// Worker threads the window loop will use (including the caller).
+  unsigned jobs() const;
+
+  sim::Simulator& simulator(std::uint32_t shard);
+  net::Engine& engine(std::uint32_t shard);
+  traffic::Workload& workload(std::uint32_t shard);
+  sim::Rng& rng(std::uint32_t shard);
+  routing::CombinedPolicy& policy(std::uint32_t shard);
+
+  /// Starts every shard's workload and runs barrier windows until every
+  /// shard drains (kDrained), the global event budget trips
+  /// (kEventLimit), or any shard aborts / the global in-flight guard
+  /// trips (kStopped).  Call at most once.
+  sim::StopReason run();
+
+  /// Events executed across all shards so far.
+  std::uint64_t events_executed() const;
+  /// Latest shard clock (the run's end time).
+  double now() const;
+  /// True once any shard's run was aborted as unstable.
+  bool unstable() const;
+  /// Windows executed by run() (diagnostic; includes jumped-to windows).
+  std::uint64_t rounds() const { return rounds_; }
+
+  /// Merges every shard's metrics in shard order (net::Metrics::merge_from;
+  /// per-link vectors concatenate back into global link indexing).
+  net::Metrics merged_metrics() const;
+
+ private:
+  struct Shard;
+
+  void exchange_handoffs();
+  void apply_progress();
+  void release_finished();
+  void abort_all();
+
+  const topo::Torus& torus_;
+  ParallelConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<sim::WorkerPool> pool_;
+  std::uint64_t rounds_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pstar::core

@@ -1,0 +1,485 @@
+#include "pstar/core/parallel_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/net/shard_hook.hpp"
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::core {
+
+namespace {
+
+/// Cross-shard task identity: (owner shard, per-owner serial).  Serials
+/// are assigned at a task's FIRST boundary handoff and retired when the
+/// owner finishes it, so unlike TaskIds they are never recycled while a
+/// remote shard still references them.
+constexpr unsigned kKeySerialBits = 40;
+
+std::uint64_t make_key(std::uint32_t owner, std::uint64_t serial) {
+  assert(serial < (std::uint64_t{1} << kKeySerialBits));
+  return (static_cast<std::uint64_t>(owner) << kKeySerialBits) | serial;
+}
+
+std::uint32_t key_owner(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> kKeySerialBits);
+}
+
+/// One boundary crossing, announced when the copy's service began and
+/// delivered to the destination shard at the next barrier.  `arrival`
+/// (= service start + length) is >= the barrier time by the lookahead
+/// argument, so the receiver schedules it as an ordinary future event.
+struct HandoffMsg {
+  double arrival = 0.0;
+  std::uint32_t src_shard = 0;
+  std::uint64_t seq = 0;  ///< per-source announcement order (tie-break)
+  std::uint64_t key = 0;
+  topo::NodeId dest = 0;
+  std::uint32_t hops = 0;
+  net::Copy copy;   ///< routing state; task id rewritten at the receiver
+  net::Task meta;   ///< owner metadata snapshot for proxy creation
+};
+
+/// One window of remotely recorded progress for one owned task,
+/// aggregated per (reporting shard, key).
+struct ProgressRec {
+  std::uint64_t key = 0;
+  std::uint64_t receptions = 0;
+  std::uint64_t orphaned = 0;
+  double last_time = 0.0;
+  bool unicast_done = false;
+};
+
+}  // namespace
+
+/// Per-shard ShardHook adapter: buffers the engine's boundary events into
+/// outboxes the coordinator drains at barriers, and maps cross-shard task
+/// keys to local task/proxy slots.  All mutation happens either on the
+/// thread running the shard's window or on the coordinator thread between
+/// windows -- never both at once.
+class ShardAdapter final : public net::ShardHook {
+ public:
+  ShardAdapter(std::uint32_t shard, topo::NodeId lo, topo::NodeId hi)
+      : shard_(shard), lo_(lo), hi_(hi) {}
+
+  bool remote_node(topo::NodeId node) const override {
+    return node < lo_ || node >= hi_;
+  }
+
+  void on_handoff(const net::Copy& copy, net::TaskId local_task,
+                  const net::Task& task, topo::NodeId dest, double arrival,
+                  std::uint32_t hops) override {
+    HandoffMsg m;
+    m.arrival = arrival;
+    m.src_shard = shard_;
+    m.seq = next_seq_++;
+    m.key = task.proxy ? key_of_proxy_.at(local_task)
+                       : owned_key(local_task, task);
+    m.dest = dest;
+    m.hops = hops;
+    m.copy = copy;
+    m.meta = task;
+    handoffs_.push_back(m);
+  }
+
+  void on_proxy_reception(net::TaskId proxy, double time) override {
+    ProgressRec& rec = progress_record(key_of_proxy_.at(proxy));
+    ++rec.receptions;
+    rec.last_time = std::max(rec.last_time, time);
+  }
+
+  void on_proxy_loss(net::TaskId proxy, std::uint64_t orphaned) override {
+    progress_record(key_of_proxy_.at(proxy)).orphaned += orphaned;
+  }
+
+  void on_proxy_unicast_done(net::TaskId proxy) override {
+    progress_record(key_of_proxy_.at(proxy)).unicast_done = true;
+  }
+
+  void on_owned_finished(net::TaskId id, const net::Task& task) override {
+    // Only tasks that ever handed off have a key; match on creation time
+    // so a recycled slot's new incarnation is never mistaken for the old
+    // one (a slot cannot be reused at the same creation instant: service
+    // takes >= 1 time unit).
+    auto it = owned_.find(id);
+    if (it == owned_.end() || it->second.created != task.created) return;
+    finished_.push_back(it->second.key);
+    owned_by_key_.erase(it->second.key);
+    owned_.erase(it);
+  }
+
+  // --- Coordinator side (between windows). ---
+
+  std::vector<HandoffMsg>& handoffs() { return handoffs_; }
+  std::vector<ProgressRec>& progress() { return progress_; }
+  std::vector<std::uint64_t>& finished() { return finished_; }
+
+  void clear_progress() {
+    progress_.clear();
+    progress_index_.clear();
+  }
+
+  /// Owned slot of `key`, or the invalid sentinel when already retired.
+  net::TaskId owned_slot(std::uint64_t key) const {
+    auto it = owned_by_key_.find(key);
+    return it == owned_by_key_.end() ? kNoTask : it->second;
+  }
+
+  /// Local proxy of `key`, or the invalid sentinel when none exists.
+  net::TaskId proxy_slot(std::uint64_t key) const {
+    auto it = proxy_by_key_.find(key);
+    return it == proxy_by_key_.end() ? kNoTask : it->second;
+  }
+
+  void add_proxy(std::uint64_t key, net::TaskId proxy) {
+    proxy_by_key_.emplace(key, proxy);
+    key_of_proxy_.emplace(proxy, key);
+  }
+
+  void drop_proxy(std::uint64_t key, net::TaskId proxy) {
+    proxy_by_key_.erase(key);
+    key_of_proxy_.erase(proxy);
+  }
+
+  static constexpr net::TaskId kNoTask =
+      std::numeric_limits<net::TaskId>::max();
+
+ private:
+  struct OwnedEntry {
+    double created = 0.0;
+    std::uint64_t key = 0;
+  };
+
+  std::uint64_t owned_key(net::TaskId id, const net::Task& task) {
+    auto it = owned_.find(id);
+    if (it != owned_.end() && it->second.created == task.created) {
+      return it->second.key;
+    }
+    const std::uint64_t key = make_key(shard_, next_serial_++);
+    owned_[id] = OwnedEntry{task.created, key};
+    owned_by_key_[key] = id;
+    return key;
+  }
+
+  ProgressRec& progress_record(std::uint64_t key) {
+    auto it = progress_index_.find(key);
+    if (it != progress_index_.end()) return progress_[it->second];
+    progress_index_.emplace(key, progress_.size());
+    progress_.emplace_back();
+    progress_.back().key = key;
+    return progress_.back();
+  }
+
+  std::uint32_t shard_;
+  topo::NodeId lo_;
+  topo::NodeId hi_;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_serial_ = 0;
+
+  // Window outboxes, drained by the coordinator at each barrier.  The
+  // progress vector keeps first-touch order (deterministic given the
+  // shard's deterministic window), with a key index alongside.
+  std::vector<HandoffMsg> handoffs_;
+  std::vector<ProgressRec> progress_;
+  std::unordered_map<std::uint64_t, std::size_t> progress_index_;
+  std::vector<std::uint64_t> finished_;
+
+  // Owner-side identity of local tasks that handed off at least once.
+  std::unordered_map<net::TaskId, OwnedEntry> owned_;
+  std::unordered_map<std::uint64_t, net::TaskId> owned_by_key_;
+
+  // Proxy-side identity of remote tasks materialized locally.
+  std::unordered_map<std::uint64_t, net::TaskId> proxy_by_key_;
+  std::unordered_map<net::TaskId, std::uint64_t> key_of_proxy_;
+};
+
+struct ParallelEngine::Shard {
+  sim::Simulator sim;
+  sim::Rng rng;
+  std::unique_ptr<routing::CombinedPolicy> policy;
+  std::unique_ptr<net::Engine> engine;
+  std::unique_ptr<ShardAdapter> adapter;
+  std::unique_ptr<traffic::Workload> workload;
+  sim::StopReason round_reason = sim::StopReason::kDrained;
+
+  Shard(sim::SchedulerKind scheduler, std::uint64_t seed)
+      : sim(scheduler), rng(seed) {}
+};
+
+ParallelEngine::ParallelEngine(const topo::Torus& torus, const Scheme& scheme,
+                               double lambda_b, double lambda_r,
+                               const net::EngineConfig& engine_cfg,
+                               const traffic::WorkloadConfig& traffic_cfg,
+                               const ParallelConfig& cfg)
+    : torus_(torus), cfg_(cfg) {
+  if (cfg_.shards < 1) {
+    throw std::invalid_argument("ParallelEngine: shards must be >= 1");
+  }
+  if (!(cfg_.window >= 1.0)) {
+    throw std::invalid_argument("ParallelEngine: window must be >= 1");
+  }
+  const auto n = static_cast<std::uint64_t>(torus.node_count());
+  if (cfg_.shards > n) {
+    throw std::invalid_argument("ParallelEngine: more shards than nodes");
+  }
+  shards_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    // One shard keeps the base seed so S == 1 reproduces the serial rng
+    // stream; S > 1 derives per-shard streams keyed by shard index.
+    const std::uint64_t seed =
+        cfg_.shards == 1 ? cfg_.seed
+                         : sim::seed_stream(cfg_.seed, sim::kShardSeedStream, s);
+    auto shard = std::make_unique<Shard>(engine_cfg.scheduler, seed);
+    const sim::ShardRange slab = sim::shard_slab(n, cfg_.shards, s);
+    shard->policy = make_policy(torus, scheme, lambda_b, lambda_r);
+
+    net::EngineConfig ec = engine_cfg;
+    ec.node_lo = static_cast<topo::NodeId>(slab.lo);
+    ec.node_hi = static_cast<topo::NodeId>(slab.hi);
+    shard->engine = std::make_unique<net::Engine>(shard->sim, torus,
+                                                  *shard->policy, shard->rng,
+                                                  ec);
+    if (cfg_.shards > 1) {
+      shard->adapter = std::make_unique<ShardAdapter>(
+          s, ec.node_lo, ec.node_hi);
+      shard->engine->set_shard_hook(shard->adapter.get());
+    }
+
+    traffic::WorkloadConfig tc = traffic_cfg;
+    tc.node_lo = ec.node_lo;
+    tc.node_hi = ec.node_hi;
+    shard->workload = std::make_unique<traffic::Workload>(
+        shard->sim, *shard->engine, shard->rng, tc);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+unsigned ParallelEngine::jobs() const {
+  unsigned j = cfg_.jobs;
+  if (j == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    j = std::min<unsigned>(hw, shards());
+  }
+  return std::min<unsigned>(std::max(1u, j), shards());
+}
+
+sim::Simulator& ParallelEngine::simulator(std::uint32_t shard) {
+  return shards_.at(shard)->sim;
+}
+net::Engine& ParallelEngine::engine(std::uint32_t shard) {
+  return *shards_.at(shard)->engine;
+}
+traffic::Workload& ParallelEngine::workload(std::uint32_t shard) {
+  return *shards_.at(shard)->workload;
+}
+sim::Rng& ParallelEngine::rng(std::uint32_t shard) {
+  return shards_.at(shard)->rng;
+}
+routing::CombinedPolicy& ParallelEngine::policy(std::uint32_t shard) {
+  return *shards_.at(shard)->policy;
+}
+
+std::uint64_t ParallelEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim.events_executed();
+  return total;
+}
+
+double ParallelEngine::now() const {
+  double t = 0.0;
+  for (const auto& s : shards_) t = std::max(t, s->sim.now());
+  return t;
+}
+
+bool ParallelEngine::unstable() const {
+  for (const auto& s : shards_) {
+    if (s->engine->unstable()) return true;
+  }
+  return false;
+}
+
+void ParallelEngine::abort_all() {
+  // Flush every shard's measurement window so the partial run stays
+  // analyzable (mirrors Engine::abort_unstable for the tripping shard).
+  for (const auto& s : shards_) s->engine->abort_run();
+}
+
+sim::StopReason ParallelEngine::run() {
+  assert(!ran_);
+  ran_ = true;
+  for (const auto& s : shards_) s->workload->start();
+  // The pool is created at run() so a never-run engine spawns no threads.
+  pool_ = std::make_unique<sim::WorkerPool>(jobs() - 1);
+
+  const double w = cfg_.window;
+  for (;;) {
+    // Earliest pending event anywhere (handoffs exchanged at the last
+    // barrier are already scheduled in their receivers' queues).
+    double tmin = std::numeric_limits<double>::infinity();
+    for (const auto& s : shards_) {
+      tmin = std::min(tmin, s->sim.next_event_time());
+    }
+    if (tmin == std::numeric_limits<double>::infinity()) {
+      return sim::StopReason::kDrained;
+    }
+    const std::uint64_t executed = events_executed();
+    if (executed >= cfg_.max_events) {
+      // No abort here: the serial engine leaves its state as-is when the
+      // budget trips (the caller classifies the run unstable), and the
+      // single-shard path must reproduce that bit for bit.
+      return sim::StopReason::kEventLimit;
+    }
+    const std::uint64_t budget = cfg_.max_events - executed;
+
+    // Window [start, start + w) on the fixed w-grid containing tmin.
+    // Aligning to the grid (instead of starting at tmin) keeps the
+    // window sequence a pure function of event content, and snapping to
+    // the grid cell of tmin jumps idle stretches -- e.g. the gap to the
+    // drain phase's last timer -- in one round.
+    const double start = std::floor(tmin / w) * w;
+    const double end = start + w;
+    ++rounds_;
+    pool_->run(shards_.size(), [&](std::size_t i) {
+      Shard& s = *shards_[i];
+      s.round_reason = s.sim.run_until(end, budget);
+    });
+
+    for (const auto& s : shards_) {
+      if (s->round_reason == sim::StopReason::kStopped) {
+        abort_all();
+        return sim::StopReason::kStopped;
+      }
+    }
+
+    if (shards_.size() > 1) {
+      exchange_handoffs();
+      apply_progress();
+      release_finished();
+
+      std::uint64_t inflight = 0;
+      for (const auto& s : shards_) inflight += s->engine->inflight_copies();
+      if (inflight > cfg_.max_inflight) {
+        abort_all();
+        return sim::StopReason::kStopped;
+      }
+    }
+  }
+}
+
+void ParallelEngine::exchange_handoffs() {
+  // Collect and order all boundary crossings announced this window.  The
+  // (arrival, source shard, announcement seq) order is a pure function
+  // of shard state, so receiver event-queue tie-breaking -- insertion
+  // order at equal times -- is identical across worker counts.
+  std::vector<HandoffMsg> all;
+  for (const auto& s : shards_) {
+    auto& out = s->adapter->handoffs();
+    all.insert(all.end(), out.begin(), out.end());
+    out.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const HandoffMsg& a, const HandoffMsg& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+              return a.seq < b.seq;
+            });
+  const auto n = static_cast<std::uint64_t>(torus_.node_count());
+  // Deliveries are collected per receiver and scheduled with one
+  // at_batch per shard: at a barrier each receiver's queue already holds
+  // the next window's pending service completions -- tens of thousands
+  // at 64^3 -- and they share a calendar day with every handoff (window
+  // width == bucket width), so per-event at() pays an O(pending) sorted
+  // insert.  Per-receiver subsequences of the global order stay sorted,
+  // and per-sim seq assignment in batch order matches element-wise
+  // at() exactly, so this is a pure cost change.
+  std::vector<std::vector<sim::TimedEvent>> deliveries(shards_.size());
+  for (const HandoffMsg& m : all) {
+    const std::uint32_t dst = sim::shard_of(
+        n, static_cast<std::uint32_t>(shards_.size()),
+        static_cast<std::uint64_t>(m.dest));
+    Shard& d = *shards_[dst];
+    net::TaskId local;
+    if (key_owner(m.key) == dst) {
+      // The copy crossed back into its owner's slab (rings wrap): deliver
+      // straight into the real task, no proxy.
+      local = d.adapter->owned_slot(m.key);
+      assert(local != ShardAdapter::kNoTask);
+      if (local == ShardAdapter::kNoTask) continue;
+    } else {
+      local = d.adapter->proxy_slot(m.key);
+      if (local == ShardAdapter::kNoTask) {
+        local = d.engine->create_proxy(m.meta);
+        d.adapter->add_proxy(m.key, local);
+      }
+    }
+    net::Copy copy = m.copy;
+    copy.task = local;
+    // arrival >= the barrier time >= the receiver's clock (lookahead), so
+    // this is an ordinary future event in the receiver's own queue.
+    deliveries[dst].push_back(sim::TimedEvent{
+        m.arrival, [engine = d.engine.get(), dest = m.dest, copy,
+                    hops = m.hops](sim::Simulator&) {
+          engine->deliver_remote(dest, copy, hops);
+        }});
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->sim.at_batch(std::move(deliveries[i]));
+  }
+}
+
+void ParallelEngine::apply_progress() {
+  // Owner-side application, in (reporting shard, first-touch) order --
+  // deterministic because each shard's window is.  A task can never
+  // over-resolve (planned receptions are exact), so applying reports one
+  // by one finishes the owner at precisely the last outstanding one.
+  for (const auto& s : shards_) {
+    for (const ProgressRec& rec : s->adapter->progress()) {
+      Shard& owner = *shards_[key_owner(rec.key)];
+      const net::TaskId id = owner.adapter->owned_slot(rec.key);
+      assert(id != ShardAdapter::kNoTask);
+      if (id == ShardAdapter::kNoTask) continue;
+      if (rec.unicast_done) {
+        owner.engine->finish_owned_unicast(id);
+      }
+      if (rec.receptions > 0 || rec.orphaned > 0) {
+        owner.engine->apply_remote_progress(id, rec.receptions, rec.orphaned,
+                                            rec.last_time);
+      }
+    }
+    s->adapter->clear_progress();
+  }
+}
+
+void ParallelEngine::release_finished() {
+  // By finish time every planned reception has resolved, so no proxy of
+  // the task can still be referenced by an in-flight copy or a pending
+  // arrival: releasing at this barrier is safe.
+  for (const auto& s : shards_) {
+    for (const std::uint64_t key : s->adapter->finished()) {
+      for (const auto& d : shards_) {
+        if (d.get() == s.get()) continue;
+        const net::TaskId proxy = d->adapter->proxy_slot(key);
+        if (proxy == ShardAdapter::kNoTask) continue;
+        d->engine->release_proxy(proxy);
+        d->adapter->drop_proxy(key, proxy);
+      }
+    }
+    s->adapter->finished().clear();
+  }
+}
+
+net::Metrics ParallelEngine::merged_metrics() const {
+  net::Metrics merged;
+  for (const auto& s : shards_) merged.merge_from(s->engine->metrics());
+  return merged;
+}
+
+}  // namespace pstar::core

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "pstar/core/parallel_engine.hpp"
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/harness/perf.hpp"
 #include "pstar/obs/probe.hpp"
@@ -16,53 +17,51 @@
 
 namespace pstar::harness {
 
-ExperimentResult run_experiment(const ExperimentSpec& spec) {
-  const auto wall_start = std::chrono::steady_clock::now();
+namespace {
+
+void validate_windows(const ExperimentSpec& spec) {
   if (spec.warmup < 0.0 || spec.measure <= 0.0) {
     throw std::invalid_argument("run_experiment: bad time windows");
   }
-  const topo::Torus torus =
-      spec.mesh ? topo::Torus::mesh(spec.shape)
-                : topo::Torus(spec.shape, spec.wraparound);
-  sim::Rng rng(spec.seed);
+}
 
+/// Converts the target throughput factor into per-node packet rates.  A
+/// task of mean length E[L] occupies links E[L] times longer, so rates
+/// shrink by that factor to keep the load at rho.  Multicast load is
+/// carved out of the unicast share separately once the expected
+/// pruned-tree size is known (see estimate_lambda_m).
+queueing::Rates derive_rates(const topo::Torus& torus,
+                             const ExperimentSpec& spec, double mean_len) {
   if (spec.broadcast_fraction + spec.multicast_fraction > 1.0 + 1e-12) {
     throw std::invalid_argument("run_experiment: traffic fractions exceed 1");
   }
-  // Convert the target throughput factor into per-node packet rates.  A
-  // task of mean length E[L] occupies links E[L] times longer, so rates
-  // shrink by that factor to keep the load at rho.  Multicast load is
-  // carved out of the unicast share below once the expected pruned-tree
-  // size is known.
   const double unicast_fraction = std::max(
       0.0, 1.0 - spec.broadcast_fraction - spec.multicast_fraction);
   const double bu = spec.broadcast_fraction + unicast_fraction;
   queueing::Rates rates = queueing::rates_for_rho(
       torus, spec.rho * bu,
       bu > 0.0 ? std::min(1.0, spec.broadcast_fraction / bu) : 0.0);
-  const double mean_len = spec.length.mean();
   rates.lambda_b /= mean_len;
   rates.lambda_r /= mean_len;
+  return rates;
+}
 
-  auto policy =
-      core::make_policy(torus, spec.scheme, rates.lambda_b, rates.lambda_r);
+/// Multicast rate: lambda_m * E[T(group)] * N / L == multicast share of
+/// rho, with E[T] estimated from the policy's own pruned trees.  Draws
+/// only from a dedicated estimation rng, never from the run rng.
+double estimate_lambda_m(const ExperimentSpec& spec,
+                         routing::CombinedPolicy& policy,
+                         const topo::Torus& torus, double mean_len) {
+  if (spec.multicast_fraction <= 0.0) return 0.0;
+  sim::Rng estimate_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  const double expected_tx = policy.multicast()->expected_transmissions(
+      spec.multicast_group, 400, estimate_rng);
+  if (expected_tx <= 0.0) return 0.0;
+  return spec.multicast_fraction * spec.rho * torus.average_degree() /
+         expected_tx / mean_len;
+}
 
-  // Multicast rate: lambda_m * E[T(group)] * N / L == multicast share of
-  // rho, with E[T] estimated from the policy's own pruned trees.
-  double lambda_m = 0.0;
-  if (spec.multicast_fraction > 0.0) {
-    sim::Rng estimate_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
-    const double expected_tx = policy->multicast()->expected_transmissions(
-        spec.multicast_group, 400, estimate_rng);
-    if (expected_tx > 0.0) {
-      lambda_m = spec.multicast_fraction * spec.rho * torus.average_degree() /
-                 expected_tx / mean_len;
-    }
-  }
-  const routing::StarProbabilities probs =
-      spec.scheme.probabilities(torus, rates.lambda_b, rates.lambda_r);
-
-  sim::Simulator sim(spec.scheduler);
+net::EngineConfig build_engine_config(const ExperimentSpec& spec) {
   net::EngineConfig engine_cfg;
   engine_cfg.scheduler = spec.scheduler;
   engine_cfg.max_inflight_copies = spec.max_inflight;
@@ -73,7 +72,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     // The fault seed is seed-stream-derived from the cell seed (the same
     // rule BatchRunner uses for cell seeds), so faulted sweeps are
     // bit-identical across thread counts, and new random failures stop
-    // at generation stop time so the drain phase terminates.
+    // at generation stop time so the drain phase terminates.  In a
+    // sharded run every shard derives the SAME schedule from this seed
+    // and keeps only the entries touching its owned links, so the global
+    // fault pattern is independent of the shard count.
     engine_cfg.faults.mtbf = spec.fault_mtbf;
     engine_cfg.faults.mttr = spec.fault_mttr;
     engine_cfg.faults.horizon = spec.warmup + spec.measure;
@@ -85,24 +87,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
           link, 0.0, std::numeric_limits<double>::infinity()});
     }
   }
-  net::Engine engine(sim, torus, *policy, rng, engine_cfg);
+  return engine_cfg;
+}
 
-  // End-to-end recovery (docs/FAULTS.md §7): attaches to the engine's
-  // RecoveryHook seam.  Its randomness comes from a dedicated seed stream
-  // and its timers are armed lazily at the first loss, so a fault-free
-  // run with recovery enabled is bit-identical to max_retries = 0.
-  std::unique_ptr<recovery::RecoveryManager> recovery_mgr;
-  if (spec.max_retries > 0) {
-    recovery::RecoveryConfig rc;
-    rc.max_retries = spec.max_retries;
-    rc.timeout = spec.retry_timeout;
-    rc.backoff = spec.retry_backoff;
-    rc.jitter = spec.retry_jitter;
-    rc.seed = sim::seed_stream(spec.seed, recovery::kRecoverySeedStream, 0);
-    recovery_mgr = std::make_unique<recovery::RecoveryManager>(
-        engine, policy->broadcast(), policy->unicast(), rc);
-  }
-
+traffic::WorkloadConfig build_traffic_config(const ExperimentSpec& spec,
+                                             const queueing::Rates& rates,
+                                             double lambda_m) {
   traffic::WorkloadConfig traffic_cfg;
   traffic_cfg.lambda_broadcast = rates.lambda_b;
   traffic_cfg.lambda_unicast = rates.lambda_r;
@@ -113,52 +103,21 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   traffic_cfg.hotspot_fraction = spec.hotspot_fraction;
   traffic_cfg.hotspot_node = spec.hotspot_node;
   traffic_cfg.batch_size = spec.batch_size;
-  traffic::Workload workload(sim, engine, rng, traffic_cfg);
+  return traffic_cfg;
+}
 
-  // Overload control (docs/OVERLOAD.md): attaches to the workload's
-  // AdmissionGate seam and (kShed mode) the engine's OverloadHook seam.
-  // Its randomness comes from a dedicated seed stream and its only
-  // standing event is the periodic backlog sampler, which draws nothing,
-  // so a run that never saturates behaves identically to mode kOff
-  // except for the sampler events themselves.
-  std::unique_ptr<overload::OverloadController> overload_ctl;
-  if (spec.overload.enabled()) {
-    overload::OverloadConfig oc = spec.overload;
-    oc.seed = sim::seed_stream(spec.seed, overload::kOverloadSeedStream, 0);
-    oc.horizon = traffic_cfg.stop_time;
-    overload_ctl =
-        std::make_unique<overload::OverloadController>(engine, workload, oc);
-    overload_ctl->start();
-  }
-
-  // Optional observability: a metrics registry and/or trace sink bridged
-  // through one EngineProbe (the engine accepts a single observer).  The
-  // registry's window tracks the engine's measurement window exactly.
-  std::unique_ptr<obs::MetricsRegistry> registry;
-  if (spec.collect_link_metrics) {
-    registry = std::make_unique<obs::MetricsRegistry>(torus);
-  }
-  obs::EngineProbe probe(registry.get(), spec.trace_sink);
-  if (registry || spec.trace_sink) engine.set_observer(&probe);
-
-  sim.at(spec.warmup, [&engine](sim::Simulator&) { engine.begin_measurement(); });
-  sim.at(traffic_cfg.stop_time,
-         [&engine](sim::Simulator&) { engine.end_measurement(); });
-  if (registry) {
-    obs::MetricsRegistry* reg = registry.get();
-    sim.at(spec.warmup,
-           [reg](sim::Simulator& s) { reg->begin_window(s.now()); });
-    sim.at(traffic_cfg.stop_time,
-           [reg](sim::Simulator& s) { reg->end_window(s.now()); });
-  }
-  workload.start();
-
-  const sim::StopReason reason = sim.run(
-      std::numeric_limits<double>::infinity(), spec.max_events);
-
-  const net::Metrics& m = engine.metrics();
+/// Shared Metrics -> ExperimentResult extraction: a pure function of the
+/// (possibly shard-merged) metrics and run bookkeeping.  Recovery /
+/// overload / registry extras and host-speed fields are filled by the
+/// caller.
+ExperimentResult extract_result(const net::Metrics& m,
+                                const topo::Torus& torus,
+                                const routing::StarProbabilities& probs,
+                                sim::StopReason reason, bool engine_unstable,
+                                double sim_end_time,
+                                std::uint64_t events_processed) {
   ExperimentResult r;
-  r.unstable = engine.unstable() || reason == sim::StopReason::kEventLimit ||
+  r.unstable = engine_unstable || reason == sim::StopReason::kEventLimit ||
                reason == sim::StopReason::kStopped;
   r.stop_reason = reason;
   r.balanced_feasible = probs.feasible;
@@ -235,13 +194,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   r.fault_drops = m.fault_drops;
   r.mean_downtime_fraction = m.mean_downtime_fraction();
   r.downtime_weighted_utilization = m.downtime_weighted_utilization();
-  if (recovery_mgr) {
-    const recovery::RecoveryStats& rs = recovery_mgr->stats();
-    r.retransmissions = rs.retransmissions();
-    r.receptions_recovered = rs.receptions_recovered;
-    r.tasks_recovered = rs.tasks_recovered;
-    r.retries_exhausted = rs.tasks_exhausted;
-  }
   for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
     r.shed_by_class[c] = m.shed_copies_by_class[c];
     r.shed_copies += m.shed_copies_by_class[c];
@@ -251,14 +203,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       static_cast<double>(m.transmissions + r.drops);
   if (offered_copies > 0.0) {
     r.shed_fraction = static_cast<double>(r.shed_copies) / offered_copies;
-  }
-  if (overload_ctl) {
-    const overload::OverloadStats& os = overload_ctl->stats();
-    r.sat_transitions = os.sat_transitions;
-    r.time_in_saturation = overload_ctl->time_in_saturation_until(sim.now());
-    r.tasks_throttled = os.tasks_throttled;
-    r.tasks_released = os.tasks_released;
-    r.admission_delay_mean = os.admission_delay.mean();
   }
   r.goodput = m.mean_utilization();
   const std::uint64_t high_tx = m.transmissions_by_class[0];
@@ -272,15 +216,308 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     r.delivered_fraction =
         delivered / (delivered + static_cast<double>(m.lost_receptions));
   }
+  r.measured_broadcasts = m.broadcast_delay.count();
+  r.measured_unicasts = m.unicast_delay.count();
+  r.transmissions = m.transmissions;
+  r.sim_end_time = sim_end_time;
+  r.events_processed = events_processed;
+  return r;
+}
+
+/// Sharded run (spec.shards >= 1): same setup pipeline as the serial
+/// path, but the Simulator/Engine/Workload triple is instantiated per
+/// shard by core::ParallelEngine and advanced in conservative windows
+/// (docs/PARALLEL.md).  shards == 1 reproduces the serial run bit for
+/// bit: one shard owning the whole torus, no shard hook, the base seed.
+ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  validate_windows(spec);
+  if (spec.shards > 1) {
+    // Each of these samples or mutates GLOBAL state mid-run (multicast
+    // plans span shards, the overload detector averages every link, the
+    // recovery layer re-floods across boundaries, trace sinks are
+    // single-threaded, hotspots concentrate sources in one slab); a
+    // sharded run cannot reproduce them faithfully, so they are rejected
+    // rather than silently approximated (docs/PARALLEL.md).
+    if (spec.multicast_fraction > 0.0) {
+      throw std::invalid_argument(
+          "run_experiment: multicast traffic requires shards <= 1");
+    }
+    if (spec.max_retries > 0) {
+      throw std::invalid_argument(
+          "run_experiment: the recovery layer requires shards <= 1");
+    }
+    if (spec.overload.enabled()) {
+      throw std::invalid_argument(
+          "run_experiment: overload control requires shards <= 1");
+    }
+    if (spec.trace_sink != nullptr) {
+      throw std::invalid_argument(
+          "run_experiment: trace sinks require shards <= 1");
+    }
+    if (spec.hotspot_fraction > 0.0) {
+      throw std::invalid_argument(
+          "run_experiment: hotspot skew requires shards <= 1");
+    }
+  }
+  const topo::Torus torus =
+      spec.mesh ? topo::Torus::mesh(spec.shape)
+                : topo::Torus(spec.shape, spec.wraparound);
+  const double mean_len = spec.length.mean();
+  const queueing::Rates rates = derive_rates(torus, spec, mean_len);
+  double lambda_m = 0.0;
+  if (spec.multicast_fraction > 0.0) {
+    // Estimation-only policy instance; construction is deterministic and
+    // the estimate draws from a dedicated rng, so this matches the
+    // serial path exactly.
+    auto estimate_policy = core::make_policy(torus, spec.scheme,
+                                             rates.lambda_b, rates.lambda_r);
+    lambda_m = estimate_lambda_m(spec, *estimate_policy, torus, mean_len);
+  }
+  const routing::StarProbabilities probs =
+      spec.scheme.probabilities(torus, rates.lambda_b, rates.lambda_r);
+
+  core::ParallelConfig pc;
+  pc.shards = spec.shards;
+  pc.jobs = spec.shard_jobs;
+  pc.seed = spec.seed;
+  pc.window = static_cast<double>(spec.length.min());
+  pc.max_events = spec.max_events;
+  pc.max_inflight = spec.max_inflight;
+  core::ParallelEngine par(torus, spec.scheme, rates.lambda_b, rates.lambda_r,
+                           build_engine_config(spec),
+                           build_traffic_config(spec, rates, lambda_m), pc);
+
+  // Single-shard-only subsystems (rejected above at shards > 1), attached
+  // in the serial path's order so shards == 1 stays bit-identical.
+  std::unique_ptr<recovery::RecoveryManager> recovery_mgr;
+  if (spec.max_retries > 0) {
+    recovery::RecoveryConfig rc;
+    rc.max_retries = spec.max_retries;
+    rc.timeout = spec.retry_timeout;
+    rc.backoff = spec.retry_backoff;
+    rc.jitter = spec.retry_jitter;
+    rc.seed = sim::seed_stream(spec.seed, recovery::kRecoverySeedStream, 0);
+    recovery_mgr = std::make_unique<recovery::RecoveryManager>(
+        par.engine(0), par.policy(0).broadcast(), par.policy(0).unicast(), rc);
+  }
+  std::unique_ptr<overload::OverloadController> overload_ctl;
+  if (spec.overload.enabled()) {
+    overload::OverloadConfig oc = spec.overload;
+    oc.seed = sim::seed_stream(spec.seed, overload::kOverloadSeedStream, 0);
+    oc.horizon = spec.warmup + spec.measure;
+    overload_ctl = std::make_unique<overload::OverloadController>(
+        par.engine(0), par.workload(0), oc);
+    overload_ctl->start();
+  }
+
+  // Per-shard observability: each shard gets its own registry (indexed by
+  // GLOBAL link id; only owned links ever record) bridged through its own
+  // probe; snapshots merge after the run.  The trace sink -- legal only
+  // at shards <= 1 -- attaches to the single shard's probe.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(par.shards());
+  std::vector<std::unique_ptr<obs::EngineProbe>> probes(par.shards());
+  for (std::uint32_t s = 0; s < par.shards(); ++s) {
+    if (spec.collect_link_metrics) {
+      registries[s] = std::make_unique<obs::MetricsRegistry>(torus);
+    }
+    if (registries[s] || spec.trace_sink) {
+      probes[s] = std::make_unique<obs::EngineProbe>(registries[s].get(),
+                                                     spec.trace_sink);
+      par.engine(s).set_observer(probes[s].get());
+    }
+  }
+
+  const double stop_time = spec.warmup + spec.measure;
+  for (std::uint32_t s = 0; s < par.shards(); ++s) {
+    net::Engine* eng = &par.engine(s);
+    sim::Simulator& sim = par.simulator(s);
+    sim.at(spec.warmup, [eng](sim::Simulator&) { eng->begin_measurement(); });
+    sim.at(stop_time, [eng](sim::Simulator&) { eng->end_measurement(); });
+    if (registries[s]) {
+      obs::MetricsRegistry* reg = registries[s].get();
+      sim.at(spec.warmup,
+             [reg](sim::Simulator& si) { reg->begin_window(si.now()); });
+      sim.at(stop_time,
+             [reg](sim::Simulator& si) { reg->end_window(si.now()); });
+    }
+  }
+
+  const sim::StopReason reason = par.run();
+
+  ExperimentResult r;
+  if (par.shards() == 1) {
+    r = extract_result(par.engine(0).metrics(), torus, probs, reason,
+                       par.unstable(), par.now(), par.events_executed());
+  } else {
+    const net::Metrics merged = par.merged_metrics();
+    r = extract_result(merged, torus, probs, reason, par.unstable(),
+                       par.now(), par.events_executed());
+  }
+  if (recovery_mgr) {
+    const recovery::RecoveryStats& rs = recovery_mgr->stats();
+    r.retransmissions = rs.retransmissions();
+    r.receptions_recovered = rs.receptions_recovered;
+    r.tasks_recovered = rs.tasks_recovered;
+    r.retries_exhausted = rs.tasks_exhausted;
+  }
+  if (overload_ctl) {
+    const overload::OverloadStats& os = overload_ctl->stats();
+    r.sat_transitions = os.sat_transitions;
+    r.time_in_saturation = overload_ctl->time_in_saturation_until(par.now());
+    r.tasks_throttled = os.tasks_throttled;
+    r.tasks_released = os.tasks_released;
+    r.admission_delay_mean = os.admission_delay.mean();
+  }
+  if (spec.collect_link_metrics) {
+    obs::LinkMetricsSnapshot snap = registries[0]->snapshot();
+    for (std::uint32_t s = 1; s < par.shards(); ++s) {
+      const obs::LinkMetricsSnapshot other = registries[s]->snapshot();
+      // Per-link series: adopt the owning shard's entries (every other
+      // shard's registry recorded nothing for those links).
+      const auto base = static_cast<std::size_t>(par.engine(s).link_base());
+      const std::size_t owned = par.engine(s).owned_links();
+      for (std::size_t l = base; l < base + owned; ++l) {
+        for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+          snap.cells[l * net::kPriorityClasses + c] =
+              other.cells[l * net::kPriorityClasses + c];
+        }
+        if (!other.backlog_mean.empty()) {
+          snap.backlog_mean[l] = other.backlog_mean[l];
+          snap.backlog_max[l] = other.backlog_max[l];
+        }
+        snap.down_time[l] = other.down_time[l];
+        snap.failures[l] = other.failures[l];
+      }
+      for (std::size_t c = 0; c < snap.class_wait_hist.size(); ++c) {
+        snap.class_wait_hist[c].merge(other.class_wait_hist[c]);
+      }
+      snap.window_start = std::min(snap.window_start, other.window_start);
+      snap.window_end = std::max(snap.window_end, other.window_end);
+      // Retx / shed / throttle / saturation counters are structurally
+      // zero at shards > 1 (those subsystems are rejected above).
+    }
+    r.link_metrics =
+        std::make_shared<const obs::LinkMetricsSnapshot>(std::move(snap));
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (r.wall_seconds > 0.0) {
+    r.events_per_sec =
+        static_cast<double>(r.events_processed) / r.wall_seconds;
+  }
+  r.peak_rss_bytes = peak_rss_bytes();
+  return r;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  if (spec.shards >= 1) return run_parallel_experiment(spec);
+  const auto wall_start = std::chrono::steady_clock::now();
+  validate_windows(spec);
+  const topo::Torus torus =
+      spec.mesh ? topo::Torus::mesh(spec.shape)
+                : topo::Torus(spec.shape, spec.wraparound);
+  sim::Rng rng(spec.seed);
+
+  const double mean_len = spec.length.mean();
+  const queueing::Rates rates = derive_rates(torus, spec, mean_len);
+
+  auto policy =
+      core::make_policy(torus, spec.scheme, rates.lambda_b, rates.lambda_r);
+  const double lambda_m = estimate_lambda_m(spec, *policy, torus, mean_len);
+  const routing::StarProbabilities probs =
+      spec.scheme.probabilities(torus, rates.lambda_b, rates.lambda_r);
+
+  sim::Simulator sim(spec.scheduler);
+  net::Engine engine(sim, torus, *policy, rng, build_engine_config(spec));
+
+  // End-to-end recovery (docs/FAULTS.md §7): attaches to the engine's
+  // RecoveryHook seam.  Its randomness comes from a dedicated seed stream
+  // and its timers are armed lazily at the first loss, so a fault-free
+  // run with recovery enabled is bit-identical to max_retries = 0.
+  std::unique_ptr<recovery::RecoveryManager> recovery_mgr;
+  if (spec.max_retries > 0) {
+    recovery::RecoveryConfig rc;
+    rc.max_retries = spec.max_retries;
+    rc.timeout = spec.retry_timeout;
+    rc.backoff = spec.retry_backoff;
+    rc.jitter = spec.retry_jitter;
+    rc.seed = sim::seed_stream(spec.seed, recovery::kRecoverySeedStream, 0);
+    recovery_mgr = std::make_unique<recovery::RecoveryManager>(
+        engine, policy->broadcast(), policy->unicast(), rc);
+  }
+
+  traffic::WorkloadConfig traffic_cfg =
+      build_traffic_config(spec, rates, lambda_m);
+  traffic::Workload workload(sim, engine, rng, traffic_cfg);
+
+  // Overload control (docs/OVERLOAD.md): attaches to the workload's
+  // AdmissionGate seam and (kShed mode) the engine's OverloadHook seam.
+  // Its randomness comes from a dedicated seed stream and its only
+  // standing event is the periodic backlog sampler, which draws nothing,
+  // so a run that never saturates behaves identically to mode kOff
+  // except for the sampler events themselves.
+  std::unique_ptr<overload::OverloadController> overload_ctl;
+  if (spec.overload.enabled()) {
+    overload::OverloadConfig oc = spec.overload;
+    oc.seed = sim::seed_stream(spec.seed, overload::kOverloadSeedStream, 0);
+    oc.horizon = traffic_cfg.stop_time;
+    overload_ctl =
+        std::make_unique<overload::OverloadController>(engine, workload, oc);
+    overload_ctl->start();
+  }
+
+  // Optional observability: a metrics registry and/or trace sink bridged
+  // through one EngineProbe (the engine accepts a single observer).  The
+  // registry's window tracks the engine's measurement window exactly.
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  if (spec.collect_link_metrics) {
+    registry = std::make_unique<obs::MetricsRegistry>(torus);
+  }
+  obs::EngineProbe probe(registry.get(), spec.trace_sink);
+  if (registry || spec.trace_sink) engine.set_observer(&probe);
+
+  sim.at(spec.warmup, [&engine](sim::Simulator&) { engine.begin_measurement(); });
+  sim.at(traffic_cfg.stop_time,
+         [&engine](sim::Simulator&) { engine.end_measurement(); });
+  if (registry) {
+    obs::MetricsRegistry* reg = registry.get();
+    sim.at(spec.warmup,
+           [reg](sim::Simulator& s) { reg->begin_window(s.now()); });
+    sim.at(traffic_cfg.stop_time,
+           [reg](sim::Simulator& s) { reg->end_window(s.now()); });
+  }
+  workload.start();
+
+  const sim::StopReason reason = sim.run(
+      std::numeric_limits<double>::infinity(), spec.max_events);
+
+  ExperimentResult r =
+      extract_result(engine.metrics(), torus, probs, reason,
+                     engine.unstable(), sim.now(), sim.events_executed());
+  if (recovery_mgr) {
+    const recovery::RecoveryStats& rs = recovery_mgr->stats();
+    r.retransmissions = rs.retransmissions();
+    r.receptions_recovered = rs.receptions_recovered;
+    r.tasks_recovered = rs.tasks_recovered;
+    r.retries_exhausted = rs.tasks_exhausted;
+  }
+  if (overload_ctl) {
+    const overload::OverloadStats& os = overload_ctl->stats();
+    r.sat_transitions = os.sat_transitions;
+    r.time_in_saturation = overload_ctl->time_in_saturation_until(sim.now());
+    r.tasks_throttled = os.tasks_throttled;
+    r.tasks_released = os.tasks_released;
+    r.admission_delay_mean = os.admission_delay.mean();
+  }
   if (registry) {
     r.link_metrics = std::make_shared<const obs::LinkMetricsSnapshot>(
         registry->snapshot());
   }
-  r.measured_broadcasts = m.broadcast_delay.count();
-  r.measured_unicasts = m.unicast_delay.count();
-  r.transmissions = m.transmissions;
-  r.sim_end_time = sim.now();
-  r.events_processed = sim.events_executed();
   r.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

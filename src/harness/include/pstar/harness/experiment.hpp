@@ -131,6 +131,26 @@ struct ExperimentSpec {
   /// BatchRunner sweep (run traced cells serially instead, as
   /// examples/sweep_cli.cpp does).
   obs::JsonlTraceSink* trace_sink = nullptr;
+
+  /// Intra-run parallel execution (docs/PARALLEL.md).  0 = the serial
+  /// engine (the default, unchanged).  shards >= 1 routes the run through
+  /// core::ParallelEngine: the torus is split into that many contiguous
+  /// node slabs, each advanced by its own worker in conservative
+  /// lock-step windows.  The shard count is part of the experiment's
+  /// IDENTITY, exactly like the seed: shards == 1 is bit-identical to the
+  /// serial engine, and a fixed shards > 1 is bit-identical across
+  /// shard_jobs thread counts, but different shard counts legitimately
+  /// differ (per-shard rng streams reshard the arrival process).
+  ///
+  /// Rejected (std::invalid_argument) at shards > 1: multicast traffic,
+  /// recovery retries, overload control, trace sinks, and hotspot skew --
+  /// each samples or mutates global state mid-run, which a sharded run
+  /// cannot reproduce faithfully.  All of them remain available at
+  /// shards <= 1.
+  std::uint32_t shards = 0;
+  /// Worker threads driving the shards (0 = min(shards, hardware
+  /// concurrency)).  NEVER affects results, only wall-clock speed.
+  unsigned shard_jobs = 0;
 };
 
 /// Summary of one run.

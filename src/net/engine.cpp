@@ -73,7 +73,37 @@ double Metrics::utilization_cv() const {
 Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
                RoutingPolicy& policy, sim::Rng& rng, EngineConfig config)
     : sim_(sim), torus_(torus), policy_(policy), rng_(rng), config_(config) {
-  const auto nlinks = static_cast<std::size_t>(torus_.link_count());
+  // Shard slab (docs/PARALLEL.md): this engine owns the links whose
+  // source node lies in [node_lo, node_hi).  Link ids are node-major
+  // (torus.cpp builds them in an outer loop over nodes), so the owned
+  // links form one contiguous id range found by binary search on
+  // info(l).from.  In a serial run the slab is the whole torus and
+  // link_base_ stays 0.
+  if (config_.node_hi == 0) config_.node_hi =
+      static_cast<topo::NodeId>(torus_.node_count());
+  if (config_.node_lo < 0 || config_.node_lo >= config_.node_hi ||
+      static_cast<std::int64_t>(config_.node_hi) > torus_.node_count()) {
+    throw std::invalid_argument("Engine: bad node slab [node_lo, node_hi)");
+  }
+  auto first_link_of = [this](topo::NodeId node) -> topo::LinkId {
+    topo::LinkId lo = 0;
+    topo::LinkId hi = torus_.link_count();
+    while (lo < hi) {
+      const topo::LinkId mid = lo + (hi - lo) / 2;
+      if (torus_.info(mid).from < node) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  link_base_ = first_link_of(config_.node_lo);
+  const topo::LinkId link_end =
+      static_cast<std::int64_t>(config_.node_hi) >= torus_.node_count()
+          ? torus_.link_count()
+          : first_link_of(config_.node_hi);
+  const auto nlinks = static_cast<std::size_t>(link_end - link_base_);
   link_hot_.assign(nlinks, LinkHot{});
   link_down_count_.assign(nlinks, 0);
   link_pending_repairs_.assign(nlinks, 0);
@@ -89,17 +119,21 @@ Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
     fault_aware_ = true;
     // The whole schedule is materialized up front (deterministic given
     // the fault seed) and applied through timed events; past-dated
-    // entries fire immediately in schedule order.
+    // entries fire immediately in schedule order.  A sharded engine
+    // builds the FULL schedule -- identical draws on every shard -- and
+    // applies only the entries touching owned links, so the global fault
+    // pattern is independent of the shard count.
     for (const fault::FaultEvent& ev :
          fault::build_schedule(config_.faults, torus_.link_count())) {
+      if (ev.link < link_base_ || ev.link >= link_end) continue;
       const double delay = std::max(0.0, ev.time - sim_.now());
       if (ev.down) {
         sim_.after(delay,
                    [this, link = ev.link](sim::Simulator&) { fail_link(link); });
       } else {
-        ++link_pending_repairs_[static_cast<std::size_t>(ev.link)];
+        ++link_pending_repairs_[slot(ev.link)];
         sim_.after(delay, [this, link = ev.link](sim::Simulator&) {
-          --link_pending_repairs_[static_cast<std::size_t>(link)];
+          --link_pending_repairs_[slot(link)];
           restore_link(link);
         });
       }
@@ -234,7 +268,7 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
   if (link == topo::kInvalidLink) {
     throw std::invalid_argument("Engine::send: no link in that dimension");
   }
-  const auto li = static_cast<std::size_t>(link);
+  const auto li = slot(link);
 
   // Fail-stop: a down link accepts no traffic.  The copy (and its
   // downstream subtree) is charged through the normal drop machinery,
@@ -344,6 +378,17 @@ void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
   const TaskKind kind = tasks_[copy.task].kind;
   if (kind == TaskKind::kUnicast) {
     if (!tasks_[copy.task].finished) {
+      if (tasks_[copy.task].proxy) {
+        // Failure statistics are charged at the dropping shard (merge
+        // sums them); the owner performs the task-level completion once
+        // the report arrives.
+        ++metrics_.failed_unicasts;
+        tasks_[copy.task].finished = true;
+        if (shard_hook_ != nullptr) {
+          shard_hook_->on_proxy_unicast_done(copy.task);
+        }
+        return;
+      }
       // A recovery hook may claim the task for a retry; otherwise the
       // drop is terminal exactly as without the layer.
       if (recovery_ != nullptr && recovery_->on_unicast_loss(*this, copy, link)) {
@@ -367,6 +412,9 @@ void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
     }
     // Re-fetch by id: the policy callback may have touched the table.
     tasks_[copy.task].lost += static_cast<std::uint32_t>(orphaned);
+    if (tasks_[copy.task].proxy && shard_hook_ != nullptr && orphaned > 0) {
+      shard_hook_->on_proxy_loss(copy.task, orphaned);
+    }
     if (!retx && recovery_ != nullptr && kind == TaskKind::kBroadcast) {
       recovery_->on_broadcast_loss(*this, copy, link, orphaned);
     }
@@ -376,7 +424,7 @@ void Engine::drop_copy(const Copy& copy, topo::LinkId link, bool was_queued) {
 
 void Engine::begin_service(topo::LinkId link, const Copy& copy,
                            double queued_since) {
-  const auto li = static_cast<std::size_t>(link);
+  const auto li = slot(link);
   assert(link_hot_[li].busy == 0);
   link_hot_[li].busy = 1;
   link_hot_[li].serving = copy;
@@ -387,6 +435,18 @@ void Engine::begin_service(topo::LinkId link, const Copy& copy,
         sim_.now() - queued_since);
   }
   const double service_time = static_cast<double>(tasks_[copy.task].length);
+  // Boundary announcement (docs/PARALLEL.md): a copy starting service
+  // toward a remote node is announced NOW, a full service time before it
+  // arrives -- that gap is the conservative lookahead that lets the
+  // coordinator exchange handoffs once per window instead of per event.
+  if (shard_hook_ != nullptr) {
+    const topo::NodeId dest = torus_.dest(link);
+    if (shard_hook_->remote_node(dest)) {
+      const Task& t = tasks_[copy.task];
+      shard_hook_->on_handoff(copy, copy.task, t, dest,
+                              sim_.now() + service_time, t.receptions + 1);
+    }
+  }
   sim_.after(service_time,
              [this, link, epoch = link_hot_[li].epoch](sim::Simulator&) {
                complete_service(link, epoch);
@@ -394,7 +454,7 @@ void Engine::begin_service(topo::LinkId link, const Copy& copy,
 }
 
 void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
-  const auto li = static_cast<std::size_t>(link);
+  const auto li = slot(link);
   if (link_hot_[li].epoch != epoch) return;  // service aborted by a link failure
   assert(link_hot_[li].busy != 0);
   const Copy copy = link_hot_[li].serving;
@@ -419,7 +479,11 @@ void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
                                link_hot_[li].serving_enqueued_at,
                                link_hot_[li].service_start, now);
   }
-  if (t.kind == TaskKind::kUnicast) {
+  if (shard_hook_ != nullptr && shard_hook_->remote_node(node)) {
+    // Boundary crossing: the transmission happened here (counted above),
+    // but delivery belongs to the owning shard, which was handed the
+    // copy when this service began.  Fall through to the queue pull.
+  } else if (t.kind == TaskKind::kUnicast) {
     ++t.receptions;  // hop counter for unicasts
     policy_.on_receive(*this, node, copy);
   } else {
@@ -447,6 +511,10 @@ void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
         }
       }
       ++t.receptions;
+      t.last_reception = now;
+      if (t.proxy && shard_hook_ != nullptr) {
+        shard_hook_->on_proxy_reception(copy.task, now);
+      }
     }
     policy_.on_receive(*this, node, copy);
     maybe_finish_broadcast(copy.task);
@@ -475,6 +543,9 @@ void Engine::maybe_finish_broadcast(TaskId id) {
   // Re-fetch by id: callers may hold references across policy callbacks.
   Task& t = tasks_[id];
   if (t.finished) return;
+  // Proxies complete at the owner shard, never here (their expected is
+  // pinned at a sentinel, so this is belt and braces).
+  if (t.proxy) return;
   if (static_cast<std::uint64_t>(t.receptions) + t.lost < t.expected) return;
   // The threshold is met, but a pending retry may still convert lost
   // receptions into deliveries (or retx duplicates may still be in
@@ -516,12 +587,21 @@ void Engine::unicast_delivered(const Copy& copy) {
       metrics_.unicast_delay_hist->add(sim_.now() - t.created);
     }
   }
+  if (t.proxy) {
+    // Delay and hop statistics are exact here (the proxy carries the
+    // owner's creation time); the owner finishes the task on report.
+    t.finished = true;
+    if (shard_hook_ != nullptr) shard_hook_->on_proxy_unicast_done(copy.task);
+    return;
+  }
   finish_task(copy.task);
 }
 
 void Engine::finish_task(TaskId id) {
   assert(!tasks_[id].finished);
+  assert(!tasks_[id].proxy);  // proxies complete at their owner shard
   tasks_[id].finished = true;
+  if (shard_hook_ != nullptr) shard_hook_->on_owned_finished(id, tasks_[id]);
   if (recovery_ != nullptr) recovery_->on_task_finished(id);
   if (observer_) observer_->on_task_completed(id, tasks_[id], sim_.now());
   const auto k = static_cast<std::size_t>(tasks_[id].kind);
@@ -554,13 +634,190 @@ void Engine::note_retx(TaskId id, std::uint32_t attempt, RetxMode mode,
   if (observer_) observer_->on_retx(id, attempt, mode, link, sim_.now());
 }
 
+TaskId Engine::create_proxy(const Task& meta) {
+  const TaskId id = allocate_slot(tasks_, free_tasks_);
+  Task& t = tasks_[id];
+  t = Task{};
+  t.kind = meta.kind;
+  t.measured = meta.measured;
+  t.proxy = true;
+  t.source = meta.source;
+  t.dest = meta.dest;
+  t.created = meta.created;
+  t.length = meta.length;
+  // Pinned so the proxy can never meet the local completion threshold;
+  // the owner holds the real expected count.
+  t.expected = std::numeric_limits<std::uint32_t>::max();
+  return id;
+}
+
+void Engine::release_proxy(TaskId id) {
+  assert(tasks_[id].proxy);
+  tasks_[id].proxy = false;
+  tasks_[id].finished = true;
+  free_tasks_.push_back(id);
+}
+
+void Engine::deliver_remote(topo::NodeId node, const Copy& copy,
+                            std::uint32_t hops) {
+  // The delivery half of complete_service, for a copy whose transmission
+  // completed on another shard's boundary link.  The transmission-side
+  // accounting (busy time, counters, observer record) happened there.
+  Task& t = tasks_[copy.task];
+  const double now = sim_.now();
+  if (t.kind == TaskKind::kUnicast) {
+    if (t.finished) return;
+    t.receptions = hops;  // resume the cumulative hop count exactly
+    policy_.on_receive(*this, node, copy);
+    return;
+  }
+  if (t.kind == TaskKind::kBroadcast) {
+    ++metrics_.broadcast_receptions;
+    if (t.measured) {
+      metrics_.reception_delay.add(now - t.created);
+      if (metrics_.reception_delay_hist) {
+        metrics_.reception_delay_hist->add(now - t.created);
+      }
+    }
+  } else {
+    ++metrics_.multicast_receptions;
+    if (t.measured) {
+      metrics_.multicast_reception_delay.add(now - t.created);
+    }
+  }
+  ++t.receptions;
+  t.last_reception = now;
+  if (t.proxy && shard_hook_ != nullptr) {
+    shard_hook_->on_proxy_reception(copy.task, now);
+  }
+  policy_.on_receive(*this, node, copy);
+  maybe_finish_broadcast(copy.task);
+}
+
+void Engine::apply_remote_progress(TaskId id, std::uint64_t receptions,
+                                   std::uint64_t orphaned, double last_time) {
+  Task& t = tasks_[id];
+  assert(!t.proxy);
+  if (t.finished) return;
+  t.receptions += static_cast<std::uint32_t>(receptions);
+  t.lost += static_cast<std::uint32_t>(orphaned);
+  if (receptions > 0 && last_time > t.last_reception) {
+    t.last_reception = last_time;
+  }
+  if (static_cast<std::uint64_t>(t.receptions) + t.lost < t.expected) return;
+  // Completion mirrors maybe_finish_broadcast, except the completion
+  // instant is the latest counted reception (local or remote) rather
+  // than the current event time -- the finishing reception happened on
+  // another shard, inside the window that just closed.
+  if (t.lost == 0) {
+    if (t.measured) {
+      const double delay = t.last_reception - t.created;
+      if (t.kind == TaskKind::kBroadcast) {
+        metrics_.broadcast_delay.add(delay);
+        if (metrics_.broadcast_delay_hist) {
+          metrics_.broadcast_delay_hist->add(delay);
+        }
+      } else {
+        metrics_.multicast_delay.add(delay);
+      }
+    }
+  } else if (t.kind == TaskKind::kBroadcast) {
+    ++metrics_.failed_broadcasts;
+  } else {
+    ++metrics_.failed_multicasts;
+  }
+  finish_task(id);
+}
+
+void Engine::finish_owned_unicast(TaskId id) {
+  if (tasks_[id].finished) return;
+  finish_task(id);
+}
+
+void Metrics::merge_from(const Metrics& other) {
+  reception_delay.merge(other.reception_delay);
+  broadcast_delay.merge(other.broadcast_delay);
+  unicast_delay.merge(other.unicast_delay);
+  unicast_hops.merge(other.unicast_hops);
+  multicast_reception_delay.merge(other.multicast_reception_delay);
+  multicast_delay.merge(other.multicast_delay);
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    wait_by_class[c].merge(other.wait_by_class[c]);
+    drops_by_class[c] += other.drops_by_class[c];
+    shed_copies_by_class[c] += other.shed_copies_by_class[c];
+    transmissions_by_class[c] += other.transmissions_by_class[c];
+  }
+  inflight_broadcast_tasks.merge_windows(other.inflight_broadcast_tasks);
+  inflight_unicast_tasks.merge_windows(other.inflight_unicast_tasks);
+  inflight_multicast_tasks.merge_windows(other.inflight_multicast_tasks);
+  inflight_copies.merge_windows(other.inflight_copies);
+  for (std::size_t k = 0; k < kTaskKinds; ++k) {
+    tasks_generated[k] += other.tasks_generated[k];
+    tasks_completed[k] += other.tasks_completed[k];
+  }
+  transmissions += other.transmissions;
+  transmissions_by_vc[0] += other.transmissions_by_vc[0];
+  transmissions_by_vc[1] += other.transmissions_by_vc[1];
+  broadcast_receptions += other.broadcast_receptions;
+  multicast_receptions += other.multicast_receptions;
+  multicast_expected_total += other.multicast_expected_total;
+  lost_receptions += other.lost_receptions;
+  lost_multicast_receptions += other.lost_multicast_receptions;
+  failed_broadcasts += other.failed_broadcasts;
+  failed_unicasts += other.failed_unicasts;
+  failed_multicasts += other.failed_multicasts;
+  // Shards own contiguous node-major link ranges; concatenating in shard
+  // order restores the global per-link indexing.
+  link_busy_time.insert(link_busy_time.end(), other.link_busy_time.begin(),
+                        other.link_busy_time.end());
+  link_transmissions.insert(link_transmissions.end(),
+                            other.link_transmissions.begin(),
+                            other.link_transmissions.end());
+  link_down_time.insert(link_down_time.end(), other.link_down_time.begin(),
+                        other.link_down_time.end());
+  link_failures += other.link_failures;
+  link_repairs += other.link_repairs;
+  fault_drops += other.fault_drops;
+  retransmissions += other.retransmissions;
+  shed_receptions += other.shed_receptions;
+  auto merge_hist = [](std::unique_ptr<stats::Histogram>& mine,
+                       const std::unique_ptr<stats::Histogram>& theirs) {
+    if (theirs == nullptr) return;
+    if (mine == nullptr) {
+      mine = std::make_unique<stats::Histogram>(*theirs);
+    } else {
+      mine->merge(*theirs);
+    }
+  };
+  merge_hist(reception_delay_hist, other.reception_delay_hist);
+  merge_hist(broadcast_delay_hist, other.broadcast_delay_hist);
+  merge_hist(unicast_delay_hist, other.unicast_delay_hist);
+  // A freshly constructed target (the merge accumulator) has no window of
+  // its own; adopt the first shard's start instead of clamping to 0.
+  measure_start = (measure_start == 0.0 && measure_end == 0.0)
+                      ? other.measure_start
+                      : std::min(measure_start, other.measure_start);
+  measure_end = std::max(measure_end, other.measure_end);
+  last_event = std::max(last_event, other.last_event);
+  unstable = unstable || other.unstable;
+  inflight_copies_at_end += other.inflight_copies_at_end;
+}
+
 void Engine::fail_link(topo::LinkId link) {
-  const auto li = static_cast<std::size_t>(link);
+  const auto li = slot(link);
   if (link_down_count_[li]++ > 0) return;  // overlapping outages nest
   ++metrics_.link_failures;
   link_down_since_[li] = sim_.now();
   if (observer_) observer_->on_link_down(link, sim_.now());
-  if (link_hot_[li].busy != 0) {
+  // Parallel boundary exemption (docs/PARALLEL.md): an in-service copy
+  // headed to a REMOTE node was announced to its owner when service
+  // began -- it is committed to the wire and cannot be recalled without
+  // a message arriving in the remote shard's past.  It completes; only
+  // subsequent traffic sees the outage.  Queued copies drain normally.
+  const bool spare_serving =
+      shard_hook_ != nullptr && link_hot_[li].busy != 0 &&
+      shard_hook_->remote_node(torus_.dest(link));
+  if (link_hot_[li].busy != 0 && !spare_serving) {
     // Fail-stop: the copy in service is lost mid-flight.  Its partial
     // service still occupied the link (counted as busy time) but it is
     // not a completed transmission; the pending completion event is
@@ -590,7 +847,7 @@ void Engine::fail_link(topo::LinkId link) {
 }
 
 void Engine::restore_link(topo::LinkId link) {
-  const auto li = static_cast<std::size_t>(link);
+  const auto li = slot(link);
   assert(link_down_count_[li] > 0);
   if (link_down_count_[li] == 0 || --link_down_count_[li] > 0) return;
   ++metrics_.link_repairs;
@@ -599,7 +856,7 @@ void Engine::restore_link(topo::LinkId link) {
 }
 
 std::size_t Engine::link_backlog(topo::LinkId link) const {
-  std::size_t total = link_hot_[static_cast<std::size_t>(link)].busy != 0 ? 1 : 0;
+  std::size_t total = link_hot_[slot(link)].busy != 0 ? 1 : 0;
   for (std::size_t c = 0; c < kPriorityClasses; ++c) {
     total += queues_.size(lane(link, c));
   }
@@ -636,7 +893,7 @@ void Engine::end_measurement() {
   // fault_aware_: tests and custom drivers may call fail_link directly.
   for (std::size_t l = 0; l < link_down_count_.size(); ++l) {
     if (link_down_count_[l] > 0) {
-      record_window_downtime(static_cast<topo::LinkId>(l),
+      record_window_downtime(link_base_ + static_cast<topo::LinkId>(l),
                              link_down_since_[l], now);
       link_down_since_[l] = now;
     }
@@ -660,9 +917,9 @@ void Engine::record_window_busy(topo::LinkId link, double start, double end,
   const double lo = std::max(start, metrics_.measure_start);
   const double hi = std::min(end, metrics_.measure_end);
   if (hi > lo) {
-    metrics_.link_busy_time[static_cast<std::size_t>(link)] += hi - lo;
+    metrics_.link_busy_time[slot(link)] += hi - lo;
     if (completed) {
-      ++metrics_.link_transmissions[static_cast<std::size_t>(link)];
+      ++metrics_.link_transmissions[slot(link)];
     }
   }
   metrics_.last_event = std::max(metrics_.last_event, end);
@@ -673,7 +930,7 @@ void Engine::record_window_downtime(topo::LinkId link, double start,
   const double lo = std::max(start, metrics_.measure_start);
   const double hi = std::min(end, metrics_.measure_end);
   if (hi > lo) {
-    metrics_.link_down_time[static_cast<std::size_t>(link)] += hi - lo;
+    metrics_.link_down_time[slot(link)] += hi - lo;
   }
   metrics_.last_event = std::max(metrics_.last_event, end);
 }

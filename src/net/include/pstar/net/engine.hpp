@@ -24,6 +24,7 @@
 #include "pstar/net/packet.hpp"
 #include "pstar/net/policy.hpp"
 #include "pstar/net/recovery_hook.hpp"
+#include "pstar/net/shard_hook.hpp"
 #include "pstar/queueing/fifo_slab.hpp"
 #include "pstar/sim/rng.hpp"
 #include "pstar/sim/simulator.hpp"
@@ -79,6 +80,15 @@ struct EngineConfig {
   /// The two backends are observationally equivalent (docs/ENGINE.md;
   /// tests/test_scheduler_equivalence.cpp), so this only changes speed.
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+
+  /// Node slab [node_lo, node_hi) this engine owns in a sharded run
+  /// (docs/PARALLEL.md).  The engine sizes its per-link slabs to the
+  /// links ORIGINATING in the slab only (links are node-major, so the
+  /// owned range is contiguous) and applies only the fault-schedule
+  /// entries touching owned links.  node_hi == 0 means the whole torus
+  /// -- the serial default, with zero behaviour change.
+  topo::NodeId node_lo = 0;
+  topo::NodeId node_hi = 0;
 };
 
 /// Aggregated measurements of one run.  Delay statistics cover tasks
@@ -151,6 +161,16 @@ struct Metrics {
   std::unique_ptr<stats::Histogram> reception_delay_hist;
   std::unique_ptr<stats::Histogram> broadcast_delay_hist;
   std::unique_ptr<stats::Histogram> unicast_delay_hist;
+
+  /// Folds another shard's metrics into this one (docs/PARALLEL.md):
+  /// counters and streaming statistics add (RunningStat/Histogram merge;
+  /// shard order is fixed, so the merge is deterministic), per-link
+  /// vectors concatenate in call order -- shards own contiguous
+  /// node-major link ranges, so merging in shard order restores global
+  /// link indexing -- and time-weighted gauges merge window-wise (means
+  /// add exactly; maxima add as an upper bound, since shards need not
+  /// peak simultaneously).
+  void merge_from(const Metrics& other);
 
   double measure_start = 0.0;
   double measure_end = 0.0;
@@ -251,7 +271,7 @@ class Engine {
 
   /// Whether `link` currently accepts traffic (always true fault-free).
   bool link_up(topo::LinkId link) const {
-    return link_down_count_[static_cast<std::size_t>(link)] == 0;
+    return link_down_count_[static_cast<std::size_t>(link - link_base_)] == 0;
   }
 
   /// Whether a scheduled repair of `link` has not fired yet.  The fault
@@ -261,7 +281,8 @@ class Engine {
   /// burning retry budget against them, and to fall back to fresh trees
   /// / finalization only for permanent cuts (docs/FAULTS.md §7).
   bool repair_pending(topo::LinkId link) const {
-    return link_pending_repairs_[static_cast<std::size_t>(link)] > 0;
+    return link_pending_repairs_[static_cast<std::size_t>(link - link_base_)] >
+           0;
   }
 
   /// Fails a link (fail-stop): aborts its in-service copy, drains its
@@ -317,15 +338,70 @@ class Engine {
   void note_retx(TaskId id, std::uint32_t attempt, RetxMode mode,
                  topo::LinkId link);
 
+  // --- Parallel-shard services (docs/PARALLEL.md).  Called only by the
+  // parallel coordinator; a serial run never touches them.
+
+  /// Attaches the shard hook (nullptr detaches).  Must be set before any
+  /// traffic flows; with no hook the engine is the serial engine.
+  void set_shard_hook(ShardHook* hook) { shard_hook_ = hook; }
+  ShardHook* shard_hook() const { return shard_hook_; }
+
+  /// First link this engine owns (0 in a serial run).  Owned links are
+  /// the contiguous node-major range [link_base, link_base + owned).
+  topo::LinkId link_base() const { return link_base_; }
+  std::size_t owned_links() const { return link_hot_.size(); }
+
+  /// Materializes a local proxy slot for a task owned by another shard.
+  /// The proxy routes and records delay statistics like the real task
+  /// (metadata is the owner's) but never completes locally and is not
+  /// counted in generated/in-flight totals.
+  TaskId create_proxy(const Task& meta);
+
+  /// Releases a proxy slot once the owner reports the task finished (no
+  /// copy referencing it can still be in flight by then).
+  void release_proxy(TaskId id);
+
+  /// Delivers a copy arriving from another shard to local node `node` at
+  /// the current simulation time: reception/delay recording plus the
+  /// routing policy's on_receive, exactly the delivery half of a local
+  /// service completion.  `hops` restores the unicast hop count.
+  void deliver_remote(topo::NodeId node, const Copy& copy,
+                      std::uint32_t hops);
+
+  /// Owner side: folds one window of remotely recorded progress of task
+  /// `id` into the real slot -- `receptions` counted deliveries,
+  /// `orphaned` lost receptions, `last_time` the latest remote reception
+  /// -- and completes the task if the plan is now fully resolved.
+  void apply_remote_progress(TaskId id, std::uint64_t receptions,
+                             std::uint64_t orphaned, double last_time);
+
+  /// Owner side: a remote shard terminally resolved this unicast
+  /// (delivered or failed; statistics were recorded there).  Performs
+  /// the task-level completion bookkeeping.  Idempotent.
+  void finish_owned_unicast(TaskId id);
+
+  /// Trips the instability guard from outside (the parallel coordinator
+  /// aborts all shards when the GLOBAL in-flight total exceeds the
+  /// configured bound).  No-op if already tripped.
+  void abort_run() {
+    if (!metrics_.unstable) abort_unstable();
+  }
+
  private:
   struct Queued {
     Copy copy;
     double enqueued_at;
   };
 
+  /// Dense index of an owned link in the per-link slabs (identity in a
+  /// serial run; see EngineConfig::node_lo).
+  std::size_t slot(topo::LinkId link) const {
+    return static_cast<std::size_t>(link - link_base_);
+  }
+
   /// Dense lane index of one (link, priority class) FIFO in queues_.
-  static std::size_t lane(topo::LinkId link, std::size_t cls) {
-    return static_cast<std::size_t>(link) * kPriorityClasses + cls;
+  std::size_t lane(topo::LinkId link, std::size_t cls) const {
+    return slot(link) * kPriorityClasses + cls;
   }
 
   void begin_service(topo::LinkId link, const Copy& copy, double queued_since);
@@ -399,6 +475,10 @@ class Engine {
   Observer* observer_ = nullptr;
   RecoveryHook* recovery_ = nullptr;
   OverloadHook* overload_ = nullptr;
+  ShardHook* shard_hook_ = nullptr;
+  /// First owned link; per-link slabs are indexed by (link - link_base_).
+  /// 0 in a serial run, so slot() is the identity.
+  topo::LinkId link_base_ = 0;
   bool measuring_ = false;
   bool fault_aware_ = false;
   std::uint64_t inflight_copies_ = 0;

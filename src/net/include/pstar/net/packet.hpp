@@ -93,9 +93,20 @@ struct Task {
   bool measured = false;      ///< created inside the measurement window
   bool finished = false;      ///< completion already processed (guards the
                               ///< delivery and drop paths racing on it)
+  /// Local stand-in for a task owned by another shard of the parallel
+  /// engine (docs/PARALLEL.md).  Proxies carry the owner's metadata so
+  /// routing and delay recording work unchanged, but they never complete
+  /// locally (expected is pinned at a sentinel) and their progress is
+  /// reported back to the owner at window boundaries.  Always false in a
+  /// serial run.
+  bool proxy = false;
   topo::NodeId source = 0;
   topo::NodeId dest = 0;      ///< unicast only
   double created = 0.0;
+  /// Time of the task's latest counted broadcast/multicast reception;
+  /// lets the parallel owner shard compute the exact completion delay
+  /// when the finishing reception was recorded remotely.
+  double last_reception = 0.0;
   std::uint32_t length = 1;   ///< service time of each transmission
   std::uint32_t receptions = 0;
   std::uint32_t expected = 0;  ///< broadcast: N-1 receptions complete the task

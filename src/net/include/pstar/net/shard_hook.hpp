@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file shard_hook.hpp
+/// Seam between one shard's Engine and the parallel coordinator
+/// (docs/PARALLEL.md).
+///
+/// In a sharded run each worker owns a contiguous slab of nodes plus
+/// every link whose SOURCE node is in the slab.  The engine consults the
+/// hook to learn which delivery targets are remote, announces boundary
+/// crossings the moment their service begins (the conservative-lookahead
+/// point: arrival is a full service time away), and reports progress
+/// recorded locally on behalf of remote-owned (proxy) tasks.  With no
+/// hook attached every call site is one null check and the engine is the
+/// serial engine, bit for bit.
+
+#include <cstdint>
+
+#include "pstar/net/packet.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::net {
+
+/// Coordinator-side callbacks of one shard's engine.  All calls happen on
+/// the thread running the shard's window; the coordinator buffers them
+/// and exchanges across shards only at window barriers.
+class ShardHook {
+ public:
+  virtual ~ShardHook() = default;
+
+  /// True when `node` is owned by another shard: the engine must not
+  /// deliver to it locally.
+  virtual bool remote_node(topo::NodeId node) const = 0;
+
+  /// A copy whose service just began on a boundary link will reach the
+  /// remote node `dest` at time `arrival` (= service start + length).
+  /// `task` is the local task slot the copy references (possibly itself
+  /// a proxy); `hops` is the unicast hop count INCLUDING the boundary
+  /// hop, so the receiving shard can resume the count exactly.
+  virtual void on_handoff(const Copy& copy, TaskId local_task,
+                          const Task& task, topo::NodeId dest, double arrival,
+                          std::uint32_t hops) = 0;
+
+  /// One counted broadcast/multicast reception was recorded locally for
+  /// proxy task `proxy` at time `time` (delay statistics were already
+  /// recorded here, exactly; the owner only needs the count and the
+  /// completion timestamp).
+  virtual void on_proxy_reception(TaskId proxy, double time) = 0;
+
+  /// `orphaned` planned receptions of proxy task `proxy` were charged
+  /// lost locally (finite-buffer or fault drop of one of its copies).
+  virtual void on_proxy_loss(TaskId proxy, std::uint64_t orphaned) = 0;
+
+  /// Proxy unicast `proxy` terminated locally -- delivered to its
+  /// destination or terminally dropped.  Delay/failure statistics were
+  /// recorded here; the owner performs the task-level completion.
+  virtual void on_proxy_unicast_done(TaskId proxy) = 0;
+
+  /// A locally OWNED (non-proxy) task just finished; `task` is its state
+  /// before the slot is recycled.  The coordinator uses this to retire
+  /// the task's cross-shard identity and release remote proxies -- by
+  /// the time a task finishes, every one of its planned receptions has
+  /// resolved, so no shard can still reference it.
+  virtual void on_owned_finished(TaskId id, const Task& task) = 0;
+};
+
+}  // namespace pstar::net

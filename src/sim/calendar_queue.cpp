@@ -26,6 +26,56 @@ void CalendarQueue::insert_sorted_slow(Bucket& bucket, Entry entry) {
   v.insert(it, std::move(entry));
 }
 
+void CalendarQueue::push_batch(std::vector<TimedEvent> batch) {
+  // Element-wise semantics (consecutive seqs in batch order), merged
+  // cost: each same-day run is appended to its bucket and merged once --
+  // O(bucket + run) -- where element-wise sorted insertion into a bucket
+  // already holding the next window's service completions pays
+  // O(bucket) per event.  The batch is sorted by time, so each day's
+  // entries are contiguous.
+  std::size_t i = 0;
+  const std::size_t nb = batch.size();
+  while (i < nb) {
+    if (in_overflow_range(batch[i].time)) {
+      push_overflow(batch[i].time, std::move(batch[i].fn));
+      ++i;
+      continue;
+    }
+    const std::uint64_t day = day_of(batch[i].time);
+    std::size_t j = i + 1;
+    while (j < nb && !in_overflow_range(batch[j].time) &&
+           day_of(batch[j].time) == day) {
+      ++j;
+    }
+    // Same cursor rule as push(): jump when the calendar is empty, rewind
+    // when the run lands on an earlier day.  Later runs have later days,
+    // so only the first can rewind.
+    if (main_size() == 0 || day < cur_day_) cur_day_ = day;
+    Bucket& b = buckets_[static_cast<std::size_t>(day) & mask_];
+    auto& v = b.items;
+    const std::size_t mid = v.size();
+    v.reserve(mid + (j - i));
+    for (std::size_t k = i; k < j; ++k) {
+      v.push_back(Entry{batch[k].time, next_seq_++, std::move(batch[k].fn)});
+    }
+    // The appended run is ascending (time-sorted input, growing seqs); if
+    // it does not already extend the existing run, one stable merge
+    // restores the bucket invariant.
+    if (mid > b.head && key_less(v[mid].time, v[mid].seq, v[mid - 1].time,
+                                 v[mid - 1].seq)) {
+      std::inplace_merge(v.begin() + static_cast<std::ptrdiff_t>(b.head),
+                         v.begin() + static_cast<std::ptrdiff_t>(mid), v.end(),
+                         [](const Entry& a, const Entry& b2) {
+                           return key_less(a.time, a.seq, b2.time, b2.seq);
+                         });
+    }
+    size_ += j - i;
+    i = j;
+  }
+  min_cache_ = nullptr;
+  while (main_size() > 2 * buckets_.size()) resize(buckets_.size() * 2);
+}
+
 std::uint64_t CalendarQueue::push_overflow(Time t, EventFn fn) {
   const std::uint64_t seq = next_seq_++;
   insert_sorted(far_, Entry{t, seq, std::move(fn)});

@@ -52,6 +52,7 @@ class CalendarQueue final : public Scheduler {
   // monomorphized simulator loop (simulator.cpp) inlines them; the cold
   // paths (resize, overflow, the full cursor walk) stay in the .cpp.
   std::uint64_t push(Time t, EventFn fn) override;
+  void push_batch(std::vector<TimedEvent> batch) override;
   bool empty() const override { return size_ == 0; }
   std::size_t size() const override { return size_; }
   Time next_time() const override;

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Host-thread primitives for the sharded parallel engine
+/// (docs/PARALLEL.md): contiguous shard partitioning of node ranges, the
+/// per-shard seed-stream tag, and a reusable barrier-style worker pool.
+///
+/// Everything here is network-agnostic: the pool runs any indexed job, and
+/// the partition math knows only "n items, S shards".  The orchestration
+/// that gives the indices meaning (torus slabs, engine shards, window
+/// rounds) lives in core::ParallelEngine.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pstar::sim {
+
+/// Seed-stream tag for per-shard rngs: shard s of a run with base seed
+/// `seed` draws from seed_stream(seed, kShardSeedStream, s).  Keyed by
+/// shard index -- a property of the partition, never of the thread that
+/// happens to execute the shard -- so a fixed shard count reproduces
+/// bit-identically across worker counts.  Distinct from every (point, rep)
+/// pair and from the fault/recovery/overload stream tags.
+inline constexpr std::uint64_t kShardSeedStream = 0x54A2DULL;
+
+/// Half-open index range [lo, hi) owned by one shard.
+struct ShardRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  std::uint64_t size() const { return hi - lo; }
+  bool contains(std::uint64_t i) const { return i >= lo && i < hi; }
+};
+
+/// The contiguous slab of `n` items owned by shard `shard` of
+/// `shard_count`.  Slabs partition [0, n) in index order and differ in
+/// size by at most one item; the mapping depends only on (n, shard_count,
+/// shard).  Requires shard < shard_count and shard_count >= 1.
+ShardRange shard_slab(std::uint64_t n, std::uint32_t shard_count,
+                      std::uint32_t shard);
+
+/// Which shard owns item `i` under the shard_slab partition.
+/// Requires i < n.
+std::uint32_t shard_of(std::uint64_t n, std::uint32_t shard_count,
+                       std::uint64_t i);
+
+/// A fixed pool of worker threads running indexed jobs with a full
+/// barrier per job: run(count, fn) executes fn(i) for every i in
+/// [0, count) across the workers plus the calling thread, and returns
+/// only when all calls have completed.
+///
+/// Indices are pulled from a shared atomic cursor, so *which* thread runs
+/// fn(i) varies with scheduling -- callers must make fn(i) independent of
+/// the executing thread (the parallel engine does: all shard state is
+/// indexed by i, and rng streams are keyed by shard index).  The pool
+/// itself adds no ordering beyond the barrier.
+class WorkerPool {
+ public:
+  /// Spawns `workers` threads in addition to the calling thread; a pool
+  /// of 0 workers degenerates to serial in-place execution.
+  explicit WorkerPool(unsigned workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Worker threads owned by the pool (excluding the caller).
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Runs fn(i) for all i in [0, count); returns after the last call
+  /// finishes.  fn must tolerate concurrent invocation on distinct
+  /// indices.  Exceptions thrown by fn terminate (the engine's jobs
+  /// report failure through their own state instead of throwing).
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::size_t)>& fn);
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pstar::sim

@@ -39,6 +39,15 @@ class Simulator {
   /// Schedules fn after a delay of dt >= 0 from now.
   void after(Time dt, EventFn fn) { at(now_ + dt, std::move(fn)); }
 
+  /// Schedules a batch of events, pre-sorted by nondecreasing time, all
+  /// at now() or later.  Observationally identical to calling at()
+  /// element by element (same-instant ties keep batch order); the
+  /// calendar backend replaces the element-wise sorted inserts with one
+  /// merge per bucket, which is what keeps a barrier's worth of
+  /// cross-shard handoffs (core/parallel_engine.cpp) off the
+  /// O(pending-events) path.
+  void at_batch(std::vector<TimedEvent> events);
+
   /// Requests that run() return after the current event completes.
   void stop() { stop_requested_ = true; }
 
@@ -57,6 +66,21 @@ class Simulator {
   StopReason run(Time end_time = std::numeric_limits<Time>::infinity(),
                  std::uint64_t max_events =
                      std::numeric_limits<std::uint64_t>::max());
+
+  /// Like run(), but with a strictly exclusive end: events at exactly
+  /// end_time are NOT executed.  This is the window primitive of the
+  /// parallel engine (docs/PARALLEL.md): a shard runs [start, end) and the
+  /// event at end belongs to the next synchronization round.
+  StopReason run_until(Time end_time,
+                       std::uint64_t max_events =
+                           std::numeric_limits<std::uint64_t>::max());
+
+  /// Time of the earliest pending event, or +infinity when none are
+  /// pending.  Used by the parallel coordinator to jump idle windows.
+  Time next_event_time() const {
+    return queue_->empty() ? std::numeric_limits<Time>::infinity()
+                           : queue_->next_time();
+  }
 
   /// Direct access to the queue for tests.
   Scheduler& queue() { return *queue_; }

@@ -1,0 +1,96 @@
+#include "pstar/sim/parallel.hpp"
+
+#include <cassert>
+
+namespace pstar::sim {
+
+ShardRange shard_slab(std::uint64_t n, std::uint32_t shard_count,
+                      std::uint32_t shard) {
+  assert(shard_count >= 1 && shard < shard_count);
+  const std::uint64_t base = n / shard_count;
+  const std::uint64_t rem = n % shard_count;
+  const std::uint64_t lo =
+      shard * base + (shard < rem ? shard : rem);
+  const std::uint64_t hi = lo + base + (shard < rem ? 1 : 0);
+  return ShardRange{lo, hi};
+}
+
+std::uint32_t shard_of(std::uint64_t n, std::uint32_t shard_count,
+                       std::uint64_t i) {
+  assert(i < n);
+  const std::uint64_t base = n / shard_count;
+  const std::uint64_t rem = n % shard_count;
+  // The first `rem` slabs have base+1 items and jointly cover
+  // [0, rem * (base + 1)).
+  const std::uint64_t big = rem * (base + 1);
+  if (i < big) return static_cast<std::uint32_t>(i / (base + 1));
+  if (base == 0) return shard_count - 1;  // n < shard_count tail
+  return static_cast<std::uint32_t>(rem + (i - big) / base);
+}
+
+WorkerPool::WorkerPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::drain(const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    fn(i);
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (threads_.empty() || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    count_ = count;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = threads_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(fn);  // the calling thread participates
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    drain(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pstar::sim

@@ -12,17 +12,36 @@ void Simulator::at(Time t, EventFn fn) {
   queue_->push(t, std::move(fn));
 }
 
+void Simulator::at_batch(std::vector<TimedEvent> events) {
+  if (events.empty()) return;
+  if (events.front().time < now_) {
+    throw std::invalid_argument("Simulator::at_batch: time in the past");
+  }
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time < events[i - 1].time) {
+      throw std::invalid_argument("Simulator::at_batch: not sorted by time");
+    }
+  }
+  queue_->push_batch(std::move(events));
+}
+
 namespace {
 
 /// The event loop, monomorphized per backend: next_time/pop resolve to
 /// direct (inlinable) calls instead of one virtual dispatch per event.
-template <typename Queue>
+/// kExclusiveEnd selects the window semantics: run() executes events at
+/// exactly end_time, run_until() stops strictly before it.
+template <bool kExclusiveEnd, typename Queue>
 StopReason run_loop(Simulator& sim, Queue& queue, Time end_time,
                     std::uint64_t max_events, Time& now,
                     std::uint64_t& events_executed, bool& stop_requested) {
   std::uint64_t executed_this_run = 0;
   while (!queue.empty()) {
-    if (queue.next_time() > end_time) return StopReason::kTimeLimit;
+    if constexpr (kExclusiveEnd) {
+      if (queue.next_time() >= end_time) return StopReason::kTimeLimit;
+    } else {
+      if (queue.next_time() > end_time) return StopReason::kTimeLimit;
+    }
     if (executed_this_run >= max_events) return StopReason::kEventLimit;
     auto [t, fn] = queue.pop();
     assert(t >= now);
@@ -35,19 +54,35 @@ StopReason run_loop(Simulator& sim, Queue& queue, Time end_time,
   return StopReason::kDrained;
 }
 
+template <bool kExclusiveEnd>
+StopReason dispatch_run(Simulator& sim, SchedulerKind kind, Scheduler& queue,
+                        Time end_time, std::uint64_t max_events, Time& now,
+                        std::uint64_t& events_executed, bool& stop_requested) {
+  switch (kind) {
+    case SchedulerKind::kCalendar:
+      return run_loop<kExclusiveEnd>(sim, static_cast<CalendarQueue&>(queue),
+                                     end_time, max_events, now,
+                                     events_executed, stop_requested);
+    case SchedulerKind::kHeap:
+      break;
+  }
+  return run_loop<kExclusiveEnd>(sim, static_cast<EventQueue&>(queue),
+                                 end_time, max_events, now, events_executed,
+                                 stop_requested);
+}
+
 }  // namespace
 
 StopReason Simulator::run(Time end_time, std::uint64_t max_events) {
   stop_requested_ = false;
-  switch (kind_) {
-    case SchedulerKind::kCalendar:
-      return run_loop(*this, static_cast<CalendarQueue&>(*queue_), end_time,
-                      max_events, now_, events_executed_, stop_requested_);
-    case SchedulerKind::kHeap:
-      break;
-  }
-  return run_loop(*this, static_cast<EventQueue&>(*queue_), end_time,
-                  max_events, now_, events_executed_, stop_requested_);
+  return dispatch_run<false>(*this, kind_, *queue_, end_time, max_events,
+                             now_, events_executed_, stop_requested_);
+}
+
+StopReason Simulator::run_until(Time end_time, std::uint64_t max_events) {
+  stop_requested_ = false;
+  return dispatch_run<true>(*this, kind_, *queue_, end_time, max_events,
+                            now_, events_executed_, stop_requested_);
 }
 
 }  // namespace pstar::sim

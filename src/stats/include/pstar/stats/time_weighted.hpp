@@ -50,6 +50,27 @@ class TimeWeighted {
   double current() const { return value_; }
   double elapsed() const { return last_t_ - start_t_; }
 
+  /// Merges another gauge observed over the SAME time window into this
+  /// one, as used by the parallel engine to combine per-shard gauges
+  /// (docs/PARALLEL.md): integrals and elapsed windows add, so the merged
+  /// mean is the sum of the per-shard means (the global signal is the sum
+  /// of the shard signals).  The merged max is the sum of per-shard
+  /// maxima -- an upper bound on the true global max, since the shards
+  /// need not peak at the same instant; documented where reported.
+  void merge_windows(const TimeWeighted& other) {
+    if (!other.started_) return;
+    if (!started_) {
+      *this = other;
+      return;
+    }
+    integral_ += other.integral_;
+    value_ += other.value_;
+    max_ += other.max_;
+    // Keep the wider window so mean() divides by the full span.
+    start_t_ = start_t_ < other.start_t_ ? start_t_ : other.start_t_;
+    last_t_ = last_t_ > other.last_t_ ? last_t_ : other.last_t_;
+  }
+
  private:
   /// Throws when time goes backwards; out of line so the throw machinery
   /// stays off the inlined fast path.

@@ -41,6 +41,12 @@ struct LengthDist {
   /// Expected value; used to convert a target throughput factor into
   /// arrival rates when packets are not unit length.
   double mean() const;
+
+  /// Smallest length the law can produce (always >= 1).  This is the
+  /// parallel engine's conservative lookahead: no copy can cross a shard
+  /// boundary sooner than min() time units after its service begins
+  /// (docs/PARALLEL.md).
+  std::uint32_t min() const;
 };
 
 }  // namespace pstar::traffic

@@ -80,6 +80,16 @@ struct WorkloadConfig {
   /// M/D/1 (V = rho).  Each task in a batch draws its own source, kind,
   /// and length.
   std::uint32_t batch_size = 1;
+
+  /// Source slab [node_lo, node_hi): sources are drawn uniformly from
+  /// this node range and the merged arrival rate is scaled to its size.
+  /// node_hi == 0 means the whole torus -- the defaults reproduce the
+  /// unsharded stream bit for bit.  The parallel engine gives each shard
+  /// the slab of nodes it owns, so S independent per-shard workloads
+  /// superpose to the same Poisson process as one global workload
+  /// (docs/PARALLEL.md).  Destinations remain global.
+  topo::NodeId node_lo = 0;
+  topo::NodeId node_hi = 0;
 };
 
 /// Merged Poisson source driving an Engine.

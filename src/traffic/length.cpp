@@ -48,6 +48,20 @@ std::uint32_t LengthDist::sample(sim::Rng& rng) const {
   return 1;
 }
 
+std::uint32_t LengthDist::min() const {
+  switch (kind) {
+    case LengthKind::kFixed:
+      return fixed;
+    case LengthKind::kGeometric:
+      return 1;  // support is {1, 2, ...}
+    case LengthKind::kBimodal:
+      if (long_prob <= 0.0) return short_len;
+      if (long_prob >= 1.0) return long_len;
+      return short_len < long_len ? short_len : long_len;
+  }
+  return 1;
+}
+
 double LengthDist::mean() const {
   switch (kind) {
     case LengthKind::kFixed:

@@ -22,7 +22,13 @@ Workload::Workload(sim::Simulator& sim, net::Engine& engine, sim::Rng& rng,
   }
   const double per_node = config_.lambda_broadcast + config_.lambda_unicast +
                           config_.lambda_multicast;
-  total_rate_ = per_node * static_cast<double>(engine_.torus().node_count());
+  if (config_.node_hi == 0) config_.node_hi = engine_.torus().node_count();
+  if (config_.node_lo < 0 || config_.node_lo >= config_.node_hi ||
+      config_.node_hi > engine_.torus().node_count()) {
+    throw std::invalid_argument("Workload: bad source slab [node_lo, node_hi)");
+  }
+  total_rate_ =
+      per_node * static_cast<double>(config_.node_hi - config_.node_lo);
   broadcast_share_ = per_node > 0.0 ? config_.lambda_broadcast / per_node : 0.0;
   multicast_share_ = per_node > 0.0 ? config_.lambda_multicast / per_node : 0.0;
   if (engine_.torus().node_count() < 2 &&
@@ -65,12 +71,15 @@ void Workload::schedule_next() {
 void Workload::arrive(sim::Simulator&) {
   if (stopped_) return;
   const auto n = static_cast<std::uint64_t>(engine_.torus().node_count());
+  const auto slab =
+      static_cast<std::uint64_t>(config_.node_hi - config_.node_lo);
   for (std::uint32_t b = 0; b < config_.batch_size; ++b) {
     Arrival a;
     a.source = config_.hotspot_fraction > 0.0 &&
                        rng_.bernoulli(config_.hotspot_fraction)
                    ? config_.hotspot_node
-                   : static_cast<topo::NodeId>(rng_.below(n));
+                   : static_cast<topo::NodeId>(config_.node_lo +
+                                               rng_.below(slab));
     a.length = config_.length.sample(rng_);
     const double kind_draw = rng_.uniform();
     if (kind_draw < broadcast_share_) {

@@ -67,4 +67,28 @@ TEST(LargeTorus, ShortHorizonLoadedWindow64Cubed) {
   EXPECT_GT(r.peak_rss_bytes, 0u);
 }
 
+TEST(LargeTorus, ShardedShortHorizon64Cubed) {
+  // The same short loaded window through the sharded engine
+  // (docs/PARALLEL.md): four slabs of 65,536 nodes, conservative
+  // windows, handoffs across slab boundaries.  Nothing may be lost, and
+  // the run must drain -- a stuck cross-shard proxy would hang the
+  // window loop's drain detection instead.
+  harness::ExperimentSpec spec;
+  spec.shape = topo::Shape{64, 64, 64};
+  spec.rho = 0.05;
+  spec.warmup = 0.0;
+  spec.measure = 30.0;
+  spec.seed = 3;
+  spec.shards = 4;
+  const harness::ExperimentResult r = harness::run_experiment(spec);
+
+  EXPECT_FALSE(r.unstable);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+  EXPECT_EQ(r.delivered_fraction, 1.0);
+  EXPECT_EQ(r.drops, 0u);
+  EXPECT_EQ(r.lost_receptions, 0u);
+  EXPECT_GT(r.measured_broadcasts, 0u);
+  EXPECT_GT(r.events_processed, 100000u);
+}
+
 }  // namespace

@@ -1,0 +1,310 @@
+// Tests for the sharded conservative-sync engine (docs/PARALLEL.md).
+//
+// The determinism contract has two independent clauses, each locked
+// here with exact (==) comparisons:
+//
+//   1. shards == 1 is bit-identical to the serial engine (also locked
+//      trace-by-trace in test_scheduler_equivalence.cpp);
+//   2. a FIXED shard count is bit-identical across worker-thread counts
+//      -- threads move wall-clock, never results.
+//
+// Shard count itself is part of the experiment identity (like the
+// seed): different S means different per-shard rng streams and arrival
+// slabs, so cross-S results agree only statistically, which is asserted
+// with loose tolerances rather than equality.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pstar/harness/experiment.hpp"
+
+namespace {
+
+using namespace pstar;
+using harness::ExperimentResult;
+using harness::ExperimentSpec;
+
+// Exact comparison over every deterministic result field (the host
+// measurements wall_seconds / events_per_sec / peak_rss_bytes are
+// documented as outside the guarantee).
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.reception_delay_mean, b.reception_delay_mean);
+  EXPECT_EQ(a.reception_delay_ci95, b.reception_delay_ci95);
+  EXPECT_EQ(a.broadcast_delay_mean, b.broadcast_delay_mean);
+  EXPECT_EQ(a.broadcast_delay_ci95, b.broadcast_delay_ci95);
+  EXPECT_EQ(a.unicast_delay_mean, b.unicast_delay_mean);
+  EXPECT_EQ(a.unicast_delay_ci95, b.unicast_delay_ci95);
+  EXPECT_EQ(a.unicast_hops_mean, b.unicast_hops_mean);
+  EXPECT_EQ(a.reception_p50, b.reception_p50);
+  EXPECT_EQ(a.reception_p95, b.reception_p95);
+  EXPECT_EQ(a.reception_p99, b.reception_p99);
+  EXPECT_EQ(a.broadcast_p95, b.broadcast_p95);
+  EXPECT_EQ(a.unicast_p95, b.unicast_p95);
+  EXPECT_EQ(a.unicast_p99, b.unicast_p99);
+  for (int c = 0; c < net::kPriorityClasses; ++c) {
+    EXPECT_EQ(a.wait_mean[c], b.wait_mean[c]) << "class " << c;
+    EXPECT_EQ(a.wait_count[c], b.wait_count[c]) << "class " << c;
+    EXPECT_EQ(a.drops_by_class[c], b.drops_by_class[c]) << "class " << c;
+  }
+  EXPECT_EQ(a.utilization_mean, b.utilization_mean);
+  EXPECT_EQ(a.utilization_max, b.utilization_max);
+  EXPECT_EQ(a.utilization_cv, b.utilization_cv);
+  EXPECT_EQ(a.utilization_by_dim, b.utilization_by_dim);
+  EXPECT_EQ(a.concurrent_broadcasts, b.concurrent_broadcasts);
+  EXPECT_EQ(a.concurrent_unicasts, b.concurrent_unicasts);
+  EXPECT_EQ(a.queue_occupancy_mean, b.queue_occupancy_mean);
+  EXPECT_EQ(a.queue_occupancy_max, b.queue_occupancy_max);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.lost_receptions, b.lost_receptions);
+  EXPECT_EQ(a.failed_broadcasts, b.failed_broadcasts);
+  EXPECT_EQ(a.failed_unicasts, b.failed_unicasts);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+  EXPECT_EQ(a.link_failures, b.link_failures);
+  EXPECT_EQ(a.link_repairs, b.link_repairs);
+  EXPECT_EQ(a.fault_drops, b.fault_drops);
+  EXPECT_EQ(a.mean_downtime_fraction, b.mean_downtime_fraction);
+  EXPECT_EQ(a.measured_broadcasts, b.measured_broadcasts);
+  EXPECT_EQ(a.measured_unicasts, b.measured_unicasts);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.sim_end_time, b.sim_end_time);
+  EXPECT_EQ(a.unstable, b.unstable);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.inflight_at_end, b.inflight_at_end);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+ExperimentSpec base_spec() {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{8, 8};
+  spec.rho = 0.7;
+  spec.warmup = 100.0;
+  spec.measure = 400.0;
+  spec.seed = 42;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Clause 1: shards == 1 vs serial.
+
+TEST(ParallelEngine, SingleShardMatchesSerialBroadcast) {
+  ExperimentSpec spec = base_spec();
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  expect_identical(serial, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, SingleShardMatchesSerialMixedTraffic) {
+  ExperimentSpec spec = base_spec();
+  spec.broadcast_fraction = 0.5;
+  spec.record_histograms = true;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  expect_identical(serial, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, SingleShardMatchesSerialFiniteBuffers) {
+  ExperimentSpec spec = base_spec();
+  spec.queue_capacity = 2;
+  spec.rho = 0.9;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  expect_identical(serial, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, SingleShardMatchesSerialScriptedFaults) {
+  ExperimentSpec spec = base_spec();
+  spec.fail_links = {3, 17, 42};
+  spec.rho = 0.5;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  expect_identical(serial, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, SingleShardMatchesSerialOverloadShed) {
+  // Overload control is legal at shards == 1 (one shard sees the whole
+  // network, so the detector's global view is intact).
+  ExperimentSpec spec = base_spec();
+  spec.rho = 1.3;
+  spec.overload.mode = overload::OverloadMode::kShed;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  expect_identical(serial, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, SingleShardMatchesSerialEventLimit) {
+  // The window loop's per-round budget must reproduce the serial
+  // engine's exact stopping point, not just "roughly max_events".
+  ExperimentSpec spec = base_spec();
+  spec.max_events = 20'000;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  ASSERT_EQ(serial.stop_reason, sim::StopReason::kEventLimit);
+  spec.shards = 1;
+  expect_identical(serial, harness::run_experiment(spec));
+}
+
+// ---------------------------------------------------------------------------
+// Clause 2: fixed shard count, varying worker threads.
+
+TEST(ParallelEngine, FixedShardsBitIdenticalAcrossJobs) {
+  ExperimentSpec spec = base_spec();
+  spec.shards = 4;
+  spec.shard_jobs = 1;
+  const ExperimentResult one_thread = harness::run_experiment(spec);
+  spec.shard_jobs = 2;
+  expect_identical(one_thread, harness::run_experiment(spec));
+  spec.shard_jobs = 4;
+  expect_identical(one_thread, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, FixedShardsBitIdenticalAcrossJobsWithFaults) {
+  // Faults + per-link outage bookkeeping cross the shard hook's loss
+  // paths (orphaned proxies, spared in-service copies); those must be
+  // thread-schedule independent too.
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.5;
+  spec.fault_mtbf = 300.0;
+  spec.fault_mttr = 20.0;
+  spec.shards = 4;
+  spec.shard_jobs = 1;
+  const ExperimentResult one_thread = harness::run_experiment(spec);
+  EXPECT_GT(one_thread.link_failures, 0u);
+  spec.shard_jobs = 4;
+  expect_identical(one_thread, harness::run_experiment(spec));
+}
+
+TEST(ParallelEngine, RepeatedRunBitIdentical) {
+  // Same spec twice in the same process: no hidden global state.
+  ExperimentSpec spec = base_spec();
+  spec.shards = 3;  // deliberately not a divisor of 64 nodes
+  const ExperimentResult first = harness::run_experiment(spec);
+  expect_identical(first, harness::run_experiment(spec));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard handoffs.
+
+TEST(ParallelEngine, HandoffsAtWindowEdges) {
+  // Fixed service length == the window width, so every cross-shard
+  // arrival lands EXACTLY on a window boundary -- the edge case where a
+  // handoff announced in [t, t+W) arrives at precisely t+W and must be
+  // executed in the next round, never late or dropped.  Every broadcast
+  // must still reach all 63 remote nodes: lost receptions would show up
+  // as failed broadcasts and a delivered fraction below 1.
+  ExperimentSpec spec = base_spec();
+  spec.length = traffic::LengthDist::fixed_of(2);
+  spec.rho = 0.5;
+  spec.shards = 4;
+  const ExperimentResult r = harness::run_experiment(spec);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+  EXPECT_FALSE(r.unstable);
+  EXPECT_GT(r.measured_broadcasts, 0u);
+  EXPECT_EQ(r.lost_receptions, 0u);
+  EXPECT_EQ(r.failed_broadcasts, 0u);
+  EXPECT_EQ(r.drops, 0u);
+  // Edge-aligned arrivals must be reproducible across thread counts too.
+  ExperimentSpec again = spec;
+  again.shard_jobs = 4;
+  expect_identical(r, harness::run_experiment(again));
+}
+
+TEST(ParallelEngine, ShardedStatisticsTrackSerial) {
+  // Cross-S agreement is statistical, not exact: the sharded run samples
+  // different streams, but it simulates the same physical system, so
+  // first moments must land close to the serial run's.
+  ExperimentSpec spec = base_spec();
+  spec.rho = 0.5;
+  spec.measure = 2000.0;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 4;
+  const ExperimentResult sharded = harness::run_experiment(spec);
+  EXPECT_FALSE(sharded.unstable);
+  EXPECT_NEAR(sharded.broadcast_delay_mean, serial.broadcast_delay_mean,
+              0.25 * serial.broadcast_delay_mean);
+  EXPECT_NEAR(sharded.utilization_mean, serial.utilization_mean,
+              0.15 * serial.utilization_mean);
+}
+
+TEST(ParallelEngine, UnicastCrossesShards) {
+  // Unicast-only traffic: every delivery on a multi-shard torus has a
+  // good chance of crossing a boundary; terminal-shard reporting must
+  // close every task (no stuck proxies -> the run drains).
+  ExperimentSpec spec = base_spec();
+  spec.broadcast_fraction = 0.0;
+  spec.rho = 0.6;
+  spec.shards = 4;
+  const ExperimentResult r = harness::run_experiment(spec);
+  EXPECT_EQ(r.stop_reason, sim::StopReason::kDrained);
+  EXPECT_GT(r.measured_unicasts, 0u);
+  EXPECT_GT(r.unicast_hops_mean, 0.0);
+  EXPECT_EQ(r.failed_unicasts, 0u);
+}
+
+TEST(ParallelEngine, ShardedLinkMetricsMergeCoversAllLinks) {
+  // Per-shard registries must merge back into one full-size snapshot
+  // with every directed link's load present (a dropped slab would leave
+  // zero cells and skew the imbalance columns, docs/OBSERVABILITY.md).
+  ExperimentSpec spec = base_spec();
+  spec.collect_link_metrics = true;
+  spec.shards = 4;
+  const ExperimentResult r = harness::run_experiment(spec);
+  ASSERT_NE(r.link_metrics, nullptr);
+  const auto& snap = *r.link_metrics;
+  ASSERT_EQ(snap.links.size(), 256u);  // 8x8 torus, 4 directed links/node
+  std::uint64_t total_tx = 0;
+  std::size_t loaded_links = 0;
+  for (topo::LinkId l = 0; l < static_cast<topo::LinkId>(snap.links.size());
+       ++l) {
+    const std::uint64_t tx = snap.link_transmissions(l);
+    total_tx += tx;
+    if (tx > 0) ++loaded_links;
+  }
+  // Broadcast load at rho 0.7 touches every link of every slab; a merge
+  // that dropped a slab would leave its 64 links at zero.
+  EXPECT_EQ(loaded_links, snap.links.size());
+  // The registry window-clamps harder than the engine's Metrics (it
+  // counts a transmission only against the registry window), so its
+  // total is bounded by -- not equal to -- the engine's.
+  EXPECT_GT(total_tx, 0u);
+  EXPECT_LE(total_tx, r.transmissions);
+  EXPECT_GT(snap.span(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Config rejections: global-state features are refused at shards > 1.
+
+TEST(ParallelEngine, RejectsGlobalFeaturesWhenSharded) {
+  ExperimentSpec base = base_spec();
+  base.shards = 2;
+  {
+    ExperimentSpec spec = base;
+    spec.broadcast_fraction = 0.4;
+    spec.multicast_fraction = 0.3;
+    EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
+  }
+  {
+    ExperimentSpec spec = base;
+    spec.max_retries = 2;
+    EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
+  }
+  {
+    ExperimentSpec spec = base;
+    spec.overload.mode = overload::OverloadMode::kThrottle;
+    EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
+  }
+  {
+    ExperimentSpec spec = base;
+    spec.hotspot_fraction = 0.3;
+    EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
+  }
+}
+
+TEST(ParallelEngine, RejectsMoreShardsThanNodes) {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{2, 2};
+  spec.shards = 5;
+  EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
+}
+
+}  // namespace

@@ -269,6 +269,66 @@ TEST(SchedulerEquivalence, IdenticalJsonlTraces) {
   EXPECT_EQ(heap_trace, cal_trace);
 }
 
+// ---------------------------------------------------------------------------
+// Serial engine vs the parallel path at shards == 1 (docs/PARALLEL.md §5).
+// One shard owns the whole torus, no shard hook is attached, and the
+// shard rng uses the base seed directly, so the single-shard run must be
+// bit-identical to the serial engine -- the same exactness bar as the
+// scheduler backends above.
+
+TEST(SchedulerEquivalence, SingleShardMatchesSerial) {
+  for (sim::SchedulerKind kind :
+       {sim::SchedulerKind::kHeap, sim::SchedulerKind::kCalendar}) {
+    ExperimentSpec spec = base_spec();
+    spec.scheduler = kind;
+    const ExperimentResult serial = harness::run_experiment(spec);
+    spec.shards = 1;
+    const ExperimentResult sharded = harness::run_experiment(spec);
+    expect_identical(serial, sharded);
+  }
+}
+
+TEST(SchedulerEquivalence, SingleShardMatchesSerialFaultedRecovery) {
+  // Faults, recovery timers, and finite buffers all ride the single
+  // shard's scheduler; the parallel path must reproduce them exactly.
+  ExperimentSpec spec = base_spec();
+  spec.fault_mtbf = 300.0;
+  spec.fault_mttr = 20.0;
+  spec.max_retries = 3;
+  spec.retry_timeout = 30.0;
+  spec.queue_capacity = 4;
+  spec.rho = 0.5;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  const ExperimentResult sharded = harness::run_experiment(spec);
+  expect_identical(serial, sharded);
+}
+
+TEST(SchedulerEquivalence, SingleShardIdenticalJsonlTraces) {
+  // Byte-identical event traces: the single-shard window loop may slice
+  // the run into thousands of run_until() calls, but the event ORDER it
+  // executes must match the serial engine's exactly.
+  auto trace_of = [](std::uint32_t shards) {
+    std::ostringstream os;
+    obs::JsonlTraceSink sink(os);
+    ExperimentSpec spec;
+    spec.shape = topo::Shape{6, 6};
+    spec.rho = 0.8;
+    spec.warmup = 50.0;
+    spec.measure = 200.0;
+    spec.seed = 7;
+    spec.broadcast_fraction = 0.7;
+    spec.shards = shards;
+    spec.trace_sink = &sink;
+    harness::run_experiment(spec);
+    return os.str();
+  };
+  const std::string serial_trace = trace_of(0);
+  const std::string sharded_trace = trace_of(1);
+  ASSERT_FALSE(serial_trace.empty());
+  EXPECT_EQ(serial_trace, sharded_trace);
+}
+
 TEST(SchedulerEquivalence, IdenticalFaultedTraces) {
   // Trace equivalence under faults + recovery: timers, backoff, and
   // re-floods ride the same scheduler and must interleave identically.

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
 """Record (or check) a point on the engine benchmark trajectory.
 
-Runs the tracked workload -- the 16x16 broadcast hot loop at rho = 0.9
-(the same workload as micro_engine's BM_Broadcast16HotLoop) -- through
-``sweep_cli --perf`` several times per scheduler backend, in a FRESH
-process each time so peak RSS is meaningful, and summarizes the PERF
-lines into one trajectory point:
+Two axes share one trajectory file (BENCH_ENGINE.json):
 
-  events, best / median events per second per backend, peak RSS per
-  backend, and the calendar-vs-heap speedup measured in the same window.
+  --axis engine (default)
+      The 16x16 broadcast hot loop at rho = 0.9 (the same workload as
+      micro_engine's BM_Broadcast16HotLoop) through ``sweep_cli --perf``,
+      interleaving the heap and calendar scheduler backends in FRESH
+      processes so peak RSS is meaningful.  A point records events,
+      best / median events per second per backend, peak RSS per backend,
+      and the calendar-vs-heap speedup measured in the same window.
+
+  --axis parallel
+      The 64x64x64 broadcast workload (docs/PARALLEL.md) across shard
+      counts 0 (serial engine), 1, 2, 4, 8, interleaved the same way.
+      A point records per-shard-count events/sec plus each count's
+      speedup over the serial run from the same window.  Shard counts
+      draw different per-shard arrival streams (the shard count is part
+      of experiment identity), so event totals differ by design;
+      events/sec is the comparable number.
 
 Modes:
 
@@ -17,15 +27,23 @@ Modes:
                      against the last recorded point and exit nonzero
                      on a regression beyond --tolerance (default 10%)
 
-Noise caveat (docs/ENGINE.md): raw events/sec from a shared host moves
-with machine load, and raw numbers from DIFFERENT machines are not
-comparable at all.  Within one invocation the backends are interleaved
-(heap, calendar, heap, calendar, ...), so the calendar-vs-heap SPEEDUP
-ratio is stable across both load and hardware.  --check therefore
-compares best-of-N raw throughput only when the baseline was recorded
-on this same host, and falls back to the speedup ratio otherwise (the
-CI case: ephemeral runners).  Treat a raw-number failure on a shared
-machine as a prompt to re-run, not as proof.
+Noise caveat (docs/ENGINE.md, docs/PARALLEL.md): raw events/sec from a
+shared host moves with machine load, and raw numbers from DIFFERENT
+machines are not comparable at all.  Within one invocation the
+configurations are interleaved so they see the same host-load window,
+which makes the RATIOS (calendar-vs-heap, shards-vs-serial) stable
+across both load and hardware.  --check therefore compares best-of-N
+raw throughput only when the baseline was recorded on this same host,
+and falls back to the ratio otherwise (the CI case: ephemeral
+runners).  Treat a raw-number failure on a shared machine as a prompt
+to re-run, not as proof.
+
+The parallel axis has one more hardware dependence: the shards-vs-serial
+ratio moves with the CORE COUNT (on a single-core host the sharded
+engine cannot overlap shard execution, so the ratio reflects only its
+smaller per-shard event populations).  A recorded parallel point
+therefore stores the host's cpu_count, and --check refuses to compare
+ratios against a baseline from a host with a different core count.
 
 Stdlib only.
 """
@@ -44,7 +62,7 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-# The tracked workload.  Changing it invalidates the trajectory: bump
+# The tracked workloads.  Changing one invalidates its trajectory: bump
 # the label and start a new file instead.
 WORKLOAD = {
     "shape": "16x16",
@@ -55,33 +73,54 @@ WORKLOAD = {
     "seed": 42,
 }
 
+# The parallel axis: large enough that shard-local event populations and
+# cross-shard handoffs both matter, short enough for CI.  One scheme so
+# a run is one cell.  Shard count 0 selects the serial engine.
+PARALLEL_WORKLOAD = {
+    "shape": "64x64x64",
+    "rho": 0.2,
+    "broadcast_fraction": 1.0,
+    "warmup": 0.0,
+    "measure": 10.0,
+    "seed": 42,
+    "schemes": "priority-STAR",
+}
+PARALLEL_SHARDS = [0, 1, 2, 4, 8]
+
 PERF_RE = re.compile(
-    r"^PERF scheduler=(?P<scheduler>\S+) events=(?P<events>\d+) "
+    r"^PERF scheduler=(?P<scheduler>\S+) shards=(?P<shards>\d+) "
+    r"events=(?P<events>\d+) "
     r"wall_seconds=(?P<wall>[0-9.]+) events_per_sec=(?P<eps>[0-9.]+) "
     r"peak_rss_bytes=(?P<rss>\d+)$"
 )
 
 
-def run_once(binary: str, scheduler: str) -> dict:
+def run_once(binary: str, scheduler: str, workload: dict = WORKLOAD,
+             shards: int = 0) -> dict:
     """One fresh-process measurement; returns the parsed PERF record."""
     cmd = [
         binary,
-        "--shape", WORKLOAD["shape"],
-        "--rho", f"{WORKLOAD['rho']}:{WORKLOAD['rho']}:1",
-        "--bcast-frac", str(WORKLOAD["broadcast_fraction"]),
-        "--warmup", str(WORKLOAD["warmup"]),
-        "--measure", str(WORKLOAD["measure"]),
-        "--seed", str(WORKLOAD["seed"]),
+        "--shape", workload["shape"],
+        "--rho", f"{workload['rho']}:{workload['rho']}:1",
+        "--bcast-frac", str(workload["broadcast_fraction"]),
+        "--warmup", str(workload["warmup"]),
+        "--measure", str(workload["measure"]),
+        "--seed", str(workload["seed"]),
         "--jobs", "1",
         "--scheduler", scheduler,
         "--perf",
     ]
+    if "schemes" in workload:
+        cmd += ["--schemes", workload["schemes"]]
+    if shards > 0:
+        cmd += ["--shards", str(shards)]
     out = subprocess.run(cmd, check=True, capture_output=True, text=True).stdout
     for line in out.splitlines():
         m = PERF_RE.match(line.strip())
         if m:
             return {
                 "scheduler": m.group("scheduler"),
+                "shards": int(m.group("shards")),
                 "events": int(m.group("events")),
                 "wall_seconds": float(m.group("wall")),
                 "events_per_sec": float(m.group("eps")),
@@ -135,6 +174,49 @@ def measure(binary: str, runs: int) -> dict:
     }
 
 
+def measure_parallel(binary: str, runs: int) -> dict:
+    """Interleaved measurement across PARALLEL_SHARDS, `runs` each."""
+    samples: dict[int, list[dict]] = {s: [] for s in PARALLEL_SHARDS}
+    for i in range(runs):
+        # Interleave so every shard count sees the same host-load window.
+        for shards in PARALLEL_SHARDS:
+            rec = run_once(binary, "calendar", PARALLEL_WORKLOAD, shards)
+            assert rec["shards"] == shards
+            samples[shards].append(rec)
+            print(
+                f"  run {i + 1}/{runs} shards={shards}: "
+                f"{rec['events_per_sec'] / 1e6:6.2f}M events/s "
+                f"({rec['wall_seconds']:.1f}s wall), "
+                f"rss {rec['peak_rss_bytes'] // (1024 * 1024)} MiB",
+                file=sys.stderr,
+            )
+
+    def summary(recs: list[dict]) -> dict:
+        eps = [r["events_per_sec"] for r in recs]
+        return {
+            "events": recs[0]["events"],
+            "events_per_sec_best": max(eps),
+            "events_per_sec_median": statistics.median(eps),
+            "peak_rss_bytes": min(r["peak_rss_bytes"] for r in recs),
+        }
+
+    by_shards = {str(s): summary(samples[s]) for s in PARALLEL_SHARDS}
+    serial_median = by_shards["0"]["events_per_sec_median"]
+    speedups = {
+        str(s): round(
+            by_shards[str(s)]["events_per_sec_median"] / serial_median, 3
+        )
+        for s in PARALLEL_SHARDS
+        if s > 0 and serial_median > 0
+    }
+    return {
+        "runs": runs,
+        "cpu_count": os.cpu_count(),
+        "by_shards": by_shards,
+        "speedup_vs_serial": speedups,
+    }
+
+
 def git_rev() -> str:
     try:
         return subprocess.run(
@@ -154,8 +236,105 @@ def load_trajectory(path: str) -> dict:
                 f"{path} tracks a different workload; move it aside to "
                 "start a new trajectory"
             )
+        if ("parallel_workload" in doc
+                and doc["parallel_workload"] != PARALLEL_WORKLOAD):
+            raise SystemExit(
+                f"{path} tracks a different parallel workload; move it "
+                "aside to start a new trajectory"
+            )
         return doc
     return {"schema": 1, "workload": WORKLOAD, "points": []}
+
+
+def run_parallel_axis(args: argparse.Namespace) -> int:
+    """Measure + record/check the shard-count axis (--axis parallel)."""
+    nconf = len(PARALLEL_SHARDS)
+    print(
+        f"measuring {args.runs}x{nconf} fresh-process runs "
+        f"(shard counts {PARALLEL_SHARDS}) ...",
+        file=sys.stderr,
+    )
+    point = measure_parallel(args.binary, args.runs)
+
+    top = str(max(PARALLEL_SHARDS))
+    print(
+        "serial median "
+        f"{point['by_shards']['0']['events_per_sec_median'] / 1e6:.2f}M "
+        "events/s | "
+        + " | ".join(
+            f"{s} shards {point['speedup_vs_serial'][s]:.2f}x"
+            for s in point["speedup_vs_serial"]
+        )
+        + f" | host cores {point['cpu_count']}"
+    )
+
+    if args.check:
+        doc = load_trajectory(args.output)
+        baselines = doc.get("parallel_points", [])
+        if not baselines:
+            raise SystemExit(
+                f"{args.output} has no recorded parallel points to check"
+            )
+        baseline = baselines[-1]
+        same_host = baseline.get("host") == platform.node()
+        if same_host:
+            base = baseline["by_shards"][top]["events_per_sec_best"]
+            cur = point["by_shards"][top]["events_per_sec_best"]
+            what = f"events/sec at {top} shards (best of N, same host)"
+        else:
+            # Raw throughput from another machine is not comparable; the
+            # shards-vs-serial ratio is -- but only between hosts with the
+            # same core count, since it measures how much shard execution
+            # overlaps.
+            if baseline.get("cpu_count") != point["cpu_count"]:
+                print(
+                    "check skipped: baseline recorded on "
+                    f"{baseline.get('host', '?')} with "
+                    f"{baseline.get('cpu_count', '?')} cores, this host has "
+                    f"{point['cpu_count']}; neither raw events/sec nor the "
+                    "shards-vs-serial ratio is comparable across different "
+                    "core counts"
+                )
+                return 0
+            base = baseline["speedup_vs_serial"][top]
+            cur = point["speedup_vs_serial"][top]
+            what = (
+                f"{top}-shards-vs-serial speedup (different host than the "
+                "baseline; raw events/sec are not comparable)"
+            )
+        floor = (1.0 - args.tolerance) * base
+        print(
+            f"check: {what}\n"
+            f"  current {cur:.3g} vs baseline {base:.3g} "
+            f"(floor {floor:.3g}, baseline rev {baseline.get('git_rev', '?')})"
+        )
+        if cur < floor:
+            print(
+                f"REGRESSION: {what} dropped more than "
+                f"{args.tolerance:.0%} below the recorded baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print("ok: within tolerance")
+        return 0
+
+    doc = load_trajectory(args.output)
+    doc.setdefault("parallel_workload", PARALLEL_WORKLOAD)
+    doc.setdefault("parallel_points", [])
+    point["git_rev"] = git_rev()
+    point["host"] = platform.node()
+    point["date"] = datetime.date.today().isoformat()
+    if args.label:
+        point["label"] = args.label
+    doc["parallel_points"].append(point)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(
+        f"recorded parallel point {len(doc['parallel_points'])} "
+        f"-> {args.output}"
+    )
+    return 0
 
 
 def main() -> int:
@@ -186,12 +365,20 @@ def main() -> int:
         "--tolerance", type=float, default=0.10,
         help="--check: allowed fractional events/sec drop (default 0.10)",
     )
+    parser.add_argument(
+        "--axis", choices=("engine", "parallel"), default="engine",
+        help="engine: heap-vs-calendar on 16x16 (default); "
+             "parallel: shard counts 0/1/2/4/8 on 64x64x64",
+    )
     args = parser.parse_args()
 
     if not os.path.exists(args.binary):
         raise SystemExit(f"binary not found: {args.binary} (build first)")
     if args.runs < 1:
         raise SystemExit("--runs must be >= 1")
+
+    if args.axis == "parallel":
+        return run_parallel_axis(args)
 
     print(f"measuring {args.runs}x2 fresh-process runs ...", file=sys.stderr)
     point = measure(args.binary, args.runs)
