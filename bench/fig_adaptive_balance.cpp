@@ -1,0 +1,106 @@
+// Adaptive-balance figure (docs/ADAPTIVE.md): static x versus the
+// closed-loop balancer across three regimes.  On a symmetric torus with
+// the paper's own x there is nothing to correct -- the loop must stay
+// quiescent (re-solves but no swaps, the determinism contract's
+// quiescence leg).  On an asymmetric torus under a WRONG static x
+// (uniform tree choice) the static runs plateau at a measured group
+// imbalance well above 1; the adaptive runs must pull it to ~1 and
+// convert the reclaimed capacity into lower delay.  The hotspot column
+// shows the negative control: source skew does not create per-dimension
+// imbalance (every tree makes the same per-dimension transmission counts
+// from any root), so the loop correctly leaves x alone.
+
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/harness/table.hpp"
+#include "pstar/routing/adaptive_balancer.hpp"
+
+int main() {
+  using namespace pstar;
+
+  struct Scenario {
+    const char* name;
+    topo::Shape shape;
+    core::Scheme scheme;
+    double rho;
+    double hotspot_fraction;
+  };
+  // The hotspot row runs at the ablation_hotspot load point: above
+  // rho ~0.5 the hotspot node's own outgoing links saturate regardless
+  // of tree choice, which is a capacity wall, not an imbalance.
+  const std::vector<Scenario> scenarios{
+      {"symmetric", topo::Shape{8, 8}, core::Scheme::priority_star(), 0.6,
+       0.0},
+      {"asym-wrong-x", topo::Shape{4, 16}, core::Scheme::priority_direct(),
+       0.6, 0.0},
+      {"hotspot", topo::Shape{8, 8}, core::Scheme::priority_star(), 0.4,
+       0.25},
+  };
+  std::cout << "== fig-adaptive-balance: static vs closed-loop x ==\n\n";
+
+  std::vector<harness::ExperimentSpec> specs;
+  for (const Scenario& sc : scenarios) {
+    for (int adaptive = 0; adaptive < 2; ++adaptive) {
+      harness::ExperimentSpec spec;
+      spec.shape = sc.shape;
+      spec.scheme = sc.scheme;
+      spec.rho = sc.rho;
+      spec.broadcast_fraction = 1.0;
+      spec.warmup = 300.0;
+      spec.measure = 3000.0;
+      spec.seed = 2121;
+      spec.hotspot_fraction = sc.hotspot_fraction;
+      spec.hotspot_node = 0;
+      spec.collect_link_metrics = true;
+      if (adaptive != 0) {
+        spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
+        // Longer epochs than the CLI default: the lighter rho 0.4 row
+        // needs the extra averaging to keep sampling noise inside the
+        // deadband (docs/ADAPTIVE.md on the interval/noise trade).
+        spec.adaptive.interval = 500.0;
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = bench::run_all(specs, "fig_adaptive_balance");
+
+  // "dim-imb" is the registry's whole-window (dim, dir) group imbalance;
+  // "final-imb" is the balancer's LAST epoch -- the steady state the
+  // loop converged to, noisier because one epoch is a short window.
+  harness::Table table({"scenario", "mode", "reception-delay", "dim-imb",
+                        "final-imb", "re-solves", "applied", "x-drift"});
+  std::size_t index = 0;
+  for (const Scenario& sc : scenarios) {
+    for (int adaptive = 0; adaptive < 2; ++adaptive) {
+      const auto& r = results[index++];
+      const char* mode = adaptive != 0 ? "adaptive" : "static";
+      if (r.unstable || r.saturated) {
+        table.add_row({sc.name, mode, "unstable", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const double imb = r.link_metrics != nullptr
+                             ? r.link_metrics->dimension_imbalance()
+                             : 1.0;
+      table.add_row({sc.name, mode, harness::fmt(r.reception_delay_mean, 2),
+                     harness::fmt(imb, 3),
+                     adaptive != 0 ? harness::fmt(r.adaptive_final_imbalance, 3)
+                                   : std::string("-"),
+                     std::to_string(r.adaptive_resolves),
+                     std::to_string(r.adaptive_applied),
+                     harness::fmt(r.adaptive_x_drift, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout, "CSV,fig_adaptive_balance");
+  std::cout << "\nshape-check: the symmetric row is quiescent (applied 0, "
+               "x-drift 0) and the\nhotspot row's x stays essentially static "
+               "(x-drift < 0.01: source skew is not\nper-dimension "
+               "steerable), both at static delay; the asym-wrong-x static "
+               "row\nplateaus above 1.1 dim-imb while its adaptive row pulls "
+               "it to ~1 with a\nsubstantial x-drift and lower reception "
+               "delay.\n";
+  return 0;
+}

@@ -53,6 +53,18 @@
 //                               sat-time / throttled columns
 //     --sat-high X --sat-low X  detector hysteresis on the EWMA of mean
 //                               per-link backlog (default 10 / 3)
+//     --adaptive MODE           closed-loop adaptive balancing
+//                               (docs/ADAPTIVE.md): off (default; the
+//                               static paper x for the whole run) or
+//                               periodic (re-solve the ending-dimension
+//                               probabilities from measured link loads on
+//                               an epoch timer); adds re-solves /
+//                               final-imb / x-drift columns.  off is
+//                               bit-identical to builds without the
+//                               subsystem
+//     --adapt-interval T        epoch length in time units (default 250)
+//     --adapt-deadband X        L-inf threshold below which a re-solved x
+//                               is not applied (default 0.02)
 //     --scheduler NAME          pending-event-set backend: calendar
 //                               (default) or heap; results are
 //                               bit-identical either way (docs/ENGINE.md)
@@ -94,6 +106,7 @@
 #include "pstar/harness/table.hpp"
 #include "pstar/obs/trace.hpp"
 #include "pstar/overload/controller.hpp"
+#include "pstar/routing/adaptive_balancer.hpp"
 #include "pstar/sim/rng.hpp"
 
 namespace {
@@ -130,6 +143,9 @@ struct Options {
   overload::OverloadMode overload_mode = overload::OverloadMode::kOff;
   double sat_high = 10.0;
   double sat_low = 3.0;
+  routing::AdaptiveMode adaptive_mode = routing::AdaptiveMode::kOff;
+  double adapt_interval = 250.0;
+  double adapt_deadband = 0.02;
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   std::uint32_t shards = 0;
   bool perf = false;
@@ -138,6 +154,7 @@ struct Options {
   bool overloaded() const {
     return overload_mode != overload::OverloadMode::kOff;
   }
+  bool adaptive() const { return adaptive_mode != routing::AdaptiveMode::kOff; }
 };
 
 Options parse_options(int argc, char** argv) {
@@ -235,6 +252,19 @@ Options parse_options(int argc, char** argv) {
       } else {
         throw std::invalid_argument("--overload must be off, throttle, or shed");
       }
+    } else if (flag == "--adaptive") {
+      const std::string which = value();
+      if (which == "off") {
+        opt.adaptive_mode = routing::AdaptiveMode::kOff;
+      } else if (which == "periodic") {
+        opt.adaptive_mode = routing::AdaptiveMode::kPeriodic;
+      } else {
+        throw std::invalid_argument("--adaptive must be off or periodic");
+      }
+    } else if (flag == "--adapt-interval") {
+      opt.adapt_interval = std::stod(value());
+    } else if (flag == "--adapt-deadband") {
+      opt.adapt_deadband = std::stod(value());
     } else if (flag == "--scheduler") {
       const std::string which = value();
       if (which == "heap") {
@@ -287,6 +317,19 @@ Options parse_options(int argc, char** argv) {
   if (opt.overloaded() && (opt.sat_low <= 0.0 || opt.sat_high <= opt.sat_low)) {
     throw std::invalid_argument("--overload needs --sat-high > --sat-low > 0");
   }
+  if (opt.adaptive()) {
+    if (opt.adapt_interval <= 0.0) {
+      throw std::invalid_argument("--adapt-interval must be > 0");
+    }
+    if (opt.adapt_deadband < 0.0) {
+      throw std::invalid_argument("--adapt-deadband must be >= 0");
+    }
+    if (opt.shards > 1) {
+      throw std::invalid_argument(
+          "--adaptive periodic conflicts with --shards > 1 -- the control "
+          "loop samples one global metrics registry; run with --shards 1");
+    }
+  }
   return opt;
 }
 
@@ -312,6 +355,8 @@ int main(int argc, char** argv) {
                  "[--retry-backoff B]]\n"
                  "                 [--overload off|throttle|shed "
                  "[--sat-high X] [--sat-low X]]\n"
+                 "                 [--adaptive off|periodic "
+                 "[--adapt-interval T] [--adapt-deadband X]]\n"
                  "                 [--scheduler heap|calendar] [--shards N] "
                  "[--perf]\n";
     return 2;
@@ -344,6 +389,9 @@ int main(int argc, char** argv) {
   if (opt.overloaded()) {
     header.insert(header.end(),
                   {"goodput", "shed-frac", "hi-deliv", "sat-time", "throttled"});
+  }
+  if (opt.adaptive()) {
+    header.insert(header.end(), {"re-solves", "final-imb", "x-drift"});
   }
   if (!opt.metrics_path.empty()) header.push_back("imb");
   if (opt.reps > 1) {
@@ -386,6 +434,9 @@ int main(int argc, char** argv) {
       spec.overload.mode = opt.overload_mode;
       spec.overload.sat_high = opt.sat_high;
       spec.overload.sat_low = opt.sat_low;
+      spec.adaptive.mode = opt.adaptive_mode;
+      spec.adaptive.interval = opt.adapt_interval;
+      spec.adaptive.deadband = opt.adapt_deadband;
       spec.scheduler = opt.scheduler;
       spec.shards = opt.shards;
       spec.shard_jobs = static_cast<unsigned>(opt.jobs);
@@ -428,6 +479,7 @@ int main(int argc, char** argv) {
         if (opt.faulted()) row.push_back("-");
         if (opt.retries > 0) row.insert(row.end(), {"-", "-"});
         if (opt.overloaded()) row.insert(row.end(), {"-", "-", "-", "-", "-"});
+        if (opt.adaptive()) row.insert(row.end(), {"-", "-", "-"});
         if (!opt.metrics_path.empty()) row.push_back("-");
         if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
         if (opt.tails) row.insert(row.end(), {"-", "-"});
@@ -475,6 +527,18 @@ int main(int argc, char** argv) {
             mean_completed([](const auto& r) { return r.time_in_saturation; }),
             1));
         row.push_back(std::to_string(throttled));
+      }
+      if (opt.adaptive()) {
+        std::uint64_t resolves = 0;
+        for (const auto& run : agg.runs) resolves += run.adaptive_resolves;
+        row.push_back(std::to_string(resolves));
+        row.push_back(harness::fmt(
+            mean_completed(
+                [](const auto& r) { return r.adaptive_final_imbalance; }),
+            3));
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.adaptive_x_drift; }),
+            4));
       }
       if (!opt.metrics_path.empty()) {
         const double imb = harness::mean_imbalance(agg);
@@ -590,6 +654,11 @@ int main(int argc, char** argv) {
                          : "throttle")
               .field("sat_high", opt.sat_high)
               .field("sat_low", opt.sat_low);
+        }
+        if (opt.adaptive()) {
+          header_rec.field("adaptive", "periodic")
+              .field("adapt_interval", opt.adapt_interval)
+              .field("adapt_deadband", opt.adapt_deadband);
         }
       }
       try {

@@ -35,6 +35,7 @@
 #include "pstar/obs/trace.hpp"
 #include "pstar/queueing/gd1.hpp"
 #include "pstar/queueing/throughput.hpp"
+#include "pstar/routing/adaptive_balancer.hpp"
 #include "pstar/routing/combined.hpp"
 #include "pstar/routing/priorities.hpp"
 #include "pstar/routing/sdc_broadcast.hpp"

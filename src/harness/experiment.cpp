@@ -236,28 +236,40 @@ ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
     // Each of these samples or mutates GLOBAL state mid-run (multicast
     // plans span shards, the overload detector averages every link, the
     // recovery layer re-floods across boundaries, trace sinks are
-    // single-threaded, hotspots concentrate sources in one slab); a
-    // sharded run cannot reproduce them faithfully, so they are rejected
-    // rather than silently approximated (docs/PARALLEL.md).
+    // single-threaded, the adaptive control loop reads one global
+    // registry); a sharded run cannot reproduce them faithfully, so they
+    // are rejected rather than silently approximated (docs/PARALLEL.md).
+    // Every message names the conflicting flag and the supported
+    // alternative.  Hotspot skew is NOT in this list: the workload
+    // partitions the hotspot's arrival weight to the slab that owns it.
     if (spec.multicast_fraction > 0.0) {
       throw std::invalid_argument(
-          "run_experiment: multicast traffic requires shards <= 1");
+          "run_experiment: multicast traffic (--multicast) requires a single "
+          "shard -- run with --shards 1 (pruned-tree plans span shard "
+          "boundaries)");
     }
     if (spec.max_retries > 0) {
       throw std::invalid_argument(
-          "run_experiment: the recovery layer requires shards <= 1");
+          "run_experiment: the recovery layer (--retries) requires a single "
+          "shard -- run with --shards 1 (retries re-flood across shard "
+          "boundaries)");
     }
     if (spec.overload.enabled()) {
       throw std::invalid_argument(
-          "run_experiment: overload control requires shards <= 1");
+          "run_experiment: overload control (--overload) requires a single "
+          "shard -- run with --shards 1 (the saturation detector averages "
+          "every link)");
     }
     if (spec.trace_sink != nullptr) {
       throw std::invalid_argument(
-          "run_experiment: trace sinks require shards <= 1");
+          "run_experiment: trace sinks (--trace) require a single shard -- "
+          "run with --shards 1 (the JSONL sink is single-threaded)");
     }
-    if (spec.hotspot_fraction > 0.0) {
+    if (spec.adaptive.enabled()) {
       throw std::invalid_argument(
-          "run_experiment: hotspot skew requires shards <= 1");
+          "run_experiment: adaptive balancing (--adaptive) requires a single "
+          "shard -- run with --shards 1 (the control loop samples one global "
+          "metrics registry)");
     }
   }
   const topo::Torus torus =
@@ -477,6 +489,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   std::unique_ptr<obs::MetricsRegistry> registry;
   if (spec.collect_link_metrics) {
     registry = std::make_unique<obs::MetricsRegistry>(torus);
+  } else if (spec.adaptive.enabled()) {
+    // The balancer needs only cumulative per-link busy time; skip the
+    // backlog tracker and wait histograms the user did not ask for.
+    obs::MetricsConfig mc;
+    mc.track_backlog = false;
+    mc.wait_histograms = false;
+    registry = std::make_unique<obs::MetricsRegistry>(torus, mc);
   }
   obs::EngineProbe probe(registry.get(), spec.trace_sink);
   if (registry || spec.trace_sink) engine.set_observer(&probe);
@@ -490,6 +509,23 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
            [reg](sim::Simulator& s) { reg->begin_window(s.now()); });
     sim.at(traffic_cfg.stop_time,
            [reg](sim::Simulator& s) { reg->end_window(s.now()); });
+  }
+
+  // Closed-loop adaptive balancing (docs/ADAPTIVE.md): a quasi-static
+  // control loop that re-solves the ending-dimension probabilities from
+  // the registry's measured per-(dim, dir) busy time on a fixed epoch
+  // timer.  lambda_b is converted to busy-time units here (launch rate
+  // per node x mean service time) so the residual solve compares like
+  // with like; mode kOff constructs nothing and the run is bit-identical
+  // to a build without the subsystem.
+  std::unique_ptr<routing::AdaptiveBalancer> balancer;
+  if (spec.adaptive.enabled()) {
+    routing::AdaptiveConfig ac = spec.adaptive;
+    ac.lambda_b = rates.lambda_b * mean_len;
+    ac.horizon = traffic_cfg.stop_time;
+    balancer = std::make_unique<routing::AdaptiveBalancer>(
+        engine, *registry, *policy, torus, ac);
+    balancer->start();
   }
   workload.start();
 
@@ -514,7 +550,18 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     r.tasks_released = os.tasks_released;
     r.admission_delay_mean = os.admission_delay.mean();
   }
-  if (registry) {
+  if (balancer) {
+    const routing::AdaptiveStats& as = balancer->stats();
+    r.adaptive_epochs = as.epochs;
+    r.adaptive_resolves = as.resolves;
+    r.adaptive_applied = as.applied;
+    r.adaptive_final_imbalance = as.final_imbalance;
+    r.adaptive_x_drift = as.x_drift;
+    r.adaptive_stats = std::make_shared<const routing::AdaptiveStats>(as);
+  }
+  // The snapshot is gated on the FLAG, not on registry existence: an
+  // adaptive run without --metrics keeps the pre-subsystem result shape.
+  if (spec.collect_link_metrics) {
     r.link_metrics = std::make_shared<const obs::LinkMetricsSnapshot>(
         registry->snapshot());
   }

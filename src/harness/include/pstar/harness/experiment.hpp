@@ -17,6 +17,7 @@
 #include "pstar/obs/metrics.hpp"
 #include "pstar/obs/trace.hpp"
 #include "pstar/overload/controller.hpp"
+#include "pstar/routing/adaptive_balancer.hpp"
 #include "pstar/sim/simulator.hpp"
 #include "pstar/topology/shape.hpp"
 #include "pstar/traffic/length.hpp"
@@ -118,6 +119,19 @@ struct ExperimentSpec {
   /// bit-identical to builds without the subsystem.
   overload::OverloadConfig overload;
 
+  /// Closed-loop adaptive balancing (docs/ADAPTIVE.md).  mode != kOff
+  /// attaches a routing::AdaptiveBalancer: a deterministic epoch timer
+  /// samples the metrics registry's per-(dim, dir) busy time, re-solves
+  /// the ending-dimension probabilities against the MEASURED residual
+  /// load (routing::residual_balanced_probabilities), and swaps the
+  /// policy's x-vector when it drifted beyond the deadband.  The
+  /// lambda_b and horizon fields are overridden here from the run's
+  /// calibrated rates and warmup + measure.  mode kOff constructs
+  /// nothing and is bit-identical to pre-subsystem builds; the balancer
+  /// draws no random numbers, so a quiescent loop (symmetric torus)
+  /// leaves every result metric identical to kOff as well.
+  routing::AdaptiveConfig adaptive;
+
   /// When true, an obs::MetricsRegistry is attached for the measurement
   /// window and its snapshot lands in ExperimentResult::link_metrics:
   /// per-(link, class) transmissions, busy time, waiting times, backlog
@@ -143,10 +157,11 @@ struct ExperimentSpec {
   /// differ (per-shard rng streams reshard the arrival process).
   ///
   /// Rejected (std::invalid_argument) at shards > 1: multicast traffic,
-  /// recovery retries, overload control, trace sinks, and hotspot skew --
-  /// each samples or mutates global state mid-run, which a sharded run
-  /// cannot reproduce faithfully.  All of them remain available at
-  /// shards <= 1.
+  /// recovery retries, overload control, trace sinks, and adaptive
+  /// balancing -- each samples or mutates global state mid-run, which a
+  /// sharded run cannot reproduce faithfully.  All of them remain
+  /// available at shards <= 1.  Hotspot skew DOES shard: the slab owning
+  /// the hotspot carries its extra arrival weight (traffic::Workload).
   std::uint32_t shards = 0;
   /// Worker threads driving the shards (0 = min(shards, hardware
   /// concurrency)).  NEVER affects results, only wall-clock speed.
@@ -273,8 +288,23 @@ struct ExperimentResult {
   /// cell whose event budget tripped).
   sim::StopReason stop_reason = sim::StopReason::kDrained;
 
-  /// The probability vector the scheme actually used.
+  /// The probability vector the scheme actually used (the STATIC vector
+  /// the run started with; adaptive swaps are reported separately).
   std::vector<double> ending_probabilities;
+
+  // Adaptive-balancing accounting (all zero / 1.0 when
+  // spec.adaptive.mode is kOff; docs/ADAPTIVE.md).
+  std::uint64_t adaptive_epochs = 0;    ///< control-loop timer firings
+  std::uint64_t adaptive_resolves = 0;  ///< epochs that ran the solve
+  std::uint64_t adaptive_applied = 0;   ///< re-solves that swapped x
+  /// Group imbalance measured by the last non-idle epoch (1.0 when no
+  /// epoch measured anything).
+  double adaptive_final_imbalance = 1.0;
+  /// L-infinity distance between the final applied x and the static one.
+  double adaptive_x_drift = 0.0;
+  /// Full control-loop history (per-epoch imbalance/drift/x); only
+  /// populated when the balancer ran.  Shared for cheap result copies.
+  std::shared_ptr<const routing::AdaptiveStats> adaptive_stats;
 
   /// Per-link / per-class measurements over the measurement window; only
   /// populated when spec.collect_link_metrics.  Shared (immutable) so

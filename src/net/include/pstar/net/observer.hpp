@@ -20,6 +20,8 @@
 /// and `enqueued_at` in on_transmission equals the `now` of the matching
 /// on_enqueue, so per-link waiting time is `start - enqueued_at`.
 
+#include <vector>
+
 #include "pstar/net/packet.hpp"
 #include "pstar/topology/torus.hpp"
 
@@ -112,6 +114,17 @@ class Observer {
   /// the run.  At most one per run; the trace's well-formed footer for
   /// aborted runs.
   virtual void on_abort(double /*now*/, std::uint64_t /*inflight*/) {}
+
+  /// The adaptive balancer ran a re-solve epoch at `now`
+  /// (docs/ADAPTIVE.md).  `epoch` counts completed re-solves (>= 1),
+  /// `imbalance` is the measured per-(dim, dir) group imbalance over the
+  /// epoch, `drift` is the L-infinity distance between the re-solved and
+  /// current x-vectors, and `applied` says whether the swap was applied
+  /// (drift above the deadband).  `x` is the re-solved vector.
+  virtual void on_resolve(double /*now*/, std::uint64_t /*epoch*/,
+                          double /*imbalance*/, double /*drift*/,
+                          bool /*applied*/,
+                          const std::vector<double>& /*x*/) {}
 };
 
 }  // namespace pstar::net

@@ -124,8 +124,19 @@ struct LinkMetricsSnapshot {
   /// The paper's balance metric: max over directed links of busy time
   /// divided by the mean over directed links.  Eq. (2)/(4) predict this
   /// ratio -> 1 as the window grows; a hot link pushes it above 1.
-  /// Returns 1.0 when no link carried any load.
+  /// Defined-value policy: never NaN.  Links down for the whole window
+  /// are excluded; an all-idle window, an empty link set, or a window
+  /// with every link fully faulted return exactly 1.0.
   double imbalance_ratio() const;
+
+  /// Balance over (dimension, direction) link groups: max over groups of
+  /// the group's MEAN per-link busy time, divided by the mean over
+  /// groups.  This is the component of the imbalance the ending vector x
+  /// can steer (the adaptive balancer's controlled quantity,
+  /// docs/ADAPTIVE.md); within-group spread from hotspot sources or
+  /// random arc draws does not register.  Same defined-value policy as
+  /// imbalance_ratio(): never NaN, degenerate windows return 1.0.
+  double dimension_imbalance() const;
 
   /// Waiting-time statistics of one class merged over all links.
   stats::RunningStat class_wait(net::Priority prio) const;
@@ -167,6 +178,14 @@ class MetricsRegistry {
   void record_sat_off(double now);
   void record_shed(topo::LinkId link, const net::Copy& copy, double now);
   void record_throttle(double now);
+
+  /// Cumulative busy time per (dimension, direction) link group inside
+  /// the current window, indexed dim * 2 + (dir == kPlus ? 0 : 1).
+  /// O(links); cleared by begin_window.  The adaptive balancer samples
+  /// this each epoch and differences consecutive samples, so a window
+  /// reset shows up as a negative delta it can detect and skip
+  /// (docs/ADAPTIVE.md).
+  std::vector<double> dim_dir_busy() const;
 
   /// Copies the current state out.  Valid any time; typically taken
   /// after end_window.

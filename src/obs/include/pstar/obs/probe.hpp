@@ -93,6 +93,14 @@ class EngineProbe : public net::Observer {
     if (trace_) trace_->throttle(now, source, kind);
   }
 
+  void on_resolve(double now, std::uint64_t epoch, double imbalance,
+                  double drift, bool applied,
+                  const std::vector<double>& x) override {
+    // Control-loop bookkeeping lives in the balancer's own stats; the
+    // registry needs nothing, so this bridges to the trace only.
+    if (trace_) trace_->resolve(now, epoch, imbalance, drift, applied, x);
+  }
+
   void on_abort(double now, std::uint64_t inflight) override {
     // The engine flushed its own measurement window before stopping; the
     // registry's scheduled close will never fire, so close it here

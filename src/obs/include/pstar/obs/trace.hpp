@@ -23,6 +23,8 @@
 ///   {"ev":"shed","t":T,"task":I,"link":L,"prio":P}
 ///   {"ev":"throttle","t":T,"src":N,"kind":K}
 ///   {"ev":"abort","t":T,"inflight":C}
+///   {"ev":"resolve","t":T,"epoch":E,"imb":X,"drift":X,"applied":B,
+///    "x":"p0 p1 ..."}                       (schema 5: adaptive balancing)
 ///
 /// `retx` records one recovery retransmission (docs/FAULTS.md §7):
 /// `retry` is the task's lifetime attempt number (>= 1, non-decreasing
@@ -42,6 +44,15 @@
 /// instability guard: at most one, and nothing but the run's tail may
 /// follow it.
 ///
+/// Schema 5 adds the adaptive-balancing `resolve` record
+/// (docs/ADAPTIVE.md): one per control-loop epoch that ran a re-solve.
+/// `epoch` counts re-solves (>= 1, strictly increasing), `imb` is the
+/// measured per-(dim, dir) group imbalance the epoch saw, `drift` the
+/// L-infinity distance between re-solved and current x, `applied`
+/// whether the swap took effect, and `x` the re-solved ending-dimension
+/// probabilities as a space-joined string of round-trip doubles (the
+/// line format has no arrays).
+///
 /// Times are simulation time units with full double precision; `dir` is
 /// "+" or "-".  Tracing is strictly opt-in: with no sink attached the
 /// engine makes no observer calls at all.
@@ -49,6 +60,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string_view>
+#include <vector>
 
 #include "pstar/net/packet.hpp"
 #include "pstar/topology/torus.hpp"
@@ -87,8 +99,9 @@ class JsonLine {
 /// Current trace schema version (bumped on incompatible changes).
 /// Version 2 added the link_down/link_up fault records; version 3 added
 /// the retx recovery records; version 4 added the overload records
-/// (sat_on/sat_off/shed/throttle/abort).
-inline constexpr int kTraceSchemaVersion = 4;
+/// (sat_on/sat_off/shed/throttle/abort); version 5 added the adaptive
+/// resolve records.
+inline constexpr int kTraceSchemaVersion = 5;
 
 /// Writes engine events as JSON Lines.  The caller owns the stream; the
 /// sink never flushes it.  Single-threaded by design -- give each
@@ -122,6 +135,8 @@ class JsonlTraceSink {
             topo::LinkId link);
   void throttle(double t, topo::NodeId source, net::TaskKind kind);
   void abort(double t, std::uint64_t inflight);
+  void resolve(double t, std::uint64_t epoch, double imbalance, double drift,
+               bool applied, const std::vector<double>& x);
 
   /// Records written so far (including the run header).
   std::uint64_t records() const { return records_; }

@@ -51,15 +51,58 @@ double LinkMetricsSnapshot::max_utilization() const {
 }
 
 double LinkMetricsSnapshot::imbalance_ratio() const {
+  // Defined-value policy (docs/OBSERVABILITY.md): this ratio is NEVER
+  // NaN and never divides by zero.  Links down for the ENTIRE window
+  // carry no load information and are excluded from both max and mean;
+  // an all-idle window (mean busy 0), an empty link set, or a window
+  // with every link fully faulted all return exactly 1.0 -- "no
+  // measurable imbalance" -- so downstream thresholds stay monotone.
   if (links.empty()) return 1.0;
   double total = 0.0;
   double best = 0.0;
+  std::size_t counted = 0;
   for (const LinkKey& k : links) {
+    if (availability(k.link) <= 0.0) continue;
     const double b = link_busy(k.link);
     total += b;
     best = std::max(best, b);
+    ++counted;
   }
-  const double mean = total / static_cast<double>(links.size());
+  if (counted == 0) return 1.0;
+  const double mean = total / static_cast<double>(counted);
+  return mean > 0.0 ? best / mean : 1.0;
+}
+
+double LinkMetricsSnapshot::dimension_imbalance() const {
+  // Same defined-value policy as imbalance_ratio().  Grouping by
+  // (dim, dir) isolates the part of the imbalance the ending-dimension
+  // vector x can actually steer: x shifts load BETWEEN dimension groups,
+  // while within-group spread (hotspot sources, random long-arc draws)
+  // is invisible to it.  The adaptive balancer drives THIS ratio to 1.
+  if (links.empty()) return 1.0;
+  std::int32_t dims = 0;
+  for (const LinkKey& k : links) dims = std::max(dims, k.dim + 1);
+  std::vector<double> busy(static_cast<std::size_t>(dims) * 2, 0.0);
+  std::vector<std::size_t> count(static_cast<std::size_t>(dims) * 2, 0);
+  for (const LinkKey& k : links) {
+    if (availability(k.link) <= 0.0) continue;
+    const std::size_t g = static_cast<std::size_t>(k.dim) * 2 +
+                          (k.dir == topo::Dir::kPlus ? 0 : 1);
+    busy[g] += link_busy(k.link);
+    ++count[g];
+  }
+  double total = 0.0;
+  double best = 0.0;
+  std::size_t groups = 0;
+  for (std::size_t g = 0; g < busy.size(); ++g) {
+    if (count[g] == 0) continue;
+    const double mean_busy = busy[g] / static_cast<double>(count[g]);
+    total += mean_busy;
+    best = std::max(best, mean_busy);
+    ++groups;
+  }
+  if (groups == 0) return 1.0;
+  const double mean = total / static_cast<double>(groups);
   return mean > 0.0 ? best / mean : 1.0;
 }
 
@@ -278,6 +321,23 @@ void MetricsRegistry::record_shed(topo::LinkId, const net::Copy& copy,
 void MetricsRegistry::record_throttle(double now) {
   if (now >= window_start_ && now <= window_end_) ++throttles_;
   last_event_ = std::max(last_event_, now);
+}
+
+std::vector<double> MetricsRegistry::dim_dir_busy() const {
+  std::int32_t dims = 0;
+  for (const LinkKey& k : links_) dims = std::max(dims, k.dim + 1);
+  std::vector<double> busy(static_cast<std::size_t>(dims) * 2, 0.0);
+  for (const LinkKey& k : links_) {
+    double b = 0.0;
+    const std::size_t base =
+        static_cast<std::size_t>(k.link) * net::kPriorityClasses;
+    for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+      b += cells_[base + c].busy_time;
+    }
+    busy[static_cast<std::size_t>(k.dim) * 2 +
+         (k.dir == topo::Dir::kPlus ? 0 : 1)] += b;
+  }
+  return busy;
 }
 
 LinkMetricsSnapshot MetricsRegistry::snapshot() const {

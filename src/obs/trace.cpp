@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <ostream>
+#include <string>
 
 namespace pstar::obs {
 
@@ -250,6 +251,30 @@ void JsonlTraceSink::throttle(double t, topo::NodeId source,
 void JsonlTraceSink::abort(double t, std::uint64_t inflight) {
   ++records_;
   JsonLine(os_).field("ev", "abort").field("t", t).field("inflight", inflight);
+}
+
+void JsonlTraceSink::resolve(double t, std::uint64_t epoch, double imbalance,
+                             double drift, bool applied,
+                             const std::vector<double>& x) {
+  ++records_;
+  // Space-joined round-trip doubles: the line format has no arrays.
+  std::string joined;
+  joined.reserve(x.size() * 20);
+  char buf[32];
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i > 0) joined.push_back(' ');
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), x[i]);
+    (void)ec;
+    joined.append(buf, static_cast<std::size_t>(ptr - buf));
+  }
+  JsonLine(os_)
+      .field("ev", "resolve")
+      .field("t", t)
+      .field("epoch", epoch)
+      .field("imb", imbalance)
+      .field("drift", drift)
+      .field("applied", applied)
+      .field("x", std::string_view(joined));
 }
 
 void JsonlTraceSink::task_completed(double t, net::TaskId task,

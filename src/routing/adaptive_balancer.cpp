@@ -1,0 +1,185 @@
+#include "pstar/routing/adaptive_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pstar/net/observer.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/sim/simulator.hpp"
+
+namespace pstar::routing {
+namespace {
+
+double linf_distance(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+}  // namespace
+
+AdaptiveBalancer::AdaptiveBalancer(net::Engine& engine,
+                                   obs::MetricsRegistry& registry,
+                                   CombinedPolicy& policy,
+                                   const topo::Torus& torus,
+                                   AdaptiveConfig config)
+    : engine_(engine),
+      registry_(registry),
+      policy_(policy),
+      torus_(torus),
+      config_(config),
+      coeff_(sdc_coefficient_matrix(torus.shape())) {
+  if (!config_.enabled()) {
+    throw std::invalid_argument("AdaptiveBalancer: mode is kOff");
+  }
+  if (config_.interval <= 0.0) {
+    throw std::invalid_argument("AdaptiveBalancer: interval <= 0");
+  }
+  if (config_.deadband < 0.0) {
+    throw std::invalid_argument("AdaptiveBalancer: deadband < 0");
+  }
+  if (config_.lambda_b < 0.0) {
+    throw std::invalid_argument("AdaptiveBalancer: lambda_b < 0");
+  }
+  x_static_ = policy_.ending_probabilities(torus_.dims());
+  if (x_static_.empty()) {
+    throw std::invalid_argument(
+        "AdaptiveBalancer: policy has no broadcast sub-policy to steer");
+  }
+  x_cur_ = x_static_;
+  group_links_.assign(static_cast<std::size_t>(torus_.dims()) * 2, 0);
+  for (topo::LinkId id = 0; id < torus_.link_count(); ++id) {
+    const topo::LinkInfo& li = torus_.info(id);
+    ++group_links_[static_cast<std::size_t>(li.dim) * 2 +
+                   (li.dir == topo::Dir::kPlus ? 0 : 1)];
+  }
+}
+
+void AdaptiveBalancer::start() { schedule_epoch(); }
+
+void AdaptiveBalancer::schedule_epoch() {
+  engine_.simulator().after(config_.interval,
+                            [this](sim::Simulator&) { epoch(); });
+}
+
+bool AdaptiveBalancer::measure(std::vector<double>& delta) {
+  const double now = engine_.simulator().now();
+  std::vector<double> busy = registry_.dim_dir_busy();
+  busy.resize(group_links_.size(), 0.0);  // trailing size-1 dims have no links
+
+  bool reset = !primed_;
+  if (primed_) {
+    for (std::size_t g = 0; g < busy.size(); ++g) {
+      // A cumulative series can only shrink when the registry window was
+      // reset (begin_window at warmup cleared the cells): the epoch
+      // straddles the reset, so its delta is meaningless -- re-prime.
+      if (busy[g] < prev_busy_[g]) {
+        reset = true;
+        break;
+      }
+    }
+  }
+  if (reset) {
+    prev_busy_ = std::move(busy);
+    prev_time_ = now;
+    primed_ = true;
+    return false;
+  }
+
+  delta.resize(busy.size());
+  double total = 0.0;
+  for (std::size_t g = 0; g < busy.size(); ++g) {
+    delta[g] = busy[g] - prev_busy_[g];
+    total += delta[g];
+  }
+  prev_busy_ = std::move(busy);
+  const double elapsed = now - prev_time_;
+  prev_time_ = now;
+  return total > config_.min_busy && elapsed > 0.0;
+}
+
+void AdaptiveBalancer::epoch() {
+  sim::Simulator& sim = engine_.simulator();
+  const double now = sim.now();
+  const double prev_time = prev_time_;
+  ++stats_.epochs;
+
+  std::vector<double> delta;
+  if (!measure(delta)) {
+    ++stats_.skipped_idle;
+  } else {
+    const double elapsed = now - prev_time;
+    const std::int32_t d = torus_.dims();
+
+    // Measured per-link busy rate of each (dim, dir) group, and the
+    // group imbalance -- the component of the load the x-vector steers.
+    double group_sum = 0.0;
+    double group_max = 0.0;
+    std::size_t groups = 0;
+    for (std::size_t g = 0; g < delta.size(); ++g) {
+      if (group_links_[g] == 0) continue;
+      const double u =
+          delta[g] / (static_cast<double>(group_links_[g]) * elapsed);
+      group_sum += u;
+      group_max = std::max(group_max, u);
+      ++groups;
+    }
+    const double group_mean =
+        groups > 0 ? group_sum / static_cast<double>(groups) : 0.0;
+    const double imbalance = group_mean > 0.0 ? group_max / group_mean : 1.0;
+
+    // Residual load per dimension: measured utilization minus the
+    // broadcast load the CURRENT x already explains.  What remains is
+    // everything the offline system did not model -- unicast skew,
+    // hotspots, faulted capacity -- expressed in the same busy-time
+    // units, which is all the scale-invariant solve needs.
+    std::vector<double> residual(static_cast<std::size_t>(d), 0.0);
+    for (std::int32_t i = 0; i < d; ++i) {
+      const double di = torus_.avg_links_per_node(i);
+      if (di == 0.0) continue;
+      const std::size_t g = static_cast<std::size_t>(i) * 2;
+      const double links =
+          static_cast<double>(group_links_[g] + group_links_[g + 1]);
+      const double measured = (delta[g] + delta[g + 1]) / (links * elapsed);
+      double expected = 0.0;
+      for (std::int32_t l = 0; l < d; ++l) {
+        expected += coeff_(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(l)) *
+                    x_cur_[static_cast<std::size_t>(l)];
+      }
+      expected *= config_.lambda_b / di;
+      residual[static_cast<std::size_t>(i)] =
+          std::max(0.0, measured - expected);
+    }
+
+    const StarProbabilities solved =
+        residual_balanced_probabilities(torus_, config_.lambda_b, residual);
+    ++stats_.resolves;
+    const double drift = linf_distance(solved.x, x_cur_);
+    const bool applied = drift > config_.deadband;
+    if (applied) {
+      policy_.set_ending_probabilities(solved.x);
+      x_cur_ = solved.x;
+      ++stats_.applied;
+      stats_.x_drift = linf_distance(x_cur_, x_static_);
+    }
+    stats_.final_imbalance = imbalance;
+    stats_.history.push_back(
+        AdaptiveEpoch{now, imbalance, drift, applied, solved.x});
+    if (net::Observer* obs = engine_.observer()) {
+      obs->on_resolve(now, stats_.resolves, imbalance, drift, applied,
+                      solved.x);
+    }
+  }
+
+  // Re-arm while generation is live; unlike the overload sampler the
+  // balancer has nothing to do in the drain phase (the registry window
+  // is closed), so it never keeps a drained simulation alive.
+  if (now < config_.horizon) schedule_epoch();
+}
+
+}  // namespace pstar::routing

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file adaptive_balancer.hpp
+/// Closed-loop adaptive balancing: a quasi-static control loop that
+/// periodically re-solves the ending-dimension probabilities from
+/// MEASURED per-(dimension, direction) link loads (docs/ADAPTIVE.md).
+///
+/// The paper's x-vector is solved once, offline, against EXPECTED load:
+/// it is blind to hotspots, faults, and traffic mixes it was never
+/// solved for.  The balancer closes the loop: on a deterministic epoch
+/// timer it samples the obs::MetricsRegistry's cumulative per-(dim, dir)
+/// busy time, subtracts the broadcast load the CURRENT x already
+/// explains, feeds the remainder into the measured-load generalization
+/// of Eq. (4) (routing::residual_balanced_probabilities), and swaps the
+/// policy's x-vector when the re-solved vector moved beyond a deadband.
+///
+/// Determinism contract (mirrors overload::OverloadController):
+///   - the balancer draws NO random numbers and never mutates the
+///     engine, so a run in which no swap fires is bit-identical to the
+///     same run without the balancer (the epoch timer adds simulator
+///     events, which are excluded from result identity);
+///   - mode kOff constructs nothing at all (the harness never builds
+///     the object), keeping `--adaptive off` byte-identical to pre-PR;
+///   - on a symmetric torus with the static STAR vector, measured ==
+///     expected, so every re-solve reproduces the static x within the
+///     deadband and the loop is quiescent: resolves > 0, applied == 0.
+///
+/// Epoch tagging: each applied swap bumps the policy's probability
+/// epoch (SdcBroadcastPolicy::probability_epoch).  Only FUTURE
+/// ending-dimension draws see the new vector; in-flight floods carry the
+/// ending dimension they were launched with, so a swap never reroutes a
+/// tree mid-flight.
+
+#include <cstdint>
+#include <vector>
+
+#include "pstar/linalg/matrix.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar::routing {
+
+/// Control-loop mode.
+enum class AdaptiveMode : std::uint8_t {
+  kOff = 0,       ///< no balancer is constructed; static x for the run
+  kPeriodic = 1,  ///< re-solve every `interval` time units
+};
+
+/// Balancer knobs (sweep_cli: --adaptive / --adapt-interval /
+/// --adapt-deadband).
+struct AdaptiveConfig {
+  AdaptiveMode mode = AdaptiveMode::kOff;
+
+  /// Epoch length in simulation time units.  Each epoch measures the
+  /// load accumulated since the previous one, so the interval trades
+  /// reaction latency against measurement noise.
+  double interval = 250.0;
+
+  /// L-infinity deadband: a re-solved x is applied only when some
+  /// component moved more than this.  The deadband is what makes the
+  /// symmetric-torus loop quiescent under sampling noise.
+  double deadband = 0.02;
+
+  /// Epochs whose total measured busy time is below this are skipped as
+  /// idle (warmup resets, drained tails) without a re-solve.
+  double min_busy = 1e-9;
+
+  /// Broadcast load rate in BUSY-TIME units: broadcast launches per node
+  /// per time unit times the mean service time.  Filled by the harness
+  /// from the run's calibrated rates; the residual solve is
+  /// scale-invariant, so only the ratio to the measured load matters.
+  double lambda_b = 0.0;
+
+  /// Generation stop time; the timer re-arms while now < horizon.
+  /// Filled by the harness.
+  double horizon = 0.0;
+
+  bool enabled() const { return mode != AdaptiveMode::kOff; }
+};
+
+/// One control-loop epoch that ran a re-solve (idle epochs and the
+/// re-priming epoch after a registry window reset are not recorded).
+struct AdaptiveEpoch {
+  double time = 0.0;       ///< simulation time the epoch fired
+  double imbalance = 1.0;  ///< measured per-(dim, dir) group imbalance
+  double drift = 0.0;      ///< L-inf distance re-solved x vs current x
+  bool applied = false;    ///< swap applied (drift > deadband)
+  std::vector<double> x;   ///< the re-solved vector
+};
+
+/// Lifetime counters + per-epoch history of one balancer.
+struct AdaptiveStats {
+  std::uint64_t epochs = 0;        ///< timer firings
+  std::uint64_t resolves = 0;      ///< epochs that ran the linear solve
+  std::uint64_t applied = 0;       ///< re-solves whose swap took effect
+  std::uint64_t skipped_idle = 0;  ///< idle or re-priming epochs
+  /// Group imbalance measured by the LAST non-idle epoch (1.0 until one
+  /// fires -- the defined-value policy of obs::LinkMetricsSnapshot).
+  double final_imbalance = 1.0;
+  /// L-infinity distance between the policy's current x and the static
+  /// vector the run started with.
+  double x_drift = 0.0;
+  std::vector<AdaptiveEpoch> history;
+};
+
+/// The control loop.  Construct with the serial harness stack (engine,
+/// registry, policy all outliving the balancer), then call start() once
+/// before the simulator runs; the balancer self-schedules from there.
+/// Rejected for sharded runs: a per-shard registry only sees its slab's
+/// links, so shards would diverge from the serial control trajectory.
+class AdaptiveBalancer {
+ public:
+  AdaptiveBalancer(net::Engine& engine, obs::MetricsRegistry& registry,
+                   CombinedPolicy& policy, const topo::Torus& torus,
+                   AdaptiveConfig config);
+
+  AdaptiveBalancer(const AdaptiveBalancer&) = delete;
+  AdaptiveBalancer& operator=(const AdaptiveBalancer&) = delete;
+
+  /// Arms the first epoch timer (at now + interval).  Call at most once.
+  void start();
+
+  const AdaptiveStats& stats() const { return stats_; }
+  /// The x-vector currently applied to the policy.
+  const std::vector<double>& current_x() const { return x_cur_; }
+  /// The static vector the run started with.
+  const std::vector<double>& static_x() const { return x_static_; }
+
+ private:
+  void schedule_epoch();
+  void epoch();
+  /// Measured per-dim residual load from the epoch's busy deltas;
+  /// returns false (re-prime) when a registry window reset is detected.
+  bool measure(std::vector<double>& delta);
+
+  net::Engine& engine_;
+  obs::MetricsRegistry& registry_;
+  CombinedPolicy& policy_;
+  const topo::Torus& torus_;
+  AdaptiveConfig config_;
+
+  linalg::Matrix coeff_;                  ///< A(i, l), cached
+  std::vector<std::size_t> group_links_;  ///< links per (dim, dir) group
+  std::vector<double> prev_busy_;         ///< last epoch's cumulative busy
+  double prev_time_ = 0.0;                ///< time of the last sample
+  bool primed_ = false;
+
+  std::vector<double> x_static_;
+  std::vector<double> x_cur_;
+  AdaptiveStats stats_;
+};
+
+}  // namespace pstar::routing

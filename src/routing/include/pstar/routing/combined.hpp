@@ -38,6 +38,31 @@ class CombinedPolicy : public net::RoutingPolicy {
   UnicastPolicy* unicast() { return unicast_.get(); }
   MulticastPolicy* multicast() { return multicast_.get(); }
 
+  /// Swaps the ending-dimension distribution on every sub-policy that
+  /// samples one (broadcast and multicast; unicast draws nothing).  The
+  /// adaptive balancer's epoch-swap entry point.
+  void set_ending_probabilities(const std::vector<double>& x) {
+    if (broadcast_) broadcast_->set_ending_probabilities(x);
+    if (multicast_) multicast_->set_ending_probabilities(x);
+  }
+
+  /// Swaps applied to the broadcast sub-policy (the balancer's epoch tag).
+  std::uint64_t probability_epoch() const {
+    return broadcast_ ? broadcast_->probability_epoch() : 0;
+  }
+
+  /// The broadcast sub-policy's current (normalized) ending distribution;
+  /// empty when there is no broadcast sub-policy.
+  std::vector<double> ending_probabilities(std::int32_t dims) const {
+    std::vector<double> x;
+    if (!broadcast_) return x;
+    x.reserve(static_cast<std::size_t>(dims));
+    for (std::int32_t i = 0; i < dims; ++i) {
+      x.push_back(broadcast_->ending_probability(i));
+    }
+    return x;
+  }
+
  private:
   net::RoutingPolicy& pick(const net::Engine& engine, net::TaskId task);
 

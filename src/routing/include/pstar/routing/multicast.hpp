@@ -72,6 +72,14 @@ class MulticastPolicy : public net::RoutingPolicy {
   /// Number of live plans (for leak checks in tests).
   std::size_t live_plans() const { return plans_.size(); }
 
+  /// Swaps the ending-dimension distribution (see
+  /// SdcBroadcastPolicy::set_ending_probabilities); live plans keep the
+  /// tree they were built with.  Throws on arity mismatch.
+  void set_ending_probabilities(const std::vector<double>& x);
+
+  /// Number of swaps applied so far (0 = the static vector).
+  std::uint64_t probability_epoch() const { return epoch_; }
+
  private:
   struct Plan {
     std::vector<TreeEdge> edges;
@@ -91,6 +99,7 @@ class MulticastPolicy : public net::RoutingPolicy {
   const topo::Torus& torus_;
   MulticastConfig config_;
   sim::DiscreteSampler sampler_;
+  std::uint64_t epoch_ = 0;
   std::unordered_map<net::TaskId, Plan> plans_;
 };
 

@@ -58,6 +58,18 @@ class SdcBroadcastPolicy : public net::RoutingPolicy {
     return sampler_.probability(static_cast<std::size_t>(dim));
   }
 
+  /// Atomically (w.r.t. the event loop: between events, never mid-draw)
+  /// swaps the ending-dimension distribution and bumps the epoch.  Only
+  /// FUTURE sample_ending_dim draws see the new vector; copies of
+  /// in-flight floods carry the ending dimension they were launched with,
+  /// so a swap never perturbs a tree mid-flight.  Called by the adaptive
+  /// balancer (docs/ADAPTIVE.md); throws on arity mismatch.
+  void set_ending_probabilities(const std::vector<double>& x);
+
+  /// Number of set_ending_probabilities swaps applied so far (0 = the
+  /// construction-time static vector).  Tags re-solve epochs.
+  std::uint64_t probability_epoch() const { return epoch_; }
+
   /// Draws an ending dimension from the policy's distribution using an
   /// EXTERNAL rng.  The recovery layer redraws from its own dedicated
   /// stream when rebuilding a fresh retry tree, so recovery never
@@ -84,6 +96,7 @@ class SdcBroadcastPolicy : public net::RoutingPolicy {
   const topo::Torus& torus_;
   SdcBroadcastConfig config_;
   sim::DiscreteSampler sampler_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// One edge of a static SDC broadcast tree.

@@ -18,6 +18,16 @@ MulticastPolicy::MulticastPolicy(const topo::Torus& torus,
   }
 }
 
+void MulticastPolicy::set_ending_probabilities(const std::vector<double>& x) {
+  if (static_cast<std::int32_t>(x.size()) != torus_.dims()) {
+    throw std::invalid_argument(
+        "MulticastPolicy: probability vector arity mismatch");
+  }
+  config_.ending_probabilities = x;
+  sampler_ = sim::DiscreteSampler(config_.ending_probabilities);
+  ++epoch_;
+}
+
 void MulticastPolicy::on_task(net::Engine&, net::TaskId, topo::NodeId) {
   throw std::logic_error(
       "MulticastPolicy: multicasts are created via Engine::create_multicast");

@@ -36,6 +36,17 @@ SdcBroadcastPolicy::SdcBroadcastPolicy(const topo::Torus& torus,
   }
 }
 
+void SdcBroadcastPolicy::set_ending_probabilities(
+    const std::vector<double>& x) {
+  if (static_cast<std::int32_t>(x.size()) != torus_.dims()) {
+    throw std::invalid_argument(
+        "SdcBroadcastPolicy: probability vector arity mismatch");
+  }
+  config_.ending_probabilities = x;
+  sampler_ = sim::DiscreteSampler(config_.ending_probabilities);
+  ++epoch_;
+}
+
 void SdcBroadcastPolicy::on_task(net::Engine& engine, net::TaskId task,
                                  topo::NodeId source) {
   const auto ending_dim =

@@ -41,6 +41,64 @@ bool in_simplex(const std::vector<double>& x) {
   return true;
 }
 
+/// Shared core of Eq. (4) and its measured-load generalization: solves
+/// row i  (lambda_b / d_i) sum_l A(i,l) x_l = c - residual[i]  with
+/// size-1 dimensions pinned to x_i = 0, then clamps to the simplex.
+/// Callers precompute the target load `c` so heterogeneous_probabilities
+/// keeps its original floating-point expression bit for bit.
+StarProbabilities solve_balance_system(const topo::Torus& torus,
+                                       double lambda_b, double c,
+                                       const std::vector<double>& residual) {
+  const std::int32_t d = torus.dims();
+  linalg::Matrix a = sdc_coefficient_matrix(torus.shape());
+  std::vector<double> rhs(static_cast<std::size_t>(d));
+  for (std::int32_t i = 0; i < d; ++i) {
+    // Average links per node in this dimension (exact for tori; the
+    // per-dimension mean for meshes, whose boundary nodes have fewer).
+    const double di = torus.avg_links_per_node(i);
+    if (di == 0.0) {
+      // Size-1 dimension: no links, no equation; pin x_i = 0 by turning
+      // the row into x_i = 0 (the dimension generates no transmissions).
+      for (std::int32_t l = 0; l < d; ++l) {
+        a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) =
+            (l == i) ? 1.0 : 0.0;
+      }
+      rhs[static_cast<std::size_t>(i)] = 0.0;
+      continue;
+    }
+    for (std::int32_t l = 0; l < d; ++l) {
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *=
+          lambda_b / di;
+    }
+    rhs[static_cast<std::size_t>(i)] = c - residual[static_cast<std::size_t>(i)];
+  }
+
+  const auto solved = linalg::solve(a, rhs);
+  StarProbabilities result;
+  if (!solved) {
+    // Singular balance system (does not occur for well-formed tori, but a
+    // caller-supplied degenerate shape could trigger it): fall back to
+    // uniform, marked infeasible.
+    result = uniform_probabilities(d);
+    result.feasible = false;
+    return result;
+  }
+  result.raw = solved->x;
+  result.feasible = in_simplex(result.raw);
+  result.x = result.feasible ? result.raw : clamp_to_simplex(result.raw);
+  // Normalize tiny numerical drift so downstream samplers see an exact
+  // distribution.
+  double total = 0.0;
+  for (double v : result.x) total += v;
+  if (total > 0.0) {
+    for (double& v : result.x) v /= total;
+  }
+  for (double& v : result.x) {
+    if (v < 0.0) v = 0.0;
+  }
+  return result;
+}
+
 }  // namespace
 
 double sdc_transmissions(const topo::Shape& shape, std::int32_t dim,
@@ -89,7 +147,6 @@ StarProbabilities heterogeneous_probabilities(const topo::Torus& torus,
     return p;
   }
 
-  const topo::Shape& shape = torus.shape();
   const double n = static_cast<double>(torus.node_count());
   const double deg = torus.average_degree();
 
@@ -99,54 +156,53 @@ StarProbabilities heterogeneous_probabilities(const topo::Torus& torus,
   for (std::int32_t i = 0; i < d; ++i) unicast_hops_total += torus.mean_hops(i);
   const double c = (lambda_b * (n - 1.0) + lambda_r * unicast_hops_total) / deg;
 
-  // Row i:  lambda_b sum_l A(i,l) x_l / d_i = C - lambda_r m_i / d_i.
-  linalg::Matrix a = sdc_coefficient_matrix(shape);
-  std::vector<double> rhs(static_cast<std::size_t>(d));
+  // Row i:  lambda_b sum_l A(i,l) x_l / d_i = C - lambda_r m_i / d_i,
+  // i.e. Eq. (4) is the residual system with residual_i = lambda_r m_i / d_i.
+  std::vector<double> residual(static_cast<std::size_t>(d), 0.0);
   for (std::int32_t i = 0; i < d; ++i) {
-    // Average links per node in this dimension (exact for tori; the
-    // per-dimension mean for meshes, whose boundary nodes have fewer).
     const double di = torus.avg_links_per_node(i);
-    if (di == 0.0) {
-      // Size-1 dimension: no links, no equation; pin x_i = 0 by turning
-      // the row into x_i = 0 (the dimension generates no transmissions).
-      for (std::int32_t l = 0; l < d; ++l) {
-        a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) =
-            (l == i) ? 1.0 : 0.0;
-      }
-      rhs[static_cast<std::size_t>(i)] = 0.0;
-      continue;
+    if (di == 0.0) continue;
+    residual[static_cast<std::size_t>(i)] = lambda_r * torus.mean_hops(i) / di;
+  }
+  return solve_balance_system(torus, lambda_b, c, residual);
+}
+
+StarProbabilities residual_balanced_probabilities(
+    const topo::Torus& torus, double lambda_b,
+    const std::vector<double>& residual_load) {
+  if (lambda_b < 0.0) {
+    throw std::invalid_argument(
+        "residual_balanced_probabilities: negative rate");
+  }
+  const std::int32_t d = torus.dims();
+  if (static_cast<std::int32_t>(residual_load.size()) != d) {
+    throw std::invalid_argument(
+        "residual_balanced_probabilities: residual arity mismatch");
+  }
+  for (double r : residual_load) {
+    if (r < 0.0 || !std::isfinite(r)) {
+      throw std::invalid_argument(
+          "residual_balanced_probabilities: residual must be finite and >= 0");
     }
-    for (std::int32_t l = 0; l < d; ++l) {
-      a(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *=
-          lambda_b / di;
-    }
-    rhs[static_cast<std::size_t>(i)] = c - lambda_r * torus.mean_hops(i) / di;
+  }
+  if (lambda_b == 0.0 || d == 1) {
+    StarProbabilities p = uniform_probabilities(d);
+    if (d == 1) p.raw = p.x;
+    return p;
   }
 
-  const auto solved = linalg::solve(a, rhs);
-  StarProbabilities result;
-  if (!solved) {
-    // Singular balance system (does not occur for well-formed tori, but a
-    // caller-supplied degenerate shape could trigger it): fall back to
-    // uniform, marked infeasible.
-    result = uniform_probabilities(d);
-    result.feasible = false;
-    return result;
+  // Target per-link load: broadcasts contribute lambda_b (N-1) total
+  // transmissions over deg links per node, residuals contribute their
+  // per-link load times the links carrying it.
+  const double n = static_cast<double>(torus.node_count());
+  const double deg = torus.average_degree();
+  double residual_total = 0.0;
+  for (std::int32_t i = 0; i < d; ++i) {
+    residual_total +=
+        residual_load[static_cast<std::size_t>(i)] * torus.avg_links_per_node(i);
   }
-  result.raw = solved->x;
-  result.feasible = in_simplex(result.raw);
-  result.x = result.feasible ? result.raw : clamp_to_simplex(result.raw);
-  // Normalize tiny numerical drift so downstream samplers see an exact
-  // distribution.
-  double total = 0.0;
-  for (double v : result.x) total += v;
-  if (total > 0.0) {
-    for (double& v : result.x) v /= total;
-  }
-  for (double& v : result.x) {
-    if (v < 0.0) v = 0.0;
-  }
-  return result;
+  const double c = (lambda_b * (n - 1.0) + residual_total) / deg;
+  return solve_balance_system(torus, lambda_b, c, residual_load);
 }
 
 StarProbabilities uniform_probabilities(std::int32_t dims) {

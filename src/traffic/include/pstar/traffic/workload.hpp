@@ -87,7 +87,9 @@ struct WorkloadConfig {
   /// unsharded stream bit for bit.  The parallel engine gives each shard
   /// the slab of nodes it owns, so S independent per-shard workloads
   /// superpose to the same Poisson process as one global workload
-  /// (docs/PARALLEL.md).  Destinations remain global.
+  /// (docs/PARALLEL.md).  Destinations remain global.  Hotspot skew
+  /// shards too: the slab owning hotspot_node carries the hotspot's
+  /// extra arrival weight and the others only their uniform share.
   topo::NodeId node_lo = 0;
   topo::NodeId node_hi = 0;
 };
@@ -123,6 +125,11 @@ class Workload {
   sim::Rng& rng_;
   WorkloadConfig config_;
   double total_rate_ = 0.0;     ///< network-wide arrival rate
+  /// Per-arrival probability of drawing the hotspot source.  Equals
+  /// hotspot_fraction on the whole torus; on a proper slab it is the
+  /// hotspot's share of the SLAB's arrival weight (see the constructor),
+  /// so sharded streams superpose to the global hotspot law.
+  double hot_prob_ = 0.0;
   double broadcast_share_ = 0.0;
   double multicast_share_ = 0.0;
   bool stopped_ = false;

@@ -27,8 +27,34 @@ Workload::Workload(sim::Simulator& sim, net::Engine& engine, sim::Rng& rng,
       config_.node_hi > engine_.torus().node_count()) {
     throw std::invalid_argument("Workload: bad source slab [node_lo, node_hi)");
   }
-  total_rate_ =
-      per_node * static_cast<double>(config_.node_hi - config_.node_lo);
+  if (config_.hotspot_fraction < 0.0 || config_.hotspot_fraction > 1.0) {
+    throw std::invalid_argument("Workload: hotspot_fraction in [0, 1]");
+  }
+  const double slab_size =
+      static_cast<double>(config_.node_hi - config_.node_lo);
+  const bool whole_torus =
+      config_.node_lo == 0 && config_.node_hi == engine_.torus().node_count();
+  if (whole_torus || config_.hotspot_fraction == 0.0) {
+    // Unsharded (or unskewed) stream: keep the original expressions bit
+    // for bit, so serial runs and single-shard runs reproduce exactly.
+    total_rate_ = per_node * slab_size;
+    hot_prob_ = config_.hotspot_fraction;
+  } else {
+    // Sharded hotspot partition.  The global stream sends fraction f of
+    // all N x per_node arrivals to the hotspot and spreads the rest
+    // uniformly, so a slab owning the hotspot carries weight
+    // (1-f) x slab + f x N and one that does not carries (1-f) x slab;
+    // within a slab the hotspot draw has probability f x N over the
+    // slab's weight.  Summed over shards this reproduces the global
+    // rate and source law exactly (docs/PARALLEL.md).
+    const double f = config_.hotspot_fraction;
+    const double n = static_cast<double>(engine_.torus().node_count());
+    const bool owns = config_.hotspot_node >= config_.node_lo &&
+                      config_.hotspot_node < config_.node_hi;
+    const double weight = (1.0 - f) * slab_size + (owns ? f * n : 0.0);
+    total_rate_ = per_node * weight;
+    hot_prob_ = owns && weight > 0.0 ? f * n / weight : 0.0;
+  }
   broadcast_share_ = per_node > 0.0 ? config_.lambda_broadcast / per_node : 0.0;
   multicast_share_ = per_node > 0.0 ? config_.lambda_multicast / per_node : 0.0;
   if (engine_.torus().node_count() < 2 &&
@@ -40,9 +66,6 @@ Workload::Workload(sim::Simulator& sim, net::Engine& engine, sim::Rng& rng,
       (config_.multicast_group < 1 ||
        config_.multicast_group >= engine_.torus().node_count())) {
     throw std::invalid_argument("Workload: multicast_group out of range");
-  }
-  if (config_.hotspot_fraction < 0.0 || config_.hotspot_fraction > 1.0) {
-    throw std::invalid_argument("Workload: hotspot_fraction in [0, 1]");
   }
   if (config_.hotspot_node < 0 ||
       config_.hotspot_node >= engine_.torus().node_count()) {
@@ -75,8 +98,7 @@ void Workload::arrive(sim::Simulator&) {
       static_cast<std::uint64_t>(config_.node_hi - config_.node_lo);
   for (std::uint32_t b = 0; b < config_.batch_size; ++b) {
     Arrival a;
-    a.source = config_.hotspot_fraction > 0.0 &&
-                       rng_.bernoulli(config_.hotspot_fraction)
+    a.source = hot_prob_ > 0.0 && rng_.bernoulli(hot_prob_)
                    ? config_.hotspot_node
                    : static_cast<topo::NodeId>(config_.node_lo +
                                                rng_.below(slab));

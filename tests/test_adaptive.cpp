@@ -1,0 +1,203 @@
+// Adaptive balancer (docs/ADAPTIVE.md): the measured-load solve
+// generalizes Eq. (4), `--adaptive off` stays bit-identical, the loop is
+// quiescent on symmetric tori, and it recovers the imbalance a wrong
+// static x leaves on an asymmetric torus.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/obs/trace.hpp"
+#include "pstar/routing/adaptive_balancer.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/topology/torus.hpp"
+
+namespace pstar {
+namespace {
+
+using harness::ExperimentResult;
+using harness::ExperimentSpec;
+
+// ---------------------------------------------------------------------------
+// residual_balanced_probabilities: the measured-load entry point of the
+// balance solve.
+
+TEST(ResidualBalance, ZeroResidualMatchesBroadcastOnly) {
+  // With nothing to subtract the residual system IS Eq. (2).
+  const topo::Torus torus(topo::Shape{4, 16});
+  const std::vector<double> zero(2, 0.0);
+  const routing::StarProbabilities eq2 =
+      routing::heterogeneous_probabilities(torus, 0.05, 0.0);
+  const routing::StarProbabilities res =
+      routing::residual_balanced_probabilities(torus, 0.05, zero);
+  ASSERT_EQ(res.x.size(), eq2.x.size());
+  for (std::size_t i = 0; i < res.x.size(); ++i) {
+    EXPECT_NEAR(res.x[i], eq2.x[i], 1e-12) << "dim " << i;
+  }
+}
+
+TEST(ResidualBalance, UnicastResidualMatchesEquationFour) {
+  // Eq. (4) is the special case residual_i = lambda_r * m_i / d_i: the
+  // two entry points share one solver core and must agree to rounding.
+  const topo::Torus torus(topo::Shape{4, 16});
+  const double lambda_b = 0.03;
+  const double lambda_r = 0.06;
+  std::vector<double> residual(2, 0.0);
+  for (std::int32_t i = 0; i < 2; ++i) {
+    residual[static_cast<std::size_t>(i)] =
+        lambda_r * torus.mean_hops(i) / torus.avg_links_per_node(i);
+  }
+  const routing::StarProbabilities eq4 =
+      routing::heterogeneous_probabilities(torus, lambda_b, lambda_r);
+  const routing::StarProbabilities res =
+      routing::residual_balanced_probabilities(torus, lambda_b, residual);
+  ASSERT_EQ(res.x.size(), eq4.x.size());
+  EXPECT_EQ(res.feasible, eq4.feasible);
+  for (std::size_t i = 0; i < res.x.size(); ++i) {
+    EXPECT_NEAR(res.x[i], eq4.x[i], 1e-12) << "dim " << i;
+  }
+}
+
+TEST(ResidualBalance, SkewedResidualSteersAwayFromLoadedDimension) {
+  // Extra exogenous load on dimension 0's links must push the solve to a
+  // DIFFERENT x than the unloaded solve -- ending-dimension probability
+  // shifts so broadcast traffic relieves the loaded links.
+  const topo::Torus torus(topo::Shape{8, 8});
+  const std::vector<double> zero(2, 0.0);
+  std::vector<double> skewed = {0.02, 0.0};
+  const routing::StarProbabilities base =
+      routing::residual_balanced_probabilities(torus, 0.05, zero);
+  const routing::StarProbabilities shifted =
+      routing::residual_balanced_probabilities(torus, 0.05, skewed);
+  double sum = 0.0;
+  for (double v : shifted.x) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(std::abs(shifted.x[0] - base.x[0]), 1e-3);
+}
+
+TEST(ResidualBalance, RejectsMalformedInput) {
+  const topo::Torus torus(topo::Shape{4, 4});
+  EXPECT_THROW(routing::residual_balanced_probabilities(torus, -1.0, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(routing::residual_balanced_probabilities(torus, 0.05, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      routing::residual_balanced_probabilities(torus, 0.05, {-0.1, 0.0}),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract (docs/ADAPTIVE.md §4).
+
+TEST(AdaptiveBalancer, OffIsBitIdenticalWhateverTheKnobsSay) {
+  // Mode kOff constructs nothing: the other adaptive knobs must be dead
+  // letters, byte for byte, including the full JSONL event trace.
+  auto trace_of = [](bool touch_knobs) {
+    std::ostringstream os;
+    obs::JsonlTraceSink sink(os);
+    ExperimentSpec spec;
+    spec.shape = topo::Shape{6, 6};
+    spec.rho = 0.7;
+    spec.warmup = 50.0;
+    spec.measure = 300.0;
+    spec.seed = 17;
+    spec.trace_sink = &sink;
+    if (touch_knobs) {
+      spec.adaptive.mode = routing::AdaptiveMode::kOff;
+      spec.adaptive.interval = 10.0;
+      spec.adaptive.deadband = 0.0;
+    }
+    harness::run_experiment(spec);
+    return os.str();
+  };
+  const std::string plain = trace_of(false);
+  const std::string knobs = trace_of(true);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, knobs);
+}
+
+TEST(AdaptiveBalancer, SymmetricTorusIsQuiescent) {
+  // On a symmetric torus under the paper's own x, measured load matches
+  // expected load, so every re-solve lands inside the deadband: the loop
+  // runs (resolves > 0) but never swaps (applied == 0), and the traffic
+  // metrics match the off run exactly -- epoch timer events read the
+  // registry and draw nothing.
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{6, 6};
+  spec.rho = 0.6;
+  spec.warmup = 200.0;
+  spec.measure = 1200.0;
+  spec.seed = 5;
+  const ExperimentResult off = harness::run_experiment(spec);
+
+  spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
+  spec.adaptive.interval = 200.0;
+  spec.adaptive.deadband = 0.05;
+  const ExperimentResult on = harness::run_experiment(spec);
+
+  EXPECT_GT(on.adaptive_epochs, 0u);
+  EXPECT_GT(on.adaptive_resolves, 0u);
+  EXPECT_EQ(on.adaptive_applied, 0u);
+  EXPECT_EQ(on.adaptive_x_drift, 0.0);
+  ASSERT_NE(on.adaptive_stats, nullptr);
+  for (const routing::AdaptiveEpoch& e : on.adaptive_stats->history) {
+    EXPECT_FALSE(e.applied);
+    EXPECT_LE(e.drift, spec.adaptive.deadband);
+    EXPECT_LT(e.imbalance, 1.2);
+  }
+
+  EXPECT_EQ(on.reception_delay_mean, off.reception_delay_mean);
+  EXPECT_EQ(on.broadcast_delay_mean, off.broadcast_delay_mean);
+  EXPECT_EQ(on.transmissions, off.transmissions);
+  EXPECT_EQ(on.measured_broadcasts, off.measured_broadcasts);
+  EXPECT_EQ(on.utilization_mean, off.utilization_mean);
+  EXPECT_EQ(on.delivered_fraction, off.delivered_fraction);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: where a wrong static x plateaus above 1.1, the closed loop
+// must pull the measured group imbalance under it (the acceptance bar).
+
+ExperimentSpec asymmetric_wrong_x_spec() {
+  ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 16};  // asymmetric: balanced x is lopsided
+  spec.scheme = core::Scheme::priority_direct();  // uniform x: wrong here
+  spec.rho = 0.6;
+  spec.warmup = 300.0;
+  spec.measure = 3000.0;
+  spec.seed = 21;
+  spec.collect_link_metrics = true;
+  return spec;
+}
+
+TEST(AdaptiveBalancer, RecoversAsymmetricTorusImbalance) {
+  const ExperimentSpec base = asymmetric_wrong_x_spec();
+  const ExperimentResult fixed = harness::run_experiment(base);
+  ASSERT_NE(fixed.link_metrics, nullptr);
+  const double static_imbalance = fixed.link_metrics->dimension_imbalance();
+  EXPECT_GT(static_imbalance, 1.1);
+
+  ExperimentSpec spec = base;
+  spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
+  spec.adaptive.interval = 250.0;
+  const ExperimentResult adaptive = harness::run_experiment(spec);
+  EXPECT_GE(adaptive.adaptive_applied, 1u);
+  EXPECT_LT(adaptive.adaptive_final_imbalance, static_imbalance);
+  EXPECT_LE(adaptive.adaptive_final_imbalance, 1.1);
+  EXPECT_GT(adaptive.adaptive_x_drift, 0.0);
+
+  // Recovery SHAPE: the loop converges rather than oscillates -- the
+  // first measured epoch is the worst and the tail stays corrected.
+  ASSERT_NE(adaptive.adaptive_stats, nullptr);
+  const auto& history = adaptive.adaptive_stats->history;
+  ASSERT_GE(history.size(), 3u);
+  EXPECT_GT(history.front().imbalance, history.back().imbalance);
+  EXPECT_TRUE(history.front().applied);
+}
+
+}  // namespace
+}  // namespace pstar

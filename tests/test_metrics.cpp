@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -209,7 +210,7 @@ TEST(TraceSink, RoundTripParses) {
     const std::string tag = "\"ev\":\"" + std::string(expected_ev[i]) + "\"";
     EXPECT_NE(lines[i].find(tag), std::string::npos) << lines[i];
   }
-  EXPECT_NE(lines[0].find("\"schema\":4"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schema\":5"), std::string::npos);
   EXPECT_NE(lines[0].find("\"note\":\"quote\\\"back\\\\slash\""),
             std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"broadcast\""), std::string::npos);
@@ -225,6 +226,107 @@ TEST(TraceSink, RoundTripParses) {
   ASSERT_NE(pos, std::string::npos);
   EXPECT_DOUBLE_EQ(std::strtod(lines[3].c_str() + pos + key.size(), nullptr),
                    start);
+}
+
+// ---------------------------------------------------------------------------
+// imbalance_ratio / dimension_imbalance defined-value policy: degenerate
+// windows return exactly 1.0 and the ratios are never NaN (the adaptive
+// control loop and CSV export both consume them unguarded).
+
+TEST(Metrics, AllIdleWindowImbalanceIsOne) {
+  const topo::Torus torus(topo::Shape{4, 4});
+  obs::MetricsRegistry registry(torus);
+  registry.begin_window(0.0);
+  registry.end_window(10.0);
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.imbalance_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.dimension_imbalance(), 1.0);
+}
+
+TEST(Metrics, ZeroSpanWindowImbalanceIsOne) {
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+  registry.begin_window(5.0);
+  registry.end_window(5.0);
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.imbalance_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.dimension_imbalance(), 1.0);
+}
+
+TEST(Metrics, FullyFaultedLinksAreExcludedFromImbalance) {
+  // Link 0 is down for the whole window; its forced-zero busy time must
+  // not drag the mean down.  The other 7 links of the 4-ring carry equal
+  // load, so the ratio over surviving links is exactly 1.
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+  registry.begin_window(0.0);
+  registry.record_link_down(0, 0.0);
+  const net::Copy c = make_copy(1, net::Priority::kHigh);
+  for (topo::LinkId link = 1; link < torus.link_count(); ++link) {
+    registry.record_transmission(link, c, /*enqueued_at=*/0.0, /*start=*/1.0,
+                                 /*end=*/3.0);
+  }
+  registry.end_window(10.0);
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.availability(0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.imbalance_ratio(), 1.0);
+}
+
+TEST(Metrics, EveryLinkFaultedImbalanceIsOne) {
+  // With no link available at all there is nothing to compare; the
+  // policy value is 1.0, never NaN.
+  const topo::Torus torus(topo::Shape{4});
+  obs::MetricsRegistry registry(torus);
+  registry.begin_window(0.0);
+  for (topo::LinkId link = 0; link < torus.link_count(); ++link) {
+    registry.record_link_down(link, 0.0);
+  }
+  registry.end_window(10.0);
+  const obs::LinkMetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.imbalance_ratio(), 1.0);
+  EXPECT_FALSE(std::isnan(snap.dimension_imbalance()));
+}
+
+TEST(Metrics, DimensionImbalanceSeesGroupSkewNotWithinGroupSpread) {
+  // 4x4 torus: 4 (dim, dir) groups of 16 links.  Doubling every dim-0
+  // plus-link's busy time gives group means (2, 1, 1, 1), so the group
+  // ratio is 2 / 1.25 = 1.6 -- and here the per-link ratio agrees.
+  const topo::Torus torus(topo::Shape{4, 4});
+  const net::Copy c = make_copy(1, net::Priority::kHigh);
+  obs::MetricsRegistry even(torus);
+  even.begin_window(0.0);
+  for (topo::LinkId l = 0; l < torus.link_count(); ++l) {
+    const auto& info = torus.info(l);
+    const double busy =
+        info.dim == 0 && info.dir == topo::Dir::kPlus ? 2.0 : 1.0;
+    even.record_transmission(l, c, 0.0, 1.0, 1.0 + busy);
+  }
+  even.end_window(10.0);
+  const obs::LinkMetricsSnapshot balanced = even.snapshot();
+  EXPECT_DOUBLE_EQ(balanced.dimension_imbalance(), 1.6);
+  EXPECT_DOUBLE_EQ(balanced.imbalance_ratio(), 1.6);
+
+  // Concentrating the whole dim-0-plus load on ONE link leaves the group
+  // means unchanged: the per-link ratio explodes but the dimension ratio
+  // -- the component the ending vector x can steer -- does not move.
+  obs::MetricsRegistry skewed(torus);
+  skewed.begin_window(0.0);
+  topo::LinkId hot = topo::kInvalidLink;
+  for (topo::LinkId l = 0; l < torus.link_count(); ++l) {
+    const auto& info = torus.info(l);
+    if (info.dim == 0 && info.dir == topo::Dir::kPlus) {
+      if (hot == topo::kInvalidLink) hot = l;
+      continue;
+    }
+    skewed.record_transmission(l, c, 0.0, 1.0, 2.0);
+  }
+  for (int i = 0; i < 16; ++i) {
+    skewed.record_transmission(hot, c, 0.0, 1.0, 3.0);
+  }
+  skewed.end_window(100.0);
+  const obs::LinkMetricsSnapshot lumpy = skewed.snapshot();
+  EXPECT_DOUBLE_EQ(lumpy.dimension_imbalance(), 1.6);
+  EXPECT_GT(lumpy.imbalance_ratio(), 10.0);
 }
 
 TEST(Metrics, SymmetricTorusImbalanceApproachesOne) {

@@ -295,9 +295,36 @@ TEST(ParallelEngine, RejectsGlobalFeaturesWhenSharded) {
   }
   {
     ExperimentSpec spec = base;
-    spec.hotspot_fraction = 0.3;
+    spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
     EXPECT_THROW(harness::run_experiment(spec), std::invalid_argument);
   }
+  // Every rejection names the conflicting flag and the supported
+  // alternative, so the operator knows what to change.
+  {
+    ExperimentSpec spec = base;
+    spec.max_retries = 2;
+    try {
+      harness::run_experiment(spec);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--retries"), std::string::npos) << what;
+      EXPECT_NE(what.find("--shards 1"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ParallelEngine, ShardedHotspotRunsAndSkewsLoad) {
+  // Hotspot skew used to be rejected at shards > 1; the workload now
+  // partitions the hotspot's arrival weight to the slab that owns it, so
+  // a sharded hotspot run must work and still concentrate traffic.
+  ExperimentSpec spec = base_spec();
+  spec.shards = 2;
+  spec.hotspot_fraction = 0.3;
+  spec.hotspot_node = 0;
+  const harness::ExperimentResult r = harness::run_experiment(spec);
+  EXPECT_GT(r.delivered_fraction, 0.9);
+  EXPECT_GT(r.transmissions, 0u);
 }
 
 TEST(ParallelEngine, RejectsMoreShardsThanNodes) {

@@ -304,6 +304,19 @@ TEST(SchedulerEquivalence, SingleShardMatchesSerialFaultedRecovery) {
   expect_identical(serial, sharded);
 }
 
+TEST(SchedulerEquivalence, SingleShardMatchesSerialHotspot) {
+  // Hotspot skew is now shardable: at shards == 1 the slab is the whole
+  // torus, the workload takes the exact legacy arithmetic path, and the
+  // run must stay bit-identical to the serial engine.
+  ExperimentSpec spec = base_spec();
+  spec.hotspot_fraction = 0.25;
+  spec.hotspot_node = 5;
+  const ExperimentResult serial = harness::run_experiment(spec);
+  spec.shards = 1;
+  const ExperimentResult sharded = harness::run_experiment(spec);
+  expect_identical(serial, sharded);
+}
+
 TEST(SchedulerEquivalence, SingleShardIdenticalJsonlTraces) {
   // Byte-identical event traces: the single-shard window loop may slice
   // the run into thousands of run_until() calls, but the event ORDER it

@@ -3,7 +3,7 @@
 
 Checks every line of the trace produced by ``obs::JsonlTraceSink``
 (``sweep_cli --trace``, or any program attaching the sink) against the
-schema table in docs/OBSERVABILITY.md, versions 1 through 4:
+schema table in docs/OBSERVABILITY.md, versions 1 through 5:
 
   - every line parses as one flat JSON object with an "ev" discriminator;
   - the first record of each run is a header with "schema": 1, 2 or 3;
@@ -25,6 +25,10 @@ schema table in docs/OBSERVABILITY.md, versions 1 through 4:
     throttle records appear only inside saturation windows; every shed
     is consumed by a following drop of the same (task, link) with
     queued false; abort appears at most once per run;
+  - resolve records (schema 5, docs/ADAPTIVE.md): the adaptive
+    balancer's re-solve epochs carry a strictly increasing epoch
+    counter, an imbalance and drift >= 0, and an "x" payload of
+    space-separated probabilities in [0, 1] summing to ~1;
   - a run that ends with links still down is flagged with a NOTE (not
     an error: permanent scripted faults legitimately outlive the run).
 
@@ -37,10 +41,11 @@ Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3, 4)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 FAULT_SCHEMA = 2  # first schema with link_down / link_up records
 RETX_SCHEMA = 3  # first schema with retx records
 OVERLOAD_SCHEMA = 4  # first schema with sat_on/sat_off/shed/throttle/abort
+ADAPTIVE_SCHEMA = 5  # first schema with resolve records
 
 RETX_MODES = {"subtree", "fresh", "unicast"}
 
@@ -100,6 +105,14 @@ REQUIRED = {
     "shed": {"t": NUMBER, "task": (int,), "link": (int,), "prio": (int,)},
     "throttle": {"t": NUMBER, "src": (int,), "kind": (str,)},
     "abort": {"t": NUMBER, "inflight": (int,)},
+    "resolve": {
+        "t": NUMBER,
+        "epoch": (int,),
+        "imb": NUMBER,
+        "drift": NUMBER,
+        "applied": (bool,),
+        "x": (str,),
+    },
 }
 
 OVERLOAD_EVENTS = ("sat_on", "sat_off", "shed", "throttle", "abort")
@@ -149,6 +162,7 @@ def check_record(rec, state):
             state["shed_pending"].clear()
         state["saturated"] = False
         state["aborted"] = False
+        state["resolve_epoch"] = 0
     elif not state["in_run"]:
         problems.append("{}: record before any run header".format(ev))
 
@@ -259,6 +273,29 @@ def check_record(rec, state):
             if rec["inflight"] < 0:
                 problems.append("abort: negative inflight")
             state["aborted"] = True
+    elif ev == "resolve":
+        if state["in_run"] and state["schema"] < ADAPTIVE_SCHEMA:
+            problems.append("resolve: resolve record in a schema-{} "
+                            "run".format(state["schema"]))
+        if rec["epoch"] <= state["resolve_epoch"]:
+            problems.append("resolve: epoch {} not above previous {}".format(
+                rec["epoch"], state["resolve_epoch"]))
+        state["resolve_epoch"] = rec["epoch"]
+        if rec["imb"] < 0 or rec["drift"] < 0:
+            problems.append("resolve: negative imb/drift")
+        try:
+            probs = [float(tok) for tok in rec["x"].split()]
+        except ValueError:
+            probs = None
+        if not probs:
+            problems.append("resolve: x {!r} is not a space-separated "
+                            "probability vector".format(rec["x"]))
+        elif any(p < 0.0 or p > 1.0 for p in probs):
+            problems.append("resolve: x component outside [0, 1]: "
+                            "{!r}".format(rec["x"]))
+        elif abs(sum(probs) - 1.0) > 1e-6:
+            problems.append("resolve: x sums to {}, expected 1".format(
+                sum(probs)))
     return problems
 
 
@@ -273,6 +310,7 @@ def check_stream(lines, name):
         "shed_pending": set(),
         "saturated": False,
         "aborted": False,
+        "resolve_epoch": 0,
     }
     counts = {}
     errors = 0
