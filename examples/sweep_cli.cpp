@@ -65,6 +65,22 @@
 //     --adapt-interval T        epoch length in time units (default 250)
 //     --adapt-deadband X        L-inf threshold below which a re-solved x
 //                               is not applied (default 0.02)
+//     --attack MODEL            adversarial traffic (docs/ADVERSARIAL.md):
+//                               none (default), hotspot (victim flood),
+//                               storm (forced-ending-dim broadcast storm),
+//                               or pulse (duty-cycled flood); adds
+//                               honest-p99 / honest-deliv / atk-goodput
+//                               columns split by source identity
+//     --attackers N             attacker node count (default 4)
+//     --attack-intensity X      aggregate attacker rate as a multiple of
+//                               the honest network-wide rate (default 1)
+//     --policing MODE           per-source policing at the admission gate
+//                               (docs/ADVERSARIAL.md): off (default;
+//                               bit-identical to builds without the
+//                               subsystem) or on (classify valid/suspect/
+//                               invalid, rate-limit suspects, quarantine
+//                               invalid sources); adds a quarantines
+//                               column
 //     --scheduler NAME          pending-event-set backend: calendar
 //                               (default) or heap; results are
 //                               bit-identical either way (docs/ENGINE.md)
@@ -146,6 +162,10 @@ struct Options {
   routing::AdaptiveMode adaptive_mode = routing::AdaptiveMode::kOff;
   double adapt_interval = 250.0;
   double adapt_deadband = 0.02;
+  adversary::AttackKind attack_kind = adversary::AttackKind::kNone;
+  std::int32_t attackers = 4;
+  double attack_intensity = 1.0;
+  bool policing = false;
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
   std::uint32_t shards = 0;
   bool perf = false;
@@ -155,6 +175,7 @@ struct Options {
     return overload_mode != overload::OverloadMode::kOff;
   }
   bool adaptive() const { return adaptive_mode != routing::AdaptiveMode::kOff; }
+  bool attacked() const { return attack_kind != adversary::AttackKind::kNone; }
 };
 
 Options parse_options(int argc, char** argv) {
@@ -261,6 +282,34 @@ Options parse_options(int argc, char** argv) {
       } else {
         throw std::invalid_argument("--adaptive must be off or periodic");
       }
+    } else if (flag == "--attack") {
+      const std::string which = value();
+      if (which == "none") {
+        opt.attack_kind = adversary::AttackKind::kNone;
+      } else if (which == "hotspot") {
+        opt.attack_kind = adversary::AttackKind::kHotspot;
+      } else if (which == "storm") {
+        opt.attack_kind = adversary::AttackKind::kStorm;
+      } else if (which == "pulse") {
+        opt.attack_kind = adversary::AttackKind::kPulse;
+      } else {
+        throw std::invalid_argument(
+            "--attack must be none, hotspot, storm, or pulse");
+      }
+    } else if (flag == "--attackers") {
+      opt.attackers = static_cast<std::int32_t>(
+          harness::parse_count(value(), "--attackers"));
+    } else if (flag == "--attack-intensity") {
+      opt.attack_intensity = std::stod(value());
+    } else if (flag == "--policing") {
+      const std::string which = value();
+      if (which == "off") {
+        opt.policing = false;
+      } else if (which == "on") {
+        opt.policing = true;
+      } else {
+        throw std::invalid_argument("--policing must be off or on");
+      }
     } else if (flag == "--adapt-interval") {
       opt.adapt_interval = std::stod(value());
     } else if (flag == "--adapt-deadband") {
@@ -330,6 +379,24 @@ Options parse_options(int argc, char** argv) {
           "loop samples one global metrics registry; run with --shards 1");
     }
   }
+  if (opt.attacked()) {
+    if (opt.attackers < 1) {
+      throw std::invalid_argument("--attackers must be >= 1");
+    }
+    if (opt.attack_intensity <= 0.0) {
+      throw std::invalid_argument("--attack-intensity must be > 0");
+    }
+    if (opt.shards > 1) {
+      throw std::invalid_argument(
+          "--attack conflicts with --shards > 1 -- the attacker stream and "
+          "the honest-vs-attacker recorder are global; run with --shards 1");
+    }
+  }
+  if (opt.policing && opt.shards > 1) {
+    throw std::invalid_argument(
+        "--policing on conflicts with --shards > 1 -- the policer tracks "
+        "every source in one slab; run with --shards 1");
+  }
   return opt;
 }
 
@@ -357,6 +424,9 @@ int main(int argc, char** argv) {
                  "[--sat-high X] [--sat-low X]]\n"
                  "                 [--adaptive off|periodic "
                  "[--adapt-interval T] [--adapt-deadband X]]\n"
+                 "                 [--attack none|hotspot|storm|pulse "
+                 "[--attackers N] [--attack-intensity X]]\n"
+                 "                 [--policing off|on]\n"
                  "                 [--scheduler heap|calendar] [--shards N] "
                  "[--perf]\n";
     return 2;
@@ -393,6 +463,10 @@ int main(int argc, char** argv) {
   if (opt.adaptive()) {
     header.insert(header.end(), {"re-solves", "final-imb", "x-drift"});
   }
+  if (opt.attacked()) {
+    header.insert(header.end(), {"honest-p99", "honest-deliv", "atk-goodput"});
+  }
+  if (opt.policing) header.push_back("quarantines");
   if (!opt.metrics_path.empty()) header.push_back("imb");
   if (opt.reps > 1) {
     header.push_back("recep-sd");
@@ -437,6 +511,10 @@ int main(int argc, char** argv) {
       spec.adaptive.mode = opt.adaptive_mode;
       spec.adaptive.interval = opt.adapt_interval;
       spec.adaptive.deadband = opt.adapt_deadband;
+      spec.attack.kind = opt.attack_kind;
+      spec.attack.attackers = opt.attackers;
+      spec.attack.intensity = opt.attack_intensity;
+      spec.policing.enabled = opt.policing;
       spec.scheduler = opt.scheduler;
       spec.shards = opt.shards;
       spec.shard_jobs = static_cast<unsigned>(opt.jobs);
@@ -472,14 +550,18 @@ int main(int argc, char** argv) {
       for (const auto& run : agg.runs) {
         if (!run.unstable) ++completed;
       }
-      const bool controlled =
-          opt.overloaded() && agg.stable_runs == 0 && completed > 0;
+      // Attacked sweeps saturate the victim's links by design, so they
+      // re-aggregate over completed runs exactly like overload sweeps.
+      const bool controlled = (opt.overloaded() || opt.attacked()) &&
+                              agg.stable_runs == 0 && completed > 0;
       if (agg.stable_runs == 0 && !controlled) {
         row.insert(row.end(), {"unstable", "-", "-", "-"});
         if (opt.faulted()) row.push_back("-");
         if (opt.retries > 0) row.insert(row.end(), {"-", "-"});
         if (opt.overloaded()) row.insert(row.end(), {"-", "-", "-", "-", "-"});
         if (opt.adaptive()) row.insert(row.end(), {"-", "-", "-"});
+        if (opt.attacked()) row.insert(row.end(), {"-", "-", "-"});
+        if (opt.policing) row.push_back("-");
         if (!opt.metrics_path.empty()) row.push_back("-");
         if (opt.reps > 1) row.insert(row.end(), {"-", "-"});
         if (opt.tails) row.insert(row.end(), {"-", "-"});
@@ -539,6 +621,22 @@ int main(int argc, char** argv) {
         row.push_back(harness::fmt(
             mean_completed([](const auto& r) { return r.adaptive_x_drift; }),
             4));
+      }
+      if (opt.attacked()) {
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.honest_p99; }), 1));
+        row.push_back(harness::fmt(
+            mean_completed(
+                [](const auto& r) { return r.honest_delivered_fraction; }),
+            4));
+        row.push_back(harness::fmt(
+            mean_completed([](const auto& r) { return r.attacker_goodput; }),
+            4));
+      }
+      if (opt.policing) {
+        std::uint64_t quarantines = 0;
+        for (const auto& run : agg.runs) quarantines += run.quarantines;
+        row.push_back(std::to_string(quarantines));
       }
       if (!opt.metrics_path.empty()) {
         const double imb = harness::mean_imbalance(agg);
@@ -660,6 +758,16 @@ int main(int argc, char** argv) {
               .field("adapt_interval", opt.adapt_interval)
               .field("adapt_deadband", opt.adapt_deadband);
         }
+        if (opt.attacked()) {
+          const char* kind =
+              opt.attack_kind == adversary::AttackKind::kHotspot ? "hotspot"
+              : opt.attack_kind == adversary::AttackKind::kStorm ? "storm"
+                                                                 : "pulse";
+          header_rec.field("attack", kind)
+              .field("attackers", static_cast<std::uint64_t>(opt.attackers))
+              .field("attack_intensity", opt.attack_intensity);
+        }
+        if (opt.policing) header_rec.field("policing", "on");
       }
       try {
         harness::run_experiment(spec);

@@ -1,0 +1,133 @@
+#include "pstar/adversary/attack.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pstar::adversary {
+
+std::vector<topo::NodeId> attacker_nodes(const AttackConfig& config,
+                                         std::int64_t node_count) {
+  const bool exclude_victim = config.kind == AttackKind::kHotspot ||
+                              config.kind == AttackKind::kPulse;
+  std::vector<topo::NodeId> eligible;
+  eligible.reserve(static_cast<std::size_t>(node_count));
+  for (std::int64_t n = 0; n < node_count; ++n) {
+    if (exclude_victim && static_cast<topo::NodeId>(n) == config.victim) {
+      continue;
+    }
+    eligible.push_back(static_cast<topo::NodeId>(n));
+  }
+  const auto want = static_cast<std::int64_t>(config.attackers);
+  if (want > static_cast<std::int64_t>(eligible.size())) {
+    throw std::invalid_argument(
+        "attacker_nodes: more attackers than eligible nodes");
+  }
+  std::vector<topo::NodeId> out;
+  out.reserve(static_cast<std::size_t>(want));
+  // Evenly spaced indices into the eligible list: deterministic, spread
+  // over the torus, and distinct for any want <= eligible.size().
+  for (std::int64_t i = 0; i < want; ++i) {
+    out.push_back(
+        eligible[static_cast<std::size_t>(i * static_cast<std::int64_t>(
+                                                  eligible.size()) /
+                                          want)]);
+  }
+  return out;
+}
+
+AttackerWorkload::AttackerWorkload(sim::Simulator& sim, net::Engine& engine,
+                                   AttackConfig config, double honest_rate)
+    : sim_(sim), engine_(engine), config_(config), rng_(config.seed) {
+  if (!config_.enabled()) {
+    throw std::invalid_argument("AttackerWorkload: kind is kNone");
+  }
+  if (config_.intensity <= 0.0) {
+    throw std::invalid_argument("AttackerWorkload: intensity must be > 0");
+  }
+  if (config_.length == 0) {
+    throw std::invalid_argument("AttackerWorkload: zero length");
+  }
+  const std::int64_t n = engine_.torus().node_count();
+  if (config_.victim < 0 || config_.victim >= static_cast<topo::NodeId>(n)) {
+    throw std::invalid_argument("AttackerWorkload: victim out of range");
+  }
+  if ((config_.kind == AttackKind::kHotspot ||
+       config_.kind == AttackKind::kPulse) &&
+      n < 2) {
+    throw std::invalid_argument(
+        "AttackerWorkload: a hotspot flood needs at least two nodes");
+  }
+  if (config_.kind == AttackKind::kPulse &&
+      (config_.pulse_period <= 0.0 || config_.pulse_duty <= 0.0 ||
+       config_.pulse_duty > 1.0)) {
+    throw std::invalid_argument(
+        "AttackerWorkload: pulse_period > 0 and pulse_duty in (0, 1]");
+  }
+  if (config_.kind == AttackKind::kStorm) {
+    forced_dim_ = config_.storm_dim >= 0 ? config_.storm_dim
+                                         : engine_.torus().dims() - 1;
+    if (forced_dim_ >= engine_.torus().dims()) {
+      throw std::invalid_argument("AttackerWorkload: storm_dim out of range");
+    }
+  }
+  attackers_ = attacker_nodes(config_, n);
+  // Intensity scales the honest network-wide rate; with no honest
+  // traffic it IS the network-wide attacker rate (pure-attack runs).
+  rate_ = honest_rate > 0.0 ? config_.intensity * honest_rate
+                            : config_.intensity;
+}
+
+void AttackerWorkload::start() {
+  if (rate_ <= 0.0) return;
+  schedule_next();
+}
+
+double AttackerWorkload::active_to_wall(double active) const {
+  // Each period contributes duty * period of burst-active time, packed
+  // at the front of the period.
+  const double on_span = config_.pulse_duty * config_.pulse_period;
+  const double periods = std::floor(active / on_span);
+  return periods * config_.pulse_period + (active - periods * on_span);
+}
+
+void AttackerWorkload::schedule_next() {
+  double next = 0.0;
+  if (config_.kind == AttackKind::kPulse) {
+    // Draw the gap in burst-active time at the burst rate rate_/duty
+    // (mean wall rate is then rate_), and splice the off intervals in.
+    active_time_ += rng_.exponential(rate_ / config_.pulse_duty);
+    next = active_to_wall(active_time_);
+  } else {
+    next = sim_.now() + rng_.exponential(rate_);
+  }
+  if (next > config_.stop_time) return;
+  sim_.at(next, [this](sim::Simulator& s) { arrive(s); });
+}
+
+void AttackerWorkload::arrive(sim::Simulator&) {
+  if (stopped_) return;
+  traffic::Arrival a;
+  a.source = attackers_[rng_.below(attackers_.size())];
+  a.length = config_.length;
+  switch (config_.kind) {
+    case AttackKind::kHotspot:
+    case AttackKind::kPulse:
+      a.kind = net::TaskKind::kUnicast;
+      a.dest = config_.victim;
+      break;
+    case AttackKind::kStorm:
+      a.kind = net::TaskKind::kBroadcast;
+      a.dest = a.source;
+      a.ending_dim = forced_dim_;
+      break;
+    case AttackKind::kNone:
+      return;  // unreachable (constructor rejects kNone)
+  }
+  if (gate_ == nullptr || gate_->on_arrival(a)) {
+    traffic::launch_arrival(engine_, a);
+  }
+  ++generated_;
+  schedule_next();
+}
+
+}  // namespace pstar::adversary

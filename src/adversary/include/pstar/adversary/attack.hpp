@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file attack.hpp
+/// Adversarial traffic models (docs/ADVERSARIAL.md).
+///
+/// An AttackerWorkload is a second merged Poisson source that rides next
+/// to the honest traffic::Workload: a deterministic set of attacker
+/// nodes injects abusive tasks at `intensity` times the honest
+/// network-wide rate.  Three models, each defeating the paper's balance
+/// a different way:
+///
+///   kHotspot -- victim-hotspot flood: every attacker unicast targets
+///     one victim node, concentrating load on the links around it;
+///   kStorm  -- ending-dimension-abusing broadcast storm: attacker
+///     floods FORCE a pessimal ending dimension (Arrival::ending_dim)
+///     instead of taking the balanced Eq. (2)/(4) draw, deliberately
+///     unbalancing one dimension's links;
+///   kPulse  -- pulsing low-rate attack: the hotspot flood gated by a
+///     deterministic on/off duty cycle whose burst rate is
+///     intensity/duty, tuned to spike queues while keeping the
+///     long-run mean under naive EWMA radar.
+///
+/// Determinism: every draw comes from a private rng seeded via
+/// sim::seed_stream(spec.seed, kAttackSeedStream, 0), so attacker
+/// arrivals never perturb the honest workload's stream; with kNone no
+/// attacker object exists and runs are bit-identical to builds without
+/// the subsystem (CI-locked, same contract as --overload off).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pstar/net/engine.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::adversary {
+
+/// Stream tag under which the harness derives a run's attack seed:
+/// seed_stream(spec.seed, kAttackSeedStream, 0).  Distinct from the
+/// workload, fault, recovery, overload, and shard tags.
+inline constexpr std::uint64_t kAttackSeedStream = 0xA77AC4ULL;
+
+/// Which attack model the adversary runs.
+enum class AttackKind : std::uint8_t {
+  kNone = 0,     ///< no adversary; subsystem absent
+  kHotspot = 1,  ///< victim-hotspot unicast flood
+  kStorm = 2,    ///< forced-ending-dimension broadcast storm
+  kPulse = 3,    ///< on/off duty-cycled hotspot flood
+};
+
+/// Adversary tuning knobs (docs/ADVERSARIAL.md).
+struct AttackConfig {
+  AttackKind kind = AttackKind::kNone;
+
+  /// Number of attacker nodes; chosen deterministically, evenly spaced
+  /// over the torus (excluding the victim for hotspot/pulse attacks).
+  std::int32_t attackers = 4;
+
+  /// Aggregate attacker arrival rate as a multiple of the honest
+  /// network-wide rate.  When the honest rate is zero (pure-attack
+  /// scenarios), the intensity is the absolute network-wide attacker
+  /// rate instead.
+  double intensity = 1.0;
+
+  /// Hotspot/pulse victim node.
+  topo::NodeId victim = 0;
+
+  /// Storm ending dimension; -1 = the highest-index dimension.
+  std::int32_t storm_dim = -1;
+
+  /// Pulse geometry: bursts of pulse_duty * pulse_period time units per
+  /// period, at instantaneous rate intensity/duty.
+  double pulse_period = 200.0;
+  double pulse_duty = 0.25;
+
+  /// Per-hop service length of attacker tasks.
+  std::uint32_t length = 1;
+
+  /// Seed of the private rng (derive via kAttackSeedStream).
+  std::uint64_t seed = 0;
+  /// Generation stops at this simulation time (mirrors WorkloadConfig).
+  double stop_time = std::numeric_limits<double>::infinity();
+
+  bool enabled() const {
+    return kind != AttackKind::kNone && intensity > 0.0 && attackers > 0;
+  }
+};
+
+/// The deterministic attacker node set for a config on an N-node torus:
+/// `attackers` nodes evenly spaced over the eligible range (every node;
+/// hotspot/pulse exclude the victim).  Shared by the workload and the
+/// honest-vs-attacker recorder so both always agree on who is attacking.
+std::vector<topo::NodeId> attacker_nodes(const AttackConfig& config,
+                                         std::int64_t node_count);
+
+/// Merged Poisson adversary driving an Engine, mirroring the honest
+/// traffic::Workload's shape (start/stop/set_gate) so the policing and
+/// overload gates compose identically over both streams.
+class AttackerWorkload {
+ public:
+  /// `honest_rate` is the honest network-wide arrival rate the intensity
+  /// knob scales.  All references must outlive the run.
+  AttackerWorkload(sim::Simulator& sim, net::Engine& engine,
+                   AttackConfig config, double honest_rate);
+
+  /// Schedules the first attacker arrival.  Call once before the run.
+  void start();
+
+  void stop() { stopped_ = true; }
+
+  /// Attaches an admission gate (nullptr detaches); same contract as
+  /// Workload::set_gate -- draws are unconditional, the gate only
+  /// decides when (or whether) a drawn task launches.
+  void set_gate(traffic::AdmissionGate* gate) { gate_ = gate; }
+  traffic::AdmissionGate* gate() const { return gate_; }
+
+  const std::vector<topo::NodeId>& attackers() const { return attackers_; }
+  std::uint64_t generated() const { return generated_; }
+  const AttackConfig& config() const { return config_; }
+
+ private:
+  void arrive(sim::Simulator& sim);
+  void schedule_next();
+  /// Maps cumulative burst-active time to wall-clock time for kPulse
+  /// (arrivals are drawn in active time, then the off intervals are
+  /// spliced in).
+  double active_to_wall(double active) const;
+
+  sim::Simulator& sim_;
+  net::Engine& engine_;
+  AttackConfig config_;
+  sim::Rng rng_;
+  std::vector<topo::NodeId> attackers_;
+  double rate_ = 0.0;         ///< network-wide attacker task rate
+  double active_time_ = 0.0;  ///< kPulse cumulative on-time cursor
+  std::int32_t forced_dim_ = -1;  ///< resolved storm dimension
+  bool stopped_ = false;
+  traffic::AdmissionGate* gate_ = nullptr;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace pstar::adversary

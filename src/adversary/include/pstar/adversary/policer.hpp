@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file policer.hpp
+/// Per-source policing stage at the admission gate (docs/ADVERSARIAL.md).
+///
+/// The policer interposes itself in front of whatever gate the workload
+/// already has (typically PR 5's OverloadController) and classifies every
+/// source valid / suspect / invalid from its traffic::SourceStats
+/// signals, with hysteresis mirroring the saturation detector's
+/// sat_high/sat_low pattern:
+///
+///   valid -> suspect   at rate >= suspect_factor x E, or an abusive
+///                      concentration/skew share with rate >= E;
+///   suspect -> invalid at rate >= invalid_factor x E, or an abusive
+///                      share with rate >= suspect_factor x E;
+///   suspect -> valid   only once rate <= clear_factor x E AND both
+///                      shares <= share_low (the hysteresis gap);
+///   valid -> invalid   directly at rate >= invalid_factor x E.
+///
+/// Suspects pass a per-source token bucket at limit_factor x E (denies
+/// count as kRateLimit).  An invalid source is QUARANTINED for a
+/// deterministic penalty window: every admission inside the window is
+/// denied (kQuarantine), and the first arrival after it re-enters the
+/// source on PROBATION as a suspect -- its stats kept hot by observing
+/// denied attempts too, so an unrepentant flooder re-trips immediately.
+///
+/// The policer also implements overload::ReleaseFilter so arrivals a
+/// throttle deferred BEFORE the quarantine are not injected mid-window.
+///
+/// Determinism: the policer draws no randomness at all -- verdicts are a
+/// pure function of arrival times and the config.  With enabled = false
+/// no policer exists and runs are bit-identical (CI-locked).
+
+#include <cstdint>
+#include <vector>
+
+#include "pstar/adversary/attack.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/overload/controller.hpp"
+#include "pstar/traffic/source_stats.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::adversary {
+
+/// Policing tuning knobs (docs/ADVERSARIAL.md).
+struct PolicingConfig {
+  bool enabled = false;
+
+  /// SourceStats geometry (window, EWMA alpha, idle reset).
+  traffic::SourceStatsConfig stats;
+
+  /// Expected per-source arrival rate E (tasks per time unit).  0 =
+  /// automatic: the harness fills in the honest per-node rate.
+  double expected_rate = 0.0;
+
+  /// Rate thresholds as multiples of E.  Escalate at suspect_factor /
+  /// invalid_factor, clear only at clear_factor (< suspect_factor, the
+  /// hysteresis gap).
+  double suspect_factor = 3.0;
+  double invalid_factor = 8.0;
+  double clear_factor = 1.5;
+
+  /// Concentration/skew thresholds on the top-destination share and the
+  /// forced-ending-dimension share (escalate at share_high, clear only
+  /// below share_low).
+  double share_high = 0.6;
+  double share_low = 0.3;
+
+  /// Suspect rate limit: a per-source token bucket at limit_factor x E,
+  /// depth limit_depth tasks.
+  double limit_factor = 2.0;
+  double limit_depth = 4.0;
+
+  /// Quarantine penalty window (time units).
+  double quarantine_period = 400.0;
+};
+
+/// What the policer did during one run.
+struct PolicingStats {
+  std::uint64_t denied_quarantine = 0;  ///< admissions refused in-window
+  std::uint64_t denied_ratelimit = 0;   ///< suspect bucket exhausted
+  std::uint64_t quarantines = 0;        ///< windows opened
+  std::uint64_t probations = 0;         ///< windows expired into probation
+  std::uint64_t classifications = 0;    ///< class transitions emitted
+  /// Expected receptions of denied tasks (unicast 1, broadcast N-1,
+  /// multicast group size): the goodput denominator for traffic that
+  /// never became a task.
+  std::uint64_t denied_expected_receptions = 0;
+};
+
+/// The per-source policing gate.  Construct AFTER the workload's other
+/// gates are attached (it captures and chains to the current gate, and
+/// restores it on destruction); keep it alive until the run has drained.
+class Policer : public traffic::AdmissionGate, public overload::ReleaseFilter {
+ public:
+  /// Interposes on `honest` (and `attacker`, when present).  When
+  /// config.expected_rate is 0 it must be set by the caller first; the
+  /// constructor rejects a non-positive E.
+  Policer(net::Engine& engine, traffic::Workload& honest,
+          AttackerWorkload* attacker, PolicingConfig config);
+  ~Policer() override;
+
+  Policer(const Policer&) = delete;
+  Policer& operator=(const Policer&) = delete;
+
+  // traffic::AdmissionGate
+  bool on_arrival(const traffic::Arrival& arrival) override;
+
+  // overload::ReleaseFilter -- vetoes throttle releases of quarantined
+  // sources (the deferred-launch x quarantine ordering hazard).
+  bool may_release(const traffic::Arrival& arrival, double now) override;
+
+  const PolicingStats& stats() const { return stats_; }
+  const PolicingConfig& config() const { return config_; }
+  net::SourceClass source_class(topo::NodeId source) const;
+  /// Quarantine window end for `source` (0 when never quarantined).
+  double quarantine_until(topo::NodeId source) const;
+  const traffic::SourceStats& source_stats() const { return stats_tracker_; }
+
+ private:
+  struct State {
+    net::SourceClass cls = net::SourceClass::kValid;
+    double quarantine_until = 0.0;
+    double tokens = 0.0;  ///< suspect rate-limit bucket
+    double last_refill = 0.0;
+  };
+
+  /// Runs the classifier for `source` at `now`; returns its (possibly
+  /// new) class.  Emits observer records on transitions.
+  net::SourceClass classify(topo::NodeId source, State& s, double now);
+  void deny(const traffic::Arrival& arrival, net::DenyReason reason,
+            double now);
+  std::uint64_t expected_receptions(const traffic::Arrival& arrival) const;
+
+  net::Engine& engine_;
+  traffic::Workload& honest_;
+  AttackerWorkload* attacker_;
+  PolicingConfig config_;
+  traffic::SourceStats stats_tracker_;
+  std::vector<State> state_;  ///< flat slab keyed by node id
+  traffic::AdmissionGate* inner_ = nullptr;  ///< the gate we interposed on
+  /// The attacker workload's previous gate, restored on destruction.
+  /// Admitted attacker arrivals chain to the SAME inner gate as honest
+  /// ones, so throttling applies uniformly across both streams.
+  traffic::AdmissionGate* attacker_prev_ = nullptr;
+  PolicingStats stats_;
+};
+
+}  // namespace pstar::adversary

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file recorder.hpp
+/// Honest-vs-attacker accounting observer (docs/ADVERSARIAL.md).
+///
+/// Splits the run's delivery and delay accounting by SOURCE IDENTITY:
+/// tasks originating at an attacker node are charged to the attacker,
+/// everything else to the honest population (an honest arrival drawn at
+/// an attacker node counts as attacker traffic -- identity-based
+/// policing cannot tell them apart, which is exactly the collateral the
+/// bench measures).  The recorder wraps the run's existing observer
+/// (metrics/trace probe) and forwards every callback unchanged, so it
+/// composes with tracing; it is constructed only when an attack is
+/// enabled, keeping attack-free runs on the plain probe bit for bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "pstar/net/observer.hpp"
+#include "pstar/stats/histogram.hpp"
+
+namespace pstar::adversary {
+
+/// Observer wrapper splitting delivery/delay accounting by attacker
+/// membership of the task's source.
+class ClassRecorder : public net::Observer {
+ public:
+  /// `inner` may be null (no metrics/trace attached).  `attackers` is
+  /// the deterministic attacker node set (attacker_nodes()).
+  ClassRecorder(net::Observer* inner, std::int64_t node_count,
+                const std::vector<topo::NodeId>& attackers,
+                double histogram_width = 1.0,
+                std::size_t histogram_buckets = 4096);
+
+  /// Honest delivered receptions / honest expected receptions over all
+  /// completed honest tasks (1.0 when no honest task completed).
+  double honest_delivered_fraction() const;
+  /// p99 of completion delay over MEASURED honest tasks.
+  double honest_p99() const { return honest_delay_.quantile(0.99); }
+  double honest_p95() const { return honest_delay_.quantile(0.95); }
+
+  std::uint64_t honest_tasks() const { return honest_tasks_; }
+  std::uint64_t attacker_tasks() const { return attacker_tasks_; }
+  std::uint64_t attacker_delivered() const { return attacker_delivered_; }
+  std::uint64_t attacker_expected() const { return attacker_expected_; }
+
+  // net::Observer -- accounting plus verbatim forwarding to the inner
+  // observer.
+  void on_task_created(net::TaskId task, const net::Task& info) override;
+  void on_task_completed(net::TaskId task, const net::Task& info,
+                         double time) override;
+  void on_enqueue(net::TaskId task, const net::Copy& copy,
+                  topo::LinkId link, double now) override;
+  void on_transmission(net::TaskId task, const net::Copy& copy,
+                       topo::LinkId link, topo::NodeId from,
+                       topo::NodeId to, std::int32_t dim, topo::Dir dir,
+                       double enqueued_at, double start, double end) override;
+  void on_drop(net::TaskId task, const net::Copy& copy, topo::LinkId link,
+               double now, bool was_queued) override;
+  void on_link_down(topo::LinkId link, double now) override;
+  void on_link_up(topo::LinkId link, double now) override;
+  void on_retx(net::TaskId task, std::uint32_t attempt, net::RetxMode mode,
+               topo::LinkId link, double now) override;
+  void on_saturation_on(double now, double level) override;
+  void on_saturation_off(double now, double level) override;
+  void on_shed(net::TaskId task, const net::Copy& copy, topo::LinkId link,
+               double now) override;
+  void on_throttle(topo::NodeId source, net::TaskKind kind,
+                   double now) override;
+  void on_abort(double now, std::uint64_t inflight) override;
+  void on_resolve(double now, std::uint64_t epoch, double imbalance,
+                  double drift, bool applied,
+                  const std::vector<double>& x) override;
+  void on_classify(topo::NodeId source, net::SourceClass cls, double rate,
+                   double share, double now) override;
+  void on_quarantine(topo::NodeId source, double until, double now) override;
+  void on_probation(topo::NodeId source, double now) override;
+  void on_deny(topo::NodeId source, net::TaskKind kind,
+               net::DenyReason reason, double now) override;
+
+ private:
+  struct TaskTag {
+    bool honest = false;
+    bool measured = false;
+    bool dropped = false;  ///< a copy of this task was dropped and no
+                           ///< retry has re-enqueued one since
+    double created = 0.0;
+  };
+
+  net::Observer* inner_;
+  std::vector<std::uint8_t> is_attacker_;  ///< bitmap keyed by node id
+  std::vector<TaskTag> tags_;  ///< per-TaskId slab (slots are recycled:
+                               ///< on_task_created overwrites)
+  stats::Histogram honest_delay_;
+  std::uint64_t honest_tasks_ = 0;
+  std::uint64_t attacker_tasks_ = 0;
+  std::uint64_t honest_delivered_ = 0;
+  std::uint64_t honest_expected_ = 0;
+  std::uint64_t attacker_delivered_ = 0;
+  std::uint64_t attacker_expected_ = 0;
+};
+
+}  // namespace pstar::adversary

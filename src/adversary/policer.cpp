@@ -1,0 +1,192 @@
+#include "pstar/adversary/policer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pstar::adversary {
+
+Policer::Policer(net::Engine& engine, traffic::Workload& honest,
+                 AttackerWorkload* attacker, PolicingConfig config)
+    : engine_(engine),
+      honest_(honest),
+      attacker_(attacker),
+      config_(config),
+      stats_tracker_(engine.torus().node_count(), config.stats),
+      state_(static_cast<std::size_t>(engine.torus().node_count())) {
+  if (!config_.enabled) {
+    throw std::invalid_argument("Policer: config not enabled");
+  }
+  if (config_.expected_rate <= 0.0) {
+    throw std::invalid_argument("Policer: expected_rate must be > 0");
+  }
+  if (config_.clear_factor >= config_.suspect_factor ||
+      config_.suspect_factor > config_.invalid_factor) {
+    throw std::invalid_argument(
+        "Policer: need clear_factor < suspect_factor <= invalid_factor");
+  }
+  if (config_.share_low >= config_.share_high) {
+    throw std::invalid_argument("Policer: share_low >= share_high");
+  }
+  if (config_.limit_factor <= 0.0 || config_.limit_depth < 1.0) {
+    throw std::invalid_argument(
+        "Policer: limit_factor > 0 and limit_depth >= 1");
+  }
+  if (config_.quarantine_period <= 0.0) {
+    throw std::invalid_argument("Policer: quarantine_period must be > 0");
+  }
+  inner_ = honest_.gate();
+  honest_.set_gate(this);
+  if (attacker_ != nullptr) {
+    attacker_prev_ = attacker_->gate();
+    attacker_->set_gate(this);
+  }
+}
+
+Policer::~Policer() {
+  honest_.set_gate(inner_);
+  if (attacker_ != nullptr) attacker_->set_gate(attacker_prev_);
+}
+
+net::SourceClass Policer::source_class(topo::NodeId source) const {
+  return state_[static_cast<std::size_t>(source)].cls;
+}
+
+double Policer::quarantine_until(topo::NodeId source) const {
+  return state_[static_cast<std::size_t>(source)].quarantine_until;
+}
+
+std::uint64_t Policer::expected_receptions(
+    const traffic::Arrival& arrival) const {
+  switch (arrival.kind) {
+    case net::TaskKind::kBroadcast:
+      return static_cast<std::uint64_t>(engine_.torus().node_count() - 1);
+    case net::TaskKind::kMulticast:
+      return arrival.group.size();
+    case net::TaskKind::kUnicast:
+      break;
+  }
+  return 1;
+}
+
+void Policer::deny(const traffic::Arrival& arrival, net::DenyReason reason,
+                   double now) {
+  if (reason == net::DenyReason::kQuarantine) {
+    ++stats_.denied_quarantine;
+  } else {
+    ++stats_.denied_ratelimit;
+  }
+  stats_.denied_expected_receptions += expected_receptions(arrival);
+  if (net::Observer* obs = engine_.observer()) {
+    obs->on_deny(arrival.source, arrival.kind, reason, now);
+  }
+}
+
+net::SourceClass Policer::classify(topo::NodeId source, State& s,
+                                   double now) {
+  const traffic::SourceSignals sg = stats_tracker_.signals(source, now);
+  const double share = std::max(sg.top_share, sg.forced_share);
+  const double e = config_.expected_rate;
+  net::SourceClass next = s.cls;
+  switch (s.cls) {
+    case net::SourceClass::kValid:
+      if (sg.rate >= config_.invalid_factor * e) {
+        next = net::SourceClass::kInvalid;
+      } else if (sg.rate >= config_.suspect_factor * e ||
+                 (share >= config_.share_high && sg.rate >= e)) {
+        next = net::SourceClass::kSuspect;
+      }
+      break;
+    case net::SourceClass::kSuspect:
+      if (sg.rate >= config_.invalid_factor * e ||
+          (share >= config_.share_high &&
+           sg.rate >= config_.suspect_factor * e)) {
+        next = net::SourceClass::kInvalid;
+      } else if (sg.rate <= config_.clear_factor * e &&
+                 share <= config_.share_low) {
+        // The hysteresis gap: clearing needs BOTH the rate back under
+        // clear_factor x E and the shares under share_low, so a source
+        // hovering at a single threshold never flaps.
+        next = net::SourceClass::kValid;
+      }
+      break;
+    case net::SourceClass::kInvalid:
+      break;  // quarantine exit is handled by the probation path
+  }
+  if (next == s.cls) return next;
+  s.cls = next;
+  ++stats_.classifications;
+  if (next == net::SourceClass::kSuspect) {
+    // Fresh rate-limit bucket for the new suspect.
+    s.tokens = config_.limit_depth;
+    s.last_refill = now;
+  }
+  if (net::Observer* obs = engine_.observer()) {
+    obs->on_classify(source, next, sg.rate, share, now);
+  }
+  if (next == net::SourceClass::kInvalid) {
+    s.quarantine_until = now + config_.quarantine_period;
+    ++stats_.quarantines;
+    if (net::Observer* obs = engine_.observer()) {
+      obs->on_quarantine(source, s.quarantine_until, now);
+    }
+  }
+  return next;
+}
+
+bool Policer::on_arrival(const traffic::Arrival& arrival) {
+  const double now = engine_.simulator().now();
+  // Every admission ATTEMPT feeds the tracker, including the denied
+  // ones: a quarantined flooder keeps its rate estimate hot and trips
+  // again right after probation.
+  stats_tracker_.observe(arrival, now);
+  State& s = state_[static_cast<std::size_t>(arrival.source)];
+  if (s.cls == net::SourceClass::kInvalid) {
+    if (now < s.quarantine_until) {
+      deny(arrival, net::DenyReason::kQuarantine, now);
+      return false;
+    }
+    // Window expired: re-enter on probation as a suspect with a fresh
+    // bucket, then fall through to the classifier -- a still-hot source
+    // re-trips on this very arrival.
+    s.cls = net::SourceClass::kSuspect;
+    s.tokens = config_.limit_depth;
+    s.last_refill = now;
+    ++stats_.probations;
+    ++stats_.classifications;
+    if (net::Observer* obs = engine_.observer()) {
+      const traffic::SourceSignals sg = stats_tracker_.signals(arrival.source, now);
+      obs->on_classify(arrival.source, net::SourceClass::kSuspect, sg.rate,
+                       std::max(sg.top_share, sg.forced_share), now);
+      obs->on_probation(arrival.source, now);
+    }
+  }
+  const net::SourceClass cls = classify(arrival.source, s, now);
+  if (cls == net::SourceClass::kInvalid) {
+    deny(arrival, net::DenyReason::kQuarantine, now);
+    return false;
+  }
+  if (cls == net::SourceClass::kSuspect) {
+    s.tokens = std::min(
+        config_.limit_depth,
+        s.tokens + (now - s.last_refill) * config_.limit_factor *
+                       config_.expected_rate);
+    s.last_refill = now;
+    if (s.tokens < 1.0) {
+      deny(arrival, net::DenyReason::kRateLimit, now);
+      return false;
+    }
+    s.tokens -= 1.0;
+  }
+  return inner_ == nullptr || inner_->on_arrival(arrival);
+}
+
+bool Policer::may_release(const traffic::Arrival& arrival, double now) {
+  const State& s = state_[static_cast<std::size_t>(arrival.source)];
+  if (s.cls == net::SourceClass::kInvalid && now < s.quarantine_until) {
+    deny(arrival, net::DenyReason::kQuarantine, now);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pstar::adversary

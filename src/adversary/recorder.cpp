@@ -1,0 +1,161 @@
+#include "pstar/adversary/recorder.hpp"
+
+namespace pstar::adversary {
+
+ClassRecorder::ClassRecorder(net::Observer* inner, std::int64_t node_count,
+                             const std::vector<topo::NodeId>& attackers,
+                             double histogram_width,
+                             std::size_t histogram_buckets)
+    : inner_(inner),
+      is_attacker_(static_cast<std::size_t>(node_count), 0),
+      honest_delay_(histogram_width, histogram_buckets) {
+  for (topo::NodeId a : attackers) {
+    is_attacker_[static_cast<std::size_t>(a)] = 1;
+  }
+}
+
+double ClassRecorder::honest_delivered_fraction() const {
+  if (honest_expected_ == 0) return 1.0;
+  return static_cast<double>(honest_delivered_) /
+         static_cast<double>(honest_expected_);
+}
+
+void ClassRecorder::on_task_created(net::TaskId task, const net::Task& info) {
+  if (static_cast<std::size_t>(task) >= tags_.size()) {
+    tags_.resize(static_cast<std::size_t>(task) + 1);
+  }
+  TaskTag& tag = tags_[static_cast<std::size_t>(task)];
+  tag = TaskTag{};  // slots recycle: clear any stale dropped flag
+  tag.honest = is_attacker_[static_cast<std::size_t>(info.source)] == 0;
+  tag.measured = info.measured;
+  tag.created = info.created;
+  if (tag.honest) {
+    ++honest_tasks_;
+  } else {
+    ++attacker_tasks_;
+  }
+  if (inner_) inner_->on_task_created(task, info);
+}
+
+void ClassRecorder::on_task_completed(net::TaskId task, const net::Task& info,
+                                      double time) {
+  if (static_cast<std::size_t>(task) >= tags_.size()) {
+    if (inner_) inner_->on_task_completed(task, info, time);
+    return;
+  }
+  const TaskTag& tag = tags_[static_cast<std::size_t>(task)];
+  // For unicasts the engine reuses Task.receptions as a hop counter
+  // (expected stays 1): a completed unicast delivered exactly once
+  // unless it was dropped.  Broadcast/multicast receptions really are
+  // per-node deliveries.
+  std::uint64_t delivered = info.receptions;
+  std::uint64_t expected = info.expected;
+  if (info.kind == net::TaskKind::kUnicast) {
+    delivered = tag.dropped ? 0 : 1;
+    expected = 1;
+  }
+  if (tag.honest) {
+    honest_delivered_ += delivered;
+    honest_expected_ += expected;
+    if (tag.measured) honest_delay_.add(time - tag.created);
+  } else {
+    attacker_delivered_ += delivered;
+    attacker_expected_ += expected;
+  }
+  if (inner_) inner_->on_task_completed(task, info, time);
+}
+
+void ClassRecorder::on_enqueue(net::TaskId task, const net::Copy& copy,
+                               topo::LinkId link, double now) {
+  // A recovery retry re-enqueues a copy of a previously dropped task:
+  // the loss is no longer terminal, so forget it.
+  if (static_cast<std::size_t>(task) < tags_.size()) {
+    tags_[static_cast<std::size_t>(task)].dropped = false;
+  }
+  if (inner_) inner_->on_enqueue(task, copy, link, now);
+}
+
+void ClassRecorder::on_transmission(net::TaskId task, const net::Copy& copy,
+                                    topo::LinkId link, topo::NodeId from,
+                                    topo::NodeId to, std::int32_t dim,
+                                    topo::Dir dir, double enqueued_at,
+                                    double start, double end) {
+  if (inner_) {
+    inner_->on_transmission(task, copy, link, from, to, dim, dir, enqueued_at,
+                            start, end);
+  }
+}
+
+void ClassRecorder::on_drop(net::TaskId task, const net::Copy& copy,
+                            topo::LinkId link, double now, bool was_queued) {
+  // For unicasts a drop is terminal unless a recovery retry follows
+  // (which re-enqueues and clears the flag): on_task_completed fires
+  // synchronously right after this callback and reads it.
+  if (static_cast<std::size_t>(task) < tags_.size()) {
+    tags_[static_cast<std::size_t>(task)].dropped = true;
+  }
+  if (inner_) inner_->on_drop(task, copy, link, now, was_queued);
+}
+
+void ClassRecorder::on_link_down(topo::LinkId link, double now) {
+  if (inner_) inner_->on_link_down(link, now);
+}
+
+void ClassRecorder::on_link_up(topo::LinkId link, double now) {
+  if (inner_) inner_->on_link_up(link, now);
+}
+
+void ClassRecorder::on_retx(net::TaskId task, std::uint32_t attempt,
+                            net::RetxMode mode, topo::LinkId link,
+                            double now) {
+  if (inner_) inner_->on_retx(task, attempt, mode, link, now);
+}
+
+void ClassRecorder::on_saturation_on(double now, double level) {
+  if (inner_) inner_->on_saturation_on(now, level);
+}
+
+void ClassRecorder::on_saturation_off(double now, double level) {
+  if (inner_) inner_->on_saturation_off(now, level);
+}
+
+void ClassRecorder::on_shed(net::TaskId task, const net::Copy& copy,
+                            topo::LinkId link, double now) {
+  if (inner_) inner_->on_shed(task, copy, link, now);
+}
+
+void ClassRecorder::on_throttle(topo::NodeId source, net::TaskKind kind,
+                                double now) {
+  if (inner_) inner_->on_throttle(source, kind, now);
+}
+
+void ClassRecorder::on_abort(double now, std::uint64_t inflight) {
+  if (inner_) inner_->on_abort(now, inflight);
+}
+
+void ClassRecorder::on_resolve(double now, std::uint64_t epoch,
+                               double imbalance, double drift, bool applied,
+                               const std::vector<double>& x) {
+  if (inner_) inner_->on_resolve(now, epoch, imbalance, drift, applied, x);
+}
+
+void ClassRecorder::on_classify(topo::NodeId source, net::SourceClass cls,
+                                double rate, double share, double now) {
+  if (inner_) inner_->on_classify(source, cls, rate, share, now);
+}
+
+void ClassRecorder::on_quarantine(topo::NodeId source, double until,
+                                  double now) {
+  if (inner_) inner_->on_quarantine(source, until, now);
+}
+
+void ClassRecorder::on_probation(topo::NodeId source, double now) {
+  if (inner_) inner_->on_probation(source, now);
+}
+
+void ClassRecorder::on_deny(topo::NodeId source, net::TaskKind kind,
+                            net::DenyReason reason, double now) {
+  if (inner_) inner_->on_deny(source, kind, reason, now);
+}
+
+}  // namespace pstar::adversary

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "pstar/adversary/recorder.hpp"
 #include "pstar/core/parallel_engine.hpp"
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/harness/perf.hpp"
@@ -271,6 +272,18 @@ ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
           "shard -- run with --shards 1 (the control loop samples one global "
           "metrics registry)");
     }
+    if (spec.attack.kind != adversary::AttackKind::kNone) {
+      throw std::invalid_argument(
+          "run_experiment: adversarial traffic (--attack) requires a single "
+          "shard -- run with --shards 1 (the attacker stream and the "
+          "honest-vs-attacker recorder are global)");
+    }
+    if (spec.policing.enabled) {
+      throw std::invalid_argument(
+          "run_experiment: per-source policing (--policing) requires a "
+          "single shard -- run with --shards 1 (the policer tracks every "
+          "source in one slab)");
+    }
   }
   const topo::Torus torus =
       spec.mesh ? topo::Torus::mesh(spec.shape)
@@ -322,6 +335,27 @@ ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
         par.engine(0), par.workload(0), oc);
     overload_ctl->start();
   }
+  std::unique_ptr<adversary::AttackerWorkload> attacker;
+  if (spec.attack.enabled()) {
+    adversary::AttackConfig ac = spec.attack;
+    ac.seed = sim::seed_stream(spec.seed, adversary::kAttackSeedStream, 0);
+    ac.stop_time = spec.warmup + spec.measure;
+    const double honest_rate =
+        (rates.lambda_b + rates.lambda_r + lambda_m) *
+        static_cast<double>(torus.node_count());
+    attacker = std::make_unique<adversary::AttackerWorkload>(
+        par.simulator(0), par.engine(0), ac, honest_rate);
+  }
+  std::unique_ptr<adversary::Policer> policer;
+  if (spec.policing.enabled) {
+    adversary::PolicingConfig pc = spec.policing;
+    if (pc.expected_rate <= 0.0) {
+      pc.expected_rate = rates.lambda_b + rates.lambda_r + lambda_m;
+    }
+    policer = std::make_unique<adversary::Policer>(
+        par.engine(0), par.workload(0), attacker.get(), pc);
+    if (overload_ctl) overload_ctl->set_release_filter(policer.get());
+  }
 
   // Per-shard observability: each shard gets its own registry (indexed by
   // GLOBAL link id; only owned links ever record) bridged through its own
@@ -339,6 +373,15 @@ ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
       par.engine(s).set_observer(probes[s].get());
     }
   }
+  // Single-shard only (rejected above at shards > 1): the recorder wraps
+  // the shard's probe (or nothing) exactly as in the serial path.
+  std::unique_ptr<adversary::ClassRecorder> recorder;
+  if (spec.attack.kind != adversary::AttackKind::kNone) {
+    recorder = std::make_unique<adversary::ClassRecorder>(
+        probes[0].get(), torus.node_count(),
+        adversary::attacker_nodes(spec.attack, torus.node_count()));
+    par.engine(0).set_observer(recorder.get());
+  }
 
   const double stop_time = spec.warmup + spec.measure;
   for (std::uint32_t s = 0; s < par.shards(); ++s) {
@@ -355,6 +398,7 @@ ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
     }
   }
 
+  if (attacker) attacker->start();
   const sim::StopReason reason = par.run();
 
   ExperimentResult r;
@@ -380,6 +424,31 @@ ExperimentResult run_parallel_experiment(const ExperimentSpec& spec) {
     r.tasks_throttled = os.tasks_throttled;
     r.tasks_released = os.tasks_released;
     r.admission_delay_mean = os.admission_delay.mean();
+    r.releases_denied = os.releases_denied;
+  }
+  if (recorder) {
+    r.honest_tasks = recorder->honest_tasks();
+    r.attacker_tasks = recorder->attacker_tasks();
+    r.honest_delivered_fraction = recorder->honest_delivered_fraction();
+    r.honest_p99 = recorder->honest_p99();
+    r.honest_p95 = recorder->honest_p95();
+    const double denied =
+        policer ? static_cast<double>(policer->stats().denied_expected_receptions)
+                : 0.0;
+    const double expected =
+        static_cast<double>(recorder->attacker_expected()) + denied;
+    r.attacker_goodput =
+        expected > 0.0
+            ? static_cast<double>(recorder->attacker_delivered()) / expected
+            : 1.0;
+  }
+  if (policer) {
+    const adversary::PolicingStats& ps = policer->stats();
+    r.denied_quarantine = ps.denied_quarantine;
+    r.denied_ratelimit = ps.denied_ratelimit;
+    r.quarantines = ps.quarantines;
+    r.probations = ps.probations;
+    r.classifications = ps.classifications;
   }
   if (spec.collect_link_metrics) {
     obs::LinkMetricsSnapshot snap = registries[0]->snapshot();
@@ -467,6 +536,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       build_traffic_config(spec, rates, lambda_m);
   traffic::Workload workload(sim, engine, rng, traffic_cfg);
 
+  // Adversarial traffic (docs/ADVERSARIAL.md): a second merged Poisson
+  // source over the deterministic attacker node set, seeded from its own
+  // stream so the honest workload's draws are untouched.  kNone
+  // constructs nothing and the run is bit-identical (CI-locked).
+  const double honest_per_node_rate =
+      rates.lambda_b + rates.lambda_r + lambda_m;
+  std::unique_ptr<adversary::AttackerWorkload> attacker;
+  if (spec.attack.enabled()) {
+    adversary::AttackConfig ac = spec.attack;
+    ac.seed = sim::seed_stream(spec.seed, adversary::kAttackSeedStream, 0);
+    ac.stop_time = traffic_cfg.stop_time;
+    attacker = std::make_unique<adversary::AttackerWorkload>(
+        sim, engine, ac,
+        honest_per_node_rate * static_cast<double>(torus.node_count()));
+  }
+
   // Overload control (docs/OVERLOAD.md): attaches to the workload's
   // AdmissionGate seam and (kShed mode) the engine's OverloadHook seam.
   // Its randomness comes from a dedicated seed stream and its only
@@ -481,6 +566,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     overload_ctl =
         std::make_unique<overload::OverloadController>(engine, workload, oc);
     overload_ctl->start();
+  }
+
+  // Per-source policing (docs/ADVERSARIAL.md): interposes IN FRONT of
+  // whatever gate the workload already has (the overload throttle, when
+  // enabled), so a quarantined source is refused before it can consume a
+  // throttle slot; it also vetoes throttle releases of arrivals deferred
+  // BEFORE their source was quarantined.  The policer draws no
+  // randomness; disabled it constructs nothing (bit-identical,
+  // CI-locked).
+  std::unique_ptr<adversary::Policer> policer;
+  if (spec.policing.enabled) {
+    adversary::PolicingConfig pc = spec.policing;
+    if (pc.expected_rate <= 0.0) pc.expected_rate = honest_per_node_rate;
+    policer = std::make_unique<adversary::Policer>(engine, workload,
+                                                   attacker.get(), pc);
+    if (overload_ctl) overload_ctl->set_release_filter(policer.get());
   }
 
   // Optional observability: a metrics registry and/or trace sink bridged
@@ -498,7 +599,21 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     registry = std::make_unique<obs::MetricsRegistry>(torus, mc);
   }
   obs::EngineProbe probe(registry.get(), spec.trace_sink);
-  if (registry || spec.trace_sink) engine.set_observer(&probe);
+  // Honest-vs-attacker accounting (docs/ADVERSARIAL.md): when an attack
+  // is configured the recorder becomes the engine observer, wrapping and
+  // forwarding to the probe (or nothing); attack-free runs keep the
+  // plain probe bit for bit.  kind != kNone (rather than enabled())
+  // so an intensity-0 spec still measures honest_p99 -- the bench's
+  // attack-free baseline point.
+  std::unique_ptr<adversary::ClassRecorder> recorder;
+  if (spec.attack.kind != adversary::AttackKind::kNone) {
+    recorder = std::make_unique<adversary::ClassRecorder>(
+        (registry || spec.trace_sink) ? &probe : nullptr, torus.node_count(),
+        adversary::attacker_nodes(spec.attack, torus.node_count()));
+    engine.set_observer(recorder.get());
+  } else if (registry || spec.trace_sink) {
+    engine.set_observer(&probe);
+  }
 
   sim.at(spec.warmup, [&engine](sim::Simulator&) { engine.begin_measurement(); });
   sim.at(traffic_cfg.stop_time,
@@ -528,6 +643,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     balancer->start();
   }
   workload.start();
+  if (attacker) attacker->start();
 
   const sim::StopReason reason = sim.run(
       std::numeric_limits<double>::infinity(), spec.max_events);
@@ -549,6 +665,33 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     r.tasks_throttled = os.tasks_throttled;
     r.tasks_released = os.tasks_released;
     r.admission_delay_mean = os.admission_delay.mean();
+    r.releases_denied = os.releases_denied;
+  }
+  if (recorder) {
+    r.honest_tasks = recorder->honest_tasks();
+    r.attacker_tasks = recorder->attacker_tasks();
+    r.honest_delivered_fraction = recorder->honest_delivered_fraction();
+    r.honest_p99 = recorder->honest_p99();
+    r.honest_p95 = recorder->honest_p95();
+    // Goodput denominator counts the would-be receptions of tasks the
+    // policer refused, so quarantine suppression lowers it directly.
+    const double denied =
+        policer ? static_cast<double>(policer->stats().denied_expected_receptions)
+                : 0.0;
+    const double expected =
+        static_cast<double>(recorder->attacker_expected()) + denied;
+    r.attacker_goodput =
+        expected > 0.0
+            ? static_cast<double>(recorder->attacker_delivered()) / expected
+            : 1.0;
+  }
+  if (policer) {
+    const adversary::PolicingStats& ps = policer->stats();
+    r.denied_quarantine = ps.denied_quarantine;
+    r.denied_ratelimit = ps.denied_ratelimit;
+    r.quarantines = ps.quarantines;
+    r.probations = ps.probations;
+    r.classifications = ps.classifications;
   }
   if (balancer) {
     const routing::AdaptiveStats& as = balancer->stats();

@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "pstar/adversary/attack.hpp"
+#include "pstar/adversary/policer.hpp"
 #include "pstar/core/scheme.hpp"
 #include "pstar/net/engine.hpp"
 #include "pstar/obs/metrics.hpp"
@@ -131,6 +133,25 @@ struct ExperimentSpec {
   /// draws no random numbers, so a quiescent loop (symmetric torus)
   /// leaves every result metric identical to kOff as well.
   routing::AdaptiveConfig adaptive;
+
+  /// Adversarial traffic (docs/ADVERSARIAL.md).  attack.kind != kNone
+  /// attaches an adversary::AttackerWorkload next to the honest one --
+  /// deterministic from sim::seed_stream(spec.seed,
+  /// adversary::kAttackSeedStream, 0), which is overridden here along
+  /// with the stop time (warmup + measure) -- plus a ClassRecorder
+  /// observer that splits delivery/delay accounting into honest vs
+  /// attacker populations.  kNone constructs nothing and is
+  /// bit-identical to pre-subsystem builds (CI-locked).
+  adversary::AttackConfig attack;
+
+  /// Per-source policing (docs/ADVERSARIAL.md).  policing.enabled
+  /// attaches an adversary::Policer in front of the admission gate
+  /// chain: per-source SourceStats, a valid/suspect/invalid classifier
+  /// with hysteresis, suspect rate limiting, and quarantine with
+  /// re-probation.  expected_rate 0 is overridden with the honest
+  /// per-node arrival rate.  The policer draws no randomness; disabled
+  /// it constructs nothing and is bit-identical (CI-locked).
+  adversary::PolicingConfig policing;
 
   /// When true, an obs::MetricsRegistry is attached for the measurement
   /// window and its snapshot lands in ExperimentResult::link_metrics:
@@ -270,6 +291,28 @@ struct ExperimentResult {
   /// Copy-level delivery of the protected class: high-priority copies
   /// transmitted / (transmitted + dropped); 1.0 when none were offered.
   double high_delivered_fraction = 1.0;
+
+  // Adversarial accounting (all zero / 1.0 when spec.attack.kind is
+  // kNone and spec.policing is disabled; docs/ADVERSARIAL.md).
+  std::uint64_t attacker_tasks = 0;   ///< attacker tasks that launched
+  std::uint64_t honest_tasks = 0;     ///< honest tasks that launched
+  /// Honest delivered receptions / honest expected receptions over all
+  /// completed honest tasks (identity split by attacker node set).
+  double honest_delivered_fraction = 1.0;
+  /// p99 / p95 completion delay over MEASURED honest tasks (0 when no
+  /// attack was configured -- use the regular quantiles then).
+  double honest_p99 = 0.0;
+  double honest_p95 = 0.0;
+  /// Attacker delivered receptions / attacker expected receptions,
+  /// counting denied tasks' would-be receptions in the denominator --
+  /// the policer's suppression shows up here directly.
+  double attacker_goodput = 1.0;
+  std::uint64_t denied_quarantine = 0;  ///< admissions denied in-window
+  std::uint64_t denied_ratelimit = 0;   ///< suspect bucket denials
+  std::uint64_t quarantines = 0;        ///< quarantine windows opened
+  std::uint64_t probations = 0;         ///< windows expired into probation
+  std::uint64_t classifications = 0;    ///< source class transitions
+  std::uint64_t releases_denied = 0;    ///< throttle releases vetoed
 
   // Bookkeeping.
   std::uint64_t measured_broadcasts = 0;

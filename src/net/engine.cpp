@@ -178,7 +178,8 @@ TaskId allocate_slot(std::vector<Task>& tasks, std::vector<TaskId>& free_list) {
 }  // namespace
 
 TaskId Engine::create_task(TaskKind kind, topo::NodeId source,
-                           topo::NodeId dest, std::uint32_t length) {
+                           topo::NodeId dest, std::uint32_t length,
+                           std::int32_t ending_dim) {
   if (length == 0) throw std::invalid_argument("create_task: zero length");
   if (kind == TaskKind::kMulticast) {
     throw std::invalid_argument("create_task: use create_multicast");
@@ -216,7 +217,11 @@ TaskId Engine::create_task(TaskKind kind, topo::NodeId source,
     return id;
   }
 
-  policy_.on_task(*this, id, source);
+  if (ending_dim >= 0) {
+    policy_.on_task_forced(*this, id, source, ending_dim);
+  } else {
+    policy_.on_task(*this, id, source);
+  }
   return id;
 }
 

@@ -222,8 +222,12 @@ class Engine {
   /// routing policy.  For broadcasts `dest` is ignored.  `length` is the
   /// per-hop service time in time units (>= 1).  Multicasts must go
   /// through create_multicast instead (they carry a destination set).
+  /// `ending_dim >= 0` forces a broadcast's ending dimension via
+  /// RoutingPolicy::on_task_forced instead of the policy's balanced draw
+  /// -- the adversarial broadcast-storm mechanism (docs/ADVERSARIAL.md);
+  /// the default (-1) keeps the normal on_task path bit for bit.
   TaskId create_task(TaskKind kind, topo::NodeId source, topo::NodeId dest,
-                     std::uint32_t length);
+                     std::uint32_t length, std::int32_t ending_dim = -1);
 
   /// Creates a multicast task: the policy's on_multicast builds the
   /// delivery plan, emits the initial copies, and returns how many

@@ -27,6 +27,21 @@
 
 namespace pstar::net {
 
+/// Policing verdict on a traffic source (docs/ADVERSARIAL.md).  Ordered
+/// by escalation; transitions carry hysteresis so a source near a
+/// threshold never flaps between valid and invalid.
+enum class SourceClass : std::uint8_t {
+  kValid = 0,    ///< behaving; admitted freely
+  kSuspect = 1,  ///< elevated signals; rate-limited
+  kInvalid = 2,  ///< abusive; quarantined
+};
+
+/// Why the policer refused an admission (docs/ADVERSARIAL.md).
+enum class DenyReason : std::uint8_t {
+  kQuarantine = 0,  ///< source inside its quarantine window
+  kRateLimit = 1,   ///< suspect source over its per-source token bucket
+};
+
 /// Engine event callbacks.  All methods have empty defaults; override
 /// what you need.  Calls happen synchronously inside the simulation loop,
 /// so observers must not mutate the engine.
@@ -114,6 +129,30 @@ class Observer {
   /// the run.  At most one per run; the trace's well-formed footer for
   /// aborted runs.
   virtual void on_abort(double /*now*/, std::uint64_t /*inflight*/) {}
+
+  /// The policer reclassified `source` at `now` (docs/ADVERSARIAL.md).
+  /// `rate` and `share` are the smoothed per-source signals that drove
+  /// the transition.  Fires on every class CHANGE only, so per source
+  /// consecutive on_classify records always carry distinct classes.
+  virtual void on_classify(topo::NodeId /*source*/, SourceClass /*cls*/,
+                           double /*rate*/, double /*share*/,
+                           double /*now*/) {}
+
+  /// The policer quarantined `source` at `now` until `until`.  Always
+  /// immediately preceded by on_classify(source, kInvalid) at the same
+  /// `now`; per source, quarantine windows never overlap.
+  virtual void on_quarantine(topo::NodeId /*source*/, double /*until*/,
+                             double /*now*/) {}
+
+  /// `source`'s quarantine expired and it re-entered service on
+  /// probation (as a suspect) at `now`.
+  virtual void on_probation(topo::NodeId /*source*/, double /*now*/) {}
+
+  /// The policer refused an admission from `source` at `now`: the drawn
+  /// task of kind `kind` was discarded, not deferred.  kQuarantine denies
+  /// occur only inside the source's quarantine window.
+  virtual void on_deny(topo::NodeId /*source*/, TaskKind /*kind*/,
+                       DenyReason /*reason*/, double /*now*/) {}
 
   /// The adaptive balancer ran a re-solve epoch at `now`
   /// (docs/ADAPTIVE.md).  `epoch` counts completed re-solves (>= 1),

@@ -24,6 +24,18 @@ class RoutingPolicy {
   /// transmissions through Engine::send (possibly none for a 1-node net).
   virtual void on_task(Engine& engine, TaskId task, topo::NodeId source) = 0;
 
+  /// A new task was generated at `source` with a caller-forced ending
+  /// dimension (Engine::create_task with ending_dim >= 0).  Broadcast
+  /// policies that sample an ending dimension honour the forced value
+  /// instead of drawing one; everything else ignores the hint.  Only
+  /// adversarial workloads force dimensions (docs/ADVERSARIAL.md), so
+  /// honest runs never reach this path.
+  virtual void on_task_forced(Engine& engine, TaskId task,
+                              topo::NodeId source,
+                              std::int32_t /*ending_dim*/) {
+    on_task(engine, task, source);
+  }
+
   /// `copy` just arrived at `node` (one hop completed).  The policy emits
   /// any forwardings through Engine::send.  Broadcast receptions are
   /// recorded by the engine itself (every hop delivers the packet to a new

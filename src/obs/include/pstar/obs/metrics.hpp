@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pstar/net/observer.hpp"
 #include "pstar/net/packet.hpp"
 #include "pstar/stats/histogram.hpp"
 #include "pstar/stats/running.hpp"
@@ -94,6 +95,13 @@ struct LinkMetricsSnapshot {
   std::uint64_t sheds_by_class[net::kPriorityClasses] = {0, 0, 0};
   std::uint64_t throttles = 0;       ///< task launches deferred at a source
   std::uint64_t sat_transitions = 0; ///< detector trips inside the window
+
+  /// Policing events inside the window (docs/ADVERSARIAL.md); all zero
+  /// with the policer off.
+  std::uint64_t classifications = 0;  ///< source class changes
+  std::uint64_t quarantines = 0;      ///< quarantine windows opened
+  std::uint64_t probations = 0;       ///< quarantine windows expired
+  std::uint64_t denies_by_reason[2] = {0, 0};  ///< by net::DenyReason
   /// Saturated time clamped to the window (a window still open at
   /// snapshot time is credited up to the effective window end).
   double sat_time = 0.0;
@@ -178,6 +186,10 @@ class MetricsRegistry {
   void record_sat_off(double now);
   void record_shed(topo::LinkId link, const net::Copy& copy, double now);
   void record_throttle(double now);
+  void record_classify(double now);
+  void record_quarantine(double now);
+  void record_probation(double now);
+  void record_deny(net::DenyReason reason, double now);
 
   /// Cumulative busy time per (dimension, direction) link group inside
   /// the current window, indexed dim * 2 + (dir == kPlus ? 0 : 1).
@@ -214,6 +226,10 @@ class MetricsRegistry {
   std::uint64_t sheds_by_class_[net::kPriorityClasses] = {0, 0, 0};
   std::uint64_t throttles_ = 0;
   std::uint64_t sat_transitions_ = 0;
+  std::uint64_t classifications_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t probations_ = 0;
+  std::uint64_t denies_by_reason_[2] = {0, 0};
   double sat_time_ = 0.0;   ///< closed saturation windows, window-clamped
   double sat_since_ = -1.0; ///< open saturation start; < 0 when clear
   double window_start_ = 0.0;

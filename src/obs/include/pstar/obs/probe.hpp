@@ -101,6 +101,28 @@ class EngineProbe : public net::Observer {
     if (trace_) trace_->resolve(now, epoch, imbalance, drift, applied, x);
   }
 
+  void on_classify(topo::NodeId source, net::SourceClass cls, double rate,
+                   double share, double now) override {
+    if (metrics_) metrics_->record_classify(now);
+    if (trace_) trace_->classify(now, source, cls, rate, share);
+  }
+
+  void on_quarantine(topo::NodeId source, double until, double now) override {
+    if (metrics_) metrics_->record_quarantine(now);
+    if (trace_) trace_->quarantine(now, source, until);
+  }
+
+  void on_probation(topo::NodeId source, double now) override {
+    if (metrics_) metrics_->record_probation(now);
+    if (trace_) trace_->probation(now, source);
+  }
+
+  void on_deny(topo::NodeId source, net::TaskKind kind,
+               net::DenyReason reason, double now) override {
+    if (metrics_) metrics_->record_deny(reason, now);
+    if (trace_) trace_->deny(now, source, kind, reason);
+  }
+
   void on_abort(double now, std::uint64_t inflight) override {
     // The engine flushed its own measurement window before stopping; the
     // registry's scheduled close will never fire, so close it here

@@ -25,6 +25,11 @@
 ///   {"ev":"abort","t":T,"inflight":C}
 ///   {"ev":"resolve","t":T,"epoch":E,"imb":X,"drift":X,"applied":B,
 ///    "x":"p0 p1 ..."}                       (schema 5: adaptive balancing)
+///   {"ev":"classify","t":T,"src":N,"class":C,"rate":X,"share":X}
+///                                           (schema 6: policing)
+///   {"ev":"quarantine","t":T,"src":N,"until":T}
+///   {"ev":"probation","t":T,"src":N}
+///   {"ev":"deny","t":T,"src":N,"kind":K,"reason":R}
 ///
 /// `retx` records one recovery retransmission (docs/FAULTS.md §7):
 /// `retry` is the task's lifetime attempt number (>= 1, non-decreasing
@@ -53,6 +58,19 @@
 /// probabilities as a space-joined string of round-trip doubles (the
 /// line format has no arrays).
 ///
+/// Schema 6 adds the policing records (docs/ADVERSARIAL.md).
+/// `classify` marks a source class CHANGE (`class` is "valid",
+/// "suspect", or "invalid"; `rate`/`share` the smoothed signals that
+/// drove it); per source, consecutive classify records carry distinct
+/// classes.  `quarantine` opens a deterministic penalty window
+/// [`t`, `until`) and is always immediately preceded by that source's
+/// classify(invalid) at the same `t`; per source, windows never overlap.
+/// `probation` marks the window's expiry (the source re-enters as a
+/// suspect).  `deny` records one refused admission: `reason` is
+/// "quarantine" (only inside the source's window) or "ratelimit" (a
+/// suspect over its per-source bucket); the drawn task never existed, so
+/// there is no task id.
+///
 /// Times are simulation time units with full double precision; `dir` is
 /// "+" or "-".  Tracing is strictly opt-in: with no sink attached the
 /// engine makes no observer calls at all.
@@ -62,6 +80,7 @@
 #include <string_view>
 #include <vector>
 
+#include "pstar/net/observer.hpp"
 #include "pstar/net/packet.hpp"
 #include "pstar/topology/torus.hpp"
 
@@ -100,8 +119,9 @@ class JsonLine {
 /// Version 2 added the link_down/link_up fault records; version 3 added
 /// the retx recovery records; version 4 added the overload records
 /// (sat_on/sat_off/shed/throttle/abort); version 5 added the adaptive
-/// resolve records.
-inline constexpr int kTraceSchemaVersion = 5;
+/// resolve records; version 6 added the policing records
+/// (classify/quarantine/probation/deny).
+inline constexpr int kTraceSchemaVersion = 6;
 
 /// Writes engine events as JSON Lines.  The caller owns the stream; the
 /// sink never flushes it.  Single-threaded by design -- give each
@@ -137,6 +157,12 @@ class JsonlTraceSink {
   void abort(double t, std::uint64_t inflight);
   void resolve(double t, std::uint64_t epoch, double imbalance, double drift,
                bool applied, const std::vector<double>& x);
+  void classify(double t, topo::NodeId source, net::SourceClass cls,
+                double rate, double share);
+  void quarantine(double t, topo::NodeId source, double until);
+  void probation(double t, topo::NodeId source);
+  void deny(double t, topo::NodeId source, net::TaskKind kind,
+            net::DenyReason reason);
 
   /// Records written so far (including the run header).
   std::uint64_t records() const { return records_; }
@@ -151,5 +177,11 @@ std::string_view task_kind_name(net::TaskKind kind);
 
 /// Name of a retransmission mode as it appears in retx trace records.
 std::string_view retx_mode_name(net::RetxMode mode);
+
+/// Name of a source class as it appears in classify trace records.
+std::string_view source_class_name(net::SourceClass cls);
+
+/// Name of a deny reason as it appears in deny trace records.
+std::string_view deny_reason_name(net::DenyReason reason);
 
 }  // namespace pstar::obs

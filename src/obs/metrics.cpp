@@ -174,6 +174,11 @@ void MetricsRegistry::begin_window(double t) {
   std::fill(sheds_by_class_, sheds_by_class_ + net::kPriorityClasses, 0);
   throttles_ = 0;
   sat_transitions_ = 0;
+  classifications_ = 0;
+  quarantines_ = 0;
+  probations_ = 0;
+  denies_by_reason_[0] = 0;
+  denies_by_reason_[1] = 0;
   // Like downtime: saturation accounting restarts with the window, but a
   // saturation window already in progress keeps its start time.
   sat_time_ = 0.0;
@@ -323,6 +328,28 @@ void MetricsRegistry::record_throttle(double now) {
   last_event_ = std::max(last_event_, now);
 }
 
+void MetricsRegistry::record_classify(double now) {
+  if (now >= window_start_ && now <= window_end_) ++classifications_;
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_quarantine(double now) {
+  if (now >= window_start_ && now <= window_end_) ++quarantines_;
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_probation(double now) {
+  if (now >= window_start_ && now <= window_end_) ++probations_;
+  last_event_ = std::max(last_event_, now);
+}
+
+void MetricsRegistry::record_deny(net::DenyReason reason, double now) {
+  if (now >= window_start_ && now <= window_end_) {
+    ++denies_by_reason_[static_cast<std::size_t>(reason)];
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
 std::vector<double> MetricsRegistry::dim_dir_busy() const {
   std::int32_t dims = 0;
   for (const LinkKey& k : links_) dims = std::max(dims, k.dim + 1);
@@ -367,6 +394,11 @@ LinkMetricsSnapshot MetricsRegistry::snapshot() const {
   snap.throttles = throttles_;
   snap.sat_transitions = sat_transitions_;
   snap.sat_time = sat_time_;
+  snap.classifications = classifications_;
+  snap.quarantines = quarantines_;
+  snap.probations = probations_;
+  snap.denies_by_reason[0] = denies_by_reason_[0];
+  snap.denies_by_reason[1] = denies_by_reason_[1];
   // Outages still open at snapshot time are credited up to the
   // snapshot's effective window end (end_window already flushed closed
   // windows, so this only fires for open ones).

@@ -123,6 +123,28 @@ std::string_view retx_mode_name(net::RetxMode mode) {
   return "?";
 }
 
+std::string_view source_class_name(net::SourceClass cls) {
+  switch (cls) {
+    case net::SourceClass::kValid:
+      return "valid";
+    case net::SourceClass::kSuspect:
+      return "suspect";
+    case net::SourceClass::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+std::string_view deny_reason_name(net::DenyReason reason) {
+  switch (reason) {
+    case net::DenyReason::kQuarantine:
+      return "quarantine";
+    case net::DenyReason::kRateLimit:
+      return "ratelimit";
+  }
+  return "?";
+}
+
 JsonLine JsonlTraceSink::run_header() {
   ++records_;
   JsonLine line(os_);
@@ -275,6 +297,47 @@ void JsonlTraceSink::resolve(double t, std::uint64_t epoch, double imbalance,
       .field("drift", drift)
       .field("applied", applied)
       .field("x", std::string_view(joined));
+}
+
+void JsonlTraceSink::classify(double t, topo::NodeId source,
+                              net::SourceClass cls, double rate,
+                              double share) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "classify")
+      .field("t", t)
+      .field("src", static_cast<std::int64_t>(source))
+      .field("class", source_class_name(cls))
+      .field("rate", rate)
+      .field("share", share);
+}
+
+void JsonlTraceSink::quarantine(double t, topo::NodeId source, double until) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "quarantine")
+      .field("t", t)
+      .field("src", static_cast<std::int64_t>(source))
+      .field("until", until);
+}
+
+void JsonlTraceSink::probation(double t, topo::NodeId source) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "probation")
+      .field("t", t)
+      .field("src", static_cast<std::int64_t>(source));
+}
+
+void JsonlTraceSink::deny(double t, topo::NodeId source, net::TaskKind kind,
+                          net::DenyReason reason) {
+  ++records_;
+  JsonLine(os_)
+      .field("ev", "deny")
+      .field("t", t)
+      .field("src", static_cast<std::int64_t>(source))
+      .field("kind", task_kind_name(kind))
+      .field("reason", deny_reason_name(reason));
 }
 
 void JsonlTraceSink::task_completed(double t, net::TaskId task,

@@ -161,13 +161,22 @@ void OverloadController::schedule_release() {
 
 void OverloadController::release() {
   release_scheduled_ = false;
-  if (pending_.empty()) return;
-  Pending next = std::move(pending_.front());
-  pending_.pop_front();
   const double now = engine_.simulator().now();
-  stats_.admission_delay.add(now - next.deferred_at);
-  ++stats_.tasks_released;
-  traffic::launch_arrival(engine_, next.arrival);
+  // One token releases one launch; filter-denied arrivals are discarded
+  // without consuming it, so the walk continues to the next admissible
+  // deferred launch (a quarantined source never blocks honest releases).
+  while (!pending_.empty()) {
+    Pending next = std::move(pending_.front());
+    pending_.pop_front();
+    if (filter_ != nullptr && !filter_->may_release(next.arrival, now)) {
+      ++stats_.releases_denied;
+      continue;
+    }
+    stats_.admission_delay.add(now - next.deferred_at);
+    ++stats_.tasks_released;
+    traffic::launch_arrival(engine_, next.arrival);
+    break;
+  }
   if (!pending_.empty()) schedule_release();
 }
 

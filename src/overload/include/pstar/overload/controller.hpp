@@ -157,7 +157,24 @@ struct OverloadStats {
   double time_in_saturation = 0.0;
   std::uint64_t tasks_throttled = 0;  ///< launches deferred at the source
   std::uint64_t tasks_released = 0;   ///< deferred launches later injected
+  /// Deferred launches vetoed at release time by a ReleaseFilter (e.g. a
+  /// policer quarantined the source mid-throttle); never injected.
+  std::uint64_t releases_denied = 0;
   stats::RunningStat admission_delay;  ///< defer -> launch (time units)
+};
+
+/// Veto seam on the throttle release queue.  Without a filter every
+/// deferred launch is eventually injected (PR 5 behaviour, bit for bit).
+/// A policing stage attaches one so that a source quarantined AFTER its
+/// arrivals were throttled does not get them injected mid-quarantine
+/// (docs/ADVERSARIAL.md); a denied arrival is discarded and counted in
+/// OverloadStats::releases_denied.
+class ReleaseFilter {
+ public:
+  virtual ~ReleaseFilter() = default;
+
+  /// Returns true when the deferred arrival may be injected at `now`.
+  virtual bool may_release(const traffic::Arrival& arrival, double now) = 0;
 };
 
 /// The overload controller: implements the engine's OverloadHook (shed
@@ -185,6 +202,10 @@ class OverloadController : public net::OverloadHook,
 
   // traffic::AdmissionGate
   bool on_arrival(const traffic::Arrival& arrival) override;
+
+  /// Attaches a release-time veto (nullptr detaches).  The filter must
+  /// outlive the run.
+  void set_release_filter(ReleaseFilter* filter) { filter_ = filter; }
 
   const OverloadStats& stats() const { return stats_; }
   const OverloadConfig& config() const { return config_; }
@@ -218,6 +239,7 @@ class OverloadController : public net::OverloadHook,
   OverloadStats stats_;
 
   std::deque<Pending> pending_;  ///< throttled launches, FIFO
+  ReleaseFilter* filter_ = nullptr;
   double tokens_;                ///< admission bucket fill
   double last_refill_ = 0.0;
   bool release_scheduled_ = false;

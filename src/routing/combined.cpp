@@ -32,6 +32,12 @@ void CombinedPolicy::on_task(net::Engine& engine, net::TaskId task,
   pick(engine, task).on_task(engine, task, source);
 }
 
+void CombinedPolicy::on_task_forced(net::Engine& engine, net::TaskId task,
+                                    topo::NodeId source,
+                                    std::int32_t ending_dim) {
+  pick(engine, task).on_task_forced(engine, task, source, ending_dim);
+}
+
 void CombinedPolicy::on_receive(net::Engine& engine, topo::NodeId node,
                                 const net::Copy& copy) {
   pick(engine, copy.task).on_receive(engine, node, copy);

@@ -26,6 +26,8 @@ class CombinedPolicy : public net::RoutingPolicy {
 
   void on_task(net::Engine& engine, net::TaskId task,
                topo::NodeId source) override;
+  void on_task_forced(net::Engine& engine, net::TaskId task,
+                      topo::NodeId source, std::int32_t ending_dim) override;
   void on_receive(net::Engine& engine, topo::NodeId node,
                   const net::Copy& copy) override;
   std::uint32_t on_multicast(net::Engine& engine, net::TaskId task,

@@ -42,6 +42,10 @@ class SdcBroadcastPolicy : public net::RoutingPolicy {
 
   void on_task(net::Engine& engine, net::TaskId task,
                topo::NodeId source) override;
+  /// Forced-ending-dimension launch (adversarial broadcast storms): skips
+  /// the balanced draw entirely and floods with the caller's dimension.
+  void on_task_forced(net::Engine& engine, net::TaskId task,
+                      topo::NodeId source, std::int32_t ending_dim) override;
   void on_receive(net::Engine& engine, topo::NodeId node,
                   const net::Copy& copy) override;
 

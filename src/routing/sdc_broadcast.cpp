@@ -54,6 +54,15 @@ void SdcBroadcastPolicy::on_task(net::Engine& engine, net::TaskId task,
   initiate_flood(engine, task, source, ending_dim, 0);
 }
 
+void SdcBroadcastPolicy::on_task_forced(net::Engine& engine, net::TaskId task,
+                                        topo::NodeId source,
+                                        std::int32_t ending_dim) {
+  if (ending_dim < 0 || ending_dim >= torus_.dims()) {
+    throw std::invalid_argument("on_task_forced: ending_dim out of range");
+  }
+  initiate_flood(engine, task, source, ending_dim, 0);
+}
+
 void SdcBroadcastPolicy::initiate_flood(net::Engine& engine, net::TaskId task,
                                         topo::NodeId source,
                                         std::int32_t ending_dim,

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file source_stats.hpp
+/// Per-source traffic statistics for admission-time policing
+/// (docs/ADVERSARIAL.md).
+///
+/// Tracks, per source node, three abuse signals cheap enough to maintain
+/// for million-node runs:
+///
+///   1. ARRIVAL RATE -- a sliding-window EWMA of the source's task
+///      arrival rate (tasks per time unit), rolled lazily: counts
+///      accumulate in the source's current window and are folded into
+///      the EWMA only when an observation lands in a later window.
+///      Windows the source sat idle through decay the EWMA by
+///      (1-alpha)^k (capped), and after `idle_reset_windows` idle
+///      windows the entry resets outright -- a source that went quiet
+///      re-enters with a clean slate, so stale history never taints a
+///      fresh epoch (the "window reset after idle" contract the tests
+///      pin down).
+///
+///   2. HOTSPOT CONCENTRATION -- the share of the source's unicasts
+///      aimed at its top destination, via a Misra-Gries single-candidate
+///      heavy hitter plus an EWMA of the per-window share.  A victim
+///      flood holds share ~1.0; honest uniform traffic decays toward
+///      1/(N-1).
+///
+///   3. ENDING-DIMENSION SKEW -- the share of the source's broadcasts
+///      that FORCE an ending dimension (Arrival::ending_dim >= 0)
+///      instead of taking the policy's balanced draw.  Honest sources
+///      never force, so any sustained nonzero share marks a
+///      storm-style abuse of the paper's Eq. (2)/(4) balance.
+///
+/// Storage is a flat slab keyed by node id (one fixed-size Entry per
+/// source, no hashing, no allocation after construction) and all EWMAs
+/// are Q16 fixed point, so an observation is a handful of integer ops.
+/// The tracker draws no randomness and observes every admission ATTEMPT
+/// (including denied ones), so a quarantined flooder keeps its rate
+/// estimate hot and trips again right after probation.
+
+#include <cstdint>
+#include <vector>
+
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::traffic {
+
+/// SourceStats tuning knobs.
+struct SourceStatsConfig {
+  /// Window length (time units) over which per-source counts accumulate
+  /// before being folded into the EWMAs.
+  double window = 50.0;
+  /// EWMA smoothing factor in (0, 1] applied at each window roll.
+  double alpha = 0.3;
+  /// Full state reset after this many consecutive idle windows.
+  std::uint32_t idle_reset_windows = 16;
+};
+
+/// One source's smoothed signals, in floating point for callers.
+struct SourceSignals {
+  double rate = 0.0;       ///< tasks per time unit
+  double top_share = 0.0;  ///< top-destination share of unicasts
+  double forced_share = 0.0;  ///< forced-ending-dim share of arrivals
+};
+
+/// Flat per-source tracker.  Not thread-safe (one per engine, like the
+/// metrics registry).
+class SourceStats {
+ public:
+  SourceStats(std::int64_t node_count, SourceStatsConfig config);
+
+  /// Records one admission attempt by `arrival.source` at time `now`.
+  /// Must be called with non-decreasing `now` per source (simulation
+  /// time is monotone, so any single-run caller satisfies this).
+  void observe(const Arrival& arrival, double now);
+
+  /// Smoothed signals for `source` as of its last roll, with the
+  /// still-open window folded in optimistically: the effective rate is
+  /// max(EWMA, current-window count / window) so a burst inside one
+  /// window is visible before the window closes.
+  SourceSignals signals(topo::NodeId source, double now) const;
+
+  std::int64_t node_count() const {
+    return static_cast<std::int64_t>(slab_.size());
+  }
+  const SourceStatsConfig& config() const { return config_; }
+
+ private:
+  /// Q16 fixed point: 1.0 == 65536.
+  static constexpr std::int64_t kOne = 1 << 16;
+
+  struct Entry {
+    std::int64_t window_index = -1;  ///< window of the open counts (-1: fresh)
+    std::uint32_t count = 0;         ///< arrivals in the open window
+    std::uint32_t unicasts = 0;      ///< unicast arrivals in the open window
+    std::uint32_t top_hits = 0;      ///< Misra-Gries candidate hits
+    std::uint32_t forced = 0;        ///< forced-ending-dim arrivals
+    topo::NodeId top_dest = -1;      ///< Misra-Gries candidate
+    std::int32_t mg_count = 0;       ///< Misra-Gries counter
+    std::int64_t rate_q16 = 0;       ///< EWMA of per-window rate (Q16)
+    std::int64_t share_q16 = 0;      ///< EWMA of top-destination share (Q16)
+    std::int64_t forced_q16 = 0;     ///< EWMA of forced-dim share (Q16)
+    bool primed = false;             ///< first window folds without decay
+  };
+
+  /// Folds the open window of `e` into the EWMAs and advances it to
+  /// `target` (decaying or resetting across skipped idle windows).
+  void roll(Entry& e, std::int64_t target) const;
+
+  SourceStatsConfig config_;
+  std::int64_t alpha_q16_;  ///< alpha in Q16
+  mutable std::vector<Entry> slab_;
+};
+
+}  // namespace pstar::traffic

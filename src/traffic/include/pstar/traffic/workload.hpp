@@ -30,6 +30,11 @@ struct Arrival {
   topo::NodeId source = 0;
   topo::NodeId dest = 0;  ///< unicast destination (== source otherwise)
   std::uint32_t length = 1;
+  /// Forced broadcast ending dimension (>= 0), or -1 for the policy's
+  /// balanced draw.  Honest workloads never force; adversarial broadcast
+  /// storms do (docs/ADVERSARIAL.md).  Carried on the arrival so a forced
+  /// dimension survives gate deferral and throttle release.
+  std::int32_t ending_dim = -1;
   std::vector<topo::NodeId> group;  ///< multicast destinations
 };
 
@@ -111,6 +116,11 @@ class Workload {
   /// must outlive the run.  Arrivals are still drawn identically; the
   /// gate only decides WHEN each drawn task launches.
   void set_gate(AdmissionGate* gate) { gate_ = gate; }
+
+  /// The currently attached gate (nullptr when none).  Lets a policing
+  /// stage interpose itself in front of an existing gate and restore it
+  /// on teardown (docs/ADVERSARIAL.md).
+  AdmissionGate* gate() const { return gate_; }
 
   std::uint64_t generated() const { return generated_; }
 

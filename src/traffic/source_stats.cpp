@@ -1,0 +1,165 @@
+#include "pstar/traffic/source_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pstar::traffic {
+
+SourceStats::SourceStats(std::int64_t node_count, SourceStatsConfig config)
+    : config_(config),
+      alpha_q16_(static_cast<std::int64_t>(std::llround(config.alpha * kOne))),
+      slab_(static_cast<std::size_t>(node_count)) {
+  if (node_count < 1) {
+    throw std::invalid_argument("SourceStats: node_count must be >= 1");
+  }
+  if (!(config_.window > 0.0)) {
+    throw std::invalid_argument("SourceStats: window must be > 0");
+  }
+  if (!(config_.alpha > 0.0) || config_.alpha > 1.0) {
+    throw std::invalid_argument("SourceStats: alpha in (0, 1]");
+  }
+  if (config_.idle_reset_windows == 0) {
+    throw std::invalid_argument("SourceStats: idle_reset_windows must be >= 1");
+  }
+}
+
+namespace {
+
+/// One EWMA step in Q16: alpha * sample + (1 - alpha) * prev.
+std::int64_t ewma_step(std::int64_t prev_q16, std::int64_t sample_q16,
+                       std::int64_t alpha_q16) {
+  constexpr std::int64_t kOne = 1 << 16;
+  return (alpha_q16 * sample_q16 + (kOne - alpha_q16) * prev_q16) >> 16;
+}
+
+/// Ratio a/b in Q16, clamped to [0, 1]; 0 when b == 0.
+std::int64_t ratio_q16(std::uint64_t a, std::uint64_t b) {
+  constexpr std::int64_t kOne = 1 << 16;
+  if (b == 0) return 0;
+  return std::min<std::int64_t>(
+      kOne, static_cast<std::int64_t>((a << 16) / b));
+}
+
+}  // namespace
+
+void SourceStats::roll(Entry& e, std::int64_t target) const {
+  const std::int64_t skipped = target - e.window_index - 1;  // idle windows
+  if (skipped >= static_cast<std::int64_t>(config_.idle_reset_windows)) {
+    // The source went quiet long enough that its history is stale: reset
+    // outright and let the new window prime the EWMAs fresh.
+    e = Entry{};
+    e.window_index = target;
+    return;
+  }
+  // Fold the (non-empty) open window as one EWMA sample per signal.
+  const auto rate_sample = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(e.count) * kOne / config_.window));
+  const std::int64_t share_sample = ratio_q16(e.top_hits, e.unicasts);
+  const std::int64_t forced_sample = ratio_q16(e.forced, e.count);
+  if (!e.primed) {
+    e.rate_q16 = rate_sample;
+    e.share_q16 = share_sample;
+    e.forced_q16 = forced_sample;
+    e.primed = true;
+  } else {
+    e.rate_q16 = ewma_step(e.rate_q16, rate_sample, alpha_q16_);
+    e.share_q16 = ewma_step(e.share_q16, share_sample, alpha_q16_);
+    e.forced_q16 = ewma_step(e.forced_q16, forced_sample, alpha_q16_);
+  }
+  // Idle windows between the folded one and the target decay every
+  // signal toward zero (sample 0 per idle window).
+  for (std::int64_t k = 0; k < skipped; ++k) {
+    e.rate_q16 = ewma_step(e.rate_q16, 0, alpha_q16_);
+    e.share_q16 = ewma_step(e.share_q16, 0, alpha_q16_);
+    e.forced_q16 = ewma_step(e.forced_q16, 0, alpha_q16_);
+  }
+  e.window_index = target;
+  e.count = 0;
+  e.unicasts = 0;
+  e.top_hits = 0;
+  e.forced = 0;
+  // The Misra-Gries candidate persists across windows: a sustained flood
+  // keeps its counter high while honest churn drains it.
+}
+
+void SourceStats::observe(const Arrival& arrival, double now) {
+  if (arrival.source < 0 ||
+      arrival.source >= static_cast<topo::NodeId>(slab_.size())) {
+    return;
+  }
+  const auto idx =
+      static_cast<std::int64_t>(std::floor(now / config_.window));
+  Entry& e = slab_[static_cast<std::size_t>(arrival.source)];
+  if (e.window_index < 0) {
+    e.window_index = idx;
+  } else if (idx > e.window_index) {
+    roll(e, idx);
+  }
+  ++e.count;
+  if (arrival.ending_dim >= 0) ++e.forced;
+  if (arrival.kind == net::TaskKind::kUnicast) {
+    ++e.unicasts;
+    if (arrival.dest == e.top_dest) {
+      ++e.mg_count;
+      ++e.top_hits;
+    } else if (e.mg_count == 0) {
+      e.top_dest = arrival.dest;
+      e.mg_count = 1;
+      ++e.top_hits;
+    } else {
+      --e.mg_count;
+    }
+  }
+}
+
+SourceSignals SourceStats::signals(topo::NodeId source, double now) const {
+  SourceSignals s;
+  if (source < 0 || source >= static_cast<topo::NodeId>(slab_.size())) {
+    return s;
+  }
+  Entry& e = slab_[static_cast<std::size_t>(source)];
+  if (e.window_index >= 0) {
+    const auto idx =
+        static_cast<std::int64_t>(std::floor(now / config_.window));
+    if (idx > e.window_index && e.count > 0) {
+      roll(e, idx);
+    } else if (idx > e.window_index) {
+      // Open window is empty: only idle time passed.  Reuse roll's
+      // idle-reset / decay logic by treating the whole gap as idle.
+      const std::int64_t skipped = idx - e.window_index;
+      if (skipped >= static_cast<std::int64_t>(config_.idle_reset_windows)) {
+        e = Entry{};
+        e.window_index = idx;
+      } else {
+        for (std::int64_t k = 0; k < skipped; ++k) {
+          e.rate_q16 = ewma_step(e.rate_q16, 0, alpha_q16_);
+          e.share_q16 = ewma_step(e.share_q16, 0, alpha_q16_);
+          e.forced_q16 = ewma_step(e.forced_q16, 0, alpha_q16_);
+        }
+        e.window_index = idx;
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(kOne);
+  s.rate = static_cast<double>(e.rate_q16) * scale;
+  s.top_share = static_cast<double>(e.share_q16) * scale;
+  s.forced_share = static_cast<double>(e.forced_q16) * scale;
+  // Fold the still-open window in optimistically so a burst is visible
+  // before its window closes (max, not EWMA: detection latency matters
+  // more than smoothness on the way up).
+  if (e.count > 0) {
+    s.rate = std::max(s.rate,
+                      static_cast<double>(e.count) / config_.window);
+    s.top_share =
+        std::max(s.top_share, static_cast<double>(ratio_q16(e.top_hits,
+                                                            e.unicasts)) *
+                                  scale);
+    s.forced_share = std::max(
+        s.forced_share,
+        static_cast<double>(ratio_q16(e.forced, e.count)) * scale);
+  }
+  return s;
+}
+
+}  // namespace pstar::traffic

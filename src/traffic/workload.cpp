@@ -9,7 +9,7 @@ void launch_arrival(net::Engine& engine, const Arrival& arrival) {
     engine.create_multicast(arrival.source, arrival.group, arrival.length);
   } else {
     engine.create_task(arrival.kind, arrival.source, arrival.dest,
-                       arrival.length);
+                       arrival.length, arrival.ending_dim);
   }
 }
 

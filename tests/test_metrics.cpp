@@ -210,7 +210,7 @@ TEST(TraceSink, RoundTripParses) {
     const std::string tag = "\"ev\":\"" + std::string(expected_ev[i]) + "\"";
     EXPECT_NE(lines[i].find(tag), std::string::npos) << lines[i];
   }
-  EXPECT_NE(lines[0].find("\"schema\":5"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"schema\":6"), std::string::npos);
   EXPECT_NE(lines[0].find("\"note\":\"quote\\\"back\\\\slash\""),
             std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"broadcast\""), std::string::npos);

@@ -1,0 +1,521 @@
+// Per-source policing (docs/ADVERSARIAL.md): SourceStats window and
+// idle-decay edges, classifier hysteresis (no flapping at a held
+// threshold), quarantine/probation semantics, the throttle x quarantine
+// release ordering, attacker-model determinism, and the shards > 1
+// rejection-message contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pstar/adversary/attack.hpp"
+#include "pstar/adversary/policer.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/routing/star_probabilities.hpp"
+#include "pstar/traffic/source_stats.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::adversary {
+namespace {
+
+using topo::Shape;
+using topo::Torus;
+
+traffic::Arrival bcast(topo::NodeId src, std::int32_t ending_dim = -1) {
+  traffic::Arrival a;
+  a.kind = net::TaskKind::kBroadcast;
+  a.source = src;
+  a.dest = src;
+  a.ending_dim = ending_dim;
+  return a;
+}
+
+traffic::Arrival unicast(topo::NodeId src, topo::NodeId dest) {
+  traffic::Arrival a;
+  a.kind = net::TaskKind::kUnicast;
+  a.source = src;
+  a.dest = dest;
+  return a;
+}
+
+// ---------------------------------------------------------------------
+// SourceStats: pure tracker logic, no simulation.
+
+TEST(SourceStats, SingleSourceTorus) {
+  // The degenerate one-node slab must index cleanly and report the open
+  // window optimistically before it ever rolls.
+  traffic::SourceStatsConfig cfg;
+  cfg.window = 10.0;
+  traffic::SourceStats s(1, cfg);
+  for (int i = 0; i < 20; ++i) {
+    s.observe(bcast(0), 0.5 * static_cast<double>(i));
+  }
+  const auto open = s.signals(0, 9.5);
+  EXPECT_NEAR(open.rate, 2.0, 0.01);  // 20 arrivals in a 10-unit window
+  EXPECT_DOUBLE_EQ(open.top_share, 0.0);
+  EXPECT_DOUBLE_EQ(open.forced_share, 0.0);
+  // Out-of-range sources are ignored, not UB.
+  s.observe(bcast(3), 1.0);
+  EXPECT_DOUBLE_EQ(s.signals(3, 1.0).rate, 0.0);
+}
+
+TEST(SourceStats, IdleWindowsDecayThenResetOutright) {
+  traffic::SourceStatsConfig cfg;
+  cfg.window = 10.0;
+  cfg.alpha = 0.5;
+  cfg.idle_reset_windows = 4;
+  traffic::SourceStats s(4, cfg);
+  // Window 0: 20 arrivals -> rate sample 2.0, primed verbatim.
+  for (int i = 0; i < 20; ++i) {
+    s.observe(bcast(1), 0.5 * static_cast<double>(i));
+  }
+  // One arrival in window 1 rolls window 0 in.
+  s.observe(bcast(1), 15.0);
+  const double hot = s.signals(1, 15.0).rate;
+  EXPECT_NEAR(hot, 2.0, 0.01);
+  // Two idle windows (2 and 3) decay the EWMA but keep history: the
+  // rate read in window 4 is lower than hot, yet clearly nonzero.
+  const double decayed = s.signals(1, 45.0).rate;
+  EXPECT_LT(decayed, hot);
+  EXPECT_GT(decayed, 0.1);
+  // Past idle_reset_windows of silence the entry resets outright: the
+  // next arrival primes a fresh epoch whose only visible rate is its
+  // own open window.
+  s.observe(bcast(1), 45.0 + 10.0 * 6.0);
+  const auto fresh = s.signals(1, 45.0 + 10.0 * 6.0);
+  EXPECT_NEAR(fresh.rate, 0.1, 0.01);  // 1 arrival / 10-unit window
+}
+
+TEST(SourceStats, TopDestinationShareTracksVictimFlood) {
+  traffic::SourceStatsConfig cfg;
+  cfg.window = 10.0;
+  cfg.alpha = 1.0;  // raw per-window samples
+  traffic::SourceStats s(16, cfg);
+  // A victim flood: every unicast from node 2 aims at node 7.
+  for (int i = 0; i < 30; ++i) {
+    s.observe(unicast(2, 7), static_cast<double>(i));
+  }
+  EXPECT_GT(s.signals(2, 29.0).top_share, 0.95);
+  // Honest-ish churn from node 3: round-robin destinations hold the
+  // Misra-Gries candidate's share well under the flood's.
+  for (int i = 0; i < 30; ++i) {
+    s.observe(unicast(3, static_cast<topo::NodeId>(4 + (i % 5))),
+              static_cast<double>(i));
+  }
+  // The single-candidate Misra-Gries bound: a 5-cycle credits the
+  // candidate on every other arrival, so the share tops out at 0.5 --
+  // still well clear of the flood's ~1.0.
+  EXPECT_LE(s.signals(3, 29.0).top_share, 0.5);
+}
+
+TEST(SourceStats, ForcedEndingDimensionSkew) {
+  traffic::SourceStatsConfig cfg;
+  cfg.window = 10.0;
+  traffic::SourceStats s(8, cfg);
+  for (int i = 0; i < 10; ++i) {
+    s.observe(bcast(0, /*ending_dim=*/1), static_cast<double>(i));
+    s.observe(bcast(5), static_cast<double>(i));
+  }
+  EXPECT_GT(s.signals(0, 9.0).forced_share, 0.99);  // storm: all forced
+  EXPECT_DOUBLE_EQ(s.signals(5, 9.0).forced_share, 0.0);  // honest: never
+}
+
+// ---------------------------------------------------------------------
+// Policer: classifier hysteresis and quarantine, driven with scripted
+// arrival times through a zero-rate workload (no honest traffic).
+
+struct PolicerFixture {
+  explicit PolicerFixture(Shape shape, PolicingConfig cfg)
+      : torus(std::move(shape)),
+        rng(31),
+        policy(make_policy()),
+        engine(sim, torus, *policy, rng),
+        workload(sim, engine, rng, traffic::WorkloadConfig{}),
+        policer(std::make_unique<Policer>(engine, workload, nullptr, cfg)) {}
+
+  std::unique_ptr<routing::CombinedPolicy> make_policy() {
+    routing::SdcBroadcastConfig cfg;
+    cfg.ending_probabilities = routing::uniform_probabilities(torus.dims()).x;
+    cfg.priorities = routing::priority_map(routing::Discipline::kTwoClass);
+    return std::make_unique<routing::CombinedPolicy>(
+        std::make_unique<routing::SdcBroadcastPolicy>(torus, cfg),
+        std::make_unique<routing::UnicastPolicy>(torus,
+                                                 routing::UnicastConfig{}));
+  }
+
+  /// Feeds `per_window` broadcast arrivals per window from `src` over
+  /// [from, to), evenly spaced, via scheduled events (the policer reads
+  /// sim time).
+  void feed(topo::NodeId src, double from, double to, int per_window) {
+    const double window = policer->config().stats.window;
+    const double gap = window / static_cast<double>(per_window);
+    for (double t = from; t < to; t += gap) {
+      sim.at(t, [this, src](sim::Simulator&) {
+        policer->on_arrival(bcast(src));
+      });
+    }
+  }
+
+  sim::Simulator sim;
+  Torus torus;
+  sim::Rng rng;
+  std::unique_ptr<routing::CombinedPolicy> policy;
+  net::Engine engine;
+  traffic::Workload workload;
+  std::unique_ptr<Policer> policer;
+};
+
+PolicingConfig test_config() {
+  PolicingConfig cfg;
+  cfg.enabled = true;
+  cfg.expected_rate = 1.0;  // E
+  cfg.stats.window = 10.0;
+  cfg.stats.alpha = 1.0;  // raw per-window samples: exact thresholds
+  cfg.suspect_factor = 3.0;
+  cfg.invalid_factor = 8.0;
+  cfg.clear_factor = 1.5;
+  cfg.quarantine_period = 400.0;
+  return cfg;
+}
+
+TEST(Policer, RejectsNonsenseConfigs) {
+  const Shape shape{4, 4};
+  auto expect_throws = [&](void (*tweak)(PolicingConfig&)) {
+    PolicingConfig bad = test_config();
+    tweak(bad);
+    EXPECT_THROW(PolicerFixture(shape, bad), std::invalid_argument);
+  };
+  expect_throws([](PolicingConfig& c) { c.enabled = false; });
+  expect_throws([](PolicingConfig& c) { c.expected_rate = 0.0; });
+  expect_throws([](PolicingConfig& c) { c.clear_factor = c.suspect_factor; });
+  expect_throws([](PolicingConfig& c) { c.invalid_factor = 2.0; });
+  expect_throws([](PolicingConfig& c) { c.share_low = c.share_high; });
+  expect_throws([](PolicingConfig& c) { c.limit_depth = 0.5; });
+  expect_throws([](PolicingConfig& c) { c.quarantine_period = 0.0; });
+}
+
+TEST(Policer, HysteresisNeverFlapsAtHeldThresholds) {
+  PolicerFixture f(Shape{4, 4}, test_config());
+  // Phase 1, windows 0-1: 2E sits between clear (1.5E) and suspect (3E)
+  // -- from valid, nothing happens.
+  f.feed(0, 0.0, 20.0, 20);
+  // Phase 2, window 2: a 4E burst trips valid -> suspect exactly once.
+  f.feed(0, 20.0, 30.0, 40);
+  // Phase 3, windows 3-8: back to 2E, inside the hysteresis gap -- the
+  // suspect must neither clear nor re-escalate, however long it holds.
+  f.feed(0, 30.0, 90.0, 20);
+  // Phase 4, windows 9-12: 1E <= clear_factor x E clears to valid.
+  f.feed(0, 90.0, 130.0, 10);
+  // Phase 5, windows 13-16: 2E again -- from valid this is sub-suspect,
+  // so the cycle does NOT restart.
+  f.feed(0, 130.0, 170.0, 20);
+
+  std::vector<net::SourceClass> probes;
+  for (double t : {19.9, 29.95, 89.9, 129.9, 169.9}) {
+    f.sim.at(t, [&f, &probes](sim::Simulator&) {
+      probes.push_back(f.policer->source_class(0));
+    });
+  }
+  f.sim.run();
+  ASSERT_EQ(probes.size(), 5u);
+  EXPECT_EQ(probes[0], net::SourceClass::kValid);    // 2E from valid
+  EXPECT_EQ(probes[1], net::SourceClass::kSuspect);  // burst tripped
+  EXPECT_EQ(probes[2], net::SourceClass::kSuspect);  // held in the gap
+  EXPECT_EQ(probes[3], net::SourceClass::kValid);    // cleared low
+  EXPECT_EQ(probes[4], net::SourceClass::kValid);    // no restart
+  // Exactly two transitions over the whole script: valid -> suspect and
+  // suspect -> valid.  Any flapping would inflate this.
+  EXPECT_EQ(f.policer->stats().classifications, 2u);
+  EXPECT_EQ(f.policer->stats().quarantines, 0u);
+}
+
+TEST(Policer, QuarantineDeniesInWindowAndProbationRetrips) {
+  PolicerFixture f(Shape{4, 4}, test_config());
+  // A 10E flood: crosses invalid_factor x E inside its first window,
+  // and KEEPS arriving straight through the penalty window (denied
+  // attempts still feed the tracker).  The first arrival past the
+  // window re-trips on the spot: probation -> suspect -> classifier ->
+  // invalid again, a fresh window.
+  f.feed(0, 0.0, 420.0, 100);
+  double until = 0.0;
+  std::uint64_t denied_at_60 = 0;
+  f.sim.at(60.0, [&](sim::Simulator&) {
+    EXPECT_EQ(f.policer->source_class(0), net::SourceClass::kInvalid);
+    until = f.policer->quarantine_until(0);
+    denied_at_60 = f.policer->stats().denied_quarantine;
+  });
+  f.sim.run();
+  EXPECT_GT(until, 400.0);
+  EXPECT_LT(until, 420.0);  // tripped within the flood's first window
+  EXPECT_GT(denied_at_60, 0u);
+  EXPECT_EQ(f.policer->stats().probations, 1u);
+  EXPECT_EQ(f.policer->stats().quarantines, 2u);  // re-tripped on probation
+  EXPECT_EQ(f.policer->source_class(0), net::SourceClass::kInvalid);
+  // The second window opens at the probation arrival, not the first
+  // window's end.
+  EXPECT_GT(f.policer->quarantine_until(0), until + 390.0);
+}
+
+TEST(Policer, ReformedSourceClearsAfterQuietQuarantine) {
+  PolicingConfig cfg = test_config();
+  cfg.stats.idle_reset_windows = 8;  // quiet spell resets history
+  PolicerFixture f(Shape{4, 4}, cfg);
+  f.feed(2, 0.0, 20.0, 100);  // flood -> quarantined
+  // Silence through the whole penalty window, then honest-rate traffic:
+  // probation demotes to suspect, the fresh stats clear it to valid,
+  // and arrivals are admitted again.
+  std::vector<bool> admitted;
+  for (double t = 460.0; t < 500.0; t += 1.0) {
+    f.sim.at(t, [&f, &admitted](sim::Simulator&) {
+      admitted.push_back(f.policer->on_arrival(bcast(2)));
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(f.policer->stats().probations, 1u);
+  EXPECT_EQ(f.policer->stats().quarantines, 1u);  // never re-tripped
+  EXPECT_EQ(f.policer->source_class(2), net::SourceClass::kValid);
+  // Everything after probation was admitted (the bucket holds at 1E).
+  for (bool b : admitted) EXPECT_TRUE(b);
+}
+
+TEST(Policer, MayReleaseVetoesQuarantinedSources) {
+  // The throttle x quarantine ordering hazard (docs/ADVERSARIAL.md): an
+  // arrival deferred BEFORE the quarantine must not be released inside
+  // the window.  may_release is the ReleaseFilter seam the overload
+  // controller consults.
+  PolicerFixture f(Shape{4, 4}, test_config());
+  f.feed(0, 0.0, 20.0, 100);
+  double until = 0.0;
+  bool in_window = true;
+  bool after_window = false;
+  std::uint64_t denied_before = 0;
+  std::uint64_t denied_after = 0;
+  f.sim.at(50.0, [&](sim::Simulator& s) {
+    until = f.policer->quarantine_until(0);
+    denied_before = f.policer->stats().denied_quarantine;
+    in_window = f.policer->may_release(bcast(0), s.now());
+    denied_after = f.policer->stats().denied_quarantine;
+  });
+  f.sim.at(450.0, [&](sim::Simulator& s) {
+    after_window = f.policer->may_release(bcast(0), s.now());
+  });
+  f.sim.run();
+  ASSERT_GT(until, 50.0);
+  EXPECT_FALSE(in_window);
+  EXPECT_EQ(denied_after, denied_before + 1);  // the veto is charged
+  EXPECT_TRUE(after_window);  // window over: the release may proceed
+}
+
+// ---------------------------------------------------------------------
+// Attacker models.
+
+TEST(AttackerNodes, EvenlySpacedDistinctAndVictimFree) {
+  AttackConfig cfg;
+  cfg.kind = AttackKind::kHotspot;
+  cfg.victim = 0;
+  cfg.attackers = 4;
+  const auto nodes = attacker_nodes(cfg, 16);
+  ASSERT_EQ(nodes.size(), 4u);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NE(nodes[i], cfg.victim);
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      EXPECT_NE(nodes[i], nodes[j]);
+    }
+  }
+  // 100% attacker fraction: a storm (no victim exclusion) can enlist
+  // every node; a hotspot tops out at N-1.
+  cfg.kind = AttackKind::kStorm;
+  cfg.attackers = 16;
+  EXPECT_EQ(attacker_nodes(cfg, 16).size(), 16u);
+  cfg.kind = AttackKind::kHotspot;
+  EXPECT_THROW(attacker_nodes(cfg, 16), std::invalid_argument);
+}
+
+// Captures every arrival the attacker offers without launching it.
+struct RecordingGate final : traffic::AdmissionGate {
+  bool on_arrival(const traffic::Arrival& a) override {
+    arrivals.push_back(a);
+    return false;
+  }
+  std::vector<traffic::Arrival> arrivals;
+};
+
+TEST(AttackerWorkload, StormForcesTheEndingDimension) {
+  PolicerFixture f(Shape{4, 4}, test_config());  // reuse torus + engine
+  AttackConfig cfg;
+  cfg.kind = AttackKind::kStorm;
+  cfg.attackers = 4;
+  cfg.intensity = 2.0;  // absolute rate: no honest traffic
+  cfg.seed = 99;
+  cfg.stop_time = 100.0;
+  AttackerWorkload atk(f.sim, f.engine, cfg, /*honest_rate=*/0.0);
+  RecordingGate gate;
+  atk.set_gate(&gate);
+  atk.start();
+  f.sim.run();
+  ASSERT_GT(gate.arrivals.size(), 50u);
+  const auto& attackers = atk.attackers();
+  for (const auto& a : gate.arrivals) {
+    EXPECT_EQ(a.kind, net::TaskKind::kBroadcast);
+    // storm_dim unset resolves to the LAST dimension -- the paper's
+    // ending-dimension solve gives it the least forced share, so
+    // forcing it is the pessimal skew.
+    EXPECT_EQ(a.ending_dim, f.torus.dims() - 1);
+    EXPECT_NE(std::find(attackers.begin(), attackers.end(), a.source),
+              attackers.end());
+  }
+}
+
+// ---------------------------------------------------------------------
+// End to end through the harness.
+
+harness::ExperimentSpec attacked_spec() {
+  harness::ExperimentSpec spec;
+  spec.shape = Shape{4, 4};
+  spec.scheme = core::Scheme::priority_star();
+  spec.rho = 0.5;
+  spec.broadcast_fraction = 0.5;
+  spec.queue_capacity = 4;
+  spec.warmup = 200.0;
+  spec.measure = 600.0;
+  spec.seed = 4242;
+  spec.attack.kind = AttackKind::kHotspot;
+  spec.attack.attackers = 4;
+  spec.attack.intensity = 8.0;
+  return spec;
+}
+
+TEST(PolicingEndToEnd, PolicingProtectsHonestDelivery) {
+  harness::ExperimentSpec off = attacked_spec();
+  harness::ExperimentSpec on = attacked_spec();
+  on.policing.enabled = true;
+  const auto r_off = harness::run_experiment(off);
+  const auto r_on = harness::run_experiment(on);
+  EXPECT_GT(r_off.attacker_tasks, 0u);
+  EXPECT_LT(r_off.honest_delivered_fraction, 0.99);
+  EXPECT_GE(r_on.honest_delivered_fraction, 0.99);
+  EXPECT_GT(r_on.quarantines, 0u);
+  EXPECT_GT(r_on.denied_quarantine, 0u);
+  EXPECT_LT(r_on.attacker_goodput, 0.1);
+}
+
+TEST(PolicingEndToEnd, ThrottleReleasesAreVetoedInQuarantine) {
+  // The regression the ReleaseFilter exists for: attacker arrivals the
+  // throttle deferred BEFORE the quarantine tripped must be denied at
+  // release time, not injected mid-window.  The hazard needs saturation
+  // to precede classification, so the stats window is stretched (slow
+  // classifier) while the unbounded-queue flood trips the detector
+  // within a few time units.
+  harness::ExperimentSpec spec = attacked_spec();
+  spec.rho = 0.9;
+  spec.queue_capacity = 0;
+  spec.policing.enabled = true;
+  spec.policing.stats.window = 2000.0;
+  spec.overload.mode = overload::OverloadMode::kThrottle;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_GT(r.tasks_throttled, 0u);  // the throttle really deferred
+  EXPECT_GT(r.quarantines, 0u);      // the policer really quarantined
+  EXPECT_GT(r.releases_denied, 0u);  // and their overlap was vetoed
+}
+
+TEST(PolicingEndToEnd, IntensityZeroBaselineMatchesAttackFree) {
+  // attack.kind set with intensity 0 constructs only the recorder (the
+  // bench's baseline point); observation must not perturb dynamics.
+  harness::ExperimentSpec plain = attacked_spec();
+  plain.attack = AttackConfig{};
+  harness::ExperimentSpec baseline = attacked_spec();
+  baseline.attack.intensity = 0.0;
+  const auto a = harness::run_experiment(plain);
+  const auto b = harness::run_experiment(baseline);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_DOUBLE_EQ(a.goodput, b.goodput);
+  // The split is by SOURCE IDENTITY: honest Poisson arrivals drawn at
+  // the would-be attacker nodes are charged to the attacker column even
+  // though no attacker stream exists.
+  EXPECT_GT(b.attacker_tasks, 0u);
+  EXPECT_GT(b.honest_tasks, b.attacker_tasks);
+  EXPECT_GT(b.honest_p99, 0.0);  // the recorder measured the baseline
+}
+
+TEST(PolicingEndToEnd, PulseAttackIsDeterministic) {
+  harness::ExperimentSpec spec = attacked_spec();
+  spec.attack.kind = AttackKind::kPulse;
+  spec.attack.intensity = 4.0;
+  spec.policing.enabled = true;
+  const auto a = harness::run_experiment(spec);
+  const auto b = harness::run_experiment(spec);
+  EXPECT_EQ(a.attacker_tasks, b.attacker_tasks);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.quarantines, b.quarantines);
+  EXPECT_EQ(a.denied_quarantine, b.denied_quarantine);
+  EXPECT_DOUBLE_EQ(a.honest_p99, b.honest_p99);
+  EXPECT_DOUBLE_EQ(a.honest_delivered_fraction, b.honest_delivered_fraction);
+}
+
+TEST(PolicingEndToEnd, AllNodesAttackingStillCompletes) {
+  // 100% attacker fraction: every node runs the storm; the "honest"
+  // population is empty and its metrics fall back to their defaults.
+  harness::ExperimentSpec spec = attacked_spec();
+  spec.attack.kind = AttackKind::kStorm;
+  spec.attack.attackers = 16;
+  spec.attack.intensity = 2.0;
+  spec.policing.enabled = true;
+  const auto r = harness::run_experiment(spec);
+  EXPECT_EQ(r.honest_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.honest_delivered_fraction, 1.0);
+  EXPECT_GT(r.attacker_tasks, 0u);
+  EXPECT_GT(r.quarantines, 0u);
+}
+
+TEST(PolicingEndToEnd, ShardOneMatchesSerial) {
+  harness::ExperimentSpec serial = attacked_spec();
+  serial.policing.enabled = true;
+  harness::ExperimentSpec sharded = serial;
+  sharded.shards = 1;
+  const auto a = harness::run_experiment(serial);
+  const auto b = harness::run_experiment(sharded);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.attacker_tasks, b.attacker_tasks);
+  EXPECT_EQ(a.quarantines, b.quarantines);
+  EXPECT_DOUBLE_EQ(a.honest_delivered_fraction, b.honest_delivered_fraction);
+  EXPECT_DOUBLE_EQ(a.honest_p99, b.honest_p99);
+}
+
+TEST(PolicingEndToEnd, ShardsRejectionNamesFlagAndAlternative) {
+  // PR 8's rejection-message contract: name the conflicting flag and
+  // the supported alternative.
+  {
+    harness::ExperimentSpec spec = attacked_spec();
+    spec.shards = 2;
+    try {
+      harness::run_experiment(spec);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--attack"), std::string::npos) << what;
+      EXPECT_NE(what.find("--shards 1"), std::string::npos) << what;
+    }
+  }
+  {
+    harness::ExperimentSpec spec = attacked_spec();
+    spec.attack = AttackConfig{};
+    spec.policing.enabled = true;
+    spec.shards = 2;
+    try {
+      harness::run_experiment(spec);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--policing"), std::string::npos) << what;
+      EXPECT_NE(what.find("--shards 1"), std::string::npos) << what;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pstar::adversary

@@ -3,7 +3,7 @@
 
 Checks every line of the trace produced by ``obs::JsonlTraceSink``
 (``sweep_cli --trace``, or any program attaching the sink) against the
-schema table in docs/OBSERVABILITY.md, versions 1 through 5:
+schema table in docs/OBSERVABILITY.md, versions 1 through 6:
 
   - every line parses as one flat JSON object with an "ev" discriminator;
   - the first record of each run is a header with "schema": 1, 2 or 3;
@@ -29,6 +29,13 @@ schema table in docs/OBSERVABILITY.md, versions 1 through 5:
     balancer's re-solve epochs carry a strictly increasing epoch
     counter, an imbalance and drift >= 0, and an "x" payload of
     space-separated probabilities in [0, 1] summing to ~1;
+  - policing records (schema 6, docs/ADVERSARIAL.md): per source,
+    consecutive classify records carry distinct classes; every
+    quarantine is immediately preceded by that source's
+    classify(invalid) at the same time; per source, quarantine windows
+    never overlap; deny(quarantine) records fall only inside the
+    source's open window; deny reasons and source classes are from the
+    documented vocabularies;
   - a run that ends with links still down is flagged with a NOTE (not
     an error: permanent scripted faults legitimately outlive the run).
 
@@ -41,13 +48,16 @@ Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 FAULT_SCHEMA = 2  # first schema with link_down / link_up records
 RETX_SCHEMA = 3  # first schema with retx records
 OVERLOAD_SCHEMA = 4  # first schema with sat_on/sat_off/shed/throttle/abort
 ADAPTIVE_SCHEMA = 5  # first schema with resolve records
+POLICING_SCHEMA = 6  # first schema with classify/quarantine/probation/deny
 
 RETX_MODES = {"subtree", "fresh", "unicast"}
+SOURCE_CLASSES = {"valid", "suspect", "invalid"}
+DENY_REASONS = {"quarantine", "ratelimit"}
 
 NUMBER = (int, float)
 
@@ -113,9 +123,20 @@ REQUIRED = {
         "applied": (bool,),
         "x": (str,),
     },
+    "classify": {
+        "t": NUMBER,
+        "src": (int,),
+        "class": (str,),
+        "rate": NUMBER,
+        "share": NUMBER,
+    },
+    "quarantine": {"t": NUMBER, "src": (int,), "until": NUMBER},
+    "probation": {"t": NUMBER, "src": (int,)},
+    "deny": {"t": NUMBER, "src": (int,), "kind": (str,), "reason": (str,)},
 }
 
 OVERLOAD_EVENTS = ("sat_on", "sat_off", "shed", "throttle", "abort")
+POLICING_EVENTS = ("classify", "quarantine", "probation", "deny")
 
 TASK_KINDS = {"broadcast", "unicast", "multicast"}
 
@@ -163,6 +184,9 @@ def check_record(rec, state):
         state["saturated"] = False
         state["aborted"] = False
         state["resolve_epoch"] = 0
+        state["src_class"].clear()
+        state["last_classify"].clear()
+        state["quarantine_until"].clear()
     elif not state["in_run"]:
         problems.append("{}: record before any run header".format(ev))
 
@@ -296,6 +320,63 @@ def check_record(rec, state):
         elif abs(sum(probs) - 1.0) > 1e-6:
             problems.append("resolve: x sums to {}, expected 1".format(
                 sum(probs)))
+    elif ev in POLICING_EVENTS:
+        if state["in_run"] and state["schema"] < POLICING_SCHEMA:
+            problems.append("{}: policing record in a schema-{} run".format(
+                ev, state["schema"]))
+        src = rec["src"]
+        if ev == "classify":
+            if rec["class"] not in SOURCE_CLASSES:
+                problems.append("classify: unknown class {!r}".format(
+                    rec["class"]))
+            # Sources start valid and classify marks a CHANGE, so
+            # consecutive records per source carry distinct classes.
+            elif state["src_class"].get(src, "valid") == rec["class"]:
+                problems.append(
+                    "classify: source {} re-classified as {!r} (no "
+                    "change)".format(src, rec["class"]))
+            state["src_class"][src] = rec["class"]
+            state["last_classify"][src] = (rec["t"], rec["class"])
+        elif ev == "quarantine":
+            last = state["last_classify"].get(src)
+            if last is None or last[1] != "invalid" or last[0] != rec["t"]:
+                problems.append(
+                    "quarantine: source {} has no classify(invalid) at "
+                    "t={}".format(src, rec["t"]))
+            until = state["quarantine_until"].get(src)
+            if until is not None and rec["t"] < until:
+                problems.append(
+                    "quarantine: source {} window opened at {} inside the "
+                    "previous window (until {})".format(src, rec["t"], until))
+            if not rec["until"] > rec["t"]:
+                problems.append(
+                    "quarantine: empty window [{}, {})".format(
+                        rec["t"], rec["until"]))
+            state["quarantine_until"][src] = rec["until"]
+        elif ev == "probation":
+            until = state["quarantine_until"].get(src)
+            if until is None:
+                problems.append(
+                    "probation: source {} was never quarantined".format(src))
+            elif rec["t"] < until:
+                problems.append(
+                    "probation: source {} released at {} before its window "
+                    "ends ({})".format(src, rec["t"], until))
+        elif ev == "deny":
+            if rec["reason"] not in DENY_REASONS:
+                problems.append("deny: unknown reason {!r}".format(
+                    rec["reason"]))
+            elif rec["reason"] == "quarantine":
+                until = state["quarantine_until"].get(src)
+                if until is None:
+                    problems.append(
+                        "deny: source {} denied for quarantine but never "
+                        "quarantined".format(src))
+                elif rec["t"] >= until:
+                    problems.append(
+                        "deny: source {} denied at {} outside its "
+                        "quarantine window (until {})".format(
+                            src, rec["t"], until))
     return problems
 
 
@@ -311,6 +392,9 @@ def check_stream(lines, name):
         "saturated": False,
         "aborted": False,
         "resolve_epoch": 0,
+        "src_class": {},
+        "last_classify": {},
+        "quarantine_until": {},
     }
     counts = {}
     errors = 0
