@@ -1,0 +1,374 @@
+// pstar-serve: streaming service mode (docs/SERVICE.md).
+//
+// Runs the engine open-ended against streamed arrivals -- Poisson
+// background load, a replayed JSONL trace, or the line-oriented workload
+// DSL -- with periodic live metrics snapshots and crash-safe
+// checkpoint/restore.  A checkpointed run killed at any instant resumes
+// from its snapshot and produces byte-identical trace and metrics files
+// versus the uninterrupted run.
+//
+//   usage: pstar_serve [options]
+//
+//   experiment identity (as sweep_cli):
+//     --shape 8x8             torus geometry (default 8x8)
+//     --scheme NAME           routing scheme (default priority-STAR)
+//     --rho X                 offered load (default 0.5; 0 = scripted
+//                             arrivals only)
+//     --bcast-frac F          broadcast fraction of load (default 1.0)
+//     --length SPEC           unit | fixed:L | geom:M | bimodal:S:L:P
+//     --warmup T --measure T  measurement window (default 1000 / 3000);
+//                             warmup + measure is the generation horizon
+//     --seed N                rng seed (default 1)
+//     --mesh                  drop all wraparound links
+//     --mtbf T --mttr T       random link faults (docs/FAULTS.md)
+//     --retries N             end-to-end recovery (docs/FAULTS.md §7)
+//     --retry-timeout T --retry-backoff B
+//     --overload MODE         off | throttle | shed (docs/OVERLOAD.md)
+//     --sat-high X --sat-low X
+//     --adaptive MODE         off | periodic (docs/ADAPTIVE.md)
+//     --adapt-interval T --adapt-deadband X
+//     --attack MODEL          none | hotspot | storm | pulse
+//     --attackers N --attack-intensity X
+//     --policing MODE         off | on (docs/ADVERSARIAL.md)
+//     --scheduler NAME        calendar (default) or heap
+//
+//   service mode:
+//     --trace FILE.jsonl      JSONL event trace (offset-tracked across
+//                             checkpoints)
+//     --metrics FILE.jsonl    live metrics records (default stdout when
+//                             --metrics-period > 0)
+//     --metrics-period T      emit a metrics record every T time units
+//     --replay FILE.jsonl     inject the task records of a recorded
+//                             trace as scripted arrivals
+//     --script FILE           drive the run from a DSL script
+//     --stdin                 drive the run from DSL lines on stdin
+//     --restore SNAP          resume from a snapshot (must be paired
+//                             with the identical experiment flags)
+//     --checkpoint SNAP       snapshot path for periodic/final/signal
+//                             checkpoints
+//     --checkpoint-period T   checkpoint every T time units
+//     --until T               stop (after a final checkpoint) once the
+//                             clock reaches T -- a deterministic kill
+//                             point for resume tests
+//     --slice T               driver slice length (default 50)
+//
+//   SIGINT/SIGTERM: finish the current slice, write a final checkpoint
+//   (when --checkpoint is set), flush the trace and metrics streams,
+//   and exit 0.
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "pstar/harness/cli.hpp"
+#include "pstar/service/dsl.hpp"
+#include "pstar/service/serve.hpp"
+
+namespace {
+
+using namespace pstar;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+struct Options {
+  harness::ExperimentSpec spec;
+  std::string trace_path;
+  std::string metrics_path;
+  double metrics_period = 0.0;
+  std::string replay_path;
+  std::string script_path;
+  bool use_stdin = false;
+  std::string restore_path;
+  std::string checkpoint_path;
+  double checkpoint_period = 0.0;
+  double until = 0.0;
+  double slice = 50.0;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  opt.spec.scheme = harness::parse_scheme("priority-STAR");
+  opt.spec.rho = 0.5;
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value after " + flag);
+      }
+      return args[++i];
+    };
+    if (flag == "--shape") {
+      opt.spec.shape = harness::parse_shape(value());
+    } else if (flag == "--scheme") {
+      opt.spec.scheme = harness::parse_scheme(value());
+    } else if (flag == "--rho") {
+      opt.spec.rho = std::stod(value());
+    } else if (flag == "--bcast-frac") {
+      opt.spec.broadcast_fraction = std::stod(value());
+    } else if (flag == "--length") {
+      opt.spec.length = harness::parse_length(value());
+    } else if (flag == "--warmup") {
+      opt.spec.warmup = std::stod(value());
+    } else if (flag == "--measure") {
+      opt.spec.measure = std::stod(value());
+    } else if (flag == "--seed") {
+      opt.spec.seed = std::stoull(value());
+    } else if (flag == "--mesh") {
+      opt.spec.mesh = true;
+    } else if (flag == "--mtbf") {
+      opt.spec.fault_mtbf = std::stod(value());
+    } else if (flag == "--mttr") {
+      opt.spec.fault_mttr = std::stod(value());
+    } else if (flag == "--retries") {
+      opt.spec.max_retries = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--retry-timeout") {
+      opt.spec.retry_timeout = std::stod(value());
+    } else if (flag == "--retry-backoff") {
+      opt.spec.retry_backoff = std::stod(value());
+    } else if (flag == "--overload") {
+      const std::string mode = value();
+      if (mode == "off") {
+        opt.spec.overload.mode = overload::OverloadMode::kOff;
+      } else if (mode == "throttle") {
+        opt.spec.overload.mode = overload::OverloadMode::kThrottle;
+      } else if (mode == "shed") {
+        opt.spec.overload.mode = overload::OverloadMode::kShed;
+      } else {
+        throw std::invalid_argument("--overload must be off, throttle, or shed");
+      }
+    } else if (flag == "--sat-high") {
+      opt.spec.overload.sat_high = std::stod(value());
+    } else if (flag == "--sat-low") {
+      opt.spec.overload.sat_low = std::stod(value());
+    } else if (flag == "--adaptive") {
+      const std::string mode = value();
+      if (mode == "off") {
+        opt.spec.adaptive.mode = routing::AdaptiveMode::kOff;
+      } else if (mode == "periodic") {
+        opt.spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
+      } else {
+        throw std::invalid_argument("--adaptive must be off or periodic");
+      }
+    } else if (flag == "--adapt-interval") {
+      opt.spec.adaptive.interval = std::stod(value());
+    } else if (flag == "--adapt-deadband") {
+      opt.spec.adaptive.deadband = std::stod(value());
+    } else if (flag == "--attack") {
+      const std::string kind = value();
+      if (kind == "none") {
+        opt.spec.attack.kind = adversary::AttackKind::kNone;
+      } else if (kind == "hotspot") {
+        opt.spec.attack.kind = adversary::AttackKind::kHotspot;
+      } else if (kind == "storm") {
+        opt.spec.attack.kind = adversary::AttackKind::kStorm;
+      } else if (kind == "pulse") {
+        opt.spec.attack.kind = adversary::AttackKind::kPulse;
+      } else {
+        throw std::invalid_argument(
+            "--attack must be none, hotspot, storm, or pulse");
+      }
+    } else if (flag == "--attackers") {
+      opt.spec.attack.attackers = static_cast<std::int32_t>(
+          harness::parse_count(value(), "--attackers"));
+    } else if (flag == "--attack-intensity") {
+      opt.spec.attack.intensity = std::stod(value());
+    } else if (flag == "--policing") {
+      const std::string mode = value();
+      if (mode == "off") {
+        opt.spec.policing.enabled = false;
+      } else if (mode == "on") {
+        opt.spec.policing.enabled = true;
+      } else {
+        throw std::invalid_argument("--policing must be off or on");
+      }
+    } else if (flag == "--scheduler") {
+      const std::string name = value();
+      if (name == "heap") {
+        opt.spec.scheduler = sim::SchedulerKind::kHeap;
+      } else if (name == "calendar") {
+        opt.spec.scheduler = sim::SchedulerKind::kCalendar;
+      } else {
+        throw std::invalid_argument("--scheduler must be calendar or heap");
+      }
+    } else if (flag == "--trace") {
+      opt.trace_path = value();
+    } else if (flag == "--metrics") {
+      opt.metrics_path = value();
+    } else if (flag == "--metrics-period") {
+      opt.metrics_period = std::stod(value());
+    } else if (flag == "--replay") {
+      opt.replay_path = value();
+    } else if (flag == "--script") {
+      opt.script_path = value();
+    } else if (flag == "--stdin") {
+      opt.use_stdin = true;
+    } else if (flag == "--restore") {
+      opt.restore_path = value();
+    } else if (flag == "--checkpoint") {
+      opt.checkpoint_path = value();
+    } else if (flag == "--checkpoint-period") {
+      opt.checkpoint_period = std::stod(value());
+    } else if (flag == "--until") {
+      opt.until = std::stod(value());
+    } else if (flag == "--slice") {
+      opt.slice = std::stod(value());
+    } else if (flag == "--help" || flag == "-h") {
+      throw std::invalid_argument("help");
+    } else {
+      throw std::invalid_argument("unknown flag " + flag);
+    }
+  }
+  if (opt.slice <= 0.0) throw std::invalid_argument("--slice must be > 0");
+  if (!opt.restore_path.empty() && !opt.replay_path.empty()) {
+    throw std::invalid_argument(
+        "--restore conflicts with --replay: the snapshot already carries the "
+        "scripted arrivals");
+  }
+  if (opt.script_path.empty() && opt.use_stdin && !opt.restore_path.empty()) {
+    // Fine: stdin DSL can extend a restored run.
+  }
+  return opt;
+}
+
+/// Final-checkpoint-and-flush path shared by signals and normal exits.
+void shutdown(service::ServeSession& session, const Options& opt,
+              const char* why) {
+  if (!opt.checkpoint_path.empty()) {
+    session.checkpoint(opt.checkpoint_path);
+  }
+  session.flush_outputs();
+  std::cerr << "pstar-serve: " << why << " at t=" << session.now()
+            << ", events=" << session.simulator().events_executed();
+  if (!opt.checkpoint_path.empty()) {
+    std::cerr << ", checkpoint " << opt.checkpoint_path;
+  }
+  std::cerr << "\n";
+}
+
+/// Drives a DSL line stream, honoring signals between commands.
+int run_dsl(service::ServeSession& session, const Options& opt,
+            std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (g_signal) {
+      shutdown(session, opt, "signal");
+      return 0;
+    }
+    if (!service::apply_command(session, service::parse_command(line))) break;
+  }
+  shutdown(session, opt, "script done");
+  return 0;
+}
+
+/// Free-running slice loop: advance, checkpoint on period, stop on
+/// --until, drain otherwise.
+int run_loop(service::ServeSession& session, const Options& opt) {
+  const double inf = std::numeric_limits<double>::infinity();
+  double next_checkpoint =
+      (opt.checkpoint_period > 0.0 && !opt.checkpoint_path.empty())
+          ? session.now() + opt.checkpoint_period
+          : inf;
+  double cursor = session.now();
+  for (;;) {
+    if (g_signal) {
+      shutdown(session, opt, "signal");
+      return 0;
+    }
+    double target = cursor + opt.slice;
+    if (opt.until > 0.0) target = std::min(target, opt.until);
+    target = std::min(target, next_checkpoint);
+    session.advance(target);
+    cursor = target;
+    if (cursor >= next_checkpoint) {
+      session.checkpoint(opt.checkpoint_path);
+      next_checkpoint += opt.checkpoint_period;
+    }
+    if (opt.until > 0.0 && cursor >= opt.until) {
+      shutdown(session, opt, "reached --until");
+      return 0;
+    }
+    if (opt.until <= 0.0 && session.pending_events() == 0 &&
+        session.pending_arrivals() == 0) {
+      shutdown(session, opt, "drained");
+      return 0;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_options(argc, argv);
+  } catch (const std::exception& e) {
+    if (std::string(e.what()) != "help") {
+      std::cerr << "error: " << e.what() << "\n\n";
+    }
+    std::cerr << "usage: pstar_serve [experiment flags as sweep_cli]\n"
+                 "                   [--trace FILE.jsonl] [--metrics FILE]\n"
+                 "                   [--metrics-period T]\n"
+                 "                   [--replay FILE.jsonl | --script FILE | "
+                 "--stdin]\n"
+                 "                   [--restore SNAP] [--checkpoint SNAP]\n"
+                 "                   [--checkpoint-period T] [--until T] "
+                 "[--slice T]\n";
+    return std::string(e.what()) == "help" ? 0 : 2;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    service::ServeConfig config;
+    config.spec = opt.spec;
+    config.trace_path = opt.trace_path;
+    config.metrics_path = opt.metrics_path;
+    config.metrics_period = opt.metrics_period;
+
+    std::unique_ptr<service::ServeSession> session;
+    if (!opt.restore_path.empty()) {
+      session =
+          std::make_unique<service::ServeSession>(config, opt.restore_path);
+      std::cerr << "pstar-serve: restored from " << opt.restore_path
+                << " at t=" << session->now() << "\n";
+    } else {
+      session = std::make_unique<service::ServeSession>(config);
+    }
+
+    if (!opt.replay_path.empty()) {
+      session->add_arrivals(
+          service::load_trace_arrivals_file(opt.replay_path));
+    }
+
+    if (!opt.script_path.empty()) {
+      std::ifstream script(opt.script_path);
+      if (!script) {
+        throw std::runtime_error("cannot open script " + opt.script_path);
+      }
+      return run_dsl(*session, opt, script);
+    }
+    if (opt.use_stdin) return run_dsl(*session, opt, std::cin);
+    return run_loop(*session, opt);
+  } catch (const std::exception& e) {
+    std::cerr << "pstar-serve: error: " << e.what() << "\n";
+    return 1;
+  }
+}

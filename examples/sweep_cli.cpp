@@ -108,6 +108,7 @@
 //     sweep_cli --rho 1.3 --overload=shed --trace events.jsonl
 
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -128,6 +129,13 @@
 namespace {
 
 using namespace pstar;
+
+/// SIGINT/SIGTERM land here; the sweep finishes the cells already
+/// running, skips the rest, and still flushes every output it produced
+/// (table, CSV, trace) before exiting 130 (docs/SERVICE.md).
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_signal(int sig) { g_signal = sig; }
 
 struct Options {
   topo::Shape shape{8, 8};
@@ -432,9 +440,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   harness::BatchConfig batch_config;
   batch_config.jobs = opt.jobs;
   batch_config.replications = opt.reps;
+  batch_config.cancelled = [] { return g_signal != 0; };
   if (opt.shards > 0) {
     // Sharded runs parallelize INSIDE each experiment; running cells
     // concurrently on top would oversubscribe the cores, so the batch
@@ -524,6 +536,10 @@ int main(int argc, char** argv) {
   }
 
   const auto batch = runner.run(cells);
+  if (batch.interrupted) {
+    std::cerr << "interrupted by signal " << static_cast<int>(g_signal)
+              << ": reporting the cells already completed\n";
+  }
   for (const auto& f : batch.failures) {
     std::cerr << "cell failure: point " << f.point << " rep " << f.replication
               << " (seed " << f.spec.seed << "): " << f.message << "\n";
@@ -723,6 +739,9 @@ int main(int argc, char** argv) {
     }
     obs::JsonlTraceSink sink(os);
     for (std::size_t point = 0; point < cells.size(); ++point) {
+      // A signal stops BETWEEN cells: the records already written flush
+      // below, so the partial trace is valid up to a whole-cell boundary.
+      if (g_signal != 0) break;
       harness::ExperimentSpec spec = cells[point];
       spec.seed = sim::seed_stream(cells[point].seed, point, 0);
       spec.collect_link_metrics = false;
@@ -776,8 +795,9 @@ int main(int argc, char** argv) {
                   << "\n";
       }
     }
+    sink.flush();
     std::cout << "trace: " << sink.records() << " records -> "
               << opt.trace_path << "\n";
   }
-  return 0;
+  return g_signal != 0 ? 130 : 0;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::adversary {
 
 std::vector<topo::NodeId> attacker_nodes(const AttackConfig& config,
@@ -101,7 +103,9 @@ void AttackerWorkload::schedule_next() {
     next = sim_.now() + rng_.exponential(rate_);
   }
   if (next > config_.stop_time) return;
-  sim_.at(next, [this](sim::Simulator& s) { arrive(s); });
+  sim_.at(next, sim::EventFn([this](sim::Simulator& s) { arrive(s); },
+                             sim::EventTag{sim::event_tags::kAttackArrive,
+                                           0, 0, 0}));
 }
 
 void AttackerWorkload::arrive(sim::Simulator&) {
@@ -128,6 +132,29 @@ void AttackerWorkload::arrive(sim::Simulator&) {
   }
   ++generated_;
   schedule_next();
+}
+
+void AttackerWorkload::save(sim::SnapshotWriter& w) const {
+  w.section("attacker");
+  w.rng(rng_);
+  w.f64(active_time_);
+  w.boolean(stopped_);
+  w.u64(generated_);
+}
+
+void AttackerWorkload::load(sim::SnapshotReader& r) {
+  r.section("attacker");
+  r.rng(rng_);
+  active_time_ = r.f64();
+  stopped_ = r.boolean();
+  generated_ = r.u64();
+}
+
+sim::EventFn AttackerWorkload::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind != sim::event_tags::kAttackArrive) {
+    throw std::runtime_error("AttackerWorkload::rebuild_event: unknown tag");
+  }
+  return sim::EventFn([this](sim::Simulator& s) { arrive(s); }, tag);
 }
 
 }  // namespace pstar::adversary

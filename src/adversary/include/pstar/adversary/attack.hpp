@@ -120,6 +120,13 @@ class AttackerWorkload {
   std::uint64_t generated() const { return generated_; }
   const AttackConfig& config() const { return config_; }
 
+  // --- Checkpoint/restore (docs/SERVICE.md): the private rng stream
+  // cursor, the pulse active-time cursor, and the generator counters.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+  /// Rebuilds the pending attacker arrival event from its tag.
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
+
  private:
   void arrive(sim::Simulator& sim);
   void schedule_next();

@@ -117,13 +117,24 @@ class Policer : public traffic::AdmissionGate, public overload::ReleaseFilter {
   double quarantine_until(topo::NodeId source) const;
   const traffic::SourceStats& source_stats() const { return stats_tracker_; }
 
+  // --- Checkpoint/restore (docs/SERVICE.md): classifications, open
+  // quarantine windows, per-source token buckets, the stats tracker
+  // slab, and the counters.  Gate wiring is re-established at
+  // construction and draws no randomness.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
  private:
   struct State {
     net::SourceClass cls = net::SourceClass::kValid;
+    /// Explicit padding, always zero: the slab is checkpointed raw.
+    std::uint8_t pad_[7] = {};
     double quarantine_until = 0.0;
     double tokens = 0.0;  ///< suspect rate-limit bucket
     double last_refill = 0.0;
   };
+  static_assert(sizeof(State) == 32,
+                "no hidden padding: State is checkpointed");
 
   /// Runs the classifier for `source` at `now`; returns its (possibly
   /// new) class.  Emits observer records on transitions.

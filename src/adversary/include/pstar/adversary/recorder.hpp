@@ -19,6 +19,11 @@
 #include "pstar/net/observer.hpp"
 #include "pstar/stats/histogram.hpp"
 
+namespace pstar::sim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace pstar::sim
+
 namespace pstar::adversary {
 
 /// Observer wrapper splitting delivery/delay accounting by attacker
@@ -78,14 +83,25 @@ class ClassRecorder : public net::Observer {
   void on_deny(topo::NodeId source, net::TaskKind kind,
                net::DenyReason reason, double now) override;
 
+  // --- Checkpoint/restore (docs/SERVICE.md): the per-task tag slab, the
+  // honest-delay histogram, and all counters.  The attacker bitmap is a
+  // construction input (the deterministic attacker node set) and is not
+  // serialized.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
  private:
   struct TaskTag {
     bool honest = false;
     bool measured = false;
     bool dropped = false;  ///< a copy of this task was dropped and no
                            ///< retry has re-enqueued one since
+    /// Explicit padding, always zero: the slab is checkpointed raw.
+    std::uint8_t pad_[5] = {};
     double created = 0.0;
   };
+  static_assert(sizeof(TaskTag) == 16,
+                "no hidden padding: TaskTag is checkpointed");
 
   net::Observer* inner_;
   std::vector<std::uint8_t> is_attacker_;  ///< bitmap keyed by node id

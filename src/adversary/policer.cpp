@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::adversary {
 
 Policer::Policer(net::Engine& engine, traffic::Workload& honest,
@@ -187,6 +189,20 @@ bool Policer::may_release(const traffic::Arrival& arrival, double now) {
     return false;
   }
   return true;
+}
+
+void Policer::save(sim::SnapshotWriter& w) const {
+  w.section("policer");
+  w.pod_vec(state_);
+  stats_tracker_.save(w);
+  w.pod(stats_);
+}
+
+void Policer::load(sim::SnapshotReader& r) {
+  r.section("policer");
+  r.pod_vec(state_);
+  stats_tracker_.load(r);
+  r.pod(stats_);
 }
 
 }  // namespace pstar::adversary

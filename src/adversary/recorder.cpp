@@ -1,5 +1,7 @@
 #include "pstar/adversary/recorder.hpp"
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::adversary {
 
 ClassRecorder::ClassRecorder(net::Observer* inner, std::int64_t node_count,
@@ -156,6 +158,36 @@ void ClassRecorder::on_probation(topo::NodeId source, double now) {
 void ClassRecorder::on_deny(topo::NodeId source, net::TaskKind kind,
                             net::DenyReason reason, double now) {
   if (inner_) inner_->on_deny(source, kind, reason, now);
+}
+
+void ClassRecorder::save(sim::SnapshotWriter& w) const {
+  w.section("class_recorder");
+  w.pod_vec(tags_);
+  w.f64(honest_delay_.bucket_width());
+  w.pod_vec(honest_delay_.raw_counts());
+  w.u64(honest_delay_.total());
+  w.u64(honest_tasks_);
+  w.u64(attacker_tasks_);
+  w.u64(honest_delivered_);
+  w.u64(honest_expected_);
+  w.u64(attacker_delivered_);
+  w.u64(attacker_expected_);
+}
+
+void ClassRecorder::load(sim::SnapshotReader& r) {
+  r.section("class_recorder");
+  r.pod_vec(tags_);
+  const double width = r.f64();
+  std::vector<std::uint64_t> counts;
+  r.pod_vec(counts);
+  const std::uint64_t total = r.u64();
+  honest_delay_ = stats::Histogram(width, std::move(counts), total);
+  honest_tasks_ = r.u64();
+  attacker_tasks_ = r.u64();
+  honest_delivered_ = r.u64();
+  honest_expected_ = r.u64();
+  attacker_delivered_ = r.u64();
+  attacker_expected_ = r.u64();
 }
 
 }  // namespace pstar::adversary

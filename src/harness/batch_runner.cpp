@@ -105,6 +105,11 @@ BatchResult BatchRunner::run(const std::vector<ExperimentSpec>& specs) const {
   std::size_t done = 0;
   auto worker = [&] {
     while (auto job = queue.pop()) {
+      if (config_.cancelled && config_.cancelled()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        batch.interrupted = true;
+        break;
+      }
       ExperimentSpec spec = specs[job->point];
       spec.seed =
           sim::seed_stream(specs[job->point].seed, job->point, job->replication);

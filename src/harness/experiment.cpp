@@ -8,6 +8,7 @@
 #include "pstar/core/parallel_engine.hpp"
 #include "pstar/core/policy_factory.hpp"
 #include "pstar/harness/perf.hpp"
+#include "pstar/harness/setup.hpp"
 #include "pstar/obs/probe.hpp"
 #include "pstar/overload/controller.hpp"
 #include "pstar/recovery/manager.hpp"
@@ -20,92 +21,10 @@ namespace pstar::harness {
 
 namespace {
 
-void validate_windows(const ExperimentSpec& spec) {
-  if (spec.warmup < 0.0 || spec.measure <= 0.0) {
-    throw std::invalid_argument("run_experiment: bad time windows");
-  }
-}
-
-/// Converts the target throughput factor into per-node packet rates.  A
-/// task of mean length E[L] occupies links E[L] times longer, so rates
-/// shrink by that factor to keep the load at rho.  Multicast load is
-/// carved out of the unicast share separately once the expected
-/// pruned-tree size is known (see estimate_lambda_m).
-queueing::Rates derive_rates(const topo::Torus& torus,
-                             const ExperimentSpec& spec, double mean_len) {
-  if (spec.broadcast_fraction + spec.multicast_fraction > 1.0 + 1e-12) {
-    throw std::invalid_argument("run_experiment: traffic fractions exceed 1");
-  }
-  const double unicast_fraction = std::max(
-      0.0, 1.0 - spec.broadcast_fraction - spec.multicast_fraction);
-  const double bu = spec.broadcast_fraction + unicast_fraction;
-  queueing::Rates rates = queueing::rates_for_rho(
-      torus, spec.rho * bu,
-      bu > 0.0 ? std::min(1.0, spec.broadcast_fraction / bu) : 0.0);
-  rates.lambda_b /= mean_len;
-  rates.lambda_r /= mean_len;
-  return rates;
-}
-
-/// Multicast rate: lambda_m * E[T(group)] * N / L == multicast share of
-/// rho, with E[T] estimated from the policy's own pruned trees.  Draws
-/// only from a dedicated estimation rng, never from the run rng.
-double estimate_lambda_m(const ExperimentSpec& spec,
-                         routing::CombinedPolicy& policy,
-                         const topo::Torus& torus, double mean_len) {
-  if (spec.multicast_fraction <= 0.0) return 0.0;
-  sim::Rng estimate_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
-  const double expected_tx = policy.multicast()->expected_transmissions(
-      spec.multicast_group, 400, estimate_rng);
-  if (expected_tx <= 0.0) return 0.0;
-  return spec.multicast_fraction * spec.rho * torus.average_degree() /
-         expected_tx / mean_len;
-}
-
-net::EngineConfig build_engine_config(const ExperimentSpec& spec) {
-  net::EngineConfig engine_cfg;
-  engine_cfg.scheduler = spec.scheduler;
-  engine_cfg.max_inflight_copies = spec.max_inflight;
-  engine_cfg.record_histograms = spec.record_histograms;
-  engine_cfg.queue_capacity = spec.queue_capacity;
-  engine_cfg.drop_policy = spec.drop_policy;
-  if (spec.fault_mtbf > 0.0 || !spec.fail_links.empty()) {
-    // The fault seed is seed-stream-derived from the cell seed (the same
-    // rule BatchRunner uses for cell seeds), so faulted sweeps are
-    // bit-identical across thread counts, and new random failures stop
-    // at generation stop time so the drain phase terminates.  In a
-    // sharded run every shard derives the SAME schedule from this seed
-    // and keeps only the entries touching its owned links, so the global
-    // fault pattern is independent of the shard count.
-    engine_cfg.faults.mtbf = spec.fault_mtbf;
-    engine_cfg.faults.mttr = spec.fault_mttr;
-    engine_cfg.faults.horizon = spec.warmup + spec.measure;
-    engine_cfg.faults.seed =
-        sim::seed_stream(spec.seed, fault::kFaultSeedStream, 0);
-    engine_cfg.faults.scripted.reserve(spec.fail_links.size());
-    for (topo::LinkId link : spec.fail_links) {
-      engine_cfg.faults.scripted.push_back(fault::ScriptedFault{
-          link, 0.0, std::numeric_limits<double>::infinity()});
-    }
-  }
-  return engine_cfg;
-}
-
-traffic::WorkloadConfig build_traffic_config(const ExperimentSpec& spec,
-                                             const queueing::Rates& rates,
-                                             double lambda_m) {
-  traffic::WorkloadConfig traffic_cfg;
-  traffic_cfg.lambda_broadcast = rates.lambda_b;
-  traffic_cfg.lambda_unicast = rates.lambda_r;
-  traffic_cfg.lambda_multicast = lambda_m;
-  traffic_cfg.multicast_group = spec.multicast_group;
-  traffic_cfg.length = spec.length;
-  traffic_cfg.stop_time = spec.warmup + spec.measure;
-  traffic_cfg.hotspot_fraction = spec.hotspot_fraction;
-  traffic_cfg.hotspot_node = spec.hotspot_node;
-  traffic_cfg.batch_size = spec.batch_size;
-  return traffic_cfg;
-}
+// validate_windows / derive_rates / estimate_lambda_m /
+// build_engine_config / build_traffic_config moved to
+// pstar/harness/setup.hpp so the streaming service builds its stack
+// through the same code path (docs/SERVICE.md).
 
 /// Shared Metrics -> ExperimentResult extraction: a pure function of the
 /// (possibly shard-merged) metrics and run bookkeeping.  Recovery /

@@ -37,6 +37,11 @@ struct BatchConfig {
   /// worker threads under the runner's internal mutex -- keep it cheap
   /// and do not call back into the runner.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Optional cancellation poll (e.g. a signal flag), checked before each
+  /// cell starts.  Cells already running finish normally; unstarted cells
+  /// are skipped and BatchResult::interrupted is set.  Must be callable
+  /// from worker threads.
+  std::function<bool()> cancelled;
 };
 
 /// One cell whose run_experiment call threw.  `spec.seed` holds the
@@ -60,6 +65,9 @@ struct BatchResult {
   std::uint64_t events_processed = 0;
   double events_per_sec = 0.0;
   std::size_t jobs = 1;  ///< worker threads actually used
+  /// True when BatchConfig::cancelled fired and cells were skipped; the
+  /// aggregates cover only the cells that ran to completion.
+  bool interrupted = false;
 };
 
 /// Fixed-thread-pool sweep executor.  Stateless between run() calls and

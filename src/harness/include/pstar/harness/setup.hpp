@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file setup.hpp
+/// Shared run-setup helpers: the pure functions that turn an
+/// ExperimentSpec into the configs the subsystem stack is built from.
+///
+/// Extracted from experiment.cpp so the streaming service
+/// (pstar::service::ServeSession, docs/SERVICE.md) constructs its engine
+/// stack through EXACTLY the same code path as the batch harness --
+/// byte-identical configs in, bit-identical runs out.  Every function is
+/// deterministic: same spec, same outputs.
+
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/queueing/throughput.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/topology/torus.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::harness {
+
+/// Rejects non-positive measurement windows (throws std::invalid_argument).
+void validate_windows(const ExperimentSpec& spec);
+
+/// Converts the target throughput factor into per-node packet rates.  A
+/// task of mean length E[L] occupies links E[L] times longer, so rates
+/// shrink by that factor to keep the load at rho.  Multicast load is
+/// carved out of the unicast share separately once the expected
+/// pruned-tree size is known (see estimate_lambda_m).
+queueing::Rates derive_rates(const topo::Torus& torus,
+                             const ExperimentSpec& spec, double mean_len);
+
+/// Multicast rate: lambda_m * E[T(group)] * N / L == multicast share of
+/// rho, with E[T] estimated from the policy's own pruned trees.  Draws
+/// only from a dedicated estimation rng, never from the run rng.
+double estimate_lambda_m(const ExperimentSpec& spec,
+                         routing::CombinedPolicy& policy,
+                         const topo::Torus& torus, double mean_len);
+
+/// Engine config from the spec, including the materialized fault
+/// schedule parameters (seed-stream-derived, docs/FAULTS.md).
+net::EngineConfig build_engine_config(const ExperimentSpec& spec);
+
+/// Workload config from the spec and the derived rates.
+traffic::WorkloadConfig build_traffic_config(const ExperimentSpec& spec,
+                                             const queueing::Rates& rates,
+                                             double lambda_m);
+
+}  // namespace pstar::harness

@@ -1,0 +1,91 @@
+#include "pstar/harness/setup.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "pstar/fault/schedule.hpp"
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::harness {
+
+void validate_windows(const ExperimentSpec& spec) {
+  if (spec.warmup < 0.0 || spec.measure <= 0.0) {
+    throw std::invalid_argument("run_experiment: bad time windows");
+  }
+}
+
+queueing::Rates derive_rates(const topo::Torus& torus,
+                             const ExperimentSpec& spec, double mean_len) {
+  if (spec.broadcast_fraction + spec.multicast_fraction > 1.0 + 1e-12) {
+    throw std::invalid_argument("run_experiment: traffic fractions exceed 1");
+  }
+  const double unicast_fraction = std::max(
+      0.0, 1.0 - spec.broadcast_fraction - spec.multicast_fraction);
+  const double bu = spec.broadcast_fraction + unicast_fraction;
+  queueing::Rates rates = queueing::rates_for_rho(
+      torus, spec.rho * bu,
+      bu > 0.0 ? std::min(1.0, spec.broadcast_fraction / bu) : 0.0);
+  rates.lambda_b /= mean_len;
+  rates.lambda_r /= mean_len;
+  return rates;
+}
+
+double estimate_lambda_m(const ExperimentSpec& spec,
+                         routing::CombinedPolicy& policy,
+                         const topo::Torus& torus, double mean_len) {
+  if (spec.multicast_fraction <= 0.0) return 0.0;
+  sim::Rng estimate_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  const double expected_tx = policy.multicast()->expected_transmissions(
+      spec.multicast_group, 400, estimate_rng);
+  if (expected_tx <= 0.0) return 0.0;
+  return spec.multicast_fraction * spec.rho * torus.average_degree() /
+         expected_tx / mean_len;
+}
+
+net::EngineConfig build_engine_config(const ExperimentSpec& spec) {
+  net::EngineConfig engine_cfg;
+  engine_cfg.scheduler = spec.scheduler;
+  engine_cfg.max_inflight_copies = spec.max_inflight;
+  engine_cfg.record_histograms = spec.record_histograms;
+  engine_cfg.queue_capacity = spec.queue_capacity;
+  engine_cfg.drop_policy = spec.drop_policy;
+  if (spec.fault_mtbf > 0.0 || !spec.fail_links.empty()) {
+    // The fault seed is seed-stream-derived from the cell seed (the same
+    // rule BatchRunner uses for cell seeds), so faulted sweeps are
+    // bit-identical across thread counts, and new random failures stop
+    // at generation stop time so the drain phase terminates.  In a
+    // sharded run every shard derives the SAME schedule from this seed
+    // and keeps only the entries touching its owned links, so the global
+    // fault pattern is independent of the shard count.
+    engine_cfg.faults.mtbf = spec.fault_mtbf;
+    engine_cfg.faults.mttr = spec.fault_mttr;
+    engine_cfg.faults.horizon = spec.warmup + spec.measure;
+    engine_cfg.faults.seed =
+        sim::seed_stream(spec.seed, fault::kFaultSeedStream, 0);
+    engine_cfg.faults.scripted.reserve(spec.fail_links.size());
+    for (topo::LinkId link : spec.fail_links) {
+      engine_cfg.faults.scripted.push_back(fault::ScriptedFault{
+          link, 0.0, std::numeric_limits<double>::infinity()});
+    }
+  }
+  return engine_cfg;
+}
+
+traffic::WorkloadConfig build_traffic_config(const ExperimentSpec& spec,
+                                             const queueing::Rates& rates,
+                                             double lambda_m) {
+  traffic::WorkloadConfig traffic_cfg;
+  traffic_cfg.lambda_broadcast = rates.lambda_b;
+  traffic_cfg.lambda_unicast = rates.lambda_r;
+  traffic_cfg.lambda_multicast = lambda_m;
+  traffic_cfg.multicast_group = spec.multicast_group;
+  traffic_cfg.length = spec.length;
+  traffic_cfg.stop_time = spec.warmup + spec.measure;
+  traffic_cfg.hotspot_fraction = spec.hotspot_fraction;
+  traffic_cfg.hotspot_node = spec.hotspot_node;
+  traffic_cfg.batch_size = spec.batch_size;
+  return traffic_cfg;
+}
+
+}  // namespace pstar::harness

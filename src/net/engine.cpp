@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::net {
 
 static_assert(kPriorityClasses <= 8,
@@ -122,20 +124,29 @@ Engine::Engine(sim::Simulator& sim, const topo::Torus& torus,
     // entries fire immediately in schedule order.  A sharded engine
     // builds the FULL schedule -- identical draws on every shard -- and
     // applies only the entries touching owned links, so the global fault
-    // pattern is independent of the shard count.
-    for (const fault::FaultEvent& ev :
-         fault::build_schedule(config_.faults, torus_.link_count())) {
-      if (ev.link < link_base_ || ev.link >= link_end) continue;
-      const double delay = std::max(0.0, ev.time - sim_.now());
-      if (ev.down) {
-        sim_.after(delay,
-                   [this, link = ev.link](sim::Simulator&) { fail_link(link); });
-      } else {
-        ++link_pending_repairs_[slot(ev.link)];
-        sim_.after(delay, [this, link = ev.link](sim::Simulator&) {
-          --link_pending_repairs_[slot(link)];
-          restore_link(link);
-        });
+    // pattern is independent of the shard count.  A restoring engine
+    // schedules nothing: still-pending fault events come back through
+    // the scheduler restore with their original sequence numbers.
+    if (!config_.restoring) {
+      for (const fault::FaultEvent& ev :
+           fault::build_schedule(config_.faults, torus_.link_count())) {
+        if (ev.link < link_base_ || ev.link >= link_end) continue;
+        const double delay = std::max(0.0, ev.time - sim_.now());
+        if (ev.down) {
+          sim_.after(delay, sim::EventFn(
+              [this, link = ev.link](sim::Simulator&) { fail_link(link); },
+              sim::EventTag{sim::event_tags::kFailLink, 0,
+                            static_cast<std::uint64_t>(ev.link), 0}));
+        } else {
+          ++link_pending_repairs_[slot(ev.link)];
+          sim_.after(delay, sim::EventFn(
+              [this, link = ev.link](sim::Simulator&) {
+                --link_pending_repairs_[slot(link)];
+                restore_link(link);
+              },
+              sim::EventTag{sim::event_tags::kRepairLink, 0,
+                            static_cast<std::uint64_t>(ev.link), 0}));
+        }
       }
     }
   }
@@ -321,7 +332,9 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
             }
             drop_copy(victim, link, /*was_queued=*/true);
             const auto cls = static_cast<std::size_t>(copy.prio);
-            queues_.push_back(lane(link, cls), Queued{copy, sim_.now()});
+            queues_.push_back(
+                lane(link, cls),
+                Queued{.copy = copy, .enqueued_at = sim_.now()});
             link_hot_[li].queued_mask |= static_cast<std::uint8_t>(1u << cls);
             note_copy_admitted();
             if (observer_) observer_->on_enqueue(copy.task, copy, link, sim_.now());
@@ -341,7 +354,8 @@ void Engine::send(topo::NodeId from, std::int32_t dim, topo::Dir dir,
     begin_service(link, copy, sim_.now());
   } else {
     const auto cls = static_cast<std::size_t>(copy.prio);
-    queues_.push_back(lane(link, cls), Queued{copy, sim_.now()});
+    queues_.push_back(lane(link, cls),
+                      Queued{.copy = copy, .enqueued_at = sim_.now()});
     link_hot_[li].queued_mask |= static_cast<std::uint8_t>(1u << cls);
   }
 }
@@ -453,9 +467,13 @@ void Engine::begin_service(topo::LinkId link, const Copy& copy,
     }
   }
   sim_.after(service_time,
-             [this, link, epoch = link_hot_[li].epoch](sim::Simulator&) {
-               complete_service(link, epoch);
-             });
+             sim::EventFn(
+                 [this, link, epoch = link_hot_[li].epoch](sim::Simulator&) {
+                   complete_service(link, epoch);
+                 },
+                 sim::EventTag{sim::event_tags::kServiceCompletion, 0,
+                               static_cast<std::uint64_t>(link),
+                               link_hot_[li].epoch}));
 }
 
 void Engine::complete_service(topo::LinkId link, std::uint64_t epoch) {
@@ -938,6 +956,204 @@ void Engine::record_window_downtime(topo::LinkId link, double start,
     metrics_.link_down_time[slot(link)] += hi - lo;
   }
   metrics_.last_event = std::max(metrics_.last_event, end);
+}
+
+namespace {
+
+void save_histogram(sim::SnapshotWriter& w,
+                    const std::unique_ptr<stats::Histogram>& h) {
+  w.boolean(h != nullptr);
+  if (h == nullptr) return;
+  w.f64(h->bucket_width());
+  w.pod_vec(h->raw_counts());
+  w.u64(h->total());
+}
+
+void load_histogram(sim::SnapshotReader& r,
+                    std::unique_ptr<stats::Histogram>& h) {
+  if (!r.boolean()) {
+    h.reset();
+    return;
+  }
+  const double width = r.f64();
+  std::vector<std::uint64_t> counts;
+  r.pod_vec(counts);
+  const std::uint64_t total = r.u64();
+  h = std::make_unique<stats::Histogram>(width, std::move(counts), total);
+}
+
+void save_metrics(sim::SnapshotWriter& w, const Metrics& m) {
+  w.pod(m.reception_delay);
+  w.pod(m.broadcast_delay);
+  w.pod(m.unicast_delay);
+  w.pod(m.unicast_hops);
+  w.pod(m.multicast_reception_delay);
+  w.pod(m.multicast_delay);
+  for (const auto& s : m.wait_by_class) w.pod(s);
+  w.pod(m.inflight_broadcast_tasks);
+  w.pod(m.inflight_unicast_tasks);
+  w.pod(m.inflight_multicast_tasks);
+  w.pod(m.inflight_copies);
+  for (std::uint64_t v : m.tasks_generated) w.u64(v);
+  for (std::uint64_t v : m.tasks_completed) w.u64(v);
+  w.u64(m.transmissions);
+  for (std::uint64_t v : m.transmissions_by_vc) w.u64(v);
+  for (std::uint64_t v : m.transmissions_by_class) w.u64(v);
+  w.u64(m.broadcast_receptions);
+  w.u64(m.multicast_receptions);
+  w.u64(m.multicast_expected_total);
+  for (std::uint64_t v : m.drops_by_class) w.u64(v);
+  w.u64(m.lost_receptions);
+  w.u64(m.lost_multicast_receptions);
+  w.u64(m.failed_broadcasts);
+  w.u64(m.failed_unicasts);
+  w.u64(m.failed_multicasts);
+  w.f64_vec(m.link_busy_time);
+  w.pod_vec(m.link_transmissions);
+  w.f64_vec(m.link_down_time);
+  w.u64(m.link_failures);
+  w.u64(m.link_repairs);
+  w.u64(m.fault_drops);
+  w.u64(m.retransmissions);
+  for (std::uint64_t v : m.shed_copies_by_class) w.u64(v);
+  w.u64(m.shed_receptions);
+  save_histogram(w, m.reception_delay_hist);
+  save_histogram(w, m.broadcast_delay_hist);
+  save_histogram(w, m.unicast_delay_hist);
+  w.f64(m.measure_start);
+  w.f64(m.measure_end);
+  w.f64(m.last_event);
+  w.boolean(m.unstable);
+  w.u64(m.inflight_copies_at_end);
+}
+
+void load_metrics(sim::SnapshotReader& r, Metrics& m) {
+  r.pod(m.reception_delay);
+  r.pod(m.broadcast_delay);
+  r.pod(m.unicast_delay);
+  r.pod(m.unicast_hops);
+  r.pod(m.multicast_reception_delay);
+  r.pod(m.multicast_delay);
+  for (auto& s : m.wait_by_class) r.pod(s);
+  r.pod(m.inflight_broadcast_tasks);
+  r.pod(m.inflight_unicast_tasks);
+  r.pod(m.inflight_multicast_tasks);
+  r.pod(m.inflight_copies);
+  for (std::uint64_t& v : m.tasks_generated) v = r.u64();
+  for (std::uint64_t& v : m.tasks_completed) v = r.u64();
+  m.transmissions = r.u64();
+  for (std::uint64_t& v : m.transmissions_by_vc) v = r.u64();
+  for (std::uint64_t& v : m.transmissions_by_class) v = r.u64();
+  m.broadcast_receptions = r.u64();
+  m.multicast_receptions = r.u64();
+  m.multicast_expected_total = r.u64();
+  for (std::uint64_t& v : m.drops_by_class) v = r.u64();
+  m.lost_receptions = r.u64();
+  m.lost_multicast_receptions = r.u64();
+  m.failed_broadcasts = r.u64();
+  m.failed_unicasts = r.u64();
+  m.failed_multicasts = r.u64();
+  r.f64_vec(m.link_busy_time);
+  r.pod_vec(m.link_transmissions);
+  r.f64_vec(m.link_down_time);
+  m.link_failures = r.u64();
+  m.link_repairs = r.u64();
+  m.fault_drops = r.u64();
+  m.retransmissions = r.u64();
+  for (std::uint64_t& v : m.shed_copies_by_class) v = r.u64();
+  m.shed_receptions = r.u64();
+  load_histogram(r, m.reception_delay_hist);
+  load_histogram(r, m.broadcast_delay_hist);
+  load_histogram(r, m.unicast_delay_hist);
+  m.measure_start = r.f64();
+  m.measure_end = r.f64();
+  m.last_event = r.f64();
+  m.unstable = r.boolean();
+  m.inflight_copies_at_end = r.u64();
+}
+
+}  // namespace
+
+void Engine::save(sim::SnapshotWriter& w) const {
+  w.section("engine");
+  w.pod_vec(tasks_);
+  w.pod_vec(free_tasks_);
+  w.pod_vec(link_hot_);
+  w.pod_vec(link_down_count_);
+  w.pod_vec(link_pending_repairs_);
+  w.f64_vec(link_down_since_);
+  w.u64(queues_.lane_count());
+  for (std::size_t ln = 0; ln < queues_.lane_count(); ++ln) {
+    const std::size_t n = queues_.size(ln);
+    w.u64(n);
+    for (std::size_t i = 0; i < n; ++i) w.pod(queues_.at(ln, i));
+  }
+  save_metrics(w, metrics_);
+  w.boolean(measuring_);
+  w.boolean(fault_aware_);
+  w.u64(inflight_copies_);
+  for (std::uint64_t v : inflight_tasks_) w.u64(v);
+}
+
+void Engine::load(sim::SnapshotReader& r) {
+  r.section("engine");
+  r.pod_vec(tasks_);
+  r.pod_vec(free_tasks_);
+  r.pod_vec(link_hot_);
+  r.pod_vec(link_down_count_);
+  r.pod_vec(link_pending_repairs_);
+  r.f64_vec(link_down_since_);
+  const std::uint64_t lanes = r.u64();
+  if (lanes != queues_.lane_count()) {
+    throw std::runtime_error("Engine::load: lane count mismatch");
+  }
+  queues_.reset(static_cast<std::size_t>(lanes));
+  for (std::size_t ln = 0; ln < queues_.lane_count(); ++ln) {
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Queued q;
+      r.pod(q);
+      queues_.push_back(ln, q);
+    }
+  }
+  load_metrics(r, metrics_);
+  measuring_ = r.boolean();
+  fault_aware_ = r.boolean();
+  inflight_copies_ = r.u64();
+  for (std::uint64_t& v : inflight_tasks_) v = r.u64();
+}
+
+sim::EventFn Engine::rebuild_event(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case sim::event_tags::kServiceCompletion: {
+      const auto link = static_cast<topo::LinkId>(tag.b);
+      const std::uint64_t epoch = tag.c;
+      return sim::EventFn(
+          [this, link, epoch](sim::Simulator&) {
+            complete_service(link, epoch);
+          },
+          tag);
+    }
+    case sim::event_tags::kFailLink: {
+      const auto link = static_cast<topo::LinkId>(tag.b);
+      return sim::EventFn(
+          [this, link](sim::Simulator&) { fail_link(link); }, tag);
+    }
+    case sim::event_tags::kRepairLink: {
+      // The pending-repair count was bumped at the original schedule
+      // time and returns through the saved slab; only the decrement at
+      // fire time is rebuilt here.
+      const auto link = static_cast<topo::LinkId>(tag.b);
+      return sim::EventFn(
+          [this, link](sim::Simulator&) {
+            --link_pending_repairs_[slot(link)];
+            restore_link(link);
+          },
+          tag);
+    }
+    default:
+      throw std::runtime_error("Engine::rebuild_event: unknown tag kind");
+  }
 }
 
 }  // namespace pstar::net

@@ -33,6 +33,11 @@
 #include "pstar/stats/time_weighted.hpp"
 #include "pstar/topology/torus.hpp"
 
+namespace pstar::sim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace pstar::sim
+
 namespace pstar::net {
 
 /// What happens when a copy arrives at a full finite queue.
@@ -89,6 +94,14 @@ struct EngineConfig {
   /// -- the serial default, with zero behaviour change.
   topo::NodeId node_lo = 0;
   topo::NodeId node_hi = 0;
+
+  /// True when this engine is being rebuilt from a checkpoint
+  /// (docs/SERVICE.md): the constructor skips materializing fault-
+  /// schedule events, because every still-pending fault event returns
+  /// through the scheduler restore with its original sequence number
+  /// (scheduling them again would duplicate the outages).  All other
+  /// construction is unchanged; Engine::load then overwrites the state.
+  bool restoring = false;
 };
 
 /// Aggregated measurements of one run.  Delay statistics cover tasks
@@ -391,11 +404,31 @@ class Engine {
     if (!metrics_.unstable) abort_unstable();
   }
 
+  // --- Checkpoint/restore (docs/SERVICE.md).
+
+  /// Serializes the complete engine state: task table, per-link service
+  /// and fault records, queued copies, and all metrics.  Pending events
+  /// are captured separately through Simulator::dump_events.
+  void save(sim::SnapshotWriter& w) const;
+
+  /// Restores state written by save() into a freshly constructed engine
+  /// built from the same config with EngineConfig::restoring set.
+  void load(sim::SnapshotReader& r);
+
+  /// Rebuilds one of this engine's pending events from its checkpoint
+  /// tag (service completion, link failure, link repair); the returned
+  /// closure carries the same tag so the restored run can itself be
+  /// checkpointed.  Throws on a tag kind the engine does not own.
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
+
  private:
   struct Queued {
     Copy copy;
-    double enqueued_at;
+    std::uint32_t pad_ = 0;  ///< explicit padding (checkpointed raw)
+    double enqueued_at = 0.0;
   };
+  static_assert(sizeof(Queued) == 32,
+                "no hidden padding: Queued is checkpointed");
 
   /// Dense index of an owned link in the per-link slabs (identity in a
   /// serial run; see EngineConfig::node_lo).
@@ -450,13 +483,19 @@ class Engine {
     /// Bit c set iff the (link, class c) lane is nonempty: the strict-
     /// priority pull is a count-trailing-zeros instead of a queue scan.
     std::uint8_t queued_mask = 0;
+    /// Explicit padding, always zero: the slab is checkpointed raw.
+    std::uint8_t pad_[2] = {};
     double service_start = 0.0;
     double serving_enqueued_at = 0.0;
     /// Bumped when a failure aborts the in-service copy; the pending
     /// completion event carries the epoch it was scheduled under and is
     /// ignored when stale.
     std::uint64_t epoch = 0;
+    /// Explicit fill of the alignas(64) tail, always zero.
+    std::uint8_t tail_pad_[16] = {};
   };
+  static_assert(sizeof(LinkHot) == 64,
+                "no hidden padding: LinkHot is checkpointed");
 
   // Per-link state as flat slabs indexed by dense LinkId: the hot
   // records above, cold fault bookkeeping (touched only on

@@ -73,19 +73,27 @@ enum class RetxMode : std::uint8_t {
 inline constexpr std::size_t kRetxModes = 3;
 
 /// One in-flight replica of a packet.
+///
+/// Copies are checkpointed as raw bytes (docs/SERVICE.md), so every byte
+/// of the object representation must be deterministic: the one alignment
+/// hole is an explicit zeroed member, and the constructor zero-fills the
+/// LARGEST union member so the bytes past the active routing state are
+/// fixed too (assigning bcast/mcast later touches only its own bytes).
 struct Copy {
   TaskId task = 0;
   Priority prio = Priority::kHigh;
   std::uint8_t vc = 0;     ///< virtual channel (0 or 1); bookkeeping only
   std::uint8_t flags = 0;  ///< kRetxCopy; propagated to every forwarded copy
+  std::uint8_t pad_ = 0;   ///< explicit padding, always zero
   union {
     BroadcastState bcast;
     UnicastState uni;
     MulticastState mcast;
   };
 
-  Copy() : bcast{} {}
+  Copy() : uni{} {}
 };
+static_assert(sizeof(Copy) == 20, "no hidden padding: Copy is checkpointed");
 
 /// Metadata of one communication task.
 struct Task {
@@ -102,6 +110,8 @@ struct Task {
   bool proxy = false;
   topo::NodeId source = 0;
   topo::NodeId dest = 0;      ///< unicast only
+  /// Explicit padding, always zero: tasks are checkpointed as raw bytes.
+  std::uint32_t pad_ = 0;
   double created = 0.0;
   /// Time of the task's latest counted broadcast/multicast reception;
   /// lets the parallel owner shard compute the exact completion delay
@@ -115,5 +125,6 @@ struct Task {
   /// receptions + lost == expected.
   std::uint32_t lost = 0;
 };
+static_assert(sizeof(Task) == 48, "no hidden padding: Task is checkpointed");
 
 }  // namespace pstar::net

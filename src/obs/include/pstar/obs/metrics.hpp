@@ -33,6 +33,11 @@
 #include "pstar/stats/time_weighted.hpp"
 #include "pstar/topology/torus.hpp"
 
+namespace pstar::sim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace pstar::sim
+
 namespace pstar::obs {
 
 /// Registry tuning knobs.
@@ -205,6 +210,13 @@ class MetricsRegistry {
 
   double window_start() const { return window_start_; }
   double window_end() const { return window_end_; }
+
+  // --- Checkpoint/restore (docs/SERVICE.md): every accumulator, gauge,
+  // histogram, and window cursor.  The link table and config are
+  // construction inputs and are not serialized; load() requires a
+  // registry constructed against the same torus and config.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
 
  private:
   LinkClassCell& cell(topo::LinkId link, net::Priority prio) {

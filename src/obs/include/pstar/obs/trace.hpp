@@ -76,7 +76,7 @@
 /// engine makes no observer calls at all.
 
 #include <cstdint>
-#include <iosfwd>
+#include <ostream>
 #include <string_view>
 #include <vector>
 
@@ -123,12 +123,21 @@ class JsonLine {
 /// (classify/quarantine/probation/deny).
 inline constexpr int kTraceSchemaVersion = 6;
 
-/// Writes engine events as JSON Lines.  The caller owns the stream; the
-/// sink never flushes it.  Single-threaded by design -- give each
-/// concurrent run its own sink and stream.
+/// Writes engine events as JSON Lines.  The caller owns the stream (it
+/// must outlive the sink).  The sink flushes the stream on destruction
+/// and on demand via flush(), so a run torn down cleanly -- including by
+/// a signal-triggered shutdown path -- never leaves a torn last line in
+/// the OS buffer; durability to disk (fsync) is the stream owner's job
+/// (pstar-serve fsyncs at every checkpoint, docs/SERVICE.md).
+/// Single-threaded by design -- give each concurrent run its own sink
+/// and stream.
 class JsonlTraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
+  ~JsonlTraceSink() { os_.flush(); }
+
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
 
   /// Starts the run-header record (`"ev":"run","schema":3`) and returns
   /// the open line so the caller can append run metadata (shape, scheme,
@@ -166,6 +175,14 @@ class JsonlTraceSink {
 
   /// Records written so far (including the run header).
   std::uint64_t records() const { return records_; }
+
+  /// Reinstates the record count from a checkpoint (docs/SERVICE.md);
+  /// the restored process resumes appending to the truncated trace file.
+  void set_records(std::uint64_t records) { records_ = records; }
+
+  /// Pushes buffered lines to the stream (complete lines only -- records
+  /// are written whole, so a flush never exposes a torn line).
+  void flush() { os_.flush(); }
 
  private:
   std::ostream& os_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+
+#include "pstar/sim/snapshot.hpp"
 
 namespace pstar::obs {
 
@@ -413,6 +416,82 @@ LinkMetricsSnapshot MetricsRegistry::snapshot() const {
     if (snap.window_end > lo) snap.sat_time += snap.window_end - lo;
   }
   return snap;
+}
+
+void MetricsRegistry::save(sim::SnapshotWriter& w) const {
+  w.section("metrics_registry");
+  w.pod_vec(cells_);
+  w.pod_vec(backlog_);
+  w.pod_vec(backlog_gauge_);
+  w.f64_vec(down_time_);
+  w.f64_vec(down_since_);
+  w.pod_vec(failures_);
+  w.u64(class_wait_hist_.size());
+  for (const stats::Histogram& h : class_wait_hist_) {
+    w.f64(h.bucket_width());
+    w.pod_vec(h.raw_counts());
+    w.u64(h.total());
+  }
+  w.u64(retransmissions_);
+  for (std::size_t m = 0; m < net::kRetxModes; ++m) w.u64(retx_by_mode_[m]);
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    w.u64(sheds_by_class_[c]);
+  }
+  w.u64(throttles_);
+  w.u64(sat_transitions_);
+  w.u64(classifications_);
+  w.u64(quarantines_);
+  w.u64(probations_);
+  w.u64(denies_by_reason_[0]);
+  w.u64(denies_by_reason_[1]);
+  w.f64(sat_time_);
+  w.f64(sat_since_);
+  w.f64(window_start_);
+  w.f64(window_end_);
+  w.boolean(window_open_);
+  w.f64(last_event_);
+}
+
+void MetricsRegistry::load(sim::SnapshotReader& r) {
+  r.section("metrics_registry");
+  r.pod_vec(cells_);
+  if (cells_.size() != links_.size() * net::kPriorityClasses) {
+    throw std::runtime_error(
+        "MetricsRegistry::load: cell count mismatch (snapshot was taken "
+        "against a different topology)");
+  }
+  r.pod_vec(backlog_);
+  r.pod_vec(backlog_gauge_);
+  r.f64_vec(down_time_);
+  r.f64_vec(down_since_);
+  r.pod_vec(failures_);
+  class_wait_hist_.clear();
+  const std::uint64_t hists = r.u64();
+  for (std::uint64_t i = 0; i < hists; ++i) {
+    const double width = r.f64();
+    std::vector<std::uint64_t> counts;
+    r.pod_vec(counts);
+    const std::uint64_t total = r.u64();
+    class_wait_hist_.emplace_back(width, std::move(counts), total);
+  }
+  retransmissions_ = r.u64();
+  for (std::size_t m = 0; m < net::kRetxModes; ++m) retx_by_mode_[m] = r.u64();
+  for (std::size_t c = 0; c < net::kPriorityClasses; ++c) {
+    sheds_by_class_[c] = r.u64();
+  }
+  throttles_ = r.u64();
+  sat_transitions_ = r.u64();
+  classifications_ = r.u64();
+  quarantines_ = r.u64();
+  probations_ = r.u64();
+  denies_by_reason_[0] = r.u64();
+  denies_by_reason_[1] = r.u64();
+  sat_time_ = r.f64();
+  sat_since_ = r.f64();
+  window_start_ = r.f64();
+  window_end_ = r.f64();
+  window_open_ = r.boolean();
+  last_event_ = r.f64();
 }
 
 }  // namespace pstar::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::overload {
 
 namespace {
@@ -58,8 +60,10 @@ OverloadController::~OverloadController() {
 void OverloadController::start() { schedule_sample(); }
 
 void OverloadController::schedule_sample() {
-  engine_.simulator().after(config_.sample_period,
-                            [this](sim::Simulator&) { sample(); });
+  engine_.simulator().after(
+      config_.sample_period,
+      sim::EventFn([this](sim::Simulator&) { sample(); },
+                   sim::EventTag{sim::event_tags::kOverloadSample, 0, 0, 0}));
 }
 
 void OverloadController::sample() {
@@ -155,8 +159,10 @@ void OverloadController::schedule_release() {
   const double rate = admit_rate();
   if (rate <= 0.0) return;  // re-armed by the next on_arrival or release
   release_scheduled_ = true;
-  engine_.simulator().after(rng_.exponential(rate),
-                            [this](sim::Simulator&) { release(); });
+  engine_.simulator().after(
+      rng_.exponential(rate),
+      sim::EventFn([this](sim::Simulator&) { release(); },
+                   sim::EventTag{sim::event_tags::kOverloadRelease, 0, 0, 0}));
 }
 
 void OverloadController::release() {
@@ -190,6 +196,73 @@ bool OverloadController::should_shed(const net::Engine& engine,
   const auto backlog = static_cast<double>(engine.link_backlog(link));
   if (copy.prio == net::Priority::kLow) return backlog >= threshold;
   return backlog >= threshold * config_.shed_medium_factor;
+}
+
+void SaturationDetector::save(sim::SnapshotWriter& w) const {
+  w.f64(ewma_);
+  w.boolean(primed_);
+  w.boolean(saturated_);
+}
+
+void SaturationDetector::load(sim::SnapshotReader& r) {
+  ewma_ = r.f64();
+  primed_ = r.boolean();
+  saturated_ = r.boolean();
+}
+
+void OverloadController::save(sim::SnapshotWriter& w) const {
+  w.section("overload");
+  w.rng(rng_);
+  detector_.save(w);
+  w.pod(stats_);
+  w.u64(pending_.size());
+  for (const Pending& p : pending_) {
+    traffic::save_arrival(w, p.arrival);
+    w.f64(p.deferred_at);
+  }
+  w.f64(tokens_);
+  w.f64(last_refill_);
+  w.boolean(release_scheduled_);
+  w.f64(completion_rate_);
+  w.boolean(rate_primed_);
+  w.u64(last_completed_);
+  w.f64(sat_since_);
+}
+
+void OverloadController::load(sim::SnapshotReader& r) {
+  r.section("overload");
+  r.rng(rng_);
+  detector_.load(r);
+  r.pod(stats_);
+  pending_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Pending p;
+    traffic::load_arrival(r, p.arrival);
+    p.deferred_at = r.f64();
+    pending_.push_back(std::move(p));
+  }
+  tokens_ = r.f64();
+  last_refill_ = r.f64();
+  release_scheduled_ = r.boolean();
+  completion_rate_ = r.f64();
+  rate_primed_ = r.boolean();
+  last_completed_ = r.u64();
+  sat_since_ = r.f64();
+}
+
+sim::EventFn OverloadController::rebuild_event(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case sim::event_tags::kOverloadSample:
+      return sim::EventFn([this](sim::Simulator&) { sample(); }, tag);
+    case sim::event_tags::kOverloadRelease:
+      // The exponential delay was drawn at the original schedule time and
+      // is encoded in the event's TIME; rebuilding must not touch rng_.
+      return sim::EventFn([this](sim::Simulator&) { release(); }, tag);
+    default:
+      throw std::runtime_error(
+          "OverloadController::rebuild_event: unknown tag kind");
+  }
 }
 
 }  // namespace pstar::overload

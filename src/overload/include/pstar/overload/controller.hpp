@@ -138,6 +138,11 @@ class SaturationDetector {
   /// Current smoothed backlog level (the trace's `level` field).
   double level() const { return ewma_; }
 
+  /// Checkpoint round-trip of the mutable detector state (EWMA value,
+  /// primed flag, saturation flag); thresholds come from the config.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
  private:
   double high_;
   double low_;
@@ -216,6 +221,16 @@ class OverloadController : public net::OverloadHook,
   double time_in_saturation_until(double now) const;
   /// Launches deferred at the source and not yet released.
   std::size_t pending_launches() const { return pending_.size(); }
+
+  // --- Checkpoint/restore (docs/SERVICE.md): detector state, the
+  // private rng cursor, the deferred-launch queue, token bucket,
+  // completion-rate EWMA, and the open saturation window.  The pending
+  // sample/release events return through the scheduler restore; the
+  // release closure must NOT re-draw its delay (the exponential draw
+  // happened at the original schedule time).
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
 
  private:
   struct Pending {

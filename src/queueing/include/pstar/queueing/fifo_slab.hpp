@@ -61,6 +61,16 @@ class FifoSlab {
     return ln.items.back();
   }
 
+  /// i-th live element of a lane, front first (i < size(lane)).  Lets a
+  /// checkpoint walk lane contents without mutating the slab; head
+  /// position and popped prefixes are not observable and are not
+  /// preserved across a dump/rebuild cycle.
+  const T& at(std::size_t lane, std::size_t i) const {
+    const Lane& ln = lanes_[lane];
+    assert(i < ln.size());
+    return ln.items[ln.head + i];
+  }
+
   void pop_front(std::size_t lane) {
     Lane& ln = lanes_[lane];
     assert(ln.size() > 0);

@@ -143,6 +143,15 @@ class RecoveryManager : public net::RecoveryHook {
   /// Tasks with live recovery state (0 once the run has drained).
   std::size_t open_tasks() const { return tasks_.size(); }
 
+  // --- Checkpoint/restore (docs/SERVICE.md): the rng cursor, stats,
+  // epoch counter, and every open task's frontiers/orphan sets.  Hash
+  // containers are serialized in sorted key order so snapshot bytes are
+  // deterministic; armed retry timers return through the scheduler
+  // restore (tag kRecoveryRetry carries task id and epoch).
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
+
  private:
   /// One captured orphaned-subtree frontier: the dropped copy plus the
   /// live ancestor it was leaving when its link died.

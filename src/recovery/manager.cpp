@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::recovery {
 namespace {
 
@@ -197,7 +199,9 @@ void RecoveryManager::arm_timer(net::TaskId id, TaskState& st) {
   const std::uint64_t epoch = st.epoch;
   engine_.simulator().after(
       retry_delay(st.retries_used),
-      [this, id, epoch](sim::Simulator&) { on_timer(id, epoch); });
+      sim::EventFn([this, id, epoch](sim::Simulator&) { on_timer(id, epoch); },
+                   sim::EventTag{sim::event_tags::kRecoveryRetry, 0,
+                                 static_cast<std::uint64_t>(id), epoch}));
 }
 
 double RecoveryManager::retry_delay(std::uint32_t consecutive_failures) {
@@ -374,6 +378,101 @@ void RecoveryManager::give_up(net::TaskId id, TaskState& st) {
   // Otherwise retx copies are still in flight; the state stays (so their
   // deliveries and drops keep deduplicating) and the last of them
   // resolves the task through the normal completion check.
+}
+
+void RecoveryManager::save(sim::SnapshotWriter& w) const {
+  w.section("recovery");
+  w.rng(rng_);
+  w.pod(stats_);
+  w.u64(next_epoch_);
+  // Hash containers in sorted key order: snapshot bytes must not depend
+  // on hash-table iteration order.
+  std::vector<net::TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, st] : tasks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (const net::TaskId id : ids) {
+    const TaskState& st = tasks_.at(id);
+    w.u64(id);
+    w.u64(st.frontiers.size());
+    for (const Frontier& f : st.frontiers) {
+      w.i64(f.link);
+      w.i64(f.from);
+      w.i64(f.first);
+      w.u32(static_cast<std::uint32_t>(f.dim));
+      w.u8(static_cast<std::uint8_t>(f.dir));
+      w.pod(f.copy);
+      w.u64(f.orphans);
+      w.pod_vec(f.orphan_nodes);
+    }
+    std::vector<topo::NodeId> orphans(st.orphans.begin(), st.orphans.end());
+    std::sort(orphans.begin(), orphans.end());
+    w.pod_vec(orphans);
+    w.u64(st.retx_outstanding);
+    w.u32(st.retries_used);
+    w.u32(st.attempts);
+    w.u64(st.epoch);
+    w.u32(static_cast<std::uint32_t>(st.last_remaining));
+    w.i64(st.resume_node);
+    w.i64(st.unicast_link);
+    w.boolean(st.timer_armed);
+    w.boolean(st.unicast_pending);
+    w.boolean(st.retried);
+    w.boolean(st.exhausted);
+    w.boolean(st.injecting);
+  }
+}
+
+void RecoveryManager::load(sim::SnapshotReader& r) {
+  r.section("recovery");
+  r.rng(rng_);
+  r.pod(stats_);
+  next_epoch_ = r.u64();
+  tasks_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto id = static_cast<net::TaskId>(r.u64());
+    TaskState st;
+    const std::uint64_t nf = r.u64();
+    st.frontiers.resize(nf);
+    for (Frontier& f : st.frontiers) {
+      f.link = static_cast<topo::LinkId>(r.i64());
+      f.from = static_cast<topo::NodeId>(r.i64());
+      f.first = static_cast<topo::NodeId>(r.i64());
+      f.dim = static_cast<std::int32_t>(r.u32());
+      f.dir = static_cast<topo::Dir>(r.u8());
+      r.pod(f.copy);
+      f.orphans = r.u64();
+      r.pod_vec(f.orphan_nodes);
+    }
+    std::vector<topo::NodeId> orphans;
+    r.pod_vec(orphans);
+    st.orphans.insert(orphans.begin(), orphans.end());
+    st.retx_outstanding = r.u64();
+    st.retries_used = r.u32();
+    st.attempts = r.u32();
+    st.epoch = r.u64();
+    st.last_remaining = static_cast<std::int32_t>(r.u32());
+    st.resume_node = static_cast<topo::NodeId>(r.i64());
+    st.unicast_link = static_cast<topo::LinkId>(r.i64());
+    st.timer_armed = r.boolean();
+    st.unicast_pending = r.boolean();
+    st.retried = r.boolean();
+    st.exhausted = r.boolean();
+    st.injecting = r.boolean();
+    tasks_.emplace(id, std::move(st));
+  }
+}
+
+sim::EventFn RecoveryManager::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind != sim::event_tags::kRecoveryRetry) {
+    throw std::runtime_error("RecoveryManager::rebuild_event: unknown tag");
+  }
+  const auto id = static_cast<net::TaskId>(tag.b);
+  const std::uint64_t epoch = tag.c;
+  return sim::EventFn(
+      [this, id, epoch](sim::Simulator&) { on_timer(id, epoch); }, tag);
 }
 
 }  // namespace pstar::recovery

@@ -7,6 +7,7 @@
 #include "pstar/net/observer.hpp"
 #include "pstar/routing/star_probabilities.hpp"
 #include "pstar/sim/simulator.hpp"
+#include "pstar/sim/snapshot.hpp"
 
 namespace pstar::routing {
 namespace {
@@ -62,8 +63,10 @@ AdaptiveBalancer::AdaptiveBalancer(net::Engine& engine,
 void AdaptiveBalancer::start() { schedule_epoch(); }
 
 void AdaptiveBalancer::schedule_epoch() {
-  engine_.simulator().after(config_.interval,
-                            [this](sim::Simulator&) { epoch(); });
+  engine_.simulator().after(
+      config_.interval,
+      sim::EventFn([this](sim::Simulator&) { epoch(); },
+                   sim::EventTag{sim::event_tags::kAdaptiveEpoch, 0, 0, 0}));
 }
 
 bool AdaptiveBalancer::measure(std::vector<double>& delta) {
@@ -180,6 +183,63 @@ void AdaptiveBalancer::epoch() {
   // balancer has nothing to do in the drain phase (the registry window
   // is closed), so it never keeps a drained simulation alive.
   if (now < config_.horizon) schedule_epoch();
+}
+
+void AdaptiveBalancer::save(sim::SnapshotWriter& w) const {
+  w.section("adaptive");
+  w.f64_vec(prev_busy_);
+  w.f64(prev_time_);
+  w.boolean(primed_);
+  w.f64_vec(x_static_);
+  w.f64_vec(x_cur_);
+  w.u64(stats_.epochs);
+  w.u64(stats_.resolves);
+  w.u64(stats_.applied);
+  w.u64(stats_.skipped_idle);
+  w.f64(stats_.final_imbalance);
+  w.f64(stats_.x_drift);
+  w.u64(stats_.history.size());
+  for (const AdaptiveEpoch& e : stats_.history) {
+    w.f64(e.time);
+    w.f64(e.imbalance);
+    w.f64(e.drift);
+    w.boolean(e.applied);
+    w.f64_vec(e.x);
+  }
+}
+
+void AdaptiveBalancer::load(sim::SnapshotReader& r) {
+  r.section("adaptive");
+  r.f64_vec(prev_busy_);
+  prev_time_ = r.f64();
+  primed_ = r.boolean();
+  r.f64_vec(x_static_);
+  r.f64_vec(x_cur_);
+  stats_.epochs = r.u64();
+  stats_.resolves = r.u64();
+  stats_.applied = r.u64();
+  stats_.skipped_idle = r.u64();
+  stats_.final_imbalance = r.f64();
+  stats_.x_drift = r.f64();
+  stats_.history.clear();
+  const std::uint64_t n = r.u64();
+  stats_.history.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AdaptiveEpoch e;
+    e.time = r.f64();
+    e.imbalance = r.f64();
+    e.drift = r.f64();
+    e.applied = r.boolean();
+    r.f64_vec(e.x);
+    stats_.history.push_back(std::move(e));
+  }
+}
+
+sim::EventFn AdaptiveBalancer::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind != sim::event_tags::kAdaptiveEpoch) {
+    throw std::runtime_error("AdaptiveBalancer::rebuild_event: unknown tag");
+  }
+  return sim::EventFn([this](sim::Simulator&) { epoch(); }, tag);
 }
 
 }  // namespace pstar::routing

@@ -40,6 +40,11 @@
 #include "pstar/routing/combined.hpp"
 #include "pstar/topology/torus.hpp"
 
+namespace pstar::sim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace pstar::sim
+
 namespace pstar::routing {
 
 /// Control-loop mode.
@@ -127,6 +132,16 @@ class AdaptiveBalancer {
   const std::vector<double>& current_x() const { return x_cur_; }
   /// The static vector the run started with.
   const std::vector<double>& static_x() const { return x_static_; }
+
+  // --- Checkpoint/restore (docs/SERVICE.md): measurement cursors, both
+  // x-vectors, and the full stats history.  The balancer draws no
+  // randomness; its pending epoch timer returns through the scheduler
+  // restore (tag kAdaptiveEpoch).  After load the caller re-applies the
+  // saved x_cur_ to the policy via
+  // CombinedPolicy::restore_ending_probabilities.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
 
  private:
   void schedule_epoch();

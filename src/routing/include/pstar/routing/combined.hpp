@@ -53,6 +53,15 @@ class CombinedPolicy : public net::RoutingPolicy {
     return broadcast_ ? broadcast_->probability_epoch() : 0;
   }
 
+  /// Checkpoint-restore entry point: reinstates a saved distribution and
+  /// epoch counter on every sub-policy that samples one, without bumping
+  /// the epoch (docs/SERVICE.md).
+  void restore_ending_probabilities(const std::vector<double>& x,
+                                    std::uint64_t epoch) {
+    if (broadcast_) broadcast_->restore_ending_probabilities(x, epoch);
+    if (multicast_) multicast_->restore_ending_probabilities(x, epoch);
+  }
+
   /// The broadcast sub-policy's current (normalized) ending distribution;
   /// empty when there is no broadcast sub-policy.
   std::vector<double> ending_probabilities(std::int32_t dims) const {

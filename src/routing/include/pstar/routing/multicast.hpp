@@ -80,6 +80,12 @@ class MulticastPolicy : public net::RoutingPolicy {
   /// Number of swaps applied so far (0 = the static vector).
   std::uint64_t probability_epoch() const { return epoch_; }
 
+  /// Checkpoint-restore variant of set_ending_probabilities (see
+  /// SdcBroadcastPolicy::restore_ending_probabilities): reinstates a
+  /// saved distribution and epoch counter without bumping the epoch.
+  void restore_ending_probabilities(const std::vector<double>& x,
+                                    std::uint64_t epoch);
+
  private:
   struct Plan {
     std::vector<TreeEdge> edges;

@@ -74,6 +74,13 @@ class SdcBroadcastPolicy : public net::RoutingPolicy {
   /// construction-time static vector).  Tags re-solve epochs.
   std::uint64_t probability_epoch() const { return epoch_; }
 
+  /// Checkpoint-restore variant of set_ending_probabilities: reinstates
+  /// a SAVED distribution and epoch counter without bumping the epoch.
+  /// Rebuilding the DiscreteSampler from the same vector is bit-exact,
+  /// so future draws match the original process draw for draw.
+  void restore_ending_probabilities(const std::vector<double>& x,
+                                    std::uint64_t epoch);
+
   /// Draws an ending dimension from the policy's distribution using an
   /// EXTERNAL rng.  The recovery layer redraws from its own dedicated
   /// stream when rebuilding a fresh retry tree, so recovery never

@@ -28,6 +28,12 @@ void MulticastPolicy::set_ending_probabilities(const std::vector<double>& x) {
   ++epoch_;
 }
 
+void MulticastPolicy::restore_ending_probabilities(
+    const std::vector<double>& x, std::uint64_t epoch) {
+  set_ending_probabilities(x);
+  epoch_ = epoch;
+}
+
 void MulticastPolicy::on_task(net::Engine&, net::TaskId, topo::NodeId) {
   throw std::logic_error(
       "MulticastPolicy: multicasts are created via Engine::create_multicast");

@@ -47,6 +47,12 @@ void SdcBroadcastPolicy::set_ending_probabilities(
   ++epoch_;
 }
 
+void SdcBroadcastPolicy::restore_ending_probabilities(
+    const std::vector<double>& x, std::uint64_t epoch) {
+  set_ending_probabilities(x);
+  epoch_ = epoch;
+}
+
 void SdcBroadcastPolicy::on_task(net::Engine& engine, net::TaskId task,
                                  topo::NodeId source) {
   const auto ending_dim =

@@ -1,0 +1,233 @@
+#include "pstar/service/dsl.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "pstar/obs/trace.hpp"
+
+namespace pstar::service {
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& what, const std::string& line) {
+  throw std::invalid_argument(what + ": \"" + line + "\"");
+}
+
+double parse_time(const std::string& token, const std::string& line) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || v < 0.0) {
+    bad_line("bad time '" + token + "'", line);
+  }
+  return v;
+}
+
+std::uint64_t parse_uint(const std::string& token, const std::string& line) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || token[0] == '-') {
+    bad_line("bad integer '" + token + "'", line);
+  }
+  return v;
+}
+
+// --- Flat-JSON field extraction for trace replay.  Trace records are
+// single-line flat objects with unescaped string values (the sink only
+// emits fixed vocabularies), so a targeted scanner is exact here.
+
+/// Finds `"key":` and returns the offset of its value, or npos.
+std::size_t value_pos(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool json_number(const std::string& line, const std::string& key,
+                 double* out) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtod(line.c_str() + at, &end);
+  return end != line.c_str() + at;
+}
+
+bool json_string(const std::string& line, const std::string& key,
+                 std::string* out) {
+  std::size_t at = value_pos(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return false;
+  }
+  const std::size_t close = line.find('"', at + 1);
+  if (close == std::string::npos) return false;
+  *out = line.substr(at + 1, close - at - 1);
+  return true;
+}
+
+}  // namespace
+
+Command parse_command(const std::string& line) {
+  Command cmd;
+  std::istringstream is(line);
+  std::string verb;
+  if (!(is >> verb) || verb[0] == '#') return cmd;  // blank / comment
+
+  std::vector<std::string> args;
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    args.push_back(tok);
+  }
+
+  if (verb == "arrive") {
+    if (args.size() < 3) bad_line("arrive needs: T KIND SRC [DST] [LEN]", line);
+    cmd.kind = Command::Kind::kArrive;
+    cmd.time = parse_time(args[0], line);
+    std::size_t next = 3;
+    if (args[1] == "broadcast") {
+      cmd.arrival.kind = net::TaskKind::kBroadcast;
+      cmd.arrival.source = static_cast<topo::NodeId>(parse_uint(args[2], line));
+      cmd.arrival.dest = cmd.arrival.source;
+    } else if (args[1] == "unicast") {
+      if (args.size() < 4) bad_line("unicast arrive needs a DST", line);
+      cmd.arrival.kind = net::TaskKind::kUnicast;
+      cmd.arrival.source = static_cast<topo::NodeId>(parse_uint(args[2], line));
+      cmd.arrival.dest = static_cast<topo::NodeId>(parse_uint(args[3], line));
+      next = 4;
+    } else {
+      bad_line("unknown task kind '" + args[1] + "'", line);
+    }
+    cmd.arrival.length = 1;
+    if (args.size() > next) {
+      cmd.arrival.length = static_cast<std::uint32_t>(
+          parse_uint(args[next], line));
+      if (cmd.arrival.length == 0) bad_line("zero task length", line);
+      ++next;
+    }
+    if (args.size() > next) bad_line("trailing arguments", line);
+  } else if (verb == "run") {
+    if (args.size() != 1) bad_line("run needs exactly: T", line);
+    cmd.kind = Command::Kind::kRun;
+    cmd.time = parse_time(args[0], line);
+  } else if (verb == "drain") {
+    if (!args.empty()) bad_line("drain takes no arguments", line);
+    cmd.kind = Command::Kind::kDrain;
+  } else if (verb == "checkpoint") {
+    if (args.size() != 1) bad_line("checkpoint needs exactly: PATH", line);
+    cmd.kind = Command::Kind::kCheckpoint;
+    cmd.path = args[0];
+  } else if (verb == "metrics") {
+    if (!args.empty()) bad_line("metrics takes no arguments", line);
+    cmd.kind = Command::Kind::kMetrics;
+  } else if (verb == "quit") {
+    cmd.kind = Command::Kind::kQuit;
+  } else {
+    bad_line("unknown command '" + verb + "'", line);
+  }
+  return cmd;
+}
+
+bool apply_command(ServeSession& session, const Command& command) {
+  switch (command.kind) {
+    case Command::Kind::kNone:
+      return true;
+    case Command::Kind::kArrive:
+      session.add_arrival(command.time, command.arrival);
+      return true;
+    case Command::Kind::kRun:
+      session.advance(command.time);
+      return true;
+    case Command::Kind::kDrain:
+      session.drain();
+      return true;
+    case Command::Kind::kCheckpoint:
+      session.checkpoint(command.path);
+      return true;
+    case Command::Kind::kMetrics:
+      session.emit_metrics();
+      return true;
+    case Command::Kind::kQuit:
+      return false;
+  }
+  return true;
+}
+
+void run_script(ServeSession& session, std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!apply_command(session, parse_command(line))) break;
+  }
+}
+
+std::vector<TimedArrival> load_trace_arrivals(std::istream& is) {
+  std::vector<TimedArrival> arrivals;
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string ev;
+    if (!json_string(line, "ev", &ev)) {
+      throw std::runtime_error("trace replay: line " + std::to_string(lineno) +
+                               " has no \"ev\" field");
+    }
+    if (ev == "run") {
+      double schema = 0.0;
+      if (!json_number(line, "schema", &schema)) {
+        throw std::runtime_error("trace replay: run header without schema");
+      }
+      if (schema > obs::kTraceSchemaVersion) {
+        throw std::runtime_error(
+            "trace replay: schema " + std::to_string(static_cast<int>(schema)) +
+            " is newer than this build's schema " +
+            std::to_string(obs::kTraceSchemaVersion));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (ev != "task") continue;  // replay consumes launches only
+    if (!saw_header) {
+      throw std::runtime_error("trace replay: task record before run header");
+    }
+    double t = 0.0;
+    double src = 0.0;
+    double dst = 0.0;
+    double len = 1.0;
+    std::string kind;
+    if (!json_number(line, "t", &t) || !json_string(line, "kind", &kind) ||
+        !json_number(line, "src", &src) || !json_number(line, "dst", &dst) ||
+        !json_number(line, "len", &len)) {
+      throw std::runtime_error("trace replay: malformed task record at line " +
+                               std::to_string(lineno));
+    }
+    TimedArrival ta;
+    ta.time = t;
+    if (kind == "broadcast") {
+      ta.arrival.kind = net::TaskKind::kBroadcast;
+    } else if (kind == "unicast") {
+      ta.arrival.kind = net::TaskKind::kUnicast;
+    } else if (kind == "multicast") {
+      throw std::runtime_error(
+          "trace replay: multicast task at line " + std::to_string(lineno) +
+          " (service mode does not support multicast)");
+    } else {
+      throw std::runtime_error("trace replay: unknown task kind '" + kind +
+                               "' at line " + std::to_string(lineno));
+    }
+    ta.arrival.source = static_cast<topo::NodeId>(src);
+    ta.arrival.dest = static_cast<topo::NodeId>(dst);
+    ta.arrival.length = static_cast<std::uint32_t>(len);
+    arrivals.push_back(std::move(ta));
+  }
+  return arrivals;
+}
+
+std::vector<TimedArrival> load_trace_arrivals_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open trace " + path);
+  return load_trace_arrivals(is);
+}
+
+}  // namespace pstar::service

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file dsl.hpp
+/// Line-oriented workload DSL and JSONL trace replay for pstar-serve
+/// (docs/SERVICE.md).
+///
+/// The DSL drives a ServeSession from any line stream (stdin, a --script
+/// file, a socket pump).  One command per line; `#` starts a comment;
+/// blank lines are ignored.  Grammar:
+///
+///   arrive T KIND SRC [DST] [LEN]   inject a task at time T
+///                                   (KIND: broadcast | unicast;
+///                                    DST required for unicast;
+///                                    LEN defaults to 1)
+///   run T                           advance the simulation to time T
+///   drain                           run until the event set drains
+///   checkpoint PATH                 write an atomic snapshot to PATH
+///   metrics                         emit one metrics record now
+///   quit                            stop reading commands
+///
+/// Times are absolute simulation times and must be nondecreasing across
+/// arrive lines (the scripted-arrival contract, service/serve.hpp).
+///
+/// TRACE REPLAY recovers the same arrival list from a recorded JSONL
+/// trace: every `{"ev":"task",...}` record of a schema-compatible trace
+/// becomes an `arrive` at its recorded time, so a captured workload can
+/// be re-served deterministically.  Replay validates the run header's
+/// schema version (refusing versions newer than this build writes) and
+/// rejects multicast tasks (unsupported in service mode).  The parser
+/// reads the trace's flat single-line JSON records directly -- no JSON
+/// library dependency.
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "pstar/service/serve.hpp"
+
+namespace pstar::service {
+
+/// One parsed DSL command.
+struct Command {
+  enum class Kind : std::uint8_t {
+    kNone,        ///< blank or comment line
+    kArrive,      ///< arrival: time + task fields
+    kRun,         ///< advance to absolute time
+    kDrain,       ///< run to completion
+    kCheckpoint,  ///< snapshot to path
+    kMetrics,     ///< emit one metrics record
+    kQuit,        ///< stop reading
+  };
+  Kind kind = Kind::kNone;
+  double time = 0.0;            ///< arrive / run
+  traffic::Arrival arrival;     ///< arrive
+  std::string path;             ///< checkpoint
+};
+
+/// Parses one DSL line.  Throws std::invalid_argument with the offending
+/// line content on malformed input.
+Command parse_command(const std::string& line);
+
+/// Applies one parsed command to a session.  Returns false when the
+/// command was kQuit (the caller's read loop should stop).
+bool apply_command(ServeSession& session, const Command& command);
+
+/// Reads DSL commands from a stream until EOF or `quit`.
+void run_script(ServeSession& session, std::istream& is);
+
+/// Extracts the scripted arrivals from a recorded JSONL trace: one
+/// TimedArrival per `task` record, in file order.  Throws
+/// std::runtime_error on a missing/unsupported run header schema, on
+/// multicast tasks, and on malformed records.
+std::vector<TimedArrival> load_trace_arrivals(std::istream& is);
+std::vector<TimedArrival> load_trace_arrivals_file(const std::string& path);
+
+}  // namespace pstar::service

@@ -1,0 +1,224 @@
+#pragma once
+
+/// \file serve.hpp
+/// Streaming service mode: run the engine open-ended against streamed
+/// arrivals with crash-safe checkpoint/restore (docs/SERVICE.md).
+///
+/// A ServeSession owns the full serial harness stack -- engine, traffic,
+/// recovery, overload control, policing, adaptive balancing,
+/// observability -- built through pstar/harness/setup.hpp, so the stack
+/// is wired EXACTLY as the batch harness wires it.  On top of that it
+/// adds:
+///
+///   - SCRIPTED ARRIVALS: a time-sorted list of fully-drawn task
+///     launches (from the pstar-serve DSL or a replayed JSONL trace,
+///     service/dsl.hpp) injected through the workload's admission-gate
+///     chain, so policing and overload throttling apply to streamed
+///     tasks exactly as to Poisson ones;
+///   - SLICED EXECUTION: advance(t) runs the simulation in bounded
+///     slices (Simulator::run_until, exclusive end).  Slicing never
+///     reorders events -- the event set's (time, seq) total order is
+///     slice-invariant -- which is what reduces resume bit-identity to
+///     exact state round-trip;
+///   - CHECKPOINT/RESTORE: save_snapshot serializes the COMPLETE
+///     mutable state between two events -- scheduler events (via
+///     checkpoint tags, sim/event_queue.hpp), per-(link, class) FIFO
+///     slabs, in-flight copies, rng cursors, recovery retry state,
+///     overload detector/token-bucket state, adaptive epoch state,
+///     policer classifications and quarantine windows, metrics
+///     accumulators, and the byte offsets of the trace/metrics files.
+///     checkpoint() writes it atomically (temp + fsync + rename).  The
+///     restoring constructor rebuilds the stack against the same spec,
+///     loads the snapshot, truncates the output files to the recorded
+///     offsets (discarding any bytes a crash wrote after the
+///     checkpoint), and resumes.
+///
+/// Correctness contract (tests/test_service.cpp, CI soak):
+/// checkpoint + kill + restore produces BYTE-IDENTICAL traces and
+/// metrics versus the uninterrupted run, for every subsystem
+/// combination.  Snapshots are versioned and carry the experiment
+/// identity (shape/seed/scheme/...); loading a snapshot from a
+/// different build version or experiment fails with an error naming
+/// both values.  Snapshot bytes are same-build artifacts (host-endian
+/// doubles, this build's section layout), not an archival format.
+///
+/// Rejected configurations: multicast traffic (per-task policy plans do
+/// not round-trip) and sharded runs (per-shard state is owned by worker
+/// threads); both throw std::invalid_argument at construction.
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pstar/adversary/attack.hpp"
+#include "pstar/adversary/policer.hpp"
+#include "pstar/adversary/recorder.hpp"
+#include "pstar/harness/experiment.hpp"
+#include "pstar/net/engine.hpp"
+#include "pstar/obs/metrics.hpp"
+#include "pstar/obs/probe.hpp"
+#include "pstar/obs/trace.hpp"
+#include "pstar/overload/controller.hpp"
+#include "pstar/recovery/manager.hpp"
+#include "pstar/routing/adaptive_balancer.hpp"
+#include "pstar/routing/combined.hpp"
+#include "pstar/sim/rng.hpp"
+#include "pstar/sim/simulator.hpp"
+#include "pstar/topology/torus.hpp"
+#include "pstar/traffic/workload.hpp"
+
+namespace pstar::service {
+
+/// Snapshot format version; bumped on any incompatible layout change.
+/// A reader refuses other versions with an error naming both.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Service-mode configuration: the experiment identity plus the
+/// session's output streams.
+struct ServeConfig {
+  /// Experiment identity and subsystem knobs, interpreted exactly as by
+  /// harness::run_experiment.  spec.trace_sink must be null (the
+  /// session owns its trace stream); spec.multicast_fraction and
+  /// spec.shards must be zero.
+  harness::ExperimentSpec spec;
+
+  /// JSONL trace output path ("" = no trace).  The session owns the
+  /// stream, fsyncs it at every checkpoint, and truncates it to the
+  /// snapshot's byte offset on restore.
+  std::string trace_path;
+
+  /// Live metrics JSONL output path ("" = stdout when metrics_period
+  /// > 0).  File-backed metrics get the same offset/truncate treatment
+  /// as the trace; stdout snapshots are live-view only (bytes printed
+  /// between a checkpoint and a crash are re-emitted after restore).
+  std::string metrics_path;
+
+  /// Period of live metrics snapshot records (simulation time units;
+  /// 0 = none).  The emitter re-arms only while other events are
+  /// pending, so it never keeps a drained simulation alive.
+  double metrics_period = 0.0;
+};
+
+/// One scripted task launch: a fully-drawn arrival at a simulation time.
+struct TimedArrival {
+  double time = 0.0;
+  traffic::Arrival arrival;
+};
+
+/// The streaming daemon's core: harness stack + scripted arrivals +
+/// checkpoint/restore.  Single-threaded; drive it from one loop.
+class ServeSession {
+ public:
+  /// Fresh session: builds the stack, schedules the measurement
+  /// windows, starts the generators, writes the trace run header.
+  explicit ServeSession(ServeConfig config);
+
+  /// Restored session: builds the same stack quiescent (no generator
+  /// starts, no fault-schedule materialization), loads the snapshot,
+  /// and truncates/reopens the output files at the recorded offsets.
+  /// Throws std::runtime_error when the snapshot version or experiment
+  /// identity does not match, naming both values.
+  ServeSession(ServeConfig config, std::istream& snapshot);
+
+  /// Convenience restore from a snapshot file.
+  ServeSession(ServeConfig config, const std::string& snapshot_path);
+
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  /// Appends a scripted arrival (nondecreasing time order required) and
+  /// arms the injection event when none is pending.
+  void add_arrival(double t, traffic::Arrival arrival);
+  void add_arrivals(const std::vector<TimedArrival>& arrivals);
+
+  /// Advances the simulation through [now, t) -- events at exactly t
+  /// stay pending (the slice primitive; docs/PARALLEL.md).
+  sim::StopReason advance(double t);
+
+  /// Runs until the event set drains (the generation horizon has
+  /// passed and all traffic completed).
+  sim::StopReason drain();
+
+  /// Serializes the complete session state (docs/SERVICE.md layout).
+  /// Must be called between events (i.e. from the driver loop, never
+  /// from inside a callback).
+  void save_snapshot(std::ostream& os);
+
+  /// Atomic checkpoint: flush + fsync the output files, then write the
+  /// snapshot via temp file + fsync + rename, so a crash at any instant
+  /// leaves either the old or the new snapshot intact.
+  void checkpoint(const std::string& path);
+
+  /// Emits one metrics snapshot record to the metrics stream now.
+  void emit_metrics();
+
+  /// Flushes the trace and metrics streams (complete lines only).
+  void flush_outputs();
+
+  double now() const { return sim_.now(); }
+  std::size_t pending_events() const { return sim_.pending(); }
+  /// Scripted arrivals not yet injected.
+  std::size_t pending_arrivals() const { return arrivals_.size() - cursor_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Engine& engine() { return *engine_; }
+  traffic::Workload& workload() { return *workload_; }
+  const ServeConfig& config() const { return config_; }
+
+  // Optional-subsystem accessors (null when the spec does not enable
+  // them); tests use these to assert checkpoint-instant invariants.
+  recovery::RecoveryManager* recovery() { return recovery_.get(); }
+  overload::OverloadController* overload() { return overload_.get(); }
+  adversary::Policer* policer() { return policer_.get(); }
+  routing::AdaptiveBalancer* balancer() { return balancer_.get(); }
+  obs::MetricsRegistry* registry() { return registry_.get(); }
+  obs::JsonlTraceSink* trace_sink() { return sink_.get(); }
+
+ private:
+  void validate_config() const;
+  void build_stack(bool restoring);
+  void attach_observer();
+  void write_run_header();
+  void start_fresh();
+  void schedule_next_arrival();
+  void fire_arrival(std::uint64_t index);
+  void metrics_tick();
+  void schedule_metrics();
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
+  void load_snapshot(std::istream& is);
+  void open_outputs(bool restoring, std::uint64_t trace_offset,
+                    std::uint64_t metrics_offset);
+  std::ostream& metrics_stream();
+
+  ServeConfig config_;
+  topo::Torus torus_;
+  sim::Rng rng_;
+  sim::Simulator sim_;
+  double lambda_m_ = 0.0;
+  std::unique_ptr<routing::CombinedPolicy> policy_;
+  std::unique_ptr<net::Engine> engine_;
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
+  std::unique_ptr<traffic::Workload> workload_;
+  std::unique_ptr<adversary::AttackerWorkload> attacker_;
+  std::unique_ptr<overload::OverloadController> overload_;
+  std::unique_ptr<adversary::Policer> policer_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::ofstream trace_os_;
+  std::ofstream metrics_os_;
+  std::unique_ptr<obs::JsonlTraceSink> sink_;
+  std::unique_ptr<obs::EngineProbe> probe_;
+  std::unique_ptr<adversary::ClassRecorder> recorder_;
+  std::unique_ptr<routing::AdaptiveBalancer> balancer_;
+
+  std::vector<TimedArrival> arrivals_;  ///< scripted, time-sorted
+  std::uint64_t cursor_ = 0;            ///< next arrival to inject
+  bool armed_ = false;                  ///< injection event pending
+  std::uint64_t metrics_records_ = 0;   ///< metrics lines written
+};
+
+}  // namespace pstar::service

@@ -1,0 +1,758 @@
+#include "pstar/service/serve.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "pstar/core/policy_factory.hpp"
+#include "pstar/harness/setup.hpp"
+#include "pstar/sim/snapshot.hpp"
+
+namespace pstar::service {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'P', 'S', 'T', 'A', 'R', 'S', 'N', 'P'};
+
+topo::Torus make_torus(const harness::ExperimentSpec& spec) {
+  return spec.mesh ? topo::Torus::mesh(spec.shape)
+                   : topo::Torus(spec.shape, spec.wraparound);
+}
+
+// --- POSIX durability helpers for the atomic checkpoint protocol.
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// fsync by path: any fd to the file flushes its data on Linux.
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("checkpoint: cannot open for fsync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("checkpoint: fsync failed for", path);
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// Durable rename: the directory entry itself must reach disk, or a
+/// crash can lose the rename while keeping the file data.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort (e.g. unusual filesystems)
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// temp + fsync + rename + dir fsync: a crash at any instant leaves
+/// either the previous snapshot or the new one, never a torn mix.
+void atomic_write(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("checkpoint: cannot create", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("checkpoint: write failed for", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("checkpoint: fsync failed for", tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("checkpoint: rename failed for", tmp);
+  }
+  fsync_dir(dirname_of(path));
+}
+
+// --- Identity comparison: every mismatch names BOTH values.
+
+[[noreturn]] void identity_mismatch(const std::string& field,
+                                    const std::string& snap,
+                                    const std::string& cfg) {
+  throw std::runtime_error("snapshot identity mismatch: " + field + " is " +
+                           snap + " in the snapshot but " + cfg +
+                           " in the serve config");
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void check_str(const char* field, const std::string& snap,
+               const std::string& cfg) {
+  if (snap != cfg) identity_mismatch(field, snap, cfg);
+}
+
+void check_u64(const char* field, std::uint64_t snap, std::uint64_t cfg) {
+  if (snap != cfg) {
+    identity_mismatch(field, std::to_string(snap), std::to_string(cfg));
+  }
+}
+
+/// Doubles compare by bit pattern: the identity must be EXACT, not
+/// approximately equal, for resume determinism to hold.
+void check_f64(const char* field, double snap, double cfg) {
+  if (std::bit_cast<std::uint64_t>(snap) != std::bit_cast<std::uint64_t>(cfg)) {
+    identity_mismatch(field, fmt(snap), fmt(cfg));
+  }
+}
+
+const char* attack_name(adversary::AttackKind kind) {
+  switch (kind) {
+    case adversary::AttackKind::kNone: return "none";
+    case adversary::AttackKind::kHotspot: return "hotspot";
+    case adversary::AttackKind::kStorm: return "storm";
+    case adversary::AttackKind::kPulse: return "pulse";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ServeSession::ServeSession(ServeConfig config)
+    : config_(std::move(config)),
+      torus_(make_torus(config_.spec)),
+      rng_(config_.spec.seed),
+      sim_(config_.spec.scheduler) {
+  validate_config();
+  build_stack(/*restoring=*/false);
+  open_outputs(/*restoring=*/false, 0, 0);
+  attach_observer();
+  write_run_header();
+  start_fresh();
+}
+
+ServeSession::ServeSession(ServeConfig config, std::istream& snapshot)
+    : config_(std::move(config)),
+      torus_(make_torus(config_.spec)),
+      rng_(config_.spec.seed),
+      sim_(config_.spec.scheduler) {
+  validate_config();
+  build_stack(/*restoring=*/true);
+  load_snapshot(snapshot);
+}
+
+ServeSession::ServeSession(ServeConfig config,
+                           const std::string& snapshot_path)
+    : config_(std::move(config)),
+      torus_(make_torus(config_.spec)),
+      rng_(config_.spec.seed),
+      sim_(config_.spec.scheduler) {
+  validate_config();
+  build_stack(/*restoring=*/true);
+  std::ifstream is(snapshot_path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot open snapshot " + snapshot_path);
+  }
+  load_snapshot(is);
+}
+
+ServeSession::~ServeSession() = default;
+
+void ServeSession::validate_config() const {
+  const harness::ExperimentSpec& spec = config_.spec;
+  if (spec.multicast_fraction > 0.0) {
+    throw std::invalid_argument(
+        "service mode does not support multicast traffic "
+        "(spec.multicast_fraction must be 0)");
+  }
+  if (spec.shards > 0) {
+    throw std::invalid_argument(
+        "service mode does not support sharded runs (spec.shards must be 0)");
+  }
+  if (spec.trace_sink != nullptr) {
+    throw std::invalid_argument(
+        "service mode owns its trace stream; leave spec.trace_sink null and "
+        "set ServeConfig::trace_path");
+  }
+}
+
+void ServeSession::build_stack(bool restoring) {
+  // Mirrors run_experiment's serial path (harness/experiment.cpp) via the
+  // shared setup helpers, in the SAME construction and start order, so
+  // event sequence numbers -- and therefore same-instant tie-breaks --
+  // match the batch harness.
+  const harness::ExperimentSpec& spec = config_.spec;
+  harness::validate_windows(spec);
+  const double mean_len = spec.length.mean();
+  const queueing::Rates rates = harness::derive_rates(torus_, spec, mean_len);
+  policy_ =
+      core::make_policy(torus_, spec.scheme, rates.lambda_b, rates.lambda_r);
+  lambda_m_ = harness::estimate_lambda_m(spec, *policy_, torus_, mean_len);
+
+  net::EngineConfig engine_cfg = harness::build_engine_config(spec);
+  engine_cfg.restoring = restoring;
+  engine_ =
+      std::make_unique<net::Engine>(sim_, torus_, *policy_, rng_, engine_cfg);
+
+  if (spec.max_retries > 0) {
+    recovery::RecoveryConfig rc;
+    rc.max_retries = spec.max_retries;
+    rc.timeout = spec.retry_timeout;
+    rc.backoff = spec.retry_backoff;
+    rc.jitter = spec.retry_jitter;
+    rc.seed = sim::seed_stream(spec.seed, recovery::kRecoverySeedStream, 0);
+    recovery_ = std::make_unique<recovery::RecoveryManager>(
+        *engine_, policy_->broadcast(), policy_->unicast(), rc);
+  }
+
+  const traffic::WorkloadConfig traffic_cfg =
+      harness::build_traffic_config(spec, rates, lambda_m_);
+  workload_ =
+      std::make_unique<traffic::Workload>(sim_, *engine_, rng_, traffic_cfg);
+
+  const double honest_per_node_rate =
+      rates.lambda_b + rates.lambda_r + lambda_m_;
+  if (spec.attack.enabled()) {
+    adversary::AttackConfig ac = spec.attack;
+    ac.seed = sim::seed_stream(spec.seed, adversary::kAttackSeedStream, 0);
+    ac.stop_time = traffic_cfg.stop_time;
+    attacker_ = std::make_unique<adversary::AttackerWorkload>(
+        sim_, *engine_, ac,
+        honest_per_node_rate * static_cast<double>(torus_.node_count()));
+  }
+
+  if (spec.overload.enabled()) {
+    overload::OverloadConfig oc = spec.overload;
+    oc.seed = sim::seed_stream(spec.seed, overload::kOverloadSeedStream, 0);
+    oc.horizon = traffic_cfg.stop_time;
+    overload_ =
+        std::make_unique<overload::OverloadController>(*engine_, *workload_, oc);
+    // Restore gets its sampler event back through the scheduler dump.
+    if (!restoring) overload_->start();
+  }
+
+  if (spec.policing.enabled) {
+    adversary::PolicingConfig pc = spec.policing;
+    if (pc.expected_rate <= 0.0) pc.expected_rate = honest_per_node_rate;
+    policer_ = std::make_unique<adversary::Policer>(*engine_, *workload_,
+                                                    attacker_.get(), pc);
+    if (overload_) overload_->set_release_filter(policer_.get());
+  }
+
+  if (spec.collect_link_metrics) {
+    registry_ = std::make_unique<obs::MetricsRegistry>(torus_);
+  } else if (spec.adaptive.enabled()) {
+    obs::MetricsConfig mc;
+    mc.track_backlog = false;
+    mc.wait_histograms = false;
+    registry_ = std::make_unique<obs::MetricsRegistry>(torus_, mc);
+  }
+
+  if (spec.adaptive.enabled()) {
+    routing::AdaptiveConfig ac = spec.adaptive;
+    ac.lambda_b = rates.lambda_b * mean_len;
+    ac.horizon = traffic_cfg.stop_time;
+    balancer_ = std::make_unique<routing::AdaptiveBalancer>(
+        *engine_, *registry_, *policy_, torus_, ac);
+    // start() deferred to start_fresh; restore reloads its state and the
+    // pending epoch timer returns through the scheduler dump.
+  }
+}
+
+void ServeSession::open_outputs(bool restoring, std::uint64_t trace_offset,
+                                std::uint64_t metrics_offset) {
+  if (!config_.trace_path.empty()) {
+    if (restoring && trace_offset > 0) {
+      // Discard whatever a crash appended after the checkpoint: resume
+      // re-executes those events and re-emits the same bytes.
+      if (::truncate(config_.trace_path.c_str(),
+                     static_cast<off_t>(trace_offset)) != 0) {
+        throw_errno("restore: cannot truncate trace file", config_.trace_path);
+      }
+      trace_os_.open(config_.trace_path, std::ios::binary | std::ios::app);
+    } else {
+      trace_os_.open(config_.trace_path, std::ios::binary | std::ios::trunc);
+    }
+    if (!trace_os_) {
+      throw std::runtime_error("cannot open trace file " + config_.trace_path);
+    }
+    sink_ = std::make_unique<obs::JsonlTraceSink>(trace_os_);
+  }
+  if (!config_.metrics_path.empty()) {
+    if (restoring && metrics_offset > 0) {
+      if (::truncate(config_.metrics_path.c_str(),
+                     static_cast<off_t>(metrics_offset)) != 0) {
+        throw_errno("restore: cannot truncate metrics file",
+                    config_.metrics_path);
+      }
+      metrics_os_.open(config_.metrics_path, std::ios::binary | std::ios::app);
+    } else {
+      metrics_os_.open(config_.metrics_path, std::ios::binary | std::ios::trunc);
+    }
+    if (!metrics_os_) {
+      throw std::runtime_error("cannot open metrics file " +
+                               config_.metrics_path);
+    }
+  }
+}
+
+void ServeSession::attach_observer() {
+  probe_ = std::make_unique<obs::EngineProbe>(registry_.get(), sink_.get());
+  if (config_.spec.attack.kind != adversary::AttackKind::kNone) {
+    recorder_ = std::make_unique<adversary::ClassRecorder>(
+        (registry_ || sink_) ? probe_.get() : nullptr,
+        static_cast<std::int64_t>(torus_.node_count()),
+        adversary::attacker_nodes(config_.spec.attack, torus_.node_count()));
+    engine_->set_observer(recorder_.get());
+  } else if (registry_ || sink_) {
+    engine_->set_observer(probe_.get());
+  }
+}
+
+void ServeSession::write_run_header() {
+  if (!sink_) return;
+  const harness::ExperimentSpec& spec = config_.spec;
+  obs::JsonLine h = sink_->run_header();
+  h.field("mode", "serve")
+      .field("shape", spec.shape.to_string())
+      .field("scheme", spec.scheme.name)
+      .field("rho", spec.rho)
+      .field("bcast_frac", spec.broadcast_fraction)
+      .field("warmup", spec.warmup)
+      .field("measure", spec.measure)
+      .field("seed", spec.seed);
+  if (spec.fault_mtbf > 0.0) {
+    h.field("mtbf", spec.fault_mtbf).field("mttr", spec.fault_mttr);
+  }
+  if (spec.max_retries > 0) {
+    h.field("retries", static_cast<std::uint64_t>(spec.max_retries));
+  }
+  if (spec.overload.enabled()) {
+    h.field("overload", spec.overload.mode == overload::OverloadMode::kShed
+                            ? "shed"
+                            : "throttle");
+  }
+  if (spec.adaptive.enabled()) h.field("adaptive", "periodic");
+  if (spec.attack.kind != adversary::AttackKind::kNone) {
+    h.field("attack", attack_name(spec.attack.kind));
+  }
+  if (spec.policing.enabled) h.field("policing", true);
+}
+
+void ServeSession::start_fresh() {
+  const harness::ExperimentSpec& spec = config_.spec;
+  const double stop_time = spec.warmup + spec.measure;
+  sim_.at(spec.warmup,
+          sim::EventFn([this](sim::Simulator&) { engine_->begin_measurement(); },
+                       sim::EventTag{sim::event_tags::kBeginMeasure, 0, 0, 0}));
+  sim_.at(stop_time,
+          sim::EventFn([this](sim::Simulator&) { engine_->end_measurement(); },
+                       sim::EventTag{sim::event_tags::kEndMeasure, 0, 0, 0}));
+  if (registry_) {
+    sim_.at(spec.warmup,
+            sim::EventFn(
+                [this](sim::Simulator& s) { registry_->begin_window(s.now()); },
+                sim::EventTag{sim::event_tags::kRegistryBegin, 0, 0, 0}));
+    sim_.at(stop_time,
+            sim::EventFn(
+                [this](sim::Simulator& s) { registry_->end_window(s.now()); },
+                sim::EventTag{sim::event_tags::kRegistryEnd, 0, 0, 0}));
+  }
+  if (balancer_) balancer_->start();
+  workload_->start();
+  if (attacker_) attacker_->start();
+  schedule_metrics();
+}
+
+void ServeSession::add_arrival(double t, traffic::Arrival arrival) {
+  if (arrival.kind == net::TaskKind::kMulticast) {
+    throw std::invalid_argument(
+        "service mode does not support multicast arrivals");
+  }
+  if (!arrivals_.empty() && t < arrivals_.back().time) {
+    throw std::invalid_argument(
+        "ServeSession::add_arrival: arrivals must be in nondecreasing time "
+        "order");
+  }
+  arrivals_.push_back(TimedArrival{t, std::move(arrival)});
+  schedule_next_arrival();
+}
+
+void ServeSession::add_arrivals(const std::vector<TimedArrival>& arrivals) {
+  for (const TimedArrival& ta : arrivals) add_arrival(ta.time, ta.arrival);
+}
+
+void ServeSession::schedule_next_arrival() {
+  if (armed_ || cursor_ >= arrivals_.size()) return;
+  const std::uint64_t index = cursor_;
+  // Late-added arrivals (a DSL line behind the clock) fire "now".
+  const double t = std::max(arrivals_[index].time, sim_.now());
+  sim_.at(t, sim::EventFn([this, index](
+                              sim::Simulator&) { fire_arrival(index); },
+                          sim::EventTag{sim::event_tags::kServeArrival, 0,
+                                        index, 0}));
+  armed_ = true;
+}
+
+void ServeSession::fire_arrival(std::uint64_t index) {
+  armed_ = false;
+  cursor_ = index + 1;
+  // Through the gate chain (policer -> overload throttle), exactly like a
+  // Poisson arrival: a gated arrival is launched later by its gate.
+  const traffic::Arrival& arrival = arrivals_[index].arrival;
+  traffic::AdmissionGate* gate = workload_->gate();
+  if (gate == nullptr || gate->on_arrival(arrival)) {
+    traffic::launch_arrival(*engine_, arrival);
+  }
+  schedule_next_arrival();
+}
+
+sim::StopReason ServeSession::advance(double t) {
+  return sim_.run_until(t, config_.spec.max_events);
+}
+
+sim::StopReason ServeSession::drain() {
+  return sim_.run(std::numeric_limits<double>::infinity(),
+                  config_.spec.max_events);
+}
+
+void ServeSession::schedule_metrics() {
+  if (config_.metrics_period <= 0.0) return;
+  sim_.at(sim_.now() + config_.metrics_period,
+          sim::EventFn([this](sim::Simulator&) { metrics_tick(); },
+                       sim::EventTag{sim::event_tags::kServeMetrics, 0, 0, 0}));
+}
+
+void ServeSession::metrics_tick() {
+  emit_metrics();
+  // Re-arm only while other events are pending (this event has already
+  // been popped), so the emitter never keeps a drained run alive.
+  if (sim_.pending() > 0) schedule_metrics();
+}
+
+std::ostream& ServeSession::metrics_stream() {
+  return metrics_os_.is_open() ? static_cast<std::ostream&>(metrics_os_)
+                               : std::cout;
+}
+
+void ServeSession::emit_metrics() {
+  // Deterministic fields only (simulation time, event and task counters)
+  // -- no wall clock -- so a resumed run re-emits identical bytes.
+  const net::Metrics& m = engine_->metrics();
+  std::ostream& os = metrics_stream();
+  {
+    obs::JsonLine line(os);
+    line.field("ev", "metrics")
+        .field("t", sim_.now())
+        .field("events", sim_.events_executed())
+        .field("pending", static_cast<std::uint64_t>(sim_.pending()))
+        .field("generated", workload_->generated())
+        .field("completed",
+               m.tasks_completed[0] + m.tasks_completed[1] +
+                   m.tasks_completed[2])
+        .field("transmissions", m.transmissions)
+        .field("drops",
+               m.drops_by_class[0] + m.drops_by_class[1] + m.drops_by_class[2])
+        .field("lost", m.lost_receptions);
+    if (recovery_) {
+      line.field("retx", recovery_->stats().retransmissions())
+          .field("open_tasks",
+                 static_cast<std::uint64_t>(recovery_->open_tasks()));
+    }
+    if (overload_) {
+      line.field("throttled", overload_->stats().tasks_throttled)
+          .field("sat_transitions", overload_->stats().sat_transitions);
+    }
+    if (policer_) {
+      line.field("quarantines", policer_->stats().quarantines)
+          .field("denied", policer_->stats().denied_quarantine +
+                               policer_->stats().denied_ratelimit);
+    }
+    if (balancer_) line.field("epochs", balancer_->stats().epochs);
+  }
+  ++metrics_records_;
+}
+
+void ServeSession::flush_outputs() {
+  if (sink_) sink_->flush();
+  if (metrics_os_.is_open()) {
+    metrics_os_.flush();
+  } else if (config_.metrics_period > 0.0) {
+    std::cout.flush();
+  }
+}
+
+sim::EventFn ServeSession::rebuild_event(const sim::EventTag& tag) {
+  namespace tags = sim::event_tags;
+  const auto need = [&](const void* subsystem, const char* name) {
+    if (subsystem == nullptr) {
+      throw std::runtime_error(
+          std::string("snapshot restore: event references subsystem '") +
+          name + "' which the serve config does not enable");
+    }
+  };
+  switch (tag.kind) {
+    case tags::kServiceCompletion:
+    case tags::kFailLink:
+    case tags::kRepairLink:
+      return engine_->rebuild_event(tag);
+    case tags::kWorkloadArrive:
+      return workload_->rebuild_event(tag);
+    case tags::kAttackArrive:
+      need(attacker_.get(), "attack");
+      return attacker_->rebuild_event(tag);
+    case tags::kOverloadSample:
+    case tags::kOverloadRelease:
+      need(overload_.get(), "overload");
+      return overload_->rebuild_event(tag);
+    case tags::kRecoveryRetry:
+      need(recovery_.get(), "recovery");
+      return recovery_->rebuild_event(tag);
+    case tags::kAdaptiveEpoch:
+      need(balancer_.get(), "adaptive");
+      return balancer_->rebuild_event(tag);
+    case tags::kBeginMeasure:
+      return sim::EventFn(
+          [this](sim::Simulator&) { engine_->begin_measurement(); }, tag);
+    case tags::kEndMeasure:
+      return sim::EventFn(
+          [this](sim::Simulator&) { engine_->end_measurement(); }, tag);
+    case tags::kRegistryBegin:
+      need(registry_.get(), "metrics registry");
+      return sim::EventFn(
+          [this](sim::Simulator& s) { registry_->begin_window(s.now()); }, tag);
+    case tags::kRegistryEnd:
+      need(registry_.get(), "metrics registry");
+      return sim::EventFn(
+          [this](sim::Simulator& s) { registry_->end_window(s.now()); }, tag);
+    case tags::kServeArrival: {
+      const std::uint64_t index = tag.b;
+      return sim::EventFn(
+          [this, index](sim::Simulator&) { fire_arrival(index); }, tag);
+    }
+    case tags::kServeMetrics:
+      return sim::EventFn([this](sim::Simulator&) { metrics_tick(); }, tag);
+    default:
+      throw std::runtime_error("snapshot restore: unknown event tag kind " +
+                               std::to_string(tag.kind));
+  }
+}
+
+void ServeSession::save_snapshot(std::ostream& os) {
+  const harness::ExperimentSpec& spec = config_.spec;
+  sim::SnapshotWriter w(os);
+  w.raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.u32(kSnapshotVersion);
+
+  // Experiment identity: checked field by field on restore, so a
+  // snapshot can never silently resume against a different experiment.
+  w.str(spec.shape.to_string());
+  w.boolean(spec.mesh);
+  w.u64(spec.wraparound.size());
+  for (const bool wrap : spec.wraparound) w.boolean(wrap);
+  w.str(spec.scheme.name);
+  w.u8(static_cast<std::uint8_t>(spec.scheduler));
+  w.u64(spec.seed);
+  w.u64(static_cast<std::uint64_t>(spec.shards));
+  w.f64(spec.rho);
+  w.f64(spec.broadcast_fraction);
+  w.f64(spec.length.mean());
+  w.f64(spec.warmup);
+  w.f64(spec.measure);
+  w.u64(spec.max_retries);
+  w.u8(static_cast<std::uint8_t>(spec.overload.mode));
+  w.u8(static_cast<std::uint8_t>(spec.adaptive.mode));
+  w.u8(static_cast<std::uint8_t>(spec.attack.kind));
+  w.boolean(spec.policing.enabled);
+
+  w.section("serve_core");
+  w.f64(sim_.now());
+  w.u64(sim_.events_executed());
+  w.rng(rng_);
+  w.u64(policy_->probability_epoch());
+
+  // Output-file positions: flush first so tellp reflects every record
+  // emitted so far; restore truncates to exactly these offsets.
+  w.section("serve_files");
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_offset = 0;
+  if (sink_) {
+    trace_os_.flush();
+    trace_records = sink_->records();
+    trace_offset = static_cast<std::uint64_t>(trace_os_.tellp());
+  }
+  w.u64(trace_records);
+  w.u64(trace_offset);
+  std::uint64_t metrics_offset = 0;
+  if (metrics_os_.is_open()) {
+    metrics_os_.flush();
+    metrics_offset = static_cast<std::uint64_t>(metrics_os_.tellp());
+  }
+  w.u64(metrics_records_);
+  w.u64(metrics_offset);
+
+  engine_->save(w);
+  workload_->save(w);
+  if (recovery_) recovery_->save(w);
+  if (attacker_) attacker_->save(w);
+  if (overload_) overload_->save(w);
+  if (policer_) policer_->save(w);
+  if (registry_) registry_->save(w);
+  if (recorder_) recorder_->save(w);
+  if (balancer_) balancer_->save(w);
+
+  w.section("serve_arrivals");
+  w.u64(arrivals_.size());
+  for (const TimedArrival& ta : arrivals_) {
+    w.f64(ta.time);
+    traffic::save_arrival(w, ta.arrival);
+  }
+  w.u64(cursor_);
+  w.boolean(armed_);
+
+  w.section("serve_events");
+  w.u64(sim_.next_seq());
+  const std::vector<sim::SavedEvent> events = sim_.dump_events();
+  w.u64(events.size());
+  for (const sim::SavedEvent& e : events) {
+    w.f64(e.time);
+    w.u64(e.seq);
+    w.pod(e.tag);
+  }
+}
+
+void ServeSession::load_snapshot(std::istream& is) {
+  const harness::ExperimentSpec& spec = config_.spec;
+  sim::SnapshotReader r(is);
+
+  char magic[sizeof(kSnapshotMagic)];
+  r.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("not a pstar snapshot (bad magic)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw std::runtime_error(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+
+  check_str("shape", r.str(), spec.shape.to_string());
+  check_u64("mesh", r.boolean() ? 1 : 0, spec.mesh ? 1 : 0);
+  const std::uint64_t wrap_count = r.u64();
+  check_u64("wraparound dimensions", wrap_count, spec.wraparound.size());
+  for (std::uint64_t d = 0; d < wrap_count; ++d) {
+    check_u64(("wraparound[" + std::to_string(d) + "]").c_str(),
+              r.boolean() ? 1 : 0, spec.wraparound[d] ? 1 : 0);
+  }
+  check_str("scheme", r.str(), spec.scheme.name);
+  check_u64("scheduler", r.u8(), static_cast<std::uint8_t>(spec.scheduler));
+  check_u64("seed", r.u64(), spec.seed);
+  check_u64("shards", r.u64(), static_cast<std::uint64_t>(spec.shards));
+  check_f64("rho", r.f64(), spec.rho);
+  check_f64("broadcast_fraction", r.f64(), spec.broadcast_fraction);
+  check_f64("mean task length", r.f64(), spec.length.mean());
+  check_f64("warmup", r.f64(), spec.warmup);
+  check_f64("measure", r.f64(), spec.measure);
+  check_u64("max_retries", r.u64(), spec.max_retries);
+  check_u64("overload mode", r.u8(),
+            static_cast<std::uint8_t>(spec.overload.mode));
+  check_u64("adaptive mode", r.u8(),
+            static_cast<std::uint8_t>(spec.adaptive.mode));
+  check_u64("attack kind", r.u8(), static_cast<std::uint8_t>(spec.attack.kind));
+  check_u64("policing", r.boolean() ? 1 : 0, spec.policing.enabled ? 1 : 0);
+
+  r.section("serve_core");
+  const double now = r.f64();
+  const std::uint64_t events_executed = r.u64();
+  r.rng(rng_);
+  const std::uint64_t policy_epoch = r.u64();
+
+  r.section("serve_files");
+  const std::uint64_t trace_records = r.u64();
+  const std::uint64_t trace_offset = r.u64();
+  metrics_records_ = r.u64();
+  const std::uint64_t metrics_offset = r.u64();
+
+  // The output streams reopen at the recorded offsets BEFORE the
+  // observer attaches, so the first resumed event appends exactly where
+  // the checkpointed process left off.
+  open_outputs(/*restoring=*/true, trace_offset, metrics_offset);
+  if (sink_) sink_->set_records(trace_records);
+  attach_observer();
+
+  engine_->load(r);
+  workload_->load(r);
+  if (recovery_) recovery_->load(r);
+  if (attacker_) attacker_->load(r);
+  if (overload_) overload_->load(r);
+  if (policer_) policer_->load(r);
+  if (registry_) registry_->load(r);
+  if (recorder_) recorder_->load(r);
+  if (balancer_) balancer_->load(r);
+
+  r.section("serve_arrivals");
+  const std::uint64_t arrival_count = r.u64();
+  arrivals_.resize(arrival_count);
+  for (TimedArrival& ta : arrivals_) {
+    ta.time = r.f64();
+    traffic::load_arrival(r, ta.arrival);
+  }
+  cursor_ = r.u64();
+  armed_ = r.boolean();
+
+  r.section("serve_events");
+  const std::uint64_t next_seq = r.u64();
+  std::vector<sim::SavedEvent> events(r.u64());
+  for (sim::SavedEvent& e : events) {
+    e.time = r.f64();
+    e.seq = r.u64();
+    r.pod(e.tag);
+  }
+
+  // Reinstate the (possibly re-solved) ending-dimension distribution
+  // before any restored event draws from it.
+  if (balancer_) {
+    policy_->restore_ending_probabilities(balancer_->current_x(),
+                                          policy_epoch);
+  } else if (policy_epoch != 0) {
+    throw std::runtime_error(
+        "snapshot restore: policy probability epoch " +
+        std::to_string(policy_epoch) +
+        " without an adaptive balancer in the serve config");
+  }
+
+  sim_.restore_events(
+      events, [this](const sim::EventTag& tag) { return rebuild_event(tag); },
+      next_seq);
+  sim_.set_clock(now, events_executed);
+}
+
+void ServeSession::checkpoint(const std::string& path) {
+  flush_outputs();
+  // Durability before the snapshot points at the file offsets: the bytes
+  // up to the recorded positions must survive the crash the snapshot is
+  // protection against.
+  if (sink_ && !config_.trace_path.empty()) fsync_file(config_.trace_path);
+  if (metrics_os_.is_open()) fsync_file(config_.metrics_path);
+  std::ostringstream buf(std::ios::binary);
+  save_snapshot(buf);
+  atomic_write(path, buf.str());
+}
+
+}  // namespace pstar::service

@@ -119,6 +119,61 @@ CalendarQueue::Bucket* CalendarQueue::locate_min_slow() const {
   return best;
 }
 
+std::vector<SavedEvent> CalendarQueue::dump() const {
+  std::vector<SavedEvent> out;
+  out.reserve(size_);
+  for (const Bucket& b : buckets_) {
+    for (std::size_t i = b.head; i < b.items.size(); ++i) {
+      out.push_back(
+          SavedEvent{b.items[i].time, b.items[i].seq, b.items[i].fn.tag()});
+    }
+  }
+  for (std::size_t i = far_.head; i < far_.items.size(); ++i) {
+    out.push_back(
+        SavedEvent{far_.items[i].time, far_.items[i].seq, far_.items[i].fn.tag()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SavedEvent& a, const SavedEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  for (const SavedEvent& e : out) {
+    if (e.tag.kind == 0) {
+      throw std::runtime_error(
+          "Scheduler::dump: pending event without a checkpoint tag "
+          "(kind 0); only fully tagged runs can be checkpointed");
+    }
+  }
+  return out;
+}
+
+void CalendarQueue::restore(const std::vector<SavedEvent>& events,
+                            const EventRebuilder& rebuild) {
+  if (size_ != 0) {
+    throw std::runtime_error("CalendarQueue::restore: queue not empty");
+  }
+  // The input ascends by (time, seq), so every insert takes the O(1)
+  // append path, the first calendar entry sets the cursor via the same
+  // jump rule as push(), and later entries never rewind it.  Ordering
+  // behaviour only needs cur_day_ <= the earliest pending day, which
+  // this establishes exactly.
+  for (const SavedEvent& e : events) {
+    EventFn fn = rebuild(e.tag);
+    if (in_overflow_range(e.time)) {
+      insert_sorted(far_, Entry{e.time, e.seq, std::move(fn)});
+      ++size_;
+      continue;
+    }
+    const std::uint64_t day = day_of(e.time);
+    if (main_size() == 0 || day < cur_day_) cur_day_ = day;
+    insert_sorted(buckets_[static_cast<std::size_t>(day) & mask_],
+                  Entry{e.time, e.seq, std::move(fn)});
+    ++size_;
+    maybe_grow();
+  }
+  min_cache_ = nullptr;
+}
+
 void CalendarQueue::clear() {
   buckets_.clear();
   buckets_.resize(kMinBuckets);

@@ -1,10 +1,32 @@
 #include "pstar/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "pstar/sim/calendar_queue.hpp"
 
 namespace pstar::sim {
+namespace {
+
+/// Shared dump post-processing: sort by the full ordering key and refuse
+/// untagged events (a queue holding one cannot be checkpointed).
+void finish_dump(std::vector<SavedEvent>& out) {
+  std::sort(out.begin(), out.end(),
+            [](const SavedEvent& a, const SavedEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  for (const SavedEvent& e : out) {
+    if (e.tag.kind == 0) {
+      throw std::runtime_error(
+          "Scheduler::dump: pending event without a checkpoint tag "
+          "(kind 0); only fully tagged runs can be checkpointed");
+    }
+  }
+}
+
+}  // namespace
 
 const char* scheduler_name(SchedulerKind kind) {
   switch (kind) {
@@ -38,6 +60,30 @@ std::pair<Time, EventFn> EventQueue::pop() {
 }
 
 void EventQueue::clear() { heap_.clear(); }
+
+std::vector<SavedEvent> EventQueue::dump() const {
+  std::vector<SavedEvent> out;
+  out.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    out.push_back(SavedEvent{e.time, e.seq, e.fn.tag()});
+  }
+  finish_dump(out);
+  return out;
+}
+
+void EventQueue::restore(const std::vector<SavedEvent>& events,
+                         const EventRebuilder& rebuild) {
+  if (!heap_.empty()) {
+    throw std::runtime_error("EventQueue::restore: queue not empty");
+  }
+  // The input is ascending by (time, seq); inserting in that order via
+  // the normal sift keeps the heap valid with the ORIGINAL seqs.
+  for (const SavedEvent& e : events) {
+    EventFn fn = rebuild(e.tag);
+    heap_.push_back(Entry{e.time, e.seq, std::move(fn)});
+    sift_up(heap_.size() - 1);
+  }
+}
 
 void EventQueue::sift_up(std::size_t i) {
   while (i > 0) {

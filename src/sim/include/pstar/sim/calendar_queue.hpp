@@ -58,6 +58,11 @@ class CalendarQueue final : public Scheduler {
   Time next_time() const override;
   std::pair<Time, EventFn> pop() override;
   void clear() override;
+  std::vector<SavedEvent> dump() const override;
+  void restore(const std::vector<SavedEvent>& events,
+               const EventRebuilder& rebuild) override;
+  std::uint64_t next_seq() const override { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) override { next_seq_ = seq; }
 
   // Introspection for tests and the design doc's worked examples.
   std::size_t bucket_count() const { return buckets_.size(); }

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -42,6 +43,42 @@ namespace pstar::sim {
 using Time = double;
 
 class Simulator;
+
+/// Serializable identity of a pending event (docs/SERVICE.md).  Closures
+/// are opaque, so checkpointing the pending-event set works by tagging:
+/// every event a checkpointable run schedules carries a tag naming which
+/// well-known closure it is (`kind`) plus up to three operand words; at
+/// restore time the owning subsystem rebuilds the closure from the tag.
+/// kind 0 means untagged -- such events cannot be checkpointed, and
+/// Scheduler::dump refuses a queue containing one.
+struct EventTag {
+  std::uint32_t kind = 0;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Well-known EventTag kinds.  The registry lives here (not in the
+/// subsystems) so any restorer can dispatch without cyclic includes; a
+/// subsystem owns the kinds it schedules and exposes a rebuild_event()
+/// that maps the tag back to its closure.
+namespace event_tags {
+inline constexpr std::uint32_t kServiceCompletion = 1;  ///< engine: b=link, c=epoch
+inline constexpr std::uint32_t kFailLink = 2;           ///< engine: b=link
+inline constexpr std::uint32_t kRepairLink = 3;         ///< engine: b=link
+inline constexpr std::uint32_t kWorkloadArrive = 4;     ///< traffic::Workload
+inline constexpr std::uint32_t kAttackArrive = 5;       ///< adversary::AttackerWorkload
+inline constexpr std::uint32_t kOverloadSample = 6;     ///< overload controller
+inline constexpr std::uint32_t kOverloadRelease = 7;    ///< overload controller
+inline constexpr std::uint32_t kRecoveryRetry = 8;      ///< recovery: b=task, c=epoch
+inline constexpr std::uint32_t kAdaptiveEpoch = 9;      ///< adaptive balancer
+inline constexpr std::uint32_t kBeginMeasure = 10;      ///< service: engine window
+inline constexpr std::uint32_t kEndMeasure = 11;        ///< service: engine window
+inline constexpr std::uint32_t kRegistryBegin = 12;     ///< service: registry window
+inline constexpr std::uint32_t kRegistryEnd = 13;       ///< service: registry window
+inline constexpr std::uint32_t kServeArrival = 14;      ///< service: b=arrival index
+inline constexpr std::uint32_t kServeMetrics = 15;      ///< service: metrics emit
+}  // namespace event_tags
 
 /// Move-only callable `void(Simulator&)` with small-buffer storage.
 ///
@@ -82,6 +119,17 @@ class EventFn {
     }
   }
 
+  /// Tagging constructor: same storage rules, plus a checkpoint tag.
+  /// Call sites opt into checkpointability by naming their closure; all
+  /// other scheduling paths are untouched (tag kind stays 0).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&, Simulator&>>>
+  EventFn(F&& f, EventTag tag) : EventFn(std::forward<F>(f)) {
+    tag_ = tag;
+  }
+
   EventFn(EventFn&& other) noexcept { move_from(other); }
 
   EventFn& operator=(EventFn&& other) noexcept {
@@ -101,6 +149,9 @@ class EventFn {
 
   /// Invokes the stored callable.  Requires bool(*this).
   void operator()(Simulator& sim) { ops_->invoke(storage_, sim); }
+
+  /// The checkpoint tag (kind 0 when the closure was never tagged).
+  const EventTag& tag() const noexcept { return tag_; }
 
  private:
   struct Ops {
@@ -139,6 +190,7 @@ class EventFn {
   };
 
   void move_from(EventFn& other) noexcept {
+    tag_ = other.tag_;
     if (other.ops_ != nullptr) {
       ops_ = other.ops_;
       if (ops_->relocate != nullptr) {
@@ -161,6 +213,7 @@ class EventFn {
 
   alignas(std::max_align_t) unsigned char storage_[kInlineSize];
   const Ops* ops_ = nullptr;
+  EventTag tag_{};
 };
 
 /// Which pending-event-set implementation a simulator uses.
@@ -177,6 +230,21 @@ struct TimedEvent {
   Time time;
   EventFn fn;
 };
+
+/// One checkpointed pending event: its full ordering key plus the tag
+/// the owning subsystem rebuilds the closure from (docs/SERVICE.md).
+/// The sequence number is saved and restored EXACTLY -- same-instant
+/// ties are ordered by seq, so resume determinism depends on it.
+struct SavedEvent {
+  Time time = 0.0;
+  std::uint64_t seq = 0;
+  EventTag tag;
+};
+
+/// Closure factory used by Scheduler::restore: maps a saved tag back to
+/// the closure the owning subsystem would have scheduled.  Cold path
+/// (checkpoint restore only), so std::function is fine here.
+using EventRebuilder = std::function<EventFn(const EventTag&)>;
 
 /// Pending-event-set interface shared by both backends.
 ///
@@ -218,6 +286,27 @@ class Scheduler {
 
   /// Discards all pending events.
   virtual void clear() = 0;
+
+  // --- Checkpoint/restore (docs/SERVICE.md).  Cold paths by design.
+
+  /// Snapshot of every pending event as (time, seq, tag), sorted by the
+  /// full (time, seq) ordering key.  Throws std::runtime_error when any
+  /// pending event is untagged (kind 0) -- such a queue cannot be
+  /// checkpointed.
+  virtual std::vector<SavedEvent> dump() const = 0;
+
+  /// Rebuilds the pending-event set from a dump: `events` must be sorted
+  /// by (time, seq) and the queue must be empty.  Each closure is
+  /// rebuilt through `rebuild` and inserted with its ORIGINAL sequence
+  /// number, so same-instant ties fire in the original order.  The seq
+  /// counter for future pushes must be restored separately via
+  /// set_next_seq.
+  virtual void restore(const std::vector<SavedEvent>& events,
+                       const EventRebuilder& rebuild) = 0;
+
+  /// The sequence number the next push will be assigned.
+  virtual std::uint64_t next_seq() const = 0;
+  virtual void set_next_seq(std::uint64_t seq) = 0;
 };
 
 /// Constructs a scheduler backend of the given kind.
@@ -232,6 +321,11 @@ class EventQueue final : public Scheduler {
   Time next_time() const override { return heap_.front().time; }
   std::pair<Time, EventFn> pop() override;
   void clear() override;
+  std::vector<SavedEvent> dump() const override;
+  void restore(const std::vector<SavedEvent>& events,
+               const EventRebuilder& rebuild) override;
+  std::uint64_t next_seq() const override { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) override { next_seq_ = seq; }
 
  private:
   struct Entry {

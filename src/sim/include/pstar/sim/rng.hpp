@@ -90,6 +90,14 @@ class Rng {
   /// streams to sub-components while keeping one master seed.
   std::uint64_t fork_seed();
 
+  /// The raw xoshiro256++ state, for checkpoint/restore
+  /// (docs/SERVICE.md).  set_state resumes the stream exactly where
+  /// state() captured it.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   std::uint64_t next();
 

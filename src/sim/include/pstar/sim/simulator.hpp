@@ -85,6 +85,31 @@ class Simulator {
   /// Direct access to the queue for tests.
   Scheduler& queue() { return *queue_; }
 
+  // --- Checkpoint/restore (docs/SERVICE.md).
+
+  /// Snapshot of every pending event, sorted by (time, seq).  Throws
+  /// when any pending event lacks a checkpoint tag.
+  std::vector<SavedEvent> dump_events() const { return queue_->dump(); }
+
+  /// Rebuilds the pending-event set from a dump (queue must be empty);
+  /// `next_seq` restores the counter future pushes draw from.
+  void restore_events(const std::vector<SavedEvent>& events,
+                      const EventRebuilder& rebuild, std::uint64_t next_seq) {
+    queue_->restore(events, rebuild);
+    queue_->set_next_seq(next_seq);
+  }
+
+  /// Sequence number the next scheduled event will receive.
+  std::uint64_t next_seq() const { return queue_->next_seq(); }
+
+  /// Restores the clock and lifetime event counter of a checkpointed
+  /// run.  Only valid on a freshly constructed simulator being restored;
+  /// never call it mid-run.
+  void set_clock(Time now, std::uint64_t events_executed) {
+    now_ = now;
+    events_executed_ = events_executed;
+  }
+
  private:
   SchedulerKind kind_;
   std::unique_ptr<Scheduler> queue_;

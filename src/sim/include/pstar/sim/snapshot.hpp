@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Binary snapshot archive for checkpoint/restore (docs/SERVICE.md).
+///
+/// A snapshot is a flat byte stream of primitive fields written and read
+/// in one fixed order by the owning subsystems.  There is no schema in
+/// the stream beyond section markers: writer and reader are the SAME
+/// build of the same code (the service layer's versioned header enforces
+/// that before any section is read), so the format favors exactness and
+/// simplicity over self-description:
+///
+///   - integers are written little-endian at fixed width;
+///   - doubles are written as their IEEE-754 bit pattern (std::bit_cast
+///     to u64), so every value -- including -0.0, subnormals, and the
+///     infinities used as sentinels -- round-trips bit for bit, which
+///     the resume determinism contract requires;
+///   - trivially copyable records and vectors of them are written as raw
+///     bytes (guarded by static_assert at the call sites);
+///   - each subsystem section opens with a 32-bit marker so a
+///     misaligned read fails immediately with the section name instead
+///     of deserializing garbage.
+///
+/// Reads throw std::runtime_error on truncation or marker mismatch.
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace pstar::sim {
+
+class Rng;
+
+/// Sequential binary writer over a std::ostream.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed UTF-8 bytes.
+  void str(std::string_view s);
+
+  /// Raw bytes of one trivially copyable record.
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(T));
+  }
+
+  /// Length-prefixed raw bytes of a vector of trivially copyable records.
+  template <typename T>
+  void pod_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    if (!v.empty()) raw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Length-prefixed vector of doubles (bit-exact, element-wise f64).
+  void f64_vec(const std::vector<double>& v);
+
+  /// xoshiro256++ state.
+  void rng(const Rng& r);
+
+  /// Section marker; the reader checks it by name.
+  void section(std::string_view name);
+
+  void raw(const void* data, std::size_t size);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Sequential binary reader mirroring SnapshotWriter.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& is) : is_(is) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  std::string str();
+
+  template <typename T>
+  void pod(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(T));
+  }
+
+  template <typename T>
+  void pod_vec(std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = u64();
+    v.resize(static_cast<std::size_t>(n));
+    if (!v.empty()) raw(v.data(), v.size() * sizeof(T));
+  }
+
+  void f64_vec(std::vector<double>& v);
+
+  void rng(Rng& r);
+
+  /// Consumes a section marker; throws naming `name` on mismatch.
+  void section(std::string_view name);
+
+  void raw(void* data, std::size_t size);
+
+ private:
+  std::istream& is_;
+};
+
+}  // namespace pstar::sim

@@ -1,0 +1,120 @@
+#include "pstar/sim/snapshot.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "pstar/sim/rng.hpp"
+
+namespace pstar::sim {
+namespace {
+
+/// FNV-1a over the section name: a stable 32-bit marker that needs no
+/// registry and makes a misaligned read fail with overwhelming
+/// probability.
+std::uint32_t section_marker(std::string_view name) {
+  std::uint32_t h = 2166136261u;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+void SnapshotWriter::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, sizeof(b));
+}
+
+void SnapshotWriter::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, sizeof(b));
+}
+
+void SnapshotWriter::str(std::string_view s) {
+  u64(s.size());
+  if (!s.empty()) raw(s.data(), s.size());
+}
+
+void SnapshotWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void SnapshotWriter::rng(const Rng& r) {
+  for (std::uint64_t w : r.state()) u64(w);
+}
+
+void SnapshotWriter::section(std::string_view name) {
+  u32(section_marker(name));
+}
+
+void SnapshotWriter::raw(const void* data, std::size_t size) {
+  os_.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!os_) throw std::runtime_error("SnapshotWriter: write failed");
+}
+
+std::uint8_t SnapshotReader::u8() {
+  std::uint8_t v;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint32_t SnapshotReader::u32() {
+  std::uint8_t b[4];
+  raw(b, sizeof(b));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  std::uint8_t b[8];
+  raw(b, sizeof(b));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint64_t n = u64();
+  std::string s(static_cast<std::size_t>(n), '\0');
+  if (n > 0) raw(s.data(), s.size());
+  return s;
+}
+
+void SnapshotReader::f64_vec(std::vector<double>& v) {
+  const std::uint64_t n = u64();
+  v.resize(static_cast<std::size_t>(n));
+  for (double& x : v) x = f64();
+}
+
+void SnapshotReader::rng(Rng& r) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& w : state) w = u64();
+  r.set_state(state);
+}
+
+void SnapshotReader::section(std::string_view name) {
+  const std::uint32_t found = u32();
+  const std::uint32_t want = section_marker(name);
+  if (found != want) {
+    throw std::runtime_error("snapshot: section marker mismatch at '" +
+                             std::string(name) +
+                             "' (stream is misaligned or corrupt)");
+  }
+}
+
+void SnapshotReader::raw(void* data, std::size_t size) {
+  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(is_.gcount()) != size) {
+    throw std::runtime_error("SnapshotReader: truncated snapshot");
+  }
+}
+
+}  // namespace pstar::sim

@@ -15,6 +15,13 @@ class Histogram {
   /// bucket_width > 0, bucket_count >= 1.
   Histogram(double bucket_width, std::size_t bucket_count);
 
+  /// Rebuilds a histogram from checkpointed state (docs/SERVICE.md):
+  /// `counts` is the raw bucket vector including the trailing overflow
+  /// bucket, exactly as raw_counts() reported it.
+  Histogram(double bucket_width, std::vector<std::uint64_t> counts,
+            std::uint64_t total)
+      : width_(bucket_width), counts_(std::move(counts)), total_(total) {}
+
   /// Records a non-negative observation (values beyond the range land in
   /// the overflow bucket).
   void add(double x);
@@ -32,6 +39,10 @@ class Histogram {
   std::size_t bucket_count() const { return counts_.size() - 1; }
   std::uint64_t overflow() const { return counts_.back(); }
   double bucket_width() const { return width_; }
+
+  /// The raw bucket vector (regular buckets then overflow), for
+  /// checkpointing; feed back through the restoring constructor.
+  const std::vector<std::uint64_t>& raw_counts() const { return counts_; }
 
   /// Smallest bucket upper edge at or above the q-quantile (q in [0, 1]).
   /// Observations in the overflow bucket report the range's upper bound.

@@ -5,6 +5,8 @@
 /// of broadcast tasks simultaneously in flight (Fig. 8 of the paper) or a
 /// queue length.
 
+#include <cstdint>
+
 namespace pstar::stats {
 
 /// Integrates a piecewise-constant signal over simulation time and reports
@@ -77,11 +79,16 @@ class TimeWeighted {
   void check_monotonic(double t) const;
 
   bool started_ = false;
+  /// Explicit padding, always zero: gauges are checkpointed as raw bytes
+  /// (docs/SERVICE.md), so the alignment hole must be deterministic.
+  std::uint8_t pad_[7] = {};
   double start_t_ = 0.0;
   double last_t_ = 0.0;
   double value_ = 0.0;
   double integral_ = 0.0;
   double max_ = 0.0;
 };
+static_assert(sizeof(TimeWeighted) == 48,
+              "no hidden padding: TimeWeighted is checkpointed");
 
 }  // namespace pstar::stats

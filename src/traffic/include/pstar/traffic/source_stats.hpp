@@ -84,6 +84,11 @@ class SourceStats {
   }
   const SourceStatsConfig& config() const { return config_; }
 
+  // --- Checkpoint/restore (docs/SERVICE.md): the whole per-source slab
+  // (entries are flat POD records; the tracker draws no randomness).
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
  private:
   /// Q16 fixed point: 1.0 == 65536.
   static constexpr std::int64_t kOne = 1 << 16;
@@ -100,7 +105,11 @@ class SourceStats {
     std::int64_t share_q16 = 0;      ///< EWMA of top-destination share (Q16)
     std::int64_t forced_q16 = 0;     ///< EWMA of forced-dim share (Q16)
     bool primed = false;             ///< first window folds without decay
+    /// Explicit padding, always zero: the slab is checkpointed raw.
+    std::uint8_t pad_[7] = {};
   };
+  static_assert(sizeof(Entry) == 64,
+                "no hidden padding: Entry is checkpointed");
 
   /// Folds the open window of `e` into the EWMAs and advances it to
   /// `target` (decaying or resetting across skipped idle windows).

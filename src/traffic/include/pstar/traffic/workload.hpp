@@ -56,6 +56,12 @@ class AdmissionGate {
 /// admission gates (deferred launches).
 void launch_arrival(net::Engine& engine, const Arrival& arrival);
 
+/// Checkpoint round-trip of one drawn-but-not-launched Arrival
+/// (docs/SERVICE.md); used for gate-deferred arrivals held across a
+/// snapshot (e.g. the overload controller's release queue).
+void save_arrival(sim::SnapshotWriter& w, const Arrival& a);
+void load_arrival(sim::SnapshotReader& r, Arrival& a);
+
 /// Workload parameters (rates are per node per unit time).
 struct WorkloadConfig {
   double lambda_broadcast = 0.0;
@@ -123,6 +129,15 @@ class Workload {
   AdmissionGate* gate() const { return gate_; }
 
   std::uint64_t generated() const { return generated_; }
+
+  // --- Checkpoint/restore (docs/SERVICE.md).  Derived rates come from
+  // the config; only the mutable generator state crosses the snapshot.
+  // The shared rng is saved by the session, and the pending arrival
+  // event returns through the scheduler restore.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+  /// Rebuilds the pending arrival event from its checkpoint tag.
+  sim::EventFn rebuild_event(const sim::EventTag& tag);
 
  private:
   void arrive(sim::Simulator& sim);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::traffic {
 
 SourceStats::SourceStats(std::int64_t node_count, SourceStatsConfig config)
@@ -160,6 +162,16 @@ SourceSignals SourceStats::signals(topo::NodeId source, double now) const {
         static_cast<double>(ratio_q16(e.forced, e.count)) * scale);
   }
   return s;
+}
+
+void SourceStats::save(sim::SnapshotWriter& w) const {
+  w.section("source_stats");
+  w.pod_vec(slab_);
+}
+
+void SourceStats::load(sim::SnapshotReader& r) {
+  r.section("source_stats");
+  r.pod_vec(slab_);
 }
 
 }  // namespace pstar::traffic

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "pstar/sim/snapshot.hpp"
+
 namespace pstar::traffic {
 
 void launch_arrival(net::Engine& engine, const Arrival& arrival) {
@@ -88,7 +90,9 @@ void Workload::schedule_next() {
       total_rate_ / static_cast<double>(config_.batch_size);
   const double next = sim_.now() + rng_.exponential(epoch_rate);
   if (next > config_.stop_time) return;
-  sim_.at(next, [this](sim::Simulator& s) { arrive(s); });
+  sim_.at(next, sim::EventFn([this](sim::Simulator& s) { arrive(s); },
+                             sim::EventTag{sim::event_tags::kWorkloadArrive,
+                                           0, 0, 0}));
 }
 
 void Workload::arrive(sim::Simulator&) {
@@ -128,6 +132,43 @@ void Workload::arrive(sim::Simulator&) {
     ++generated_;
   }
   schedule_next();
+}
+
+void save_arrival(sim::SnapshotWriter& w, const Arrival& a) {
+  w.u8(static_cast<std::uint8_t>(a.kind));
+  w.i64(a.source);
+  w.i64(a.dest);
+  w.u32(a.length);
+  w.u32(static_cast<std::uint32_t>(a.ending_dim));
+  w.pod_vec(a.group);
+}
+
+void load_arrival(sim::SnapshotReader& r, Arrival& a) {
+  a.kind = static_cast<net::TaskKind>(r.u8());
+  a.source = static_cast<topo::NodeId>(r.i64());
+  a.dest = static_cast<topo::NodeId>(r.i64());
+  a.length = r.u32();
+  a.ending_dim = static_cast<std::int32_t>(r.u32());
+  r.pod_vec(a.group);
+}
+
+void Workload::save(sim::SnapshotWriter& w) const {
+  w.section("workload");
+  w.boolean(stopped_);
+  w.u64(generated_);
+}
+
+void Workload::load(sim::SnapshotReader& r) {
+  r.section("workload");
+  stopped_ = r.boolean();
+  generated_ = r.u64();
+}
+
+sim::EventFn Workload::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind != sim::event_tags::kWorkloadArrive) {
+    throw std::runtime_error("Workload::rebuild_event: unknown tag kind");
+  }
+  return sim::EventFn([this](sim::Simulator& s) { arrive(s); }, tag);
 }
 
 void Workload::sample_group(topo::NodeId source) {

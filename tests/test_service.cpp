@@ -1,0 +1,523 @@
+// Service mode (docs/SERVICE.md): the resume determinism contract.
+//
+// The tentpole assertion: checkpoint + kill + restore produces
+// BYTE-IDENTICAL outputs versus the uninterrupted run -- the trace file,
+// the metrics file, and a final end-of-run snapshot (which serializes
+// every counter, queue, rng cursor, and histogram, so byte equality of
+// the final snapshots is an EXPECT_EQ over the complete final state).
+// The matrix below covers every subsystem combination: faults x
+// recovery x overload x adaptive x attack x policing, on both scheduler
+// backends, including a cut with recovery retries pending and a cut
+// inside an active quarantine window.
+//
+// The "kill" is simulated faithfully: after the checkpoint the first
+// process keeps running PAST the snapshot instant (dirtying the trace
+// and metrics files with post-checkpoint records) and is then destroyed
+// without another checkpoint, so restore must truncate the crash tail
+// at the recorded byte offsets.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pstar/service/dsl.hpp"
+#include "pstar/service/serve.hpp"
+
+namespace pstar {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+harness::ExperimentSpec base_spec() {
+  harness::ExperimentSpec spec;
+  spec.shape = topo::Shape{4, 4};
+  spec.scheme = *core::Scheme::by_name("priority-STAR");
+  spec.rho = 0.4;
+  spec.warmup = 50.0;
+  spec.measure = 300.0;
+  spec.seed = 7;
+  return spec;
+}
+
+struct ServiceCase {
+  const char* label;
+  harness::ExperimentSpec spec;
+  double cut = 120.0;        ///< checkpoint instant
+  double crash_tail = 60.0;  ///< extra time run after the checkpoint
+  bool scripted = false;     ///< add DSL-style scripted arrivals
+  bool expect_open_retries = false;    ///< retries pending at the cut
+  bool expect_quarantine_open = false; ///< active window at the cut
+};
+
+using TimedArrival = service::TimedArrival;
+
+std::vector<TimedArrival> scripted_arrivals() {
+  std::vector<service::TimedArrival> a;
+  for (int i = 0; i < 12; ++i) {
+    service::TimedArrival ta;
+    ta.time = 20.0 + 10.0 * i;
+    if (i % 3 == 0) {
+      ta.arrival.kind = net::TaskKind::kBroadcast;
+      ta.arrival.source = static_cast<topo::NodeId>(i % 16);
+      ta.arrival.dest = ta.arrival.source;
+    } else {
+      ta.arrival.kind = net::TaskKind::kUnicast;
+      ta.arrival.source = static_cast<topo::NodeId>(i % 16);
+      ta.arrival.dest = static_cast<topo::NodeId>((i * 5 + 3) % 16);
+    }
+    ta.arrival.length = 1 + (i % 3);
+    a.push_back(ta);
+  }
+  return a;
+}
+
+struct RunOutput {
+  std::string trace;
+  std::string metrics;
+  std::string final_snapshot;
+  std::uint64_t completed = 0;
+  std::uint64_t events = 0;
+};
+
+service::ServeConfig make_config(const harness::ExperimentSpec& spec,
+                                 const std::string& stem) {
+  service::ServeConfig config;
+  config.spec = spec;
+  config.trace_path = stem + ".trace.jsonl";
+  config.metrics_path = stem + ".metrics.jsonl";
+  config.metrics_period = 40.0;
+  return config;
+}
+
+RunOutput finish(service::ServeSession& session,
+                 const service::ServeConfig& config) {
+  session.drain();
+  session.flush_outputs();
+  RunOutput out;
+  std::ostringstream snap(std::ios::binary);
+  session.save_snapshot(snap);
+  out.final_snapshot = snap.str();
+  const net::Metrics& m = session.engine().metrics();
+  out.completed =
+      m.tasks_completed[0] + m.tasks_completed[1] + m.tasks_completed[2];
+  out.events = session.simulator().events_executed();
+  out.trace = read_file(config.trace_path);
+  out.metrics = read_file(config.metrics_path);
+  return out;
+}
+
+RunOutput run_uninterrupted(const ServiceCase& c, const std::string& stem) {
+  const service::ServeConfig config = make_config(c.spec, stem);
+  service::ServeSession session(config);
+  if (c.scripted) session.add_arrivals(scripted_arrivals());
+  return finish(session, config);
+}
+
+RunOutput run_interrupted(const ServiceCase& c, const std::string& stem) {
+  const service::ServeConfig config = make_config(c.spec, stem);
+  const std::string snap_path = stem + ".snap.bin";
+  {
+    service::ServeSession session(config);
+    if (c.scripted) session.add_arrivals(scripted_arrivals());
+    session.advance(c.cut);
+    session.checkpoint(snap_path);
+    if (c.expect_open_retries) {
+      EXPECT_NE(session.recovery(), nullptr);
+      EXPECT_GT(session.recovery()->open_tasks(), 0u)
+          << "cut instant was meant to land with retries pending";
+    }
+    if (c.expect_quarantine_open) {
+      EXPECT_NE(session.policer(), nullptr);
+      bool open = false;
+      const std::int64_t nodes = 16;
+      for (topo::NodeId src = 0; src < nodes; ++src) {
+        if (session.policer()->quarantine_until(src) > session.now()) {
+          open = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(open)
+          << "cut instant was meant to land inside a quarantine window";
+    }
+    // Crash tail: keep running past the checkpoint so the output files
+    // carry records the restore must discard.
+    session.advance(c.cut + c.crash_tail);
+    // Destroyed without a second checkpoint == killed.
+  }
+  service::ServeSession resumed(config, snap_path);
+  EXPECT_LE(resumed.now(), c.cut);
+  return finish(resumed, config);
+}
+
+class ResumeDeterminism : public ::testing::TestWithParam<ServiceCase> {};
+
+TEST_P(ResumeDeterminism, CheckpointKillRestoreIsByteIdentical) {
+  const ServiceCase& c = GetParam();
+  const std::string dir = ::testing::TempDir();
+  const RunOutput ref =
+      run_uninterrupted(c, dir + "svc_ref_" + c.label);
+  const RunOutput cut = run_interrupted(c, dir + "svc_cut_" + c.label);
+
+  EXPECT_GT(ref.completed, 0u);
+  EXPECT_EQ(ref.trace, cut.trace) << "trace bytes diverged after resume";
+  EXPECT_EQ(ref.metrics, cut.metrics)
+      << "metrics bytes diverged after resume";
+  EXPECT_EQ(ref.final_snapshot, cut.final_snapshot)
+      << "final engine state diverged after resume";
+  EXPECT_EQ(ref.completed, cut.completed);
+  EXPECT_EQ(ref.events, cut.events);
+}
+
+std::vector<ServiceCase> service_cases() {
+  std::vector<ServiceCase> cases;
+
+  {  // 1: plain baseline, calendar scheduler
+    ServiceCase c{"base", base_spec()};
+    cases.push_back(c);
+  }
+  {  // 2: heap scheduler backend
+    ServiceCase c{"heap", base_spec()};
+    c.spec.scheduler = sim::SchedulerKind::kHeap;
+    cases.push_back(c);
+  }
+  {  // 3: random faults + recovery, cut with retries pending
+    ServiceCase c{"faults_retries", base_spec()};
+    c.spec.rho = 0.7;
+    c.spec.fault_mtbf = 150.0;
+    c.spec.fault_mttr = 80.0;
+    c.spec.max_retries = 5;
+    c.spec.seed = 21;
+    c.cut = 180.0;
+    c.expect_open_retries = true;
+    cases.push_back(c);
+  }
+  {  // 4: overload throttling past saturation
+    ServiceCase c{"overload_throttle", base_spec()};
+    c.spec.rho = 1.3;
+    c.spec.overload.mode = overload::OverloadMode::kThrottle;
+    cases.push_back(c);
+  }
+  {  // 5: overload shedding + full link metrics + wait histograms
+    ServiceCase c{"overload_shed_metrics", base_spec()};
+    c.spec.rho = 1.3;
+    c.spec.overload.mode = overload::OverloadMode::kShed;
+    c.spec.collect_link_metrics = true;
+    c.spec.record_histograms = true;
+    cases.push_back(c);
+  }
+  {  // 6: closed-loop adaptive balancing (epoch timer + re-solved x)
+    ServiceCase c{"adaptive", base_spec()};
+    c.spec.rho = 0.6;
+    c.spec.broadcast_fraction = 0.7;
+    c.spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
+    c.spec.adaptive.interval = 60.0;
+    c.spec.adaptive.deadband = 0.0;
+    c.cut = 200.0;  // past several applied epochs
+    cases.push_back(c);
+  }
+  {  // 7: pulse attack + policing, cut inside a quarantine window
+    ServiceCase c{"attack_policing", base_spec()};
+    c.spec.rho = 0.6;
+    c.spec.attack.kind = adversary::AttackKind::kPulse;
+    c.spec.attack.intensity = 3.0;
+    c.spec.policing.enabled = true;
+    c.spec.seed = 5;
+    c.cut = 150.0;
+    c.expect_quarantine_open = true;
+    cases.push_back(c);
+  }
+  {  // 8: every subsystem at once, heap scheduler
+    ServiceCase c{"everything", base_spec()};
+    c.spec.rho = 0.9;
+    c.spec.warmup = 100.0;
+    c.spec.measure = 400.0;
+    c.spec.fault_mtbf = 300.0;
+    c.spec.fault_mttr = 50.0;
+    c.spec.max_retries = 3;
+    c.spec.overload.mode = overload::OverloadMode::kThrottle;
+    c.spec.adaptive.mode = routing::AdaptiveMode::kPeriodic;
+    c.spec.adaptive.interval = 80.0;
+    c.spec.attack.kind = adversary::AttackKind::kStorm;
+    c.spec.policing.enabled = true;
+    c.spec.scheduler = sim::SchedulerKind::kHeap;
+    c.spec.seed = 11;
+    c.cut = 250.0;
+    cases.push_back(c);
+  }
+  {  // 9: scripted (DSL-style) arrivals riding on Poisson background
+    ServiceCase c{"scripted", base_spec()};
+    c.spec.rho = 0.2;
+    c.scripted = true;
+    c.cut = 60.0;  // scripted arrivals still pending at the cut
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServiceMatrix, ResumeDeterminism, ::testing::ValuesIn(service_cases()),
+    [](const ::testing::TestParamInfo<ServiceCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// --- Snapshot rejection: wrong version / wrong experiment identity ---
+
+TEST(SnapshotRejection, UnknownVersionNamesBothVersions) {
+  const std::string stem = ::testing::TempDir() + "svc_ver";
+  const service::ServeConfig config = make_config(base_spec(), stem);
+  std::ostringstream snap(std::ios::binary);
+  {
+    service::ServeSession session(config);
+    session.advance(40.0);
+    session.save_snapshot(snap);
+  }
+  std::string bytes = snap.str();
+  bytes[8] = static_cast<char>(99);  // version u32 follows the 8-byte magic
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    service::ServeSession resumed(config, is);
+    FAIL() << "version 99 snapshot was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(service::kSnapshotVersion)),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(SnapshotRejection, BadMagicIsRefused) {
+  const service::ServeConfig config =
+      make_config(base_spec(), ::testing::TempDir() + "svc_magic");
+  std::istringstream is("definitely not a snapshot", std::ios::binary);
+  EXPECT_THROW(service::ServeSession(config, is), std::runtime_error);
+}
+
+TEST(SnapshotRejection, IdentityMismatchNamesBothValues) {
+  const std::string stem = ::testing::TempDir() + "svc_ident";
+  const service::ServeConfig config = make_config(base_spec(), stem);
+  std::ostringstream snap(std::ios::binary);
+  {
+    service::ServeSession session(config);
+    session.advance(40.0);
+    session.save_snapshot(snap);
+  }
+  {  // different seed
+    service::ServeConfig other = config;
+    other.spec.seed = 12345;
+    std::istringstream is(snap.str(), std::ios::binary);
+    try {
+      service::ServeSession resumed(other, is);
+      FAIL() << "seed-mismatched snapshot was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("seed"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("7"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("12345"), std::string::npos) << msg;
+    }
+  }
+  {  // different topology
+    service::ServeConfig other = config;
+    other.spec.shape = topo::Shape{8, 8};
+    std::istringstream is(snap.str(), std::ios::binary);
+    try {
+      service::ServeSession resumed(other, is);
+      FAIL() << "shape-mismatched snapshot was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("4x4"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("8x8"), std::string::npos) << msg;
+    }
+  }
+  {  // different scheduler backend
+    service::ServeConfig other = config;
+    other.spec.scheduler = sim::SchedulerKind::kHeap;
+    std::istringstream is(snap.str(), std::ios::binary);
+    EXPECT_THROW(service::ServeSession(other, is), std::runtime_error);
+  }
+}
+
+// --- Rejected configurations ---
+
+TEST(ServeConfigValidation, MulticastAndShardsAreRejected) {
+  {
+    service::ServeConfig config =
+        make_config(base_spec(), ::testing::TempDir() + "svc_rejm");
+    config.spec.multicast_fraction = 0.2;
+    config.spec.multicast_group = 4;
+    EXPECT_THROW(service::ServeSession{config}, std::invalid_argument);
+  }
+  {
+    service::ServeConfig config =
+        make_config(base_spec(), ::testing::TempDir() + "svc_rejs");
+    config.spec.shards = 2;
+    EXPECT_THROW(service::ServeSession{config}, std::invalid_argument);
+  }
+}
+
+// --- DSL parsing ---
+
+TEST(Dsl, ParsesEveryVerb) {
+  service::Command c = service::parse_command("arrive 12.5 unicast 3 9 4");
+  EXPECT_EQ(c.kind, service::Command::Kind::kArrive);
+  EXPECT_DOUBLE_EQ(c.time, 12.5);
+  EXPECT_EQ(c.arrival.kind, net::TaskKind::kUnicast);
+  EXPECT_EQ(c.arrival.source, 3);
+  EXPECT_EQ(c.arrival.dest, 9);
+  EXPECT_EQ(c.arrival.length, 4u);
+
+  c = service::parse_command("arrive 3 broadcast 0");
+  EXPECT_EQ(c.arrival.kind, net::TaskKind::kBroadcast);
+  EXPECT_EQ(c.arrival.length, 1u);
+
+  c = service::parse_command("run 500");
+  EXPECT_EQ(c.kind, service::Command::Kind::kRun);
+  EXPECT_DOUBLE_EQ(c.time, 500.0);
+
+  EXPECT_EQ(service::parse_command("drain").kind,
+            service::Command::Kind::kDrain);
+  c = service::parse_command("checkpoint /tmp/s.bin");
+  EXPECT_EQ(c.kind, service::Command::Kind::kCheckpoint);
+  EXPECT_EQ(c.path, "/tmp/s.bin");
+  EXPECT_EQ(service::parse_command("metrics").kind,
+            service::Command::Kind::kMetrics);
+  EXPECT_EQ(service::parse_command("quit").kind,
+            service::Command::Kind::kQuit);
+  EXPECT_EQ(service::parse_command("").kind, service::Command::Kind::kNone);
+  EXPECT_EQ(service::parse_command("# comment").kind,
+            service::Command::Kind::kNone);
+  EXPECT_EQ(service::parse_command("run 10 # trailing").kind,
+            service::Command::Kind::kRun);
+}
+
+TEST(Dsl, RejectsMalformedLines) {
+  EXPECT_THROW(service::parse_command("arrive"), std::invalid_argument);
+  EXPECT_THROW(service::parse_command("arrive x broadcast 0"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_command("arrive 5 unicast 3"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_command("arrive 5 teleport 3"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_command("run"), std::invalid_argument);
+  EXPECT_THROW(service::parse_command("launch 5"), std::invalid_argument);
+  EXPECT_THROW(service::parse_command("arrive 5 broadcast 0 1 2 3"),
+               std::invalid_argument);
+}
+
+TEST(Dsl, ScriptDrivesASessionEndToEnd) {
+  const std::string stem = ::testing::TempDir() + "svc_script";
+  service::ServeConfig config = make_config(base_spec(), stem);
+  config.spec.rho = 0.0;  // scripted arrivals only
+  service::ServeSession session(config);
+  std::istringstream script(
+      "# demo script\n"
+      "arrive 10 broadcast 0\n"
+      "arrive 20 unicast 1 14 2\n"
+      "run 100\n"
+      "metrics\n"
+      "drain\n"
+      "quit\n"
+      "arrive 999 broadcast 0\n");  // never reached
+  service::run_script(session, script);
+  const net::Metrics& m = session.engine().metrics();
+  EXPECT_EQ(m.tasks_completed[0] + m.tasks_completed[1] + m.tasks_completed[2],
+            2u);
+  EXPECT_EQ(session.pending_arrivals(), 0u);
+}
+
+// --- Trace replay ---
+
+TEST(TraceReplay, TaskRecordsBecomeScriptedArrivals) {
+  std::istringstream trace(
+      "{\"ev\":\"run\",\"schema\":6,\"mode\":\"serve\"}\n"
+      "{\"ev\":\"task\",\"t\":5.5,\"task\":0,\"kind\":\"broadcast\","
+      "\"src\":3,\"dst\":3,\"len\":2,\"measured\":false}\n"
+      "{\"ev\":\"enq\",\"t\":5.5,\"task\":0,\"link\":1,\"prio\":0}\n"
+      "{\"ev\":\"task\",\"t\":9.25,\"task\":1,\"kind\":\"unicast\","
+      "\"src\":0,\"dst\":12,\"len\":1,\"measured\":true}\n");
+  const std::vector<TimedArrival> arrivals =
+      service::load_trace_arrivals(trace);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0].time, 5.5);
+  EXPECT_EQ(arrivals[0].arrival.kind, net::TaskKind::kBroadcast);
+  EXPECT_EQ(arrivals[0].arrival.source, 3);
+  EXPECT_EQ(arrivals[0].arrival.length, 2u);
+  EXPECT_DOUBLE_EQ(arrivals[1].time, 9.25);
+  EXPECT_EQ(arrivals[1].arrival.kind, net::TaskKind::kUnicast);
+  EXPECT_EQ(arrivals[1].arrival.dest, 12);
+}
+
+TEST(TraceReplay, RejectsFutureSchemaAndMulticast) {
+  {
+    std::istringstream trace("{\"ev\":\"run\",\"schema\":99}\n");
+    EXPECT_THROW(service::load_trace_arrivals(trace), std::runtime_error);
+  }
+  {
+    std::istringstream trace(
+        "{\"ev\":\"run\",\"schema\":6}\n"
+        "{\"ev\":\"task\",\"t\":1,\"task\":0,\"kind\":\"multicast\","
+        "\"src\":0,\"dst\":0,\"len\":1,\"measured\":false}\n");
+    EXPECT_THROW(service::load_trace_arrivals(trace), std::runtime_error);
+  }
+  {  // task before any header
+    std::istringstream trace(
+        "{\"ev\":\"task\",\"t\":1,\"task\":0,\"kind\":\"unicast\","
+        "\"src\":0,\"dst\":1,\"len\":1,\"measured\":false}\n");
+    EXPECT_THROW(service::load_trace_arrivals(trace), std::runtime_error);
+  }
+}
+
+TEST(TraceReplay, RecordedTraceReplaysToSameTaskCount) {
+  const std::string stem = ::testing::TempDir() + "svc_replay";
+  service::ServeConfig config = make_config(base_spec(), stem);
+  std::uint64_t recorded = 0;
+  {
+    service::ServeSession session(config);
+    session.drain();
+    const net::Metrics& m = session.engine().metrics();
+    recorded =
+        m.tasks_completed[0] + m.tasks_completed[1] + m.tasks_completed[2];
+  }
+  const std::vector<TimedArrival> arrivals =
+      service::load_trace_arrivals_file(config.trace_path);
+  EXPECT_EQ(arrivals.size(), recorded);
+
+  service::ServeConfig replay_config =
+      make_config(base_spec(), stem + "_rerun");
+  replay_config.spec.rho = 0.0;  // replayed arrivals only
+  service::ServeSession replayed(replay_config);
+  replayed.add_arrivals(arrivals);
+  replayed.drain();
+  const net::Metrics& m = replayed.engine().metrics();
+  EXPECT_EQ(m.tasks_completed[0] + m.tasks_completed[1] + m.tasks_completed[2],
+            recorded);
+}
+
+// --- Trace sink flush satellite ---
+
+TEST(TraceSinkFlush, DestructionLeavesNoTornLastLine) {
+  const std::string path = ::testing::TempDir() + "svc_flush.trace.jsonl";
+  service::ServeConfig config = make_config(base_spec(), path + ".stem");
+  config.trace_path = path;
+  {
+    service::ServeSession session(config);
+    session.advance(100.0);
+    // No explicit flush: destruction must leave only complete lines.
+  }
+  const std::string bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes.back(), '\n');
+}
+
+}  // namespace
+}  // namespace pstar

@@ -17,8 +17,10 @@ schema table in docs/OBSERVABILITY.md, versions 1 through 6:
     link_down on a down link or link_up on an up link -- and no enq
     lands on a link that is currently down;
   - retx records (schema 3+) carry a known mode, a retry counter
-    that starts at >= 1 and never decreases over one task's lifetime,
-    and only appear for tasks that previously suffered a drop;
+    that starts at >= 1 and never decreases within one recovery
+    episode (a reset to 1 opens a new episode: the task was
+    re-orphaned by a later fault after recovering), and only appear
+    for tasks that previously suffered a drop;
   - overload records (schema 4, docs/OVERLOAD.md): sat_on / sat_off
     strictly alternate per run starting with sat_on (a final window
     left open by an aborted or truncated run is legal); shed and
@@ -39,8 +41,12 @@ schema table in docs/OBSERVABILITY.md, versions 1 through 6:
   - a run that ends with links still down is flagged with a NOTE (not
     an error: permanent scripted faults legitimately outlive the run).
 
-Usage:  check_trace.py TRACE.jsonl [...]
-        check_trace.py < TRACE.jsonl
+Usage:  check_trace.py [--allow-truncated] TRACE.jsonl [...]
+        check_trace.py [--allow-truncated] < TRACE.jsonl
+
+With ``--allow-truncated`` a torn final line (a process killed mid-write,
+docs/SERVICE.md) is reported as a clean truncation point instead of an
+error; every record before it must still validate.
 
 Exit status 0 when every file validates; 1 otherwise.  Stdlib only.
 """
@@ -249,8 +255,12 @@ def check_record(rec, state):
             problems.append("retx: unknown mode {!r}".format(rec["mode"]))
         if rec["retry"] < 1:
             problems.append("retx: retry {} < 1".format(rec["retry"]))
+        # The counter numbers attempts within one recovery episode; a
+        # task re-orphaned by a later fault after a successful recovery
+        # opens a new episode and legitimately restarts at 1 (long serve
+        # runs hit this; see docs/FAULTS.md section 7).
         last = state["retry"].get(rec["task"], 0)
-        if rec["retry"] < last:
+        if rec["retry"] < last and rec["retry"] != 1:
             problems.append(
                 "retx: task {} retry {} after retry {}".format(
                     rec["task"], rec["retry"], last))
@@ -380,7 +390,7 @@ def check_record(rec, state):
     return problems
 
 
-def check_stream(lines, name):
+def check_stream(lines, name, allow_truncated=False):
     state = {
         "in_run": False,
         "schema": 0,
@@ -398,6 +408,14 @@ def check_stream(lines, name):
     }
     counts = {}
     errors = 0
+    # --allow-truncated: a process killed mid-write leaves at most one
+    # torn line, and only at the very end of the file.  Everything before
+    # it must still validate.
+    lines = list(lines)
+    last_payload = 0
+    for lineno, line in enumerate(lines, 1):
+        if line.strip():
+            last_payload = lineno
     for lineno, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
@@ -405,6 +423,11 @@ def check_stream(lines, name):
         try:
             rec = json.loads(line)
         except ValueError as exc:
+            if allow_truncated and lineno == last_payload:
+                print("{}:{}: NOTE: clean truncation point "
+                      "(torn final line, {} valid record(s) before it)"
+                      .format(name, lineno, sum(counts.values())))
+                break
             print("{}:{}: not JSON: {}".format(name, lineno, exc))
             errors += 1
             continue
@@ -444,13 +467,15 @@ def check_stream(lines, name):
 
 
 def main(argv):
-    paths = argv[1:]
+    args = argv[1:]
+    allow_truncated = "--allow-truncated" in args
+    paths = [a for a in args if a != "--allow-truncated"]
     if not paths:
-        return check_stream(sys.stdin, "<stdin>")
+        return check_stream(sys.stdin, "<stdin>", allow_truncated)
     status = 0
     for path in paths:
         with open(path, "r", encoding="utf-8") as fh:
-            status |= check_stream(fh, path)
+            status |= check_stream(fh, path, allow_truncated)
     return status
 
 
